@@ -1,0 +1,31 @@
+"""Shared settings for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every module reproduces one table or figure of the paper (see
+DESIGN.md's experiment index); scales default to CI-friendly sizes.
+Set ``REPRO_BENCH_SCALE`` to raise them (1.0 = paper scale; Figure 7 at
+paper scale sweeps n to 1e6 and takes hours on the Naive side).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float) -> float:
+    """Workload scale for a benchmark, overridable via environment."""
+    value = os.environ.get("REPRO_BENCH_SCALE")
+    if value is None:
+        return default
+    return float(value)
+
+
+@pytest.fixture
+def scale():
+    """Default benchmark scale (override with REPRO_BENCH_SCALE)."""
+    return bench_scale(0.05)

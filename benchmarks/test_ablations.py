@@ -1,0 +1,128 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out.
+
+* star-padding vs per-tick matrix restart (the core trick's cost win)
+* eager vs deferred reporting (accuracy)
+* warping vs rigid matching (accuracy)
+* local-distance choice (independence claim)
+* path recording on/off (the SPRING vs SPRING(path) per-tick overhead)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.baselines.naive import NaiveSubsequenceMatcher
+from repro.core.spring import Spring
+from repro.datasets import masked_chirp
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.12)
+
+
+def _workload():
+    data = masked_chirp(
+        n=max(3000, int(20000 * SCALE)),
+        query_length=max(128, int(2048 * SCALE)),
+        bursts=4,
+        seed=0,
+    )
+    return data
+
+
+def test_ablation_star_padding_vs_restart(benchmark):
+    """Star-padding keeps one matrix; the restart strategy (Naive) keeps
+    one per start.  Same answers — this measures the cost of dropping
+    the trick on a mid-sized stream."""
+    data = _workload()
+    n = min(data.n, 1500)
+    stream = data.values[:n]
+
+    def run_naive():
+        naive = NaiveSubsequenceMatcher(
+            data.query, epsilon=data.suggested_epsilon
+        )
+        naive.extend(stream)
+        return naive
+
+    naive = benchmark.pedantic(run_naive, rounds=1, iterations=1)
+
+    spring = Spring(data.query, epsilon=data.suggested_epsilon)
+    spring.extend(stream)
+    benchmark.extra_info["naive_state_floats"] = naive.state_floats
+    benchmark.extra_info["spring_state_floats"] = 2 * (spring.m + 1)
+    assert naive.state_floats > 100 * (spring.m + 1)
+
+
+def test_ablation_reporting_and_distance_choices(benchmark):
+    run = get_experiment("ablations")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.render())
+    assert result.summary["deferred_perfect"] is True
+    assert result.summary["eager_mean_distance_worse"] is True
+    assert result.summary["rigid_recall"] < result.summary["spring_recall"]
+    assert result.summary["absolute_distance_recall"] == 1.0
+    assert result.summary["banded_recall"] == 1.0
+    benchmark.extra_info.update(result.summary)
+
+
+def test_ablation_cascade_prefilter(benchmark):
+    """Coarse-to-fine cascade: cheaper per tick, still finds the clear
+    bursts (it may miss subtle ones — that's the traded guarantee)."""
+    from repro.core.cascade import CascadeSpring
+    from repro.eval.metrics import score_matches
+
+    data = _workload()
+    stream = data.values
+
+    def run_cascade():
+        cascade = CascadeSpring(
+            data.query,
+            epsilon=data.suggested_epsilon,
+            reduction=4,
+            coarse_slack=3.0,
+        )
+        matches = cascade.extend(stream)
+        final = cascade.flush()
+        if final:
+            matches.append(final)
+        return matches
+
+    matches = benchmark.pedantic(run_cascade, rounds=1, iterations=1)
+
+    score = score_matches(matches, data.occurrence_intervals())
+    benchmark.extra_info["cascade_recall"] = score.recall
+    benchmark.extra_info["cascade_precision"] = score.precision
+    # The clear MaskedChirp bursts survive a 4x coarse pre-filter.
+    assert score.recall >= 0.75
+
+
+def test_ablation_path_recording_overhead(benchmark):
+    """SPRING(path) pays per-tick bookkeeping for warping paths."""
+    data = _workload()
+    stream = data.values[:2000]
+
+    def run(record_path):
+        spring = Spring(
+            data.query,
+            epsilon=data.suggested_epsilon,
+            record_path=record_path,
+        )
+        spring.extend(stream)
+        return spring
+
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+    plain = run(False)
+    with_path = run(True)
+    benchmark.extra_info["live_path_nodes"] = with_path.live_path_nodes()
+    # Identical answers: path recording must not change matching.
+    assert plain.best_match.distance == pytest.approx(
+        with_path.best_match.distance, rel=1e-9
+    )

@@ -1,0 +1,24 @@
+"""ECG case-study benchmark: PVC detection vs heart-rate variability."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.5)
+
+
+def test_ecg_pvc_detection(benchmark):
+    run = get_experiment("ecg")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.render())
+    assert result.summary["spring_min_f1"] == 1.0
+    assert result.summary["rigid_mean_f1_at_hrv"] < 0.5
+    benchmark.extra_info.update(result.summary)

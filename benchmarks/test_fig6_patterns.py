@@ -1,0 +1,61 @@
+"""Figure 6: pattern discovery on the four datasets.
+
+Each benchmark times the full disjoint-query scan of one dataset and
+asserts the paper's qualitative claim — perfect detection — against the
+generator's ground truth.  The detection details land in
+``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.core.batch import spring_search
+from repro.eval.experiments.fig6 import build_dataset
+from repro.eval.metrics import score_matches
+
+# 0.2 is the smallest scale at which every dataset's suggested epsilon
+# separates cleanly (shorter day/cycle lengths erode the margins).
+SCALE = bench_scale(0.2)
+
+
+def test_fig1_intro_illustration(benchmark):
+    """Figure 1: the two differently-stretched sinusoids of the intro."""
+    from repro.eval.harness import get_experiment
+
+    run = get_experiment("fig1")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=max(0.25, SCALE), seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.render())
+    assert result.summary["both_found"] is True
+    benchmark.extra_info.update(result.summary)
+
+
+@pytest.mark.parametrize(
+    "dataset", ["chirp", "temperature", "kursk", "sunspots"]
+)
+def test_fig6_discovery(benchmark, dataset):
+    data = build_dataset(dataset, scale=SCALE, seed=0)
+
+    matches = benchmark(
+        spring_search, data.values, data.query, data.suggested_epsilon
+    )
+
+    score = score_matches(matches, data.occurrence_intervals())
+    benchmark.extra_info["dataset"] = data.name
+    benchmark.extra_info["n"] = data.n
+    benchmark.extra_info["m"] = data.m
+    benchmark.extra_info["planted"] = len(data.occurrences)
+    benchmark.extra_info["reported"] = len(matches)
+    benchmark.extra_info["precision"] = score.precision
+    benchmark.extra_info["recall"] = score.recall
+    assert score.perfect, (
+        f"{data.name}: {score.true_positives} hits, "
+        f"{score.false_positives} false positives, "
+        f"{score.false_negatives} missed"
+    )

@@ -1,0 +1,80 @@
+"""Figure 7: per-tick wall-clock time vs stream length.
+
+Two parametrised benchmarks measure the steady-state per-tick cost of
+SPRING and Naive at several stream positions; a summary test fits the
+shapes and asserts the paper's claims (Naive linear in n, SPRING flat,
+speedup growing with n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.baselines.naive import NaiveSubsequenceMatcher
+from repro.core.spring import Spring
+from repro.datasets import masked_chirp
+from repro.eval.experiments.fig7 import _QUERY_LENGTH, _bursts_that_fit
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.01)
+LENGTHS = [1000, max(4000, int(1e6 * SCALE))]
+
+
+def _workload(n):
+    data = masked_chirp(
+        n=n + 10,
+        query_length=_QUERY_LENGTH,
+        bursts=_bursts_that_fit(n),
+        seed=0,
+    )
+    return data.values, data.query, data.suggested_epsilon
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_spring_per_tick_at_length(benchmark, n):
+    stream, query, epsilon = _workload(n)
+    spring = Spring(query, epsilon=epsilon)
+    for value in stream[: n - 1]:
+        spring.step(value)
+    tail = iter(list(stream[n - 1 :]) * 100000)
+
+    benchmark(lambda: spring.step(next(tail)))
+
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["method"] = "spring"
+
+
+@pytest.mark.parametrize("n", LENGTHS)
+def test_naive_per_tick_at_length(benchmark, n):
+    stream, query, epsilon = _workload(n)
+    naive = NaiveSubsequenceMatcher(query, epsilon=epsilon)
+    for value in stream[: n - 1]:
+        naive.step(value)
+    tail = iter(list(stream[n - 1 :]) * 100000)
+
+    benchmark.pedantic(
+        lambda: naive.step(next(tail)), rounds=5, iterations=1
+    )
+
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["method"] = "naive"
+
+
+def test_fig7_shape(benchmark):
+    """The figure itself: Naive ∝ n, SPRING constant."""
+    run = get_experiment("fig7")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0, measure_ticks=20),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(result.render())
+    assert result.summary["measured_max_speedup"] > 50
+    assert result.summary["spring_flat_ratio"] < 5.0
+    assert result.summary["naive_slope_ms_per_n"] > 0
+    benchmark.extra_info.update(result.summary)

@@ -1,0 +1,39 @@
+"""Figure 8: memory consumption vs stream length.
+
+Memory is a property, not a duration; the benchmark times the sweep and
+asserts the three curves' ordering and growth shapes, attaching the
+measured byte counts to ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.005)
+
+
+def test_fig8_memory_curves(benchmark):
+    run = get_experiment("fig8")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.render())
+    assert result.summary["spring_bytes_constant"] is True
+    # SPRING's constant: two (m+1)-slot arrays, m = 256.
+    assert result.summary["spring_bytes"] == 2 * 257 * 8
+    # Naive grows like n * (m floats + a start) per Lemma 3.
+    assert result.summary["naive_bytes_per_n"] == pytest.approx(
+        256 * 8 + 8, rel=0.05
+    )
+    # Path variant sits strictly between the two at the sweep top.
+    naive_top = result.rows[-1][1]
+    path_top = result.rows[-1][2]
+    spring_top = result.rows[-1][3]
+    assert spring_top < path_top < naive_top
+    benchmark.extra_info.update(result.summary)

@@ -1,0 +1,27 @@
+"""Figure 9: motion spotting over 62-dimensional mocap streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.35)
+
+
+def test_fig9_motion_spotting(benchmark):
+    run = get_experiment("fig9")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0, channels=62),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(result.render())
+    assert result.summary["motions_in_session"] == 7
+    assert result.summary["all_found_by_own_query"] is True
+    assert result.summary["cross_fires"] == 0
+    benchmark.extra_info.update(result.summary)

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the core kernels.
+
+These are not tied to a paper figure; they document the constants the
+library's O(...) claims hide, per query length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spring import Spring
+from repro.core.state import SpringState, update_column, update_column_reference
+from repro.dtw import dtw_distance
+
+
+@pytest.mark.parametrize("m", [64, 256, 1024])
+def test_update_column_vectorised(benchmark, m):
+    rng = np.random.default_rng(0)
+    state = SpringState.initial(m)
+    cost = np.abs(rng.normal(size=m))
+    ticks = iter(range(1, 10_000_000))
+
+    benchmark(lambda: update_column(state, cost, next(ticks)))
+
+    benchmark.extra_info["m"] = m
+
+
+@pytest.mark.parametrize("m", [64, 256])
+def test_update_column_reference_loop(benchmark, m):
+    rng = np.random.default_rng(0)
+    state = SpringState.initial(m)
+    cost = np.abs(rng.normal(size=m))
+    ticks = iter(range(1, 10_000_000))
+
+    benchmark(lambda: update_column_reference(state, cost, next(ticks)))
+
+    benchmark.extra_info["m"] = m
+
+
+@pytest.mark.parametrize("m", [64, 256, 1024])
+def test_spring_step_end_to_end(benchmark, m):
+    rng = np.random.default_rng(0)
+    spring = Spring(rng.normal(size=m), epsilon=1.0)
+    values = iter(rng.normal(size=10_000_000))
+
+    benchmark(lambda: spring.step(next(values)))
+
+    benchmark.extra_info["m"] = m
+
+
+@pytest.mark.parametrize("n", [100, 400])
+def test_dtw_distance_rolling(benchmark, n):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n)
+    y = rng.normal(size=n)
+
+    benchmark.pedantic(dtw_distance, args=(x, y), rounds=3, iterations=1)
+
+    benchmark.extra_info["n"] = n

@@ -1,0 +1,29 @@
+"""Multiple streams (Section 5.3's scalability claim).
+
+Per-tick monitor latency grows with the number of (stream x query)
+pairs and not with history — the per-stream cost must stay flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.3)
+
+
+def test_multistream_linear_scaling(benchmark):
+    run = get_experiment("multistream")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.render())
+    # Per-stream cost within 2.5x across a 16x change in stream count
+    # (wall-clock noise allowance; the law itself is exact).
+    assert result.summary["per_stream_flatness"] < 2.5
+    benchmark.extra_info.update(result.summary)

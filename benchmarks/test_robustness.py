@@ -1,0 +1,26 @@
+"""Robustness sweep benchmark: noise x stretch detection surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.eval.harness import get_experiment
+
+SCALE = bench_scale(0.2)
+
+
+def test_robustness_surface(benchmark):
+    run = get_experiment("robustness")
+
+    result = benchmark.pedantic(
+        lambda: run(scale=SCALE, seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print(result.render())
+    # SPRING holds across the whole default noise x stretch grid.
+    assert result.summary["spring_min_f1"] == 1.0
+    # The rigid matcher collapses whenever the pattern is stretched.
+    assert result.summary["rigid_mean_f1_when_stretched"] < 0.3
+    benchmark.extra_info.update(result.summary)

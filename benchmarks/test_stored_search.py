@@ -1,0 +1,55 @@
+"""Stored-set search benchmarks: lower-bound pruning effectiveness.
+
+Not a paper figure — the related-work regime (Section 2.1) SPRING
+complements.  Documents how much the LB cascade saves on a library of
+stored sequences, and that pruning never changes the answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import dtw_distance
+from repro.dtw.search import SequenceIndex
+
+
+def _library(rng, count, length):
+    sequences = []
+    base = np.sin(np.linspace(0, 4 * np.pi, length))
+    for i in range(count):
+        offset = rng.uniform(-5, 5)
+        sequences.append(
+            base * rng.uniform(0.5, 2.0) + offset + rng.normal(0, 0.3, length)
+        )
+    return sequences
+
+
+def test_nearest_with_pruning(benchmark):
+    rng = np.random.default_rng(0)
+    library = _library(rng, count=120, length=64)
+    index = SequenceIndex()
+    index.extend(library)
+    query = library[17] + rng.normal(0, 0.05, 64)
+
+    distance, label, stats = benchmark(index.nearest, query)
+
+    benchmark.extra_info["prune_rate"] = stats.prune_rate
+    benchmark.extra_info["full_computations"] = stats.full_computations
+    # Exactness: identical to the unpruned linear scan.
+    brute = min(dtw_distance(query, seq) for seq in library)
+    assert distance == pytest.approx(brute, rel=1e-9)
+    assert stats.prune_rate > 0.3
+
+
+def test_nearest_linear_scan_baseline(benchmark):
+    """The same search without bounds — the cost pruning avoids."""
+    rng = np.random.default_rng(0)
+    library = _library(rng, count=120, length=64)
+    query = library[17] + rng.normal(0, 0.05, 64)
+
+    def scan():
+        return min(dtw_distance(query, seq) for seq in library)
+
+    distance = benchmark.pedantic(scan, rounds=1, iterations=1)
+    benchmark.extra_info["full_computations"] = len(library)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Seismic event spotting: the paper's Kursk scenario.
+
+A long, quiet seismic trace contains explosion events whose inter-spike
+intervals differ per recording site (environmental conditions stretch
+the time axis).  One clean template query finds them all under DTW; a
+rigid sliding-window matcher, run side by side, does not.
+
+Also demonstrates the SPRING(path) variant: the reported warping path
+shows exactly how the template was stretched onto each event.
+
+Run:  python examples/seismic_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Spring
+from repro.baselines import SlidingEuclideanMatcher
+from repro.datasets import explosion_query, seismic_stream
+from repro.dtw import warp_amount
+
+
+def main() -> None:
+    event_length = 1200
+    data = seismic_stream(
+        n=24000,
+        event_length=event_length,
+        events=2,
+        spacing_jitter=0.3,  # strong site-dependent interval stretch
+        seed=5,
+    )
+    query = explosion_query(event_length)
+    epsilon = data.suggested_epsilon
+
+    print(
+        f"trace: {data.n} samples, {len(data.occurrences)} planted "
+        f"explosions, template length {event_length}"
+    )
+
+    # --- SPRING with path recording -------------------------------
+    spring = Spring(query, epsilon=epsilon, record_path=True)
+    matches = spring.extend(data.values)
+    final = spring.flush()
+    if final:
+        matches.append(final)
+
+    print(f"\nSPRING found {len(matches)} event(s):")
+    for match in matches:
+        stretch = match.length / event_length
+        path_note = ""
+        if match.path:
+            non_diagonal = warp_amount(list(match.path))
+            path_note = (
+                f"; warping path has {len(match.path)} cells, "
+                f"{non_diagonal} non-diagonal steps"
+            )
+        print(
+            f"  ticks {match.start}..{match.end} "
+            f"(x{stretch:.2f} of template, distance {match.distance:.3g}, "
+            f"confirmed at tick {match.output_time}){path_note}"
+        )
+
+    # --- rigid control ---------------------------------------------
+    rigid = SlidingEuclideanMatcher(query, epsilon=epsilon)
+    rigid_matches = rigid.extend(data.values)
+    if rigid.flush():
+        rigid_matches.append(rigid.flush())
+    print(
+        f"\nrigid sliding-window matcher found {len(rigid_matches)} — "
+        "interval-stretched events defeat fixed windows"
+    )
+
+    print("\nground truth:", ", ".join(
+        f"{occ.start}..{occ.end}" for occ in data.occurrences
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so ``python setup.py develop`` works offline.
+
+The container has no ``wheel`` package, which modern ``pip install -e .``
+requires; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

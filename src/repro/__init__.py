@@ -1,0 +1,82 @@
+"""SPRING — stream monitoring under the Dynamic Time Warping distance.
+
+A faithful, production-quality reproduction of:
+
+    Yasushi Sakurai, Christos Faloutsos, Masashi Yamamuro.
+    "Stream Monitoring under the Time Warping Distance." ICDE 2007.
+
+Quickstart
+----------
+>>> from repro import Spring
+>>> spring = Spring(query=[11, 6, 9, 4], epsilon=15)
+>>> for x in [5, 12, 6, 10, 6, 5, 13]:
+...     match = spring.step(x)
+...     if match:
+...         print(match)        # doctest: +SKIP
+
+Package map
+-----------
+``repro.core``
+    SPRING itself: streaming matchers, the multi-stream monitor, batch
+    helpers, and extensions (vector streams, normalisation, length bands).
+``repro.dtw``
+    The DTW substrate: distances, warping paths, global constraints,
+    lower bounds, offline subsequence matching.
+``repro.baselines``
+    The paper's comparison points: Naive, Super-Naive, and a rigid
+    sliding-window Euclidean matcher.
+``repro.streams``
+    Stream plumbing: sources, ring buffers, running statistics,
+    noise/dropout/time-scale transforms.
+``repro.datasets``
+    Generators for the paper's workloads: MaskedChirp, temperature,
+    seismic bursts, sunspots, and synthetic motion capture.
+``repro.eval``
+    The experiment harness regenerating every table and figure.
+"""
+
+from repro.core import (
+    CascadeSpring,
+    ConstrainedSpring,
+    Match,
+    MatchEvent,
+    NormalizedSpring,
+    Spring,
+    StreamMonitor,
+    TopKSpring,
+    VectorSpring,
+    dump_json,
+    load_json,
+    load_state,
+    save_state,
+    spring_best_match,
+    spring_search,
+    spring_search_vector,
+)
+from repro.dtw import dtw_distance
+from repro.exceptions import ReproError, ValidationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CascadeSpring",
+    "ConstrainedSpring",
+    "TopKSpring",
+    "dump_json",
+    "load_json",
+    "load_state",
+    "save_state",
+    "Match",
+    "MatchEvent",
+    "NormalizedSpring",
+    "ReproError",
+    "Spring",
+    "StreamMonitor",
+    "ValidationError",
+    "VectorSpring",
+    "dtw_distance",
+    "spring_best_match",
+    "spring_search",
+    "spring_search_vector",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Shared argument-validation helpers.
+
+These functions normalise user input into the canonical :class:`numpy.ndarray`
+forms the rest of the library expects, raising informative
+:class:`~repro.exceptions.ValidationError` subclasses on bad input.
+
+Conventions
+-----------
+* A *scalar sequence* is a 1-D float64 array of length >= 1.
+* A *vector sequence* is a 2-D float64 array of shape ``(length, k)`` with
+  ``k >= 1``; a 1-D input is promoted to ``(length, 1)``.
+* Non-finite values (NaN / inf) are rejected unless ``allow_nan=True``
+  (used for datasets with missing values, where NaN marks a gap).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptySequenceError,
+    ValidationError,
+)
+
+__all__ = [
+    "as_scalar_sequence",
+    "as_vector_sequence",
+    "check_same_dimensions",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_threshold",
+]
+
+
+def as_scalar_sequence(
+    values: object, name: str = "sequence", allow_nan: bool = False
+) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float64 array and validate it.
+
+    Parameters
+    ----------
+    values:
+        Any array-like of numbers.
+    name:
+        Argument name used in error messages.
+    allow_nan:
+        When True, NaN entries are allowed (they represent missing values).
+        Infinities are never allowed.
+
+    Returns
+    -------
+    numpy.ndarray
+        A 1-D float64 array (a copy only when conversion required one).
+    """
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not numeric: {exc}") from exc
+    if array.ndim != 1:
+        raise ValidationError(
+            f"{name} must be 1-dimensional, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise EmptySequenceError(f"{name} must not be empty")
+    _check_finiteness(array, name, allow_nan)
+    return array
+
+
+def as_vector_sequence(
+    values: object, name: str = "sequence", allow_nan: bool = False
+) -> np.ndarray:
+    """Coerce ``values`` to a 2-D ``(length, k)`` float64 array.
+
+    1-D input is promoted to a single-dimension vector sequence ``(n, 1)``.
+    """
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not numeric: {exc}") from exc
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValidationError(
+            f"{name} must be 1- or 2-dimensional, got shape {array.shape}"
+        )
+    if array.shape[0] == 0:
+        raise EmptySequenceError(f"{name} must not be empty")
+    if array.shape[1] == 0:
+        raise ValidationError(f"{name} must have at least one dimension")
+    _check_finiteness(array, name, allow_nan)
+    return array
+
+
+def check_same_dimensions(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+    """Raise unless the two vector sequences share their dimensionality."""
+    if a.shape[1] != b.shape[1]:
+        raise DimensionMismatchError(
+            f"{name_a} has {a.shape[1]} dimensions but {name_b} has {b.shape[1]}"
+        )
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number > 0 and return it as float."""
+    value = _as_float(value, name)
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0 and return it as float."""
+    value = _as_float(value, name)
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = _as_float(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_threshold(value: float, name: str = "epsilon") -> float:
+    """Validate a distance threshold: non-negative, possibly +inf.
+
+    ``inf`` is a legal threshold — it turns a disjoint query into "report
+    every locally-optimal subsequence".
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if np.isnan(value):
+        raise ValidationError(f"{name} must not be NaN")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def _as_float(value: object, name: str) -> float:
+    try:
+        result = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(result):
+        raise ValidationError(f"{name} must be finite, got {result!r}")
+    return result
+
+
+def _check_finiteness(array: np.ndarray, name: str, allow_nan: bool) -> None:
+    if allow_nan:
+        if np.isinf(array).any():
+            raise ValidationError(f"{name} contains infinite values")
+    elif not np.isfinite(array).all():
+        raise ValidationError(f"{name} contains non-finite values (NaN or inf)")

@@ -1,0 +1,15 @@
+"""Comparison baselines: Section 3.1.3's naive solutions, a rigid
+sliding-window control, and related-work burst detection [21]."""
+
+from repro.baselines.burst import Burst, BurstDetector
+from repro.baselines.euclidean import SlidingEuclideanMatcher
+from repro.baselines.naive import NaiveSubsequenceMatcher
+from repro.baselines.super_naive import SuperNaiveMatcher
+
+__all__ = [
+    "Burst",
+    "BurstDetector",
+    "NaiveSubsequenceMatcher",
+    "SlidingEuclideanMatcher",
+    "SuperNaiveMatcher",
+]

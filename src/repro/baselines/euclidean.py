@@ -1,0 +1,125 @@
+"""Rigid sliding-window Euclidean matcher (non-warping control).
+
+The introduction motivates DTW by the failure of rigid measures when
+patterns stretch or shrink along the time axis.  This matcher makes that
+failure measurable: it slides a fixed window of the query's length over
+the stream and reports windows whose (squared) Euclidean distance to the
+query is within epsilon — with the same hold-until-local-minimum
+discipline as SPRING, so reports are comparable.
+
+The per-tick update is O(m) too (recompute the window distance), so the
+comparison isolates the *accuracy* effect of warping, not speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.matches import Match
+from repro.dtw.steps import LocalDistance, resolve_local_distance
+from repro.exceptions import NotFittedError
+
+__all__ = ["SlidingEuclideanMatcher"]
+
+
+class SlidingEuclideanMatcher:
+    """Fixed-length window matching under the sum of local distances.
+
+    A "match" is a window ``X[t-m+1 : t]`` with
+    ``sum_i ||x_{t-m+i} - y_i|| <= epsilon``; among overlapping
+    qualifying windows only the local minimum is reported, mirroring the
+    paper's disjoint-query semantics so precision/recall comparisons
+    against SPRING are apples-to-apples.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        local_distance: Union[str, LocalDistance, None] = None,
+    ) -> None:
+        self._query = as_scalar_sequence(query, "query")
+        self.epsilon = check_threshold(epsilon)
+        self._distance = resolve_local_distance(local_distance)
+        m = self._query.shape[0]
+        self._m = m
+        self._window = np.full(m, np.nan, dtype=np.float64)
+        self._tick = 0
+
+        self._dmin = np.inf
+        self._ts = 0
+        self._te = 0
+        self._since_capture = 0
+        self._best = (np.inf, 0, 0)
+
+    @property
+    def tick(self) -> int:
+        """Number of stream values consumed."""
+        return self._tick
+
+    @property
+    def best_match(self) -> Match:
+        """Best window so far."""
+        distance, start, end = self._best
+        if not np.isfinite(distance):
+            raise NotFittedError("no complete window yet")
+        return Match(start=start, end=end, distance=float(distance))
+
+    def step(self, value: float) -> Optional[Match]:
+        """Consume one value; return a confirmed window match, if any."""
+        self._tick += 1
+        self._window = np.roll(self._window, -1)
+        self._window[-1] = float(value)
+        report: Optional[Match] = None
+
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            # A window can still overlap the captured one for m - 1 more
+            # ticks; after that the capture is safe to report.
+            self._since_capture += 1
+            if self._since_capture >= self._m:
+                report = Match(
+                    start=self._ts,
+                    end=self._te,
+                    distance=float(self._dmin),
+                    output_time=self._tick,
+                )
+                self._dmin = np.inf
+
+        if self._tick >= self._m and not np.isnan(self._window).any():
+            d = float(
+                np.sum(self._distance(self._window, self._query))
+            )
+            start = self._tick - self._m + 1
+            if d <= self.epsilon and d < self._dmin:
+                self._dmin = d
+                self._ts = start
+                self._te = self._tick
+                self._since_capture = 0
+            if d < self._best[0]:
+                self._best = (d, start, self._tick)
+        return report
+
+    def extend(self, values: Iterable[float]) -> List[Match]:
+        """Consume many values; return confirmed matches."""
+        matches = []
+        for value in values:
+            match = self.step(value)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    def flush(self) -> Optional[Match]:
+        """Report a pending captured window at end-of-stream."""
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            match = Match(
+                start=self._ts,
+                end=self._te,
+                distance=float(self._dmin),
+                output_time=self._tick,
+            )
+            self._dmin = np.inf
+            return match
+        return None

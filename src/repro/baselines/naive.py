@@ -1,0 +1,265 @@
+"""The Naive baseline (Section 3.1.3, Equation 2).
+
+Naive keeps one time-warping matrix per possible starting position: at
+tick ``t`` there are ``t`` live matrices, each advanced by one column, so
+the per-tick cost is O(n·m) time and the state O(n·m) space (Lemma 3).
+Distances are identical to SPRING's — this is the correctness oracle and
+the comparison line of Figures 7 and 8.
+
+Each matrix only needs its current column (length m), exactly as the
+paper notes for plain DTW; we store the columns as rows of one growing
+2-D array so the per-tick update stays a vectorised O(n·m) sweep rather
+than a Python-level loop over matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.matches import Match
+from repro.dtw.steps import LocalDistance, resolve_local_distance
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["NaiveSubsequenceMatcher"]
+
+
+class NaiveSubsequenceMatcher:
+    """Streaming subsequence matching with one matrix per start.
+
+    The interface mirrors :class:`~repro.core.spring.Spring`: ``step``
+    consumes one value and may return a confirmed disjoint-query match,
+    ``best_match`` tracks Problem 1, ``flush`` drains a pending match.
+    Reports use the same hold-until-safe rule as SPRING so the two
+    methods emit identical matches at identical output times — all that
+    differs is the cost per tick.
+
+    Parameters
+    ----------
+    query:
+        The query sequence Y (1-D).
+    epsilon:
+        Disjoint-query threshold (``inf`` = every local optimum).
+    local_distance:
+        ``"squared"`` (default) or ``"absolute"`` or a callable on scalars.
+    max_matrices:
+        Optional cap on live matrices (oldest-start matrices are frozen
+        once the cap is hit).  ``None`` (default) is the paper's
+        unbounded O(n) behaviour; the cap exists so the memory benchmark
+        can run the method at stream lengths where O(n·m) would not fit.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        local_distance: Union[str, LocalDistance, None] = None,
+        max_matrices: Optional[int] = None,
+    ) -> None:
+        self._query = as_scalar_sequence(query, "query")
+        self.epsilon = check_threshold(epsilon)
+        self._distance = resolve_local_distance(local_distance)
+        if max_matrices is not None and int(max_matrices) < 1:
+            raise ValidationError(
+                f"max_matrices must be >= 1 or None, got {max_matrices}"
+            )
+        self.max_matrices = None if max_matrices is None else int(max_matrices)
+
+        m = self._query.shape[0]
+        self._m = m
+        # buffer[i-1, j] holds f_start_j(k, i) for the current tick k —
+        # query index varies along axis 0 so the per-i DP sweep touches
+        # a contiguous row of all live matrices at once.  Capacity
+        # doubles on demand so a tick never pays an O(n.m) reallocation
+        # on top of the O(n.m) DP sweep Lemma 3 charges it.
+        self._capacity = 16
+        self._buffer = np.empty((m, self._capacity), dtype=np.float64)
+        self._starts_buffer = np.empty(self._capacity, dtype=np.int64)
+        self._live = 0
+        self._tick = 0
+
+        self._dmin = np.inf
+        self._ts = 0
+        self._te = 0
+        self._best = (np.inf, 0, 0)
+
+    @property
+    def tick(self) -> int:
+        """Number of stream values consumed."""
+        return self._tick
+
+    @property
+    def _columns(self) -> np.ndarray:
+        """Live DP columns, one row per maintained matrix (a view)."""
+        return self._buffer[:, : self._live].T
+
+    @property
+    def _starts(self) -> np.ndarray:
+        """Start tick of each live matrix (a view)."""
+        return self._starts_buffer[: self._live]
+
+    @property
+    def live_matrices(self) -> int:
+        """Matrices currently maintained (== tick unless capped)."""
+        return self._live
+
+    @property
+    def state_floats(self) -> int:
+        """Float64 slots held — the O(n·m) of Lemma 3, for Figure 8."""
+        return int(self._live * self._m)
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether a captured optimum awaits confirmation."""
+        return np.isfinite(self._dmin) and self._dmin <= self.epsilon
+
+    @property
+    def best_match(self) -> Match:
+        """Best subsequence so far (Problem 1)."""
+        distance, start, end = self._best
+        if not np.isfinite(distance):
+            raise NotFittedError(
+                "no finite-distance subsequence yet: feed stream values first"
+            )
+        return Match(start=start, end=end, distance=float(distance))
+
+    def step(self, value: float) -> Optional[Match]:
+        """Consume one stream value; return a confirmed match, if any."""
+        value = float(value)
+        if np.isnan(value):
+            self._tick += 1
+            return None
+        self._tick += 1
+        cost = np.asarray(
+            self._distance(value, self._query), dtype=np.float64
+        )
+
+        # Advance every live matrix by one column, in place:
+        # f(k, i) = c_i + min(f(k, i-1), f(k-1, i), f(k-1, i-1)).
+        live = self._live
+        if live:
+            buf = self._buffer
+            span = slice(0, live)
+            # i = 1 (index 0): horizontal f(k, 0) and diagonal f(k-1, 0)
+            # are both inf, so only the vertical predecessor remains.
+            old_left = buf[0, span].copy()
+            buf[0, span] += cost[0]
+            for i in range(1, self._m):
+                row = buf[i, span]
+                old_i = row.copy()  # f(k-1, i) before overwrite
+                np.minimum(old_i, old_left, out=old_left)  # vert vs diag
+                np.minimum(old_left, buf[i - 1, span], out=old_left)
+                np.add(cost[i], old_left, out=row)
+                old_left = old_i
+
+        # Admit the matrix that starts at this tick: horizontal-only
+        # prefix, f(1, i) = sum of cost[0..i-1].
+        if self.max_matrices is not None and live >= self.max_matrices:
+            # Cap hit: evict the oldest start (an O(cap.m) shift, within
+            # the tick's O(n.m) budget).
+            self._buffer[:, : live - 1] = self._buffer[:, 1:live]
+            self._starts_buffer[: live - 1] = self._starts_buffer[1:live]
+            self._live = live - 1
+        elif live == self._capacity:
+            self._grow()
+        self._buffer[:, self._live] = np.cumsum(cost)
+        self._starts_buffer[self._live] = self._tick
+        self._live += 1
+
+        return self._report_logic()
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        buffer = np.empty((self._m, self._capacity), dtype=np.float64)
+        buffer[:, : self._live] = self._buffer[:, : self._live]
+        self._buffer = buffer
+        starts = np.empty(self._capacity, dtype=np.int64)
+        starts[: self._live] = self._starts_buffer[: self._live]
+        self._starts_buffer = starts
+
+    def extend(self, values: Iterable[float]) -> List[Match]:
+        """Consume many values; return matches confirmed on the way."""
+        matches = []
+        for value in values:
+            match = self.step(value)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    def flush(self) -> Optional[Match]:
+        """Report the held optimum at end-of-stream, if one is pending."""
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            match = Match(
+                start=self._ts,
+                end=self._te,
+                distance=float(self._dmin),
+                output_time=self._tick,
+            )
+            self._reset_after_report()
+            return match
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _column_argmin_latest(self) -> np.ndarray:
+        """Per-cell argmin over live matrices, preferring the *latest*
+        start on exact ties — the direction SPRING's Equation 5
+        tie-break (horizontal first, which at row 1 is a fresh start)
+        resolves ties, so the two methods report identically even on
+        degenerate all-equal data.
+
+        Operates on the contiguous ``(m, capacity)`` buffer directly;
+        going through the transposed ``_columns`` view costs a strided
+        pass over n*m floats, which dominates the whole tick at large n.
+        """
+        live = self._live
+        flipped = np.argmin(self._buffer[:, live - 1 :: -1], axis=1)
+        return (live - 1) - flipped
+
+    def _report_logic(self) -> Optional[Match]:
+        live = self._live
+        last = self._buffer[self._m - 1, :live]  # f_start(k, m), contiguous
+        report: Optional[Match] = None
+
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            # Equation 9 on the implied STWM: per query index i, the best
+            # live value over all starts and the start achieving it.  A
+            # dominated overlapping path (beaten at its cell by a
+            # non-overlapping start) can never become a group optimum, so
+            # only the per-cell minima matter — exactly SPRING's check.
+            col_min = self._buffer[:, :live].min(axis=1)
+            col_start = self._starts[self._column_argmin_latest()]
+            blocked = (col_min >= self._dmin) | (col_start > self._te)
+            if bool(np.all(blocked)):
+                report = Match(
+                    start=self._ts,
+                    end=self._te,
+                    distance=float(self._dmin),
+                    output_time=self._tick,
+                )
+                self._reset_after_report()
+
+        if live:
+            # Latest start on ties, mirroring SPRING (see helper above).
+            j = int(live - 1 - np.argmin(last[::-1]))
+            d_best = float(last[j])
+            if d_best <= self.epsilon and d_best < self._dmin:
+                self._dmin = d_best
+                self._ts = int(self._starts[j])
+                self._te = self._tick
+            if d_best < self._best[0]:
+                self._best = (d_best, int(self._starts[j]), self._tick)
+        return report
+
+    def _reset_after_report(self) -> None:
+        self._dmin = np.inf
+        # Mirror SPRING's cell-level reset: a cell whose *best* path
+        # starts inside the reported group is invalidated for every
+        # matrix, because Lemma 2 counts all paths through such a cell as
+        # members of the reported group (they are dominated by it and can
+        # never become a later group's optimum).
+        if self._live:
+            col_start = self._starts[self._column_argmin_latest()]
+            self._buffer[col_start <= self._te, : self._live] = np.inf

@@ -1,0 +1,114 @@
+"""The Super-Naive baseline (Section 3.1.3).
+
+"The most straightforward (and slowest) solution": on every tick,
+recompute full DTW between the query and *every* subsequence ending at
+the new tick (O(n^2 m) per tick in the paper's framing when done for all
+pairs; here we recompute the O(n) subsequences ending now, each from
+scratch, which already makes the per-tick cost O(n^2 m) in aggregate
+terms and is hopeless beyond toy sizes).  It exists purely as a
+ground-truth oracle for tiny inputs and as the lower anchor of the
+performance benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.matches import Match
+from repro.dtw.distance import dtw_distance
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import NotFittedError
+
+__all__ = ["SuperNaiveMatcher"]
+
+
+class SuperNaiveMatcher:
+    """Recompute-everything subsequence matcher (oracle for tiny inputs).
+
+    Keeps the whole stream history (already disqualifying for streams)
+    and, per tick, runs a fresh DTW for every possible start.  ``step``
+    returns nothing — disjoint-query semantics are resolved *offline* by
+    :meth:`finalize`, which enumerates qualifying subsequences and picks
+    the minimum of each overlap group.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        local_distance: Union[str, LocalDistance, None] = None,
+    ) -> None:
+        self._query = as_scalar_sequence(query, "query")
+        self.epsilon = check_threshold(epsilon)
+        self._local_distance = local_distance
+        self._history: List[float] = []
+        self._ending_best: List[tuple] = []  # per tick: (distance, start)
+
+    @property
+    def tick(self) -> int:
+        """Number of stream values consumed."""
+        return len(self._history)
+
+    def step(self, value: float) -> None:
+        """Consume one value, recomputing every subsequence ending here."""
+        self._history.append(float(value))
+        x = np.asarray(self._history, dtype=np.float64)
+        te = x.shape[0] - 1
+        best = (np.inf, -1)
+        for ts in range(te + 1):
+            d = dtw_distance(
+                x[ts : te + 1], self._query, self._local_distance
+            )
+            if d < best[0]:
+                best = (d, ts)
+        self._ending_best.append(best)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Consume many values."""
+        for value in values:
+            self.step(value)
+
+    @property
+    def best_match(self) -> Match:
+        """Best subsequence over the whole history (Problem 1)."""
+        if not self._ending_best:
+            raise NotFittedError("feed stream values first")
+        end = int(np.argmin([d for d, _ in self._ending_best]))
+        distance, start = self._ending_best[end]
+        if not np.isfinite(distance):
+            raise NotFittedError("no finite-distance subsequence yet")
+        return Match(start=start + 1, end=end + 1, distance=float(distance))
+
+    def finalize(self) -> List[Match]:
+        """Disjoint-query answer over the consumed stream.
+
+        Enumerates the per-end minimal qualifying subsequences, groups
+        overlapping ones transitively, and reports each group's minimum —
+        the semantics Problem 2 asks for, computed with total hindsight.
+        """
+        qualifying = [
+            (d, s + 1, t + 1)
+            for t, (d, s) in enumerate(self._ending_best)
+            if d <= self.epsilon
+        ]
+        if not qualifying:
+            return []
+        qualifying.sort(key=lambda item: item[2])  # by end tick
+        groups: List[List[tuple]] = [[qualifying[0]]]
+        reach = qualifying[0][2]
+        for item in qualifying[1:]:
+            _, start, end = item
+            if start <= reach:  # overlaps the group's running extent
+                groups[-1].append(item)
+                reach = max(reach, end)
+            else:
+                groups.append([item])
+                reach = end
+        matches = []
+        for group in groups:
+            distance, start, end = min(group)
+            matches.append(Match(start=start, end=end, distance=float(distance)))
+        return matches

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    List available experiment drivers.
+``fig1 / fig6 / table2 / fig7 / fig8 / fig9``
+    Reproduce one of the paper's figures or tables (``--scale`` shrinks
+    the workload, ``--seed`` varies the data).
+``ablations / multistream / robustness / ecg``
+    Beyond-paper studies (design ablations, multi-stream scaling,
+    noise x stretch robustness, the ECG case study).
+``all``
+    Run every experiment in sequence (the EXPERIMENTS.md refresh).
+``generate``
+    Write a named dataset to CSV (stream / query / ground truth).
+``monitor``
+    Stream a CSV column through SPRING with a query from another CSV,
+    printing matches as they are confirmed — the library as a tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.spring import Spring
+from repro.eval.harness import get_experiment, list_experiments
+from repro.streams.source import CsvSource
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-spring argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spring",
+        description="SPRING (ICDE 2007) reproduction: experiments and monitoring",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment drivers")
+
+    for name in (
+        "fig1",
+        "fig6",
+        "table2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "ablations",
+        "multistream",
+        "robustness",
+        "ecg",
+        "all",
+    ):
+        p = sub.add_parser(name, help=f"run {name}")
+        p.add_argument("--scale", type=float, default=None,
+                       help="workload scale (1.0 = paper scale)")
+        p.add_argument("--seed", type=int, default=0, help="data seed")
+        if name in ("fig6", "table2"):
+            p.add_argument("--dataset", default=None,
+                           help="restrict to one dataset (chirp/temperature/kursk/sunspots)")
+
+    gen = sub.add_parser(
+        "generate", help="write a dataset to CSV (stream/query/truth)"
+    )
+    gen.add_argument("dataset", help="dataset name (see 'experiments')")
+    gen.add_argument("directory", help="output directory")
+    gen.add_argument("--seed", type=int, default=0, help="data seed")
+
+    mon = sub.add_parser("monitor", help="monitor a CSV stream for a query")
+    mon.add_argument("stream_csv", help="CSV with the stream values")
+    mon.add_argument("query_csv", help="CSV with the query values")
+    mon.add_argument("--epsilon", type=float, required=True,
+                     help="disjoint-query distance threshold")
+    mon.add_argument("--column", type=int, default=0,
+                     help="stream value column (0-based)")
+    mon.add_argument("--query-column", type=int, default=0,
+                     help="query value column (0-based)")
+    mon.add_argument("--no-header", action="store_true",
+                     help="CSV files have no header row")
+    return parser
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if getattr(args, "dataset", None):
+        kwargs["dataset"] = args.dataset
+    result = get_experiment(name)(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    status = 0
+    for name in list_experiments():
+        print(f"=== {name} ===")
+        scale = args.scale
+        if name in ("fig7", "fig8"):
+            # The performance sweeps pay Naive's O(n^2 * m) total cost;
+            # cap their scale so `all` stays minutes, not hours.  Run
+            # them directly to go bigger.
+            scale = min(scale, 0.01) if scale is not None else 0.01
+        exp_args = argparse.Namespace(scale=scale, seed=args.seed, dataset=None)
+        status |= _run_experiment(name, exp_args)
+        print()
+    return status
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import build, export_csv
+
+    data = build(args.dataset, seed=args.seed)
+    paths = export_csv(data, args.directory)
+    print(
+        f"{data.name}: n={data.n}, m={data.m}, "
+        f"{len(data.occurrences)} ground-truth occurrences, "
+        f"suggested epsilon {data.suggested_epsilon:.6g}"
+    )
+    for kind, path in paths.items():
+        print(f"  {kind}: {path}")
+    return 0
+
+
+def _run_monitor(args: argparse.Namespace) -> int:
+    query = np.asarray(
+        list(CsvSource(args.query_csv, columns=args.query_column,
+                       skip_header=not args.no_header)),
+        dtype=np.float64,
+    )
+    query = query[~np.isnan(query)]
+    spring = Spring(query, epsilon=args.epsilon)
+    source = CsvSource(args.stream_csv, columns=args.column,
+                       skip_header=not args.no_header)
+    count = 0
+    for value in source:
+        match = spring.step(value)
+        if match is not None:
+            count += 1
+            print(
+                f"match #{count}: ticks {match.start}..{match.end} "
+                f"distance {match.distance:.6g} (reported at tick "
+                f"{match.output_time})"
+            )
+    final = spring.flush()
+    if final is not None:
+        count += 1
+        print(
+            f"match #{count} (at end of stream): ticks "
+            f"{final.start}..{final.end} distance {final.distance:.6g}"
+        )
+    print(f"{spring.tick} ticks processed, {count} matches")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    # Ensure all experiments are registered before dispatch.
+    import repro.eval.experiments  # noqa: F401
+
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        for name in list_experiments():
+            print(name)
+        return 0
+    if args.command == "monitor":
+        return _run_monitor(args)
+    if args.command == "generate":
+        return _run_generate(args)
+    if args.command == "all":
+        return _run_all(args)
+    if args.scale is None and args.command in ("fig7", "fig8"):
+        args.scale = 0.01  # full scale sweeps n to 1e6; pick a sane default
+    return _run_experiment(args.command, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's contribution: SPRING and its variants.
+
+* :class:`~repro.core.spring.Spring` — streaming disjoint/best-match
+  queries on scalar streams (Figure 4).
+* :class:`~repro.core.vector.VectorSpring` — k-dimensional streams
+  (Section 5.3).
+* :class:`~repro.core.constrained.ConstrainedSpring` — length-band
+  extension.
+* :class:`~repro.core.normalization.NormalizedSpring` — streaming z-norm
+  wrapper.
+* :class:`~repro.core.monitor.StreamMonitor` — many queries x many
+  streams.
+* :func:`~repro.core.batch.spring_search` and friends — one-call offline
+  use.
+"""
+
+from repro.core.batch import spring_best_match, spring_search, spring_search_vector
+from repro.core.cascade import CascadeSpring
+from repro.core.checkpoint import (
+    dump_json,
+    load_json,
+    load_monitor,
+    load_state,
+    save_monitor,
+    save_state,
+)
+from repro.core.constrained import ConstrainedSpring
+from repro.core.matches import Match, merge_report, overlaps
+from repro.core.monitor import MatchEvent, StreamMonitor
+from repro.core.normalization import NormalizedSpring
+from repro.core.spring import Spring
+from repro.core.state import SpringState, update_column, update_column_reference
+from repro.core.topk import TopKSpring
+from repro.core.vector import VectorSpring
+
+__all__ = [
+    "CascadeSpring",
+    "TopKSpring",
+    "dump_json",
+    "load_json",
+    "load_monitor",
+    "load_state",
+    "save_monitor",
+    "save_state",
+    "Match",
+    "MatchEvent",
+    "Spring",
+    "SpringState",
+    "StreamMonitor",
+    "VectorSpring",
+    "ConstrainedSpring",
+    "NormalizedSpring",
+    "merge_report",
+    "overlaps",
+    "spring_best_match",
+    "spring_search",
+    "spring_search_vector",
+    "update_column",
+    "update_column_reference",
+]

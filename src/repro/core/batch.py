@@ -1,0 +1,99 @@
+"""Batch convenience API: run SPRING over stored arrays in one call.
+
+The paper notes SPRING "can obviously be applied to stored sequence sets,
+too".  These helpers wrap the streaming classes for that use, always
+flushing the final pending candidate so finite inputs report every group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.matches import Match
+from repro.core.spring import Spring
+from repro.core.vector import VectorSpring
+from repro.dtw.steps import LocalDistance
+
+__all__ = ["spring_search", "spring_best_match", "spring_search_vector"]
+
+
+def spring_search(
+    stream: object,
+    query: object,
+    epsilon: float,
+    local_distance: Union[str, LocalDistance, None] = None,
+    record_path: bool = False,
+) -> List[Match]:
+    """All disjoint-query matches of ``query`` in a stored scalar sequence.
+
+    Equivalent to feeding ``stream`` tick-by-tick into a
+    :class:`~repro.core.spring.Spring` and flushing at the end.
+
+    Parameters
+    ----------
+    stream:
+        The stored data sequence (1-D array-like).
+    query:
+        The query sequence Y.
+    epsilon:
+        Disjoint-query distance threshold.
+    record_path:
+        Attach warping paths to the returned matches.
+
+    Returns
+    -------
+    list of Match
+        Matches in report order (ascending output time).
+    """
+    spring = Spring(
+        query,
+        epsilon=epsilon,
+        local_distance=local_distance,
+        record_path=record_path,
+    )
+    matches = spring.extend(np.asarray(stream, dtype=np.float64))
+    final = spring.flush()
+    if final is not None:
+        matches.append(final)
+    return matches
+
+
+def spring_best_match(
+    stream: object,
+    query: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+    record_path: bool = False,
+) -> Match:
+    """Best-match query (Problem 1) over a stored scalar sequence."""
+    spring = Spring(
+        query,
+        epsilon=np.inf,
+        local_distance=local_distance,
+        record_path=record_path,
+    )
+    spring.extend(np.asarray(stream, dtype=np.float64))
+    return spring.best_match
+
+
+def spring_search_vector(
+    stream: object,
+    query: object,
+    epsilon: float,
+    local_distance: Union[str, LocalDistance, None] = None,
+    report_range: bool = False,
+) -> List[Match]:
+    """All disjoint-query matches in a stored vector sequence ``(n, k)``."""
+    spring = VectorSpring(
+        query,
+        epsilon=epsilon,
+        local_distance=local_distance,
+        report_range=report_range,
+    )
+    stream_array = np.asarray(stream, dtype=np.float64)
+    matches = spring.extend(stream_array)
+    final = spring.flush()
+    if final is not None:
+        matches.append(final)
+    return matches

@@ -1,0 +1,244 @@
+"""Checkpoint / restore for long-running matchers.
+
+A production stream monitor runs for weeks; process restarts must not
+lose the O(m) matcher state (or force a re-scan of unbounded history —
+the thing SPRING exists to avoid).  These helpers serialise a
+:class:`~repro.core.spring.Spring` (or subclass) to a plain-Python dict
+— JSON-safe except for infinities, which are encoded explicitly — and
+restore it so the match stream continues exactly where it stopped.
+
+The contract is exactness: feeding values ``v1..vk, checkpoint,
+restore, vk+1..vn`` produces the same matches (positions, distances,
+output times) as an uninterrupted run.  Property-tested in
+``tests/core/test_checkpoint.py``.
+
+Path-recording matchers are serialisable too: live warping-path chains
+are materialised into lists and rebuilt on load (structural sharing is
+re-established lazily as new nodes link to the restored chains).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.constrained import ConstrainedSpring
+from repro.core.spring import Spring
+from repro.core.vector import VectorSpring
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "save_state",
+    "load_state",
+    "dump_json",
+    "load_json",
+    "save_monitor",
+    "load_monitor",
+]
+
+_FORMAT_VERSION = 1
+
+_CLASSES = {
+    "Spring": Spring,
+    "VectorSpring": VectorSpring,
+    "ConstrainedSpring": ConstrainedSpring,
+}
+
+
+def _encode_floats(values: np.ndarray) -> List[object]:
+    """Floats to a JSON-safe list ('inf' strings for infinities)."""
+    return [("inf" if np.isinf(v) else float(v)) for v in values]
+
+
+def _decode_floats(values: List[object]) -> np.ndarray:
+    return np.array(
+        [np.inf if v == "inf" else float(v) for v in values],
+        dtype=np.float64,
+    )
+
+
+def _encode_node(node) -> Optional[List[List[int]]]:
+    """Materialise a linked path node chain into a list of [tick, i]."""
+    if node is None:
+        return None
+    cells = []
+    while node is not None:
+        cells.append([int(node[0]), int(node[1])])
+        node = node[2]
+    cells.reverse()
+    return cells
+
+
+def _decode_node(cells: Optional[List[List[int]]]):
+    if cells is None:
+        return None
+    node = None
+    for tick, i in cells:
+        node = (tick, i, node)
+    return node
+
+
+def save_state(spring: Spring) -> Dict[str, object]:
+    """Serialise a matcher to a plain dict (see module docstring)."""
+    if type(spring).__name__ not in _CLASSES:
+        raise ValidationError(
+            f"cannot checkpoint {type(spring).__name__}; "
+            f"supported: {sorted(_CLASSES)}"
+        )
+    state: Dict[str, object] = {
+        "format_version": _FORMAT_VERSION,
+        "class": type(spring).__name__,
+        "query": spring._query.tolist(),
+        "epsilon": "inf" if np.isinf(spring.epsilon) else float(spring.epsilon),
+        "record_path": spring.record_path,
+        "missing": spring.missing,
+        "use_reference": spring.use_reference,
+        "tick": spring._tick,
+        "d": _encode_floats(spring._state.d),
+        "s": spring._state.s.tolist(),
+        "dmin": "inf" if np.isinf(spring._dmin) else float(spring._dmin),
+        "ts": spring._ts,
+        "te": spring._te,
+        "best_distance": (
+            "inf"
+            if np.isinf(spring._best_distance)
+            else float(spring._best_distance)
+        ),
+        "best_start": spring._best_start,
+        "best_end": spring._best_end,
+    }
+    if spring.record_path:
+        state["nodes"] = [_encode_node(n) for n in spring._nodes]
+        state["pending_path"] = _encode_node(spring._pending_path)
+        state["best_path"] = _encode_node(spring._best_path)
+    if isinstance(spring, ConstrainedSpring):
+        state["max_stretch"] = spring.max_stretch
+    if isinstance(spring, VectorSpring):
+        state["report_range"] = spring.report_range
+        state["group_start"] = spring._group_start
+        state["group_end"] = spring._group_end
+    return state
+
+
+def load_state(state: Dict[str, object]) -> Spring:
+    """Rebuild a matcher from :func:`save_state` output."""
+    if state.get("format_version") != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported checkpoint version {state.get('format_version')!r}"
+        )
+    class_name = state["class"]
+    try:
+        cls = _CLASSES[class_name]  # type: ignore[index]
+    except KeyError:
+        raise ValidationError(f"unknown matcher class {class_name!r}") from None
+
+    query = np.asarray(state["query"], dtype=np.float64)
+    if not issubclass(cls, VectorSpring):
+        query = query.reshape(-1)  # scalar matchers validate 1-D queries
+    epsilon = np.inf if state["epsilon"] == "inf" else float(state["epsilon"])  # type: ignore[arg-type]
+    kwargs = dict(
+        epsilon=epsilon,
+        record_path=bool(state["record_path"]),
+        missing=str(state["missing"]),
+        use_reference=bool(state["use_reference"]),
+    )
+    if cls is ConstrainedSpring:
+        kwargs["max_stretch"] = float(state["max_stretch"])  # type: ignore[arg-type]
+    if cls is VectorSpring:
+        kwargs["report_range"] = bool(state.get("report_range", False))
+    spring = cls(query, **kwargs)
+
+    spring._tick = int(state["tick"])  # type: ignore[arg-type]
+    spring._state.d = _decode_floats(state["d"])  # type: ignore[arg-type]
+    spring._state.s = np.asarray(state["s"], dtype=np.int64)
+    spring._dmin = np.inf if state["dmin"] == "inf" else float(state["dmin"])  # type: ignore[arg-type]
+    spring._ts = int(state["ts"])  # type: ignore[arg-type]
+    spring._te = int(state["te"])  # type: ignore[arg-type]
+    spring._best_distance = (
+        np.inf
+        if state["best_distance"] == "inf"
+        else float(state["best_distance"])  # type: ignore[arg-type]
+    )
+    spring._best_start = int(state["best_start"])  # type: ignore[arg-type]
+    spring._best_end = int(state["best_end"])  # type: ignore[arg-type]
+    if spring.record_path:
+        spring._nodes = [_decode_node(n) for n in state["nodes"]]  # type: ignore[union-attr]
+        spring._pending_path = _decode_node(state["pending_path"])  # type: ignore[arg-type]
+        spring._best_path = _decode_node(state["best_path"])  # type: ignore[arg-type]
+    if isinstance(spring, VectorSpring):
+        spring._group_start = state.get("group_start")  # type: ignore[assignment]
+        spring._group_end = state.get("group_end")  # type: ignore[assignment]
+    return spring
+
+
+def dump_json(spring: Spring) -> str:
+    """Checkpoint to a JSON string."""
+    return json.dumps(save_state(spring))
+
+
+def load_json(payload: str) -> Spring:
+    """Restore from :func:`dump_json` output."""
+    return load_state(json.loads(payload))
+
+
+def save_monitor(monitor) -> Dict[str, object]:
+    """Serialise a whole :class:`~repro.core.monitor.StreamMonitor`.
+
+    Captures every per-(stream, query) matcher's exact state plus the
+    query registrations, so a restarted process resumes all monitoring
+    mid-group.  Callbacks and history are process-local and not saved.
+    """
+    from repro.core.monitor import StreamMonitor
+
+    if not isinstance(monitor, StreamMonitor):
+        raise ValidationError(
+            f"save_monitor expects a StreamMonitor, got {type(monitor).__name__}"
+        )
+    queries = {}
+    for name, spec in monitor._queries.items():
+        queries[name] = {
+            "query": spec.query.tolist(),
+            "epsilon": "inf" if np.isinf(spec.epsilon) else spec.epsilon,
+            "vector": spec.vector,
+            "kwargs": {
+                k: v for k, v in spec.kwargs.items() if k != "local_distance"
+            },
+        }
+    matchers = {
+        stream: {
+            query: save_state(spring) for query, spring in per_stream.items()
+        }
+        for stream, per_stream in monitor._matchers.items()
+    }
+    return {
+        "format_version": _FORMAT_VERSION,
+        "queries": queries,
+        "matchers": matchers,
+    }
+
+
+def load_monitor(state: Dict[str, object]):
+    """Rebuild a monitor from :func:`save_monitor` output."""
+    from repro.core.monitor import StreamMonitor
+
+    if state.get("format_version") != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported checkpoint version {state.get('format_version')!r}"
+        )
+    monitor = StreamMonitor()
+    for name, spec in state["queries"].items():  # type: ignore[union-attr]
+        epsilon = np.inf if spec["epsilon"] == "inf" else float(spec["epsilon"])
+        monitor.add_query(
+            name,
+            spec["query"],
+            epsilon=epsilon,
+            vector=bool(spec["vector"]),
+            **spec.get("kwargs", {}),
+        )
+    for stream, per_stream in state["matchers"].items():  # type: ignore[union-attr]
+        monitor.add_stream(stream)
+        for query_name, matcher_state in per_stream.items():
+            monitor._matchers[stream][query_name] = load_state(matcher_state)
+    return monitor

@@ -1,0 +1,105 @@
+"""Band-constrained streaming SPRING (extension).
+
+Global constraints (Section 2.1's Sakoe–Chiba band) limit how far a
+warping path may deviate from the diagonal.  In the streaming subsequence
+setting the natural analogue bounds *how long* a match may stretch: each
+cell additionally carries the length of the subsequence it summarises,
+and cells whose alignment would exceed ``max_stretch * m`` (or undercut
+``m / max_stretch``) stop qualifying.
+
+Two effects, exercised by the ablation benchmark:
+
+* precision — pathological matches that warp a short query over a huge
+  stream window are rejected;
+* no extra asymptotic cost — the state stays O(m).
+
+This class enforces the stretch bound *at qualification time* (a match is
+only accepted when its length is within the band).  That keeps the
+recurrence untouched — exactly the paper's — so all accuracy lemmas still
+apply to the subsequences that qualify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.core.matches import Match
+from repro.core.spring import Spring
+from repro.dtw.steps import LocalDistance
+
+__all__ = ["ConstrainedSpring"]
+
+
+class ConstrainedSpring(Spring):
+    """SPRING that only reports matches whose length is near the query's.
+
+    Parameters
+    ----------
+    max_stretch:
+        Admissible length band: a match of length L qualifies only when
+        ``m / max_stretch <= L <= m * max_stretch``.  ``max_stretch = 1``
+        demands exact-length matches (Euclidean-style); larger values
+        approach unconstrained SPRING.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        max_stretch: float = 2.0,
+        local_distance: Union[str, LocalDistance, None] = None,
+        record_path: bool = False,
+        missing: str = "skip",
+        use_reference: bool = False,
+    ) -> None:
+        self.max_stretch = check_positive(max_stretch, "max_stretch")
+        if self.max_stretch < 1.0:
+            raise ValueError(
+                f"max_stretch must be >= 1, got {self.max_stretch}"
+            )
+        super().__init__(
+            query,
+            epsilon=epsilon,
+            local_distance=local_distance,
+            record_path=record_path,
+            missing=missing,
+            use_reference=use_reference,
+        )
+
+    def _length_admissible(self, start: int, end: int) -> bool:
+        length = end - start + 1
+        m = self.m
+        return m / self.max_stretch <= length <= m * self.max_stretch
+
+    def _report_logic(self) -> Optional[Match]:
+        d = self._state.d
+        s = self._state.s
+        report: Optional[Match] = None
+
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            blocked = (d[1:] >= self._dmin) | (s[1:] > self._te)
+            if bool(np.all(blocked)):
+                report = self._emit()
+                self._reset_after_report()
+
+        d_m = float(d[-1])
+        s_m = int(s[-1])
+        if (
+            d_m <= self.epsilon
+            and d_m < self._dmin
+            and self._length_admissible(s_m, self._tick)
+        ):
+            self._dmin = d_m
+            self._ts = s_m
+            self._te = self._tick
+            self._pending_path = self._nodes[-1] if self.record_path else None
+
+        if d_m < self._best_distance and self._length_admissible(s_m, self._tick):
+            self._best_distance = d_m
+            self._best_start = s_m
+            self._best_end = self._tick
+            self._best_path = self._nodes[-1] if self.record_path else None
+        return report

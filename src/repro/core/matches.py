@@ -1,0 +1,114 @@
+"""Match records produced by SPRING and the baselines.
+
+Positions follow the paper's 1-based, inclusive convention: the example of
+Figure 5 reports ``X[2:5]`` meaning ticks 2, 3, 4, 5.  Helper properties
+expose 0-based Python slices for users indexing numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Match", "overlaps", "merge_report"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One qualifying subsequence ``X[start:end]`` (1-based, inclusive).
+
+    Attributes
+    ----------
+    start:
+        First stream tick of the subsequence (``t_s``), 1-based.
+    end:
+        Last stream tick of the subsequence (``t_e``), 1-based.
+    distance:
+        DTW distance between the subsequence and the query.
+    output_time:
+        Tick at which the algorithm *reported* the match.  For SPRING this
+        is the earliest tick at which the holding condition (Equation 9)
+        confirmed the match could no longer be displaced; Table 2 shows it
+        is close to, but later than, ``end``.  ``None`` when the producer
+        does not report online (e.g. offline batch search).
+    path:
+        Optional warping path as 1-based ``(tick, query_index)`` pairs, in
+        forward order — present when path recording is enabled (the
+        ``SPRING(path)`` variant of Figure 8).
+    group_start, group_end:
+        Optional extent of the whole group of overlapping qualifying
+        subsequences the match was optimal in — the "range" reporting mode
+        Section 5.3 uses for motion capture.
+    """
+
+    start: int
+    end: int
+    distance: float
+    output_time: Optional[int] = None
+    path: Optional[Tuple[Tuple[int, int], ...]] = None
+    group_start: Optional[int] = None
+    group_end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ValueError(f"start must be >= 1, got {self.start}")
+        if self.end < self.start:
+            raise ValueError(
+                f"end ({self.end}) must be >= start ({self.start})"
+            )
+        if self.output_time is not None and self.output_time < self.end:
+            raise ValueError(
+                f"output_time ({self.output_time}) precedes end ({self.end})"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of stream ticks the match spans."""
+        return self.end - self.start + 1
+
+    @property
+    def slice(self) -> slice:
+        """0-based Python slice selecting the match from a stream array."""
+        return slice(self.start - 1, self.end)
+
+    @property
+    def report_delay(self) -> Optional[int]:
+        """Ticks between the match ending and SPRING confirming it."""
+        if self.output_time is None:
+            return None
+        return self.output_time - self.end
+
+    def overlaps(self, other: "Match") -> bool:
+        """Whether the two matches share at least one stream tick."""
+        return overlaps((self.start, self.end), (other.start, other.end))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"X[{self.start}:{self.end}]",
+            f"len={self.length}",
+            f"dist={self.distance:.6g}",
+        ]
+        if self.output_time is not None:
+            parts.append(f"reported@{self.output_time}")
+        return "Match(" + ", ".join(parts) + ")"
+
+
+def overlaps(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    """Closed-interval overlap test for (start, end) pairs."""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def merge_report(matches: List[Match]) -> List[Match]:
+    """Order matches by start tick and drop exact duplicates.
+
+    Producers already emit matches in output order; this helper canonises
+    lists gathered from multiple producers (e.g. a multi-stream monitor).
+    """
+    seen = set()
+    unique = []
+    for match in sorted(matches, key=lambda m: (m.start, m.end, m.distance)):
+        key = (match.start, match.end, round(match.distance, 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(match)
+    return unique

@@ -1,0 +1,205 @@
+"""Multi-query, multi-stream monitoring.
+
+The paper's problem statement is "efficiently monitoring multiple
+numerical streams".  :class:`StreamMonitor` manages a matrix of
+(stream x query) :class:`~repro.core.spring.Spring` matchers: register
+streams and queries, push values as they arrive, and receive
+:class:`MatchEvent` records.  Total per-tick work is O(sum of query
+lengths) per stream — each matcher stays O(m) per Lemma 4, and matchers
+are independent.
+
+Callbacks make it usable as a push-based alerting component: subscribe a
+callable and it fires on every confirmed match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.matches import Match
+from repro.core.spring import Spring
+from repro.core.vector import VectorSpring
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import ValidationError
+
+__all__ = ["MatchEvent", "StreamMonitor"]
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A confirmed match, tagged with which stream/query produced it."""
+
+    stream: str
+    query: str
+    match: Match
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.stream} ~ {self.query}] {self.match}"
+
+
+@dataclass
+class _QuerySpec:
+    """Registered query: the template every per-stream matcher is built from."""
+
+    name: str
+    query: np.ndarray
+    epsilon: float
+    vector: bool
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self) -> Spring:
+        cls = VectorSpring if self.vector else Spring
+        return cls(self.query, epsilon=self.epsilon, **self.kwargs)
+
+
+class StreamMonitor:
+    """Monitor many streams for many queries simultaneously.
+
+    Example
+    -------
+    >>> monitor = StreamMonitor()
+    >>> monitor.add_stream("sensor-1")
+    >>> monitor.add_query("spike", [0, 5, 0], epsilon=2.0)
+    >>> events = monitor.push("sensor-1", 0.1)
+    """
+
+    def __init__(self) -> None:
+        self._queries: Dict[str, _QuerySpec] = {}
+        self._matchers: Dict[str, Dict[str, Spring]] = {}
+        self._callbacks: List[Callable[[MatchEvent], None]] = []
+        self._history: List[MatchEvent] = []
+        self.keep_history = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    @property
+    def streams(self) -> List[str]:
+        """Registered stream names."""
+        return list(self._matchers)
+
+    @property
+    def queries(self) -> List[str]:
+        """Registered query names."""
+        return list(self._queries)
+
+    @property
+    def history(self) -> List[MatchEvent]:
+        """Every event emitted so far (when ``keep_history`` is True)."""
+        return list(self._history)
+
+    def add_stream(self, name: str) -> None:
+        """Register a stream; existing queries attach to it immediately."""
+        if name in self._matchers:
+            raise ValidationError(f"stream {name!r} already registered")
+        self._matchers[name] = {
+            query_name: spec.build() for query_name, spec in self._queries.items()
+        }
+
+    def add_query(
+        self,
+        name: str,
+        query: object,
+        epsilon: float,
+        vector: bool = False,
+        local_distance: Union[str, LocalDistance, None] = None,
+        **spring_kwargs: object,
+    ) -> None:
+        """Register a query; it attaches to every current and future stream.
+
+        Extra keyword arguments are forwarded to the underlying
+        :class:`Spring` / :class:`VectorSpring` constructor.
+        """
+        if name in self._queries:
+            raise ValidationError(f"query {name!r} already registered")
+        query_array = np.asarray(query, dtype=np.float64)
+        kwargs = dict(spring_kwargs)
+        kwargs["local_distance"] = local_distance
+        spec = _QuerySpec(
+            name=name,
+            query=query_array,
+            epsilon=float(epsilon),
+            vector=vector,
+            kwargs=kwargs,
+        )
+        spec.build()  # validate eagerly so errors surface at registration
+        self._queries[name] = spec
+        for matchers in self._matchers.values():
+            matchers[name] = spec.build()
+
+    def remove_query(self, name: str) -> None:
+        """Detach a query from every stream."""
+        if name not in self._queries:
+            raise ValidationError(f"query {name!r} is not registered")
+        del self._queries[name]
+        for matchers in self._matchers.values():
+            matchers.pop(name, None)
+
+    def subscribe(self, callback: Callable[[MatchEvent], None]) -> None:
+        """Invoke ``callback`` on every future match event."""
+        self._callbacks.append(callback)
+
+    def matcher(self, stream: str, query: str) -> Spring:
+        """Direct access to one underlying matcher (for inspection)."""
+        try:
+            return self._matchers[stream][query]
+        except KeyError:
+            raise ValidationError(
+                f"no matcher for stream {stream!r} / query {query!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def push(self, stream: str, value: object) -> List[MatchEvent]:
+        """Feed one value into one stream; return events it confirmed."""
+        try:
+            matchers = self._matchers[stream]
+        except KeyError:
+            raise ValidationError(f"stream {stream!r} is not registered") from None
+        events = []
+        for query_name, spring in matchers.items():
+            match = spring.step(value)
+            if match is not None:
+                events.append(MatchEvent(stream=stream, query=query_name, match=match))
+        self._dispatch(events)
+        return events
+
+    def push_many(self, stream: str, values: Iterable[object]) -> List[MatchEvent]:
+        """Feed a batch of values into one stream."""
+        events: List[MatchEvent] = []
+        for value in values:
+            events.extend(self.push(stream, value))
+        return events
+
+    def push_tick(self, values: Mapping[str, object]) -> List[MatchEvent]:
+        """Feed one synchronous tick across several streams."""
+        events: List[MatchEvent] = []
+        for stream, value in values.items():
+            events.extend(self.push(stream, value))
+        return events
+
+    def flush(self) -> List[MatchEvent]:
+        """Flush every matcher (end-of-stream); return pending events."""
+        events = []
+        for stream, matchers in self._matchers.items():
+            for query_name, spring in matchers.items():
+                match = spring.flush()
+                if match is not None:
+                    events.append(
+                        MatchEvent(stream=stream, query=query_name, match=match)
+                    )
+        self._dispatch(events)
+        return events
+
+    def _dispatch(self, events: Sequence[MatchEvent]) -> None:
+        if self.keep_history:
+            self._history.extend(events)
+        for event in events:
+            for callback in self._callbacks:
+                callback(event)

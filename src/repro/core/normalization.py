@@ -1,0 +1,131 @@
+"""Streaming normalisation wrappers.
+
+DTW compares raw amplitudes; when the stream's level or scale drifts
+(e.g. a sensor with baseline wander), it is common to z-normalise before
+matching.  In a streaming setting the true mean/variance are unknown, so
+:class:`NormalizedSpring` maintains running estimates — either over the
+whole history (Welford) or over an exponentially-weighted window — and
+feeds the normalised value to an inner SPRING.  The query is normalised
+once with its own statistics.
+
+This is an extension beyond the paper (which matches raw values); it is
+exercised by the ablation benchmarks to show when normalisation helps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_positive
+from repro.core.matches import Match
+from repro.core.spring import Spring
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import ValidationError
+from repro.streams.stats import EwmStats, RunningStats
+
+__all__ = ["NormalizedSpring"]
+
+
+class NormalizedSpring:
+    """SPRING over a z-normalised view of the stream.
+
+    Parameters
+    ----------
+    query:
+        Raw query sequence; it is z-normalised with its own mean/std.
+    epsilon:
+        Disjoint threshold *in normalised units*.
+    mode:
+        ``"global"`` — running mean/std over the whole stream history;
+        ``"ewm"`` — exponentially weighted, adapting to drift.
+    halflife:
+        For ``"ewm"``: ticks for a sample's weight to halve.
+    warmup:
+        Ticks to consume before matching starts (std estimates from a
+        couple of samples are meaningless); state advances, but no
+        normalised values are forwarded until the warm-up has passed.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        mode: str = "global",
+        halflife: float = 500.0,
+        warmup: int = 10,
+        local_distance: Union[str, LocalDistance, None] = None,
+    ) -> None:
+        raw = as_scalar_sequence(query, "query")
+        std = float(raw.std())
+        if std == 0.0:
+            raise ValidationError("query is constant; cannot z-normalise")
+        self._normalized_query = (raw - raw.mean()) / std
+        if mode not in ("global", "ewm"):
+            raise ValidationError(f"mode must be 'global' or 'ewm', got {mode!r}")
+        self.mode = mode
+        self.warmup = max(int(warmup), 2)
+        if mode == "ewm":
+            check_positive(halflife, "halflife")
+            self._stats: object = EwmStats(halflife=halflife)
+        else:
+            self._stats = RunningStats()
+        self._spring = Spring(
+            self._normalized_query, epsilon=epsilon, local_distance=local_distance
+        )
+        self._raw_tick = 0
+
+    @property
+    def tick(self) -> int:
+        """Raw stream ticks consumed (including warm-up)."""
+        return self._raw_tick
+
+    @property
+    def spring(self) -> Spring:
+        """The inner matcher (matches use *its* tick numbering, which is
+        offset by the warm-up: inner tick = raw tick - warmup)."""
+        return self._spring
+
+    def step(self, value: float) -> Optional[Match]:
+        """Consume one raw value; return a match in raw-tick coordinates."""
+        self._raw_tick += 1
+        value = float(value)
+        if np.isnan(value):
+            if self._raw_tick > self.warmup:
+                return self._offset(self._spring.step(np.nan))
+            return None
+        self._stats.push(value)
+        if self._raw_tick <= self.warmup:
+            return None
+        std = self._stats.std
+        if std == 0.0:
+            std = 1.0  # constant history: center only
+        normalised = (value - self._stats.mean) / std
+        return self._offset(self._spring.step(normalised))
+
+    def extend(self, values: Iterable[float]) -> List[Match]:
+        """Consume many raw values; return matches confirmed on the way."""
+        matches = []
+        for value in values:
+            match = self.step(value)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    def flush(self) -> Optional[Match]:
+        """Report a pending match at end-of-stream."""
+        return self._offset(self._spring.flush())
+
+    def _offset(self, match: Optional[Match]) -> Optional[Match]:
+        if match is None:
+            return None
+        from dataclasses import replace
+
+        shift = self.warmup
+        return replace(
+            match,
+            start=match.start + shift,
+            end=match.end + shift,
+            output_time=None if match.output_time is None else match.output_time + shift,
+        )

@@ -1,0 +1,369 @@
+"""SPRING: streaming subsequence matching under DTW (the paper's Figure 4).
+
+One :class:`Spring` instance monitors one stream for one query.  Feed it
+values with :meth:`Spring.step` (or :meth:`Spring.extend`); it returns a
+:class:`~repro.core.matches.Match` whenever the disjoint-query algorithm
+confirms a locally-optimal subsequence.  Per tick it does O(m) work and
+holds O(m) state (Lemma 4) — nothing grows with the stream.
+
+Two query modes coexist on the same state:
+
+* **Disjoint query** (Problem 2) — matches with distance <= ``epsilon``,
+  one report per group of overlapping qualifying subsequences, emitted as
+  soon as Equation 9 confirms the captured optimum cannot be displaced.
+* **Best-match query** (Problem 1) — :attr:`Spring.best_match` always
+  holds the best subsequence seen so far, regardless of ``epsilon``.
+
+Example
+-------
+>>> from repro import Spring
+>>> spring = Spring(query=[11, 6, 9, 4], epsilon=15)
+>>> for x in [5, 12, 6, 10, 6, 5, 13]:
+...     match = spring.step(x)
+...     if match:
+...         print(match.start, match.end, match.distance, match.output_time)
+2 5 6.0 7
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro._validation import (
+    as_scalar_sequence,
+    as_vector_sequence,
+    check_threshold,
+)
+from repro.core.matches import Match
+from repro.core.state import SpringState, update_column, update_column_reference
+from repro.dtw.steps import LocalDistance, resolve_vector_distance
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["Spring"]
+
+#: Linked path node: (tick, query_index, parent) — structural sharing keeps
+#: the memory of the SPRING(path) variant proportional to live paths.
+_PathNode = Tuple[int, int, Optional[tuple]]
+
+_MISSING_POLICIES = ("skip", "error")
+
+
+class Spring:
+    """Streaming DTW subsequence matcher for a scalar stream.
+
+    Parameters
+    ----------
+    query:
+        The fixed query sequence ``Y`` (1-D array-like, length m >= 1).
+    epsilon:
+        Distance threshold for disjoint queries.  ``inf`` (default) makes
+        every locally-optimal subsequence qualify; best-match tracking is
+        unaffected by this value.
+    local_distance:
+        ``"squared"`` (paper default), ``"absolute"``, or a callable; see
+        :mod:`repro.dtw.steps`.
+    record_path:
+        When True, run the ``SPRING(path)`` variant: every reported match
+        carries its full warping path.  Costs data-dependent extra memory
+        (Figure 8) and uses the reference per-tick loop.
+    missing:
+        Policy for NaN stream values: ``"skip"`` advances time without
+        updating state (the Temperature experiment's missing readings);
+        ``"error"`` raises.
+    use_reference:
+        Force the literal Equation (7)/(8) per-tick loop instead of the
+        vectorised scan.  Mainly for tests and tiny queries.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        local_distance: Union[str, LocalDistance, None] = None,
+        record_path: bool = False,
+        missing: str = "skip",
+        use_reference: bool = False,
+    ) -> None:
+        self._query = self._validate_query(query)
+        self.epsilon = check_threshold(epsilon)
+        self._distance = resolve_vector_distance(local_distance)
+        self.record_path = bool(record_path)
+        if missing not in _MISSING_POLICIES:
+            raise ValidationError(
+                f"missing must be one of {_MISSING_POLICIES}, got {missing!r}"
+            )
+        self.missing = missing
+        self.use_reference = bool(use_reference) or self.record_path
+
+        m = self._query.shape[0]
+        self._state = SpringState.initial(m)
+        self._tick = 0
+
+        # Disjoint-query bookkeeping (Figure 4).
+        self._dmin = np.inf
+        self._ts = 0
+        self._te = 0
+        self._pending_path: Optional[_PathNode] = None
+
+        # Best-match bookkeeping (Problem 1).
+        self._best_distance = np.inf
+        self._best_start = 0
+        self._best_end = 0
+        self._best_path: Optional[_PathNode] = None
+
+        # Path nodes parallel to the state arrays (record_path only).
+        self._nodes: List[Optional[_PathNode]] = [None] * (m + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def query(self) -> np.ndarray:
+        """The query sequence as a read-only ``(m, k)`` array."""
+        return self._query
+
+    @property
+    def m(self) -> int:
+        """Query length."""
+        return self._query.shape[0]
+
+    @property
+    def tick(self) -> int:
+        """Number of stream values consumed (1-based time of last value)."""
+        return self._tick
+
+    @property
+    def current_distances(self) -> np.ndarray:
+        """Current column ``d(t, 1..m)`` of the STWM (copy)."""
+        return self._state.d[1:].copy()
+
+    @property
+    def current_starts(self) -> np.ndarray:
+        """Current column ``s(t, 1..m)`` of the STWM (copy)."""
+        return self._state.s[1:].copy()
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether a captured optimum is still waiting for confirmation."""
+        return np.isfinite(self._dmin) and self._dmin <= self.epsilon
+
+    @property
+    def best_match(self) -> Match:
+        """Best subsequence so far (Problem 1), independent of epsilon."""
+        if not np.isfinite(self._best_distance):
+            raise NotFittedError(
+                "no finite-distance subsequence yet: feed stream values first"
+            )
+        return Match(
+            start=self._best_start,
+            end=self._best_end,
+            distance=float(self._best_distance),
+            output_time=None,
+            path=self._materialise(self._best_path),
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    def step(self, value: object) -> Optional[Match]:
+        """Consume one stream value; return a confirmed match, if any.
+
+        Implements Figure 4 verbatim: update the column, emit the held
+        optimum once Equation 9 guarantees no overlapping subsequence can
+        beat it, then fold the new ending distance ``d_m`` into the held
+        optimum.
+        """
+        x = self._validate_value(value)
+        if x is None:  # missing value: time passes, state holds
+            self._tick += 1
+            return None
+        self._tick += 1
+        cost = np.asarray(
+            self._distance(x[None, :], self._query), dtype=np.float64
+        )
+        if self.use_reference:
+            self._update_with_nodes(cost)
+        else:
+            update_column(self._state, cost, self._tick)
+        return self._report_logic()
+
+    def extend(self, values: Iterable[object]) -> List[Match]:
+        """Consume many values; return all matches confirmed on the way."""
+        matches = []
+        for value in values:
+            match = self.step(value)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    def flush(self) -> Optional[Match]:
+        """Report the held optimum at end-of-stream, if one is pending.
+
+        A finite stream can end while Equation 9 is still unmet; the
+        captured optimum is then valid (nothing can displace it any more)
+        and this emits it.  Streaming use never needs this.
+        """
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            match = self._emit()
+            self._reset_after_report()
+            return match
+        return None
+
+    # ------------------------------------------------------------------
+    # Figure 4 internals
+    # ------------------------------------------------------------------
+
+    def _report_logic(self) -> Optional[Match]:
+        d = self._state.d
+        s = self._state.s
+        report: Optional[Match] = None
+
+        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
+            # Equation 9: every cell either cannot undercut the held
+            # optimum or belongs to a later, non-overlapping group.
+            blocked = (d[1:] >= self._dmin) | (s[1:] > self._te)
+            if bool(np.all(blocked)):
+                report = self._emit()
+                self._reset_after_report()
+
+        d_m = d[-1]
+        if d_m <= self.epsilon and d_m < self._dmin:
+            self._dmin = float(d_m)
+            self._ts = int(s[-1])
+            self._te = self._tick
+            self._pending_path = self._nodes[-1] if self.record_path else None
+
+        if d_m < self._best_distance:
+            self._best_distance = float(d_m)
+            self._best_start = int(s[-1])
+            self._best_end = self._tick
+            self._best_path = self._nodes[-1] if self.record_path else None
+        return report
+
+    def _emit(self) -> Match:
+        return Match(
+            start=self._ts,
+            end=self._te,
+            distance=float(self._dmin),
+            output_time=self._tick,
+            path=self._materialise(self._pending_path),
+        )
+
+    def _reset_after_report(self) -> None:
+        """Figure 4's reset: clear cells belonging to the reported group."""
+        self._dmin = np.inf
+        self._pending_path = None
+        stale = self._state.s[1:] <= self._te
+        self._state.d[1:][stale] = np.inf
+        if self.record_path:
+            for i in np.flatnonzero(stale):
+                self._nodes[i + 1] = None
+
+    # ------------------------------------------------------------------
+    # Path-recording update (reference loop with parent pointers)
+    # ------------------------------------------------------------------
+
+    def _update_with_nodes(self, cost: np.ndarray) -> None:
+        if not self.record_path:
+            update_column_reference(self._state, cost, self._tick)
+            return
+        state = self._state
+        tick = self._tick
+        d_prev = state.d
+        s_prev = state.s
+        nodes_prev = self._nodes
+        m = cost.shape[0]
+        d_new = np.empty(m + 1, dtype=np.float64)
+        s_new = np.empty(m + 1, dtype=np.int64)
+        nodes_new: List[Optional[_PathNode]] = [None] * (m + 1)
+        d_new[0] = 0.0
+        s_new[0] = tick + 1
+        for i in range(1, m + 1):
+            horizontal = 0.0 if i == 1 else d_new[i - 1]
+            vertical = d_prev[i]
+            diagonal = d_prev[i - 1]
+            best = min(horizontal, vertical, diagonal)
+            d_new[i] = cost[i - 1] + best
+            if horizontal == best:
+                if i == 1:
+                    s_new[1] = tick
+                    parent = None
+                else:
+                    s_new[i] = s_new[i - 1]
+                    parent = nodes_new[i - 1]
+            elif vertical == best:
+                s_new[i] = s_prev[i]
+                parent = nodes_prev[i]
+            else:
+                s_new[i] = s_prev[i - 1]
+                parent = nodes_prev[i - 1]
+            nodes_new[i] = (tick, i, parent)
+        state.d = d_new
+        state.s = s_new
+        self._nodes = nodes_new
+
+    def live_path_nodes(self) -> int:
+        """Count distinct path nodes reachable from live state.
+
+        This is the data-dependent extra memory of the ``SPRING(path)``
+        variant in Figure 8, measured in nodes.
+        """
+        seen = set()
+        roots = [n for n in self._nodes if n is not None]
+        if self._pending_path is not None:
+            roots.append(self._pending_path)
+        if self._best_path is not None:
+            roots.append(self._best_path)
+        for node in roots:
+            while node is not None and id(node) not in seen:
+                seen.add(id(node))
+                node = node[2]
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _validate_query(self, query: object) -> np.ndarray:
+        array = as_scalar_sequence(query, "query")
+        return array.reshape(-1, 1)
+
+    def _validate_value(self, value: object) -> Optional[np.ndarray]:
+        array = np.asarray(value, dtype=np.float64).reshape(-1)
+        if array.shape[0] != self._query.shape[1]:
+            raise ValidationError(
+                f"stream value has {array.shape[0]} dimensions, "
+                f"query has {self._query.shape[1]}"
+            )
+        if np.isnan(array).any():
+            if self.missing == "skip":
+                return None
+            raise ValidationError(f"stream value at tick {self._tick + 1} is NaN")
+        if np.isinf(array).any():
+            raise ValidationError(
+                f"stream value at tick {self._tick + 1} is infinite"
+            )
+        return array
+
+    @staticmethod
+    def _materialise(
+        node: Optional[_PathNode],
+    ) -> Optional[Tuple[Tuple[int, int], ...]]:
+        if node is None:
+            return None
+        cells = []
+        while node is not None:
+            cells.append((node[0], node[1]))
+            node = node[2]
+        cells.reverse()
+        return tuple(cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(m={self.m}, epsilon={self.epsilon}, "
+            f"tick={self._tick}, pending={self.has_pending})"
+        )

@@ -1,0 +1,175 @@
+"""The O(m) per-tick state of the SPRING recurrence.
+
+SPRING's whole working set is two length-``m+1`` arrays (Section 3.3.1):
+
+* ``d`` — accumulated distances ``d(t, i)`` of the current tick's column
+  of the subsequence time warping matrix (STWM), with the star row pinned
+  at ``d[0] = 0``;
+* ``s`` — the corresponding starting positions ``s(t, i)``, with ``s[0]``
+  primed to the *next* tick so a path entering the matrix at tick ``t``
+  records start ``t``.
+
+This module also implements the per-tick column update in two equivalent
+forms:
+
+* :func:`update_column_reference` — a literal transcription of Equations
+  (7) and (8), looping over ``i``; the ground truth for tests.
+* :func:`update_column` — a vectorised O(m) update.  The only sequential
+  dependency in Equation (7) is the horizontal term ``d(t, i-1)``; writing
+  ``e_i = c_i + min(d'(i), d'(i-1))`` for the vertical/diagonal part, the
+  recurrence ``d_i = min(e_i, d_{i-1} + c_i)`` unrolls to
+  ``d_i = C_i + min_{j <= i} (e_j - C_j)`` where ``C`` is the cumulative
+  sum of local costs — a running minimum, computable with
+  ``numpy.minimum.accumulate``.  Start positions follow the argmin of that
+  running minimum with the paper's tie-break order (horizontal, vertical,
+  diagonal; Equation 5).
+
+The vectorised form introduces one float64 rounding caveat: distances are
+computed as differences against a cumulative sum, so after extremely long
+constant-cost runs the low bits can differ from the reference by a few
+ulps.  All decision logic compares values produced by the *same* scheme,
+so the algorithm's behaviour stays exact; tests compare the two schemes
+with a relative tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpringState", "update_column", "update_column_reference"]
+
+
+@dataclass
+class SpringState:
+    """Distance and start-position arrays for one query.
+
+    ``d`` and ``s`` are the *previous* tick's column between updates; the
+    update routines consume them and return the new column in place.
+    """
+
+    d: np.ndarray  # float64, shape (m+1,); d[0] == 0 (star row)
+    s: np.ndarray  # int64,   shape (m+1,); s[0] == next tick to start
+
+    @classmethod
+    def initial(cls, m: int) -> "SpringState":
+        """State before any stream value: d(0, i) = inf, next start = 1."""
+        d = np.full(m + 1, np.inf, dtype=np.float64)
+        d[0] = 0.0
+        s = np.zeros(m + 1, dtype=np.int64)
+        s[0] = 1
+        return cls(d=d, s=s)
+
+    @property
+    def m(self) -> int:
+        """Query length this state serves."""
+        return self.d.shape[0] - 1
+
+    def copy(self) -> "SpringState":
+        """Deep copy (used by the monitor's checkpointing)."""
+        return SpringState(d=self.d.copy(), s=self.s.copy())
+
+
+def update_column_reference(
+    state: SpringState, cost: np.ndarray, tick: int
+) -> None:
+    """One tick of Equations (7)/(8), written exactly as the paper states.
+
+    Parameters
+    ----------
+    state:
+        Previous column; mutated to the new column.
+    cost:
+        Length-``m`` array of local costs ``||x_t - y_i||`` for i = 1..m.
+    tick:
+        Current 1-based time-tick ``t``.
+    """
+    d_prev = state.d
+    s_prev = state.s
+    m = cost.shape[0]
+    d_new = np.empty(m + 1, dtype=np.float64)
+    s_new = np.empty(m + 1, dtype=np.int64)
+    d_new[0] = 0.0
+    s_new[0] = tick + 1  # a path entering at the *next* tick starts there
+    # For i = 1 the candidates are d(t, 0) = 0 with start `tick`,
+    # d'(1), and d'(0) = 0 with start `tick` (s_prev[0] == tick).
+    for i in range(1, m + 1):
+        horizontal = d_new[i - 1]
+        vertical = d_prev[i]
+        diagonal = d_prev[i - 1]
+        if i == 1:
+            # d(t, 0) = 0 and its start is the current tick, not tick + 1.
+            horizontal = 0.0
+        best = min(horizontal, vertical, diagonal)
+        d_new[i] = cost[i - 1] + best
+        if horizontal == best:
+            s_new[i] = tick if i == 1 else s_new[i - 1]
+        elif vertical == best:
+            s_new[i] = s_prev[i]
+        else:
+            s_new[i] = s_prev[i - 1]
+    state.d = d_new
+    state.s = s_new
+
+
+def update_column(state: SpringState, cost: np.ndarray, tick: int) -> None:
+    """One tick of Equations (7)/(8), vectorised via a min-plus scan.
+
+    Semantics match :func:`update_column_reference` including the
+    tie-break order of Equation 5 (horizontal, then vertical, then
+    diagonal), up to float64 rounding of the cumulative-sum trick.
+
+    At i = 1 the horizontal candidate is the star row ``d(t, 0) = 0``
+    with start ``t``; with non-negative costs and horizontal-first
+    tie-breaking it always wins, so ``d(t, 1) = c_1`` and ``s(t, 1) = t``
+    (visible in every cell of the bottom row of Figure 5).  The remaining
+    rows then reduce to ``d_i = min(e_i, d_{i-1} + c_i)`` with
+    ``e_i = c_i + min(d'(i), d'(i-1))``, which unrolls to
+    ``d_i = C_i + min_{j <= i}(e_j - C_j)`` over the cost cumsum ``C``.
+    """
+    d_prev = state.d
+    s_prev = state.s
+    m = cost.shape[0]
+
+    # Vertical/diagonal part: e_i = c_i + min(d'(i), d'(i-1)), with the
+    # start position each candidate carries.  Equation 5 checks the
+    # vertical candidate d'(i) before the diagonal d'(i-1), so vertical
+    # wins ties.  At i = 1 the diagonal predecessor is the star cell
+    # d'(0) = 0 carrying start `tick` (s_prev[0] was primed last tick);
+    # together with the horizontal-first rule this pins row 1 to a fresh
+    # start, which we encode by overwriting e[0]/vd_start[0] below.
+    vertical = d_prev[1:]
+    diagonal = d_prev[:-1]
+    take_vertical = vertical <= diagonal
+    e = cost + np.where(take_vertical, vertical, diagonal)
+    vd_start = np.where(take_vertical, s_prev[1:], s_prev[:-1])
+    e[0] = cost[0]
+    vd_start[0] = tick
+
+    # Horizontal unrolling: d_i = C_i + min_{j<=i}(e_j - C_j), a running
+    # minimum.  Earliest argmin on ties = prefer the horizontal
+    # continuation over breaking upward at i, Equation 5's order.
+    c_sum = np.cumsum(cost)
+    g = e - c_sum
+    running = np.minimum.accumulate(g)
+    is_new_min = np.empty(m, dtype=bool)
+    is_new_min[0] = True
+    if m > 1:
+        is_new_min[1:] = g[1:] < running[:-1]
+    indices = np.arange(m, dtype=np.int64)
+    source = np.maximum.accumulate(np.where(is_new_min, indices, 0))
+
+    # Where no horizontal run reached i (source == i), keep the exact e_i
+    # instead of the round-tripped (e_i - C_i) + C_i.
+    d_new_tail = np.where(source == indices, e, c_sum + running)
+    s_new_tail = vd_start[source]
+
+    d_new = np.empty(m + 1, dtype=np.float64)
+    d_new[0] = 0.0
+    d_new[1:] = d_new_tail
+    s_new = np.empty(m + 1, dtype=np.int64)
+    s_new[0] = tick + 1  # primes next tick's diagonal-from-star start
+    s_new[1:] = s_new_tail
+    state.d = d_new
+    state.s = s_new

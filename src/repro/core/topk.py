@@ -1,0 +1,126 @@
+"""Streaming top-k subsequence matching.
+
+Problem 1 (best match) keeps one champion; real monitoring often wants
+the *k best disjoint* matches seen so far ("show me the five closest
+historical episodes").  :class:`TopKSpring` runs the disjoint-query
+machinery with an open threshold and folds every locally-optimal
+subsequence into a bounded leaderboard.
+
+Semantics: candidates are the locally-optimal subsequences the
+disjoint algorithm emits (one per overlap group), so entries never
+overlap each other; the leaderboard keeps the k smallest distances,
+breaking ties toward earlier matches.  Space stays O(m + k).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.core.matches import Match
+from repro.core.spring import Spring
+from repro.dtw.steps import LocalDistance
+
+__all__ = ["TopKSpring"]
+
+
+class TopKSpring:
+    """Maintain the k best disjoint matches over an unbounded stream.
+
+    Parameters
+    ----------
+    query:
+        Query sequence Y (1-D).
+    k:
+        Leaderboard size (>= 1).
+    local_distance, missing:
+        Forwarded to the inner :class:`~repro.core.spring.Spring`.
+
+    Example
+    -------
+    >>> top = TopKSpring([1.0, 2.0, 1.0], k=3)
+    >>> for value in [0, 1, 2, 1, 0, 1, 2, 1, 0]:
+    ...     top.step(value)
+    >>> [round(m.distance, 3) for m in top.best()]  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        query: object,
+        k: int = 5,
+        local_distance: Union[str, LocalDistance, None] = None,
+        missing: str = "skip",
+    ) -> None:
+        self.k = int(check_positive(k, "k"))
+        self._spring = Spring(
+            query,
+            epsilon=np.inf,
+            local_distance=local_distance,
+            missing=missing,
+        )
+        # Max-heap by distance via negation; the counter breaks ties
+        # deterministically toward keeping the earlier match.
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+
+    @property
+    def tick(self) -> int:
+        """Stream values consumed."""
+        return self._spring.tick
+
+    @property
+    def m(self) -> int:
+        """Query length."""
+        return self._spring.m
+
+    def step(self, value: float) -> Optional[Match]:
+        """Consume one value; return a match newly admitted to the top k."""
+        match = self._spring.step(value)
+        if match is None:
+            return None
+        return self._offer(match)
+
+    def extend(self, values: Iterable[float]) -> List[Match]:
+        """Consume many values; return matches admitted along the way."""
+        admitted = []
+        for value in values:
+            match = self.step(value)
+            if match is not None:
+                admitted.append(match)
+        return admitted
+
+    def finalize(self) -> Optional[Match]:
+        """Flush the pending group at end-of-stream (idempotent)."""
+        final = self._spring.flush()
+        if final is None:
+            return None
+        return self._offer(final)
+
+    def best(self) -> List[Match]:
+        """Current leaderboard, best first."""
+        entries = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [entry[2] for entry in entries]
+
+    @property
+    def worst_distance(self) -> float:
+        """Distance of the current k-th entry (inf while underfull)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def _offer(self, match: Match) -> Optional[Match]:
+        if len(self._heap) < self.k:
+            heapq.heappush(
+                self._heap, (-match.distance, next(self._counter), match)
+            )
+            return match
+        if match.distance < -self._heap[0][0]:
+            heapq.heapreplace(
+                self._heap, (-match.distance, next(self._counter), match)
+            )
+            return match
+        return None

@@ -1,0 +1,128 @@
+"""Vector (multi-dimensional) SPRING — the Section 5.3 extension.
+
+A vector stream delivers a whole k-dimensional measurement per tick (the
+motivating application is motion capture: k = 62 joint velocities at
+60 Hz).  The query is likewise a ``(m, k)`` sequence.  The recurrence is
+unchanged — only the local distance generalises to a vector norm — so
+:class:`VectorSpring` reuses the scalar engine wholesale and adds the
+paper's mocap-specific reporting tweak: optionally report the *range* of
+the whole group of overlapping qualifying subsequences alongside the
+optimal one ("We modified the algorithm of SPRING for the motion capture
+to report the starting and ending positions of the range of overlapping
+subsequences").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._validation import as_vector_sequence
+from repro.core.matches import Match
+from repro.core.spring import Spring
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import ValidationError
+
+__all__ = ["VectorSpring"]
+
+
+class VectorSpring(Spring):
+    """SPRING over k-dimensional streams.
+
+    Parameters are those of :class:`~repro.core.spring.Spring`, except:
+
+    query:
+        A ``(m, k)`` array-like; a 1-D query degrades gracefully to k = 1,
+        in which case this class behaves identically to ``Spring``.
+    local_distance:
+        ``"squared"`` (squared Euclidean per tick, the natural
+        generalisation of the paper's squared difference), ``"absolute"``
+        (Manhattan), or a callable over vector pairs.
+    report_range:
+        When True, each emitted match carries ``group_start``/
+        ``group_end`` — the extent of all qualifying subsequences in the
+        match's overlap group.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        local_distance: Union[str, LocalDistance, None] = None,
+        record_path: bool = False,
+        missing: str = "skip",
+        use_reference: bool = False,
+        report_range: bool = False,
+    ) -> None:
+        self.report_range = bool(report_range)
+        self._group_start: Optional[int] = None
+        self._group_end: Optional[int] = None
+        super().__init__(
+            query,
+            epsilon=epsilon,
+            local_distance=local_distance,
+            record_path=record_path,
+            missing=missing,
+            use_reference=use_reference,
+        )
+
+    @property
+    def k(self) -> int:
+        """Stream dimensionality."""
+        return self._query.shape[1]
+
+    def _validate_query(self, query: object) -> np.ndarray:
+        return as_vector_sequence(query, "query")
+
+    def _validate_value(self, value: object) -> Optional[np.ndarray]:
+        array = np.asarray(value, dtype=np.float64).reshape(-1)
+        if array.shape[0] != self._query.shape[1]:
+            raise ValidationError(
+                f"stream vector has {array.shape[0]} dimensions, "
+                f"query has {self._query.shape[1]}"
+            )
+        return super()._validate_value(array)
+
+    # ------------------------------------------------------------------
+    # Range-of-group reporting (Section 5.3's mocap modification)
+    # ------------------------------------------------------------------
+
+    def _report_logic(self) -> Optional[Match]:
+        match = super()._report_logic()
+        if not self.report_range:
+            return match
+        if match is not None:
+            match = self._close_group(match)
+        # Every tick whose ending distance qualifies contributes its
+        # subsequence (s_m .. t) to the current group's extent.  A match
+        # emitted this tick closed the previous group first, so a
+        # qualifying ending after a report seeds the next group.
+        d_m = float(self._state.d[-1])
+        if d_m <= self.epsilon:
+            s_m = int(self._state.s[-1])
+            if self._group_start is None:
+                self._group_start = s_m
+                self._group_end = self._tick
+            else:
+                self._group_start = min(self._group_start, s_m)
+                self._group_end = max(self._group_end or self._tick, self._tick)
+        return match
+
+    def flush(self) -> Optional[Match]:
+        """Report the held optimum at end-of-stream, closing its group."""
+        match = super().flush()
+        if match is not None and self.report_range:
+            match = self._close_group(match)
+        return match
+
+    def _close_group(self, match: Match) -> Match:
+        group_start = match.start
+        group_end = match.end
+        if self._group_start is not None:
+            group_start = min(self._group_start, group_start)
+            group_end = max(self._group_end or group_end, group_end)
+        self._group_start = None
+        self._group_end = None
+        return replace(match, group_start=group_start, group_end=group_end)

@@ -1,0 +1,54 @@
+"""Dataset generators for the paper's workloads (with ground truth).
+
+Every generator documents what it substitutes for the paper's original
+data and why the substitution preserves the relevant behaviour — see
+DESIGN.md's substitution table.
+"""
+
+from repro.datasets.base import LabeledStream, Occurrence
+from repro.datasets.chirp import masked_chirp, sine_query
+from repro.datasets.ecg import ecg_stream, normal_beat, pvc_beat
+from repro.datasets.mocap import (
+    MOTION_TYPES,
+    SESSION_PLAN,
+    mocap_session,
+    motion_query,
+)
+from repro.datasets.noise import ar1, as_rng, random_walk, white_noise
+from repro.datasets.queries import extract_query, perturb_query
+from repro.datasets.registry import build, dataset_names, export_csv
+from repro.datasets.seismic import explosion_query, seismic_stream
+from repro.datasets.sunspots import cycle_query, sunspot_stream
+from repro.datasets.temperature import temperature_query, temperature_stream
+from repro.datasets.walks import head_and_shoulders, walk_with_motifs
+
+__all__ = [
+    "LabeledStream",
+    "Occurrence",
+    "ecg_stream",
+    "normal_beat",
+    "pvc_beat",
+    "build",
+    "dataset_names",
+    "export_csv",
+    "masked_chirp",
+    "sine_query",
+    "MOTION_TYPES",
+    "SESSION_PLAN",
+    "mocap_session",
+    "motion_query",
+    "ar1",
+    "as_rng",
+    "random_walk",
+    "white_noise",
+    "extract_query",
+    "perturb_query",
+    "explosion_query",
+    "seismic_stream",
+    "cycle_query",
+    "sunspot_stream",
+    "temperature_query",
+    "temperature_stream",
+    "head_and_shoulders",
+    "walk_with_motifs",
+]

@@ -1,0 +1,78 @@
+"""Common dataset container with ground truth.
+
+Each generator returns a :class:`LabeledStream`: the stream values, the
+query sequence to search for, and the ground-truth occurrences (1-based
+inclusive tick intervals) — everything the evaluation harness needs to
+score precision/recall and to print Table-2-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LabeledStream", "Occurrence"]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One planted pattern instance: ticks ``start..end`` (1-based)."""
+
+    start: int
+    end: int
+    label: str = "pattern"
+
+    @property
+    def length(self) -> int:
+        """Ticks the occurrence spans."""
+        return self.end - self.start + 1
+
+    @property
+    def slice(self) -> slice:
+        """0-based Python slice into the stream array."""
+        return slice(self.start - 1, self.end)
+
+
+@dataclass
+class LabeledStream:
+    """A generated stream plus its matching query and ground truth.
+
+    Attributes
+    ----------
+    values:
+        The stream — 1-D ``(n,)`` for scalar data, 2-D ``(n, k)`` for
+        vector data.
+    query:
+        The query sequence the experiment searches for (same
+        dimensionality convention).
+    occurrences:
+        Ground-truth intervals where the pattern was planted.
+    name:
+        Dataset name used in reports.
+    suggested_epsilon:
+        A threshold known to separate planted occurrences from background
+        for the generator's default parameters (analogue of the paper's
+        per-dataset epsilon column in Table 2).
+    """
+
+    values: np.ndarray
+    query: np.ndarray
+    occurrences: List[Occurrence] = field(default_factory=list)
+    name: str = "dataset"
+    suggested_epsilon: Optional[float] = None
+
+    @property
+    def n(self) -> int:
+        """Stream length."""
+        return self.values.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Query length."""
+        return self.query.shape[0]
+
+    def occurrence_intervals(self) -> List[Tuple[int, int]]:
+        """Ground truth as plain (start, end) tuples."""
+        return [(occ.start, occ.end) for occ in self.occurrences]

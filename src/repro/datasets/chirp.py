@@ -1,0 +1,161 @@
+"""MaskedChirp — the paper's controlled synthetic workload.
+
+"We used a synthetic data set, MaskedChirp, which consists of
+discontinuous sine waves with white noise.  We varied the period of each
+disjoint sine wave in the sequence. ... it resembles real data, such as
+voice data, which include sound and silent parts with varying time
+periods." (Section 5.1)
+
+The generator plants ``bursts`` sinusoid segments into a flat noisy
+stream; each segment's period is scaled by a different factor, so a
+rigid matcher fails while DTW absorbs the stretch.  The query is a clean
+(or lightly noisy) sinusoid of the base period.  Because placement is
+explicit, ground truth is exact — this is the dataset behind Figure 6(a),
+Table 2's first block, and the Figure 7/8 scalability runs (which only
+need its length knob).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive
+from repro.datasets.base import LabeledStream, Occurrence
+from repro.datasets.noise import SeedLike, as_rng, white_noise
+from repro.exceptions import ValidationError
+
+__all__ = ["masked_chirp", "sine_query"]
+
+
+def sine_query(
+    length: int,
+    cycles: float = 4.0,
+    amplitude: float = 1.0,
+    noise_sigma: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """A sinusoid query of ``length`` ticks spanning ``cycles`` periods."""
+    check_positive(length, "length")
+    check_positive(cycles, "cycles")
+    rng = as_rng(seed)
+    t = np.arange(int(length), dtype=np.float64)
+    wave = amplitude * np.sin(2.0 * np.pi * cycles * t / float(length))
+    return wave + white_noise(int(length), noise_sigma, rng)
+
+
+def masked_chirp(
+    n: int = 20000,
+    query_length: int = 2048,
+    bursts: int = 4,
+    period_scales: Optional[Sequence[float]] = None,
+    cycles: float = 4.0,
+    amplitude: float = 1.0,
+    noise_sigma: float = 0.1,
+    seed: SeedLike = 0,
+) -> LabeledStream:
+    """Generate the MaskedChirp stream with exact ground truth.
+
+    Parameters
+    ----------
+    n:
+        Stream length (the paper's Figure 6(a) stream is ~20,000 ticks;
+        Figures 7/8 sweep n from 1e3 to 1e6).
+    query_length:
+        Length m of the clean sinusoid query (2048 in Figure 6(a), 256 in
+        the performance experiments).
+    bursts:
+        Number of sinusoid segments planted (4 in Figure 6(a)).
+    period_scales:
+        Per-burst stretch factors applied to the query's period; defaults
+        to an increasing spread around 1.0 (e.g. 0.98, 1.16, 1.94, 1.41
+        for four bursts), mimicking the paper's varying periods.
+    cycles:
+        Full sine periods inside the query.
+    amplitude:
+        Sine amplitude; the silent parts are zero-mean noise.
+    noise_sigma:
+        White-noise standard deviation added everywhere.
+    seed:
+        Reproducibility seed.
+
+    Returns
+    -------
+    LabeledStream
+        Stream, query, planted occurrences, and a suggested epsilon
+        (calibrated from the generator's defaults).
+    """
+    n = int(n)
+    query_length = int(query_length)
+    bursts = int(bursts)
+    check_positive(n, "n")
+    check_positive(query_length, "query_length")
+    check_nonnegative(noise_sigma, "noise_sigma")
+    if bursts < 0:
+        raise ValidationError(f"bursts must be >= 0, got {bursts}")
+    rng = as_rng(seed)
+
+    if period_scales is None:
+        # Spread factors in [0.7, 2.0]: each burst is a visibly different
+        # stretching of the query, like the paper's varying periods.
+        period_scales = [
+            float(f) for f in np.linspace(0.75, 1.9, bursts)
+        ] if bursts else []
+    elif len(period_scales) != bursts:
+        raise ValidationError(
+            f"period_scales has {len(period_scales)} entries for {bursts} bursts"
+        )
+
+    burst_lengths = [
+        max(2, int(round(query_length * scale))) for scale in period_scales
+    ]
+    total_burst = sum(burst_lengths)
+    gap_budget = n - total_burst
+    if bursts and gap_budget < bursts + 1:
+        raise ValidationError(
+            f"stream length {n} too short for {bursts} bursts totalling "
+            f"{total_burst} ticks (need gaps between them)"
+        )
+
+    values = white_noise(n, noise_sigma, rng)
+    occurrences: List[Occurrence] = []
+    if bursts:
+        # Place bursts in evenly spaced slots, jittered by at most a
+        # quarter gap each way — placements vary with the seed but
+        # neighbouring bursts can never collide and the last always fits.
+        base_gap = gap_budget // (bursts + 1)
+        # Total positive jitter must stay within the final gap's budget.
+        jitter_bound = max(1, base_gap // max(4, bursts))
+        cursor = 0
+        for length, scale in zip(burst_lengths, period_scales):
+            jitter = int(rng.integers(-jitter_bound, jitter_bound + 1))
+            start0 = cursor + base_gap + max(-base_gap + 1, jitter)
+            start0 = min(start0, n - length)
+            t = np.arange(length, dtype=np.float64)
+            wave = amplitude * np.sin(
+                2.0 * np.pi * cycles * t / float(length)
+            )
+            values[start0 : start0 + length] += wave
+            occurrences.append(
+                Occurrence(
+                    start=start0 + 1,
+                    end=start0 + length,
+                    label=f"sine x{scale:.2f}",
+                )
+            )
+            cursor = start0 + length
+
+    query = sine_query(query_length, cycles=cycles, amplitude=amplitude)
+    # Scale with both lengths: DTW accumulates ~n_match per-tick noise
+    # costs of order noise_sigma^2 (plus warping mismatch).
+    suggested_epsilon = max(
+        25.0 * noise_sigma * noise_sigma * query_length, 0.02 * query_length
+    )
+    return LabeledStream(
+        values=values,
+        query=query,
+        occurrences=occurrences,
+        name="MaskedChirp",
+        suggested_epsilon=float(suggested_epsilon),
+    )

@@ -1,0 +1,70 @@
+"""Shared randomness and noise helpers for the dataset generators.
+
+Every generator takes a ``seed`` (or an already-built
+:class:`numpy.random.Generator`) so experiments are bit-reproducible; the
+helpers here centralise that plumbing plus the common noise shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive
+
+__all__ = ["as_rng", "white_noise", "random_walk", "ar1"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(seed: SeedLike) -> np.random.Generator:
+    """Build (or pass through) a numpy random generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def white_noise(n: int, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """I.i.d. Gaussian noise of length ``n``."""
+    check_nonnegative(sigma, "sigma")
+    if sigma == 0.0:
+        return np.zeros(n, dtype=np.float64)
+    return rng.normal(0.0, sigma, size=n)
+
+
+def random_walk(
+    n: int,
+    step_sigma: float,
+    rng: np.random.Generator,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Gaussian random walk — the classic null stream for benchmarks."""
+    check_nonnegative(step_sigma, "step_sigma")
+    steps = rng.normal(0.0, step_sigma, size=n)
+    walk = np.cumsum(steps) + start
+    return walk
+
+
+def ar1(
+    n: int,
+    phi: float,
+    sigma: float,
+    rng: np.random.Generator,
+    mean: float = 0.0,
+) -> np.ndarray:
+    """AR(1) process ``z_t = mean + phi (z_{t-1} - mean) + noise``.
+
+    Used for slowly-varying backgrounds (weather drift, sensor baselines)
+    where a pure random walk would wander off scale.
+    """
+    check_nonnegative(sigma, "sigma")
+    if not -1.0 < phi < 1.0:
+        raise ValueError(f"phi must be in (-1, 1) for stationarity, got {phi}")
+    noise = rng.normal(0.0, sigma, size=n)
+    out = np.empty(n, dtype=np.float64)
+    level = 0.0
+    for t in range(n):
+        level = phi * level + noise[t]
+        out[t] = mean + level
+    return out

@@ -1,0 +1,74 @@
+"""Query-extraction helpers.
+
+Real deployments rarely hand-design queries: they cut an interesting
+episode out of recorded history and monitor for recurrences.  These
+helpers formalise that, including the noisy/stretched extraction used by
+the robustness ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_positive
+from repro.datasets.noise import SeedLike, as_rng
+from repro.exceptions import ValidationError
+
+__all__ = ["extract_query", "perturb_query"]
+
+
+def extract_query(
+    values: object,
+    start: int,
+    end: int,
+    detrend: bool = False,
+) -> np.ndarray:
+    """Cut ``values[start:end]`` (1-based, inclusive) out as a query.
+
+    Parameters
+    ----------
+    detrend:
+        Subtract the excerpt's own mean, for level-insensitive matching
+        with :class:`~repro.core.normalization.NormalizedSpring`.
+    """
+    array = as_scalar_sequence(values, "values", allow_nan=True)
+    if not 1 <= start <= end <= array.shape[0]:
+        raise ValidationError(
+            f"interval [{start}, {end}] outside stream of length {array.shape[0]}"
+        )
+    query = array[start - 1 : end].copy()
+    if np.isnan(query).any():
+        # Queries must be complete; interpolate over gaps.
+        idx = np.arange(query.shape[0], dtype=np.float64)
+        good = ~np.isnan(query)
+        if not good.any():
+            raise ValidationError("extracted interval is entirely missing")
+        query = np.interp(idx, idx[good], query[good])
+    if detrend:
+        query = query - query.mean()
+    return query
+
+
+def perturb_query(
+    query: object,
+    stretch: float = 1.0,
+    noise_sigma: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Time-stretch and/or add noise to a query (robustness studies)."""
+    array = as_scalar_sequence(query, "query")
+    check_positive(stretch, "stretch")
+    rng = as_rng(seed)
+    if stretch != 1.0:
+        n = array.shape[0]
+        new_n = max(2, int(round(n * stretch)))
+        array = np.interp(
+            np.linspace(0.0, n - 1, new_n),
+            np.arange(n, dtype=np.float64),
+            array,
+        )
+    if noise_sigma:
+        array = array + rng.normal(0.0, noise_sigma, size=array.shape[0])
+    return array

@@ -1,0 +1,134 @@
+"""Sunspot-like daily counts (Figure 6(d)).
+
+Sunspots "appear in cycles ... increasing and decreasing in a regular
+cycle of between 9.5 and 11 years"; the paper's query is one bursty
+cycle and SPRING "can capture bursty sunspot periods and identify the
+time-varying periodicity".
+
+The substitute generator produces a non-negative daily count series:
+successive activity cycles whose period varies in the paper's 9.5–11
+"year" band (scaled to ticks), whose peak amplitude varies strongly
+(quiet Maunder-minimum-like cycles are possible), with overdispersed
+count noise.  Ground truth marks each strong cycle.  The query is one
+clean nominal cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive
+from repro.datasets.base import LabeledStream, Occurrence
+from repro.datasets.noise import SeedLike, as_rng
+from repro.exceptions import ValidationError
+
+__all__ = ["sunspot_stream", "cycle_query"]
+
+
+def _cycle_profile(length: int, peak: float) -> np.ndarray:
+    """One activity cycle: fast rise, slow decay (classic sunspot shape)."""
+    t = np.linspace(0.0, 1.0, length)
+    rise = 0.28
+    shape = np.where(
+        t < rise,
+        t / rise,
+        np.exp(-3.2 * (t - rise) / (1.0 - rise)),
+    )
+    return peak * shape
+
+
+def cycle_query(length: int = 2000, peak: float = 200.0) -> np.ndarray:
+    """One clean nominal activity cycle (the Figure 6(d) query)."""
+    check_positive(length, "length")
+    check_positive(peak, "peak")
+    return _cycle_profile(int(length), peak)
+
+
+def sunspot_stream(
+    n: int = 15000,
+    cycle_length: int = 2000,
+    period_band: float = 0.15,
+    peak: float = 200.0,
+    quiet_fraction: float = 0.3,
+    noise_scale: float = 6.0,
+    seed: SeedLike = 0,
+) -> LabeledStream:
+    """Daily sunspot-count-like stream of varying-period cycles.
+
+    Parameters
+    ----------
+    n:
+        Stream length in ticks ("days").
+    cycle_length:
+        Nominal cycle length; actual cycles vary by ``period_band``
+        (±15 % reproduces the 9.5–11 year band around 10.8).
+    peak:
+        Nominal peak count of a strong cycle (~200–300 in Figure 6(d)).
+    quiet_fraction:
+        Probability a cycle is weak (Maunder-minimum-like, peak < 25 %
+        of nominal); weak cycles are *not* ground-truth occurrences.
+    noise_scale:
+        Scale of the overdispersed non-negative count noise.
+
+    Returns
+    -------
+    LabeledStream
+    """
+    n = int(n)
+    cycle_length = int(cycle_length)
+    check_positive(n, "n")
+    check_positive(cycle_length, "cycle_length")
+    check_nonnegative(period_band, "period_band")
+    check_nonnegative(noise_scale, "noise_scale")
+    if not 0.0 <= quiet_fraction <= 1.0:
+        raise ValidationError(
+            f"quiet_fraction must be in [0, 1], got {quiet_fraction}"
+        )
+    rng = as_rng(seed)
+
+    values = np.zeros(n, dtype=np.float64)
+    occurrences: List[Occurrence] = []
+    cursor = 0
+    while cursor < n:
+        factor = 1.0 + float(rng.uniform(-period_band, period_band))
+        length = max(16, int(round(cycle_length * factor)))
+        if length > n - cursor:
+            # Never plant a truncated cycle: a cut-off profile still looks
+            # like a (shorter) real cycle and would poison ground truth.
+            break
+        quiet = rng.random() < quiet_fraction
+        cycle_peak = (
+            peak * float(rng.uniform(0.02, 0.2))
+            if quiet
+            else peak * float(rng.uniform(0.75, 1.35))
+        )
+        values[cursor : cursor + length] += _cycle_profile(length, cycle_peak)
+        if not quiet and length >= cycle_length * (1.0 - period_band) * 0.9:
+            occurrences.append(
+                Occurrence(
+                    start=cursor + 1,
+                    end=cursor + length,
+                    label=f"cycle x{factor:.2f} peak {cycle_peak:.0f}",
+                )
+            )
+        cursor += length
+
+    # Overdispersed, signal-proportional count noise, clipped at zero.
+    noise = rng.normal(0.0, 1.0, size=n) * (
+        noise_scale + 0.35 * np.sqrt(np.maximum(values, 0.0))
+    )
+    values = np.maximum(values + noise, 0.0)
+
+    query = cycle_query(cycle_length, peak)
+    # Amplitude variation (up to ~35 %) integrated over a cycle dominates;
+    # calibrated against measured true/false separations at defaults.
+    suggested_epsilon = 4.0e5 * (peak / 200.0) ** 2 * (cycle_length / 2000.0)
+    return LabeledStream(
+        values=values,
+        query=query,
+        occurrences=occurrences,
+        name="Sunspots",
+        suggested_epsilon=float(suggested_epsilon),
+    )

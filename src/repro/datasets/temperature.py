@@ -1,0 +1,166 @@
+"""Critter-like temperature sensor data (Figure 6(b)).
+
+The paper uses temperature readings (20–32 °C) from small "Critter"
+sensors sampling roughly once a minute, with *many missing values*, and
+finds "the days when the temperature fluctuates from cool to hot".
+
+We cannot ship the proprietary Critter traces, so this generator builds
+a parameter-compatible substitute: a diurnal (daily) temperature cycle
+whose amplitude is modulated by slow weather drift, plus sensor noise
+and NaN dropouts.  Two (by default) "cool-to-hot fluctuation" days —
+days whose swing spans nearly the full 20–32 °C range — are planted
+explicitly, giving ground truth for the two subsequences Figure 6(b)
+reports.  The query is one synthetic full-swing day.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive, check_probability
+from repro.datasets.base import LabeledStream, Occurrence
+from repro.datasets.noise import SeedLike, ar1, as_rng, white_noise
+from repro.exceptions import ValidationError
+
+__all__ = ["temperature_stream", "temperature_query"]
+
+
+def _day_profile(length: int, low: float, high: float) -> np.ndarray:
+    """One day's temperature: cool at night, peaking mid-afternoon."""
+    t = np.arange(length, dtype=np.float64) / float(length)
+    # Peak around t = 0.6 (mid-afternoon), trough in the early morning.
+    swing = 0.5 * (1.0 - np.cos(2.0 * np.pi * (t - 0.1)))
+    return low + (high - low) * swing
+
+
+def temperature_query(
+    day_length: int = 1000,
+    low: float = 20.0,
+    high: float = 32.0,
+) -> np.ndarray:
+    """The cool-to-hot day pattern used as the Figure 6(b) query."""
+    check_positive(day_length, "day_length")
+    if not low < high:
+        raise ValidationError(f"need low < high, got [{low}, {high}]")
+    return _day_profile(int(day_length), low, high)
+
+
+def temperature_stream(
+    n: int = 30000,
+    day_length: int = 1000,
+    low: float = 20.0,
+    high: float = 32.0,
+    hot_days: int = 2,
+    missing_probability: float = 0.05,
+    noise_sigma: float = 0.3,
+    seed: SeedLike = 0,
+) -> LabeledStream:
+    """Temperature stream with planted full-swing days and NaN gaps.
+
+    Ordinary days swing over a random sub-range of [low, high] (drawn
+    from slow AR(1) weather drift); ``hot_days`` days swing over almost
+    the whole range and stretched lengths — the pattern the query matches.
+
+    Parameters
+    ----------
+    n:
+        Stream length in ticks (~1 reading/minute in the paper).
+    day_length:
+        Nominal ticks per day; planted days are stretched 0.9x–1.4x so a
+        rigid matcher cannot find both.
+    hot_days:
+        Number of planted full-swing days.
+    missing_probability:
+        Per-tick probability of a NaN reading (the Critter data's
+        pervasive missing values).
+    noise_sigma:
+        Sensor noise standard deviation in °C.
+
+    Returns
+    -------
+    LabeledStream
+    """
+    n = int(n)
+    day_length = int(day_length)
+    check_positive(n, "n")
+    check_positive(day_length, "day_length")
+    check_probability(missing_probability, "missing_probability")
+    check_nonnegative(noise_sigma, "noise_sigma")
+    if not low < high:
+        raise ValidationError(f"need low < high, got [{low}, {high}]")
+    rng = as_rng(seed)
+
+    days = max(1, n // day_length)
+    # Weather drift controls each ordinary day's amplitude fraction.
+    drift = ar1(days, phi=0.7, sigma=0.15, rng=rng, mean=0.4)
+    # Ordinary days swing at most ~60 % of the range, keeping a clear
+    # DTW margin to the planted full-swing days.
+    amplitude_fraction = np.clip(drift, 0.15, 0.6)
+
+    # Choose which days are the planted full-swing days (not the first
+    # or last, so their stretch never truncates).
+    if hot_days > max(0, days - 2):
+        raise ValidationError(
+            f"cannot plant {hot_days} hot days into {days} days"
+        )
+    hot_choices = (
+        sorted(
+            rng.choice(np.arange(1, days - 1), size=hot_days, replace=False)
+        )
+        if hot_days
+        else []
+    )
+    stretches = rng.uniform(0.9, 1.4, size=hot_days)
+
+    pieces: List[np.ndarray] = []
+    occurrences: List[Occurrence] = []
+    cursor = 0
+    hot_index = 0
+    for day in range(days):
+        if hot_index < len(hot_choices) and day == hot_choices[hot_index]:
+            length = int(round(day_length * stretches[hot_index]))
+            profile = _day_profile(length, low + 0.3, high - 0.3)
+            occurrences.append(
+                Occurrence(
+                    start=cursor + 1,
+                    end=cursor + length,
+                    label=f"full-swing day x{stretches[hot_index]:.2f}",
+                )
+            )
+            hot_index += 1
+        else:
+            length = day_length
+            fraction = float(amplitude_fraction[day])
+            mid = low + (high - low) * rng.uniform(0.2, 0.5)
+            span = (high - low) * fraction
+            profile = _day_profile(length, mid, min(mid + span, high))
+        pieces.append(profile)
+        cursor += length
+
+    values = np.concatenate(pieces)[:n]
+    values = values + white_noise(values.shape[0], noise_sigma, rng)
+    # NaN dropouts — the missing readings SPRING must shrug off.
+    gaps = rng.random(values.shape[0]) < missing_probability
+    values = values.copy()
+    values[gaps] = np.nan
+    occurrences = [occ for occ in occurrences if occ.end <= values.shape[0]]
+
+    query = temperature_query(day_length, low, high)
+    # Noise floor plus a margin for the 0.3 °C amplitude trim and the
+    # missing-value skips — calibrated to sit well under the distance of
+    # the closest ordinary (sub-swing) day.
+    # Warping absorbs much of the pointwise noise cost (measured true
+    # matches run ~sigma^2 per tick, not 2 sigma^2), while partial-day
+    # echoes of the planted days score >= ~0.3/tick.
+    suggested_epsilon = day_length * (
+        noise_sigma * noise_sigma + 0.1
+    )
+    return LabeledStream(
+        values=values,
+        query=query,
+        occurrences=occurrences,
+        name="Temperature",
+        suggested_epsilon=float(suggested_epsilon),
+    )

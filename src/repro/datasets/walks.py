@@ -1,0 +1,111 @@
+"""Random-walk streams with planted motifs ("financial" workload).
+
+The paper's introduction opens with financial analysis as a data-stream
+application.  This generator plants occurrences of a motif (a
+head-and-shoulders-like shape by default) into a geometric-random-walk
+price series, each at a different time scale and with the walk's level
+at the insertion point — the detrending problem
+:class:`~repro.core.normalization.NormalizedSpring` exists for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive
+from repro.datasets.base import LabeledStream, Occurrence
+from repro.datasets.noise import SeedLike, as_rng
+from repro.exceptions import ValidationError
+
+__all__ = ["head_and_shoulders", "walk_with_motifs"]
+
+
+def head_and_shoulders(length: int = 120, amplitude: float = 4.0) -> np.ndarray:
+    """The classic three-peak chart pattern, zero-mean."""
+    check_positive(length, "length")
+    t = np.linspace(0.0, 1.0, int(length))
+    left = 0.6 * np.exp(-((t - 0.2) ** 2) / 0.004)
+    head = 1.0 * np.exp(-((t - 0.5) ** 2) / 0.006)
+    right = 0.6 * np.exp(-((t - 0.8) ** 2) / 0.004)
+    shape = left + head + right
+    shape = shape - shape.mean()
+    return amplitude * shape
+
+
+def walk_with_motifs(
+    n: int = 20000,
+    motif: Optional[np.ndarray] = None,
+    occurrences: int = 3,
+    stretch_band: float = 0.3,
+    step_sigma: float = 0.4,
+    noise_sigma: float = 0.15,
+    seed: SeedLike = 0,
+) -> LabeledStream:
+    """A random walk with level-riding motif occurrences planted.
+
+    Each occurrence is the motif time-stretched by a random factor in
+    ``[1 - stretch_band, 1 + stretch_band]`` and *added to the walk's
+    local level* — so raw matching fails on level alone, and the
+    normalised matcher (or a detrended query) is required.
+
+    Returns
+    -------
+    LabeledStream
+        ``query`` is the clean zero-mean motif; the suggested epsilon is
+        meant for a :class:`~repro.core.normalization.NormalizedSpring`
+        with default settings (raw SPRING needs detrending first).
+    """
+    n = int(n)
+    check_positive(n, "n")
+    check_nonnegative(stretch_band, "stretch_band")
+    check_nonnegative(step_sigma, "step_sigma")
+    check_nonnegative(noise_sigma, "noise_sigma")
+    rng = as_rng(seed)
+    if motif is None:
+        motif = head_and_shoulders()
+    motif = np.asarray(motif, dtype=np.float64)
+    if occurrences < 0:
+        raise ValidationError(f"occurrences must be >= 0, got {occurrences}")
+    max_len = int(motif.shape[0] * (1.0 + stretch_band)) + 1
+    if occurrences * max_len >= n:
+        raise ValidationError(
+            f"{occurrences} occurrences of up to {max_len} ticks "
+            f"do not fit in {n}"
+        )
+
+    walk = np.cumsum(rng.normal(0.0, step_sigma, n))
+    values = walk + rng.normal(0.0, noise_sigma, n)
+    gap = (n - occurrences * max_len) // (occurrences + 1) if occurrences else 0
+    planted: List[Occurrence] = []
+    cursor = gap
+    for _ in range(occurrences):
+        factor = 1.0 + float(rng.uniform(-stretch_band, stretch_band))
+        length = max(8, int(round(motif.shape[0] * factor)))
+        instance = np.interp(
+            np.linspace(0.0, motif.shape[0] - 1, length),
+            np.arange(motif.shape[0], dtype=np.float64),
+            motif,
+        )
+        values[cursor : cursor + length] += instance
+        planted.append(
+            Occurrence(
+                start=cursor + 1,
+                end=cursor + length,
+                label=f"motif x{factor:.2f}",
+            )
+        )
+        cursor += max_len + gap
+
+    amplitude = float(np.abs(motif).max())
+    suggested_epsilon = motif.shape[0] * (
+        2.0 * noise_sigma * noise_sigma + 0.05 * amplitude
+    )
+    return LabeledStream(
+        values=values,
+        query=motif,
+        occurrences=planted,
+        name="WalkMotifs",
+        suggested_epsilon=float(suggested_epsilon),
+    )

@@ -1,0 +1,90 @@
+"""Dynamic Time Warping substrate.
+
+Everything SPRING is built on: local distances and global constraints
+(:mod:`~repro.dtw.steps`), cost-matrix construction and accumulation
+(:mod:`~repro.dtw.matrix`), the whole-matching distance
+(:mod:`~repro.dtw.distance`), warping-path recovery
+(:mod:`~repro.dtw.path`), literature lower bounds
+(:mod:`~repro.dtw.lower_bounds`), and offline subsequence matching via
+star-padding (:mod:`~repro.dtw.subsequence`).
+"""
+
+from repro.dtw.barycenter import dba_average, resample
+from repro.dtw.distance import dtw_distance, dtw_distance_matrix, dtw_windowed
+from repro.dtw.search import SearchStats, SequenceIndex
+from repro.dtw.step_patterns import (
+    STEP_PATTERNS,
+    accumulate_with_pattern,
+    dtw_with_pattern,
+)
+from repro.dtw.lower_bounds import keogh_envelope, lb_keogh, lb_kim, lb_yi
+from repro.dtw.matrix import (
+    accumulate_full,
+    accumulate_subsequence,
+    pairwise_cost_matrix,
+)
+from repro.dtw.path import backtrack_path, is_valid_path, path_cost, warp_amount
+from repro.dtw.steps import (
+    absolute_difference,
+    itakura_mask,
+    manhattan,
+    resolve_local_distance,
+    resolve_vector_distance,
+    sakoe_chiba_mask,
+    squared_difference,
+    squared_euclidean,
+)
+from repro.dtw.subsequence import (
+    all_ending_distances,
+    best_subsequence,
+    brute_force_all,
+    brute_force_best,
+    subsequence_matrix,
+)
+from repro.dtw.visualize import (
+    figure5_style,
+    render_alignment,
+    render_matrix,
+    render_path,
+)
+
+__all__ = [
+    "SearchStats",
+    "SequenceIndex",
+    "STEP_PATTERNS",
+    "accumulate_with_pattern",
+    "dtw_with_pattern",
+    "dba_average",
+    "resample",
+    "figure5_style",
+    "render_alignment",
+    "render_matrix",
+    "render_path",
+    "dtw_distance",
+    "dtw_distance_matrix",
+    "dtw_windowed",
+    "keogh_envelope",
+    "lb_keogh",
+    "lb_kim",
+    "lb_yi",
+    "accumulate_full",
+    "accumulate_subsequence",
+    "pairwise_cost_matrix",
+    "backtrack_path",
+    "is_valid_path",
+    "path_cost",
+    "warp_amount",
+    "absolute_difference",
+    "itakura_mask",
+    "manhattan",
+    "resolve_local_distance",
+    "resolve_vector_distance",
+    "sakoe_chiba_mask",
+    "squared_difference",
+    "squared_euclidean",
+    "all_ending_distances",
+    "best_subsequence",
+    "brute_force_all",
+    "brute_force_best",
+    "subsequence_matrix",
+]

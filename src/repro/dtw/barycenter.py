@@ -1,0 +1,118 @@
+"""DTW Barycenter Averaging (DBA) — template learning for queries.
+
+A monitoring query is usually built from recorded examples.  Averaging
+examples pointwise smears time-warped features; DBA (Petitjean et al.'s
+classic refinement of the idea already implicit in the DTW literature)
+averages *along warping paths*: align every example to the current
+template, average the values each template element received, repeat.
+
+This gives the library a principled way to build the fixed query Y
+SPRING needs from several noisy, differently-stretched recordings —
+used by ``examples/template_learning.py`` and the robustness tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_positive
+from repro.dtw.distance import dtw_distance
+from repro.dtw.matrix import accumulate_full, pairwise_cost_matrix
+from repro.dtw.path import backtrack_path
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import ValidationError
+
+__all__ = ["dba_average", "resample"]
+
+
+def resample(values: object, length: int) -> np.ndarray:
+    """Linear resampling of a sequence to ``length`` ticks."""
+    array = as_scalar_sequence(values, "values")
+    length = int(check_positive(length, "length"))
+    if array.shape[0] == length:
+        return array.copy()
+    old_t = np.arange(array.shape[0], dtype=np.float64)
+    new_t = np.linspace(0.0, array.shape[0] - 1, length)
+    return np.interp(new_t, old_t, array)
+
+
+def dba_average(
+    examples: Sequence[object],
+    length: Optional[int] = None,
+    iterations: int = 10,
+    local_distance: Union[str, LocalDistance, None] = None,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """DTW barycenter of several scalar sequences.
+
+    Parameters
+    ----------
+    examples:
+        Two or more example sequences (lengths may differ).
+    length:
+        Template length; defaults to the median example length.
+    iterations:
+        Maximum refinement passes.
+    tolerance:
+        Stop when the mean DTW distance to the template improves by
+        less than this (relative).
+
+    Returns
+    -------
+    numpy.ndarray
+        The learned template of the requested length.
+    """
+    if len(examples) == 0:
+        raise ValidationError("need at least one example")
+    arrays = [as_scalar_sequence(e, f"examples[{i}]") for i, e in enumerate(examples)]
+    if length is None:
+        length = int(np.median([a.shape[0] for a in arrays]))
+    length = int(check_positive(length, "length"))
+    if iterations < 1:
+        raise ValidationError(f"iterations must be >= 1, got {iterations}")
+
+    # Initialise from the medoid example (the one closest to the rest),
+    # resampled to the template length — a stable, deterministic seed.
+    if len(arrays) == 1:
+        return resample(arrays[0], length)
+    medoid = _medoid(arrays, local_distance)
+    template = resample(arrays[medoid], length)
+
+    previous_cost = np.inf
+    for _ in range(iterations):
+        sums = np.zeros(length, dtype=np.float64)
+        counts = np.zeros(length, dtype=np.int64)
+        total_cost = 0.0
+        for example in arrays:
+            cost = pairwise_cost_matrix(example, template, local_distance)
+            acc = accumulate_full(cost)
+            total_cost += float(acc[-1, -1])
+            for t, i in backtrack_path(acc):
+                sums[i] += example[t]
+                counts[i] += 1
+        # Every template element is on at least one path (paths cover
+        # all columns), so counts is strictly positive.
+        template = sums / counts
+        mean_cost = total_cost / len(arrays)
+        if previous_cost - mean_cost <= tolerance * max(previous_cost, 1.0):
+            break
+        previous_cost = mean_cost
+    return template
+
+
+def _medoid(
+    arrays: List[np.ndarray],
+    local_distance: Union[str, LocalDistance, None],
+) -> int:
+    """Index of the example minimising total DTW distance to the rest."""
+    best_index, best_total = 0, np.inf
+    for i, candidate in enumerate(arrays):
+        total = 0.0
+        for j, other in enumerate(arrays):
+            if i != j:
+                total += dtw_distance(candidate, other, local_distance)
+        if total < best_total:
+            best_index, best_total = i, total
+    return best_index

@@ -1,0 +1,139 @@
+"""Whole-sequence Dynamic Time Warping distance.
+
+This is the classic O(nm)-time, O(m)-space DP of Equation 1, serving as:
+
+* the substrate SPRING's correctness is defined against (Theorem 1 relates
+  the streaming result to whole-matching DTW on the star-padded query), and
+* the workhorse for the Super-Naive baseline, which evaluates it on every
+  candidate subsequence.
+
+Both an O(m)-space rolling implementation (:func:`dtw_distance`) and a
+matrix-building variant (:func:`dtw_distance_matrix`, needed for path
+recovery) are provided, along with windowed variants for the Sakoe–Chiba
+band and the Itakura parallelogram.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro._validation import as_vector_sequence, check_same_dimensions
+from repro.dtw.matrix import accumulate_full, pairwise_cost_matrix
+from repro.dtw.steps import (
+    LocalDistance,
+    itakura_mask,
+    resolve_vector_distance,
+    sakoe_chiba_mask,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "dtw_distance",
+    "dtw_distance_matrix",
+    "dtw_windowed",
+]
+
+
+def dtw_distance(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> float:
+    """DTW distance ``D(X, Y)`` between two (possibly vector) sequences.
+
+    Uses two rolling rows, so memory is O(m) regardless of the data length
+    — the space bound Section 3.1.1 quotes for plain DTW.
+
+    Parameters
+    ----------
+    x, y:
+        Scalar sequences (1-D) or vector sequences (2-D, ``(length, k)``).
+        Both must share their dimensionality.
+    local_distance:
+        ``"squared"`` (paper default), ``"absolute"``, or a callable mapping
+        two broadcastable arrays of vectors to per-pair costs.
+
+    Returns
+    -------
+    float
+        The accumulated cost of the optimal warping path.
+    """
+    xs = as_vector_sequence(x, "x")
+    ys = as_vector_sequence(y, "y")
+    check_same_dimensions(xs, ys, "x", "y")
+    dist = resolve_vector_distance(local_distance)
+
+    m = ys.shape[0]
+    prev = np.full(m + 1, np.inf, dtype=np.float64)
+    prev[0] = 0.0
+    curr = np.empty(m + 1, dtype=np.float64)
+    for t in range(xs.shape[0]):
+        cost_row = np.asarray(dist(xs[t][None, :], ys), dtype=np.float64)
+        curr[0] = np.inf
+        for i in range(1, m + 1):
+            best = prev[i]
+            if prev[i - 1] < best:
+                best = prev[i - 1]
+            if curr[i - 1] < best:
+                best = curr[i - 1]
+            curr[i] = cost_row[i - 1] + best
+        prev, curr = curr, prev
+        prev[0] = np.inf  # f(t, 0) = inf for every t >= 1
+    return float(prev[m])
+
+
+def dtw_distance_matrix(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """DTW distance plus the full accumulated matrix (for path recovery)."""
+    cost = pairwise_cost_matrix(x, y, local_distance)
+    if mask is not None and mask.shape != cost.shape:
+        raise ValidationError(
+            f"mask shape {mask.shape} does not match cost shape {cost.shape}"
+        )
+    acc = accumulate_full(cost, mask)
+    return float(acc[-1, -1]), acc
+
+
+def dtw_windowed(
+    x: object,
+    y: object,
+    constraint: str = "sakoe_chiba",
+    radius: int = 10,
+    max_slope: float = 2.0,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> float:
+    """DTW under a global path constraint.
+
+    Parameters
+    ----------
+    constraint:
+        ``"sakoe_chiba"`` or ``"itakura"``.
+    radius:
+        Band half-width for the Sakoe–Chiba constraint.
+    max_slope:
+        Slope bound for the Itakura constraint.
+
+    Returns
+    -------
+    float
+        The constrained DTW distance; ``inf`` when no admissible path exists.
+    """
+    cost = pairwise_cost_matrix(x, y, local_distance)
+    n, m = cost.shape
+    if constraint == "sakoe_chiba":
+        mask = sakoe_chiba_mask(n, m, radius)
+    elif constraint == "itakura":
+        mask = itakura_mask(n, m, max_slope)
+    else:
+        raise ValidationError(
+            f"unknown constraint {constraint!r}; "
+            "choose 'sakoe_chiba' or 'itakura'"
+        )
+    acc = accumulate_full(cost, mask)
+    return float(acc[-1, -1])

@@ -1,0 +1,112 @@
+"""Lower-bounding functions for DTW from the stored-set literature.
+
+The paper's related work (Section 2.1) surveys indexing methods that prune
+DTW computations with cheap lower bounds: Yi et al. and Kim et al.'s
+bounds and Keogh's LB_Keogh envelope bound under a Sakoe–Chiba band.
+SPRING does not need them — its per-tick cost is already O(m) — but a
+credible release of this system ships them, both as baselines for the
+stored-set comparison and because ``LB_Keogh`` pairs naturally with the
+band-constrained matcher in :mod:`repro.core.constrained`.
+
+All bounds here lower-bound DTW computed with the **squared** local
+distance, matching the paper's Equation 1.  They require equal-length
+sequences (the whole-matching setting they were proposed for).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "lb_kim",
+    "lb_yi",
+    "keogh_envelope",
+    "lb_keogh",
+]
+
+
+def lb_kim(x: object, y: object) -> float:
+    """Kim et al.'s 4-feature lower bound.
+
+    Uses the first, last, minimum, and maximum elements: any warping path
+    must align first-with-first and last-with-last, and the extreme values
+    of the two sequences cannot differ by more than the DTW allows.
+    """
+    xs = as_scalar_sequence(x, "x")
+    ys = as_scalar_sequence(y, "y")
+    first = (xs[0] - ys[0]) ** 2
+    last = (xs[-1] - ys[-1]) ** 2
+    # When either sequence has a single element its first and last
+    # alignments are the same matrix cell — summing would double-count.
+    if xs.shape[0] > 1 and ys.shape[0] > 1:
+        endpoint = first + last
+    else:
+        endpoint = max(first, last)
+    # The min/max features bound single aligned pairs, hence max not sum
+    # with the endpoint features (which could be the same pairs).
+    extremes = max(
+        (xs.min() - ys.min()) ** 2,
+        (xs.max() - ys.max()) ** 2,
+    )
+    return float(max(endpoint, extremes))
+
+
+def lb_yi(x: object, y: object) -> float:
+    """Yi et al.'s lower bound.
+
+    Every element of ``x`` above ``max(y)`` must pay at least its squared
+    excess over ``max(y)``; symmetrically for elements below ``min(y)``.
+    """
+    xs = as_scalar_sequence(x, "x")
+    ys = as_scalar_sequence(y, "y")
+    upper, lower = ys.max(), ys.min()
+    above = xs[xs > upper] - upper
+    below = lower - xs[xs < lower]
+    return float(np.sum(above * above) + np.sum(below * below))
+
+
+def keogh_envelope(y: object, radius: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper/lower envelope of ``y`` for a Sakoe–Chiba band of given radius.
+
+    ``upper[i] = max(y[i-radius : i+radius+1])`` and symmetrically for the
+    lower envelope — the tightest envelope such that any band-constrained
+    warping of ``y`` stays inside it.
+    """
+    ys = as_scalar_sequence(y, "y")
+    if radius < 0:
+        raise ValidationError(f"radius must be non-negative, got {radius}")
+    m = ys.shape[0]
+    upper = np.empty(m, dtype=np.float64)
+    lower = np.empty(m, dtype=np.float64)
+    for i in range(m):
+        lo = max(0, i - radius)
+        hi = min(m, i + radius + 1)
+        window = ys[lo:hi]
+        upper[i] = window.max()
+        lower[i] = window.min()
+    return upper, lower
+
+
+def lb_keogh(x: object, y: object, radius: int) -> float:
+    """Keogh's envelope lower bound for band-constrained DTW.
+
+    ``LB_Keogh(x, y) <= DTW_band(x, y)`` for equal-length sequences and a
+    Sakoe–Chiba band of the given radius.  This is the bound Keogh [8] and
+    Zhu & Shasha [21] build their exact index methods on.
+    """
+    xs = as_scalar_sequence(x, "x")
+    ys = as_scalar_sequence(y, "y")
+    if xs.shape[0] != ys.shape[0]:
+        raise ValidationError(
+            "LB_Keogh requires equal-length sequences, got "
+            f"{xs.shape[0]} and {ys.shape[0]}"
+        )
+    upper, lower = keogh_envelope(ys, radius)
+    above = np.where(xs > upper, xs - upper, 0.0)
+    below = np.where(xs < lower, lower - xs, 0.0)
+    return float(np.sum(above * above) + np.sum(below * below))

@@ -1,0 +1,127 @@
+"""Accumulated-cost ("time warping") matrices.
+
+The time warping matrix of Equation 1 stores, at cell ``(t, i)``, the cost
+of the cheapest warping path aligning the length-``t`` prefix of ``X`` with
+the length-``i`` prefix of ``Y``.  This module builds full matrices — the
+quadratic-space object the stored-set methods and the naive baselines work
+with — and is also the reference implementation the streaming code is
+tested against.
+
+Indexing convention: matrices returned here are ``(n, m)`` 0-based arrays
+whose cell ``[t-1, i-1]`` equals the paper's ``f(t, i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._validation import as_vector_sequence, check_same_dimensions
+from repro.dtw.steps import LocalDistance, resolve_vector_distance
+
+__all__ = [
+    "pairwise_cost_matrix",
+    "accumulate_full",
+    "accumulate_subsequence",
+]
+
+
+def pairwise_cost_matrix(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> np.ndarray:
+    """Local-cost matrix ``C[t, i] = ||x_t - y_i||`` for all cells.
+
+    Scalar sequences are treated as 1-dimensional vector sequences, so a
+    single code path serves both the scalar and the mocap-style settings.
+    """
+    xs = as_vector_sequence(x, "x")
+    ys = as_vector_sequence(y, "y")
+    check_same_dimensions(xs, ys, "x", "y")
+    dist = resolve_vector_distance(local_distance)
+    return np.asarray(dist(xs[:, None, :], ys[None, :, :]), dtype=np.float64)
+
+
+def accumulate_full(
+    cost: np.ndarray, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Accumulate a local-cost matrix under the whole-matching recurrence.
+
+    Implements Equation 1: the path must start at cell (1, 1) and each step
+    moves right, up, or diagonally.  Cells excluded by ``mask`` (False
+    entries) receive ``inf``.
+
+    Parameters
+    ----------
+    cost:
+        ``(n, m)`` local-cost matrix.
+    mask:
+        Optional boolean matrix of the same shape; admissible cells are True.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n, m)`` accumulated matrix; ``result[-1, -1]`` is D(X, Y).
+    """
+    n, m = cost.shape
+    acc = np.full((n, m), np.inf, dtype=np.float64)
+    inf = np.inf
+    for t in range(n):
+        row = acc[t]
+        prev = acc[t - 1] if t > 0 else None
+        for i in range(m):
+            if mask is not None and not mask[t, i]:
+                continue
+            if t == 0 and i == 0:
+                best = 0.0
+            else:
+                best = inf
+                if i > 0 and row[i - 1] < best:
+                    best = row[i - 1]
+                if prev is not None:
+                    if prev[i] < best:
+                        best = prev[i]
+                    if i > 0 and prev[i - 1] < best:
+                        best = prev[i - 1]
+            if best < inf:
+                row[i] = cost[t, i] + best
+    return acc
+
+
+def accumulate_subsequence(
+    cost: np.ndarray, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Accumulate under the star-padding (subsequence) recurrence.
+
+    Implements Equation 4: the virtual row ``i = 0`` costs zero everywhere
+    (``d(t, 0) = 0``), so a warping path may begin at any data position.
+    ``result[t, m-1]`` is then the minimum DTW distance between ``Y`` and
+    the best subsequence of ``X`` ending at tick ``t + 1`` (1-based).
+    """
+    n, m = cost.shape
+    acc = np.full((n, m), np.inf, dtype=np.float64)
+    inf = np.inf
+    for t in range(n):
+        row = acc[t]
+        prev = acc[t - 1] if t > 0 else None
+        for i in range(m):
+            if mask is not None and not mask[t, i]:
+                continue
+            if i == 0:
+                # d(t, 0) = 0: both the horizontal predecessor d(t, i-1)
+                # and the diagonal predecessor d(t-1, i-1) are 0.
+                best = 0.0
+                if prev is not None and prev[0] < best:
+                    best = prev[0]
+            else:
+                best = row[i - 1]
+                if prev is not None:
+                    if prev[i] < best:
+                        best = prev[i]
+                    if prev[i - 1] < best:
+                        best = prev[i - 1]
+            if best < inf:
+                row[i] = cost[t, i] + best
+    return acc

@@ -1,0 +1,117 @@
+"""Warping-path recovery and path utilities.
+
+A *warping path* for an ``(n, m)`` alignment is a sequence of 0-based cells
+``(t, i)`` that starts at ``(0, 0)``, ends at ``(n-1, m-1)``, and advances
+by one of the three admissible steps (right, down, diagonal).  SPRING's
+``record_path`` mode reports such paths for matched subsequences (the
+``SPRING(path)`` series in Figure 8), with ``t`` offset to stream ticks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "backtrack_path",
+    "is_valid_path",
+    "path_cost",
+    "warp_amount",
+]
+
+Cell = Tuple[int, int]
+
+
+def backtrack_path(acc: np.ndarray, end: Optional[Cell] = None) -> List[Cell]:
+    """Recover the optimal warping path from an accumulated matrix.
+
+    Works for both the whole-matching matrix (:func:`~repro.dtw.matrix.
+    accumulate_full`) and the subsequence matrix (:func:`~repro.dtw.matrix.
+    accumulate_subsequence`); for the latter, backtracking stops at column 0
+    (the star row absorbs the start, so the path may begin at any ``t``).
+
+    Parameters
+    ----------
+    acc:
+        ``(n, m)`` accumulated-cost matrix.
+    end:
+        Cell to backtrack from; defaults to ``(n-1, m-1)``.
+
+    Returns
+    -------
+    list of (t, i)
+        Path cells in forward (increasing-t) order.
+    """
+    n, m = acc.shape
+    if end is None:
+        end = (n - 1, m - 1)
+    t, i = end
+    if not (0 <= t < n and 0 <= i < m):
+        raise ValidationError(f"end cell {end} outside matrix of shape {acc.shape}")
+    if not np.isfinite(acc[t, i]):
+        raise ValidationError(f"end cell {end} has infinite accumulated cost")
+    path = [(t, i)]
+    while i > 0:
+        if t == 0:
+            i -= 1
+        else:
+            # Tie-break mirrors Equation 5: horizontal, vertical, diagonal.
+            horizontal = acc[t, i - 1]
+            vertical = acc[t - 1, i]
+            diagonal = acc[t - 1, i - 1]
+            best = min(horizontal, vertical, diagonal)
+            if horizontal == best:
+                i -= 1
+            elif vertical == best:
+                t -= 1
+            else:
+                t -= 1
+                i -= 1
+        path.append((t, i))
+    path.reverse()
+    return path
+
+
+def is_valid_path(path: List[Cell], n: int, m: int, subsequence: bool = False) -> bool:
+    """Check the structural warping-path invariants.
+
+    * first cell at column 0; row 0 too unless ``subsequence`` is True
+    * last cell at ``(n-1, m-1)`` for whole matching, column ``m-1`` otherwise
+    * monotone, contiguous steps from {(1,0), (0,1), (1,1)}
+    """
+    if not path:
+        return False
+    first_t, first_i = path[0]
+    last_t, last_i = path[-1]
+    if first_i != 0 or last_i != m - 1:
+        return False
+    if not subsequence and (first_t != 0 or last_t != n - 1):
+        return False
+    if not all(0 <= t < n and 0 <= i < m for t, i in path):
+        return False
+    for (t0, i0), (t1, i1) in zip(path, path[1:]):
+        step = (t1 - t0, i1 - i0)
+        if step not in ((1, 0), (0, 1), (1, 1)):
+            return False
+    return True
+
+
+def path_cost(path: List[Cell], cost: np.ndarray) -> float:
+    """Sum of local costs along a path (the distance that path realises)."""
+    return float(sum(cost[t, i] for t, i in path))
+
+
+def warp_amount(path: List[Cell]) -> int:
+    """Number of non-diagonal steps — how much the path stretched time.
+
+    Zero for a perfectly diagonal (Euclidean-like) alignment; larger values
+    mean heavier use of time warping.
+    """
+    non_diagonal = 0
+    for (t0, i0), (t1, i1) in zip(path, path[1:]):
+        if (t1 - t0, i1 - i0) != (1, 1):
+            non_diagonal += 1
+    return non_diagonal

@@ -1,0 +1,224 @@
+"""Stored-set whole-matching search with lower-bound pruning.
+
+The related work the paper builds on (Section 2.1) accelerates
+*stored-set* DTW search by cheap-to-expensive filtering: LB_Kim (O(1)
+features), then LB_Yi (O(n) range test), then LB_Keogh (O(n) envelope
+test, valid for the band-constrained distance), and only then the full
+DP.  SPRING makes this unnecessary *for streams*; a complete release
+still ships the classic cascade for its stored-set users, and the
+benchmarks use it to show when each regime wins.
+
+All searches are exact (no false dismissals): a candidate is discarded
+only when a proven lower bound already exceeds the best distance found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence
+from repro.dtw.distance import dtw_distance, dtw_windowed
+from repro.dtw.lower_bounds import lb_keogh, lb_kim, lb_yi
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import ValidationError
+
+__all__ = ["SearchStats", "SequenceIndex"]
+
+
+@dataclass
+class SearchStats:
+    """Filtering effectiveness counters for one query."""
+
+    candidates: int = 0
+    pruned_by_kim: int = 0
+    pruned_by_yi: int = 0
+    pruned_by_keogh: int = 0
+    full_computations: int = 0
+
+    @property
+    def pruned_total(self) -> int:
+        """Candidates eliminated before the full DP."""
+        return self.pruned_by_kim + self.pruned_by_yi + self.pruned_by_keogh
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of candidates that skipped the O(n^2) computation."""
+        if self.candidates == 0:
+            return 0.0
+        return self.pruned_total / self.candidates
+
+
+class SequenceIndex:
+    """A collection of stored sequences searchable under DTW.
+
+    Parameters
+    ----------
+    band_radius:
+        When set, searches use the Sakoe–Chiba-banded DTW (and the
+        LB_Keogh filter, which is only valid for the banded distance);
+        when None, searches use unconstrained DTW with LB_Kim/LB_Yi.
+
+    Example
+    -------
+    >>> index = SequenceIndex()
+    >>> index.add([1.0, 2.0, 3.0], label="ramp")
+    >>> distance, label, stats = index.nearest([1.0, 2.1, 2.9])
+    """
+
+    def __init__(
+        self,
+        band_radius: Optional[int] = None,
+        local_distance: Union[str, LocalDistance, None] = None,
+    ) -> None:
+        if band_radius is not None and band_radius < 0:
+            raise ValidationError(
+                f"band_radius must be >= 0 or None, got {band_radius}"
+            )
+        self.band_radius = band_radius
+        self._local_distance = local_distance
+        self._sequences: List[np.ndarray] = []
+        self._labels: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def add(self, sequence: object, label: object = None) -> None:
+        """Store one sequence with an optional label."""
+        array = as_scalar_sequence(sequence, "sequence")
+        self._sequences.append(array)
+        self._labels.append(label if label is not None else len(self._labels))
+
+    def extend(self, sequences: Sequence[object]) -> None:
+        """Store many sequences."""
+        for sequence in sequences:
+            self.add(sequence)
+
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        if self.band_radius is None:
+            return dtw_distance(a, b, self._local_distance)
+        return dtw_windowed(
+            a,
+            b,
+            constraint="sakoe_chiba",
+            radius=self.band_radius,
+            local_distance=self._local_distance,
+        )
+
+    def nearest(
+        self, query: object
+    ) -> Tuple[float, object, SearchStats]:
+        """Exact 1-nearest-neighbour under (possibly banded) DTW.
+
+        Returns ``(distance, label, stats)``.  Candidates are visited
+        in order of a cheap proxy (Euclidean on endpoints) so a good
+        early champion tightens the pruning threshold quickly.
+        """
+        if not self._sequences:
+            raise ValidationError("index is empty")
+        query_array = as_scalar_sequence(query, "query")
+        stats = SearchStats()
+        order = self._visit_order(query_array)
+
+        best_distance = np.inf
+        best_label: object = None
+        for position in order:
+            candidate = self._sequences[position]
+            stats.candidates += 1
+            if self._prune(query_array, candidate, best_distance, stats):
+                continue
+            stats.full_computations += 1
+            distance = self._distance(query_array, candidate)
+            if distance < best_distance:
+                best_distance = distance
+                best_label = self._labels[position]
+        return float(best_distance), best_label, stats
+
+    def range_search(
+        self, query: object, epsilon: float
+    ) -> Tuple[List[Tuple[float, object]], SearchStats]:
+        """All stored sequences within ``epsilon`` of the query."""
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+        query_array = as_scalar_sequence(query, "query")
+        stats = SearchStats()
+        hits: List[Tuple[float, object]] = []
+        for candidate, label in zip(self._sequences, self._labels):
+            stats.candidates += 1
+            if self._prune(query_array, candidate, epsilon, stats):
+                continue
+            stats.full_computations += 1
+            distance = self._distance(query_array, candidate)
+            if distance <= epsilon:
+                hits.append((float(distance), label))
+        hits.sort(key=lambda item: item[0])
+        return hits, stats
+
+    def best_subsequence(
+        self, query: object
+    ) -> Tuple[float, object, Tuple[int, int]]:
+        """Best *subsequence* match across all stored sequences.
+
+        The paper's conclusion notes SPRING "can obviously be applied to
+        stored sequence sets, too": one star-padded pass per stored
+        sequence — O(len * m) each instead of the O(len^2 * m) a
+        per-start scan would pay — finds the subsequence of any stored
+        sequence closest to the query.
+
+        Returns
+        -------
+        (distance, label, (start, end))
+            Positions are 1-based inclusive into the winning sequence.
+        """
+        from repro.core.batch import spring_best_match
+
+        if not self._sequences:
+            raise ValidationError("index is empty")
+        query_array = as_scalar_sequence(query, "query")
+        best = (np.inf, None, (0, 0))
+        for candidate, label in zip(self._sequences, self._labels):
+            match = spring_best_match(
+                candidate, query_array, local_distance=self._local_distance
+            )
+            if match.distance < best[0]:
+                best = (match.distance, label, (match.start, match.end))
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _prune(
+        self,
+        query: np.ndarray,
+        candidate: np.ndarray,
+        threshold: float,
+        stats: SearchStats,
+    ) -> bool:
+        """True when a lower bound already exceeds the threshold."""
+        if not np.isfinite(threshold):
+            return False
+        if lb_kim(query, candidate) > threshold:
+            stats.pruned_by_kim += 1
+            return True
+        if lb_yi(query, candidate) > threshold:
+            stats.pruned_by_yi += 1
+            return True
+        if (
+            self.band_radius is not None
+            and query.shape[0] == candidate.shape[0]
+            and lb_keogh(query, candidate, self.band_radius) > threshold
+        ):
+            stats.pruned_by_keogh += 1
+            return True
+        return False
+
+    def _visit_order(self, query: np.ndarray) -> List[int]:
+        """Cheap-proxy ordering: closest endpoint features first."""
+        features = np.array(
+            [
+                (s[0] - query[0]) ** 2 + (s[-1] - query[-1]) ** 2
+                for s in self._sequences
+            ]
+        )
+        return list(np.argsort(features, kind="stable"))

@@ -1,0 +1,117 @@
+"""Generalised DTW step patterns.
+
+The paper uses the classic "symmetric1" recurrence — steps (0,1), (1,0),
+(1,1), all weight 1 (Equation 1) — and SPRING is defined over it.  The
+broader DTW literature (Sakoe & Chiba, Rabiner & Juang [15]) uses other
+patterns; a complete DTW substrate ships the common ones for the
+stored-set API:
+
+* ``symmetric1`` — the paper's: min of the three predecessors.
+* ``symmetric2`` — the diagonal step counts its cell twice, removing
+  the bias toward diagonal-heavy (shorter) paths.
+* ``asymmetric`` — steps (1,0), (1,1), (1,2): every data tick consumed
+  exactly once; the query may be skipped through.
+
+Patterns are tuples of ``(dt, di, weight)``: moving from cell
+``(t - dt, i - di)`` into ``(t, i)`` adds ``weight * cost[t, i]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dtw.matrix import pairwise_cost_matrix
+from repro.dtw.steps import LocalDistance
+from repro.exceptions import ValidationError
+
+__all__ = ["STEP_PATTERNS", "accumulate_with_pattern", "dtw_with_pattern"]
+
+Step = Tuple[int, int, float]
+
+STEP_PATTERNS: Dict[str, Tuple[Step, ...]] = {
+    "symmetric1": ((0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)),
+    "symmetric2": ((0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)),
+    "asymmetric": ((1, 0, 1.0), (1, 1, 1.0), (1, 2, 1.0)),
+}
+
+
+def _resolve_pattern(
+    pattern: Union[str, Sequence[Step]]
+) -> Tuple[Step, ...]:
+    if isinstance(pattern, str):
+        try:
+            return STEP_PATTERNS[pattern]
+        except KeyError:
+            raise ValidationError(
+                f"unknown step pattern {pattern!r}; "
+                f"choose from {sorted(STEP_PATTERNS)} or pass steps"
+            ) from None
+    steps = tuple((int(dt), int(di), float(w)) for dt, di, w in pattern)
+    if not steps:
+        raise ValidationError("step pattern must not be empty")
+    for dt, di, weight in steps:
+        if dt < 0 or di < 0 or (dt == 0 and di == 0):
+            raise ValidationError(
+                f"step ({dt}, {di}) must advance at least one axis"
+            )
+        if weight < 0:
+            raise ValidationError(f"step weight must be >= 0, got {weight}")
+    return steps
+
+
+def accumulate_with_pattern(
+    cost: np.ndarray, pattern: Union[str, Sequence[Step]] = "symmetric1"
+) -> np.ndarray:
+    """Accumulate a local-cost matrix under an arbitrary step pattern.
+
+    The path starts at cell (0, 0) (whole matching); unreachable cells
+    hold ``inf``.
+    """
+    steps = _resolve_pattern(pattern)
+    n, m = cost.shape
+    acc = np.full((n, m), np.inf, dtype=np.float64)
+    acc[0, 0] = cost[0, 0]
+    for t in range(n):
+        for i in range(m):
+            if t == 0 and i == 0:
+                continue
+            best = np.inf
+            for dt, di, weight in steps:
+                pt, pi = t - dt, i - di
+                if pt < 0 or pi < 0:
+                    continue
+                candidate = acc[pt, pi] + weight * cost[t, i]
+                if candidate < best:
+                    best = candidate
+            acc[t, i] = best
+    return acc
+
+
+def dtw_with_pattern(
+    x: object,
+    y: object,
+    pattern: Union[str, Sequence[Step]] = "symmetric1",
+    local_distance: Union[str, LocalDistance, None] = None,
+    normalize: bool = False,
+) -> float:
+    """Whole-matching DTW distance under a step pattern.
+
+    Parameters
+    ----------
+    normalize:
+        Divide by the standard normalisation factor (n + m for the
+        symmetric patterns, n for the asymmetric one) so distances are
+        comparable across lengths.
+    """
+    cost = pairwise_cost_matrix(x, y, local_distance)
+    acc = accumulate_with_pattern(cost, pattern)
+    value = float(acc[-1, -1])
+    if normalize:
+        n, m = cost.shape
+        if pattern == "asymmetric":
+            value /= n
+        else:
+            value /= n + m
+    return value

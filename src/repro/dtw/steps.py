@@ -1,0 +1,164 @@
+"""Local (tick-to-tick) distances and global path constraints for DTW.
+
+The paper defines DTW with the squared difference ``(x - y)**2`` as the
+local distance, noting that "any other choice (say, absolute difference)
+would be fine; our algorithms are completely independent of such choices"
+(Section 3.1.1).  This module makes that pluggability concrete: every DTW
+and SPRING entry point accepts a ``local_distance`` name or callable.
+
+Global constraints (Sakoe–Chiba band, Itakura parallelogram) from the
+related-work indexing literature are provided for the stored-set baselines
+and for the band-constrained streaming extension.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "LocalDistance",
+    "squared_difference",
+    "absolute_difference",
+    "squared_euclidean",
+    "manhattan",
+    "resolve_local_distance",
+    "resolve_vector_distance",
+    "sakoe_chiba_mask",
+    "itakura_mask",
+    "LOCAL_DISTANCES",
+    "VECTOR_DISTANCES",
+]
+
+#: A local distance maps two values (or two k-vectors) to a non-negative float.
+LocalDistance = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def squared_difference(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Paper default: ``||x - y|| = (x - y)**2`` (Equation 1)."""
+    diff = np.subtract(x, y)
+    return diff * diff
+
+
+def absolute_difference(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """The paper's explicitly-sanctioned alternative: ``|x - y|``."""
+    return np.abs(np.subtract(x, y))
+
+
+def squared_euclidean(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vector local distance: sum of per-dimension squared differences.
+
+    For k-dimensional streams (Section 5.3) each matrix cell compares two
+    k-vectors; the natural generalisation of the scalar squared difference
+    is the squared Euclidean norm.
+    """
+    diff = np.subtract(x, y)
+    return np.sum(diff * diff, axis=-1)
+
+
+def manhattan(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Vector local distance: sum of per-dimension absolute differences."""
+    return np.sum(np.abs(np.subtract(x, y)), axis=-1)
+
+
+LOCAL_DISTANCES: Dict[str, LocalDistance] = {
+    "squared": squared_difference,
+    "absolute": absolute_difference,
+}
+
+VECTOR_DISTANCES: Dict[str, LocalDistance] = {
+    "squared": squared_euclidean,
+    "absolute": manhattan,
+    "euclidean_sq": squared_euclidean,
+    "manhattan": manhattan,
+}
+
+
+def resolve_local_distance(
+    spec: Union[str, LocalDistance, None]
+) -> LocalDistance:
+    """Turn a name or callable into a scalar local-distance function.
+
+    ``None`` resolves to the paper default (squared difference).
+    """
+    if spec is None:
+        return squared_difference
+    if callable(spec):
+        return spec
+    try:
+        return LOCAL_DISTANCES[spec]
+    except KeyError:
+        raise ValidationError(
+            f"unknown local distance {spec!r}; "
+            f"choose from {sorted(LOCAL_DISTANCES)} or pass a callable"
+        ) from None
+
+
+def resolve_vector_distance(
+    spec: Union[str, LocalDistance, None]
+) -> LocalDistance:
+    """Turn a name or callable into a vector local-distance function."""
+    if spec is None:
+        return squared_euclidean
+    if callable(spec):
+        return spec
+    try:
+        return VECTOR_DISTANCES[spec]
+    except KeyError:
+        raise ValidationError(
+            f"unknown vector distance {spec!r}; "
+            f"choose from {sorted(VECTOR_DISTANCES)} or pass a callable"
+        ) from None
+
+
+def sakoe_chiba_mask(n: int, m: int, radius: int) -> np.ndarray:
+    """Boolean mask of admissible cells for a Sakoe–Chiba band.
+
+    Cell ``(t, i)`` (0-based) is admissible when the warping path may pass
+    through it, i.e. ``|t * m/n - i| <= radius`` after rescaling the band to
+    the matrix aspect ratio (the common generalisation for n != m).
+
+    Parameters
+    ----------
+    n, m:
+        Matrix dimensions (data length x query length).
+    radius:
+        Band half-width in query ticks; ``radius >= |n - m|`` is required
+        for any complete path to exist when n != m, but we do not enforce
+        that here — an all-False row simply yields an infinite distance.
+    """
+    if radius < 0:
+        raise ValidationError(f"radius must be non-negative, got {radius}")
+    t = np.arange(n, dtype=np.float64)[:, None]
+    i = np.arange(m, dtype=np.float64)[None, :]
+    if n == 1:
+        center = np.zeros_like(t)
+    else:
+        center = t * (m - 1) / (n - 1)
+    return np.abs(center - i) <= radius
+
+
+def itakura_mask(n: int, m: int, max_slope: float = 2.0) -> np.ndarray:
+    """Boolean mask of admissible cells for an Itakura parallelogram.
+
+    The parallelogram constrains the path slope to lie within
+    ``[1/max_slope, max_slope]`` relative to the matrix diagonal; the
+    classic Itakura constraint uses ``max_slope = 2``.
+    """
+    if max_slope <= 1.0:
+        raise ValidationError(f"max_slope must exceed 1, got {max_slope}")
+    t = np.arange(n, dtype=np.float64)[:, None]
+    i = np.arange(m, dtype=np.float64)[None, :]
+    s = float(max_slope)
+    nn, mm = n - 1, m - 1
+    if nn == 0 or mm == 0:
+        return np.ones((n, m), dtype=bool)
+    lower = np.maximum(t * mm / (s * nn), mm - s * (nn - t) * mm / nn)
+    upper = np.minimum(s * t * mm / nn, mm - (nn - t) * mm / (s * nn))
+    # Tolerance keeps the corners (0,0) and (n-1,m-1) admissible despite
+    # floating-point rounding of the parallelogram edges.
+    eps = 1e-9
+    return (i >= lower - eps) & (i <= upper + eps)

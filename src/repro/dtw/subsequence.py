@@ -1,0 +1,126 @@
+"""Offline (stored-sequence) subsequence DTW via star-padding.
+
+These functions realise Theorem 1 in batch form: build the star-padded
+subsequence matrix for a whole stored sequence at once and read the best
+(or all locally-best) matches out of its last row.  They serve three
+roles:
+
+* a convenience API for users with stored data (the paper notes SPRING
+  "can obviously be applied to stored sequence sets, too"),
+* the reference the streaming implementation is property-tested against,
+* the building block of the Naive baseline's correctness checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dtw.matrix import accumulate_subsequence, pairwise_cost_matrix
+from repro.dtw.path import backtrack_path
+from repro.dtw.steps import LocalDistance
+
+__all__ = [
+    "subsequence_matrix",
+    "best_subsequence",
+    "all_ending_distances",
+    "brute_force_best",
+    "brute_force_all",
+]
+
+
+def subsequence_matrix(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> np.ndarray:
+    """Accumulated star-padded matrix of ``x`` against query ``y``.
+
+    ``result[t, i]`` equals the paper's ``d(t+1, i+1)`` — the best cost of
+    aligning some suffix of ``x[: t+1]`` with ``y[: i+1]``.
+    """
+    cost = pairwise_cost_matrix(x, y, local_distance)
+    return accumulate_subsequence(cost)
+
+
+def all_ending_distances(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> np.ndarray:
+    """For each tick t, the min DTW distance of a subsequence ending at t.
+
+    This is the last row of the subsequence matrix — ``d(t, m)`` for
+    every t — the quantity SPRING maintains incrementally.
+    """
+    return subsequence_matrix(x, y, local_distance)[:, -1]
+
+
+def best_subsequence(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> Tuple[float, int, int, List[Tuple[int, int]]]:
+    """Best-match query on a stored sequence (Problem 1), with path.
+
+    Returns
+    -------
+    (distance, start, end, path)
+        ``start``/``end`` are 0-based inclusive indices into ``x``; the
+        path is a list of 0-based ``(t, i)`` cells.
+    """
+    cost = pairwise_cost_matrix(x, y, local_distance)
+    acc = accumulate_subsequence(cost)
+    end = int(np.argmin(acc[:, -1]))
+    distance = float(acc[end, -1])
+    path = backtrack_path(acc, (end, acc.shape[1] - 1))
+    start = path[0][0]
+    return distance, start, end, path
+
+
+def brute_force_best(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> Tuple[float, int, int]:
+    """Reference best match by whole-matching DTW on every subsequence.
+
+    O(n^3 m) — the Super-Naive computation.  Only for small inputs and
+    tests; ties are broken toward the earliest end, then earliest start,
+    matching the scan order of the faster implementations.
+    """
+    from repro.dtw.distance import dtw_distance  # local import: avoid cycle
+
+    xs = np.asarray(x, dtype=np.float64)
+    n = xs.shape[0]
+    best = (np.inf, -1, -1)
+    for te in range(n):
+        for ts in range(te + 1):
+            d = dtw_distance(xs[ts : te + 1], y, local_distance)
+            if d < best[0]:
+                best = (d, ts, te)
+    return best
+
+
+def brute_force_all(
+    x: object,
+    y: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> np.ndarray:
+    """Distances of *all* subsequences: ``result[ts, te]`` = D(X[ts:te], Y).
+
+    Cells with ``ts > te`` hold ``inf``.  O(n^2 m) time via one star-free
+    DP per start — the Naive baseline's full information, used by tests to
+    check the disjoint-query guarantees.
+    """
+    from repro.dtw.distance import dtw_distance  # local import: avoid cycle
+
+    xs = np.asarray(x, dtype=np.float64)
+    n = xs.shape[0]
+    out = np.full((n, n), np.inf, dtype=np.float64)
+    for ts in range(n):
+        # One growing-prefix DP would be faster, but tests value clarity.
+        for te in range(ts, n):
+            out[ts, te] = dtw_distance(xs[ts : te + 1], y, local_distance)
+    return out

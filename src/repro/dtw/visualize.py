@@ -1,0 +1,130 @@
+"""Plot-free visualisation of warping matrices, paths, and alignments.
+
+Terminal-friendly renderings for debugging and documentation: the
+library has no plotting dependency, so these produce ASCII art in the
+spirit of the paper's Figure 5 (the STWM with distances and starting
+positions) and Figure 2 (the warping path through the matrix).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence
+from repro.dtw.matrix import accumulate_subsequence, pairwise_cost_matrix
+from repro.dtw.path import backtrack_path
+from repro.exceptions import ValidationError
+
+__all__ = ["render_matrix", "render_path", "render_alignment", "figure5_style"]
+
+
+def render_matrix(
+    matrix: np.ndarray,
+    path: Optional[Sequence[Tuple[int, int]]] = None,
+    precision: int = 3,
+    max_cells: int = 2500,
+) -> str:
+    """Render an accumulated matrix, query index increasing upward.
+
+    Cells on ``path`` are bracketed, mirroring the black squares of the
+    paper's Figure 2.  Refuses silly sizes — this is a debugging tool.
+    """
+    n, m = matrix.shape
+    if n * m > max_cells:
+        raise ValidationError(
+            f"matrix {n}x{m} too large to render (cap {max_cells} cells)"
+        )
+    on_path = set(map(tuple, path)) if path is not None else set()
+
+    def cell(t: int, i: int) -> str:
+        value = matrix[t, i]
+        text = "inf" if np.isinf(value) else f"{value:.{precision}g}"
+        return f"[{text}]" if (t, i) in on_path else f" {text} "
+
+    columns = [[cell(t, i) for i in range(m)] for t in range(n)]
+    width = max(len(c) for col in columns for c in col)
+    lines = []
+    for i in reversed(range(m)):
+        row = "".join(columns[t][i].rjust(width + 1) for t in range(n))
+        lines.append(f"i={i + 1:<3d}" + row)
+    lines.append("t    " + "".join(f"{t + 1}".center(width + 1) for t in range(n)))
+    return "\n".join(lines)
+
+
+def figure5_style(x: object, y: object) -> str:
+    """The paper's Figure 5 rendering: 'distance (start)' per STWM cell."""
+    from repro.core.state import SpringState, update_column
+
+    xs = as_scalar_sequence(x, "x")
+    ys = as_scalar_sequence(y, "y")
+    n, m = xs.shape[0], ys.shape[0]
+    if n * m > 400:
+        raise ValidationError("figure5_style is for small worked examples")
+    distances = np.empty((n, m))
+    starts = np.empty((n, m), dtype=np.int64)
+    state = SpringState.initial(m)
+    for t in range(n):
+        cost = (xs[t] - ys) ** 2
+        update_column(state, cost, t + 1)
+        distances[t] = state.d[1:]
+        starts[t] = state.s[1:]
+
+    def cell(t: int, i: int) -> str:
+        d = distances[t, i]
+        text = "inf" if np.isinf(d) else f"{d:g}"
+        return f"{text} ({starts[t, i]})"
+
+    columns = [[cell(t, i) for i in range(m)] for t in range(n)]
+    width = max(len(c) for col in columns for c in col)
+    lines = []
+    for i in reversed(range(m)):
+        row = "  ".join(columns[t][i].rjust(width) for t in range(n))
+        lines.append(f"y{i + 1}={ys[i]:<6g} " + row)
+    header = " " * 10 + "  ".join(f"x={v:g}".rjust(width) for v in xs)
+    lines.append(header)
+    return "\n".join(lines)
+
+
+def render_path(
+    path: Sequence[Tuple[int, int]], n: int, m: int, max_cells: int = 2500
+) -> str:
+    """Sparse dot-grid with '#' marking the warping path (Figure 2)."""
+    if n * m > max_cells:
+        raise ValidationError(
+            f"grid {n}x{m} too large to render (cap {max_cells} cells)"
+        )
+    on_path = set(map(tuple, path))
+    lines = []
+    for i in reversed(range(m)):
+        lines.append(
+            "".join("#" if (t, i) in on_path else "." for t in range(n))
+        )
+    return "\n".join(lines)
+
+
+def render_alignment(
+    x: object,
+    y: object,
+    path: Optional[Sequence[Tuple[int, int]]] = None,
+    max_pairs: int = 200,
+) -> str:
+    """Tabular view of which x-tick matched which query element."""
+    xs = as_scalar_sequence(x, "x")
+    ys = as_scalar_sequence(y, "y")
+    if path is None:
+        acc = accumulate_subsequence(pairwise_cost_matrix(xs, ys))
+        end = int(np.argmin(acc[:, -1]))
+        path = backtrack_path(acc, (end, ys.shape[0] - 1))
+    if len(path) > max_pairs:
+        raise ValidationError(
+            f"alignment of {len(path)} pairs too long to render"
+        )
+    lines = ["  t     x_t        i     y_i        |x_t - y_i|"]
+    for t, i in path:
+        lines.append(
+            f"  {t + 1:<5d} {xs[t]:<10.4g} {i + 1:<5d} {ys[i]:<10.4g} "
+            f"{abs(xs[t] - ys[i]):.4g}"
+        )
+    return "\n".join(lines)

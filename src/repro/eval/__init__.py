@@ -1,0 +1,37 @@
+"""Evaluation harness: metrics, timing, memory accounting, experiments."""
+
+from repro.eval.harness import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+)
+from repro.eval.memory import naive_state_bytes, spring_state_bytes, state_bytes
+from repro.eval.metrics import (
+    DetectionScore,
+    calibrate_epsilon,
+    jaccard,
+    score_matches,
+)
+from repro.eval.reporting import format_ratio, format_series, format_table
+from repro.eval.timing import TickTiming, measure_matcher_at_length, time_per_tick
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "register",
+    "naive_state_bytes",
+    "spring_state_bytes",
+    "state_bytes",
+    "DetectionScore",
+    "calibrate_epsilon",
+    "jaccard",
+    "score_matches",
+    "format_ratio",
+    "format_series",
+    "format_table",
+    "TickTiming",
+    "measure_matcher_at_length",
+    "time_per_tick",
+]

@@ -1,0 +1,27 @@
+"""Experiment drivers — importing this package registers them all."""
+
+from repro.eval.experiments import (
+    ablations,
+    ecg_case,
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    multistream,
+    robustness,
+    table2,
+)
+
+__all__ = [
+    "ablations",
+    "ecg_case",
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "multistream",
+    "robustness",
+    "table2",
+]

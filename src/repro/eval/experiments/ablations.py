@@ -1,0 +1,161 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's evaluation: each ablation switches off (or
+replaces) one design ingredient and measures what breaks, grounding the
+paper's arguments in data.
+
+* ``eager_vs_deferred`` — Figure 4's deferred reporting vs the "report
+  as soon as distance <= epsilon, then reset" strawman the paper
+  describes (and rejects) in Section 3.3.1: the strawman responds
+  earlier but misses optima.
+* ``local_distance`` — squared vs absolute difference: the algorithm is
+  "completely independent of such choices"; detection stays perfect
+  under either (with a rescaled epsilon).
+* ``warping_vs_rigid`` — SPRING vs the sliding Euclidean matcher on
+  time-stretched patterns: the rigid matcher's recall collapses.
+* ``stretch_band`` — the ConstrainedSpring extension's precision effect.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.baselines.euclidean import SlidingEuclideanMatcher
+from repro.core.batch import spring_search
+from repro.core.constrained import ConstrainedSpring
+from repro.core.spring import Spring
+from repro.datasets import masked_chirp
+from repro.eval.harness import ExperimentResult, register
+from repro.eval.metrics import score_matches
+
+__all__ = ["run"]
+
+
+def _eager_search(stream: np.ndarray, query: np.ndarray, epsilon: float):
+    """The strawman: report the first qualifying ending, then reset."""
+    spring = Spring(query, epsilon=np.inf)
+    matches = []
+    for value in stream:
+        spring.step(value)
+        d = spring.current_distances[-1]
+        if d <= epsilon:
+            starts = spring.current_starts
+            matches.append(
+                (int(starts[-1]), spring.tick, float(d), spring.tick)
+            )
+            # Reset the whole array — the naive strawman of Section 3.3.1.
+            spring._state.d[1:] = np.inf
+            spring._dmin = np.inf
+    return matches
+
+
+@register("ablations")
+def run(scale: float = 0.25, seed: int = 0) -> ExperimentResult:
+    """Run all ablations on a mid-sized MaskedChirp workload."""
+    data = masked_chirp(
+        n=max(3000, int(20000 * scale)),
+        query_length=max(128, int(2048 * scale)),
+        bursts=4,
+        seed=seed,
+    )
+    stream, query = data.values, data.query
+    epsilon = data.suggested_epsilon
+    truth = data.occurrence_intervals()
+    rows: List[List[object]] = []
+
+    # --- eager vs deferred reporting -------------------------------
+    deferred = spring_search(stream, query, epsilon)
+    deferred_score = score_matches(deferred, truth)
+    eager = _eager_search(stream, query, epsilon)
+    eager_distances = [d for (_, _, d, _) in eager]
+    deferred_distances = [m.distance for m in deferred]
+    rows.append(
+        [
+            "deferred (paper)",
+            len(deferred),
+            f"{deferred_score.recall:.2f}",
+            f"{np.mean(deferred_distances):.4g}" if deferred_distances else "-",
+        ]
+    )
+    rows.append(
+        [
+            "eager (strawman)",
+            len(eager),
+            "-",
+            f"{np.mean(eager_distances):.4g}" if eager_distances else "-",
+        ]
+    )
+    eager_worse = (
+        bool(np.mean(eager_distances) > np.mean(deferred_distances))
+        if eager_distances and deferred_distances
+        else False
+    )
+
+    # --- local distance choice --------------------------------------
+    sq = spring_search(stream, query, epsilon, local_distance="squared")
+    sq_score = score_matches(sq, truth)
+    # |x - y| accumulates differently; epsilon rescales by roughly
+    # epsilon_abs ~ m * sqrt(epsilon_sq / m).
+    m = query.shape[0]
+    eps_abs = m * float(np.sqrt(epsilon / m))
+    ab = spring_search(stream, query, eps_abs, local_distance="absolute")
+    ab_score = score_matches(ab, truth)
+    rows.append(["squared distance", len(sq), f"{sq_score.recall:.2f}", f"{sq_score.precision:.2f}"])
+    rows.append(["absolute distance", len(ab), f"{ab_score.recall:.2f}", f"{ab_score.precision:.2f}"])
+
+    # --- warping vs rigid -------------------------------------------
+    rigid = SlidingEuclideanMatcher(query, epsilon=epsilon)
+    rigid_matches = rigid.extend(stream)
+    final = rigid.flush()
+    if final is not None:
+        rigid_matches.append(final)
+    rigid_score = score_matches(rigid_matches, truth)
+    rows.append(
+        [
+            "rigid euclidean",
+            len(rigid_matches),
+            f"{rigid_score.recall:.2f}",
+            f"{rigid_score.precision:.2f}",
+        ]
+    )
+
+    # --- stretch band ------------------------------------------------
+    banded = ConstrainedSpring(query, epsilon=epsilon, max_stretch=2.5)
+    banded_matches = banded.extend(stream)
+    final = banded.flush()
+    if final is not None:
+        banded_matches.append(final)
+    banded_score = score_matches(banded_matches, truth)
+    rows.append(
+        [
+            "stretch band 2.5x",
+            len(banded_matches),
+            f"{banded_score.recall:.2f}",
+            f"{banded_score.precision:.2f}",
+        ]
+    )
+
+    return ExperimentResult(
+        experiment="ablations",
+        title="Ablations: reporting policy, local distance, warping, bands",
+        headers=["variant", "reported", "recall", "precision/mean-dist"],
+        rows=rows,
+        summary={
+            "deferred_perfect": deferred_score.perfect,
+            "eager_mean_distance_worse": eager_worse,
+            "absolute_distance_recall": ab_score.recall,
+            "rigid_recall": rigid_score.recall,
+            "spring_recall": deferred_score.recall,
+            "banded_recall": banded_score.recall,
+            "scale": scale,
+        },
+        notes=[
+            "Eager reporting responds earlier but reports the first "
+            "qualifying subsequence, not the group optimum (higher mean "
+            "distance).",
+            "The rigid matcher misses time-stretched bursts by design; "
+            "SPRING finds them all — the paper's core motivation.",
+        ],
+    )

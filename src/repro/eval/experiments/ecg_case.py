@@ -1,0 +1,98 @@
+"""ECG anomaly case study (the introduction's bio-medical motivation).
+
+The paper's opening lists EKG/ECG monitoring among SPRING's driving
+applications but does not evaluate on one.  This driver completes the
+story on the synthetic ECG workload: monitor a long trace with an
+abnormal-beat (PVC) template and score anomaly detection, plus the
+heart-rate-variability robustness that makes DTW (rather than rigid
+matching) necessary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.baselines.euclidean import SlidingEuclideanMatcher
+from repro.core.batch import spring_search
+from repro.datasets.ecg import ecg_stream
+from repro.eval.harness import ExperimentResult, register
+from repro.eval.metrics import score_matches
+
+__all__ = ["run"]
+
+
+@register("ecg")
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    variabilities: List[float] = None,
+) -> ExperimentResult:
+    """Score PVC detection across heart-rate variability levels."""
+    levels = variabilities if variabilities is not None else [0.0, 0.15, 0.3]
+    beats = max(60, int(200 * scale))
+
+    rows: List[List[object]] = []
+    spring_f1: List[float] = []
+    rigid_f1_at_hrv: List[float] = []
+    for variability in levels:
+        data = ecg_stream(
+            beats=beats,
+            rate_variability=variability,
+            pvc_probability=0.06,
+            seed=seed,
+        )
+        truth = data.occurrence_intervals()
+        epsilon = data.suggested_epsilon
+
+        matches = spring_search(data.values, data.query, epsilon)
+        s_score = score_matches(matches, truth)
+        spring_f1.append(s_score.f1)
+
+        rigid = SlidingEuclideanMatcher(data.query, epsilon=epsilon)
+        rigid_matches = rigid.extend(data.values)
+        final = rigid.flush()
+        if final:
+            rigid_matches.append(final)
+        r_score = score_matches(rigid_matches, truth)
+        if variability > 0:
+            rigid_f1_at_hrv.append(r_score.f1)
+
+        rows.append(
+            [
+                variability,
+                len(truth),
+                len(matches),
+                f"{s_score.f1:.2f}",
+                f"{r_score.f1:.2f}",
+            ]
+        )
+
+    return ExperimentResult(
+        experiment="ecg",
+        title="ECG case study: PVC detection vs heart-rate variability",
+        headers=[
+            "rate variability",
+            "planted PVCs",
+            "SPRING reported",
+            "SPRING F1",
+            "rigid F1",
+        ],
+        rows=rows,
+        summary={
+            "spring_min_f1": round(min(spring_f1), 3) if spring_f1 else None,
+            "rigid_mean_f1_at_hrv": (
+                round(float(np.mean(rigid_f1_at_hrv)), 3)
+                if rigid_f1_at_hrv
+                else None
+            ),
+            "beats": beats,
+            "scale": scale,
+        },
+        notes=[
+            "The intro's EKG/ECG motivation, quantified: heart-rate "
+            "variability is exactly the time-axis stretching DTW absorbs "
+            "and rigid windows cannot.",
+        ],
+    )

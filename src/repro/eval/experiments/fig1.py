@@ -1,0 +1,67 @@
+"""Figure 1: the paper's introductory illustration.
+
+"The query sequence is the sinusoid pattern at the left.  The stream
+... consists of three flat and noisy parts and two (noisy) sinusoids,
+not of the same period.  Our system is able to spot the sinusoids after
+some stretching or shrinking."
+
+A two-burst MaskedChirp with a ~10,000-tick stream and a ~2,000-tick
+query reproduces the picture; the driver verifies both sinusoids are
+spotted and reports how much each was stretched.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.batch import spring_search
+from repro.datasets import masked_chirp
+from repro.eval.harness import ExperimentResult, register
+from repro.eval.metrics import score_matches
+
+__all__ = ["run"]
+
+
+@register("fig1")
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Reproduce the intro figure: two stretched sinusoids in noise."""
+    data = masked_chirp(
+        n=max(2500, int(10000 * scale)),
+        query_length=max(200, int(2000 * scale)),
+        bursts=2,
+        period_scales=[0.85, 1.5],  # "not of the same period"
+        seed=seed,
+    )
+    matches = spring_search(data.values, data.query, data.suggested_epsilon)
+    score = score_matches(matches, data.occurrence_intervals())
+
+    rows: List[List[object]] = []
+    for match in matches:
+        stretch = match.length / data.m
+        rows.append(
+            [
+                match.start,
+                match.end,
+                f"x{stretch:.2f}",
+                f"{match.distance:.4g}",
+                match.output_time,
+            ]
+        )
+    return ExperimentResult(
+        experiment="fig1",
+        title="Figure 1: spotting two differently-stretched sinusoids",
+        headers=["start", "end", "stretch", "distance", "output time"],
+        rows=rows,
+        summary={
+            "both_found": score.true_positives == 2
+            and score.false_positives == 0,
+            "n": data.n,
+            "m": data.m,
+            "scale": scale,
+        },
+        notes=[
+            "The intro's promise: both sinusoids found 'after some "
+            "stretching or shrinking', none of the flat noisy parts "
+            "reported.",
+        ],
+    )

@@ -1,0 +1,120 @@
+"""Figure 6: discovery of sequence patterns on the four datasets.
+
+The paper's Figure 6 shows, for MaskedChirp / Temperature / Kursk /
+Sunspots, the query on the left and the stream with the detected
+subsequences marked on the right.  Our reproduction reports, per
+dataset: the planted occurrences, the subsequences SPRING detected, and
+the detection score — the quantitative form of "SPRING can perfectly
+identify all sound parts".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.batch import spring_search
+from repro.datasets import (
+    masked_chirp,
+    seismic_stream,
+    sunspot_stream,
+    temperature_stream,
+)
+from repro.datasets.base import LabeledStream
+from repro.eval.harness import ExperimentResult, register
+from repro.eval.metrics import score_matches
+from repro.exceptions import ExperimentError
+
+__all__ = ["run", "DATASETS", "build_dataset"]
+
+#: Paper-scale generator settings per Figure 6 panel.
+DATASETS: Dict[str, Callable[..., LabeledStream]] = {
+    "chirp": lambda scale, seed: masked_chirp(
+        n=max(2500, int(20000 * scale)),
+        query_length=max(128, int(2048 * scale)),
+        bursts=4,
+        seed=seed,
+    ),
+    "temperature": lambda scale, seed: temperature_stream(
+        n=max(3000, int(30000 * scale)),
+        day_length=max(150, int(1000 * scale)),
+        hot_days=2,
+        seed=seed,
+    ),
+    "kursk": lambda scale, seed: seismic_stream(
+        n=max(4000, int(50000 * scale)),
+        event_length=max(400, int(4000 * scale)),
+        events=1,
+        seed=seed,
+    ),
+    "sunspots": lambda scale, seed: sunspot_stream(
+        n=max(4000, int(15000 * scale)),
+        cycle_length=max(500, int(2000 * scale)),
+        seed=seed,
+    ),
+}
+
+
+def build_dataset(name: str, scale: float = 1.0, seed: int = 0) -> LabeledStream:
+    """Build one Figure 6 dataset at the given scale."""
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    return factory(scale, seed)
+
+
+@register("fig6")
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    dataset: Optional[str] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 6 (all panels, or one via ``dataset``)."""
+    names = [dataset] if dataset else list(DATASETS)
+    rows: List[List[object]] = []
+    all_perfect = True
+    for name in names:
+        data = build_dataset(name, scale, seed)
+        epsilon = data.suggested_epsilon
+        matches = spring_search(data.values, data.query, epsilon)
+        score = score_matches(matches, data.occurrence_intervals())
+        all_perfect = all_perfect and score.perfect
+        rows.append(
+            [
+                data.name,
+                data.n,
+                data.m,
+                f"{epsilon:.4g}",
+                len(data.occurrences),
+                len(matches),
+                score.true_positives,
+                score.false_positives,
+                f"{score.precision:.2f}",
+                f"{score.recall:.2f}",
+            ]
+        )
+    return ExperimentResult(
+        experiment="fig6",
+        title="Figure 6: discovery of sequence patterns (disjoint queries)",
+        headers=[
+            "dataset",
+            "n",
+            "m",
+            "epsilon",
+            "planted",
+            "reported",
+            "hits",
+            "false",
+            "precision",
+            "recall",
+        ],
+        rows=rows,
+        summary={"all_perfect": all_perfect, "scale": scale},
+        notes=[
+            "Paper: SPRING perfectly identifies all qualifying subsequences "
+            "in each dataset; reproduction scores detection against the "
+            "generators' exact ground truth."
+        ],
+    )

@@ -1,0 +1,82 @@
+"""Table 2: per-match details of the disjoint queries.
+
+The paper's Table 2 lists, per dataset: query length, threshold, and for
+every reported subsequence its starting position, length, DTW distance,
+and output time — and observes that "the output time of each captured
+subsequence is very close to its end position" and "does not depend on
+threshold epsilon".
+
+Our reproduction prints the same rows for the generated datasets and
+summarises the output-delay statistics that back both observations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.batch import spring_search
+from repro.eval.experiments.fig6 import DATASETS, build_dataset
+from repro.eval.harness import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("table2")
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    dataset: Optional[str] = None,
+) -> ExperimentResult:
+    """Reproduce Table 2 (all datasets, or one via ``dataset``)."""
+    names = [dataset] if dataset else list(DATASETS)
+    rows: List[List[object]] = []
+    delays: List[float] = []
+    for name in names:
+        data = build_dataset(name, scale, seed)
+        epsilon = data.suggested_epsilon
+        matches = spring_search(data.values, data.query, epsilon)
+        first = True
+        for match in matches:
+            delay = (match.output_time or match.end) - match.end
+            delays.append(delay / max(1, match.length))
+            rows.append(
+                [
+                    data.name if first else "",
+                    data.m if first else "",
+                    f"{epsilon:.4g}" if first else "",
+                    match.start,
+                    match.length,
+                    f"{match.distance:.4g}",
+                    match.output_time,
+                    delay,
+                ]
+            )
+            first = False
+    mean_relative_delay = (
+        sum(delays) / len(delays) if delays else float("nan")
+    )
+    return ExperimentResult(
+        experiment="table2",
+        title="Table 2: results of disjoint queries",
+        headers=[
+            "dataset",
+            "query len",
+            "epsilon",
+            "start",
+            "length",
+            "distance",
+            "output time",
+            "delay",
+        ],
+        rows=rows,
+        summary={
+            "matches": len(delays),
+            "mean_delay_over_length": round(mean_relative_delay, 4),
+            "scale": scale,
+        },
+        notes=[
+            "Paper observation: output time is close to (and never "
+            "before) the match's end position; the delay column shows "
+            "output_time - end.",
+        ],
+    )

@@ -1,0 +1,94 @@
+"""Experiment harness: one uniform result type and a registry.
+
+Each experiment driver (``repro.eval.experiments.*``) exposes
+``run(scale=..., seed=...) -> ExperimentResult``.  ``scale`` shrinks the
+workload proportionally (1.0 = paper scale) so the same code serves the
+full reproduction, the CI-sized benchmarks, and the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.eval.reporting import format_table
+from repro.exceptions import ExperimentError
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "list_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier ("table2", "fig7", ...).
+    title:
+        Human-readable description.
+    headers / rows:
+        The table (or figure-as-series) content.
+    summary:
+        Key quantitative outcomes for programmatic assertions (e.g.
+        ``{"speedup_max": 3100.0, "all_found": True}``).
+    notes:
+        Caveats and paper-vs-measured commentary.
+    """
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    summary: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    appendix: str = ""
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        parts = [format_table(self.headers, self.rows, title=self.title)]
+        if self.summary:
+            parts.append("")
+            parts.append("summary:")
+            for key, value in self.summary.items():
+                parts.append(f"  {key}: {value}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        if self.appendix:
+            parts.append("")
+            parts.append(self.appendix)
+        return "\n".join(parts)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str) -> Callable:
+    """Decorator registering an experiment's ``run`` under ``name``."""
+
+    def wrap(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        _REGISTRY[name] = func
+        return func
+
+    return wrap
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment by name."""
+    # Importing the drivers registers them.
+    import repro.eval.experiments  # noqa: F401
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    """Names of all registered experiments."""
+    # Importing the drivers registers them.
+    import repro.eval.experiments  # noqa: F401
+
+    return sorted(_REGISTRY)

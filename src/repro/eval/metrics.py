@@ -1,0 +1,157 @@
+"""Scoring detected matches against ground truth.
+
+The paper's accuracy claims are qualitative ("SPRING can perfectly
+identify all sound parts"); because our generators give exact ground
+truth we can make them quantitative: a detected match is a true positive
+when it overlaps a planted occurrence sufficiently (Jaccard overlap, or
+any-overlap for the loose criterion), and recall/precision follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matches import Match, overlaps
+from repro.datasets.base import LabeledStream
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "jaccard",
+    "DetectionScore",
+    "score_matches",
+    "calibrate_epsilon",
+]
+
+Interval = Tuple[int, int]
+
+
+def jaccard(a: Interval, b: Interval) -> float:
+    """Intersection-over-union of two closed integer intervals."""
+    intersection = min(a[1], b[1]) - max(a[0], b[0]) + 1
+    if intersection <= 0:
+        return 0.0
+    union = max(a[1], b[1]) - min(a[0], b[0]) + 1
+    return intersection / union
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Precision/recall of a match list against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of reported matches that hit a planted occurrence."""
+        reported = self.true_positives + self.false_positives
+        return self.true_positives / reported if reported else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of planted occurrences that were reported."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def perfect(self) -> bool:
+        """True when every occurrence is found with no false alarms."""
+        return self.false_positives == 0 and self.false_negatives == 0
+
+
+def score_matches(
+    matches: Sequence[Match],
+    truth: Sequence[Interval],
+    min_jaccard: float = 0.0,
+) -> DetectionScore:
+    """Greedy one-to-one scoring of matches against ground truth.
+
+    Each occurrence may be claimed by at most one match (the best-
+    overlapping unclaimed one); remaining matches are false positives.
+
+    Parameters
+    ----------
+    min_jaccard:
+        Required interval IoU for a hit; 0 means any overlap counts
+        (with strictly positive intersection).
+    """
+    if not 0.0 <= min_jaccard <= 1.0:
+        raise ValidationError(
+            f"min_jaccard must be in [0, 1], got {min_jaccard}"
+        )
+    claimed = [False] * len(truth)
+    tp = 0
+    for match in matches:
+        interval = (match.start, match.end)
+        best_j, best_idx = 0.0, -1
+        for idx, occ in enumerate(truth):
+            if claimed[idx]:
+                continue
+            j = jaccard(interval, occ)
+            if j > best_j:
+                best_j, best_idx = j, idx
+        hit = best_idx >= 0 and (
+            best_j >= min_jaccard if min_jaccard > 0.0 else best_j > 0.0
+        )
+        if hit:
+            claimed[best_idx] = True
+            tp += 1
+    return DetectionScore(
+        true_positives=tp,
+        false_positives=len(matches) - tp,
+        false_negatives=len(truth) - tp,
+    )
+
+
+def calibrate_epsilon(
+    dataset: LabeledStream,
+    margin: float = 3.0,
+) -> float:
+    """Choose a disjoint-query threshold from the data's own separation.
+
+    Runs SPRING with ``epsilon = inf`` to enumerate every locally-optimal
+    subsequence, splits them into true (overlapping ground truth) and
+    background, and returns a threshold between the worst true distance
+    and the best background distance (geometric mean, clamped to at least
+    ``margin`` times the worst true distance when the gap allows).
+
+    Raises when the data does not separate (some background subsequence
+    scores below a planted one) — that is a dataset problem worth
+    surfacing, not papering over.
+    """
+    from repro.core.batch import spring_search, spring_search_vector
+
+    search = spring_search if dataset.values.ndim == 1 else spring_search_vector
+    everything = search(dataset.values, dataset.query, float("inf"))
+    truth = dataset.occurrence_intervals()
+    true_distances = []
+    background_distances = []
+    for match in everything:
+        interval = (match.start, match.end)
+        if any(overlaps(interval, occ) for occ in truth):
+            true_distances.append(match.distance)
+        else:
+            background_distances.append(match.distance)
+    if not true_distances:
+        raise ValidationError("no subsequence overlaps ground truth")
+    worst_true = max(true_distances)
+    if not background_distances:
+        return worst_true * margin
+    best_background = min(background_distances)
+    if best_background <= worst_true:
+        raise ValidationError(
+            "dataset does not separate: background subsequence at "
+            f"{best_background:.4g} <= planted occurrence at {worst_true:.4g}"
+        )
+    # Geometric mean sits strictly between the two clusters.
+    return float(np.sqrt(worst_true * best_background))

@@ -1,0 +1,91 @@
+"""ASCII plotting for experiment figures.
+
+The library is plot-dependency-free; the figures the paper draws as
+log-log charts (Figures 7 and 8) render here as terminal scatter/line
+charts.  Good enough to *see* "Naive linear, SPRING flat" in a CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@"
+
+
+def _log10(value: float) -> float:
+    if value <= 0:
+        raise ValidationError(
+            f"log-scale chart needs positive values, got {value}"
+        )
+    return math.log10(value)
+
+
+def ascii_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        List of ``(name, points)`` where points are (x, y) pairs.
+    log_x, log_y:
+        Log-scale the axes (the paper's Figures 7/8 are log-log).
+
+    Returns
+    -------
+    str
+        A chart with one marker per series and a legend.
+    """
+    if not series or all(not points for _, points in series):
+        raise ValidationError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ValidationError("chart too small to be legible")
+
+    fx = _log10 if log_x else float
+    fy = _log10 if log_y else float
+    xs = [fx(x) for _, pts in series for x, _ in pts]
+    ys = [fy(y) for _, pts in series for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, points) in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            col = int(round((fx(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((fy(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    bottom = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    pad = max(len(top), len(bottom))
+    for r, row in enumerate(grid):
+        prefix = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{prefix:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_left = f"{(10 ** x_lo if log_x else x_lo):.3g}"
+    x_right = f"{(10 ** x_hi if log_x else x_hi):.3g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (pad + 2) + x_left + " " * max(1, gap) + x_right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, (name, _) in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

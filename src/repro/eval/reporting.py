@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns structured rows; this module turns them
+into the aligned ASCII tables printed by the CLI and recorded in
+EXPERIMENTS.md.  No plotting dependencies — figures are reported as the
+series of (x, y) points the paper's plots are drawn from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_ratio"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Sequence[Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure as its data series (one row per x)."""
+    return format_table([x_label, *y_labels], points, title=title)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Human-readable speedup/blowup factor ('1234x')."""
+    if denominator == 0:
+        return "inf"
+    ratio = numerator / denominator
+    if ratio >= 100:
+        return f"{ratio:,.0f}x"
+    return f"{ratio:.1f}x"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)

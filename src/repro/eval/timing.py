@@ -1,0 +1,105 @@
+"""Wall-clock measurement of per-tick processing cost (Figure 7).
+
+Figure 7 plots "the average processing time needed to update the time
+warping matrix (matrices) for each time-tick and to capture the
+qualifying subsequences" as a function of stream length n.  The crucial
+methodological point: the per-tick cost of Naive depends on *how far
+into the stream* the tick is (it maintains one matrix per past tick), so
+we measure the cost of ticks *around* position n, not the average over a
+whole run from 0 — exactly what "as a function of sequence length"
+means for a stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["TickTiming", "time_per_tick", "measure_matcher_at_length"]
+
+
+@dataclass(frozen=True)
+class TickTiming:
+    """Per-tick wall-clock statistics at a given stream position."""
+
+    n: int
+    mean_seconds: float
+    p50_seconds: float
+    p95_seconds: float
+    ticks_measured: int
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean per-tick time in milliseconds (Figure 7's unit)."""
+        return self.mean_seconds * 1e3
+
+
+def time_per_tick(
+    step: Callable[[float], object],
+    values: Sequence[float],
+    warmup_values: Optional[Sequence[float]] = None,
+) -> TickTiming:
+    """Time ``step`` on each value of ``values`` after a warm-up.
+
+    Parameters
+    ----------
+    step:
+        The matcher's per-tick entry point.
+    values:
+        Ticks to measure (each timed individually).
+    warmup_values:
+        Ticks fed beforehand without timing (advances the matcher to the
+        stream position of interest).
+    """
+    if warmup_values is not None:
+        for value in warmup_values:
+            step(value)
+    if len(values) == 0:
+        raise ValidationError("need at least one value to time")
+    samples = np.empty(len(values), dtype=np.float64)
+    clock = time.perf_counter
+    for index, value in enumerate(values):
+        begin = clock()
+        step(value)
+        samples[index] = clock() - begin
+    return TickTiming(
+        n=len(values),
+        mean_seconds=float(samples.mean()),
+        p50_seconds=float(np.percentile(samples, 50)),
+        p95_seconds=float(np.percentile(samples, 95)),
+        ticks_measured=len(values),
+    )
+
+
+def measure_matcher_at_length(
+    make_matcher: Callable[[], object],
+    stream: np.ndarray,
+    n: int,
+    measure_ticks: int = 50,
+) -> TickTiming:
+    """Per-tick cost of a matcher when the stream has reached length n.
+
+    Feeds ``stream[: n - measure_ticks]`` untimed, then times the next
+    ``measure_ticks`` ticks — the steady-state cost at position ~n.
+    """
+    if n > stream.shape[0]:
+        raise ValidationError(
+            f"requested length {n} exceeds available stream {stream.shape[0]}"
+        )
+    measure_ticks = min(measure_ticks, n)
+    matcher = make_matcher()
+    warmup = stream[: n - measure_ticks]
+    measured = stream[n - measure_ticks : n]
+    timing = time_per_tick(matcher.step, list(measured), list(warmup))
+    return TickTiming(
+        n=n,
+        mean_seconds=timing.mean_seconds,
+        p50_seconds=timing.p50_seconds,
+        p95_seconds=timing.p95_seconds,
+        ticks_measured=timing.ticks_measured,
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-specific failure while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, empty, non-finite, ...).
+
+    Inherits from :class:`ValueError` so that idiomatic ``except ValueError``
+    call sites keep working.
+    """
+
+
+class EmptySequenceError(ValidationError):
+    """A sequence that must be non-empty was empty."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Two multi-dimensional sequences disagree on their dimensionality."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An operation required state that has not been initialised yet.
+
+    For example, asking a :class:`~repro.core.spring.Spring` instance for its
+    best match before any stream value has been consumed.
+    """
+
+
+class StreamExhaustedError(ReproError, RuntimeError):
+    """A stream source was read past its end."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An evaluation experiment could not be run as configured."""

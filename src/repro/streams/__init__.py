@@ -1,0 +1,38 @@
+"""Stream substrate: sources, ring buffers, running stats, transforms."""
+
+from repro.streams.buffer import RingBuffer
+from repro.streams.source import (
+    ArraySource,
+    CsvSource,
+    GeneratorSource,
+    StreamSource,
+    interleave,
+)
+from repro.streams.stats import EwmStats, RunningStats
+from repro.streams.transforms import (
+    add_noise,
+    clip_range,
+    dropout,
+    quantize,
+    time_scale,
+)
+from repro.streams.windows import Downsampler, RollingExtrema, RollingMean
+
+__all__ = [
+    "Downsampler",
+    "RollingExtrema",
+    "RollingMean",
+    "RingBuffer",
+    "ArraySource",
+    "CsvSource",
+    "GeneratorSource",
+    "StreamSource",
+    "interleave",
+    "EwmStats",
+    "RunningStats",
+    "add_noise",
+    "clip_range",
+    "dropout",
+    "quantize",
+    "time_scale",
+]

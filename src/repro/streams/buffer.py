@@ -1,0 +1,82 @@
+"""Fixed-capacity ring buffer over numpy storage.
+
+SPRING itself needs no history, but surrounding tooling does: examples
+display the matched subsequence, the monitor CLI prints context windows,
+and the SPRING(path) memory accounting wants the recent raw values.  A
+ring buffer gives that with a hard memory cap — keeping the whole system
+inside the constant-space story.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Keep the most recent ``capacity`` values of a scalar stream.
+
+    Indexing is by absolute 1-based stream tick, so callers can slice by
+    the positions SPRING reports without tracking offsets themselves.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if int(capacity) < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._data = np.empty(self.capacity, dtype=np.float64)
+        self._count = 0  # total values ever pushed == last absolute tick
+
+    def push(self, value: float) -> None:
+        """Append one value, evicting the oldest when full."""
+        self._data[self._count % self.capacity] = value
+        self._count += 1
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    @property
+    def total_pushed(self) -> int:
+        """Absolute tick of the newest value (0 when empty)."""
+        return self._count
+
+    @property
+    def oldest_tick(self) -> int:
+        """Absolute 1-based tick of the oldest retained value."""
+        if self._count == 0:
+            raise ValidationError("buffer is empty")
+        return max(1, self._count - self.capacity + 1)
+
+    def latest(self, n: int) -> np.ndarray:
+        """The ``n`` most recent values, oldest first."""
+        n = min(n, len(self))
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.window(self._count - n + 1, self._count)
+
+    def window(self, start_tick: int, end_tick: int) -> np.ndarray:
+        """Values for absolute ticks ``start_tick..end_tick`` (inclusive).
+
+        Raises when part of the window has been evicted — the caller
+        sized the buffer too small for the query it is displaying.
+        """
+        if start_tick < 1 or end_tick < start_tick:
+            raise ValidationError(
+                f"invalid window [{start_tick}, {end_tick}]"
+            )
+        if end_tick > self._count:
+            raise ValidationError(
+                f"window end {end_tick} is in the future (now={self._count})"
+            )
+        if start_tick < self.oldest_tick:
+            raise ValidationError(
+                f"window start {start_tick} already evicted "
+                f"(oldest retained: {self.oldest_tick})"
+            )
+        idx = (np.arange(start_tick - 1, end_tick)) % self.capacity
+        return self._data[idx].copy()

@@ -1,0 +1,159 @@
+"""Timestamped replay: simulate wall-clock arrival of recorded streams.
+
+Demos and load tests want recorded data to *arrive* like live data:
+per-source sample rates, jitter, reordering across sources, and a clock
+that can run faster than real time.  This module provides
+
+* :class:`TimedSample` — a (timestamp, source, value) event;
+* :class:`ReplaySchedule` — merge several recordings into one
+  timestamp-ordered event sequence, each with its own rate and jitter;
+* :class:`SimulationClock` — consume a schedule either as fast as
+  possible (tests) or paced against real time scaled by a factor
+  (demos).
+
+The monitoring side stays push-based: feed each event's value into a
+:class:`~repro.core.monitor.StreamMonitor` as it "arrives".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive
+from repro.datasets.noise import SeedLike, as_rng
+from repro.exceptions import ValidationError
+
+__all__ = ["TimedSample", "ReplaySchedule", "SimulationClock"]
+
+
+@dataclass(frozen=True)
+class TimedSample:
+    """One replayed value: arrival time (seconds), source name, value."""
+
+    timestamp: float
+    source: str
+    value: float
+
+    def __lt__(self, other: "TimedSample") -> bool:
+        return self.timestamp < other.timestamp
+
+
+class ReplaySchedule:
+    """Merge recordings into one timestamp-ordered arrival sequence.
+
+    Each source has a nominal sample interval; optional jitter perturbs
+    individual arrival times (bounded below half an interval so order
+    *within* a source is preserved — cross-source order interleaves
+    freely, as in real collection).
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._sources: List[Tuple[str, np.ndarray, float, float, float]] = []
+        self._rng = as_rng(seed)
+
+    def add_source(
+        self,
+        name: str,
+        values: object,
+        interval: float = 1.0,
+        start: float = 0.0,
+        jitter: float = 0.0,
+    ) -> "ReplaySchedule":
+        """Register one recording.
+
+        Parameters
+        ----------
+        interval:
+            Seconds between consecutive samples of this source.
+        start:
+            Arrival time of the first sample.
+        jitter:
+            Uniform arrival perturbation, must be < ``interval / 2``.
+        """
+        array = np.asarray(values, dtype=np.float64).reshape(-1)
+        if array.size == 0:
+            raise ValidationError(f"source {name!r} has no values")
+        check_positive(interval, "interval")
+        check_nonnegative(start, "start")
+        check_nonnegative(jitter, "jitter")
+        if jitter >= interval / 2:
+            raise ValidationError(
+                f"jitter {jitter} must be < interval/2 = {interval / 2} "
+                "to preserve per-source ordering"
+            )
+        if any(existing == name for existing, *_ in self._sources):
+            raise ValidationError(f"source {name!r} already registered")
+        self._sources.append((name, array, interval, start, jitter))
+        return self
+
+    def events(self) -> List[TimedSample]:
+        """All arrivals, sorted by timestamp."""
+        if not self._sources:
+            raise ValidationError("no sources registered")
+        out: List[TimedSample] = []
+        for name, array, interval, start, jitter in self._sources:
+            base = start + np.arange(array.shape[0]) * interval
+            if jitter:
+                base = base + self._rng.uniform(
+                    -jitter, jitter, size=array.shape[0]
+                )
+            for timestamp, value in zip(base, array):
+                out.append(TimedSample(float(timestamp), name, float(value)))
+        out.sort(key=lambda sample: sample.timestamp)
+        return out
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival."""
+        events = self.events()
+        return events[-1].timestamp if events else 0.0
+
+
+class SimulationClock:
+    """Drive a schedule: as-fast-as-possible or paced real time.
+
+    Parameters
+    ----------
+    speedup:
+        Real-time pacing factor; ``None`` (default) disables pacing
+        entirely (tests, batch evaluation).  ``speedup=60`` replays an
+        hour of recording in a minute.
+    """
+
+    def __init__(self, speedup: Optional[float] = None) -> None:
+        if speedup is not None:
+            check_positive(speedup, "speedup")
+        self.speedup = speedup
+
+    def run(
+        self, schedule: ReplaySchedule
+    ) -> Iterator[TimedSample]:
+        """Yield events in arrival order, sleeping when paced."""
+        start_wall = time.perf_counter()
+        for event in schedule.events():
+            if self.speedup is not None:
+                due = start_wall + event.timestamp / self.speedup
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            yield event
+
+    def drive(self, schedule: ReplaySchedule, monitor) -> int:
+        """Feed a :class:`~repro.core.monitor.StreamMonitor`.
+
+        Unregistered sources are added on first arrival.  Returns the
+        number of match events the monitor produced.
+        """
+        produced = 0
+        known = set(monitor.streams)
+        for event in self.run(schedule):
+            if event.source not in known:
+                monitor.add_stream(event.source)
+                known.add(event.source)
+            produced += len(monitor.push(event.source, event.value))
+        produced += len(monitor.flush())
+        return produced

@@ -1,0 +1,136 @@
+"""Running statistics for streaming normalisation and summaries.
+
+:class:`RunningStats` is Welford's numerically-stable single-pass
+mean/variance; :class:`EwmStats` is its exponentially-weighted cousin for
+drifting streams.  Both are O(1) per value and O(1) space — the same
+resource envelope SPRING lives in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro._validation import check_positive
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["RunningStats", "EwmStats"]
+
+
+class RunningStats:
+    """Welford's online mean / variance / min / max."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one value into the statistics."""
+        value = float(value)
+        if math.isnan(value):
+            return  # missing values do not contribute
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of (non-missing) values folded in."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean; 0 before any value (matching z-norm conventions)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the values seen so far."""
+        if self._count == 0:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest value seen."""
+        if self._count == 0:
+            raise NotFittedError("no values seen yet")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest value seen."""
+        if self._count == 0:
+            raise NotFittedError("no values seen yet")
+        return self._max
+
+
+class EwmStats:
+    """Exponentially-weighted mean/variance with a half-life in ticks.
+
+    Weight of a sample ``h`` ticks old is ``0.5 ** (h / halflife)``; the
+    decay factor per tick is ``alpha = 0.5 ** (1 / halflife)``.
+    """
+
+    def __init__(self, halflife: float) -> None:
+        check_positive(halflife, "halflife")
+        self.halflife = float(halflife)
+        self._decay = 0.5 ** (1.0 / self.halflife)
+        self._weight = 0.0
+        self._mean = 0.0
+        self._var = 0.0
+        self._count = 0
+
+    def push(self, value: float) -> None:
+        """Fold one value in, decaying all previous weight."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        self._count += 1
+        if self._weight == 0.0:
+            self._weight = 1.0
+            self._mean = value
+            self._var = 0.0
+            return
+        decayed = self._weight * self._decay
+        total = decayed + 1.0
+        delta = value - self._mean
+        frac = 1.0 / total
+        self._mean += delta * frac
+        # Weighted Welford update: old variance decays, new sample adds
+        # its (pre/post)-mean deviation product.
+        self._var = (decayed * (self._var + frac * delta * delta)) / total
+        self._weight = total
+
+    @property
+    def count(self) -> int:
+        """Number of (non-missing) values folded in."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Exponentially-weighted mean."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Exponentially-weighted variance."""
+        return max(self._var, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Exponentially-weighted standard deviation."""
+        return math.sqrt(self.variance)

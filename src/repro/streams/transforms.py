@@ -1,0 +1,86 @@
+"""Stream transforms: noise, dropout, delay, resampling.
+
+These model the imperfections the paper's experiments lean on — sensor
+noise (MaskedChirp), missing readings (Temperature), and rate differences
+("the sampling rates of streams are frequently different") — as
+composable generators over any iterable of floats.
+
+All transforms take an explicit ``rng`` (:class:`numpy.random.Generator`)
+so experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_probability, check_positive
+from repro.exceptions import ValidationError
+
+__all__ = ["add_noise", "dropout", "time_scale", "quantize", "clip_range"]
+
+
+def add_noise(
+    values: Iterable[float],
+    sigma: float,
+    rng: np.random.Generator,
+) -> Iterator[float]:
+    """Add i.i.d. Gaussian noise with standard deviation ``sigma``."""
+    check_nonnegative(sigma, "sigma")
+    for value in values:
+        yield float(value) + float(rng.normal(0.0, sigma))
+
+
+def dropout(
+    values: Iterable[float],
+    probability: float,
+    rng: np.random.Generator,
+) -> Iterator[float]:
+    """Replace each value with NaN independently with given probability.
+
+    This reproduces the Temperature dataset's missing readings; SPRING's
+    ``missing="skip"`` policy consumes the NaNs without state changes.
+    """
+    check_probability(probability, "probability")
+    for value in values:
+        if rng.random() < probability:
+            yield float("nan")
+        else:
+            yield float(value)
+
+
+def time_scale(values: Iterable[float], factor: float) -> Iterator[float]:
+    """Stretch (> 1) or shrink (< 1) the time axis by linear interpolation.
+
+    This is the operation DTW is built to absorb: a pattern emitted
+    through ``time_scale`` should still match its original under SPRING
+    (and fail under a rigid Euclidean matcher).
+    """
+    check_positive(factor, "factor")
+    array = np.asarray(list(values), dtype=np.float64)
+    n = array.shape[0]
+    if n == 0:
+        return
+    new_n = max(1, int(round(n * factor)))
+    old_t = np.arange(n, dtype=np.float64)
+    new_t = np.linspace(0.0, n - 1, new_n)
+    for value in np.interp(new_t, old_t, array):
+        yield float(value)
+
+
+def quantize(values: Iterable[float], step: float) -> Iterator[float]:
+    """Round values to multiples of ``step`` (ADC-style quantisation)."""
+    check_positive(step, "step")
+    for value in values:
+        yield float(np.round(value / step) * step)
+
+
+def clip_range(
+    values: Iterable[float], low: float, high: float
+) -> Iterator[float]:
+    """Clip values into [low, high] (sensor saturation)."""
+    if not low < high:
+        raise ValidationError(f"need low < high, got [{low}, {high}]")
+    for value in values:
+        yield float(min(max(value, low), high))

@@ -1,0 +1,156 @@
+"""Sliding-window aggregates over streams.
+
+Monitoring pipelines commonly pre-aggregate raw streams (per-second
+means, max-in-window spikes) before pattern matching, and dashboards
+want rolling summaries alongside SPRING's matches.  These aggregators
+are O(1) amortised per tick (monotonic-deque minima/maxima, rolling
+sums) and fixed-memory, keeping the whole pipeline inside the paper's
+resource envelope.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["RollingMean", "RollingExtrema", "Downsampler"]
+
+
+class RollingMean:
+    """Mean (and variance) over the last ``window`` values.
+
+    NaN values are treated as missing: they occupy a slot in the window
+    but contribute nothing, so gappy sensors degrade gracefully.
+    """
+
+    def __init__(self, window: int) -> None:
+        if int(window) < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._values: Deque[float] = deque()
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._present = 0
+
+    def push(self, value: float) -> None:
+        """Add one value, evicting beyond the window."""
+        value = float(value)
+        self._values.append(value)
+        if not np.isnan(value):
+            self._sum += value
+            self._sum_sq += value * value
+            self._present += 1
+        if len(self._values) > self.window:
+            old = self._values.popleft()
+            if not np.isnan(old):
+                self._sum -= old
+                self._sum_sq -= old * old
+                self._present -= 1
+
+    @property
+    def count(self) -> int:
+        """Non-missing values currently in the window."""
+        return self._present
+
+    @property
+    def mean(self) -> float:
+        """Mean of the non-missing window values."""
+        if self._present == 0:
+            raise NotFittedError("window holds no values")
+        return self._sum / self._present
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the non-missing window values."""
+        if self._present == 0:
+            raise NotFittedError("window holds no values")
+        mean = self.mean
+        return max(self._sum_sq / self._present - mean * mean, 0.0)
+
+
+class RollingExtrema:
+    """Min and max over the last ``window`` values in O(1) amortised.
+
+    Two monotonic deques hold (tick, value) pairs; the front of each is
+    the current extremum.  NaNs are skipped (time still advances).
+    """
+
+    def __init__(self, window: int) -> None:
+        if int(window) < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._tick = 0
+        self._minq: Deque[Tuple[int, float]] = deque()
+        self._maxq: Deque[Tuple[int, float]] = deque()
+
+    def push(self, value: float) -> None:
+        """Add one value."""
+        self._tick += 1
+        value = float(value)
+        if not np.isnan(value):
+            while self._minq and self._minq[-1][1] >= value:
+                self._minq.pop()
+            self._minq.append((self._tick, value))
+            while self._maxq and self._maxq[-1][1] <= value:
+                self._maxq.pop()
+            self._maxq.append((self._tick, value))
+        horizon = self._tick - self.window
+        while self._minq and self._minq[0][0] <= horizon:
+            self._minq.popleft()
+        while self._maxq and self._maxq[0][0] <= horizon:
+            self._maxq.popleft()
+
+    @property
+    def minimum(self) -> float:
+        """Smallest non-missing value in the window."""
+        if not self._minq:
+            raise NotFittedError("window holds no values")
+        return self._minq[0][1]
+
+    @property
+    def maximum(self) -> float:
+        """Largest non-missing value in the window."""
+        if not self._maxq:
+            raise NotFittedError("window holds no values")
+        return self._maxq[0][1]
+
+    @property
+    def range(self) -> float:
+        """max - min over the window."""
+        return self.maximum - self.minimum
+
+
+class Downsampler:
+    """Block-average downsampling: r raw ticks -> 1 coarse tick.
+
+    The coarse-stage reducer the cascade matcher uses, exposed for
+    standalone pipelines.  A block containing any NaN yields NaN (the
+    conservative choice for pattern matching — a gap should look like a
+    gap, not like a diluted average).
+    """
+
+    def __init__(self, factor: int) -> None:
+        if int(factor) < 1:
+            raise ValidationError(f"factor must be >= 1, got {factor}")
+        self.factor = int(factor)
+        self._block: list = []
+
+    def push(self, value: float) -> Optional[float]:
+        """Add one raw value; returns a coarse value when a block fills."""
+        self._block.append(float(value))
+        if len(self._block) < self.factor:
+            return None
+        block = np.asarray(self._block, dtype=np.float64)
+        self._block.clear()
+        if np.isnan(block).any():
+            return float("nan")
+        return float(block.mean())
+
+    @property
+    def pending(self) -> int:
+        """Raw values waiting for the current block to fill."""
+        return len(self._block)

@@ -1,0 +1,96 @@
+"""Unit tests for the burst-detection baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.burst import Burst, BurstDetector
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_rejects_empty_windows(self):
+        with pytest.raises(ValidationError):
+            BurstDetector([], threshold=1.0)
+
+    def test_windows_rounded_to_powers_of_two(self):
+        detector = BurstDetector([3, 5, 8], threshold=1.0)
+        assert detector.windows == [4, 8]
+
+
+class TestDetection:
+    def test_flat_stream_no_bursts(self, rng):
+        detector = BurstDetector([8, 32], threshold=1e9)
+        assert detector.extend(rng.normal(size=200)) == []
+
+    def test_energy_burst_detected(self, rng):
+        quiet = rng.normal(0, 0.1, 128)
+        loud = rng.normal(0, 10.0, 32)
+        stream = np.concatenate([quiet, loud, quiet])
+        detector = BurstDetector([32], threshold=100.0)
+        bursts = detector.extend(stream)
+        assert bursts
+        # At least one burst window overlaps the loud region.
+        assert any(b.start <= 160 and 129 <= b.end for b in bursts)
+
+    def test_burst_value_is_window_sum(self):
+        detector = BurstDetector([4], threshold=3.9, absolute=True)
+        bursts = detector.extend([1.0, 1.0, 1.0, 1.0])
+        assert len(bursts) == 1
+        assert bursts[0].value == pytest.approx(4.0)
+        assert (bursts[0].start, bursts[0].end) == (1, 4)
+
+    def test_cooldown_suppresses_repeats(self):
+        detector = BurstDetector([4], threshold=3.9, cooldown=100)
+        bursts = detector.extend([1.0] * 16)
+        assert len(bursts) == 1
+
+    def test_signed_mode(self):
+        # With absolute=False, alternating signs cancel.
+        detector = BurstDetector([4], threshold=3.0, absolute=False)
+        assert detector.extend([5.0, -5.0, 5.0, -5.0]) == []
+
+    def test_nan_contributes_nothing(self):
+        detector = BurstDetector([2], threshold=1.5)
+        bursts = detector.extend([1.0, float("nan"), 1.0, 1.0])
+        assert len(bursts) == 1
+        assert (bursts[0].start, bursts[0].end) == (3, 4)
+
+    def test_multiple_window_sizes_independent(self, rng):
+        quiet = np.zeros(64)
+        spike = np.full(8, 10.0)
+        stream = np.concatenate([quiet, spike, quiet])
+        detector = BurstDetector([8, 64], threshold=60.0)
+        bursts = detector.extend(stream)
+        sizes = {b.window for b in bursts}
+        assert 8 in sizes  # the tight window sees the dense spike
+
+
+class TestVersusSpring:
+    def test_burst_fires_on_any_energy_spring_on_shape(self, rng):
+        """The conceptual difference: an explosion template and an
+        equally-energetic but differently-shaped rumble both trip the
+        burst detector; only the explosion matches under SPRING."""
+        from repro.core import spring_search
+        from repro.datasets import explosion_query
+
+        template = explosion_query(length=256, spikes=3, amplitude=100.0)
+        rumble = rng.normal(0, float(np.abs(template).mean()) * 1.6, 256)
+        quiet = rng.normal(0, 1.0, 300)
+        stream = np.concatenate([quiet, template, quiet, rumble, quiet])
+
+        detector = BurstDetector([256], threshold=np.abs(template).sum() * 0.6)
+        burst_hits = detector.extend(stream)
+        assert len(burst_hits) >= 2  # fires on both energetic regions
+        hit_template = any(b.start <= 556 and 301 <= b.end for b in burst_hits)
+        hit_rumble = any(b.start <= 1112 and 857 <= b.end for b in burst_hits)
+        assert hit_template and hit_rumble
+
+        # The planted template matches at distance ~0; the best rumble
+        # alignment costs >1e4 — epsilon between the two.
+        matches = spring_search(stream, template, epsilon=1e3)
+        assert matches
+        # Every SPRING match overlaps the *template* region only.
+        for match in matches:
+            assert match.start <= 556 and 301 <= match.end

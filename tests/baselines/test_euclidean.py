@@ -1,0 +1,68 @@
+"""Unit tests for the rigid sliding-window Euclidean matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SlidingEuclideanMatcher
+from repro.exceptions import NotFittedError
+
+
+class TestWindows:
+    def test_exact_window_found(self, rng):
+        y = rng.normal(size=5)
+        x = np.concatenate([rng.normal(size=20) + 9, y, rng.normal(size=20) + 9])
+        matcher = SlidingEuclideanMatcher(y, epsilon=1e-9)
+        matches = matcher.extend(x)
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        assert len(matches) == 1
+        assert (matches[0].start, matches[0].end) == (21, 25)
+        assert matches[0].length == 5  # windows are rigid
+
+    def test_matches_always_query_length(self, rng):
+        y = rng.normal(size=6)
+        matcher = SlidingEuclideanMatcher(y, epsilon=10.0)
+        matches = matcher.extend(rng.normal(size=200))
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        assert all(m.length == 6 for m in matches)
+
+    def test_best_match_before_full_window_raises(self, rng):
+        matcher = SlidingEuclideanMatcher(rng.normal(size=5))
+        matcher.step(1.0)
+        with pytest.raises(NotFittedError):
+            matcher.best_match
+
+    def test_misses_stretched_pattern_that_dtw_catches(self, rng):
+        """The motivating failure: rigid windows vs time stretching."""
+        from repro.core import spring_search
+
+        y = np.sin(np.linspace(0, 2 * np.pi, 20)) * 3
+        stretched = np.repeat(y, 2)  # 2x slower rendition
+        x = np.concatenate(
+            [rng.normal(size=30), stretched, rng.normal(size=30)]
+        )
+        epsilon = 5.0
+        rigid = SlidingEuclideanMatcher(y, epsilon=epsilon)
+        rigid_matches = rigid.extend(x)
+        if rigid.flush():
+            rigid_matches.append(rigid.flush())
+        spring_matches = spring_search(x, y, epsilon)
+        assert spring_matches, "SPRING must absorb the 2x stretch"
+        assert not rigid_matches, "the rigid matcher must miss it"
+
+    def test_overlapping_windows_collapse_to_local_minimum(self, rng):
+        # A flat stream against a flat query qualifies everywhere; only
+        # local minima should be reported, not every window.
+        matcher = SlidingEuclideanMatcher(np.zeros(4), epsilon=1.0)
+        matches = matcher.extend(rng.normal(0, 0.05, size=100))
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        assert len(matches) < 40  # far fewer than the ~97 windows
+        for a, b in zip(matches, matches[1:]):
+            assert a.end < b.start

@@ -1,0 +1,96 @@
+"""Unit tests for the Naive baseline — and its agreement with SPRING."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveSubsequenceMatcher
+from repro.core import Spring
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _collect(matcher, values):
+    matches = matcher.extend(values)
+    final = matcher.flush()
+    if final:
+        matches.append(final)
+    return [(m.start, m.end, round(m.distance, 9), m.output_time) for m in matches]
+
+
+class TestConstruction:
+    def test_rejects_empty_query(self):
+        with pytest.raises(ValidationError):
+            NaiveSubsequenceMatcher([])
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValidationError):
+            NaiveSubsequenceMatcher([1.0], max_matrices=0)
+
+    def test_best_match_before_data_raises(self):
+        with pytest.raises(NotFittedError):
+            NaiveSubsequenceMatcher([1.0]).best_match
+
+
+class TestAgreementWithSpring:
+    """The heart of the reproduction: identical reports, per Theorem 1."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_identical_disjoint_reports(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=120)
+        y = rng.normal(size=6)
+        epsilon = float(rng.uniform(1.0, 6.0))
+        spring = Spring(y, epsilon=epsilon)
+        naive = NaiveSubsequenceMatcher(y, epsilon=epsilon)
+        assert _collect(spring, x) == _collect(naive, x)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_with_epsilon_inf(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        x = rng.normal(size=90)
+        y = rng.normal(size=5)
+        spring = Spring(y, epsilon=np.inf)
+        naive = NaiveSubsequenceMatcher(y, epsilon=np.inf)
+        assert _collect(spring, x) == _collect(naive, x)
+
+    def test_identical_best_match(self, rng):
+        x = rng.normal(size=80)
+        y = rng.normal(size=6)
+        spring = Spring(y, epsilon=0.0)
+        naive = NaiveSubsequenceMatcher(y, epsilon=0.0)
+        spring.extend(x)
+        naive.extend(x)
+        sb, nb = spring.best_match, naive.best_match
+        assert sb.distance == pytest.approx(nb.distance, rel=1e-9)
+        assert (sb.start, sb.end) == (nb.start, nb.end)
+
+    def test_identical_with_missing_values(self, rng):
+        x = rng.normal(size=100)
+        x[::9] = np.nan
+        y = rng.normal(size=5)
+        spring = Spring(y, epsilon=4.0)
+        naive = NaiveSubsequenceMatcher(y, epsilon=4.0)
+        assert _collect(spring, x) == _collect(naive, x)
+
+
+class TestStateGrowth:
+    def test_live_matrices_track_ticks(self, rng):
+        naive = NaiveSubsequenceMatcher(rng.normal(size=4))
+        naive.extend(rng.normal(size=37))
+        assert naive.live_matrices == 37
+        assert naive.state_floats == 37 * 4
+
+    def test_cap_bounds_state(self, rng):
+        naive = NaiveSubsequenceMatcher(rng.normal(size=4), max_matrices=8)
+        naive.extend(rng.normal(size=50))
+        assert naive.live_matrices == 8
+        # Newest starts survive.
+        assert naive._starts.max() == 50
+
+    def test_growth_is_amortised(self, rng):
+        """Capacity doubles: after 100 ticks capacity is a power of two."""
+        naive = NaiveSubsequenceMatcher(rng.normal(size=3))
+        naive.extend(rng.normal(size=100))
+        assert naive._capacity >= 100
+        assert naive._capacity & (naive._capacity - 1) == 0

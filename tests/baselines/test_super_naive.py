@@ -1,0 +1,90 @@
+"""Unit tests for the Super-Naive oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SuperNaiveMatcher
+from repro.core import Spring, spring_search
+from repro.core.matches import overlaps
+from repro.exceptions import NotFittedError
+
+
+class TestOracleBasics:
+    def test_best_match_agrees_with_spring(self, rng):
+        x = rng.normal(size=30)
+        y = rng.normal(size=4)
+        oracle = SuperNaiveMatcher(y)
+        oracle.extend(x)
+        spring = Spring(y, epsilon=0.0)
+        spring.extend(x)
+        ob, sb = oracle.best_match, spring.best_match
+        assert ob.distance == pytest.approx(sb.distance, rel=1e-9)
+        assert (ob.start, ob.end) == (sb.start, sb.end)
+
+    def test_best_match_before_data_raises(self):
+        with pytest.raises(NotFittedError):
+            SuperNaiveMatcher([1.0]).best_match
+
+    def test_finalize_empty_when_nothing_qualifies(self, rng):
+        oracle = SuperNaiveMatcher(rng.normal(size=3) + 50, epsilon=0.1)
+        oracle.extend(rng.normal(size=25))
+        assert oracle.finalize() == []
+
+
+class TestDisjointOracle:
+    def test_groups_are_disjoint(self, rng):
+        x = rng.normal(size=50)
+        y = rng.normal(size=4)
+        oracle = SuperNaiveMatcher(y, epsilon=3.0)
+        oracle.extend(x)
+        groups = oracle.finalize()
+        for a, b in zip(groups, groups[1:]):
+            assert a.end < b.start
+
+    def test_first_spring_report_is_unconditional_group_optimum(self, rng):
+        """Before any reset has pruned the matrix, Lemma 2 is absolute:
+        no qualifying subsequence overlapping the first report beats it."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            x = local.normal(size=60)
+            y = local.normal(size=5)
+            epsilon = 3.5
+            spring_matches = spring_search(x, y, epsilon)
+            if not spring_matches:
+                continue
+            first = spring_matches[0]
+            oracle = SuperNaiveMatcher(y, epsilon=epsilon)
+            oracle.extend(x)
+            for te, (d, ts) in enumerate(oracle._ending_best):
+                interval = (ts + 1, te + 1)
+                if d <= epsilon and overlaps(interval, (first.start, first.end)):
+                    assert first.distance <= d + 1e-9
+
+    def test_later_reports_only_beaten_by_absorbed_subsequences(self, rng):
+        """Lemma 2's group semantics: a qualifying subsequence that beats
+        a later SPRING report must have been absorbed into an *earlier*
+        group (its start precedes that group's output time) — SPRING's
+        cell reset is exactly what discards it."""
+        x = rng.normal(size=60)
+        y = rng.normal(size=5)
+        epsilon = 3.5
+        spring_matches = spring_search(x, y, epsilon)
+        oracle = SuperNaiveMatcher(y, epsilon=epsilon)
+        oracle.extend(x)
+        for index, match in enumerate(spring_matches):
+            prior_end = (
+                spring_matches[index - 1].output_time if index else 0
+            ) or 0
+            for te, (d, ts) in enumerate(oracle._ending_best):
+                interval = (ts + 1, te + 1)
+                if (
+                    d <= epsilon
+                    and overlaps(interval, (match.start, match.end))
+                    and d + 1e-9 < match.distance
+                ):
+                    assert interval[0] <= prior_end, (
+                        "a better overlapping subsequence must belong to "
+                        "the previous (already reported) group"
+                    )

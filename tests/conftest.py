@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(20070415)  # ICDE 2007 vintage
+
+
+@pytest.fixture
+def paper_stream() -> list:
+    """The stream of the paper's Figure 5 worked example."""
+    return [5, 12, 6, 10, 6, 5, 13]
+
+
+@pytest.fixture
+def paper_query() -> list:
+    """The query of the paper's Figure 5 worked example."""
+    return [11, 6, 9, 4]

@@ -1,0 +1,62 @@
+"""Unit tests for the batch (stored-sequence) convenience API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Spring,
+    spring_best_match,
+    spring_search,
+    spring_search_vector,
+)
+from repro.dtw import brute_force_best
+
+
+class TestSpringSearch:
+    def test_equivalent_to_manual_streaming(self, rng):
+        x = rng.normal(size=250)
+        y = rng.normal(size=7)
+        manual = Spring(y, epsilon=3.0)
+        expected = manual.extend(x)
+        final = manual.flush()
+        if final:
+            expected.append(final)
+        assert spring_search(x, y, epsilon=3.0) == expected
+
+    def test_empty_result_for_impossible_threshold(self, rng):
+        assert spring_search(rng.normal(size=50), rng.normal(size=4), 0.0) == []
+
+    def test_record_path_attaches_paths(self, rng):
+        y = rng.normal(size=4)
+        x = np.concatenate([rng.normal(size=20) + 8, y, rng.normal(size=20) + 8])
+        matches = spring_search(x, y, epsilon=1e-9, record_path=True)
+        assert len(matches) == 1
+        path = matches[0].path
+        assert path is not None
+        # Path ticks span exactly the match interval.
+        assert path[0][0] == matches[0].start
+        assert path[-1][0] == matches[0].end
+        assert path[-1][1] == 4  # ends at the last query element
+
+
+class TestSpringBestMatch:
+    def test_agrees_with_brute_force(self, rng):
+        x = rng.normal(size=35)
+        y = rng.normal(size=5)
+        best = spring_best_match(x, y)
+        bd, bs, be = brute_force_best(x, y)
+        assert best.distance == pytest.approx(bd, rel=1e-9)
+        assert (best.start - 1, best.end - 1) == (bs, be)
+
+
+class TestSpringSearchVector:
+    def test_scalar_stream_promotes(self, rng):
+        x = rng.normal(size=60)
+        y = rng.normal(size=5)
+        scalar = spring_search(x, y, epsilon=2.0)
+        vector = spring_search_vector(x.reshape(-1, 1), y.reshape(-1, 1), 2.0)
+        assert [(m.start, m.end) for m in scalar] == [
+            (m.start, m.end) for m in vector
+        ]

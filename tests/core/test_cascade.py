@@ -1,0 +1,96 @@
+"""Unit tests for the cascade (coarse-to-fine) matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Spring
+from repro.core.cascade import CascadeSpring
+from repro.dtw import dtw_distance
+from repro.exceptions import ValidationError
+
+
+def _planted_stream(rng, pattern, pad=120, level=8.0):
+    return np.concatenate(
+        [rng.normal(size=pad) + level, pattern, rng.normal(size=pad) + level]
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_reduction(self):
+        with pytest.raises(ValidationError):
+            CascadeSpring([1.0, 2.0], epsilon=1.0, reduction=0)
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ValidationError):
+            CascadeSpring([1.0, 2.0], epsilon=1.0, coarse_slack=0.0)
+
+
+class TestMatching:
+    def test_reduction_one_finds_exactly(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 32)) * 3
+        stream = _planted_stream(rng, pattern)
+        cascade = CascadeSpring(pattern, epsilon=5.0, reduction=1)
+        matches = cascade.extend(stream)
+        final = cascade.flush()
+        if final:
+            matches.append(final)
+        assert len(matches) >= 1
+        best = min(matches, key=lambda m: m.distance)
+        assert abs(best.start - 121) <= 2
+        assert abs(best.end - 152) <= 2
+
+    @pytest.mark.parametrize("reduction", [2, 4])
+    def test_coarse_stage_still_finds_clear_pattern(self, rng, reduction):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 64)) * 3
+        stream = _planted_stream(rng, pattern)
+        cascade = CascadeSpring(
+            pattern, epsilon=8.0, reduction=reduction, coarse_slack=3.0
+        )
+        matches = cascade.extend(stream)
+        final = cascade.flush()
+        if final:
+            matches.append(final)
+        assert matches, f"reduction {reduction} lost an obvious pattern"
+        best = min(matches, key=lambda m: m.distance)
+        # Verified positions are full-resolution accurate.
+        assert abs(best.start - 121) <= reduction + 2
+        assert abs(best.end - 184) <= reduction + 2
+
+    def test_verified_distance_is_true_dtw(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 48)) * 2
+        stream = _planted_stream(rng, pattern)
+        cascade = CascadeSpring(pattern, epsilon=6.0, reduction=2)
+        matches = cascade.extend(stream)
+        final = cascade.flush()
+        if final:
+            matches.append(final)
+        for match in matches:
+            true = dtw_distance(
+                stream[match.start - 1 : match.end], pattern
+            )
+            assert match.distance == pytest.approx(true, rel=1e-9)
+
+    def test_quiet_stream_reports_nothing(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 32)) * 3
+        cascade = CascadeSpring(pattern, epsilon=2.0, reduction=2)
+        matches = cascade.extend(rng.normal(size=300) + 9)
+        assert matches == []
+        assert cascade.flush() is None
+
+    def test_nan_voids_coarse_block_but_time_advances(self, rng):
+        pattern = rng.normal(size=8)
+        cascade = CascadeSpring(pattern, epsilon=1.0, reduction=2)
+        cascade.step(1.0)
+        cascade.step(float("nan"))
+        cascade.step(1.0)
+        assert cascade.tick == 3
+
+    def test_coarse_prefilter_is_cheaper(self, rng):
+        """The point of the cascade: far fewer coarse state updates."""
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 64)) * 3
+        cascade = CascadeSpring(pattern, epsilon=5.0, reduction=4)
+        cascade.extend(rng.normal(size=400) + 9)
+        assert cascade._coarse.tick == 100  # one coarse tick per 4 values
+        assert cascade._coarse.m == 16

@@ -1,0 +1,130 @@
+"""Checkpoint/restore exactness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstrainedSpring, Spring, VectorSpring
+from repro.core.checkpoint import dump_json, load_json, load_state, save_state
+from repro.exceptions import ValidationError
+
+
+def _matches(matcher, values):
+    out = matcher.extend(values)
+    final = matcher.flush()
+    if final:
+        out.append(final)
+    return [(m.start, m.end, round(m.distance, 9), m.output_time) for m in out]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cut", [1, 37, 99])
+    def test_spring_resumes_exactly(self, rng, cut):
+        x = rng.normal(size=160)
+        y = rng.normal(size=7)
+        uninterrupted = Spring(y, epsilon=3.0)
+        expected = _matches(uninterrupted, x)
+
+        first = Spring(y, epsilon=3.0)
+        head = first.extend(x[:cut])
+        restored = load_state(save_state(first))
+        tail = _matches(restored, x[cut:])
+        combined = [
+            (m.start, m.end, round(m.distance, 9), m.output_time)
+            for m in head
+        ] + tail
+        assert combined == expected
+
+    def test_json_round_trip(self, rng):
+        x = rng.normal(size=80)
+        y = rng.normal(size=5)
+        spring = Spring(y, epsilon=2.0)
+        spring.extend(x[:40])
+        restored = load_json(dump_json(spring))
+        a = _matches(spring, x[40:])
+        b = _matches(restored, x[40:])
+        assert a == b
+
+    def test_vector_spring_with_range_reporting(self, rng):
+        x = rng.normal(size=(90, 3))
+        y = rng.normal(size=(6, 3))
+        plain = VectorSpring(y, epsilon=8.0, report_range=True)
+        expected = _matches(plain, x)
+
+        first = VectorSpring(y, epsilon=8.0, report_range=True)
+        head = _matches_no_flush(first, x[:45])
+        restored = load_state(save_state(first))
+        tail = _matches(restored, x[45:])
+        assert head + tail == expected
+
+    def test_constrained_spring_keeps_band(self, rng):
+        y = rng.normal(size=6)
+        spring = ConstrainedSpring(y, epsilon=5.0, max_stretch=1.5)
+        spring.extend(rng.normal(size=30))
+        restored = load_state(save_state(spring))
+        assert isinstance(restored, ConstrainedSpring)
+        assert restored.max_stretch == 1.5
+
+    def test_path_recording_round_trip(self, rng):
+        y = rng.normal(size=4)
+        x = np.concatenate(
+            [rng.normal(size=30) + 8, y, rng.normal(size=30) + 8]
+        )
+        spring = Spring(y, epsilon=1e-9, record_path=True)
+        spring.extend(x[:32])  # mid-pattern: live paths exist
+        restored = load_json(dump_json(spring))
+        a = _matches(spring, x[32:])
+        b = _matches(restored, x[32:])
+        assert a == b
+        # Path content survives too.
+        direct = Spring(y, epsilon=1e-9, record_path=True)
+        expected_paths = [m.path for m in direct.extend(x) + ([direct.flush()] if direct.flush() else [])]
+        # Re-run the restored scenario to compare at least one path.
+        r2 = Spring(y, epsilon=1e-9, record_path=True)
+        r2.extend(x[:32])
+        r3 = load_json(dump_json(r2))
+        got = r3.extend(x[32:])
+        final = r3.flush()
+        if final:
+            got.append(final)
+        assert got and got[0].path is not None
+
+    def test_pending_candidate_survives(self):
+        y = [1.0, 2.0, 3.0]
+        x = [9.0, 9.0, 1.0, 2.0, 3.0]
+        spring = Spring(y, epsilon=0.5)
+        spring.extend(x)
+        assert spring.has_pending
+        restored = load_state(save_state(spring))
+        assert restored.has_pending
+        final = restored.flush()
+        assert final is not None
+        assert (final.start, final.end) == (3, 5)
+
+
+def _matches_no_flush(matcher, values):
+    return [
+        (m.start, m.end, round(m.distance, 9), m.output_time)
+        for m in matcher.extend(values)
+    ]
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self, rng):
+        state = save_state(Spring([1.0]))
+        state["class"] = "EvilSpring"
+        with pytest.raises(ValidationError):
+            load_state(state)
+
+    def test_version_mismatch_rejected(self):
+        state = save_state(Spring([1.0]))
+        state["format_version"] = 999
+        with pytest.raises(ValidationError):
+            load_state(state)
+
+    def test_unsupported_type_rejected(self):
+        from repro.core.normalization import NormalizedSpring
+
+        with pytest.raises(ValidationError):
+            save_state(NormalizedSpring([1.0, 2.0]))  # type: ignore[arg-type]

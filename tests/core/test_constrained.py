@@ -1,0 +1,69 @@
+"""Unit tests for the length-banded ConstrainedSpring extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstrainedSpring, Spring
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_rejects_stretch_below_one(self):
+        with pytest.raises(ValueError):
+            ConstrainedSpring([1.0, 2.0], max_stretch=0.5)
+
+    def test_rejects_nonpositive_stretch(self):
+        with pytest.raises(ValidationError):
+            ConstrainedSpring([1.0, 2.0], max_stretch=0.0)
+
+
+class TestBandBehaviour:
+    def test_large_band_equals_unconstrained(self, rng):
+        x = rng.normal(size=200)
+        y = rng.normal(size=8)
+        plain = Spring(y, epsilon=3.0)
+        banded = ConstrainedSpring(y, epsilon=3.0, max_stretch=1e6)
+        mp = plain.extend(x)
+        mb = banded.extend(x)
+        assert [(m.start, m.end) for m in mp] == [(m.start, m.end) for m in mb]
+
+    def test_rejects_overstretched_match(self):
+        # Query of length 4 planted stretched to length 12 (3x): a band
+        # of 2x must refuse it, the plain matcher accepts it.
+        y = np.array([0.0, 3.0, 3.0, 0.0])
+        stretched = np.repeat(y, 3)
+        x = np.concatenate([np.full(10, 9.0), stretched, np.full(10, 9.0)])
+        plain = Spring(y, epsilon=0.5)
+        banded = ConstrainedSpring(y, epsilon=0.5, max_stretch=2.0)
+        plain_matches = plain.extend(x)
+        if plain.flush():
+            plain_matches.append(plain.flush())
+        banded_matches = banded.extend(x)
+        final = banded.flush()
+        if final:
+            banded_matches.append(final)
+        assert any(m.length >= 12 for m in plain_matches) or plain.has_pending or plain_matches
+        assert all(
+            m.length <= 8 for m in banded_matches
+        )  # 2x band over m=4
+
+    def test_accepts_in_band_match(self, rng):
+        y = rng.normal(size=6)
+        x = np.concatenate([rng.normal(size=20) + 9, y, rng.normal(size=20) + 9])
+        banded = ConstrainedSpring(y, epsilon=1e-9, max_stretch=1.5)
+        matches = banded.extend(x)
+        final = banded.flush()
+        if final:
+            matches.append(final)
+        assert len(matches) == 1
+        assert (matches[0].start, matches[0].end) == (21, 26)
+
+    def test_best_match_respects_band(self, rng):
+        y = rng.normal(size=5)
+        x = rng.normal(size=100)
+        banded = ConstrainedSpring(y, epsilon=0.0, max_stretch=1.2)
+        banded.extend(x)
+        best = banded.best_match
+        assert 5 / 1.2 <= best.length <= 5 * 1.2

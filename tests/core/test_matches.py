@@ -1,0 +1,67 @@
+"""Unit tests for Match records and interval helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Match, merge_report, overlaps
+
+
+class TestMatchValidation:
+    def test_rejects_start_below_one(self):
+        with pytest.raises(ValueError):
+            Match(start=0, end=3, distance=1.0)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            Match(start=5, end=4, distance=1.0)
+
+    def test_rejects_output_before_end(self):
+        with pytest.raises(ValueError):
+            Match(start=1, end=5, distance=1.0, output_time=4)
+
+    def test_length_and_slice(self):
+        match = Match(start=3, end=7, distance=0.5)
+        assert match.length == 5
+        assert match.slice == slice(2, 7)
+
+    def test_report_delay(self):
+        match = Match(start=1, end=5, distance=0.0, output_time=9)
+        assert match.report_delay == 4
+        assert Match(start=1, end=5, distance=0.0).report_delay is None
+
+    def test_overlap_method(self):
+        a = Match(start=1, end=5, distance=0.0)
+        b = Match(start=5, end=9, distance=0.0)
+        c = Match(start=6, end=9, distance=0.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_frozen(self):
+        match = Match(start=1, end=2, distance=0.0)
+        with pytest.raises(AttributeError):
+            match.start = 5  # type: ignore[misc]
+
+
+class TestIntervalHelpers:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ((1, 5), (5, 9), True),
+            ((1, 5), (6, 9), False),
+            ((3, 4), (1, 10), True),
+            ((1, 1), (1, 1), True),
+        ],
+    )
+    def test_overlaps(self, a, b, expected):
+        assert overlaps(a, b) is expected
+        assert overlaps(b, a) is expected
+
+    def test_merge_report_orders_and_dedups(self):
+        matches = [
+            Match(start=10, end=12, distance=1.0),
+            Match(start=1, end=3, distance=2.0),
+            Match(start=10, end=12, distance=1.0),
+        ]
+        merged = merge_report(matches)
+        assert [(m.start, m.end) for m in merged] == [(1, 3), (10, 12)]

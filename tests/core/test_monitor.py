@@ -1,0 +1,136 @@
+"""Unit tests for the multi-stream, multi-query StreamMonitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMonitor
+from repro.exceptions import ValidationError
+
+
+def _pattern_stream(rng, pattern, pad=25, offset=9.0):
+    return np.concatenate(
+        [rng.normal(size=pad) + offset, pattern, rng.normal(size=pad) + offset]
+    )
+
+
+class TestRegistration:
+    def test_duplicate_stream_raises(self):
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        with pytest.raises(ValidationError):
+            monitor.add_stream("s")
+
+    def test_duplicate_query_raises(self):
+        monitor = StreamMonitor()
+        monitor.add_query("q", [1.0], epsilon=1.0)
+        with pytest.raises(ValidationError):
+            monitor.add_query("q", [2.0], epsilon=1.0)
+
+    def test_invalid_query_rejected_at_registration(self):
+        monitor = StreamMonitor()
+        with pytest.raises(ValidationError):
+            monitor.add_query("bad", [], epsilon=1.0)
+
+    def test_push_to_unknown_stream_raises(self):
+        with pytest.raises(ValidationError):
+            StreamMonitor().push("ghost", 1.0)
+
+    def test_query_attaches_to_existing_and_new_streams(self):
+        monitor = StreamMonitor()
+        monitor.add_stream("a")
+        monitor.add_query("q", [1.0, 2.0], epsilon=1.0)
+        monitor.add_stream("b")
+        assert monitor.matcher("a", "q") is not monitor.matcher("b", "q")
+
+    def test_remove_query(self):
+        monitor = StreamMonitor()
+        monitor.add_stream("a")
+        monitor.add_query("q", [1.0], epsilon=1.0)
+        monitor.remove_query("q")
+        with pytest.raises(ValidationError):
+            monitor.matcher("a", "q")
+        with pytest.raises(ValidationError):
+            monitor.remove_query("q")
+
+
+class TestDetection:
+    def test_event_carries_stream_and_query(self, rng):
+        pattern = rng.normal(size=6)
+        monitor = StreamMonitor()
+        monitor.add_stream("sensor")
+        monitor.add_query("spike", pattern, epsilon=1e-9)
+        events = monitor.push_many("sensor", _pattern_stream(rng, pattern))
+        events += monitor.flush()
+        assert len(events) == 1
+        assert events[0].stream == "sensor"
+        assert events[0].query == "spike"
+        assert events[0].match.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_streams_are_independent(self, rng):
+        pattern = rng.normal(size=5)
+        monitor = StreamMonitor()
+        monitor.add_stream("hit")
+        monitor.add_stream("miss")
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        events = monitor.push_many("hit", _pattern_stream(rng, pattern))
+        events += monitor.push_many("miss", rng.normal(size=60) + 9)
+        events += monitor.flush()
+        assert {e.stream for e in events} == {"hit"}
+
+    def test_multiple_queries_one_stream(self, rng):
+        p1 = rng.normal(size=5)
+        p2 = rng.normal(size=7) + 4
+        stream = np.concatenate(
+            [rng.normal(size=20) + 9, p1, rng.normal(size=20) + 9, p2,
+             rng.normal(size=20) + 9]
+        )
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query("first", p1, epsilon=1e-9)
+        monitor.add_query("second", p2, epsilon=1e-9)
+        events = monitor.push_many("s", stream)
+        events += monitor.flush()
+        assert {e.query for e in events} == {"first", "second"}
+
+    def test_push_tick_feeds_several_streams(self, rng):
+        monitor = StreamMonitor()
+        monitor.add_stream("a")
+        monitor.add_stream("b")
+        monitor.add_query("q", [1.0, 2.0], epsilon=1e-9)
+        monitor.push_tick({"a": 0.0, "b": 0.0})
+        assert monitor.matcher("a", "q").tick == 1
+        assert monitor.matcher("b", "q").tick == 1
+
+    def test_callbacks_fire(self, rng):
+        pattern = rng.normal(size=4)
+        received = []
+        monitor = StreamMonitor()
+        monitor.subscribe(received.append)
+        monitor.add_stream("s")
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        monitor.push_many("s", _pattern_stream(rng, pattern))
+        monitor.flush()
+        assert len(received) == 1
+
+    def test_history_records_events(self, rng):
+        pattern = rng.normal(size=4)
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        monitor.push_many("s", _pattern_stream(rng, pattern))
+        monitor.flush()
+        assert len(monitor.history) == 1
+
+    def test_vector_query(self, rng):
+        pattern = rng.normal(size=(5, 3))
+        stream = np.vstack(
+            [rng.normal(size=(15, 3)) + 8, pattern, rng.normal(size=(15, 3)) + 8]
+        )
+        monitor = StreamMonitor()
+        monitor.add_stream("mocap")
+        monitor.add_query("walk", pattern, epsilon=1e-9, vector=True)
+        events = monitor.push_many("mocap", stream)
+        events += monitor.flush()
+        assert len(events) == 1

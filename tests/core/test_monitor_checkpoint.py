@@ -1,0 +1,91 @@
+"""Whole-monitor checkpoint/restore tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMonitor
+from repro.core.checkpoint import load_monitor, save_monitor
+from repro.exceptions import ValidationError
+
+
+def _events(monitor):
+    return [
+        (e.stream, e.query, e.match.start, e.match.end)
+        for e in monitor.flush()
+    ]
+
+
+class TestMonitorRoundTrip:
+    def test_resume_mid_stream(self, rng):
+        pattern_a = rng.normal(size=5)
+        pattern_b = rng.normal(size=7) + 3
+        stream = np.concatenate(
+            [
+                rng.normal(size=30) + 9,
+                pattern_a,
+                rng.normal(size=30) + 9,
+                pattern_b,
+                rng.normal(size=30) + 9,
+            ]
+        )
+
+        def fresh():
+            monitor = StreamMonitor()
+            monitor.add_stream("s")
+            monitor.add_query("a", pattern_a, epsilon=1e-9)
+            monitor.add_query("b", pattern_b, epsilon=1e-9)
+            return monitor
+
+        baseline = fresh()
+        base_events = [
+            (e.stream, e.query, e.match.start, e.match.end)
+            for e in baseline.push_many("s", stream)
+        ] + _events(baseline)
+
+        first = fresh()
+        cut = 40  # mid-first-pattern region
+        head = [
+            (e.stream, e.query, e.match.start, e.match.end)
+            for e in first.push_many("s", stream[:cut])
+        ]
+        blob = json.dumps(save_monitor(first))  # survives a process hop
+        restored = load_monitor(json.loads(blob))
+        tail = [
+            (e.stream, e.query, e.match.start, e.match.end)
+            for e in restored.push_many("s", stream[cut:])
+        ] + _events(restored)
+        assert head + tail == base_events
+
+    def test_streams_and_queries_preserved(self, rng):
+        monitor = StreamMonitor()
+        monitor.add_stream("x")
+        monitor.add_stream("y")
+        monitor.add_query("q", rng.normal(size=4), epsilon=2.0)
+        restored = load_monitor(save_monitor(monitor))
+        assert sorted(restored.streams) == ["x", "y"]
+        assert restored.queries == ["q"]
+
+    def test_vector_query_round_trip(self, rng):
+        monitor = StreamMonitor()
+        monitor.add_stream("mocap")
+        monitor.add_query(
+            "walk", rng.normal(size=(5, 3)), epsilon=5.0, vector=True
+        )
+        monitor.push("mocap", rng.normal(size=3))
+        restored = load_monitor(save_monitor(monitor))
+        assert restored.matcher("mocap", "walk").tick == 1
+
+    def test_rejects_non_monitor(self):
+        with pytest.raises(ValidationError):
+            save_monitor(object())
+
+    def test_rejects_bad_version(self, rng):
+        monitor = StreamMonitor()
+        state = save_monitor(monitor)
+        state["format_version"] = -1
+        with pytest.raises(ValidationError):
+            load_monitor(state)

@@ -1,0 +1,137 @@
+"""Unit tests for the streaming z-normalisation wrapper.
+
+Scope note: global/EWM z-normalisation rescales the stream by its
+*history* statistics and the query by its own, so the two agree when the
+stream's scale matches the query's (level shifts of any size are
+absorbed; a scale mismatch between pattern and background is not — that
+would need per-window normalisation, which cannot be done in constant
+space).  The tests below exercise exactly that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NormalizedSpring, Spring
+from repro.exceptions import ValidationError
+
+
+def _scale_matched_stream(rng, query, level, pad=150, pattern_noise=0.15):
+    """Background with the query's own std, pattern planted, level-shifted."""
+    sigma = float(np.std(query))
+    before = rng.normal(0, sigma, pad)
+    after = rng.normal(0, sigma, pad)
+    planted = query + rng.normal(0, pattern_noise, query.shape[0])
+    return np.concatenate([before, planted, after]) + level
+
+
+class TestConstruction:
+    def test_rejects_constant_query(self):
+        with pytest.raises(ValidationError):
+            NormalizedSpring([2.0, 2.0, 2.0])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValidationError):
+            NormalizedSpring([1.0, 2.0], mode="window")
+
+    def test_rejects_bad_halflife(self):
+        with pytest.raises(ValidationError):
+            NormalizedSpring([1.0, 2.0], mode="ewm", halflife=0.0)
+
+
+class TestMatching:
+    def test_finds_pattern_despite_huge_level_shift(self, rng):
+        query = np.sin(np.linspace(0, 4 * np.pi, 64)) * 2.0
+        stream = _scale_matched_stream(rng, query, level=1000.0)
+
+        # Raw SPRING is hopeless: every tick costs ~1000^2.
+        raw = Spring(query, epsilon=50.0)
+        raw_matches = raw.extend(stream)
+        assert raw_matches == [] and raw.flush() is None
+
+        matcher = NormalizedSpring(query, epsilon=4.0, warmup=60)
+        matches = matcher.extend(stream)
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        assert matches, "normalised matcher must absorb the level shift"
+        assert min(m.distance for m in matches) < 4.0
+
+    def test_positions_are_in_raw_coordinates(self, rng):
+        query = np.sin(np.linspace(0, 4 * np.pi, 64)) * 2.0
+        stream = _scale_matched_stream(rng, query, level=1000.0, pad=150)
+        matcher = NormalizedSpring(query, epsilon=4.0, warmup=60)
+        matches = matcher.extend(stream)
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        best = min(matches, key=lambda m: m.distance)
+        # Pattern occupies raw ticks 151..214; tolerate noisy edges.
+        assert abs(best.start - 151) <= 10
+        assert abs(best.end - 214) <= 10
+
+    def test_separation_from_background(self, rng):
+        """The planted pattern scores well below any background local
+        optimum — the property a threshold relies on."""
+        query = np.sin(np.linspace(0, 4 * np.pi, 64)) * 2.0
+        stream = _scale_matched_stream(rng, query, level=1000.0)
+        matcher = NormalizedSpring(query, epsilon=np.inf, warmup=60)
+        matches = matcher.extend(stream)
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        in_region = [m for m in matches if 140 <= m.start <= 220]
+        background = [m for m in matches if not (130 <= m.start <= 220)]
+        assert in_region and background
+        assert min(m.distance for m in in_region) * 3 < min(
+            m.distance for m in background
+        )
+
+    def test_warmup_swallows_initial_ticks(self, rng):
+        matcher = NormalizedSpring([0.0, 1.0], warmup=10)
+        for _ in range(10):
+            assert matcher.step(float(rng.normal())) is None
+        assert matcher.tick == 10
+        assert matcher.spring.tick == 0
+
+    def test_ewm_adapts_to_level_jump_where_global_fails(self, rng):
+        """After a +50 level jump, EWM stats re-converge and the pattern
+        planted post-jump is found; global stats stay contaminated by
+        the pre-jump history and miss it."""
+        query = np.sin(np.linspace(0, 4 * np.pi, 64)) * 2.0
+        sigma = float(query.std())
+        pre = rng.normal(0, sigma, 200)
+        post = np.concatenate(
+            [
+                rng.normal(0, sigma, 400),
+                query + rng.normal(0, 0.15, 64),
+                rng.normal(0, sigma, 100),
+            ]
+        ) + 50.0
+        stream = np.concatenate([pre, post])  # pattern at ticks 601..664
+
+        ewm = NormalizedSpring(
+            query, epsilon=4.0, mode="ewm", halflife=30.0, warmup=60
+        )
+        ewm_matches = ewm.extend(stream)
+        final = ewm.flush()
+        if final:
+            ewm_matches.append(final)
+        assert any(560 <= m.start <= 660 for m in ewm_matches)
+
+        global_matcher = NormalizedSpring(
+            query, epsilon=4.0, mode="global", warmup=60
+        )
+        global_matches = global_matcher.extend(stream)
+        final = global_matcher.flush()
+        if final:
+            global_matches.append(final)
+        assert not any(560 <= m.start <= 660 for m in global_matches)
+
+    def test_nan_passthrough(self, rng):
+        matcher = NormalizedSpring([0.0, 1.0, 0.0], warmup=5)
+        values = list(rng.normal(size=20))
+        values[10] = float("nan")
+        matcher.extend(values)
+        assert matcher.tick == 20

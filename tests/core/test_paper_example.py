@@ -1,0 +1,101 @@
+"""Cell-for-cell reproduction of the paper's worked example (Figure 5).
+
+X = (5, 12, 6, 10, 6, 5, 13), Y = (11, 6, 9, 4), epsilon = 15.  The
+expected distance/start matrices below are copied from Figure 5 of the
+paper; the narrative checkpoints come from Example 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Spring
+
+# Figure 5, transcribed: entry [t-1][i-1] = (d(t, i), s(t, i)).
+FIGURE5_DISTANCES = [
+    [36, 37, 53, 54],
+    [1, 37, 46, 110],
+    [25, 1, 10, 14],
+    [1, 17, 2, 38],
+    [25, 1, 10, 6],
+    [36, 2, 17, 7],
+    [4, 51, 18, 88],
+]
+FIGURE5_STARTS = [
+    [1, 1, 1, 1],
+    [2, 2, 2, 2],
+    [3, 2, 2, 2],
+    [4, 4, 2, 2],
+    [5, 4, 4, 2],
+    [6, 4, 4, 2],
+    [7, 4, 4, 2],
+]
+
+X = [5, 12, 6, 10, 6, 5, 13]
+Y = [11, 6, 9, 4]
+
+
+@pytest.mark.parametrize("use_reference", [False, True])
+class TestFigure5:
+    def test_distance_and_start_columns(self, use_reference):
+        # Columns are checked through t = 6; at t = 7 the disjoint
+        # report fires and resets the column (verified separately below;
+        # the full raw 7x4 matrix is checked offline in
+        # tests/dtw/test_matrix.py::test_paper_figure5_matrix).
+        spring = Spring(Y, epsilon=15, use_reference=use_reference)
+        for t, value in enumerate(X[:6], start=1):
+            spring.step(value)
+            np.testing.assert_allclose(
+                spring.current_distances,
+                FIGURE5_DISTANCES[t - 1],
+                err_msg=f"distance column at t={t}",
+            )
+            np.testing.assert_array_equal(
+                spring.current_starts,
+                FIGURE5_STARTS[t - 1],
+                err_msg=f"start column at t={t}",
+            )
+        spring.step(X[6])
+        np.testing.assert_array_equal(
+            spring.current_starts, FIGURE5_STARTS[6]
+        )
+
+    def test_example1_report(self, use_reference):
+        """Example 1: report X[2:5] (captured at t=5) at time t=7."""
+        spring = Spring(Y, epsilon=15, use_reference=use_reference)
+        reports = []
+        for value in X:
+            match = spring.step(value)
+            if match is not None:
+                reports.append(match)
+        assert len(reports) == 1
+        match = reports[0]
+        assert (match.start, match.end) == (2, 5)
+        assert match.distance == pytest.approx(6.0)
+        assert match.output_time == 7
+
+    def test_candidate_not_reported_prematurely(self, use_reference):
+        """At t=4, X[2:3] (d=14) must be held: d(4,3)=2 can undercut it."""
+        spring = Spring(Y, epsilon=15, use_reference=use_reference)
+        for value in X[:4]:
+            assert spring.step(value) is None
+        assert spring.has_pending
+
+    def test_d71_not_reset_after_report(self, use_reference):
+        """'Because subsequences starting from t=7 may be candidates for
+        the next group, we do not initialize d(7, 1).'"""
+        spring = Spring(Y, epsilon=15, use_reference=use_reference)
+        for value in X:
+            spring.step(value)
+        distances = spring.current_distances
+        assert distances[0] == pytest.approx(4.0)  # kept
+        assert np.isinf(distances[1:]).all()  # reset (starts <= 5)
+
+    def test_best_match_tracks_optimum(self, use_reference):
+        spring = Spring(Y, epsilon=15, use_reference=use_reference)
+        for value in X:
+            spring.step(value)
+        best = spring.best_match
+        assert (best.start, best.end) == (2, 5)
+        assert best.distance == pytest.approx(6.0)

@@ -1,0 +1,218 @@
+"""Unit tests for the Spring streaming matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Spring, spring_search
+from repro.dtw import all_ending_distances, brute_force_best
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestConstruction:
+    def test_rejects_empty_query(self):
+        with pytest.raises(ValidationError):
+            Spring([])
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValidationError):
+            Spring([1.0], epsilon=-1)
+
+    def test_rejects_nan_epsilon(self):
+        with pytest.raises(ValidationError):
+            Spring([1.0], epsilon=float("nan"))
+
+    def test_rejects_bad_missing_policy(self):
+        with pytest.raises(ValidationError):
+            Spring([1.0], missing="ignore")
+
+    def test_rejects_non_numeric_query(self):
+        with pytest.raises(ValidationError):
+            Spring(["a", "b"])
+
+    def test_rejects_2d_query(self):
+        with pytest.raises(ValidationError):
+            Spring([[1.0, 2.0]])
+
+    def test_query_length_one(self):
+        spring = Spring([5.0], epsilon=1.0)
+        match = spring.step(5.0)
+        # Single-element query: exact hit qualifies immediately but is
+        # only reported once safe; flush drains it.
+        final = spring.flush()
+        got = match or final
+        assert got is not None
+        assert got.distance == pytest.approx(0.0)
+
+    def test_m_property(self):
+        assert Spring([1, 2, 3]).m == 3
+
+
+class TestStreamingBasics:
+    def test_tick_counts_all_values(self, rng):
+        spring = Spring([1.0, 2.0])
+        spring.extend(rng.normal(size=17))
+        assert spring.tick == 17
+
+    def test_best_match_before_data_raises(self):
+        with pytest.raises(NotFittedError):
+            Spring([1.0]).best_match
+
+    def test_infinite_value_raises(self):
+        spring = Spring([1.0])
+        with pytest.raises(ValidationError):
+            spring.step(np.inf)
+
+    def test_ending_distances_match_offline(self, rng):
+        x = rng.normal(size=150)
+        y = rng.normal(size=12)
+        # epsilon = 0 never captures, so no report/reset ever perturbs
+        # the raw recurrence being compared here.
+        spring = Spring(y, epsilon=0.0)
+        streamed = []
+        for value in x:
+            spring.step(value)
+            streamed.append(spring.current_distances[-1])
+        np.testing.assert_allclose(
+            streamed, all_ending_distances(x, y), rtol=1e-9
+        )
+
+    def test_best_match_equals_brute_force(self, rng):
+        x = rng.normal(size=40)
+        y = rng.normal(size=5)
+        spring = Spring(y, epsilon=0.0)
+        spring.extend(x)
+        best = spring.best_match
+        bd, bs, be = brute_force_best(x, y)
+        assert best.distance == pytest.approx(bd, rel=1e-9)
+        assert (best.start - 1, best.end - 1) == (bs, be)
+
+    def test_chunking_invariance(self, rng):
+        """Feeding one-by-one or in batches yields identical matches."""
+        x = rng.normal(size=200)
+        y = rng.normal(size=8)
+        one = Spring(y, epsilon=3.0)
+        matches_one = []
+        for value in x:
+            m = one.step(value)
+            if m:
+                matches_one.append(m)
+        batch = Spring(y, epsilon=3.0)
+        matches_batch = batch.extend(x)
+        assert matches_one == matches_batch
+        np.testing.assert_allclose(
+            one.current_distances, batch.current_distances
+        )
+
+    def test_exact_embedded_query_found_with_zero_distance(self, rng):
+        y = rng.normal(size=6)
+        x = np.concatenate([rng.normal(size=30) + 8, y, rng.normal(size=30) + 8])
+        matches = spring_search(x, y, epsilon=1e-9)
+        assert len(matches) == 1
+        assert matches[0].distance == pytest.approx(0.0, abs=1e-12)
+        assert (matches[0].start, matches[0].end) == (31, 36)
+
+
+class TestDisjointSemantics:
+    def test_no_matches_above_threshold(self, rng):
+        x = rng.normal(size=100)
+        y = rng.normal(size=5) + 100  # far away
+        assert spring_search(x, y, epsilon=1.0) == []
+
+    def test_reported_distances_within_epsilon(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=6)
+        for match in spring_search(x, y, epsilon=4.0):
+            assert match.distance <= 4.0
+
+    def test_reported_matches_disjoint(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=6)
+        matches = spring_search(x, y, epsilon=4.0)
+        for a, b in zip(matches, matches[1:]):
+            assert a.end < b.start  # reports come ordered and disjoint
+
+    def test_output_time_at_or_after_end(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=6)
+        for match in spring_search(x, y, epsilon=4.0):
+            if match.output_time is not None:
+                assert match.output_time >= match.end
+
+    def test_output_time_independent_of_epsilon(self, rng):
+        """Table 2's note: output time does not depend on epsilon."""
+        x = rng.normal(size=400)
+        y = rng.normal(size=6)
+        loose = spring_search(x, y, epsilon=5.0)
+        tight = [m for m in spring_search(x, y, epsilon=2.0)]
+        # Every tight match also appears (same position & time) loosely
+        # *when the loose run did not merge it into a larger group*.
+        loose_keys = {(m.start, m.end) for m in loose}
+        for match in tight:
+            if (match.start, match.end) in loose_keys:
+                twin = next(
+                    m for m in loose if (m.start, m.end) == (match.start, match.end)
+                )
+                assert twin.output_time == match.output_time
+
+    def test_flush_reports_pending(self):
+        # A qualifying match right at the stream end is still pending
+        # (the safety condition cannot fire), so flush must emit it.
+        y = [1.0, 2.0, 3.0]
+        x = [50.0, 50.0, 1.0, 2.0, 3.0]
+        spring = Spring(y, epsilon=0.5)
+        assert spring.extend(x) == []
+        final = spring.flush()
+        assert final is not None
+        assert final.distance == pytest.approx(0.0)
+        assert (final.start, final.end) == (3, 5)
+
+    def test_flush_twice_returns_none(self):
+        spring = Spring([1.0], epsilon=10.0)
+        spring.step(1.0)
+        assert spring.flush() is not None
+        assert spring.flush() is None
+
+
+class TestMissingValues:
+    def test_nan_skips_but_advances_time(self):
+        y = [1.0, 2.0]
+        spring = Spring(y, epsilon=0.5, missing="skip")
+        spring.step(1.0)
+        spring.step(float("nan"))
+        spring.step(2.0)
+        # Time advanced through the gap.
+        assert spring.tick == 3
+        final = spring.flush()
+        assert final is not None
+        assert (final.start, final.end) == (1, 3)
+        assert final.distance == pytest.approx(0.0)
+
+    def test_nan_with_error_policy_raises(self):
+        spring = Spring([1.0], missing="error")
+        with pytest.raises(ValidationError):
+            spring.step(float("nan"))
+
+    def test_all_nan_stream_reports_nothing(self):
+        spring = Spring([1.0], epsilon=10.0)
+        matches = spring.extend([float("nan")] * 20)
+        assert matches == []
+        assert spring.flush() is None
+
+
+class TestLocalDistanceChoices:
+    def test_absolute_distance(self, rng):
+        x = rng.normal(size=60)
+        y = rng.normal(size=5)
+        spring = Spring(y, epsilon=0.0, local_distance="absolute")
+        spring.extend(x)
+        best = spring.best_match
+        # Distances under |.| are smaller-or-comparable; just check
+        # consistency against the offline computation.
+        offline = all_ending_distances(x, y, local_distance="absolute")
+        assert best.distance == pytest.approx(float(offline.min()), rel=1e-9)
+
+    def test_unknown_local_distance_raises(self):
+        with pytest.raises(ValidationError):
+            Spring([1.0], local_distance="chebyshev")

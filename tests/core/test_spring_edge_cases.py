@@ -1,0 +1,110 @@
+"""Edge-case tests for the Spring matcher beyond the common paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Spring, spring_search
+from repro.dtw import dtw_distance
+
+
+class TestDegenerateShapes:
+    def test_query_longer_than_stream(self, rng):
+        """A stream shorter than the query still matches (DTW stretches
+        the few stream values over all query elements)."""
+        y = rng.normal(size=10)
+        x = rng.normal(size=3)
+        spring = Spring(y, epsilon=np.inf)
+        spring.extend(x)
+        best = spring.best_match
+        assert 1 <= best.start <= best.end <= 3
+        true = dtw_distance(x[best.start - 1 : best.end], y)
+        assert best.distance == pytest.approx(true, rel=1e-9)
+
+    def test_single_value_stream(self, rng):
+        y = rng.normal(size=5)
+        spring = Spring(y, epsilon=np.inf)
+        spring.step(1.0)
+        best = spring.best_match
+        assert (best.start, best.end) == (1, 1)
+        assert best.distance == pytest.approx(
+            float(np.sum((1.0 - y) ** 2)), rel=1e-9
+        )
+
+    def test_constant_stream_constant_query(self):
+        spring = Spring([2.0, 2.0, 2.0], epsilon=1e-6)
+        matches = spring.extend([2.0] * 20)
+        final = spring.flush()
+        if final:
+            matches.append(final)
+        assert matches
+        assert all(m.distance == 0.0 for m in matches)
+
+    def test_zero_epsilon_reports_exact_hits_only(self, rng):
+        y = rng.normal(size=4)
+        x = np.concatenate([rng.normal(size=10) + 5, y, rng.normal(size=10) + 5])
+        matches = spring_search(x, y, epsilon=0.0)
+        assert len(matches) == 1
+        assert matches[0].distance == 0.0
+
+
+class TestInterleavedOperations:
+    def test_step_after_flush_continues(self, rng):
+        """flush() mid-stream reports the pending group; later values
+        keep matching (new groups form normally)."""
+        y = rng.normal(size=4)
+        block = np.concatenate(
+            [rng.normal(size=15) + 6, y, rng.normal(size=3) + 6]
+        )
+        spring = Spring(y, epsilon=1e-9)
+        first = spring.extend(block)
+        if not first:
+            final = spring.flush()
+            assert final is not None
+            first = [final]
+        # Second occurrence after the flush.
+        second = spring.extend(
+            np.concatenate([rng.normal(size=12) + 6, y, rng.normal(size=15) + 6])
+        )
+        if not second:
+            final = spring.flush()
+            assert final is not None
+            second = [final]
+        assert first[0].end < second[0].start
+
+    def test_tick_survives_mixed_nan_runs(self, rng):
+        spring = Spring(rng.normal(size=3))
+        values = list(rng.normal(size=10))
+        values[2:5] = [np.nan] * 3
+        spring.extend(values)
+        assert spring.tick == 10
+
+    def test_current_columns_are_copies(self, rng):
+        spring = Spring(rng.normal(size=4), epsilon=0.0)
+        spring.step(1.0)
+        d = spring.current_distances
+        d[:] = -1
+        assert (spring.current_distances != -1).all()
+
+
+class TestReportOrderingGuarantees:
+    def test_output_times_nondecreasing(self, rng):
+        y = rng.normal(size=5)
+        matches = spring_search(rng.normal(size=500), y, epsilon=4.0)
+        times = [m.output_time for m in matches if m.output_time]
+        assert times == sorted(times)
+
+    def test_matches_sorted_by_position(self, rng):
+        y = rng.normal(size=5)
+        matches = spring_search(rng.normal(size=500), y, epsilon=4.0)
+        starts = [m.start for m in matches]
+        assert starts == sorted(starts)
+
+    def test_groups_never_straddle_reports(self, rng):
+        """After a report at time T, no later match may start at or
+        before the reported group's end."""
+        y = rng.normal(size=5)
+        matches = spring_search(rng.normal(size=500), y, epsilon=4.0)
+        for earlier, later in zip(matches, matches[1:]):
+            assert later.start > earlier.end

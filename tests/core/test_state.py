@@ -1,0 +1,112 @@
+"""Unit tests for the SPRING per-tick state and column updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SpringState, update_column, update_column_reference
+
+
+def _random_costs(rng, m):
+    return np.abs(rng.normal(size=m)) ** 2
+
+
+class TestInitialState:
+    def test_shape_and_values(self):
+        state = SpringState.initial(5)
+        assert state.d.shape == (6,)
+        assert state.s.shape == (6,)
+        assert state.d[0] == 0.0
+        assert np.isinf(state.d[1:]).all()
+        assert state.s[0] == 1
+
+    def test_copy_is_deep(self):
+        state = SpringState.initial(3)
+        clone = state.copy()
+        clone.d[1] = 7.0
+        assert np.isinf(state.d[1])
+
+    def test_m_property(self):
+        assert SpringState.initial(7).m == 7
+
+
+class TestUpdateEquivalence:
+    def test_vectorised_equals_reference(self, rng):
+        for _ in range(10):
+            m = int(rng.integers(1, 30))
+            a = SpringState.initial(m)
+            b = SpringState.initial(m)
+            for tick in range(1, 60):
+                cost = _random_costs(rng, m)
+                update_column(a, cost.copy(), tick)
+                update_column_reference(b, cost.copy(), tick)
+                np.testing.assert_allclose(a.d, b.d, rtol=1e-9, atol=1e-12)
+                np.testing.assert_array_equal(a.s, b.s)
+
+    def test_equivalence_with_inf_cells(self, rng):
+        """After disjoint resets some cells are inf; updates must agree."""
+        m = 8
+        a = SpringState.initial(m)
+        b = SpringState.initial(m)
+        for tick in range(1, 40):
+            cost = _random_costs(rng, m)
+            update_column(a, cost.copy(), tick)
+            update_column_reference(b, cost.copy(), tick)
+            if tick % 7 == 0:  # simulate a reset
+                a.d[3:] = np.inf
+                b.d[3:] = np.inf
+            np.testing.assert_allclose(a.d, b.d, rtol=1e-9, atol=1e-12)
+
+    def test_zero_cost_ties_agree(self):
+        """All-zero costs produce maximal ties; tie-breaks must align."""
+        m = 5
+        a = SpringState.initial(m)
+        b = SpringState.initial(m)
+        for tick in range(1, 12):
+            cost = np.zeros(m)
+            update_column(a, cost.copy(), tick)
+            update_column_reference(b, cost.copy(), tick)
+            np.testing.assert_allclose(a.d, b.d)
+            np.testing.assert_array_equal(a.s, b.s)
+
+
+class TestRecurrenceProperties:
+    def test_row_one_is_fresh_start(self, rng):
+        """d(t, 1) = cost and s(t, 1) = t, always (Figure 5 bottom row)."""
+        m = 6
+        state = SpringState.initial(m)
+        for tick in range(1, 30):
+            cost = _random_costs(rng, m)
+            update_column(state, cost, tick)
+            assert state.d[1] == pytest.approx(cost[0])
+            assert state.s[1] == tick
+
+    def test_star_row_invariants(self, rng):
+        state = SpringState.initial(4)
+        for tick in range(1, 20):
+            update_column(state, _random_costs(rng, 4), tick)
+            assert state.d[0] == 0.0
+            assert state.s[0] == tick + 1
+
+    def test_starts_never_in_future(self, rng):
+        state = SpringState.initial(7)
+        for tick in range(1, 50):
+            update_column(state, _random_costs(rng, 7), tick)
+            assert (state.s[1:] <= tick).all()
+            assert (state.s[1:] >= 1).all()
+
+    def test_distances_nonnegative(self, rng):
+        state = SpringState.initial(5)
+        for tick in range(1, 50):
+            update_column(state, _random_costs(rng, 5), tick)
+            finite = state.d[np.isfinite(state.d)]
+            assert (finite >= 0).all()
+
+    def test_m_equals_one(self, rng):
+        state = SpringState.initial(1)
+        for tick in range(1, 10):
+            cost = _random_costs(rng, 1)
+            update_column(state, cost, tick)
+            assert state.d[1] == pytest.approx(cost[0])
+            assert state.s[1] == tick

@@ -1,0 +1,98 @@
+"""Unit tests for streaming top-k matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.topk import TopKSpring
+from repro.exceptions import ValidationError
+
+
+def _stream_with_patterns(rng, pattern, noises, pad=40):
+    """Pattern renditions with controlled noise levels, best-known order."""
+    parts = [rng.normal(size=pad) + 8]
+    positions = []
+    cursor = pad
+    for sigma in noises:
+        rendition = pattern + rng.normal(0, sigma, pattern.shape[0])
+        positions.append((cursor + 1, cursor + pattern.shape[0]))
+        parts.append(rendition)
+        cursor += pattern.shape[0]
+        parts.append(rng.normal(size=pad) + 8)
+        cursor += pad
+    return np.concatenate(parts), positions
+
+
+class TestLeaderboard:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            TopKSpring([1.0], k=0)
+
+    def test_keeps_k_best(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 25)) * 3
+        noises = [0.4, 0.05, 0.8, 0.15, 0.6]
+        stream, positions = _stream_with_patterns(rng, pattern, noises)
+        top = TopKSpring(pattern, k=2)
+        top.extend(stream)
+        top.finalize()
+        best = top.best()
+        assert len(best) == 2
+        # The two cleanest renditions (sigma 0.05 and 0.15) must win.
+        expected = {positions[1], positions[3]}
+        got = set()
+        for match in best:
+            hit = next(
+                (p for p in positions if p[0] <= match.end and match.start <= p[1]),
+                None,
+            )
+            got.add(hit)
+        assert got == expected
+
+    def test_sorted_best_first(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 20)) * 2
+        stream, _ = _stream_with_patterns(rng, pattern, [0.3, 0.1, 0.5])
+        top = TopKSpring(pattern, k=3)
+        top.extend(stream)
+        top.finalize()
+        distances = [m.distance for m in top.best()]
+        assert distances == sorted(distances)
+
+    def test_worst_distance_tracks_kth(self, rng):
+        pattern = rng.normal(size=6)
+        top = TopKSpring(pattern, k=2)
+        assert top.worst_distance == float("inf")
+        top.extend(rng.normal(size=100))
+        top.finalize()
+        if len(top.best()) == 2:
+            assert top.worst_distance == top.best()[-1].distance
+
+    def test_step_returns_only_admitted(self, rng):
+        pattern = rng.normal(size=5)
+        top = TopKSpring(pattern, k=1)
+        admitted = top.extend(rng.normal(size=300))
+        final = top.finalize()
+        if final:
+            admitted.append(final)
+        # Admissions happen only when the leaderboard improves, so the
+        # admitted distances must be strictly decreasing after the first.
+        distances = [m.distance for m in admitted]
+        assert all(b < a for a, b in zip(distances, distances[1:]))
+        assert top.best()[0].distance == min(distances)
+
+    def test_entries_disjoint(self, rng):
+        pattern = rng.normal(size=6)
+        top = TopKSpring(pattern, k=4)
+        top.extend(rng.normal(size=400))
+        top.finalize()
+        best = sorted(top.best(), key=lambda m: m.start)
+        for a, b in zip(best, best[1:]):
+            assert a.end < b.start
+
+    def test_finalize_idempotent(self, rng):
+        top = TopKSpring(rng.normal(size=4), k=2)
+        top.extend(rng.normal(size=50))
+        top.finalize()
+        count = len(top.best())
+        assert top.finalize() is None
+        assert len(top.best()) == count

@@ -1,0 +1,95 @@
+"""Unit tests for VectorSpring (k-dimensional streams, Section 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Spring, VectorSpring, spring_search_vector
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_accepts_2d_query(self):
+        spring = VectorSpring(np.zeros((5, 3)))
+        assert spring.m == 5
+        assert spring.k == 3
+
+    def test_1d_query_degrades_to_k1(self):
+        spring = VectorSpring([1.0, 2.0])
+        assert spring.k == 1
+
+    def test_rejects_wrong_value_dimension(self):
+        spring = VectorSpring(np.zeros((3, 2)))
+        with pytest.raises(ValidationError):
+            spring.step([1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            VectorSpring(np.zeros((0, 3)))
+
+
+class TestEquivalenceWithScalar:
+    def test_k1_matches_scalar_spring(self, rng):
+        x = rng.normal(size=120)
+        y = rng.normal(size=9)
+        scalar = Spring(y, epsilon=3.0)
+        vector = VectorSpring(y.reshape(-1, 1), epsilon=3.0)
+        ms = scalar.extend(x)
+        mv = vector.extend(x.reshape(-1, 1))
+        assert [(m.start, m.end, m.output_time) for m in ms] == [
+            (m.start, m.end, m.output_time) for m in mv
+        ]
+        np.testing.assert_allclose(
+            scalar.current_distances, vector.current_distances
+        )
+
+    def test_dimensions_sum_independent_channels(self, rng):
+        """With identical data in each channel, distances scale by k."""
+        x = rng.normal(size=50)
+        y = rng.normal(size=6)
+        scalar = Spring(y, epsilon=0.0)
+        scalar.extend(x)
+        k3 = VectorSpring(np.tile(y[:, None], (1, 3)), epsilon=0.0)
+        k3.extend(np.tile(x[:, None], (1, 3)))
+        np.testing.assert_allclose(
+            k3.current_distances, 3.0 * scalar.current_distances, rtol=1e-9
+        )
+
+
+class TestDetection:
+    def test_embedded_vector_pattern_found(self, rng):
+        k = 4
+        y = rng.normal(size=(6, k))
+        x = np.vstack(
+            [rng.normal(size=(20, k)) + 10, y, rng.normal(size=(20, k)) + 10]
+        )
+        matches = spring_search_vector(x, y, epsilon=1e-9)
+        assert len(matches) == 1
+        assert (matches[0].start, matches[0].end) == (21, 26)
+
+    def test_manhattan_distance_option(self, rng):
+        y = rng.normal(size=(4, 2))
+        spring = VectorSpring(y, epsilon=0.0, local_distance="manhattan")
+        spring.extend(rng.normal(size=(30, 2)))
+        assert np.isfinite(spring.best_match.distance)
+
+
+class TestRangeReporting:
+    def test_group_extent_covers_match(self, rng):
+        y = rng.normal(size=(5, 2))
+        x = np.vstack(
+            [rng.normal(size=(15, 2)) + 6, y, rng.normal(size=(15, 2)) + 6]
+        )
+        matches = spring_search_vector(x, y, epsilon=0.5, report_range=True)
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.group_start is not None
+        assert match.group_start <= match.start
+        assert match.group_end >= match.end
+
+    def test_no_range_without_flag(self, rng):
+        y = rng.normal(size=(5, 2))
+        x = np.vstack([rng.normal(size=(10, 2)) + 6, y])
+        matches = spring_search_vector(x, y, epsilon=0.5)
+        assert matches and matches[0].group_start is None

@@ -1,0 +1,97 @@
+"""Unit tests for the ECG generator and the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import spring_search
+from repro.datasets.ecg import ecg_stream, normal_beat, pvc_beat
+from repro.datasets.registry import build, dataset_names, export_csv
+from repro.eval import score_matches
+from repro.exceptions import ValidationError
+from repro.streams import CsvSource
+
+
+class TestBeats:
+    def test_normal_beat_shape(self):
+        beat = normal_beat(80)
+        assert beat.shape == (80,)
+        # The R spike is the tallest feature, near 44 % through the beat.
+        assert 0.3 < np.argmax(beat) / 80 < 0.6
+        assert beat.max() > 1.0
+
+    def test_pvc_differs_from_normal(self):
+        a = normal_beat(80)
+        b = pvc_beat(80)
+        assert not np.allclose(a, b)
+        # PVC has no P wave: little energy in the first fifth.
+        assert np.abs(b[:16]).max() < np.abs(a[:16]).max() + 0.2
+
+
+class TestEcgStream:
+    def test_anomaly_detection_perfect_at_defaults(self):
+        data = ecg_stream(beats=150, seed=3)
+        matches = spring_search(data.values, data.query, data.suggested_epsilon)
+        score = score_matches(matches, data.occurrence_intervals())
+        assert score.perfect
+
+    def test_ground_truth_labels(self):
+        data = ecg_stream(beats=200, pvc_probability=0.1, seed=1)
+        assert all(occ.label == "pvc" for occ in data.occurrences)
+        assert len(data.occurrences) > 5
+
+    def test_no_anomalies_when_probability_zero(self):
+        data = ecg_stream(beats=50, pvc_probability=0.0, seed=1)
+        assert data.occurrences == []
+
+    def test_rejects_variability_of_one(self):
+        with pytest.raises(ValidationError):
+            ecg_stream(rate_variability=1.0)
+
+
+class TestRegistry:
+    def test_names(self):
+        names = dataset_names()
+        for expected in ("chirp", "temperature", "kursk", "sunspots",
+                         "mocap", "ecg"):
+            assert expected in names
+
+    def test_build_forwards_kwargs(self):
+        data = build("chirp", n=3000, query_length=200, bursts=2, seed=1)
+        assert data.n == 3000
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError):
+            build("stocks")
+
+    def test_export_csv_round_trip(self, tmp_path):
+        data = build("chirp", n=2000, query_length=150, bursts=1, seed=2)
+        paths = export_csv(data, tmp_path)
+        stream_back = np.asarray(
+            list(CsvSource(paths["stream"])), dtype=np.float64
+        )
+        np.testing.assert_allclose(stream_back, data.values)
+        query_back = np.asarray(
+            list(CsvSource(paths["query"])), dtype=np.float64
+        )
+        np.testing.assert_allclose(query_back, data.query)
+        truth_lines = paths["truth"].read_text().strip().splitlines()
+        assert len(truth_lines) == 1 + len(data.occurrences)
+
+    def test_export_preserves_missing_values(self, tmp_path):
+        data = build("temperature", n=2000, day_length=200, seed=2)
+        paths = export_csv(data, tmp_path)
+        back = np.asarray(list(CsvSource(paths["stream"])), dtype=np.float64)
+        np.testing.assert_array_equal(
+            np.isnan(back), np.isnan(data.values)
+        )
+
+    def test_export_vector_dataset(self, tmp_path):
+        data = build(
+            "mocap", motion_length=40, channels=3, transition_length=5, seed=1
+        )
+        paths = export_csv(data, tmp_path)
+        rows = list(CsvSource(paths["stream"], columns=[0, 1, 2]))
+        assert len(rows) == data.values.shape[0]
+        np.testing.assert_allclose(rows[0], data.values[0])

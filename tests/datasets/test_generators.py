@@ -1,0 +1,173 @@
+"""Unit tests for the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LabeledStream,
+    MOTION_TYPES,
+    SESSION_PLAN,
+    masked_chirp,
+    mocap_session,
+    motion_query,
+    seismic_stream,
+    sunspot_stream,
+    temperature_stream,
+)
+from repro.exceptions import ValidationError
+
+
+class TestMaskedChirp:
+    def test_shapes_and_ground_truth(self):
+        data = masked_chirp(n=5000, query_length=400, bursts=3, seed=1)
+        assert data.n == 5000
+        assert data.m == 400
+        assert len(data.occurrences) == 3
+        for occ in data.occurrences:
+            assert 1 <= occ.start <= occ.end <= 5000
+
+    def test_occurrences_disjoint_and_ordered(self):
+        data = masked_chirp(n=8000, query_length=300, bursts=5, seed=2)
+        occs = data.occurrences
+        for a, b in zip(occs, occs[1:]):
+            assert a.end < b.start
+
+    def test_burst_lengths_scale_with_period(self):
+        data = masked_chirp(
+            n=8000, query_length=400, bursts=2,
+            period_scales=[1.0, 2.0], seed=3,
+        )
+        lengths = [occ.length for occ in data.occurrences]
+        assert lengths[0] == 400
+        assert lengths[1] == 800
+
+    def test_deterministic_for_seed(self):
+        a = masked_chirp(n=3000, query_length=200, bursts=2, seed=7)
+        b = masked_chirp(n=3000, query_length=200, bursts=2, seed=7)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = masked_chirp(n=3000, query_length=200, bursts=2, seed=7)
+        b = masked_chirp(n=3000, query_length=200, bursts=2, seed=8)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_zero_bursts(self):
+        data = masked_chirp(n=1000, query_length=100, bursts=0, seed=1)
+        assert data.occurrences == []
+
+    def test_too_many_bursts_raises(self):
+        with pytest.raises(ValidationError):
+            masked_chirp(n=500, query_length=400, bursts=4)
+
+    def test_wrong_scale_count_raises(self):
+        with pytest.raises(ValidationError):
+            masked_chirp(n=5000, query_length=100, bursts=2, period_scales=[1.0])
+
+    def test_burst_region_has_signal_energy(self):
+        data = masked_chirp(n=5000, query_length=400, bursts=2,
+                            noise_sigma=0.05, seed=4)
+        for occ in data.occurrences:
+            burst = data.values[occ.slice]
+            outside = data.values[: data.occurrences[0].start - 1]
+            assert burst.std() > 3 * max(outside.std(), 1e-9)
+
+
+class TestTemperature:
+    def test_range_and_missing(self):
+        data = temperature_stream(n=8000, day_length=400, seed=1)
+        finite = data.values[~np.isnan(data.values)]
+        assert finite.min() > 15.0
+        assert finite.max() < 36.0
+        assert 0.0 < np.isnan(data.values).mean() < 0.2
+
+    def test_hot_days_count(self):
+        data = temperature_stream(n=10000, day_length=500, hot_days=3, seed=2)
+        assert len(data.occurrences) == 3
+
+    def test_too_many_hot_days_raises(self):
+        with pytest.raises(ValidationError):
+            temperature_stream(n=2000, day_length=1000, hot_days=5)
+
+    def test_query_spans_range(self):
+        data = temperature_stream(n=5000, day_length=300, seed=3)
+        assert data.query.min() == pytest.approx(20.0, abs=0.5)
+        assert data.query.max() == pytest.approx(32.0, abs=0.5)
+
+
+class TestSeismic:
+    def test_event_amplitude_dominates_floor(self):
+        data = seismic_stream(n=20000, event_length=2000, events=1, seed=1)
+        occ = data.occurrences[0]
+        event_peak = np.abs(data.values[occ.slice]).max()
+        floor_peak = np.abs(data.values[: occ.start - 1]).max()
+        assert event_peak > 5 * floor_peak
+
+    def test_multiple_events(self):
+        data = seismic_stream(n=30000, event_length=2000, events=3, seed=2)
+        assert len(data.occurrences) == 3
+
+    def test_events_do_not_fit_raises(self):
+        with pytest.raises(ValidationError):
+            seismic_stream(n=1000, event_length=600, events=2)
+
+
+class TestSunspots:
+    def test_nonnegative_counts(self):
+        data = sunspot_stream(n=10000, cycle_length=1500, seed=1)
+        assert (data.values >= 0).all()
+
+    def test_cycles_cover_stream(self):
+        data = sunspot_stream(n=12000, cycle_length=1500,
+                              quiet_fraction=0.0, seed=2)
+        # With no quiet cycles, nearly every full cycle is ground truth.
+        covered = sum(occ.length for occ in data.occurrences)
+        assert covered > 0.6 * data.n
+
+    def test_query_is_skewed_cycle(self):
+        data = sunspot_stream(n=5000, cycle_length=1000, seed=3)
+        peak_at = int(np.argmax(data.query))
+        assert peak_at < data.m / 2  # fast rise, slow decay
+
+
+class TestMocap:
+    def test_session_plan_and_channels(self):
+        data = mocap_session(motion_length=60, channels=8,
+                             transition_length=10, seed=1)
+        assert data.values.shape[1] == 8
+        assert [occ.label for occ in data.occurrences] == list(SESSION_PLAN)
+
+    def test_motion_queries_distinct(self):
+        queries = {m: motion_query(m, 60, 8) for m in MOTION_TYPES}
+        for a in MOTION_TYPES:
+            for b in MOTION_TYPES:
+                if a != b:
+                    assert not np.allclose(queries[a], queries[b])
+
+    def test_motifs_stable_across_calls(self):
+        a = motion_query("walking", 60, 8)
+        b = motion_query("walking", 60, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_motion_raises(self):
+        with pytest.raises(ValidationError):
+            motion_query("swimming", 60, 8)
+        with pytest.raises(ValidationError):
+            mocap_session(plan=("flying",), motion_length=60, channels=4)
+
+    def test_stretch_band_varies_lengths(self):
+        data = mocap_session(
+            plan=("walking",) * 5, motion_length=100, channels=4,
+            stretch_band=0.4, transition_length=5, seed=3,
+        )
+        lengths = {occ.length for occ in data.occurrences}
+        assert len(lengths) > 1
+
+
+class TestLabeledStream:
+    def test_interval_helpers(self):
+        data = masked_chirp(n=3000, query_length=200, bursts=2, seed=5)
+        intervals = data.occurrence_intervals()
+        assert intervals == [(o.start, o.end) for o in data.occurrences]
+        assert isinstance(data, LabeledStream)

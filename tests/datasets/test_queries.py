@@ -1,0 +1,73 @@
+"""Unit tests for query extraction and perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import extract_query, perturb_query
+from repro.exceptions import ValidationError
+
+
+class TestExtractQuery:
+    def test_basic_extraction(self):
+        values = np.arange(10.0)
+        np.testing.assert_allclose(extract_query(values, 3, 5), [2.0, 3.0, 4.0])
+
+    def test_detrend(self):
+        query = extract_query([10.0, 12.0, 14.0], 1, 3, detrend=True)
+        assert query.mean() == pytest.approx(0.0)
+
+    def test_interpolates_missing(self):
+        values = [1.0, np.nan, 3.0]
+        np.testing.assert_allclose(extract_query(values, 1, 3), [1.0, 2.0, 3.0])
+
+    def test_all_missing_raises(self):
+        with pytest.raises(ValidationError):
+            extract_query([np.nan, np.nan], 1, 2)
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValidationError):
+            extract_query([1.0, 2.0], 1, 5)
+
+    def test_roundtrip_through_spring(self, rng):
+        """An extracted episode must re-match its own source region."""
+        from repro.core import spring_search
+
+        stream = rng.normal(size=200)
+        stream[80:110] += np.sin(np.linspace(0, 2 * np.pi, 30)) * 4
+        query = extract_query(stream, 81, 110)
+        matches = spring_search(stream, query, epsilon=1e-9)
+        assert any(m.start == 81 and m.end == 110 for m in matches)
+
+
+class TestPerturbQuery:
+    def test_stretch_changes_length(self, rng):
+        query = rng.normal(size=20)
+        assert perturb_query(query, stretch=1.5).shape[0] == 30
+
+    def test_noise_changes_values(self, rng):
+        query = rng.normal(size=20)
+        noisy = perturb_query(query, noise_sigma=0.5, seed=1)
+        assert not np.allclose(noisy, query)
+
+    def test_identity(self, rng):
+        query = rng.normal(size=20)
+        np.testing.assert_allclose(perturb_query(query), query)
+
+    def test_bad_stretch_raises(self, rng):
+        with pytest.raises(ValidationError):
+            perturb_query([1.0, 2.0], stretch=0.0)
+
+    def test_perturbed_query_still_matches(self, rng):
+        """DTW robustness: a stretched+noisy query still finds the
+        original pattern — the property the paper's intro promises."""
+        from repro.core import spring_search
+
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 40)) * 3
+        stream = np.concatenate(
+            [rng.normal(size=50), pattern, rng.normal(size=50)]
+        )
+        query = perturb_query(pattern, stretch=1.4, noise_sigma=0.1, seed=2)
+        matches = spring_search(stream, query, epsilon=30.0)
+        assert any(40 <= m.start <= 60 for m in matches)

@@ -1,0 +1,61 @@
+"""Unit tests for the random-walk motif dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NormalizedSpring
+from repro.datasets.walks import head_and_shoulders, walk_with_motifs
+from repro.eval import score_matches
+from repro.exceptions import ValidationError
+
+
+class TestMotif:
+    def test_zero_mean(self):
+        motif = head_and_shoulders(100)
+        assert abs(motif.mean()) < 1e-12
+
+    def test_three_peaks(self):
+        motif = head_and_shoulders(200, amplitude=1.0)
+        # Head taller than shoulders, peaks near 20/50/80 %.
+        head = motif[80:120].max()
+        left = motif[20:60].max()
+        right = motif[140:180].max()
+        assert head > left and head > right
+
+
+class TestWalkWithMotifs:
+    def test_ground_truth_count(self):
+        data = walk_with_motifs(n=8000, occurrences=3, seed=1)
+        assert len(data.occurrences) == 3
+
+    def test_occurrences_disjoint(self):
+        data = walk_with_motifs(n=10000, occurrences=4, seed=2)
+        occs = data.occurrences
+        for a, b in zip(occs, occs[1:]):
+            assert a.end < b.start
+
+    def test_too_many_occurrences_raises(self):
+        with pytest.raises(ValidationError):
+            walk_with_motifs(n=500, occurrences=10)
+
+    def test_normalized_matcher_finds_motifs_on_drifting_walk(self):
+        """The dataset's purpose: motifs ride the walk's level, so the
+        EWM-normalised matcher finds them where raw matching cannot."""
+        data = walk_with_motifs(
+            n=6000, occurrences=3, step_sigma=0.08, noise_sigma=0.1, seed=3
+        )
+        matcher = NormalizedSpring(
+            data.query,
+            epsilon=25.0,
+            mode="ewm",
+            halflife=60.0,
+            warmup=60,
+        )
+        matches = matcher.extend(data.values)
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        score = score_matches(matches, data.occurrence_intervals())
+        assert score.recall == 1.0

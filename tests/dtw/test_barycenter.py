@@ -1,0 +1,94 @@
+"""Unit tests for DTW barycenter averaging (DBA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import dtw_distance
+from repro.dtw.barycenter import dba_average, resample
+from repro.exceptions import ValidationError
+
+
+def _renditions(rng, pattern, count, stretch_band=0.3, noise=0.2):
+    out = []
+    for _ in range(count):
+        factor = 1.0 + rng.uniform(-stretch_band, stretch_band)
+        length = max(4, int(round(pattern.shape[0] * factor)))
+        stretched = np.interp(
+            np.linspace(0, pattern.shape[0] - 1, length),
+            np.arange(pattern.shape[0]),
+            pattern,
+        )
+        out.append(stretched + rng.normal(0, noise, length))
+    return out
+
+
+class TestResample:
+    def test_identity_length(self, rng):
+        values = rng.normal(size=10)
+        np.testing.assert_allclose(resample(values, 10), values)
+
+    def test_endpoints_kept(self, rng):
+        values = rng.normal(size=10)
+        out = resample(values, 23)
+        assert out[0] == pytest.approx(values[0])
+        assert out[-1] == pytest.approx(values[-1])
+
+    def test_bad_length(self, rng):
+        with pytest.raises(ValidationError):
+            resample([1.0, 2.0], 0)
+
+
+class TestDba:
+    def test_single_example_is_resampled_copy(self, rng):
+        example = rng.normal(size=12)
+        np.testing.assert_allclose(dba_average([example], length=12), example)
+
+    def test_requires_examples(self):
+        with pytest.raises(ValidationError):
+            dba_average([])
+
+    def test_template_closer_than_any_single_example(self, rng):
+        """The point of DBA: the learned template generalises better
+        (lower mean DTW distance to held-out renditions) than a single
+        noisy exemplar."""
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 40)) * 3
+        train = _renditions(rng, pattern, 6)
+        test = _renditions(rng, pattern, 6)
+        template = dba_average(train, length=40)
+
+        def mean_distance(candidate):
+            return float(
+                np.mean([dtw_distance(candidate, t) for t in test])
+            )
+
+        template_score = mean_distance(template)
+        exemplar_scores = [mean_distance(t) for t in train]
+        assert template_score < np.median(exemplar_scores)
+
+    def test_template_converges_toward_clean_pattern(self, rng):
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 30)) * 2
+        train = _renditions(rng, pattern, 8, noise=0.15)
+        template = dba_average(train, length=30, iterations=15)
+        assert dtw_distance(template, pattern) < min(
+            dtw_distance(t, pattern) for t in train
+        )
+
+    def test_deterministic(self, rng):
+        pattern = np.sin(np.linspace(0, np.pi, 20))
+        train = _renditions(rng, pattern, 4)
+        a = dba_average(train, length=20)
+        b = dba_average(train, length=20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_identical_examples_fixed_point(self, rng):
+        example = rng.normal(size=15)
+        template = dba_average([example, example, example], length=15)
+        np.testing.assert_allclose(template, example, rtol=1e-9)
+
+    def test_absolute_local_distance(self, rng):
+        pattern = np.sin(np.linspace(0, np.pi, 15))
+        train = _renditions(rng, pattern, 3)
+        template = dba_average(train, length=15, local_distance="absolute")
+        assert template.shape == (15,)

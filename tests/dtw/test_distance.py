@@ -1,0 +1,125 @@
+"""Unit tests for whole-sequence DTW."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import (
+    dtw_distance,
+    dtw_distance_matrix,
+    dtw_windowed,
+)
+from repro.exceptions import EmptySequenceError, ValidationError
+
+
+class TestDtwDistanceBasics:
+    def test_identical_sequences_have_zero_distance(self):
+        x = [1.0, 2.0, 3.0, 2.0]
+        assert dtw_distance(x, x) == 0.0
+
+    def test_single_elements(self):
+        assert dtw_distance([3.0], [5.0]) == pytest.approx(4.0)
+
+    def test_known_small_example(self):
+        # X = (1, 2, 3), Y = (1, 3): optimal alignment warps 2 onto
+        # either 1 or 3 at cost 1.
+        assert dtw_distance([1, 2, 3], [1, 3]) == pytest.approx(1.0)
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=20)
+        y = rng.normal(size=13)
+        assert dtw_distance(x, y) == pytest.approx(dtw_distance(y, x))
+
+    def test_constant_shift_costs_per_cell(self):
+        x = np.zeros(4)
+        y = np.ones(4)
+        # Diagonal path: 4 cells, each cost 1.
+        assert dtw_distance(x, y) == pytest.approx(4.0)
+
+    def test_time_stretching_is_cheap(self):
+        # The same shape at double length should be almost free under
+        # DTW (each element matched against its repeated twin).
+        y = np.sin(np.linspace(0, 2 * np.pi, 30))
+        x = np.repeat(y, 2)
+        assert dtw_distance(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_absolute_distance_option(self):
+        assert dtw_distance([0.0], [2.0], local_distance="absolute") == pytest.approx(2.0)
+        assert dtw_distance([0.0], [2.0], local_distance="squared") == pytest.approx(4.0)
+
+    def test_callable_local_distance(self):
+        def half_abs(a, b):
+            return 0.5 * np.sum(np.abs(a - b), axis=-1)
+
+        assert dtw_distance([0.0], [2.0], local_distance=half_abs) == pytest.approx(1.0)
+
+    def test_vector_sequences(self):
+        x = [[0.0, 0.0], [1.0, 1.0]]
+        y = [[0.0, 0.0], [1.0, 1.0]]
+        assert dtw_distance(x, y) == 0.0
+        y2 = [[1.0, 0.0], [2.0, 1.0]]
+        assert dtw_distance(x, y2) == pytest.approx(2.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            dtw_distance([[1.0, 2.0]], [[1.0, 2.0, 3.0]])
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySequenceError):
+            dtw_distance([], [1.0])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValidationError):
+            dtw_distance([np.nan], [1.0])
+
+
+class TestDtwMatrixAgreement:
+    def test_rolling_matches_matrix(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=int(rng.integers(2, 25)))
+            y = rng.normal(size=int(rng.integers(2, 25)))
+            d1 = dtw_distance(x, y)
+            d2, acc = dtw_distance_matrix(x, y)
+            assert d1 == pytest.approx(d2, rel=1e-12)
+            assert acc.shape == (x.shape[0], y.shape[0])
+
+    def test_matrix_monotone_along_rows(self, rng):
+        x = rng.normal(size=12)
+        y = rng.normal(size=9)
+        _, acc = dtw_distance_matrix(x, y)
+        # Accumulated cost can only grow along the first column (only
+        # vertical steps feed it).
+        first_col = acc[:, 0]
+        assert np.all(np.diff(first_col) >= 0)
+
+
+class TestWindowedDtw:
+    def test_wide_band_equals_unconstrained(self, rng):
+        x = rng.normal(size=15)
+        y = rng.normal(size=15)
+        full = dtw_distance(x, y)
+        banded = dtw_windowed(x, y, constraint="sakoe_chiba", radius=15)
+        assert banded == pytest.approx(full)
+
+    def test_zero_radius_is_euclidean(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        banded = dtw_windowed(x, y, constraint="sakoe_chiba", radius=0)
+        assert banded == pytest.approx(float(np.sum((x - y) ** 2)))
+
+    def test_band_never_below_unconstrained(self, rng):
+        for radius in (0, 1, 2, 4):
+            x = rng.normal(size=12)
+            y = rng.normal(size=12)
+            assert dtw_windowed(x, y, radius=radius) >= dtw_distance(x, y) - 1e-12
+
+    def test_itakura_wide_slope_close_to_unconstrained(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        constrained = dtw_windowed(x, y, constraint="itakura", max_slope=50.0)
+        assert constrained >= dtw_distance(x, y) - 1e-12
+
+    def test_unknown_constraint_raises(self):
+        with pytest.raises(ValidationError):
+            dtw_windowed([1.0], [1.0], constraint="bogus")

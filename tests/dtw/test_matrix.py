@@ -1,0 +1,108 @@
+"""Unit tests for cost-matrix construction and accumulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import (
+    accumulate_full,
+    accumulate_subsequence,
+    pairwise_cost_matrix,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPairwiseCostMatrix:
+    def test_squared_costs(self):
+        cost = pairwise_cost_matrix([1.0, 2.0], [0.0, 2.0])
+        expected = np.array([[1.0, 1.0], [4.0, 0.0]])
+        np.testing.assert_allclose(cost, expected)
+
+    def test_absolute_costs(self):
+        cost = pairwise_cost_matrix([1.0, 2.0], [0.0], local_distance="absolute")
+        np.testing.assert_allclose(cost, [[1.0], [2.0]])
+
+    def test_vector_costs_sum_over_dimensions(self):
+        x = [[1.0, 1.0]]
+        y = [[0.0, 0.0]]
+        cost = pairwise_cost_matrix(x, y)
+        np.testing.assert_allclose(cost, [[2.0]])
+
+    def test_shape(self, rng):
+        x = rng.normal(size=7)
+        y = rng.normal(size=4)
+        assert pairwise_cost_matrix(x, y).shape == (7, 4)
+
+
+class TestAccumulateFull:
+    def test_paper_equation1_structure(self):
+        # Top-left must be the bare cost; first row accumulates right.
+        cost = np.array([[1.0, 2.0], [3.0, 4.0]])
+        acc = accumulate_full(cost)
+        assert acc[0, 0] == 1.0
+        assert acc[0, 1] == 3.0  # 2 + f(1,1)
+        assert acc[1, 0] == 4.0  # 3 + f(1,1)
+        assert acc[1, 1] == 4.0 + min(3.0, 4.0, 1.0)
+
+    def test_mask_excludes_cells(self):
+        cost = np.ones((3, 3))
+        mask = np.ones((3, 3), dtype=bool)
+        mask[1, 1] = False
+        acc = accumulate_full(cost, mask)
+        assert np.isinf(acc[1, 1])
+        # A path still exists around the hole.
+        assert np.isfinite(acc[2, 2])
+
+    def test_all_masked_is_inf(self):
+        cost = np.ones((2, 2))
+        acc = accumulate_full(cost, np.zeros((2, 2), dtype=bool))
+        assert np.isinf(acc).all()
+
+
+class TestAccumulateSubsequence:
+    def test_first_row_is_bare_cost(self, rng):
+        cost = np.abs(rng.normal(size=(6, 4)))
+        acc = accumulate_subsequence(cost)
+        # d(t, 1) = cost: every tick can start fresh via the star row.
+        np.testing.assert_allclose(acc[:, 0], cost[:, 0])
+
+    def test_last_row_minimum_matches_best_subsequence(self, rng):
+        from repro.dtw import brute_force_best
+
+        x = rng.normal(size=12)
+        y = rng.normal(size=4)
+        cost = pairwise_cost_matrix(x, y)
+        acc = accumulate_subsequence(cost)
+        best_distance, _, _ = brute_force_best(x, y)
+        assert acc[:, -1].min() == pytest.approx(best_distance, rel=1e-9)
+
+    def test_subsequence_never_exceeds_full(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=5)
+        cost = pairwise_cost_matrix(x, y)
+        full = accumulate_full(cost)
+        sub = accumulate_subsequence(cost)
+        # A subsequence alignment can only be cheaper than the full one
+        # ending at the same cell.
+        assert np.all(sub <= full + 1e-12)
+
+    def test_paper_figure5_matrix(self):
+        """Cell-for-cell check of the worked example in Figure 5."""
+        x = [5, 12, 6, 10, 6, 5, 13]
+        y = [11, 6, 9, 4]
+        acc = accumulate_subsequence(pairwise_cost_matrix(x, y))
+        expected = np.array(
+            [
+                # y1=11, y2=6, y3=9, y4=4 per stream tick
+                [36, 37, 53, 54],
+                [1, 37, 46, 110],
+                [25, 1, 10, 14],
+                [1, 17, 2, 38],
+                [25, 1, 10, 6],
+                [36, 2, 17, 7],
+                [4, 51, 18, 88],
+            ],
+            dtype=np.float64,
+        )
+        np.testing.assert_allclose(acc, expected)

@@ -1,0 +1,78 @@
+"""Unit tests for warping-path recovery and utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import (
+    accumulate_full,
+    accumulate_subsequence,
+    backtrack_path,
+    dtw_distance,
+    is_valid_path,
+    pairwise_cost_matrix,
+    path_cost,
+    warp_amount,
+)
+from repro.exceptions import ValidationError
+
+
+class TestBacktrack:
+    def test_path_realises_the_distance(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=int(rng.integers(3, 15)))
+            y = rng.normal(size=int(rng.integers(3, 15)))
+            cost = pairwise_cost_matrix(x, y)
+            acc = accumulate_full(cost)
+            path = backtrack_path(acc)
+            assert is_valid_path(path, *cost.shape)
+            assert path_cost(path, cost) == pytest.approx(acc[-1, -1], rel=1e-9)
+
+    def test_identical_sequences_give_diagonal(self):
+        x = [1.0, 2.0, 3.0]
+        acc = accumulate_full(pairwise_cost_matrix(x, x))
+        path = backtrack_path(acc)
+        assert path == [(0, 0), (1, 1), (2, 2)]
+        assert warp_amount(path) == 0
+
+    def test_subsequence_path_starts_mid_stream(self, rng):
+        # Plant the exact query mid-stream: the path should start there.
+        y = np.array([1.0, 5.0, 2.0])
+        x = np.concatenate([np.full(4, 50.0), y, np.full(4, 50.0)])
+        acc = accumulate_subsequence(pairwise_cost_matrix(x, y))
+        end = int(np.argmin(acc[:, -1]))
+        path = backtrack_path(acc, (end, 2))
+        assert is_valid_path(path, x.shape[0], 3, subsequence=True)
+        assert path[0] == (4, 0)
+        assert path[-1] == (6, 2)
+
+    def test_infinite_end_raises(self):
+        acc = np.full((2, 2), np.inf)
+        with pytest.raises(ValidationError):
+            backtrack_path(acc)
+
+    def test_out_of_range_end_raises(self):
+        acc = np.zeros((2, 2))
+        with pytest.raises(ValidationError):
+            backtrack_path(acc, (5, 0))
+
+
+class TestPathValidity:
+    def test_rejects_gaps(self):
+        assert not is_valid_path([(0, 0), (2, 1)], 3, 2)
+
+    def test_rejects_wrong_endpoints(self):
+        assert not is_valid_path([(0, 0), (1, 0)], 2, 2)
+
+    def test_rejects_empty(self):
+        assert not is_valid_path([], 1, 1)
+
+    def test_subsequence_flag_relaxes_start_row(self):
+        path = [(3, 0), (4, 1)]
+        assert is_valid_path(path, 6, 2, subsequence=True)
+        assert not is_valid_path(path, 6, 2, subsequence=False)
+
+    def test_warp_amount_counts_non_diagonal(self):
+        path = [(0, 0), (1, 0), (2, 1), (2, 2)]
+        assert warp_amount(path) == 2

@@ -1,0 +1,135 @@
+"""Unit tests for the stored-set search with lower-bound pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import dtw_distance, dtw_windowed
+from repro.dtw.search import SequenceIndex
+from repro.exceptions import ValidationError
+
+
+def _library(rng, count=30, length=25):
+    return [rng.normal(size=length) + rng.uniform(-3, 3) for _ in range(count)]
+
+
+class TestNearest:
+    def test_empty_index_raises(self):
+        with pytest.raises(ValidationError):
+            SequenceIndex().nearest([1.0])
+
+    def test_exact_vs_linear_scan(self, rng):
+        library = _library(rng)
+        index = SequenceIndex()
+        for i, seq in enumerate(library):
+            index.add(seq, label=i)
+        for _ in range(5):
+            query = rng.normal(size=25)
+            distance, label, stats = index.nearest(query)
+            brute = min(
+                (dtw_distance(query, seq), i) for i, seq in enumerate(library)
+            )
+            assert distance == pytest.approx(brute[0], rel=1e-9)
+            assert dtw_distance(query, library[label]) == pytest.approx(
+                brute[0], rel=1e-9
+            )
+            assert stats.candidates == len(library)
+
+    def test_pruning_happens(self, rng):
+        # A library with one near-duplicate of the query and many far
+        # sequences: the bounds must prune most full computations.
+        query = rng.normal(size=20)
+        index = SequenceIndex()
+        index.add(query + rng.normal(0, 0.01, 20), label="near")
+        for _ in range(40):
+            index.add(rng.normal(size=20) + 50.0)
+        distance, label, stats = index.nearest(query)
+        assert label == "near"
+        assert stats.prune_rate > 0.8
+        assert stats.full_computations < 10
+
+    def test_banded_search_exact(self, rng):
+        library = _library(rng, count=15, length=20)
+        index = SequenceIndex(band_radius=3)
+        index.extend(library)
+        query = rng.normal(size=20)
+        distance, label, stats = index.nearest(query)
+        brute = min(
+            dtw_windowed(query, seq, radius=3) for seq in library
+        )
+        assert distance == pytest.approx(brute, rel=1e-9)
+
+    def test_bad_band_radius(self):
+        with pytest.raises(ValidationError):
+            SequenceIndex(band_radius=-1)
+
+
+class TestBestSubsequence:
+    """The conclusion's claim: SPRING applies to stored sets too."""
+
+    def test_finds_planted_subsequence(self, rng):
+        query = rng.normal(size=8)
+        index = SequenceIndex()
+        index.add(rng.normal(size=40) + 9, label="miss-1")
+        host = np.concatenate(
+            [rng.normal(size=15) + 9, query, rng.normal(size=15) + 9]
+        )
+        index.add(host, label="hit")
+        index.add(rng.normal(size=40) + 9, label="miss-2")
+        distance, label, (start, end) = index.best_subsequence(query)
+        assert label == "hit"
+        assert distance == pytest.approx(0.0, abs=1e-12)
+        assert (start, end) == (16, 23)
+
+    def test_agrees_with_brute_force(self, rng):
+        from repro.dtw import brute_force_best
+
+        library = [rng.normal(size=12) for _ in range(6)]
+        index = SequenceIndex()
+        for i, seq in enumerate(library):
+            index.add(seq, label=i)
+        query = rng.normal(size=4)
+        distance, label, _ = index.best_subsequence(query)
+        brute = min(brute_force_best(seq, query)[0] for seq in library)
+        assert distance == pytest.approx(brute, rel=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            SequenceIndex().best_subsequence([1.0])
+
+
+class TestRangeSearch:
+    def test_finds_all_within_epsilon(self, rng):
+        library = _library(rng, count=25, length=15)
+        index = SequenceIndex()
+        index.extend(library)
+        query = rng.normal(size=15)
+        epsilon = float(
+            np.median([dtw_distance(query, seq) for seq in library])
+        )
+        hits, stats = index.range_search(query, epsilon)
+        brute = sorted(
+            d for seq in library if (d := dtw_distance(query, seq)) <= epsilon
+        )
+        assert [h[0] for h in hits] == pytest.approx(brute, rel=1e-9)
+
+    def test_sorted_ascending(self, rng):
+        index = SequenceIndex()
+        index.extend(_library(rng, count=10, length=10))
+        hits, _ = index.range_search(rng.normal(size=10), 1e9)
+        distances = [h[0] for h in hits]
+        assert distances == sorted(distances)
+
+    def test_negative_epsilon_raises(self, rng):
+        index = SequenceIndex()
+        index.add([1.0])
+        with pytest.raises(ValidationError):
+            index.range_search([1.0], -1.0)
+
+    def test_stats_counters_consistent(self, rng):
+        index = SequenceIndex()
+        index.extend(_library(rng, count=20, length=12))
+        _, stats = index.range_search(rng.normal(size=12) + 30, 0.5)
+        assert stats.candidates == 20
+        assert stats.pruned_total + stats.full_computations == 20

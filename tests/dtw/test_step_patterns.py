@@ -1,0 +1,96 @@
+"""Unit tests for generalised step patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import dtw_distance, pairwise_cost_matrix
+from repro.dtw.step_patterns import (
+    STEP_PATTERNS,
+    accumulate_with_pattern,
+    dtw_with_pattern,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSymmetric1:
+    def test_matches_paper_recurrence(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=int(rng.integers(2, 12)))
+            y = rng.normal(size=int(rng.integers(2, 12)))
+            assert dtw_with_pattern(x, y, "symmetric1") == pytest.approx(
+                dtw_distance(x, y), rel=1e-12
+            )
+
+
+class TestSymmetric2:
+    def test_at_least_symmetric1(self, rng):
+        # Doubling the diagonal weight can only increase the optimum.
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        assert dtw_with_pattern(x, y, "symmetric2") >= dtw_with_pattern(
+            x, y, "symmetric1"
+        ) - 1e-12
+
+    def test_identical_sequences(self, rng):
+        x = rng.normal(size=8)
+        # Perfect diagonal: every cell cost 0, so weight is irrelevant.
+        assert dtw_with_pattern(x, x, "symmetric2") == pytest.approx(0.0)
+
+    def test_normalisation(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=6)
+        raw = dtw_with_pattern(x, y, "symmetric2")
+        normed = dtw_with_pattern(x, y, "symmetric2", normalize=True)
+        assert normed == pytest.approx(raw / 16)
+
+
+class TestAsymmetric:
+    def test_consumes_every_data_tick(self):
+        # With steps (1,0),(1,1),(1,2), a path exists iff m <= 2n and
+        # the path has exactly n cells.
+        cost = np.ones((4, 4))
+        acc = accumulate_with_pattern(cost, "asymmetric")
+        assert acc[-1, -1] == pytest.approx(4.0)  # 4 cells, weight 1
+
+    def test_infeasible_when_query_too_long(self):
+        # n=2 data ticks cannot cover m=5 query elements (max 2 per step).
+        cost = np.ones((2, 5))
+        acc = accumulate_with_pattern(cost, "asymmetric")
+        assert np.isinf(acc[-1, -1])
+
+
+class TestCustomPatterns:
+    def test_custom_steps(self, rng):
+        x = rng.normal(size=6)
+        y = rng.normal(size=6)
+        custom = ((0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0))
+        assert dtw_with_pattern(x, y, custom) == pytest.approx(
+            dtw_distance(x, y), rel=1e-12
+        )
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ValidationError):
+            accumulate_with_pattern(np.ones((2, 2)), (((0, 0, 1.0)),))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            accumulate_with_pattern(np.ones((2, 2)), ())
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ValidationError):
+            dtw_with_pattern([1.0], [1.0], "sakoe99")
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValidationError):
+            accumulate_with_pattern(np.ones((2, 2)), ((1, 1, -1.0),))
+
+
+class TestRegistry:
+    def test_known_patterns_present(self):
+        assert set(STEP_PATTERNS) == {
+            "symmetric1",
+            "symmetric2",
+            "asymmetric",
+        }

@@ -1,0 +1,77 @@
+"""Unit tests for offline subsequence DTW (star-padding, batch form)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import (
+    all_ending_distances,
+    best_subsequence,
+    brute_force_all,
+    brute_force_best,
+    dtw_distance,
+    is_valid_path,
+    subsequence_matrix,
+)
+
+
+class TestTheorem1:
+    """Theorem 1: star-padded DTW == min over all subsequences."""
+
+    def test_small_random_instances(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(3, 18))
+            m = int(rng.integers(2, 6))
+            x = rng.normal(size=n)
+            y = rng.normal(size=m)
+            star = float(subsequence_matrix(x, y)[:, -1].min())
+            brute, _, _ = brute_force_best(x, y)
+            assert star == pytest.approx(brute, rel=1e-9)
+
+    def test_positions_match_brute_force(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=14)
+            y = rng.normal(size=4)
+            d, start, end, path = best_subsequence(x, y)
+            bd, bs, be = brute_force_best(x, y)
+            assert d == pytest.approx(bd, rel=1e-9)
+            assert (start, end) == (bs, be)
+            assert is_valid_path(path, 14, 4, subsequence=True)
+
+    def test_exact_query_embedded(self, rng):
+        y = rng.normal(size=5)
+        x = np.concatenate([rng.normal(size=7) + 10, y, rng.normal(size=6) + 10])
+        d, start, end, _ = best_subsequence(x, y)
+        assert d == pytest.approx(0.0, abs=1e-12)
+        assert (start, end) == (7, 11)
+
+
+class TestEndingDistances:
+    def test_length_matches_stream(self, rng):
+        x = rng.normal(size=23)
+        y = rng.normal(size=6)
+        assert all_ending_distances(x, y).shape == (23,)
+
+    def test_each_entry_is_min_over_starts(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=3)
+        endings = all_ending_distances(x, y)
+        table = brute_force_all(x, y)
+        for te in range(10):
+            assert endings[te] == pytest.approx(table[: te + 1, te].min(), rel=1e-9)
+
+
+class TestBruteForce:
+    def test_all_table_diagonal_is_single_element(self, rng):
+        x = rng.normal(size=6)
+        y = rng.normal(size=3)
+        table = brute_force_all(x, y)
+        for t in range(6):
+            assert table[t, t] == pytest.approx(dtw_distance(x[t : t + 1], y))
+
+    def test_upper_triangle_only(self, rng):
+        x = rng.normal(size=5)
+        y = rng.normal(size=2)
+        table = brute_force_all(x, y)
+        assert np.isinf(table[np.tril_indices(5, k=-1)]).all()

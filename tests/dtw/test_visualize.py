@@ -1,0 +1,88 @@
+"""Unit tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import (
+    accumulate_full,
+    backtrack_path,
+    pairwise_cost_matrix,
+)
+from repro.dtw.visualize import (
+    figure5_style,
+    render_alignment,
+    render_matrix,
+    render_path,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRenderMatrix:
+    def test_contains_all_values(self, rng):
+        acc = accumulate_full(pairwise_cost_matrix([1.0, 2.0], [1.0, 3.0]))
+        text = render_matrix(acc, precision=6)
+        for value in np.asarray(acc).ravel():
+            assert f"{value:.6g}" in text
+
+    def test_path_bracketed(self):
+        cost = pairwise_cost_matrix([1.0, 2.0], [1.0, 2.0])
+        acc = accumulate_full(cost)
+        path = backtrack_path(acc)
+        text = render_matrix(acc, path=path)
+        assert "[" in text and "]" in text
+
+    def test_size_cap(self):
+        with pytest.raises(ValidationError):
+            render_matrix(np.zeros((100, 100)), max_cells=100)
+
+    def test_inf_rendered(self):
+        matrix = np.array([[np.inf, 1.0]])
+        assert "inf" in render_matrix(matrix)
+
+
+class TestFigure5Style:
+    def test_matches_paper_figure(self):
+        text = figure5_style([5, 12, 6, 10, 6, 5, 13], [11, 6, 9, 4])
+        # Spot-check distinctive cells from the paper's Figure 5.
+        assert "110 (2)" in text   # d(2,4) = 110 starting at 2
+        assert "6 (2)" in text     # d(5,4) = 6 starting at 2
+        assert "88 (2)" in text    # d(7,4) = 88 starting at 2
+        assert "y4=4" in text
+
+    def test_size_cap(self, rng):
+        with pytest.raises(ValidationError):
+            figure5_style(rng.normal(size=100), rng.normal(size=50))
+
+
+class TestRenderPath:
+    def test_marks_cells(self):
+        text = render_path([(0, 0), (1, 1)], 2, 2)
+        lines = text.splitlines()
+        assert lines[0] == ".#"  # i=2 row on top
+        assert lines[1] == "#."
+
+    def test_size_cap(self):
+        with pytest.raises(ValidationError):
+            render_path([], 100, 100, max_cells=10)
+
+
+class TestRenderAlignment:
+    def test_auto_path(self, rng):
+        y = np.array([1.0, 5.0, 2.0])
+        x = np.concatenate([np.full(3, 40.0), y, np.full(3, 40.0)])
+        text = render_alignment(x, y)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 3  # header + one pair per query element
+        assert "0" in lines[1]  # zero local differences on the exact hit
+
+    def test_explicit_path(self):
+        text = render_alignment([1.0, 2.0], [1.0, 2.0], path=[(0, 0), (1, 1)])
+        assert len(text.splitlines()) == 3
+
+    def test_length_cap(self, rng):
+        with pytest.raises(ValidationError):
+            render_alignment(
+                rng.normal(size=300), rng.normal(size=300), max_pairs=10
+            )

@@ -1,0 +1,139 @@
+"""Integration tests: every experiment driver runs and hits its claims.
+
+These are the fast versions of the benchmark suite — small scales, but
+the same code paths, asserting the *shape* results the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import get_experiment, list_experiments
+from repro.exceptions import ExperimentError
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = list_experiments()
+        for expected in ("fig6", "table2", "fig7", "fig8", "fig9", "ablations"):
+            assert expected in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+
+class TestFig1:
+    def test_both_sinusoids_found(self):
+        result = get_experiment("fig1")(scale=0.3, seed=0)
+        assert result.summary["both_found"] is True
+        assert len(result.rows) == 2
+
+
+class TestFig6:
+    def test_perfect_detection_at_test_scale(self):
+        result = get_experiment("fig6")(scale=0.2, seed=0)
+        assert result.summary["all_perfect"] is True
+        assert len(result.rows) == 4
+
+    def test_single_dataset_restriction(self):
+        result = get_experiment("fig6")(scale=0.2, seed=0, dataset="chirp")
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "MaskedChirp"
+
+    def test_render_produces_table(self):
+        result = get_experiment("fig6")(scale=0.2, seed=0, dataset="chirp")
+        text = result.render()
+        assert "MaskedChirp" in text and "precision" in text
+
+
+class TestTable2:
+    def test_output_time_never_before_end(self):
+        result = get_experiment("table2")(scale=0.2, seed=0)
+        delay_column = result.headers.index("delay")
+        for row in result.rows:
+            assert row[delay_column] >= 0
+
+    def test_reports_exist(self):
+        result = get_experiment("table2")(scale=0.2, seed=0)
+        assert result.summary["matches"] >= 7  # 4+2+1+cycles at this scale
+
+
+class TestFig7:
+    def test_shape_naive_linear_spring_flat(self):
+        result = get_experiment("fig7")(
+            scale=0.002, seed=0, lengths=[500, 2000], measure_ticks=10
+        )
+        slope = result.summary["naive_slope_ms_per_n"]
+        spring_ms = result.summary["spring_ms_median"]
+        assert slope > 0
+        # Naive at n=2000 must already dominate SPRING clearly.
+        assert result.summary["measured_max_speedup"] > 20
+        # SPRING per-tick time does not grow 4x when n grows 4x.
+        assert result.summary["spring_flat_ratio"] < 4.0
+        assert spring_ms < 1.0  # well under a millisecond per tick
+
+
+class TestFig8:
+    def test_shape_memory_ordering(self):
+        result = get_experiment("fig8")(
+            scale=0.002, seed=0, lengths=[500, 2000]
+        )
+        assert result.summary["spring_bytes_constant"] is True
+        naive_last = result.rows[-1][1]
+        path_last = result.rows[-1][2]
+        spring_last = result.rows[-1][3]
+        assert spring_last < path_last < naive_last
+
+    def test_naive_bytes_track_n_times_m(self):
+        result = get_experiment("fig8")(
+            scale=0.002, seed=0, lengths=[500, 1000]
+        )
+        # m = 256; per matrix one float64 column + an int64 start.
+        per_n = result.summary["naive_bytes_per_n"]
+        assert per_n == pytest.approx(256 * 8 + 8, rel=0.05)
+
+
+class TestFig9:
+    def test_all_motions_found_no_cross_fires(self):
+        result = get_experiment("fig9")(scale=0.3, seed=0, channels=12)
+        assert result.summary["motions_in_session"] == 7
+        assert result.summary["all_found_by_own_query"] is True
+        assert result.summary["cross_fires"] == 0
+
+
+class TestMultistream:
+    def test_per_stream_cost_flat(self):
+        result = get_experiment("multistream")(
+            scale=0.1, seed=0, stream_counts=[1, 4], ticks=120
+        )
+        assert result.summary["per_stream_flatness"] < 3.0
+        assert len(result.rows) == 2
+
+
+class TestEcgCase:
+    def test_spring_invariant_to_heart_rate(self):
+        result = get_experiment("ecg")(scale=0.5, seed=0)
+        assert result.summary["spring_min_f1"] == 1.0
+        assert result.summary["rigid_mean_f1_at_hrv"] < 0.7
+
+
+class TestRobustness:
+    def test_spring_holds_rigid_collapses(self):
+        result = get_experiment("robustness")(
+            scale=0.15,
+            seed=0,
+            noise_levels=[0.05, 0.15],
+            stretches=[1.0, 1.5],
+        )
+        assert result.summary["spring_min_f1"] == 1.0
+        assert result.summary["rigid_mean_f1_when_stretched"] < 0.5
+
+
+class TestAblations:
+    def test_headline_claims(self):
+        result = get_experiment("ablations")(scale=0.12, seed=0)
+        assert result.summary["deferred_perfect"] is True
+        assert result.summary["eager_mean_distance_worse"] is True
+        assert result.summary["rigid_recall"] < result.summary["spring_recall"]
+        assert result.summary["absolute_distance_recall"] == 1.0

@@ -1,0 +1,71 @@
+"""Unit tests for the experiment harness and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult(
+            experiment="demo",
+            title="Demo Title",
+            headers=["a", "b"],
+            rows=[[1, 2.5]],
+            summary={"key": "value"},
+            notes=["a caveat"],
+        )
+        text = result.render()
+        assert "Demo Title" in text
+        assert "key: value" in text
+        assert "note: a caveat" in text
+        assert "2.5" in text
+
+    def test_render_without_summary_or_notes(self):
+        result = ExperimentResult(
+            experiment="demo", title="T", headers=["x"], rows=[[1]]
+        )
+        text = result.render()
+        assert "summary" not in text
+        assert "note" not in text
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        @register("_test_only_experiment")
+        def fake(scale=1.0, seed=0):
+            return ExperimentResult(
+                experiment="_test_only_experiment",
+                title="t",
+                headers=["x"],
+                rows=[[scale]],
+            )
+
+        found = get_experiment("_test_only_experiment")
+        assert found(scale=2.0).rows == [[2.0]]
+
+    def test_list_contains_all_paper_experiments(self):
+        names = list_experiments()
+        for expected in (
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table2",
+            "ablations",
+            "multistream",
+            "robustness",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ExperimentError, match="available"):
+            get_experiment("fig42")

@@ -1,0 +1,92 @@
+"""Unit tests for detection scoring and epsilon calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Match
+from repro.datasets import masked_chirp
+from repro.eval import DetectionScore, calibrate_epsilon, jaccard, score_matches
+from repro.exceptions import ValidationError
+
+
+def _match(start, end, distance=1.0):
+    return Match(start=start, end=end, distance=distance)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard((1, 10), (1, 10)) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard((1, 5), (6, 10)) == 0.0
+
+    def test_half_overlap(self):
+        # (1..4) vs (3..6): intersection 2, union 6.
+        assert jaccard((1, 4), (3, 6)) == pytest.approx(2 / 6)
+
+    def test_symmetry(self):
+        assert jaccard((2, 9), (5, 20)) == jaccard((5, 20), (2, 9))
+
+
+class TestScoreMatches:
+    def test_perfect(self):
+        truth = [(10, 20), (40, 50)]
+        matches = [_match(11, 19), _match(41, 52)]
+        score = score_matches(matches, truth)
+        assert score.perfect
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_false_positive(self):
+        score = score_matches([_match(100, 110)], [(10, 20)])
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+        assert score.precision == 0.0 and score.recall == 0.0
+
+    def test_each_occurrence_claimed_once(self):
+        # Two matches over one occurrence: second is a false positive.
+        truth = [(10, 30)]
+        score = score_matches([_match(10, 20), _match(21, 30)], truth)
+        assert score.true_positives == 1
+        assert score.false_positives == 1
+
+    def test_min_jaccard_gate(self):
+        truth = [(1, 100)]
+        skinny = [_match(1, 2)]
+        loose = score_matches(skinny, truth, min_jaccard=0.0)
+        strict = score_matches(skinny, truth, min_jaccard=0.5)
+        assert loose.true_positives == 1
+        assert strict.true_positives == 0
+
+    def test_bad_jaccard_raises(self):
+        with pytest.raises(ValidationError):
+            score_matches([], [], min_jaccard=2.0)
+
+    def test_empty_cases(self):
+        assert score_matches([], []).perfect
+        assert score_matches([], [(1, 2)]).recall == 0.0
+        assert score_matches([_match(1, 2)], []).precision == 0.0
+
+    def test_f1(self):
+        score = DetectionScore(true_positives=1, false_positives=1,
+                               false_negatives=0)
+        assert score.f1 == pytest.approx(2 / 3)
+
+
+class TestCalibrateEpsilon:
+    def test_calibrated_threshold_detects_cleanly(self):
+        from repro.core import spring_search
+
+        data = masked_chirp(n=4000, query_length=300, bursts=3, seed=11)
+        epsilon = calibrate_epsilon(data)
+        matches = spring_search(data.values, data.query, epsilon)
+        score = score_matches(matches, data.occurrence_intervals())
+        assert score.perfect
+
+    def test_sits_between_clusters(self):
+        data = masked_chirp(n=4000, query_length=300, bursts=3, seed=12)
+        epsilon = calibrate_epsilon(data)
+        # All planted occurrences must be reachable below epsilon and
+        # the generator's own suggestion should be the same order.
+        assert 0.05 < epsilon / data.suggested_epsilon < 20

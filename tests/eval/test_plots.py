@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.plots import ascii_chart
+from repro.exceptions import ValidationError
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [
+                ("naive", [(1e3, 1.0), (1e4, 10.0), (1e5, 100.0)]),
+                ("spring", [(1e3, 0.05), (1e4, 0.05), (1e5, 0.05)]),
+            ],
+            title="Figure 7",
+        )
+        assert "Figure 7" in chart
+        assert "o = naive" in chart
+        assert "x = spring" in chart
+        assert "1e+03" in chart or "1e+05" in chart or "1e" in chart
+
+    def test_markers_placed(self):
+        chart = ascii_chart([("s", [(1.0, 1.0), (100.0, 100.0)])])
+        assert chart.count("o") >= 2 + 1  # two points + legend
+
+    def test_flat_series_renders(self):
+        chart = ascii_chart([("flat", [(1.0, 5.0), (10.0, 5.0)])])
+        assert "flat" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([])
+        with pytest.raises(ValidationError):
+            ascii_chart([("empty", [])])
+
+    def test_rejects_nonpositive_on_log_scale(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([("bad", [(0.0, 1.0)])], log_x=True)
+
+    def test_linear_scales_accept_zero(self):
+        chart = ascii_chart(
+            [("ok", [(0.0, 0.0), (1.0, 1.0)])], log_x=False, log_y=False
+        )
+        assert "ok" in chart
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([("s", [(1.0, 1.0)])], width=4, height=2)

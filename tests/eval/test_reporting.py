@@ -1,0 +1,43 @@
+"""Unit tests for ASCII report formatting."""
+
+from __future__ import annotations
+
+from repro.eval import format_ratio, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) >= 6 for line in lines)
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234567.0], [0.00001], [3.5]])
+        assert "e+06" in text
+        assert "e-05" in text
+        assert "3.5" in text
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_series_is_table(self):
+        text = format_series("n", ["naive", "spring"], [[10, 1.0, 0.1]])
+        assert "naive" in text and "spring" in text
+
+
+class TestFormatRatio:
+    def test_large(self):
+        assert format_ratio(650000.0, 1.0) == "650,000x"
+
+    def test_small(self):
+        assert format_ratio(3.0, 2.0) == "1.5x"
+
+    def test_zero_denominator(self):
+        assert format_ratio(1.0, 0.0) == "inf"

@@ -1,0 +1,87 @@
+"""Unit tests for timing measurement and memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveSubsequenceMatcher
+from repro.core import Spring
+from repro.eval import (
+    measure_matcher_at_length,
+    naive_state_bytes,
+    spring_state_bytes,
+    state_bytes,
+    time_per_tick,
+)
+from repro.eval.memory import BYTES_PER_PATH_NODE
+from repro.exceptions import ValidationError
+
+
+class TestTiming:
+    def test_time_per_tick_counts(self, rng):
+        spring = Spring(rng.normal(size=8))
+        timing = time_per_tick(spring.step, list(rng.normal(size=20)))
+        assert timing.ticks_measured == 20
+        assert timing.mean_seconds > 0
+        assert timing.p95_seconds >= timing.p50_seconds
+
+    def test_warmup_advances_matcher(self, rng):
+        spring = Spring(rng.normal(size=4))
+        time_per_tick(
+            spring.step,
+            list(rng.normal(size=5)),
+            warmup_values=list(rng.normal(size=10)),
+        )
+        assert spring.tick == 15
+
+    def test_empty_values_raise(self, rng):
+        spring = Spring([1.0])
+        with pytest.raises(ValidationError):
+            time_per_tick(spring.step, [])
+
+    def test_measure_at_length(self, rng):
+        stream = rng.normal(size=100)
+        timing = measure_matcher_at_length(
+            lambda: Spring(rng.normal(size=4)), stream, 50, measure_ticks=10
+        )
+        assert timing.n == 50
+        assert timing.ticks_measured == 10
+
+    def test_length_beyond_stream_raises(self, rng):
+        with pytest.raises(ValidationError):
+            measure_matcher_at_length(
+                lambda: Spring([1.0]), rng.normal(size=10), 50
+            )
+
+
+class TestMemoryAccounting:
+    def test_spring_state_is_constant(self, rng):
+        spring = Spring(rng.normal(size=16))
+        before = spring_state_bytes(spring)
+        spring.extend(rng.normal(size=500))
+        assert spring_state_bytes(spring) == before
+        # Two (m+1)-arrays of 8 bytes each.
+        assert before == 2 * 17 * 8
+
+    def test_naive_state_grows_linearly(self, rng):
+        naive = NaiveSubsequenceMatcher(rng.normal(size=8))
+        naive.extend(rng.normal(size=100))
+        at_100 = naive_state_bytes(naive)
+        naive.extend(rng.normal(size=100))
+        at_200 = naive_state_bytes(naive)
+        assert at_200 == pytest.approx(2 * at_100, rel=0.05)
+
+    def test_path_variant_counts_nodes(self, rng):
+        spring = Spring(rng.normal(size=8), record_path=True)
+        spring.extend(rng.normal(size=50))
+        with_paths = spring_state_bytes(spring)
+        without = spring_state_bytes(spring, include_paths=False)
+        assert with_paths >= without
+        assert (with_paths - without) % BYTES_PER_PATH_NODE == 0
+
+    def test_dispatch(self, rng):
+        assert state_bytes(Spring([1.0])) > 0
+        assert state_bytes(NaiveSubsequenceMatcher([1.0])) == 0
+        with pytest.raises(ValidationError):
+            state_bytes(object())

@@ -1,0 +1,71 @@
+"""Property tests for the cascade matcher and the top-k leaderboard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Spring
+from repro.core.cascade import CascadeSpring
+from repro.core.topk import TopKSpring
+from repro.dtw import dtw_distance
+
+dyadic = st.integers(min_value=-10240, max_value=10240).map(
+    lambda k: k / 1024.0
+)
+
+
+def sequences(min_size, max_size):
+    return st.lists(dyadic, min_size=min_size, max_size=max_size)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    x=sequences(8, 60),
+    y=sequences(4, 8),
+    epsilon=st.floats(min_value=0.5, max_value=40.0),
+    reduction=st.integers(min_value=1, max_value=3),
+)
+def test_cascade_reports_are_true_sub_epsilon_matches(
+    x, y, epsilon, reduction
+):
+    """Cascade may *miss* (documented trade), but everything it reports
+    is a genuine verified match: distance <= epsilon and equal to the
+    true DTW of the reported interval."""
+    cascade = CascadeSpring(y, epsilon=epsilon, reduction=reduction)
+    matches = cascade.extend(x)
+    final = cascade.flush()
+    if final:
+        matches.append(final)
+    x_arr = np.asarray(x, dtype=float)
+    for match in matches:
+        assert match.distance <= epsilon + 1e-9
+        true = dtw_distance(x_arr[match.start - 1 : match.end], y)
+        assert true <= match.distance + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    x=sequences(8, 60),
+    y=sequences(3, 6),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_topk_is_k_smallest_of_all_reports(x, y, k):
+    """The leaderboard equals the k smallest locally-optimal distances
+    an epsilon = inf disjoint run produces."""
+    reference = Spring(y, epsilon=np.inf)
+    all_matches = reference.extend(x)
+    final = reference.flush()
+    if final:
+        all_matches.append(final)
+
+    top = TopKSpring(y, k=k)
+    top.extend(x)
+    top.finalize()
+    board = top.best()
+
+    expected = sorted(m.distance for m in all_matches)[:k]
+    got = [m.distance for m in board]
+    assert got == pytest.approx(expected, rel=1e-9, abs=1e-12)
+    assert got == sorted(got)

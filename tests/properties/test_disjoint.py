@@ -1,0 +1,121 @@
+"""Property-based tests of the disjoint-query algorithm (Lemma 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import NaiveSubsequenceMatcher
+from repro.core import Spring
+from repro.core.matches import overlaps
+
+# Dyadic rationals (multiples of 2^-10) in [-20, 20]: every squared
+# difference, sum, and cumulative sum is *exactly* representable in
+# float64, so the vectorised scan and the literal recurrence make
+# bit-identical decisions and SPRING == Naive is an exact property.
+# (With arbitrary reals, costs below one ulp of the running sums — e.g.
+# (1e-9)^2 next to 1.0 — can flip tie decisions and regroup matches;
+# see the float64 caveat in repro/core/state.py.)
+finite_floats = st.integers(min_value=-20480, max_value=20480).map(
+    lambda k: k / 1024.0
+)
+
+
+def sequences(min_size, max_size):
+    return st.lists(finite_floats, min_size=min_size, max_size=max_size)
+
+
+def run_both(x, y, epsilon):
+    spring = Spring(y, epsilon=epsilon)
+    naive = NaiveSubsequenceMatcher(y, epsilon=epsilon)
+    sm = spring.extend(x)
+    nm = naive.extend(x)
+    fs, fn = spring.flush(), naive.flush()
+    if fs:
+        sm.append(fs)
+    if fn:
+        nm.append(fn)
+    return sm, nm
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=sequences(2, 40),
+    y=sequences(1, 5),
+    epsilon=st.floats(min_value=0.1, max_value=30.0),
+)
+def test_spring_and_naive_report_equal_distances_and_times(x, y, epsilon):
+    """The O(m) algorithm and the O(n.m) oracle are indistinguishable.
+
+    Positions can differ on exact distance ties (both answers are then
+    optimal), so the comparison keys on (end, distance, output time) and
+    verifies tied starts both realise the same distance.
+    """
+    sm, nm = run_both(x, y, epsilon)
+    assert len(sm) == len(nm)
+    for a, b in zip(sm, nm):
+        assert a.distance == pytest.approx(b.distance, rel=1e-9, abs=1e-12)
+        assert a.output_time == b.output_time
+        assert a.end == b.end or a.distance == pytest.approx(
+            b.distance, abs=1e-12
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=sequences(2, 50),
+    y=sequences(1, 5),
+    epsilon=st.floats(min_value=0.1, max_value=30.0),
+)
+def test_reports_are_disjoint_and_qualify(x, y, epsilon):
+    spring = Spring(y, epsilon=epsilon)
+    matches = spring.extend(x)
+    final = spring.flush()
+    if final:
+        matches.append(final)
+    for match in matches:
+        assert match.distance <= epsilon
+        if match.output_time is not None:
+            assert match.output_time >= match.end
+    for a, b in zip(matches, matches[1:]):
+        assert not overlaps((a.start, a.end), (b.start, b.end))
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=sequences(2, 40), y=sequences(1, 4))
+def test_epsilon_monotonicity(x, y):
+    """Tighter thresholds never invent matches a looser run lacks room
+    for: every tight match interval lies inside some loose group."""
+    loose_eps, tight_eps = 20.0, 5.0
+    spring_loose = Spring(y, epsilon=loose_eps)
+    loose = spring_loose.extend(x)
+    final = spring_loose.flush()
+    if final:
+        loose.append(final)
+    spring_tight = Spring(y, epsilon=tight_eps)
+    tight = spring_tight.extend(x)
+    final = spring_tight.flush()
+    if final:
+        tight.append(final)
+    # Each tight match qualifies under the loose threshold too, so the
+    # loose run must have reported something at-least-as-good whose
+    # group covers it (or an even better non-overlapping optimum).
+    for match in tight:
+        assert match.distance <= tight_eps
+        better = [m for m in loose if m.distance <= match.distance + 1e-9]
+        assert better, "loose run lost a qualifying optimum entirely"
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=sequences(5, 40), y=sequences(1, 4))
+def test_state_invariants_hold_every_tick(x, y):
+    spring = Spring(y, epsilon=3.0)
+    for tick, value in enumerate(x, start=1):
+        spring.step(value)
+        d = spring.current_distances
+        s = spring.current_starts
+        finite = np.isfinite(d)
+        assert (d[finite] >= 0).all()
+        assert (s[finite] >= 1).all()
+        assert (s[finite] <= tick).all()

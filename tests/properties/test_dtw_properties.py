@@ -1,0 +1,94 @@
+"""Property-based tests of the DTW substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtw import (
+    accumulate_subsequence,
+    backtrack_path,
+    dtw_distance,
+    is_valid_path,
+    lb_keogh,
+    lb_kim,
+    lb_yi,
+    pairwise_cost_matrix,
+    path_cost,
+)
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def sequences(min_size, max_size):
+    return st.lists(finite_floats, min_size=min_size, max_size=max_size)
+
+
+@settings(max_examples=50, deadline=None)
+@given(x=sequences(1, 15), y=sequences(1, 15))
+def test_dtw_nonnegative_and_symmetric(x, y):
+    d = dtw_distance(x, y)
+    assert d >= 0
+    assert d == pytest.approx(dtw_distance(y, x), rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(x=sequences(1, 15))
+def test_dtw_identity(x):
+    assert dtw_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(x=sequences(1, 12), k=st.integers(min_value=1, max_value=4))
+def test_dtw_invariant_to_repetition(x, k):
+    """Repeating every element k times is free under DTW."""
+    stretched = np.repeat(np.asarray(x, dtype=float), k)
+    assert dtw_distance(stretched, x) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(x=sequences(2, 12), y=sequences(2, 12))
+def test_dtw_bounded_by_euclidean_when_equal_length(x, y):
+    """With equal lengths, the diagonal path is one admissible warping,
+    so DTW <= sum of pointwise costs."""
+    if len(x) != len(y):
+        y = (y * (len(x) // len(y) + 1))[: len(x)]
+    euclidean = float(np.sum((np.asarray(x) - np.asarray(y)) ** 2))
+    assert dtw_distance(x, y) <= euclidean + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(x=sequences(1, 12), y=sequences(1, 12))
+def test_lower_bounds_never_exceed_dtw(x, y):
+    d = dtw_distance(x, y)
+    assert lb_kim(x, y) <= d + 1e-9
+    assert lb_yi(x, y) <= d + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=sequences(2, 12),
+    radius=st.integers(min_value=0, max_value=12),
+)
+def test_lb_keogh_bounds_banded_dtw(x, radius):
+    from repro.dtw import dtw_windowed
+
+    y = list(reversed(x))  # same length, generally different shape
+    banded = dtw_windowed(x, y, constraint="sakoe_chiba", radius=radius)
+    assert lb_keogh(x, y, radius) <= banded + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=sequences(1, 12), y=sequences(1, 6))
+def test_backtracked_subsequence_path_realises_cell_value(x, y):
+    cost = pairwise_cost_matrix(x, y)
+    acc = accumulate_subsequence(cost)
+    end = int(np.argmin(acc[:, -1]))
+    path = backtrack_path(acc, (end, len(y) - 1))
+    assert is_valid_path(path, len(x), len(y), subsequence=True)
+    assert path_cost(path, cost) == pytest.approx(
+        float(acc[end, -1]), rel=1e-9, abs=1e-12
+    )

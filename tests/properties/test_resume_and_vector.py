@@ -1,0 +1,95 @@
+"""Property tests: checkpoint resume exactness and vector/scalar parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Spring, VectorSpring
+from repro.core.checkpoint import load_state, save_state
+
+finite_floats = st.floats(
+    min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+def sequences(min_size, max_size):
+    return st.lists(finite_floats, min_size=min_size, max_size=max_size)
+
+
+def _drain(matcher, values):
+    matches = matcher.extend(values)
+    final = matcher.flush()
+    if final:
+        matches.append(final)
+    return [(m.start, m.end, round(m.distance, 9), m.output_time) for m in matches]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=sequences(4, 50),
+    y=sequences(1, 5),
+    epsilon=st.floats(min_value=0.1, max_value=30.0),
+    cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_checkpoint_resume_is_invisible(x, y, epsilon, cut_fraction):
+    """Cutting the stream at any point, serialising, and resuming
+    produces exactly the uninterrupted match stream."""
+    cut = int(len(x) * cut_fraction)
+    baseline = _drain(Spring(y, epsilon=epsilon), x)
+
+    first = Spring(y, epsilon=epsilon)
+    head = [
+        (m.start, m.end, round(m.distance, 9), m.output_time)
+        for m in first.extend(x[:cut])
+    ]
+    restored = load_state(save_state(first))
+    tail = _drain(restored, x[cut:])
+    assert head + tail == baseline
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=sequences(2, 40),
+    y=sequences(1, 5),
+    epsilon=st.floats(min_value=0.1, max_value=30.0),
+)
+def test_vector_k1_equals_scalar(x, y, epsilon):
+    """VectorSpring with k = 1 is indistinguishable from Spring."""
+    scalar = _drain(Spring(y, epsilon=epsilon), x)
+    vector = _drain(
+        VectorSpring(np.asarray(y).reshape(-1, 1), epsilon=epsilon),
+        np.asarray(x).reshape(-1, 1),
+    )
+    assert scalar == vector
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=sequences(2, 30),
+    y=sequences(1, 4),
+    epsilon=st.floats(min_value=0.1, max_value=30.0),
+    k=st.integers(min_value=2, max_value=4),
+)
+def test_duplicated_channels_scale_distances_by_k(x, y, epsilon, k):
+    """Copying the same signal into k channels multiplies every distance
+    by k and preserves all positions and output times."""
+
+    def drain_unrounded(matcher, values):
+        matches = matcher.extend(values)
+        final = matcher.flush()
+        if final:
+            matches.append(final)
+        return [(m.start, m.end, m.distance, m.output_time) for m in matches]
+
+    scalar_matches = drain_unrounded(Spring(y, epsilon=epsilon), x)
+    xv = np.tile(np.asarray(x).reshape(-1, 1), (1, k))
+    yv = np.tile(np.asarray(y).reshape(-1, 1), (1, k))
+    vector_matches = drain_unrounded(VectorSpring(yv, epsilon=epsilon * k), xv)
+    assert len(scalar_matches) == len(vector_matches)
+    for (s1, e1, d1, o1), (s2, e2, d2, o2) in zip(
+        scalar_matches, vector_matches
+    ):
+        assert (s1, e1, o1) == (s2, e2, o2)
+        assert d2 == pytest.approx(k * d1, rel=1e-9, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Property-based tests of Theorem 1 and the accuracy lemmas.
+
+Hypothesis generates adversarial streams and queries; the properties are
+the paper's central claims, checked against brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import Spring
+from repro.dtw import (
+    all_ending_distances,
+    brute_force_best,
+    dtw_distance,
+    subsequence_matrix,
+)
+
+# Dyadic rationals: exact float arithmetic keeps the vectorised scan's
+# decisions identical to the reference recurrence (see
+# tests/properties/test_disjoint.py for the rationale).
+finite_floats = st.integers(min_value=-51200, max_value=51200).map(
+    lambda k: k / 1024.0
+)
+
+
+def sequences(min_size, max_size):
+    return st.lists(finite_floats, min_size=min_size, max_size=max_size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=sequences(1, 14), y=sequences(1, 5))
+def test_theorem1_star_padding_equals_min_subsequence(x, y):
+    """DTW(X, Y') == min over subsequences of DTW(X[ts:te], Y)."""
+    star = float(subsequence_matrix(x, y)[:, -1].min())
+    brute, _, _ = brute_force_best(x, y)
+    assert star == pytest.approx(brute, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=sequences(1, 20), y=sequences(1, 5))
+def test_lemma1_streaming_best_match_no_false_dismissal(x, y):
+    """Streaming SPRING's best match equals the brute-force optimum."""
+    # epsilon=0 disables disjoint reporting *except* for exact-zero
+    # matches; exclude those so no reset perturbs best-match tracking.
+    assume(float(all_ending_distances(x, y).min()) > 0.0)
+    spring = Spring(y, epsilon=0.0)  # epsilon=0: pure best-match tracking
+    spring.extend(x)
+    best = spring.best_match
+    brute_d, brute_s, brute_e = brute_force_best(x, y)
+    assert best.distance == pytest.approx(brute_d, rel=1e-9, abs=1e-12)
+    # Positions may differ only on exact distance ties.
+    candidate = dtw_distance(x[best.start - 1 : best.end], y)
+    assert candidate == pytest.approx(brute_d, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=sequences(1, 25), y=sequences(1, 5))
+def test_streamed_ending_distances_equal_offline(x, y):
+    offline = all_ending_distances(x, y)
+    assume(float(offline.min()) > 0.0)  # zero-cost match would report+reset
+    spring = Spring(y, epsilon=0.0)
+    streamed = []
+    for value in x:
+        spring.step(value)
+        streamed.append(spring.current_distances[-1])
+    np.testing.assert_allclose(streamed, offline, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=sequences(1, 25), y=sequences(1, 5))
+def test_reported_distance_is_a_real_alignment_cost(x, y):
+    """Every reported distance is >= the true DTW of its interval (a
+    finite cell value is always the cost of some real warping path; a
+    reset can only hide better paths, not invent cheaper ones)."""
+    spring = Spring(y, epsilon=10.0)
+    matches = spring.extend(x)
+    final = spring.flush()
+    if final:
+        matches.append(final)
+    x_arr = np.asarray(x, dtype=float)
+    for match in matches:
+        true = dtw_distance(x_arr[match.start - 1 : match.end], y)
+        assert true <= match.distance + 1e-9

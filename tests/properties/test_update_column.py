@@ -1,0 +1,83 @@
+"""Property-based equivalence of the vectorised and reference updates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SpringState, update_column, update_column_reference
+
+# Exact zeros generate genuine ties (the interesting tie-break cases);
+# nonzero costs stay within a sane dynamic range because sub-ulp cost
+# differences (1e-240 vs 1.0) make the scan's `e - C` comparisons and
+# the reference's direct comparisons resolve *ties* differently — the
+# distances still agree, but the equally-optimal start may differ (see
+# the float64 caveat in repro/core/state.py).
+costs = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-3, max_value=1000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cost_rows=st.lists(costs, min_size=1, max_size=25))
+def test_scan_equals_reference_for_arbitrary_cost_streams(cost_rows):
+    """Distances always agree; starts agree except at cells where the
+    three Equation-7 candidates *tie*, where the scan's cumsum rounding
+    may classify the tie differently — both answers are then equally
+    optimal (the documented float64 caveat in repro/core/state.py)."""
+    m = len(cost_rows[0])
+    rows = [np.asarray(row[:m] + [0.0] * (m - len(row)), dtype=float) for row in cost_rows]
+    a = SpringState.initial(m)
+    b = SpringState.initial(m)
+    for tick, cost in enumerate(rows, start=1):
+        prev_d = b.d.copy()
+        update_column(a, cost.copy(), tick)
+        update_column_reference(b, cost.copy(), tick)
+        np.testing.assert_allclose(a.d, b.d, rtol=1e-9, atol=1e-9)
+        mismatched = set(np.flatnonzero(a.s != b.s).tolist())
+        for i in sorted(mismatched):
+            if i == 0:
+                raise AssertionError("star-row start must always agree")
+            horizontal = 0.0 if i == 1 else float(b.d[i - 1])
+            candidates = sorted(
+                [horizontal, float(prev_d[i]), float(prev_d[i - 1])]
+            )
+            near_tie = candidates[1] - candidates[0] <= 1e-9 * max(
+                1.0, abs(candidates[0])
+            )
+            # A differing start may also just be inherited through a
+            # horizontal chain from an already-excused tied cell.
+            inherited = (
+                i - 1 in mismatched
+                and horizontal
+                <= candidates[0] + 1e-9 * max(1.0, abs(candidates[0]))
+            )
+            assert near_tie or inherited, (
+                f"start mismatch at i={i} without a candidate tie: "
+                f"{candidates}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cost_rows=st.lists(costs, min_size=2, max_size=20),
+    reset_at=st.integers(min_value=1, max_value=10),
+)
+def test_scan_equals_reference_after_resets(cost_rows, reset_at):
+    """Disjoint-query resets inject inf cells; equivalence must survive."""
+    m = len(cost_rows[0])
+    rows = [np.asarray(row[:m] + [0.0] * (m - len(row)), dtype=float) for row in cost_rows]
+    a = SpringState.initial(m)
+    b = SpringState.initial(m)
+    for tick, cost in enumerate(rows, start=1):
+        update_column(a, cost.copy(), tick)
+        update_column_reference(b, cost.copy(), tick)
+        if tick % reset_at == 0 and m > 1:
+            a.d[m // 2 :] = np.inf
+            b.d[m // 2 :] = np.inf
+        np.testing.assert_allclose(a.d, b.d, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,81 @@
+"""Unit tests for the ring buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.streams import RingBuffer
+
+
+class TestRingBuffer:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValidationError):
+            RingBuffer(0)
+
+    def test_fill_and_len(self):
+        buf = RingBuffer(5)
+        assert len(buf) == 0
+        for value in range(3):
+            buf.push(float(value))
+        assert len(buf) == 3
+        for value in range(10):
+            buf.push(float(value))
+        assert len(buf) == 5
+
+    def test_latest_order(self):
+        buf = RingBuffer(4)
+        for value in range(10):
+            buf.push(float(value))
+        np.testing.assert_allclose(buf.latest(3), [7.0, 8.0, 9.0])
+
+    def test_window_by_absolute_ticks(self):
+        buf = RingBuffer(6)
+        for value in range(1, 11):  # tick t holds value t
+            buf.push(float(value))
+        np.testing.assert_allclose(buf.window(6, 8), [6.0, 7.0, 8.0])
+
+    def test_window_matches_spring_coordinates(self, rng):
+        """The motivating use: slice the stream by a Match's positions."""
+        from repro.core import Spring
+
+        y = rng.normal(size=4)
+        x = np.concatenate([rng.normal(size=20) + 9, y, rng.normal(size=5) + 9])
+        buf = RingBuffer(16)
+        spring = Spring(y, epsilon=1e-9)
+        match = None
+        for value in x:
+            buf.push(float(value))
+            match = spring.step(value) or match
+        match = match or spring.flush()
+        assert match is not None
+        np.testing.assert_allclose(buf.window(match.start, match.end), y)
+
+    def test_evicted_window_raises(self):
+        buf = RingBuffer(3)
+        for value in range(10):
+            buf.push(float(value))
+        with pytest.raises(ValidationError):
+            buf.window(1, 2)
+
+    def test_future_window_raises(self):
+        buf = RingBuffer(3)
+        buf.push(1.0)
+        with pytest.raises(ValidationError):
+            buf.window(1, 5)
+
+    def test_invalid_window_raises(self):
+        buf = RingBuffer(3)
+        buf.push(1.0)
+        with pytest.raises(ValidationError):
+            buf.window(2, 1)
+
+    def test_oldest_tick(self):
+        buf = RingBuffer(4)
+        with pytest.raises(ValidationError):
+            buf.oldest_tick
+        for value in range(10):
+            buf.push(float(value))
+        assert buf.oldest_tick == 7
+        assert buf.total_pushed == 10

@@ -1,0 +1,99 @@
+"""Unit tests for the timestamped replay subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMonitor
+from repro.exceptions import ValidationError
+from repro.streams.replay import ReplaySchedule, SimulationClock, TimedSample
+
+
+class TestSchedule:
+    def test_events_sorted_by_time(self, rng):
+        schedule = ReplaySchedule(seed=1)
+        schedule.add_source("a", rng.normal(size=10), interval=1.0)
+        schedule.add_source("b", rng.normal(size=10), interval=0.7, start=0.3)
+        events = schedule.events()
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        assert len(events) == 20
+
+    def test_per_source_order_preserved_under_jitter(self, rng):
+        schedule = ReplaySchedule(seed=2)
+        values = np.arange(50, dtype=float)
+        schedule.add_source("s", values, interval=1.0, jitter=0.4)
+        replayed = [e.value for e in schedule.events() if e.source == "s"]
+        assert replayed == list(values)
+
+    def test_rejects_excess_jitter(self):
+        schedule = ReplaySchedule()
+        with pytest.raises(ValidationError):
+            schedule.add_source("s", [1.0], interval=1.0, jitter=0.6)
+
+    def test_rejects_duplicate_source(self):
+        schedule = ReplaySchedule()
+        schedule.add_source("s", [1.0])
+        with pytest.raises(ValidationError):
+            schedule.add_source("s", [2.0])
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValidationError):
+            ReplaySchedule().add_source("s", [])
+
+    def test_no_sources_raises(self):
+        with pytest.raises(ValidationError):
+            ReplaySchedule().events()
+
+    def test_duration(self):
+        schedule = ReplaySchedule()
+        schedule.add_source("s", [1.0, 2.0, 3.0], interval=2.0)
+        assert schedule.duration == pytest.approx(4.0)
+
+    def test_different_rates_interleave(self):
+        schedule = ReplaySchedule()
+        schedule.add_source("slow", [1.0, 2.0], interval=10.0)
+        schedule.add_source("fast", [1.0] * 5, interval=1.0)
+        sources = [e.source for e in schedule.events()[:6]]
+        # The five fast samples (t=0..4) and slow's first (t=0) all
+        # precede slow's second at t=10.
+        assert sources.count("fast") == 5
+
+
+class TestSimulationClock:
+    def test_unpaced_runs_immediately(self, rng):
+        schedule = ReplaySchedule()
+        schedule.add_source("s", rng.normal(size=100), interval=100.0)
+        clock = SimulationClock()  # no pacing
+        events = list(clock.run(schedule))
+        assert len(events) == 100
+
+    def test_paced_respects_speedup(self):
+        import time
+
+        schedule = ReplaySchedule()
+        schedule.add_source("s", [1.0, 2.0, 3.0], interval=0.05)
+        clock = SimulationClock(speedup=1.0)
+        begin = time.perf_counter()
+        list(clock.run(schedule))
+        elapsed = time.perf_counter() - begin
+        assert elapsed >= 0.09  # ~2 intervals of real time
+
+    def test_rejects_bad_speedup(self):
+        with pytest.raises(ValidationError):
+            SimulationClock(speedup=0.0)
+
+    def test_drive_monitor_end_to_end(self, rng):
+        pattern = rng.normal(size=5)
+        stream = np.concatenate(
+            [rng.normal(size=25) + 9, pattern, rng.normal(size=25) + 9]
+        )
+        schedule = ReplaySchedule(seed=3)
+        schedule.add_source("sensor", stream, interval=1.0, jitter=0.2)
+        monitor = StreamMonitor()
+        monitor.add_query("p", pattern, epsilon=1e-9)
+        clock = SimulationClock()
+        produced = clock.drive(schedule, monitor)
+        assert produced == 1
+        assert monitor.streams == ["sensor"]

@@ -1,0 +1,105 @@
+"""Unit tests for stream sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamExhaustedError, ValidationError
+from repro.streams import ArraySource, CsvSource, GeneratorSource, interleave
+
+
+class TestArraySource:
+    def test_scalar_iteration(self):
+        source = ArraySource([1.0, 2.0, 3.0])
+        assert list(source) == [1.0, 2.0, 3.0]
+        assert len(source) == 3
+
+    def test_vector_iteration(self):
+        source = ArraySource(np.arange(6.0).reshape(3, 2))
+        rows = list(source)
+        assert len(rows) == 3
+        np.testing.assert_allclose(rows[1], [2.0, 3.0])
+
+    def test_replayable(self):
+        source = ArraySource([1.0, 2.0])
+        assert list(source) == list(source)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            ArraySource(np.zeros((2, 2, 2)))
+
+    def test_take(self):
+        source = ArraySource([1.0, 2.0, 3.0])
+        assert source.take(2) == [1.0, 2.0]
+        assert source.take(99) == [1.0, 2.0, 3.0]
+
+
+class TestGeneratorSource:
+    def test_single_consumption(self):
+        source = GeneratorSource(iter([1.0, 2.0]))
+        assert list(source) == [1.0, 2.0]
+        with pytest.raises(StreamExhaustedError):
+            iter(source)
+
+    def test_infinite_generator_with_take(self):
+        def forever():
+            t = 0
+            while True:
+                yield float(t)
+                t += 1
+
+        source = GeneratorSource(forever())
+        assert source.take(4) == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCsvSource:
+    def test_reads_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("time,value\n1,10.5\n2,11.5\n3,\n4,12.5\n")
+        source = CsvSource(path, columns=1)
+        values = list(source)
+        assert values[0] == 10.5
+        assert np.isnan(values[2])  # empty cell -> NaN
+        assert values[3] == 12.5
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0\n2.0\n")
+        assert list(CsvSource(path, skip_header=False)) == [1.0, 2.0]
+
+    def test_vector_columns(self, tmp_path):
+        path = tmp_path / "vec.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        rows = list(CsvSource(path, columns=[0, 1]))
+        np.testing.assert_allclose(rows[0], [1.0, 2.0])
+
+    def test_unparseable_becomes_nan(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("v\nx\n1.5\n")
+        values = list(CsvSource(path))
+        assert np.isnan(values[0]) and values[1] == 1.5
+
+    def test_missing_column_becomes_nan(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("a,b\n1\n2,3\n")
+        values = list(CsvSource(path, columns=1))
+        assert np.isnan(values[0]) and values[1] == 3.0
+
+    def test_empty_columns_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            CsvSource(tmp_path / "x.csv", columns=[])
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = ArraySource([1.0, 2.0], name="a")
+        b = ArraySource([10.0, 20.0], name="b")
+        pairs = list(interleave([a, b]))
+        assert pairs == [("a", 1.0), ("b", 10.0), ("a", 2.0), ("b", 20.0)]
+
+    def test_stops_at_shortest(self):
+        a = ArraySource([1.0], name="a")
+        b = ArraySource([10.0, 20.0], name="b")
+        pairs = list(interleave([a, b]))
+        assert pairs == [("a", 1.0), ("b", 10.0)]

@@ -1,0 +1,94 @@
+"""Unit tests for running statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.streams import EwmStats, RunningStats
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, size=500)
+        stats = RunningStats()
+        for value in values:
+            stats.push(value)
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert stats.variance == pytest.approx(values.var(), rel=1e-9)
+        assert stats.std == pytest.approx(values.std(), rel=1e-9)
+        assert stats.minimum == values.min()
+        assert stats.maximum == values.max()
+
+    def test_empty_defaults(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        with pytest.raises(NotFittedError):
+            stats.minimum
+        with pytest.raises(NotFittedError):
+            stats.maximum
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.push(7.0)
+        assert stats.mean == 7.0
+        assert stats.variance == 0.0
+
+    def test_nan_ignored(self):
+        stats = RunningStats()
+        stats.push(1.0)
+        stats.push(float("nan"))
+        stats.push(3.0)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_numerical_stability_large_offset(self):
+        # Welford's point: huge offset, tiny variance.
+        stats = RunningStats()
+        for value in [1e9 + 1, 1e9 + 2, 1e9 + 3]:
+            stats.push(value)
+        assert stats.variance == pytest.approx(2.0 / 3.0, rel=1e-6)
+
+
+class TestEwmStats:
+    def test_constant_input_converges(self):
+        stats = EwmStats(halflife=10)
+        for _ in range(100):
+            stats.push(5.0)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(0.0, abs=1e-9)
+
+    def test_tracks_level_change(self):
+        stats = EwmStats(halflife=5)
+        for _ in range(50):
+            stats.push(0.0)
+        for _ in range(50):
+            stats.push(10.0)
+        # 10 halflives after the jump: essentially converged.
+        assert stats.mean == pytest.approx(10.0, abs=0.02)
+
+    def test_variance_close_to_true_for_stationary_input(self, rng):
+        stats = EwmStats(halflife=200)
+        values = rng.normal(0.0, 3.0, size=5000)
+        for value in values:
+            stats.push(value)
+        assert stats.std == pytest.approx(3.0, rel=0.15)
+
+    def test_nan_ignored(self):
+        stats = EwmStats(halflife=5)
+        stats.push(1.0)
+        stats.push(float("nan"))
+        assert stats.count == 1
+        assert stats.mean == 1.0
+
+    def test_variance_never_negative(self, rng):
+        stats = EwmStats(halflife=2)
+        for value in rng.normal(size=200):
+            stats.push(value)
+            assert stats.variance >= 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for stream transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.streams import add_noise, clip_range, dropout, quantize, time_scale
+
+
+class TestAddNoise:
+    def test_zero_sigma_is_identity(self, rng):
+        values = [1.0, 2.0, 3.0]
+        assert list(add_noise(values, 0.0, rng)) == values
+
+    def test_noise_statistics(self, rng):
+        out = np.fromiter(add_noise(np.zeros(5000), 2.0, rng), dtype=float)
+        assert abs(out.mean()) < 0.2
+        assert out.std() == pytest.approx(2.0, rel=0.1)
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValidationError):
+            list(add_noise([1.0], -1.0, rng))
+
+
+class TestDropout:
+    def test_probability_zero_keeps_everything(self, rng):
+        values = list(range(100))
+        out = list(dropout(values, 0.0, rng))
+        assert not any(np.isnan(out))
+
+    def test_probability_one_drops_everything(self, rng):
+        out = list(dropout([1.0, 2.0], 1.0, rng))
+        assert all(np.isnan(v) for v in out)
+
+    def test_rate_approximately_respected(self, rng):
+        out = np.fromiter(dropout(np.zeros(5000), 0.3, rng), dtype=float)
+        assert np.isnan(out).mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValidationError):
+            list(dropout([1.0], 1.5, rng))
+
+
+class TestTimeScale:
+    def test_factor_one_is_identity(self):
+        values = [1.0, 2.0, 3.0]
+        np.testing.assert_allclose(list(time_scale(values, 1.0)), values)
+
+    def test_stretch_doubles_length(self):
+        out = list(time_scale([0.0, 1.0], 2.0))
+        assert len(out) == 4
+        assert out[0] == 0.0 and out[-1] == 1.0
+
+    def test_shrink_halves_length(self):
+        out = list(time_scale(list(range(10)), 0.5))
+        assert len(out) == 5
+
+    def test_endpoints_preserved(self, rng):
+        values = rng.normal(size=20)
+        out = list(time_scale(values, 1.7))
+        assert out[0] == pytest.approx(values[0])
+        assert out[-1] == pytest.approx(values[-1])
+
+    def test_stretched_pattern_still_matches_under_dtw(self, rng):
+        """The transform exists to exercise exactly this property."""
+        from repro.dtw import dtw_distance
+
+        pattern = np.sin(np.linspace(0, 2 * np.pi, 40))
+        stretched = np.asarray(list(time_scale(pattern, 1.5)))
+        warped = dtw_distance(stretched, pattern)
+        rigid = float(np.sum((pattern - stretched[: 40]) ** 2))
+        assert warped < rigid / 5
+
+    def test_empty_input(self):
+        assert list(time_scale([], 2.0)) == []
+
+
+class TestQuantizeAndClip:
+    def test_quantize(self):
+        assert list(quantize([0.24, 0.26], 0.5)) == [0.0, 0.5]
+
+    def test_clip(self):
+        assert list(clip_range([-5.0, 0.5, 5.0], 0.0, 1.0)) == [0.0, 0.5, 1.0]
+
+    def test_clip_rejects_bad_range(self):
+        with pytest.raises(ValidationError):
+            list(clip_range([1.0], 2.0, 1.0))

@@ -1,0 +1,104 @@
+"""Unit tests for sliding-window aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.streams.windows import Downsampler, RollingExtrema, RollingMean
+
+
+class TestRollingMean:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            RollingMean(0)
+
+    def test_matches_numpy_on_random_stream(self, rng):
+        values = rng.normal(size=300)
+        window = 16
+        rolling = RollingMean(window)
+        for t, value in enumerate(values):
+            rolling.push(value)
+            expected = values[max(0, t - window + 1) : t + 1]
+            assert rolling.mean == pytest.approx(expected.mean(), rel=1e-9)
+            assert rolling.variance == pytest.approx(
+                expected.var(), rel=1e-6, abs=1e-9
+            )
+
+    def test_nan_occupies_slot_but_not_stats(self):
+        rolling = RollingMean(3)
+        rolling.push(1.0)
+        rolling.push(float("nan"))
+        rolling.push(3.0)
+        assert rolling.count == 2
+        assert rolling.mean == pytest.approx(2.0)
+        rolling.push(5.0)  # evicts the 1.0
+        assert rolling.mean == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(NotFittedError):
+            RollingMean(3).mean
+
+
+class TestRollingExtrema:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(size=300)
+        window = 11
+        rolling = RollingExtrema(window)
+        for t, value in enumerate(values):
+            rolling.push(value)
+            expected = values[max(0, t - window + 1) : t + 1]
+            assert rolling.minimum == expected.min()
+            assert rolling.maximum == expected.max()
+            assert rolling.range == pytest.approx(
+                expected.max() - expected.min()
+            )
+
+    def test_nan_skipped(self):
+        rolling = RollingExtrema(3)
+        rolling.push(5.0)
+        rolling.push(float("nan"))
+        assert rolling.maximum == 5.0
+
+    def test_expiry(self):
+        rolling = RollingExtrema(2)
+        rolling.push(10.0)
+        rolling.push(1.0)
+        rolling.push(2.0)  # 10.0 now out of window
+        assert rolling.maximum == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(NotFittedError):
+            RollingExtrema(2).minimum
+
+
+class TestDownsampler:
+    def test_block_average(self):
+        down = Downsampler(3)
+        assert down.push(1.0) is None
+        assert down.push(2.0) is None
+        assert down.push(3.0) == pytest.approx(2.0)
+        assert down.pending == 0
+
+    def test_nan_poisons_block(self):
+        down = Downsampler(2)
+        down.push(1.0)
+        out = down.push(float("nan"))
+        assert np.isnan(out)
+
+    def test_factor_one_passthrough(self):
+        down = Downsampler(1)
+        assert down.push(7.0) == 7.0
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValidationError):
+            Downsampler(0)
+
+    def test_agrees_with_cascade_reduction(self, rng):
+        """The cascade's internal reducer and the standalone one agree."""
+        values = rng.normal(size=40)
+        down = Downsampler(4)
+        stand_alone = [v for v in (down.push(x) for x in values) if v is not None]
+        blocked = values.reshape(-1, 4).mean(axis=1)
+        np.testing.assert_allclose(stand_alone, blocked)

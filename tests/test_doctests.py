@@ -1,0 +1,33 @@
+"""Run the executable examples embedded in module docstrings.
+
+Documentation that asserts keeps itself honest: the paper's worked
+example appears in several docstrings, and these tests re-execute each
+one so the docs can never drift from the code.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.spring
+import repro.core.monitor
+import repro.core.topk
+import repro.dtw.search
+
+MODULES_WITH_EXAMPLES = [
+    repro.core.spring,
+    repro.core.monitor,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE
+    )
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "expected at least one example"

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs and prints its key result.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in-process (cheap) with its module namespace.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / f"{name}.py"), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "X[2:5]" in out  # the paper example
+        assert "matched ticks" in out
+
+    def test_sensor_monitoring(self, capsys):
+        out = _run_example("sensor_monitoring", capsys)
+        assert "[ALERT]" in out
+        assert "basement" in out  # the quiet sensor is reported too
+
+    def test_seismic_monitoring(self, capsys):
+        out = _run_example("seismic_monitoring", capsys)
+        assert "SPRING found 2 event(s)" in out
+        assert "rigid sliding-window matcher found 0" in out
+
+    def test_mocap_matching(self, capsys):
+        out = _run_example("mocap_matching", capsys)
+        assert "session labelling PERFECT" in out
+
+    def test_word_spotting(self, capsys):
+        out = _run_example("word_spotting", capsys)
+        assert "3/3 planted utterances found" in out
+
+    def test_template_learning(self, capsys):
+        out = _run_example("template_learning", capsys)
+        assert "12/12 beats" in out
+        assert "top-5 closest beats" in out
+
+    def test_live_replay(self, capsys):
+        out = _run_example("live_replay", capsys)
+        assert "2 alerts" in out
+        assert "vib-east" in out and "vib-west" in out

@@ -1,0 +1,145 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test wires several modules together the way a real deployment
+would: dataset generators feeding monitors, checkpoints mid-stream,
+ring buffers serving match context, CSV round-trips into the CLI-style
+pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Spring, StreamMonitor, TopKSpring
+from repro.core.checkpoint import dump_json, load_json
+from repro.datasets import build, export_csv, masked_chirp
+from repro.datasets.ecg import ecg_stream
+from repro.eval import score_matches
+from repro.streams import ArraySource, CsvSource, RingBuffer, RollingExtrema
+
+
+class TestMonitorOverGeneratedData:
+    def test_chirp_fleet_with_checkpoint_restart(self):
+        """A monitor runs half a stream, is checkpointed matcher by
+        matcher, 'restarts', and finishes with the same total alerts as
+        an uninterrupted run."""
+        data = masked_chirp(n=6000, query_length=512, bursts=3, seed=2)
+        half = data.n // 2
+
+        def run_uninterrupted():
+            spring = Spring(data.query, epsilon=data.suggested_epsilon)
+            matches = spring.extend(data.values)
+            final = spring.flush()
+            if final:
+                matches.append(final)
+            return [(m.start, m.end) for m in matches]
+
+        spring = Spring(data.query, epsilon=data.suggested_epsilon)
+        first_half = spring.extend(data.values[:half])
+        blob = dump_json(spring)  # process "dies" here
+        restored = load_json(blob)
+        second_half = restored.extend(data.values[half:])
+        final = restored.flush()
+        if final:
+            second_half.append(final)
+        combined = [(m.start, m.end) for m in first_half + second_half]
+        assert combined == run_uninterrupted()
+        score = score_matches(
+            first_half + second_half, data.occurrence_intervals()
+        )
+        assert score.perfect
+
+    def test_ring_buffer_serves_match_context(self):
+        """Alert handling: when a match fires, the raw values for its
+        interval are still in a modest ring buffer."""
+        data = ecg_stream(beats=80, seed=4)
+        buffer = RingBuffer(capacity=4 * data.m)
+        spring = Spring(data.query, epsilon=data.suggested_epsilon)
+        contexts = []
+        for value in data.values:
+            buffer.push(float(value))
+            match = spring.step(value)
+            if match:
+                contexts.append(buffer.window(match.start, match.end))
+        final = spring.flush()
+        if final:
+            contexts.append(buffer.window(final.start, final.end))
+        assert len(contexts) == len(data.occurrences)
+        for context in contexts:
+            assert context.shape[0] > data.m / 2  # plausible beat length
+
+
+class TestCsvPipeline:
+    def test_export_then_monitor_matches_direct(self, tmp_path):
+        """generate -> CSV -> CsvSource -> Spring equals the in-memory
+        run, including missing-value cells."""
+        data = build("temperature", n=4000, day_length=300, seed=5)
+        paths = export_csv(data, tmp_path)
+
+        direct = Spring(data.query, epsilon=data.suggested_epsilon)
+        expected = direct.extend(data.values)
+        final = direct.flush()
+        if final:
+            expected.append(final)
+
+        query = np.asarray(list(CsvSource(paths["query"])), dtype=np.float64)
+        replayed = Spring(query, epsilon=data.suggested_epsilon)
+        got = replayed.extend(CsvSource(paths["stream"]))
+        final = replayed.flush()
+        if final:
+            got.append(final)
+        assert [(m.start, m.end) for m in got] == [
+            (m.start, m.end) for m in expected
+        ]
+
+
+class TestMultiComponentDashboard:
+    def test_monitor_plus_rolling_stats_plus_topk(self):
+        """A dashboard pipeline: rolling extremes for display, a
+        monitor for alerts, a top-k board for history — one pass."""
+        data = masked_chirp(n=5000, query_length=400, bursts=3, seed=7)
+        monitor = StreamMonitor()
+        monitor.add_stream("main")
+        monitor.add_query("burst", data.query, epsilon=data.suggested_epsilon)
+        extremes = RollingExtrema(window=200)
+        top = TopKSpring(data.query, k=2)
+
+        alerts = []
+        seen_max = -np.inf
+        for value in data.values:
+            extremes.push(float(value))
+            seen_max = max(seen_max, extremes.maximum)
+            alerts.extend(monitor.push("main", float(value)))
+            top.step(float(value))
+        alerts.extend(monitor.flush())
+        top.finalize()
+
+        # Every planted burst alerted (borderline extra local optima may
+        # also clear the generator's generous suggested epsilon).
+        score = score_matches(
+            [e.match for e in alerts], data.occurrence_intervals()
+        )
+        assert score.recall == 1.0
+        assert len(top.best()) == 2
+        # The top-2 entries are among the alerts' intervals.
+        alert_intervals = {(e.match.start, e.match.end) for e in alerts}
+        for match in top.best():
+            assert (match.start, match.end) in alert_intervals
+        assert seen_max > 0.5  # the window passed over the bursts
+
+
+class TestSourcesIntoMatchers:
+    def test_array_source_is_replayable_into_two_matchers(self, rng):
+        pattern = rng.normal(size=6)
+        values = np.concatenate(
+            [rng.normal(size=30) + 9, pattern, rng.normal(size=30) + 9]
+        )
+        source = ArraySource(values)
+        a = Spring(pattern, epsilon=1e-9)
+        b = Spring(pattern, epsilon=1e-9)
+        matches_a = a.extend(source)
+        matches_b = b.extend(source)  # replay works for array sources
+        assert [(m.start, m.end) for m in matches_a] == [
+            (m.start, m.end) for m in matches_b
+        ]

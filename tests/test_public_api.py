@@ -1,0 +1,75 @@
+"""Public-API surface tests: imports, __all__ hygiene, docstrings."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.dtw",
+    "repro.baselines",
+    "repro.streams",
+    "repro.datasets",
+    "repro.eval",
+]
+
+
+class TestAllExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__all__, f"{module_name} exports nothing"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version_present(self):
+        assert repro.__version__
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_module_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 20
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+                public_methods = [
+                    member
+                    for member_name, member in inspect.getmembers(obj)
+                    if inspect.isfunction(member)
+                    and not member_name.startswith("_")
+                ] if inspect.isclass(obj) else []
+                for method in public_methods:
+                    assert method.__doc__, (
+                        f"repro.{name}.{method.__name__} lacks a docstring"
+                    )
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart_snippet(self):
+        """The exact snippet in README.md must work as printed."""
+        from repro import Spring
+
+        spring = Spring(query=[11, 6, 9, 4], epsilon=15)
+        reports = []
+        for x in [5, 12, 6, 10, 6, 5, 13]:
+            match = spring.step(x)
+            if match:
+                reports.append(match)
+        assert len(reports) == 1
+        assert str(reports[0]) == (
+            "Match(X[2:5], len=4, dist=6, reported@7)"
+        )

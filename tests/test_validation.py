@@ -1,0 +1,122 @@
+"""Unit tests for the shared validation helpers and exception taxonomy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_scalar_sequence,
+    as_vector_sequence,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_same_dimensions,
+    check_threshold,
+)
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptySequenceError,
+    NotFittedError,
+    ReproError,
+    StreamExhaustedError,
+    ValidationError,
+)
+
+
+class TestScalarSequence:
+    def test_accepts_lists_tuples_arrays(self):
+        for values in ([1, 2], (1.0, 2.0), np.array([1.0, 2.0])):
+            out = as_scalar_sequence(values)
+            assert out.dtype == np.float64
+            assert out.shape == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptySequenceError):
+            as_scalar_sequence([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            as_scalar_sequence([[1.0]])
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(ValidationError):
+            as_scalar_sequence([1.0, np.nan])
+
+    def test_allows_nan_when_asked(self):
+        out = as_scalar_sequence([1.0, np.nan], allow_nan=True)
+        assert np.isnan(out[1])
+
+    def test_never_allows_inf(self):
+        with pytest.raises(ValidationError):
+            as_scalar_sequence([np.inf], allow_nan=True)
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            as_scalar_sequence(["a"])
+
+
+class TestVectorSequence:
+    def test_promotes_1d(self):
+        out = as_vector_sequence([1.0, 2.0])
+        assert out.shape == (2, 1)
+
+    def test_keeps_2d(self):
+        out = as_vector_sequence(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValidationError):
+            as_vector_sequence(np.zeros((3, 0)))
+
+    def test_dimension_check(self):
+        a = as_vector_sequence(np.zeros((2, 3)))
+        b = as_vector_sequence(np.zeros((5, 3)))
+        check_same_dimensions(a, b, "a", "b")
+        c = as_vector_sequence(np.zeros((2, 4)))
+        with pytest.raises(DimensionMismatchError):
+            check_same_dimensions(a, c, "a", "c")
+
+
+class TestNumericChecks:
+    def test_positive(self):
+        assert check_positive(2, "x") == 2.0
+        for bad in (0, -1, np.nan, np.inf, "a"):
+            with pytest.raises(ValidationError):
+                check_positive(bad, "x")
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0, "x") == 0.0
+        with pytest.raises(ValidationError):
+            check_nonnegative(-0.1, "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValidationError):
+                check_probability(bad, "p")
+
+    def test_threshold_allows_inf(self):
+        assert check_threshold(np.inf) == np.inf
+        assert check_threshold(0) == 0.0
+        for bad in (-1, np.nan, "x"):
+            with pytest.raises(ValidationError):
+                check_threshold(bad)
+
+
+class TestExceptionTaxonomy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ValidationError,
+            EmptySequenceError,
+            DimensionMismatchError,
+            NotFittedError,
+            StreamExhaustedError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
