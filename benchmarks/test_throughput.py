@@ -1,0 +1,48 @@
+"""Smoke test for the throughput benchmark script.
+
+Runs ``scripts/bench_throughput.py`` at a tiny scale and checks the
+report's shape — no performance thresholds, wall-clock numbers are
+machine-dependent and belong in BENCH_throughput.json, not in CI
+assertions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "bench_throughput.py"
+
+
+def _load_script():
+    spec = importlib.util.spec_from_file_location("bench_throughput", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_throughput", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_throughput_suite_smoke(tmp_path):
+    bench = _load_script()
+    report = bench.run_suite(ticks=256)
+
+    expected = {
+        "spring_1q",
+        "per_query_64q",
+        "monitor_64q_push",
+        "monitor_64q_push_many",
+        "monitor_64q_8s_push_many",
+    }
+    assert set(report["results"]) == expected
+    for row in report["results"].values():
+        assert row["ticks"] > 0
+        assert row["ticks_per_sec"] > 0
+    assert report["fused_speedup_vs_per_query"] is not None
+
+    out = tmp_path / "BENCH_throughput.json"
+    bench.main(["--ticks", "256", "--output", str(out)])
+    written = json.loads(out.read_text())
+    assert written["config"]["queries"] == 64

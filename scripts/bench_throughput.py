@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Measure end-to-end monitoring throughput (ticks/sec) and record it.
+
+Three scenarios, matching the performance architecture's design points
+(docs/algorithm.md):
+
+* ``spring_1q`` — one ``Spring.step`` per tick (the scalar fast path).
+* ``monitor_64q`` — a 64-query single-stream ``StreamMonitor`` driven
+  value-by-value (``push``) and batched (``push_many``); this is the
+  query-fusion axis.
+* ``monitor_64q_8s`` — 64 queries x 8 streams driven with ``push_many``
+  per stream.
+
+For the 64-query scenario the script also times the pre-fusion
+execution model — 64 independent ``Spring`` objects stepped in a Python
+loop — and reports the fused/per-query speedup, so the recorded JSON
+carries its own baseline instead of a stale constant.
+
+Results are written to ``BENCH_throughput.json`` at the repo root (or
+``--output``).  Runtimes are wall-clock and machine-dependent; the JSON
+is a record of relative speedups, not a regression gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_throughput.py [--ticks N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUERY_COUNT = 64
+STREAM_COUNT = 8
+QUERY_LENGTHS = (8, 16, 24, 32)
+
+
+def _queries(rng: np.random.Generator, count: int) -> List[np.ndarray]:
+    return [
+        np.cumsum(rng.normal(size=QUERY_LENGTHS[i % len(QUERY_LENGTHS)]))
+        for i in range(count)
+    ]
+
+
+def _timed(run: Callable[[], int]) -> Dict[str, float]:
+    start = time.perf_counter()
+    ticks = run()
+    seconds = time.perf_counter() - start
+    return {
+        "ticks": ticks,
+        "seconds": round(seconds, 6),
+        "ticks_per_sec": round(ticks / seconds, 1) if seconds > 0 else float("inf"),
+    }
+
+
+def bench_spring_1q(ticks: int, rng: np.random.Generator) -> Dict[str, float]:
+    from repro.core import Spring
+
+    spring = Spring(_queries(rng, 1)[0], epsilon=2.0)
+    stream = [float(v) for v in np.cumsum(rng.normal(size=ticks))]
+
+    def run() -> int:
+        for value in stream:
+            spring.step(value)
+        return ticks
+
+    return _timed(run)
+
+
+def bench_per_query_64q(ticks: int, rng: np.random.Generator) -> Dict[str, float]:
+    """The pre-fusion model: one Python-level step call per query per tick."""
+    from repro.core import Spring
+
+    springs = [Spring(q, epsilon=2.0) for q in _queries(rng, QUERY_COUNT)]
+    stream = [float(v) for v in np.cumsum(rng.normal(size=ticks))]
+
+    def run() -> int:
+        for value in stream:
+            for spring in springs:
+                spring.step(value)
+        return ticks
+
+    return _timed(run)
+
+
+def _monitor(rng: np.random.Generator, streams: int):
+    from repro.core import StreamMonitor
+
+    monitor = StreamMonitor(history_limit=1024)
+    for s in range(streams):
+        monitor.add_stream(f"s{s}")
+    for i, query in enumerate(_queries(rng, QUERY_COUNT)):
+        monitor.add_query(f"q{i}", query, epsilon=2.0)
+    return monitor
+
+
+def bench_monitor_push(ticks: int, rng: np.random.Generator) -> Dict[str, float]:
+    monitor = _monitor(rng, streams=1)
+    stream = [float(v) for v in np.cumsum(rng.normal(size=ticks))]
+
+    def run() -> int:
+        for value in stream:
+            monitor.push("s0", value)
+        return ticks
+
+    return _timed(run)
+
+
+def bench_monitor_push_many(ticks: int, rng: np.random.Generator) -> Dict[str, float]:
+    monitor = _monitor(rng, streams=1)
+    stream = np.cumsum(rng.normal(size=ticks))
+
+    def run() -> int:
+        monitor.push_many("s0", stream)
+        return ticks
+
+    return _timed(run)
+
+
+def bench_monitor_multistream(ticks: int, rng: np.random.Generator) -> Dict[str, float]:
+    monitor = _monitor(rng, streams=STREAM_COUNT)
+    streams = [np.cumsum(rng.normal(size=ticks)) for _ in range(STREAM_COUNT)]
+
+    def run() -> int:
+        for s, values in enumerate(streams):
+            monitor.push_many(f"s{s}", values)
+        return ticks * STREAM_COUNT
+
+    return _timed(run)
+
+
+def run_suite(ticks: int, seed: int = 20070415) -> Dict[str, object]:
+    """Run every scenario and return the report dict (pure; no I/O)."""
+    results = {
+        "spring_1q": bench_spring_1q(ticks * 4, np.random.default_rng(seed)),
+        "per_query_64q": bench_per_query_64q(
+            max(ticks // 8, 64), np.random.default_rng(seed)
+        ),
+        "monitor_64q_push": bench_monitor_push(ticks, np.random.default_rng(seed)),
+        "monitor_64q_push_many": bench_monitor_push_many(
+            ticks, np.random.default_rng(seed)
+        ),
+        "monitor_64q_8s_push_many": bench_monitor_multistream(
+            max(ticks // 4, 64), np.random.default_rng(seed)
+        ),
+    }
+    fused = results["monitor_64q_push"]["ticks_per_sec"]
+    baseline = results["per_query_64q"]["ticks_per_sec"]
+    return {
+        "benchmark": "monitor throughput (ticks/sec)",
+        "config": {
+            "queries": QUERY_COUNT,
+            "query_lengths": list(QUERY_LENGTHS),
+            "streams": STREAM_COUNT,
+            "base_ticks": ticks,
+            "seed": seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+        "fused_speedup_vs_per_query": round(fused / baseline, 2)
+        if baseline
+        else None,
+    }
+
+
+def main(argv: object = None) -> Path:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=20_000,
+        help="stream length for the 64-query scenarios (default 20000)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.ticks)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, row in report["results"].items():
+        print(f"{name:28s} {row['ticks_per_sec']:>12,.1f} ticks/sec")
+    print(f"fused speedup vs per-query: {report['fused_speedup_vs_per_query']}x")
+    print(f"wrote {args.output}")
+    return args.output
+
+
+if __name__ == "__main__":
+    main()

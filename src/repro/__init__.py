@@ -38,9 +38,11 @@ Package map
 from repro.core import (
     CascadeSpring,
     ConstrainedSpring,
+    FusedSpring,
     Match,
     MatchEvent,
     NormalizedSpring,
+    QueryBank,
     Spring,
     StreamMonitor,
     TopKSpring,
@@ -61,6 +63,8 @@ __version__ = "1.0.0"
 __all__ = [
     "CascadeSpring",
     "ConstrainedSpring",
+    "FusedSpring",
+    "QueryBank",
     "TopKSpring",
     "dump_json",
     "load_json",

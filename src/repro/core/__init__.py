@@ -10,12 +10,15 @@
   wrapper.
 * :class:`~repro.core.monitor.StreamMonitor` — many queries x many
   streams.
+* :class:`~repro.core.fused.FusedSpring` / :class:`~repro.core.fused.QueryBank`
+  — the fused multi-query engine the monitor batches through.
 * :func:`~repro.core.batch.spring_search` and friends — one-call offline
   use.
 """
 
 from repro.core.batch import spring_best_match, spring_search, spring_search_vector
 from repro.core.cascade import CascadeSpring
+from repro.core.fused import FusedSpring, QueryBank
 from repro.core.checkpoint import (
     dump_json,
     load_json,
@@ -35,6 +38,8 @@ from repro.core.vector import VectorSpring
 
 __all__ = [
     "CascadeSpring",
+    "FusedSpring",
+    "QueryBank",
     "TopKSpring",
     "dump_json",
     "load_json",

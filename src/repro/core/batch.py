@@ -3,6 +3,16 @@
 The paper notes SPRING "can obviously be applied to stored sequence sets,
 too".  These helpers wrap the streaming classes for that use, always
 flushing the final pending candidate so finite inputs report every group.
+
+Stored inputs take the blocked execution path: the stream is validated
+and scanned for NaN/inf once, and the ``(block, m)`` local-cost matrix
+for each chunk is precomputed in a single numpy broadcast before the
+per-tick recurrence runs over the block (see
+:meth:`repro.core.spring.Spring.extend`).  Results are identical to
+feeding the stream value-by-value — the recurrence itself is untouched —
+only the per-value Python dispatch is gone.  ``block_size`` trades peak
+memory (``block_size * m`` floats) against loop overhead; the default is
+right for query lengths up to a few thousand.
 """
 
 from __future__ import annotations
@@ -25,11 +35,14 @@ def spring_search(
     epsilon: float,
     local_distance: Union[str, LocalDistance, None] = None,
     record_path: bool = False,
+    block_size: int = 1024,
 ) -> List[Match]:
     """All disjoint-query matches of ``query`` in a stored scalar sequence.
 
     Equivalent to feeding ``stream`` tick-by-tick into a
-    :class:`~repro.core.spring.Spring` and flushing at the end.
+    :class:`~repro.core.spring.Spring` and flushing at the end, but runs
+    the blocked fast path (module docstring) unless ``record_path`` forces
+    the per-tick reference loop.
 
     Parameters
     ----------
@@ -41,6 +54,8 @@ def spring_search(
         Disjoint-query distance threshold.
     record_path:
         Attach warping paths to the returned matches.
+    block_size:
+        Stream ticks whose local costs are precomputed per chunk.
 
     Returns
     -------
@@ -53,7 +68,9 @@ def spring_search(
         local_distance=local_distance,
         record_path=record_path,
     )
-    matches = spring.extend(np.asarray(stream, dtype=np.float64))
+    matches = spring.extend(
+        np.asarray(stream, dtype=np.float64), block_size=block_size
+    )
     final = spring.flush()
     if final is not None:
         matches.append(final)
@@ -83,8 +100,14 @@ def spring_search_vector(
     epsilon: float,
     local_distance: Union[str, LocalDistance, None] = None,
     report_range: bool = False,
+    block_size: int = 1024,
 ) -> List[Match]:
-    """All disjoint-query matches in a stored vector sequence ``(n, k)``."""
+    """All disjoint-query matches in a stored vector sequence ``(n, k)``.
+
+    Runs the same blocked fast path as :func:`spring_search`; the
+    precomputed chunk is ``(block, m)`` after the vector local distance
+    reduces the k axis.
+    """
     spring = VectorSpring(
         query,
         epsilon=epsilon,
@@ -92,7 +115,7 @@ def spring_search_vector(
         report_range=report_range,
     )
     stream_array = np.asarray(stream, dtype=np.float64)
-    matches = spring.extend(stream_array)
+    matches = spring.extend(stream_array, block_size=block_size)
     final = spring.flush()
     if final is not None:
         matches.append(final)

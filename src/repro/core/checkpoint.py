@@ -196,6 +196,10 @@ def save_monitor(monitor) -> Dict[str, object]:
         raise ValidationError(
             f"save_monitor expects a StreamMonitor, got {type(monitor).__name__}"
         )
+    # Fused banks (the monitor's batched execution detail) hold the live
+    # state for grouped queries; fold it back into the per-query matchers
+    # so the serialised form is complete and engine-independent.
+    monitor._sync_all()
     queries = {}
     for name, spec in monitor._queries.items():
         queries[name] = {

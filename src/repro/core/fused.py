@@ -1,0 +1,469 @@
+"""Fused multi-query SPRING: one column update for a whole bank of queries.
+
+SPRING's per-tick cost is O(m) arithmetic (Lemma 4), but a Python
+implementation that runs one :class:`~repro.core.spring.Spring` per query
+pays interpreter and numpy-dispatch overhead *per query per tick* — a
+monitor with hundreds of queries on one stream is dominated by dispatch,
+not arithmetic.  This module amortises that overhead across queries:
+
+* :class:`QueryBank` stacks Q scalar queries (ragged lengths allowed)
+  into one padded ``(Q, m_max, 1)`` array with a shared local distance.
+* :class:`FusedSpring` keeps ``(Q, m_max+1)`` distance/start matrices and
+  advances *all* queries with a single call to
+  :func:`~repro.core.state.update_columns` per tick; the disjoint-query
+  bookkeeping of Figure 4 (``d_min``, ``t_s``, ``t_e``, the Equation 9
+  confirmation) is likewise vectorised across the Q axis.
+
+Padding is benign by construction: the recurrence at cell ``i`` only
+reads cells ``<= i``, so a shorter query's valid region is never
+contaminated by the padded tail, and the Equation 9 check masks padded
+cells as always-blocked.  Every decision therefore compares exactly the
+numbers the per-query engine would compare, and the emitted matches are
+identical (property-tested in ``tests/core/test_fused.py`` and
+``tests/properties/test_fused_equivalence.py``).
+
+:class:`~repro.core.monitor.StreamMonitor` routes eligible matchers
+through this engine automatically; use it directly when you control the
+query set yourself:
+
+>>> from repro.core.fused import FusedSpring, QueryBank
+>>> bank = QueryBank([[11, 6, 9, 4], [5, 5]], epsilons=[15, 1])
+>>> engine = FusedSpring(bank)
+>>> for x in [5, 12, 6, 10, 6, 5, 13]:
+...     for q, match in engine.step(x):
+...         print(bank.names[q], match.start, match.end, match.distance)
+q1 1 1 0.0
+q0 2 5 6.0
+q1 6 6 0.0
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.matches import Match
+from repro.core.state import update_columns
+from repro.dtw.steps import LocalDistance, resolve_vector_distance
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["QueryBank", "FusedSpring"]
+
+_MISSING_POLICIES = ("skip", "error")
+
+#: Elements per (block, Q, m) cost slab before :meth:`FusedSpring.extend`
+#: chops the stream into smaller blocks (~16 MB of float64).
+_BLOCK_BUDGET = 2_000_000
+
+
+class QueryBank:
+    """An immutable stack of scalar queries sharing one local distance.
+
+    Parameters
+    ----------
+    queries:
+        Sequence of 1-D array-likes (ragged lengths allowed; shorter
+        queries are padded internally, which never affects results).
+    epsilons:
+        One disjoint-query threshold per query, or a single scalar
+        applied to all.
+    names:
+        Optional labels, defaulting to ``q0, q1, ...``; reported back by
+        :class:`FusedSpring` alongside match indices.
+    local_distance:
+        Shared local distance (name or callable), resolved exactly as
+        :class:`~repro.core.spring.Spring` resolves it.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[object],
+        epsilons: Union[float, Sequence[float]] = np.inf,
+        names: Optional[Sequence[str]] = None,
+        local_distance: Union[str, LocalDistance, None] = None,
+    ) -> None:
+        arrays = [as_scalar_sequence(q, f"queries[{i}]") for i, q in enumerate(queries)]
+        if not arrays:
+            raise ValidationError("QueryBank needs at least one query")
+        if np.ndim(epsilons) == 0:
+            eps = [check_threshold(epsilons)] * len(arrays)
+        else:
+            eps = [check_threshold(e) for e in epsilons]
+            if len(eps) != len(arrays):
+                raise ValidationError(
+                    f"got {len(arrays)} queries but {len(eps)} epsilons"
+                )
+        if names is None:
+            names = [f"q{i}" for i in range(len(arrays))]
+        elif len(names) != len(arrays):
+            raise ValidationError(
+                f"got {len(arrays)} queries but {len(names)} names"
+            )
+
+        self.names: Tuple[str, ...] = tuple(str(n) for n in names)
+        self.lengths = np.array([a.shape[0] for a in arrays], dtype=np.int64)
+        self.epsilons = np.array(eps, dtype=np.float64)
+        self.distance = resolve_vector_distance(local_distance)
+
+        q_count = len(arrays)
+        m_max = int(self.lengths.max())
+        # (Q, m_max, 1): the trailing axis matches Spring's (m, 1) query
+        # layout so the shared vector local distances see identical shapes.
+        padded = np.zeros((q_count, m_max, 1), dtype=np.float64)
+        for i, a in enumerate(arrays):
+            padded[i, : a.shape[0], 0] = a
+        self.padded = padded
+
+    @property
+    def q(self) -> int:
+        """Number of queries in the bank."""
+        return self.padded.shape[0]
+
+    @property
+    def m_max(self) -> int:
+        """Padded (maximum) query length."""
+        return self.padded.shape[1]
+
+    @property
+    def ragged(self) -> bool:
+        """Whether the bank mixes query lengths."""
+        return bool((self.lengths != self.m_max).any())
+
+    def query(self, index: int) -> np.ndarray:
+        """The unpadded query at ``index`` (copy, 1-D)."""
+        return self.padded[index, : self.lengths[index], 0].copy()
+
+    def __len__(self) -> int:
+        return self.q
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(q={self.q}, m_max={self.m_max}, "
+            f"ragged={self.ragged})"
+        )
+
+
+class FusedSpring:
+    """Run SPRING for every query of a :class:`QueryBank` in lockstep.
+
+    Semantically equivalent to one :class:`~repro.core.spring.Spring`
+    per query fed the same stream; the difference is purely mechanical —
+    a constant number of numpy calls per tick regardless of Q.
+
+    Parameters
+    ----------
+    bank:
+        The query stack to monitor.
+    missing:
+        NaN policy shared by the bank: ``"skip"`` advances time without
+        updating state, ``"error"`` raises (same as ``Spring``).
+
+    Notes
+    -----
+    :meth:`step` returns ``(query_index, Match)`` pairs ordered by query
+    index, matching the report order of a monitor that steps per-query
+    matchers in registration order.
+    """
+
+    def __init__(self, bank: QueryBank, missing: str = "skip") -> None:
+        if not isinstance(bank, QueryBank):
+            bank = QueryBank(bank)
+        if missing not in _MISSING_POLICIES:
+            raise ValidationError(
+                f"missing must be one of {_MISSING_POLICIES}, got {missing!r}"
+            )
+        self.bank = bank
+        self.missing = missing
+
+        q, m_max = bank.q, bank.m_max
+        self._d = np.full((q, m_max + 1), np.inf, dtype=np.float64)
+        self._d[:, 0] = 0.0
+        self._s = np.zeros((q, m_max + 1), dtype=np.int64)
+        self._s[:, 0] = 1
+        self._ticks = np.zeros(q, dtype=np.int64)
+
+        # Figure 4 bookkeeping, one slot per query.
+        self._dmin = np.full(q, np.inf, dtype=np.float64)
+        self._ts = np.zeros(q, dtype=np.int64)
+        self._te = np.zeros(q, dtype=np.int64)
+        self._best_d = np.full(q, np.inf, dtype=np.float64)
+        self._best_s = np.zeros(q, dtype=np.int64)
+        self._best_e = np.zeros(q, dtype=np.int64)
+
+        self._rows = np.arange(q, dtype=np.int64)
+        self._end = bank.lengths  # d_m lives at column m_q per query
+        if bank.ragged:
+            # Padded cells (column > m_q) are garbage; Equation 9 must
+            # treat them as always-blocked.
+            cols = np.arange(1, m_max + 1, dtype=np.int64)
+            self._pad_mask: Optional[np.ndarray] = cols[None, :] > self._end[:, None]
+        else:
+            self._pad_mask = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def q(self) -> int:
+        """Number of fused queries."""
+        return self.bank.q
+
+    @property
+    def ticks(self) -> np.ndarray:
+        """Per-query 1-based tick counters (copy)."""
+        return self._ticks.copy()
+
+    def best_match(self, index: int) -> Match:
+        """Best subsequence so far for one query (Problem 1)."""
+        if not np.isfinite(self._best_d[index]):
+            raise NotFittedError(
+                "no finite-distance subsequence yet: feed stream values first"
+            )
+        return Match(
+            start=int(self._best_s[index]),
+            end=int(self._best_e[index]),
+            distance=float(self._best_d[index]),
+            output_time=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    def step(self, value: object) -> List[Tuple[int, Match]]:
+        """Consume one stream value for all queries; return confirmations."""
+        x = self._validate_value(value)
+        self._ticks += 1
+        if x is None:
+            return []
+        cost = self.bank.distance(x, self.bank.padded)
+        cost = np.asarray(cost, dtype=np.float64)
+        self._d, self._s = update_columns(self._d, self._s, cost, self._ticks)
+        return self._report_logic()
+
+    def extend(
+        self, values: Iterable[object], block_size: int = 1024
+    ) -> List[Tuple[int, Match]]:
+        """Consume many values with block-precomputed local costs.
+
+        The ``(block, Q, m)`` cost slab for a chunk of the stream is one
+        numpy broadcast; the per-tick recurrence then runs over the block
+        without re-validating or re-dispatching per value.  Equivalent to
+        calling :meth:`step` per value.
+        """
+        try:
+            arr = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            arr = np.asarray(list(values), dtype=np.float64)
+        if arr.ndim == 2 and arr.shape[1] == 1:
+            arr = arr[:, 0]
+        if arr.ndim != 1:
+            raise ValidationError(
+                f"FusedSpring.extend expects a 1-D scalar stream, "
+                f"got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            return []
+
+        nan_rows = np.isnan(arr)
+        inf_rows = np.isinf(arr)
+        bad = inf_rows if self.missing == "skip" else (nan_rows | inf_rows)
+        stop = int(np.argmax(bad)) if bad.any() else arr.shape[0]
+
+        matches: List[Tuple[int, Match]] = []
+        budget = max(16, _BLOCK_BUDGET // max(1, self.bank.q * self.bank.m_max))
+        block = max(1, min(int(block_size), budget))
+        for lo in range(0, stop, block):
+            hi = min(lo + block, stop)
+            chunk = arr[lo:hi]
+            # (B, Q, m): one broadcast for the whole block's local costs.
+            cost_block = np.asarray(
+                self.bank.distance(
+                    chunk[:, None, None, None], self.bank.padded[None]
+                ),
+                dtype=np.float64,
+            )
+            chunk_nan = nan_rows[lo:hi]
+            for t in range(hi - lo):
+                self._ticks += 1
+                if chunk_nan[t]:
+                    continue
+                self._d, self._s = update_columns(
+                    self._d, self._s, cost_block[t], self._ticks
+                )
+                matches.extend(self._report_logic())
+        if stop < arr.shape[0]:
+            # Reproduce the per-tick error (prefix state is fully applied).
+            tick = int(self._ticks[0]) + 1 if self.q else 0
+            kind = "NaN" if nan_rows[stop] else "infinite"
+            raise ValidationError(f"stream value at tick {tick} is {kind}")
+        return matches
+
+    def flush(self) -> List[Tuple[int, Match]]:
+        """Report every held optimum at end-of-stream (Figure 4's epilogue)."""
+        matches: List[Tuple[int, Match]] = []
+        pending = np.isfinite(self._dmin) & (self._dmin <= self.bank.epsilons)
+        for qi in np.flatnonzero(pending):
+            matches.append((int(qi), self._emit(int(qi))))
+            self._reset_after_report(int(qi))
+        return matches
+
+    # ------------------------------------------------------------------
+    # Figure 4 internals, vectorised across queries
+    # ------------------------------------------------------------------
+
+    def _report_logic(self) -> List[Tuple[int, Match]]:
+        d, s = self._d, self._s
+        out: List[Tuple[int, Match]] = []
+
+        pending = np.isfinite(self._dmin) & (self._dmin <= self.bank.epsilons)
+        if pending.any():
+            # Equation 9 for all queries at once: each cell either cannot
+            # undercut the held optimum or starts after it ends.
+            blocked = (d[:, 1:] >= self._dmin[:, None]) | (
+                s[:, 1:] > self._te[:, None]
+            )
+            if self._pad_mask is not None:
+                blocked |= self._pad_mask
+            emit = pending & blocked.all(axis=1)
+            for qi in np.flatnonzero(emit):
+                out.append((int(qi), self._emit(int(qi))))
+                self._reset_after_report(int(qi))
+
+        d_m = d[self._rows, self._end]
+        s_m = s[self._rows, self._end]
+        capture = (d_m <= self.bank.epsilons) & (d_m < self._dmin)
+        if capture.any():
+            self._dmin[capture] = d_m[capture]
+            self._ts[capture] = s_m[capture]
+            self._te[capture] = self._ticks[capture]
+        better = d_m < self._best_d
+        if better.any():
+            self._best_d[better] = d_m[better]
+            self._best_s[better] = s_m[better]
+            self._best_e[better] = self._ticks[better]
+        return out
+
+    def _emit(self, qi: int) -> Match:
+        return Match(
+            start=int(self._ts[qi]),
+            end=int(self._te[qi]),
+            distance=float(self._dmin[qi]),
+            output_time=int(self._ticks[qi]),
+        )
+
+    def _reset_after_report(self, qi: int) -> None:
+        self._dmin[qi] = np.inf
+        stale = self._s[qi, 1:] <= self._te[qi]
+        self._d[qi, 1:][stale] = np.inf
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _validate_value(self, value: object) -> Optional[np.ndarray]:
+        if isinstance(value, (int, float)):
+            v = float(value)
+            if v != v:  # NaN
+                if self.missing == "skip":
+                    return None
+                raise ValidationError(
+                    f"stream value at tick {int(self._ticks[0]) + 1} is NaN"
+                )
+            if v in (np.inf, -np.inf):
+                raise ValidationError(
+                    f"stream value at tick {int(self._ticks[0]) + 1} is infinite"
+                )
+            return np.float64(v)
+        array = np.asarray(value, dtype=np.float64).reshape(-1)
+        if array.shape[0] != 1:
+            raise ValidationError(
+                f"stream value has {array.shape[0]} dimensions, query has 1"
+            )
+        return self._validate_value(float(array[0]))
+
+    # ------------------------------------------------------------------
+    # Spring interop (used by StreamMonitor's bank grouping)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_springs(
+        cls, springs: Sequence[object], names: Optional[Sequence[str]] = None
+    ) -> "FusedSpring":
+        """Build an engine that adopts the live state of ``springs``.
+
+        All matchers must be plain scalar :class:`~repro.core.spring.Spring`
+        instances (no path recording / reference mode) sharing one local
+        distance and missing policy; their current mid-stream state —
+        columns, tick counters, held optima, best matches — is copied in,
+        so fused execution continues exactly where they stopped.
+        """
+        from repro.core.spring import Spring
+
+        if not springs:
+            raise ValidationError("from_springs needs at least one matcher")
+        first = springs[0]
+        for sp in springs:
+            if type(sp) is not Spring:
+                raise ValidationError(
+                    f"cannot fuse {type(sp).__name__}; only plain Spring"
+                )
+            if sp.use_reference:
+                raise ValidationError(
+                    "cannot fuse reference/path-recording matchers"
+                )
+            if sp.missing != first.missing or sp._distance is not first._distance:
+                raise ValidationError(
+                    "fused matchers must share missing policy and local distance"
+                )
+        bank = QueryBank(
+            [sp._query[:, 0] for sp in springs],
+            epsilons=[sp.epsilon for sp in springs],
+            names=names,
+        )
+        bank.distance = first._distance
+        engine = cls(bank, missing=first.missing)
+        for qi, sp in enumerate(springs):
+            m = sp.m
+            engine._d[qi, : m + 1] = sp._state.d
+            engine._s[qi, : m + 1] = sp._state.s
+            engine._ticks[qi] = sp._tick
+            engine._dmin[qi] = sp._dmin
+            engine._ts[qi] = sp._ts
+            engine._te[qi] = sp._te
+            engine._best_d[qi] = sp._best_distance
+            engine._best_s[qi] = sp._best_start
+            engine._best_e[qi] = sp._best_end
+        return engine
+
+    def write_back(self, springs: Sequence[object]) -> None:
+        """Copy each query's state back into its per-query matcher.
+
+        The inverse of :meth:`from_springs`: after this, stepping the
+        springs individually continues the exact match stream the fused
+        engine would have produced.
+        """
+        if len(springs) != self.q:
+            raise ValidationError(
+                f"write_back got {len(springs)} matchers for {self.q} queries"
+            )
+        for qi, sp in enumerate(springs):
+            m = sp.m
+            sp._state.d = self._d[qi, : m + 1].copy()
+            sp._state.s = self._s[qi, : m + 1].copy()
+            sp._tick = int(self._ticks[qi])
+            sp._dmin = float(self._dmin[qi])
+            sp._ts = int(self._ts[qi])
+            sp._te = int(self._te[qi])
+            sp._best_distance = float(self._best_d[qi])
+            sp._best_start = int(self._best_s[qi])
+            sp._best_end = int(self._best_e[qi])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(q={self.q}, m_max={self.bank.m_max}, "
+            f"tick={int(self._ticks.max()) if self.q else 0})"
+        )

@@ -8,17 +8,43 @@ streams and queries, push values as they arrive, and receive
 lengths) per stream — each matcher stays O(m) per Lemma 4, and matchers
 are independent.
 
+Internally the monitor batches work along the *query* axis: plain scalar
+matchers on one stream are grouped into
+:class:`~repro.core.fused.FusedSpring` banks that advance every query
+with one vectorised column update per tick, so per-tick cost no longer
+pays Python dispatch per query.  Banks are an execution detail — event
+contents and ordering are identical to stepping each matcher
+individually (in query-registration order), and matchers with
+per-query execution modes (path recording, reference loop, vector
+streams) transparently keep the per-query path.  Accessing a matcher
+via :meth:`StreamMonitor.matcher` (or checkpointing) syncs bank state
+back into the individual matchers first, so direct inspection — and
+even direct stepping — always sees exact, current state.
+
 Callbacks make it usable as a push-based alerting component: subscribe a
 callable and it fires on every confirmed match.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
+from repro.core.fused import FusedSpring
 from repro.core.matches import Match
 from repro.core.spring import Spring
 from repro.core.vector import VectorSpring
@@ -55,8 +81,27 @@ class _QuerySpec:
         return cls(self.query, epsilon=self.epsilon, **self.kwargs)
 
 
+@dataclass
+class _Bank:
+    """One fused engine serving several same-policy queries of a stream."""
+
+    engine: FusedSpring
+    names: List[str]
+
+
 class StreamMonitor:
     """Monitor many streams for many queries simultaneously.
+
+    Parameters
+    ----------
+    keep_history:
+        When True (default), every emitted event is retained and exposed
+        via :attr:`history`; set False to disable retention entirely
+        (long-running monitors otherwise grow without bound).
+    history_limit:
+        Optional cap on retained events; when set, :attr:`history` keeps
+        only the most recent ``history_limit`` events (deque-backed, so
+        old events fall off in O(1)).
 
     Example
     -------
@@ -66,12 +111,25 @@ class StreamMonitor:
     >>> events = monitor.push("sensor-1", 0.1)
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        keep_history: bool = True,
+        history_limit: Optional[int] = None,
+    ) -> None:
         self._queries: Dict[str, _QuerySpec] = {}
         self._matchers: Dict[str, Dict[str, Spring]] = {}
         self._callbacks: List[Callable[[MatchEvent], None]] = []
-        self._history: List[MatchEvent] = []
-        self.keep_history = True
+        if history_limit is not None:
+            history_limit = int(history_limit)
+            if history_limit < 1:
+                raise ValidationError(
+                    f"history_limit must be a positive integer, got {history_limit}"
+                )
+        self.history_limit = history_limit
+        self._history: Deque[MatchEvent] = deque(maxlen=history_limit)
+        self.keep_history = bool(keep_history)
+        # stream -> (banks, banked query names); None = rebuild on next push.
+        self._banks: Dict[str, Optional[Tuple[List[_Bank], frozenset]]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -89,7 +147,7 @@ class StreamMonitor:
 
     @property
     def history(self) -> List[MatchEvent]:
-        """Every event emitted so far (when ``keep_history`` is True)."""
+        """Retained events (see ``keep_history`` / ``history_limit``)."""
         return list(self._history)
 
     def add_stream(self, name: str) -> None:
@@ -99,6 +157,7 @@ class StreamMonitor:
         self._matchers[name] = {
             query_name: spec.build() for query_name, spec in self._queries.items()
         }
+        self._banks[name] = None
 
     def add_query(
         self,
@@ -128,7 +187,8 @@ class StreamMonitor:
         )
         spec.build()  # validate eagerly so errors surface at registration
         self._queries[name] = spec
-        for matchers in self._matchers.values():
+        for stream, matchers in self._matchers.items():
+            self._sync_stream(stream)
             matchers[name] = spec.build()
 
     def remove_query(self, name: str) -> None:
@@ -136,7 +196,8 @@ class StreamMonitor:
         if name not in self._queries:
             raise ValidationError(f"query {name!r} is not registered")
         del self._queries[name]
-        for matchers in self._matchers.values():
+        for stream, matchers in self._matchers.items():
+            self._sync_stream(stream)
             matchers.pop(name, None)
 
     def subscribe(self, callback: Callable[[MatchEvent], None]) -> None:
@@ -146,11 +207,67 @@ class StreamMonitor:
     def matcher(self, stream: str, query: str) -> Spring:
         """Direct access to one underlying matcher (for inspection)."""
         try:
-            return self._matchers[stream][query]
+            matchers = self._matchers[stream]
+            spring = matchers[query]
         except KeyError:
             raise ValidationError(
                 f"no matcher for stream {stream!r} / query {query!r}"
             ) from None
+        self._sync_stream(stream)
+        return spring
+
+    # ------------------------------------------------------------------
+    # Query banks (fused execution detail)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bankable(spring: Spring) -> bool:
+        # Exact type: subclasses customise report logic; reference mode
+        # (which path recording implies) needs the per-tick loop.
+        return type(spring) is Spring and not spring.use_reference
+
+    def _ensure_banks(self, stream: str) -> Tuple[List[_Bank], frozenset]:
+        entry = self._banks.get(stream)
+        if entry is not None:
+            return entry
+        groups: Dict[tuple, List[str]] = {}
+        matchers = self._matchers[stream]
+        for name, spring in matchers.items():
+            if self._bankable(spring):
+                key = (spring.missing, id(spring._distance))
+                groups.setdefault(key, []).append(name)
+        banks: List[_Bank] = []
+        banked: set = set()
+        for names in groups.values():
+            if len(names) < 2:
+                continue  # a bank of one is just a slower Spring
+            springs = [matchers[n] for n in names]
+            banks.append(
+                _Bank(engine=FusedSpring.from_springs(springs), names=names)
+            )
+            banked.update(names)
+        entry = (banks, frozenset(banked))
+        self._banks[stream] = entry
+        return entry
+
+    def _sync_stream(self, stream: str) -> None:
+        """Write bank state back into per-query matchers and drop the banks.
+
+        After this, the individual :class:`Spring` objects are the
+        single source of truth again; the next push rebuilds banks from
+        them (so even direct ``matcher(...).step(...)`` stays coherent).
+        """
+        entry = self._banks.get(stream)
+        if entry:
+            matchers = self._matchers[stream]
+            for bank in entry[0]:
+                bank.engine.write_back([matchers[n] for n in bank.names])
+        self._banks[stream] = None
+
+    def _sync_all(self) -> None:
+        """Sync every stream's banks (used by checkpointing)."""
+        for stream in self._matchers:
+            self._sync_stream(stream)
 
     # ------------------------------------------------------------------
     # Data path
@@ -162,19 +279,69 @@ class StreamMonitor:
             matchers = self._matchers[stream]
         except KeyError:
             raise ValidationError(f"stream {stream!r} is not registered") from None
-        events = []
+        banks, banked = self._ensure_banks(stream)
+        per_query: Dict[str, Match] = {}
+        for bank in banks:
+            for qi, match in bank.engine.step(value):
+                per_query[bank.names[qi]] = match
         for query_name, spring in matchers.items():
+            if query_name in banked:
+                continue
             match = spring.step(value)
             if match is not None:
-                events.append(MatchEvent(stream=stream, query=query_name, match=match))
+                per_query[query_name] = match
+        events = [
+            MatchEvent(stream=stream, query=name, match=per_query[name])
+            for name in matchers
+            if name in per_query
+        ]
         self._dispatch(events)
         return events
 
     def push_many(self, stream: str, values: Iterable[object]) -> List[MatchEvent]:
-        """Feed a batch of values into one stream."""
-        events: List[MatchEvent] = []
-        for value in values:
-            events.extend(self.push(stream, value))
+        """Feed a batch of values into one stream.
+
+        The whole batch runs through each matcher's blocked
+        ``extend``/bank fast path (one local-cost broadcast per block
+        instead of per-value dispatch), and events are dispatched once
+        per batch.  Event order matches value-by-value :meth:`push`:
+        ascending tick, then query-registration order.
+        """
+        try:
+            matchers = self._matchers[stream]
+        except KeyError:
+            raise ValidationError(f"stream {stream!r} is not registered") from None
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)  # one materialisation feeds every matcher
+        banks, banked = self._ensure_banks(stream)
+        order = {name: i for i, name in enumerate(matchers)}
+        collected: List[Tuple[int, int, MatchEvent]] = []
+
+        def collect(name: str, start_tick: int, matches: Iterable[Match]) -> None:
+            for match in matches:
+                # Matchers adopted at different times disagree on tick
+                # numbering; the batch offset is the shared clock.
+                offset = (match.output_time or 0) - start_tick
+                collected.append(
+                    (offset, order[name], MatchEvent(stream, name, match))
+                )
+
+        for bank in banks:
+            start_ticks = bank.engine.ticks
+            for qi, match in bank.engine.extend(values):
+                name = bank.names[qi]
+                offset = (match.output_time or 0) - int(start_ticks[qi])
+                collected.append(
+                    (offset, order[name], MatchEvent(stream, name, match))
+                )
+        for query_name, spring in matchers.items():
+            if query_name in banked:
+                continue
+            collect(query_name, spring.tick, spring.extend(values))
+
+        collected.sort(key=lambda item: (item[0], item[1]))
+        events = [event for _, _, event in collected]
+        self._dispatch(events)
         return events
 
     def push_tick(self, values: Mapping[str, object]) -> List[MatchEvent]:
@@ -188,6 +355,7 @@ class StreamMonitor:
         """Flush every matcher (end-of-stream); return pending events."""
         events = []
         for stream, matchers in self._matchers.items():
+            self._sync_stream(stream)
             for query_name, spring in matchers.items():
                 match = spring.flush()
                 if match is not None:

@@ -27,6 +27,7 @@ Example
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -77,6 +78,9 @@ class Spring:
         vectorised scan.  Mainly for tests and tiny queries.
     """
 
+    #: How error messages refer to one stream value ("vector" in subclasses).
+    _value_noun = "value"
+
     def __init__(
         self,
         query: object,
@@ -115,6 +119,16 @@ class Spring:
 
         # Path nodes parallel to the state arrays (record_path only).
         self._nodes: List[Optional[_PathNode]] = [None] * (m + 1)
+
+        # Scalar-stream fast path: plain Python numbers on a 1-D query
+        # skip the per-tick asarray/reshape/shape-check churn and reuse
+        # one staging buffer.  Only taken when the subclass has not
+        # customised per-value validation.
+        self._fast_scalar = (
+            self._query.shape[1] == 1
+            and type(self)._validate_value is Spring._validate_value
+        )
+        self._xbuf = np.empty(1, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -177,10 +191,26 @@ class Spring:
         beat it, then fold the new ending distance ``d_m`` into the held
         optimum.
         """
-        x = self._validate_value(value)
-        if x is None:  # missing value: time passes, state holds
-            self._tick += 1
-            return None
+        if self._fast_scalar and isinstance(value, (int, float)):
+            v = float(value)
+            if v != v:  # NaN
+                if self.missing == "skip":
+                    self._tick += 1
+                    return None
+                raise ValidationError(
+                    f"stream value at tick {self._tick + 1} is NaN"
+                )
+            if math.isinf(v):
+                raise ValidationError(
+                    f"stream value at tick {self._tick + 1} is infinite"
+                )
+            self._xbuf[0] = v
+            x = self._xbuf
+        else:
+            x = self._validate_value(value)
+            if x is None:  # missing value: time passes, state holds
+                self._tick += 1
+                return None
         self._tick += 1
         cost = np.asarray(
             self._distance(x[None, :], self._query), dtype=np.float64
@@ -191,13 +221,79 @@ class Spring:
             update_column(self._state, cost, self._tick)
         return self._report_logic()
 
-    def extend(self, values: Iterable[object]) -> List[Match]:
-        """Consume many values; return all matches confirmed on the way."""
+    def extend(self, values: Iterable[object], block_size: int = 1024) -> List[Match]:
+        """Consume many values; return all matches confirmed on the way.
+
+        Array(-like) inputs take a blocked fast path: validation and the
+        NaN/inf scan are hoisted out of the loop and the ``(block, m)``
+        local-cost matrix for a chunk of the stream is precomputed in one
+        numpy broadcast, so the per-tick loop only runs the recurrence
+        and report logic.  Results are identical to calling :meth:`step`
+        per value; reference/path-recording matchers and non-array
+        iterables (e.g. generators) fall back to the per-value loop.
+        """
+        block = self._coerce_block(values) if not self.use_reference else None
+        if block is not None:
+            return self._extend_block(block, block_size)
         matches = []
         for value in values:
             match = self.step(value)
             if match is not None:
                 matches.append(match)
+        return matches
+
+    def _coerce_block(self, values: object) -> Optional[np.ndarray]:
+        """Try to view ``values`` as an ``(n, k)`` float block, else None."""
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            return None
+        try:
+            arr = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            return None  # let the per-value loop raise its usual errors
+        return arr
+
+    def _extend_block(self, arr: np.ndarray, block_size: int) -> List[Match]:
+        k = self._query.shape[1]
+        if arr.shape[1] != k:
+            raise ValidationError(
+                f"stream {self._value_noun} has {arr.shape[1]} dimensions, "
+                f"query has {k}"
+            )
+        if arr.shape[0] == 0:
+            return []
+        nan_rows = np.isnan(arr).any(axis=1)
+        inf_rows = np.isinf(arr).any(axis=1) & ~nan_rows  # NaN outranks inf
+        bad = inf_rows if self.missing == "skip" else (nan_rows | inf_rows)
+        stop = int(np.argmax(bad)) if bad.any() else arr.shape[0]
+
+        matches: List[Match] = []
+        block = max(1, int(block_size))
+        for lo in range(0, stop, block):
+            hi = min(lo + block, stop)
+            # (B, m): local costs for the whole chunk in one broadcast.
+            cost_block = np.asarray(
+                self._distance(arr[lo:hi, None, :], self._query[None, :, :]),
+                dtype=np.float64,
+            )
+            chunk_nan = nan_rows[lo:hi]
+            for t in range(hi - lo):
+                self._tick += 1
+                if chunk_nan[t]:
+                    continue
+                update_column(self._state, cost_block[t], self._tick)
+                match = self._report_logic()
+                if match is not None:
+                    matches.append(match)
+        if stop < arr.shape[0]:
+            # Prefix state is fully applied; now fail like step() would.
+            kind = "NaN" if nan_rows[stop] else "infinite"
+            raise ValidationError(
+                f"stream value at tick {self._tick + 1} is {kind}"
+            )
         return matches
 
     def flush(self) -> Optional[Match]:
@@ -336,7 +432,7 @@ class Spring:
         array = np.asarray(value, dtype=np.float64).reshape(-1)
         if array.shape[0] != self._query.shape[1]:
             raise ValidationError(
-                f"stream value has {array.shape[0]} dimensions, "
+                f"stream {self._value_noun} has {array.shape[0]} dimensions, "
                 f"query has {self._query.shape[1]}"
             )
         if np.isnan(array).any():

@@ -35,10 +35,16 @@ with a relative tolerance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
-__all__ = ["SpringState", "update_column", "update_column_reference"]
+__all__ = [
+    "SpringState",
+    "update_column",
+    "update_column_reference",
+    "update_columns",
+]
 
 
 @dataclass
@@ -173,3 +179,70 @@ def update_column(state: SpringState, cost: np.ndarray, tick: int) -> None:
     s_new[1:] = s_new_tail
     state.d = d_new
     state.s = s_new
+
+
+def update_columns(
+    d: np.ndarray, s: np.ndarray, cost: np.ndarray, ticks: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One tick of Equations (7)/(8) for Q stacked queries at once.
+
+    The 2-D generalisation of :func:`update_column`: every row is one
+    query's column of the STWM, and the min-plus scan runs along axis 1
+    for all rows in a constant number of numpy calls.  Row ``q`` of the
+    result is bit-for-bit what :func:`update_column` produces for that
+    query alone — the per-element arithmetic, the cumulative-sum order,
+    and Equation 5's tie-break order are all identical — which is what
+    lets the fused engine (:mod:`repro.core.fused`) claim exact
+    equivalence with per-query :class:`~repro.core.spring.Spring`.
+
+    Parameters
+    ----------
+    d:
+        ``(Q, m+1)`` float64 — previous distance columns, ``d[:, 0] == 0``.
+    s:
+        ``(Q, m+1)`` int64 — previous start columns.
+    cost:
+        ``(Q, m)`` float64 — this tick's local costs per query.  Rows of
+        padded banks may carry arbitrary finite values beyond a query's
+        true length; cell ``i`` only ever reads cells ``<= i``, so padding
+        never contaminates the valid region.
+    ticks:
+        ``(Q,)`` int64 — the current 1-based tick per query (queries
+        adopted mid-stream may disagree on how many values they have
+        seen).
+
+    Returns
+    -------
+    (d_new, s_new):
+        Fresh ``(Q, m+1)`` arrays; the inputs are not modified.
+    """
+    q, m1 = d.shape
+    m = m1 - 1
+
+    vertical = d[:, 1:]
+    diagonal = d[:, :-1]
+    take_vertical = vertical <= diagonal
+    e = cost + np.where(take_vertical, vertical, diagonal)
+    vd_start = np.where(take_vertical, s[:, 1:], s[:, :-1])
+    e[:, 0] = cost[:, 0]
+    vd_start[:, 0] = ticks
+
+    c_sum = np.cumsum(cost, axis=1)
+    g = e - c_sum
+    running = np.minimum.accumulate(g, axis=1)
+    is_new_min = np.empty((q, m), dtype=bool)
+    is_new_min[:, 0] = True
+    if m > 1:
+        is_new_min[:, 1:] = g[:, 1:] < running[:, :-1]
+    indices = np.arange(m, dtype=np.int64)
+    source = np.maximum.accumulate(
+        np.where(is_new_min, indices[None, :], 0), axis=1
+    )
+
+    d_new = np.empty((q, m + 1), dtype=np.float64)
+    d_new[:, 0] = 0.0
+    d_new[:, 1:] = np.where(source == indices[None, :], e, c_sum + running)
+    s_new = np.empty((q, m + 1), dtype=np.int64)
+    s_new[:, 0] = ticks + 1
+    s_new[:, 1:] = np.take_along_axis(vd_start, source, axis=1)
+    return d_new, s_new

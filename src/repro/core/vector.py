@@ -73,17 +73,13 @@ class VectorSpring(Spring):
         """Stream dimensionality."""
         return self._query.shape[1]
 
+    #: Inherited validation (and the blocked ``extend`` fast path) reports
+    #: dimension mismatches against this noun; the checks themselves are
+    #: the base class's, so per-tick values are validated exactly once.
+    _value_noun = "vector"
+
     def _validate_query(self, query: object) -> np.ndarray:
         return as_vector_sequence(query, "query")
-
-    def _validate_value(self, value: object) -> Optional[np.ndarray]:
-        array = np.asarray(value, dtype=np.float64).reshape(-1)
-        if array.shape[0] != self._query.shape[1]:
-            raise ValidationError(
-                f"stream vector has {array.shape[0]} dimensions, "
-                f"query has {self._query.shape[1]}"
-            )
-        return super()._validate_value(array)
 
     # ------------------------------------------------------------------
     # Range-of-group reporting (Section 5.3's mocap modification)

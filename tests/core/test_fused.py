@@ -1,0 +1,252 @@
+"""Unit tests for the fused multi-query engine (QueryBank / FusedSpring).
+
+The load-bearing property is *exact* equivalence with per-query
+:class:`~repro.core.spring.Spring`: identical (start, end, output_time)
+tuples and rel-tol-equal distances, on easy streams and on the nasty
+ones (NaN gaps, tied costs, ragged padded banks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FusedSpring, QueryBank, Spring
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def reference_events(queries, epsilons, stream, missing="skip"):
+    """Ground truth: per-query Springs stepped value by value."""
+    springs = [
+        Spring(q, epsilon=e, missing=missing)
+        for q, e in zip(queries, epsilons)
+    ]
+    events = []
+    for value in stream:
+        for qi, spring in enumerate(springs):
+            match = spring.step(value)
+            if match is not None:
+                events.append((qi, match))
+    for qi, spring in enumerate(springs):
+        match = spring.flush()
+        if match is not None:
+            events.append((qi, match))
+    return springs, events
+
+
+def fused_events(engine, stream, use_extend=False):
+    if use_extend:
+        events = list(engine.extend(stream))
+    else:
+        events = [pair for value in stream for pair in engine.step(float(value))]
+    events.extend(engine.flush())
+    return events
+
+
+def assert_equivalent(expected, got):
+    assert len(expected) == len(got)
+    for (qe, me), (qg, mg) in zip(expected, got):
+        assert qe == qg
+        assert (me.start, me.end, me.output_time) == (
+            mg.start,
+            mg.end,
+            mg.output_time,
+        )
+        assert mg.distance == pytest.approx(me.distance, rel=1e-9, abs=1e-12)
+
+
+class TestQueryBank:
+    def test_basic_properties(self):
+        bank = QueryBank([[1.0, 2.0, 3.0], [4.0, 5.0]], epsilons=2.0)
+        assert bank.q == len(bank) == 2
+        assert bank.m_max == 3
+        assert bank.ragged
+        assert list(bank.lengths) == [3, 2]
+        assert bank.names == ("q0", "q1")
+        np.testing.assert_array_equal(bank.query(1), [4.0, 5.0])
+
+    def test_scalar_epsilon_broadcasts(self):
+        bank = QueryBank([[1.0], [2.0]], epsilons=1.5)
+        np.testing.assert_array_equal(bank.epsilons, [1.5, 1.5])
+
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValidationError):
+            QueryBank([])
+
+    def test_rejects_mismatched_epsilons(self):
+        with pytest.raises(ValidationError):
+            QueryBank([[1.0], [2.0]], epsilons=[1.0])
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValidationError):
+            QueryBank([[1.0]], names=["a", "b"])
+
+    def test_rejects_invalid_query(self):
+        with pytest.raises(ValidationError):
+            QueryBank([[1.0, np.nan]])
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("use_extend", [False, True])
+    def test_random_walks(self, rng, use_extend):
+        queries = [np.cumsum(rng.normal(size=m)) for m in (5, 9, 9, 3)]
+        epsilons = [2.0, 8.0, np.inf, 0.5]
+        stream = np.cumsum(rng.normal(size=600))
+        _, expected = reference_events(queries, epsilons, stream)
+        engine = FusedSpring(QueryBank(queries, epsilons=epsilons))
+        got = fused_events(engine, stream, use_extend=use_extend)
+        assert_equivalent(expected, got)
+
+    @pytest.mark.parametrize("use_extend", [False, True])
+    def test_nan_bearing_stream(self, rng, use_extend):
+        queries = [rng.normal(size=4), rng.normal(size=6)]
+        epsilons = [3.0, 3.0]
+        stream = rng.normal(size=300)
+        stream[20:30] = np.nan
+        stream[150] = np.nan
+        _, expected = reference_events(queries, epsilons, stream)
+        engine = FusedSpring(QueryBank(queries, epsilons=epsilons))
+        got = fused_events(engine, stream, use_extend=use_extend)
+        assert_equivalent(expected, got)
+
+    @pytest.mark.parametrize("use_extend", [False, True])
+    def test_tied_costs(self, rng, use_extend):
+        # Heavily quantised values make equal-cost cells the norm, so the
+        # tie-break order of Equation 5 is exercised constantly.
+        queries = [
+            rng.integers(0, 3, size=m).astype(float) for m in (4, 4, 7)
+        ]
+        epsilons = [1.0, 4.0, 9.0]
+        stream = rng.integers(0, 3, size=500).astype(float)
+        _, expected = reference_events(queries, epsilons, stream)
+        engine = FusedSpring(QueryBank(queries, epsilons=epsilons))
+        got = fused_events(engine, stream, use_extend=use_extend)
+        assert_equivalent(expected, got)
+
+    def test_ragged_bank_matches_each_length(self, rng):
+        # Short queries padded next to long ones must behave exactly as
+        # they do alone; padding must never leak into decisions.
+        queries = [rng.normal(size=m) for m in (2, 11, 5, 8, 3)]
+        epsilons = [1.0] * len(queries)
+        stream = np.concatenate(
+            [rng.normal(size=40) + 6, queries[2], rng.normal(size=40) + 6]
+        )
+        _, expected = reference_events(queries, epsilons, stream)
+        engine = FusedSpring(QueryBank(queries, epsilons=epsilons))
+        got = fused_events(engine, stream)
+        assert_equivalent(expected, got)
+
+    def test_best_match_tracking(self, rng):
+        queries = [rng.normal(size=5), rng.normal(size=8)]
+        stream = rng.normal(size=200)
+        springs, _ = reference_events(queries, [np.inf, np.inf], stream)
+        engine = FusedSpring(QueryBank(queries, epsilons=np.inf))
+        fused_events(engine, stream)
+        for qi, spring in enumerate(springs):
+            expected = spring.best_match
+            got = engine.best_match(qi)
+            assert (expected.start, expected.end) == (got.start, got.end)
+            assert got.distance == pytest.approx(expected.distance, rel=1e-9)
+
+    def test_best_match_before_data_raises(self):
+        engine = FusedSpring(QueryBank([[1.0, 2.0]]))
+        with pytest.raises(NotFittedError):
+            engine.best_match(0)
+
+
+class TestValidation:
+    def test_rejects_bad_missing_policy(self):
+        with pytest.raises(ValidationError):
+            FusedSpring(QueryBank([[1.0]]), missing="drop")
+
+    def test_step_rejects_infinite_value(self):
+        engine = FusedSpring(QueryBank([[1.0]]))
+        with pytest.raises(ValidationError):
+            engine.step(np.inf)
+
+    def test_step_rejects_vector_value(self):
+        engine = FusedSpring(QueryBank([[1.0]]))
+        with pytest.raises(ValidationError):
+            engine.step([1.0, 2.0])
+
+    def test_missing_error_policy_raises_on_nan(self):
+        engine = FusedSpring(QueryBank([[1.0]]), missing="error")
+        with pytest.raises(ValidationError):
+            engine.step(np.nan)
+
+    def test_extend_raises_on_inf_after_prefix(self, rng):
+        engine = FusedSpring(QueryBank([rng.normal(size=3)]))
+        stream = rng.normal(size=20)
+        stream[10] = np.inf
+        with pytest.raises(ValidationError):
+            engine.extend(stream)
+        # The prefix before the bad tick was fully consumed.
+        assert engine.ticks[0] == 10
+
+    def test_extend_accepts_lists_and_column_vectors(self, rng):
+        q = [rng.normal(size=3)]
+        stream = rng.normal(size=50)
+        a = FusedSpring(QueryBank(q))
+        b = FusedSpring(QueryBank(q))
+        a.extend(list(stream))
+        b.extend(stream.reshape(-1, 1))
+        np.testing.assert_array_equal(a.ticks, b.ticks)
+        np.testing.assert_allclose(a._d, b._d)
+
+
+class TestSpringInterop:
+    def test_from_springs_adopts_mid_stream_state(self, rng):
+        queries = [rng.normal(size=4), rng.normal(size=7)]
+        stream = rng.normal(size=400)
+        cut = 137
+        # Reference: uninterrupted per-query run.
+        _, expected = reference_events(queries, [2.0, 2.0], stream)
+        # Fused run adopted mid-stream from warm springs.
+        springs = [Spring(q, epsilon=2.0) for q in queries]
+        head = []
+        for value in stream[:cut]:
+            for qi, spring in enumerate(springs):
+                match = spring.step(float(value))
+                if match is not None:
+                    head.append((qi, match))
+        engine = FusedSpring.from_springs(springs)
+        tail = fused_events(engine, stream[cut:])
+        assert_equivalent(expected, head + tail)
+
+    def test_write_back_resumes_per_query(self, rng):
+        queries = [rng.normal(size=4), rng.normal(size=7)]
+        stream = rng.normal(size=400)
+        cut = 251
+        _, expected = reference_events(queries, [2.0, 2.0], stream)
+        springs = [Spring(q, epsilon=2.0) for q in queries]
+        engine = FusedSpring.from_springs(springs)
+        head = [pair for v in stream[:cut] for pair in engine.step(float(v))]
+        engine.write_back(springs)
+        tail = []
+        for value in stream[cut:]:
+            for qi, spring in enumerate(springs):
+                match = spring.step(float(value))
+                if match is not None:
+                    tail.append((qi, match))
+        for qi, spring in enumerate(springs):
+            match = spring.flush()
+            if match is not None:
+                tail.append((qi, match))
+        assert_equivalent(expected, head + tail)
+
+    def test_from_springs_rejects_mixed_policies(self, rng):
+        a = Spring(rng.normal(size=3), missing="skip")
+        b = Spring(rng.normal(size=3), missing="error")
+        with pytest.raises(ValidationError):
+            FusedSpring.from_springs([a, b])
+
+    def test_from_springs_rejects_path_recording(self, rng):
+        a = Spring(rng.normal(size=3))
+        b = Spring(rng.normal(size=3), record_path=True)
+        with pytest.raises(ValidationError):
+            FusedSpring.from_springs([a, b])
+
+    def test_write_back_arity_checked(self, rng):
+        engine = FusedSpring(QueryBank([rng.normal(size=3)]))
+        with pytest.raises(ValidationError):
+            engine.write_back([])

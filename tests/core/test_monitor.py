@@ -134,3 +134,92 @@ class TestDetection:
         events = monitor.push_many("mocap", stream)
         events += monitor.flush()
         assert len(events) == 1
+
+
+def _busy_monitor(rng, n_queries=6, **monitor_kwargs):
+    """A monitor whose stream matches every query several times."""
+    monitor = StreamMonitor(**monitor_kwargs)
+    monitor.add_stream("s")
+    patterns = [rng.normal(size=rng.integers(3, 8)) for _ in range(n_queries)]
+    for i, pattern in enumerate(patterns):
+        monitor.add_query(f"q{i}", pattern, epsilon=1e-9)
+    chunks = [rng.normal(size=10) + 9]
+    for pattern in patterns * 2:
+        chunks.append(pattern)
+        chunks.append(rng.normal(size=10) + 9)
+    return monitor, np.concatenate(chunks)
+
+
+class TestHistoryRetention:
+    def test_history_limit_keeps_most_recent(self, rng):
+        monitor, stream = _busy_monitor(rng, history_limit=3)
+        all_events = monitor.push_many("s", stream) + monitor.flush()
+        assert len(all_events) > 3
+        assert monitor.history == all_events[-3:]
+
+    def test_keep_history_false_retains_nothing(self, rng):
+        monitor, stream = _busy_monitor(rng, keep_history=False)
+        events = monitor.push_many("s", stream) + monitor.flush()
+        assert events
+        assert monitor.history == []
+
+    def test_history_limit_validated(self):
+        with pytest.raises(ValidationError):
+            StreamMonitor(history_limit=0)
+        with pytest.raises(ValidationError):
+            StreamMonitor(history_limit=-5)
+
+
+class TestBatchedExecution:
+    """push_many and the fused banks must be invisible optimisations."""
+
+    def test_push_many_equals_per_value_push(self, rng):
+        fast, stream = _busy_monitor(rng)
+        rng2 = np.random.default_rng(20070415)
+        slow, _ = _busy_monitor(rng2)
+        got = fast.push_many("s", stream) + fast.flush()
+        expected = [e for v in stream for e in slow.push("s", v)]
+        expected += slow.flush()
+        assert [(e.query, e.match) for e in got] == [
+            (e.query, e.match) for e in expected
+        ]
+
+    def test_push_many_dispatches_once_per_batch(self, rng):
+        monitor, stream = _busy_monitor(rng)
+        seen = []
+        monitor.subscribe(seen.append)
+        events = monitor.push_many("s", stream)
+        assert seen == events  # every event exactly once, batch order
+
+    def test_matcher_access_stays_coherent_mid_stream(self, rng):
+        # Inspecting (or even stepping) a matcher between pushes must see
+        # and produce exactly the per-query state, banks or no banks.
+        fast, stream = _busy_monitor(rng)
+        rng2 = np.random.default_rng(20070415)
+        slow, _ = _busy_monitor(rng2)
+        cut = len(stream) // 2
+        got = fast.push_many("s", stream[:cut])
+        expected = [e for v in stream[:cut] for e in slow.push("s", v)]
+        for name in fast.queries:
+            assert fast.matcher("s", name).tick == slow.matcher("s", name).tick
+        got += fast.push_many("s", stream[cut:]) + fast.flush()
+        expected += [e for v in stream[cut:] for e in slow.push("s", v)]
+        expected += slow.flush()
+        assert [(e.query, e.match) for e in got] == [
+            (e.query, e.match) for e in expected
+        ]
+
+    def test_mixed_modes_share_a_stream(self, rng):
+        # Bankable plain queries alongside a path-recording one: the
+        # latter takes the per-query path but events still interleave
+        # in registration order.
+        pattern = rng.normal(size=5)
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query("plain_a", pattern, epsilon=1e-9)
+        monitor.add_query("pathy", pattern, epsilon=1e-9, record_path=True)
+        monitor.add_query("plain_b", pattern, epsilon=1e-9)
+        events = monitor.push_many("s", _pattern_stream(rng, pattern))
+        events += monitor.flush()
+        assert [e.query for e in events] == ["plain_a", "pathy", "plain_b"]
+        assert events[1].match.path is not None

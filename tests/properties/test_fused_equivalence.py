@@ -1,0 +1,195 @@
+"""Property tests: fused and blocked execution are invisible optimisations.
+
+Every fast path added for throughput — :class:`repro.core.FusedSpring`
+(query fusion), :meth:`Spring.extend` blocking, and the blocked
+:func:`spring_search` — must emit byte-identical ``(start, end,
+output_time)`` tuples and rel-tol-equal distances versus the reference
+per-tick :class:`Spring` loop, on random walks, NaN-bearing streams, and
+tied-cost streams, including ragged query lengths in a padded bank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FusedSpring, QueryBank, Spring, spring_search
+
+finite_floats = st.floats(
+    min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+# Integer-valued streams collapse many local costs onto the same value,
+# so these strategies keep the Equation 5 tie-break order under constant
+# pressure while remaining exact in float64.
+tied_floats = st.integers(min_value=0, max_value=3).map(float)
+
+maybe_nan_floats = st.one_of(
+    finite_floats, st.just(float("nan")), st.just(float("nan"))
+)
+
+
+def sequences(elements, min_size, max_size):
+    return st.lists(elements, min_size=min_size, max_size=max_size)
+
+
+def query_banks(elements, max_queries=4, max_len=8):
+    return st.lists(
+        sequences(elements, 1, max_len), min_size=1, max_size=max_queries
+    )
+
+
+def reference_stream(queries, epsilons, stream):
+    """The ground-truth event stream from per-tick per-query Springs."""
+    springs = [Spring(q, epsilon=e) for q, e in zip(queries, epsilons)]
+    events = []
+    for value in stream:
+        for qi, spring in enumerate(springs):
+            match = spring.step(value)
+            if match is not None:
+                events.append((qi, match.start, match.end, match.output_time, match.distance))
+    for qi, spring in enumerate(springs):
+        match = spring.flush()
+        if match is not None:
+            events.append((qi, match.start, match.end, match.output_time, match.distance))
+    return events
+
+
+def assert_same_events(expected, got):
+    assert len(expected) == len(got)
+    for exp, act in zip(expected, got):
+        # (query, start, end, output_time) byte-identical; distance rel-tol.
+        assert exp[:4] == act[:4]
+        assert act[4] == pytest.approx(exp[4], rel=1e-9, abs=1e-12)
+
+
+def fused_stream(queries, epsilons, stream, use_extend):
+    engine = FusedSpring(QueryBank(queries, epsilons=epsilons))
+    if use_extend:
+        pairs = engine.extend(stream)
+    else:
+        pairs = [p for value in stream for p in engine.step(value)]
+    pairs.extend(engine.flush())
+    return [
+        (qi, m.start, m.end, m.output_time, m.distance) for qi, m in pairs
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    queries=query_banks(finite_floats),
+    stream=sequences(finite_floats, 1, 60),
+    epsilon=st.floats(min_value=0.1, max_value=50.0),
+    use_extend=st.booleans(),
+)
+def test_fused_matches_reference_on_random_values(
+    queries, stream, epsilon, use_extend
+):
+    epsilons = [epsilon] * len(queries)
+    expected = reference_stream(queries, epsilons, stream)
+    got = fused_stream(queries, epsilons, stream, use_extend)
+    assert_same_events(expected, got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    queries=query_banks(finite_floats),
+    stream=sequences(maybe_nan_floats, 1, 60),
+    epsilon=st.floats(min_value=0.1, max_value=50.0),
+    use_extend=st.booleans(),
+)
+def test_fused_matches_reference_with_nan_gaps(
+    queries, stream, epsilon, use_extend
+):
+    epsilons = [epsilon] * len(queries)
+    expected = reference_stream(queries, epsilons, stream)
+    got = fused_stream(queries, epsilons, stream, use_extend)
+    assert_same_events(expected, got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    queries=query_banks(tied_floats, max_queries=3, max_len=6),
+    stream=sequences(tied_floats, 1, 80),
+    epsilon=st.floats(min_value=0.5, max_value=20.0),
+    use_extend=st.booleans(),
+)
+def test_fused_matches_reference_on_tied_costs(
+    queries, stream, epsilon, use_extend
+):
+    epsilons = [epsilon] * len(queries)
+    expected = reference_stream(queries, epsilons, stream)
+    got = fused_stream(queries, epsilons, stream, use_extend)
+    assert_same_events(expected, got)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lengths=st.lists(
+        st.integers(min_value=1, max_value=9), min_size=2, max_size=5, unique=True
+    ),
+    stream=sequences(finite_floats, 1, 60),
+    epsilon=st.floats(min_value=0.1, max_value=50.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_ragged_padded_bank_matches_reference(lengths, stream, epsilon, seed):
+    """Unique lengths guarantee a genuinely ragged (padded) bank."""
+    gen = np.random.default_rng(seed)
+    queries = [gen.normal(size=m).tolist() for m in lengths]
+    epsilons = [epsilon] * len(queries)
+    bank = QueryBank(queries, epsilons=epsilons)
+    assert bank.ragged
+    expected = reference_stream(queries, epsilons, stream)
+    got = fused_stream(queries, epsilons, stream, use_extend=True)
+    assert_same_events(expected, got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stream=sequences(finite_floats, 1, 120),
+    query=sequences(finite_floats, 1, 8),
+    epsilon=st.floats(min_value=0.1, max_value=50.0),
+    block_size=st.integers(min_value=1, max_value=64),
+)
+def test_blocked_search_matches_per_tick_loop(stream, query, epsilon, block_size):
+    """spring_search at any block size reproduces the per-tick loop."""
+    spring = Spring(query, epsilon=epsilon)
+    expected = [m for m in (spring.step(v) for v in stream) if m is not None]
+    final = spring.flush()
+    if final is not None:
+        expected.append(final)
+
+    got = spring_search(stream, query, epsilon=epsilon, block_size=block_size)
+
+    assert len(expected) == len(got)
+    for exp, act in zip(expected, got):
+        assert (exp.start, exp.end, exp.output_time) == (
+            act.start,
+            act.end,
+            act.output_time,
+        )
+        assert act.distance == pytest.approx(exp.distance, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    stream=sequences(maybe_nan_floats, 1, 80),
+    query=sequences(finite_floats, 1, 6),
+    epsilon=st.floats(min_value=0.1, max_value=50.0),
+    block_size=st.integers(min_value=1, max_value=32),
+)
+def test_blocked_extend_matches_step_with_nans(stream, query, epsilon, block_size):
+    """Spring.extend handles NaN ticks exactly like per-value step."""
+    a = Spring(query, epsilon=epsilon)
+    expected = [m for m in (a.step(v) for v in stream) if m is not None]
+
+    b = Spring(query, epsilon=epsilon)
+    got = b.extend(stream, block_size=block_size)
+
+    assert a._tick == b._tick
+    np.testing.assert_array_equal(a._state.d, b._state.d)
+    np.testing.assert_array_equal(a._state.s, b._state.s)
+    assert [(m.start, m.end, m.output_time) for m in expected] == [
+        (m.start, m.end, m.output_time) for m in got
+    ]

@@ -18,6 +18,20 @@ def sequences(min_size, max_size):
     return st.lists(finite_floats, min_size=min_size, max_size=max_size)
 
 
+# Values on a quarter grid make every squared difference a multiple of
+# 1/16, so accumulated distances and their k-fold sums are *exact* in
+# float64.  The duplicated-channels property below compares how scalar
+# and k-channel runs break distance ties; with inexact floats a tie on
+# one side can round to a non-tie on the other (e.g. x=[1.0, 0.25, 0.25],
+# y=[1.1, 0.0, 0.0]: the scalar run ties ends 2 and 3 while the tripled
+# run does not), so the property only genuinely holds on an exact grid.
+quarter_floats = st.integers(min_value=-80, max_value=80).map(lambda n: n / 4.0)
+
+
+def quarter_sequences(min_size, max_size):
+    return st.lists(quarter_floats, min_size=min_size, max_size=max_size)
+
+
 def _drain(matcher, values):
     matches = matcher.extend(values)
     final = matcher.flush()
@@ -67,9 +81,9 @@ def test_vector_k1_equals_scalar(x, y, epsilon):
 
 @settings(max_examples=25, deadline=None)
 @given(
-    x=sequences(2, 30),
-    y=sequences(1, 4),
-    epsilon=st.floats(min_value=0.1, max_value=30.0),
+    x=quarter_sequences(2, 30),
+    y=quarter_sequences(1, 4),
+    epsilon=st.integers(min_value=1, max_value=120).map(lambda n: n / 4.0),
     k=st.integers(min_value=2, max_value=4),
 )
 def test_duplicated_channels_scale_distances_by_k(x, y, epsilon, k):

@@ -11,6 +11,7 @@ import doctest
 
 import pytest
 
+import repro.core.fused
 import repro.core.spring
 import repro.core.monitor
 import repro.core.topk
@@ -19,6 +20,7 @@ import repro.dtw.search
 MODULES_WITH_EXAMPLES = [
     repro.core.spring,
     repro.core.monitor,
+    repro.core.fused,
 ]
 
 
