@@ -27,7 +27,12 @@ Package map
     sliding-window Euclidean matcher.
 ``repro.streams``
     Stream plumbing: sources, ring buffers, running statistics,
-    noise/dropout/time-scale transforms.
+    noise/dropout/time-scale transforms, and deterministic fault
+    injectors for chaos testing.
+``repro.runtime``
+    The resilient runtime: supervised ingestion with retry/backoff,
+    per-stream quarantine, dead-lettered callbacks, and
+    crash-consistent checkpoint/resume.
 ``repro.datasets``
     Generators for the paper's workloads: MaskedChirp, temperature,
     seismic bursts, sunspots, and synthetic motion capture.
@@ -57,14 +62,28 @@ from repro.core import (
 )
 from repro.dtw import dtw_distance
 from repro.exceptions import ReproError, ValidationError
+from repro.runtime import (
+    CheckpointManager,
+    DeadLetter,
+    RetryPolicy,
+    RunReport,
+    StreamHealth,
+    SupervisedRunner,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CascadeSpring",
+    "CheckpointManager",
     "ConstrainedSpring",
+    "DeadLetter",
     "FusedSpring",
     "QueryBank",
+    "RetryPolicy",
+    "RunReport",
+    "StreamHealth",
+    "SupervisedRunner",
     "TopKSpring",
     "dump_json",
     "load_json",

@@ -7,9 +7,10 @@ Commands
 ``fig1 / fig6 / table2 / fig7 / fig8 / fig9``
     Reproduce one of the paper's figures or tables (``--scale`` shrinks
     the workload, ``--seed`` varies the data).
-``ablations / multistream / robustness / ecg``
+``ablations / multistream / robustness / resilience / ecg``
     Beyond-paper studies (design ablations, multi-stream scaling,
-    noise x stretch robustness, the ECG case study).
+    noise x stretch robustness, fault-injection resilience, the ECG
+    case study).
 ``all``
     Run every experiment in sequence (the EXPERIMENTS.md refresh).
 ``generate``
@@ -17,6 +18,10 @@ Commands
 ``monitor``
     Stream a CSV column through SPRING with a query from another CSV,
     printing matches as they are confirmed — the library as a tool.
+    With ``--checkpoint-dir`` the run goes through the supervised
+    runtime: transient read errors retry with backoff, and progress is
+    snapshotted atomically so ``--resume`` continues a killed run with
+    byte-identical match output.
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ablations",
         "multistream",
         "robustness",
+        "resilience",
         "ecg",
         "all",
     ):
@@ -83,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="query value column (0-based)")
     mon.add_argument("--no-header", action="store_true",
                      help="CSV files have no header row")
+    mon.add_argument("--strict-csv", action="store_true",
+                     help="raise on malformed (unparseable) CSV cells "
+                          "instead of treating them as missing")
+    mon.add_argument("--checkpoint-dir", default=None,
+                     help="run supervised with atomic snapshots in this "
+                          "directory (enables --resume)")
+    mon.add_argument("--checkpoint-every", type=int, default=100,
+                     help="snapshot cadence in ticks (default 100)")
+    mon.add_argument("--resume", action="store_true",
+                     help="restore the newest snapshot from "
+                          "--checkpoint-dir and continue the run")
     return parser
 
 
@@ -128,6 +145,60 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
+    from repro.core.monitor import StreamMonitor
+    from repro.runtime import CheckpointManager, SupervisedRunner
+
+    source = CsvSource(args.stream_csv, columns=args.column,
+                       skip_header=not args.no_header,
+                       strict=args.strict_csv)
+    manager = CheckpointManager(args.checkpoint_dir)
+    if args.resume:
+        # The snapshot carries query and epsilon; CLI args are ignored.
+        runner = SupervisedRunner.resume(
+            [source], manager, checkpoint_every=args.checkpoint_every
+        )
+        print(f"resumed from snapshot at tick {runner.resumed_from}")
+    else:
+        monitor = StreamMonitor(keep_history=False)
+        monitor.add_query("query", query, epsilon=args.epsilon)
+        runner = SupervisedRunner(
+            monitor, [source], checkpoint=manager,
+            checkpoint_every=args.checkpoint_every,
+        )
+
+    count = 0
+
+    def on_match(event) -> None:
+        nonlocal count
+        count += 1
+        match = event.match
+        reported = (
+            f" (reported at tick {match.output_time})"
+            if match.output_time is not None
+            else " (at end of stream)"
+        )
+        print(
+            f"match #{count}: ticks {match.start}..{match.end} "
+            f"distance {match.distance:.6g}{reported}"
+        )
+
+    runner.subscribe(on_match)
+    report = runner.run()
+    health = report.health[source.name]
+    print(
+        f"{report.ticks} ticks processed (watermark {report.watermark}), "
+        f"{count} matches, {health.retries} retries, "
+        f"{report.checkpoints} snapshots"
+    )
+    if source.malformed_count:
+        print(f"warning: {source.malformed_count} malformed CSV cells")
+    if health.quarantined:
+        print(f"stream quarantined: {health.quarantine_reason}")
+        return 1
+    return 0
+
+
 def _run_monitor(args: argparse.Namespace) -> int:
     query = np.asarray(
         list(CsvSource(args.query_csv, columns=args.query_column,
@@ -135,9 +206,14 @@ def _run_monitor(args: argparse.Namespace) -> int:
         dtype=np.float64,
     )
     query = query[~np.isnan(query)]
+    if args.checkpoint_dir is not None:
+        return _run_monitor_supervised(args, query)
+    if args.resume:
+        raise SystemExit("--resume needs --checkpoint-dir")
     spring = Spring(query, epsilon=args.epsilon)
     source = CsvSource(args.stream_csv, columns=args.column,
-                       skip_header=not args.no_header)
+                       skip_header=not args.no_header,
+                       strict=args.strict_csv)
     count = 0
     for value in source:
         match = spring.step(value)
@@ -156,6 +232,8 @@ def _run_monitor(args: argparse.Namespace) -> int:
             f"{final.start}..{final.end} distance {final.distance:.6g}"
         )
     print(f"{spring.tick} ticks processed, {count} matches")
+    if source.malformed_count:
+        print(f"warning: {source.malformed_count} malformed CSV cells")
     return 0
 
 

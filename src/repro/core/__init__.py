@@ -21,8 +21,10 @@ from repro.core.cascade import CascadeSpring
 from repro.core.fused import FusedSpring, QueryBank
 from repro.core.checkpoint import (
     dump_json,
+    dump_monitor_json,
     load_json,
     load_monitor,
+    load_monitor_json,
     load_state,
     save_monitor,
     save_state,
@@ -42,8 +44,10 @@ __all__ = [
     "QueryBank",
     "TopKSpring",
     "dump_json",
+    "dump_monitor_json",
     "load_json",
     "load_monitor",
+    "load_monitor_json",
     "load_state",
     "save_monitor",
     "save_state",

@@ -36,6 +36,8 @@ __all__ = [
     "load_json",
     "save_monitor",
     "load_monitor",
+    "dump_monitor_json",
+    "load_monitor_json",
 ]
 
 _FORMAT_VERSION = 1
@@ -47,16 +49,46 @@ _CLASSES = {
 }
 
 
+def _encode_float(value: float) -> object:
+    """One float to a strictly JSON-safe value.
+
+    Non-finite values become the strings ``"inf"`` / ``"-inf"`` /
+    ``"nan"`` so the payload never depends on Python's non-standard
+    ``Infinity``/``NaN`` JSON tokens (rejected by most other parsers,
+    and by our own ``allow_nan=False`` serialisation).
+    """
+    if np.isnan(value):
+        return "nan"
+    if np.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return float(value)
+
+
+def _decode_float(value: object) -> float:
+    """Inverse of :func:`_encode_float`.
+
+    Also accepts legacy payloads: raw non-finite floats that
+    ``json.loads`` produced from the non-standard tokens older versions
+    of :func:`dump_json` emitted.
+    """
+    if isinstance(value, str):
+        if value == "inf":
+            return np.inf
+        if value == "-inf":
+            return -np.inf
+        if value == "nan":
+            return float("nan")
+        raise ValidationError(f"unrecognised encoded float {value!r}")
+    return float(value)  # type: ignore[arg-type]
+
+
 def _encode_floats(values: np.ndarray) -> List[object]:
-    """Floats to a JSON-safe list ('inf' strings for infinities)."""
-    return [("inf" if np.isinf(v) else float(v)) for v in values]
+    """Floats to a JSON-safe list (strings for non-finite values)."""
+    return [_encode_float(v) for v in values]
 
 
 def _decode_floats(values: List[object]) -> np.ndarray:
-    return np.array(
-        [np.inf if v == "inf" else float(v) for v in values],
-        dtype=np.float64,
-    )
+    return np.array([_decode_float(v) for v in values], dtype=np.float64)
 
 
 def _encode_node(node) -> Optional[List[List[int]]]:
@@ -91,21 +123,17 @@ def save_state(spring: Spring) -> Dict[str, object]:
         "format_version": _FORMAT_VERSION,
         "class": type(spring).__name__,
         "query": spring._query.tolist(),
-        "epsilon": "inf" if np.isinf(spring.epsilon) else float(spring.epsilon),
+        "epsilon": _encode_float(spring.epsilon),
         "record_path": spring.record_path,
         "missing": spring.missing,
         "use_reference": spring.use_reference,
         "tick": spring._tick,
         "d": _encode_floats(spring._state.d),
         "s": spring._state.s.tolist(),
-        "dmin": "inf" if np.isinf(spring._dmin) else float(spring._dmin),
+        "dmin": _encode_float(spring._dmin),
         "ts": spring._ts,
         "te": spring._te,
-        "best_distance": (
-            "inf"
-            if np.isinf(spring._best_distance)
-            else float(spring._best_distance)
-        ),
+        "best_distance": _encode_float(spring._best_distance),
         "best_start": spring._best_start,
         "best_end": spring._best_end,
     }
@@ -137,7 +165,7 @@ def load_state(state: Dict[str, object]) -> Spring:
     query = np.asarray(state["query"], dtype=np.float64)
     if not issubclass(cls, VectorSpring):
         query = query.reshape(-1)  # scalar matchers validate 1-D queries
-    epsilon = np.inf if state["epsilon"] == "inf" else float(state["epsilon"])  # type: ignore[arg-type]
+    epsilon = _decode_float(state["epsilon"])
     kwargs = dict(
         epsilon=epsilon,
         record_path=bool(state["record_path"]),
@@ -153,14 +181,10 @@ def load_state(state: Dict[str, object]) -> Spring:
     spring._tick = int(state["tick"])  # type: ignore[arg-type]
     spring._state.d = _decode_floats(state["d"])  # type: ignore[arg-type]
     spring._state.s = np.asarray(state["s"], dtype=np.int64)
-    spring._dmin = np.inf if state["dmin"] == "inf" else float(state["dmin"])  # type: ignore[arg-type]
+    spring._dmin = _decode_float(state["dmin"])
     spring._ts = int(state["ts"])  # type: ignore[arg-type]
     spring._te = int(state["te"])  # type: ignore[arg-type]
-    spring._best_distance = (
-        np.inf
-        if state["best_distance"] == "inf"
-        else float(state["best_distance"])  # type: ignore[arg-type]
-    )
+    spring._best_distance = _decode_float(state["best_distance"])
     spring._best_start = int(state["best_start"])  # type: ignore[arg-type]
     spring._best_end = int(state["best_end"])  # type: ignore[arg-type]
     if spring.record_path:
@@ -174,12 +198,23 @@ def load_state(state: Dict[str, object]) -> Spring:
 
 
 def dump_json(spring: Spring) -> str:
-    """Checkpoint to a JSON string."""
-    return json.dumps(save_state(spring))
+    """Checkpoint to a strictly-standard JSON string.
+
+    Serialised with ``allow_nan=False``: every non-finite float is
+    encoded explicitly (``"inf"`` / ``"-inf"`` / ``"nan"`` strings), so
+    the payload round-trips through any spec-compliant JSON parser, not
+    just Python's.
+    """
+    return json.dumps(save_state(spring), allow_nan=False)
 
 
 def load_json(payload: str) -> Spring:
-    """Restore from :func:`dump_json` output."""
+    """Restore from :func:`dump_json` output (legacy payloads accepted).
+
+    Files written before NaN hardening may contain Python's
+    non-standard ``Infinity``/``NaN`` tokens; ``json.loads`` parses them
+    by default and the decoder maps them back.
+    """
     return load_state(json.loads(payload))
 
 
@@ -204,7 +239,7 @@ def save_monitor(monitor) -> Dict[str, object]:
     for name, spec in monitor._queries.items():
         queries[name] = {
             "query": spec.query.tolist(),
-            "epsilon": "inf" if np.isinf(spec.epsilon) else spec.epsilon,
+            "epsilon": _encode_float(spec.epsilon),
             "vector": spec.vector,
             "kwargs": {
                 k: v for k, v in spec.kwargs.items() if k != "local_distance"
@@ -233,7 +268,7 @@ def load_monitor(state: Dict[str, object]):
         )
     monitor = StreamMonitor()
     for name, spec in state["queries"].items():  # type: ignore[union-attr]
-        epsilon = np.inf if spec["epsilon"] == "inf" else float(spec["epsilon"])
+        epsilon = _decode_float(spec["epsilon"])
         monitor.add_query(
             name,
             spec["query"],
@@ -246,3 +281,13 @@ def load_monitor(state: Dict[str, object]):
         for query_name, matcher_state in per_stream.items():
             monitor._matchers[stream][query_name] = load_state(matcher_state)
     return monitor
+
+
+def dump_monitor_json(monitor) -> str:
+    """Whole-monitor checkpoint to a strictly-standard JSON string."""
+    return json.dumps(save_monitor(monitor), allow_nan=False)
+
+
+def load_monitor_json(payload: str):
+    """Restore a monitor from :func:`dump_monitor_json` output."""
+    return load_monitor(json.loads(payload))

@@ -102,6 +102,12 @@ class StreamMonitor:
         Optional cap on retained events; when set, :attr:`history` keeps
         only the most recent ``history_limit`` events (deque-backed, so
         old events fall off in O(1)).
+    on_callback_error:
+        Optional handler ``(event, exception) -> None``.  When set, an
+        exception raised by a subscribed callback is caught and handed
+        to it — the push loop and the remaining callbacks keep running.
+        When ``None`` (default) callback exceptions propagate as before.
+        The supervised runtime points this at its dead-letter record.
 
     Example
     -------
@@ -115,10 +121,14 @@ class StreamMonitor:
         self,
         keep_history: bool = True,
         history_limit: Optional[int] = None,
+        on_callback_error: Optional[
+            Callable[[MatchEvent, Exception], None]
+        ] = None,
     ) -> None:
         self._queries: Dict[str, _QuerySpec] = {}
         self._matchers: Dict[str, Dict[str, Spring]] = {}
         self._callbacks: List[Callable[[MatchEvent], None]] = []
+        self.on_callback_error = on_callback_error
         if history_limit is not None:
             history_limit = int(history_limit)
             if history_limit < 1:
@@ -370,4 +380,10 @@ class StreamMonitor:
             self._history.extend(events)
         for event in events:
             for callback in self._callbacks:
-                callback(event)
+                if self.on_callback_error is None:
+                    callback(event)
+                    continue
+                try:
+                    callback(event)
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    self.on_callback_error(event, exc)

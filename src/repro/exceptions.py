@@ -40,5 +40,22 @@ class StreamExhaustedError(ReproError, RuntimeError):
     """A stream source was read past its end."""
 
 
+class TransientStreamError(ReproError, IOError):
+    """A stream read failed in a way that is expected to heal on retry.
+
+    Raised by fault injectors (:mod:`repro.streams.faults`) and intended
+    for real sources wrapping flaky transports.  Inherits from
+    :class:`IOError` so generic retry loops classify it correctly.
+    """
+
+
+class MalformedRecordError(ReproError, ValueError):
+    """A stream record could not be parsed (strict-mode sources)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, found, or restored."""
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An evaluation experiment could not be run as configured."""

@@ -1,0 +1,33 @@
+"""Resilient runtime: supervised ingestion and crash-consistent recovery.
+
+* :class:`~repro.runtime.supervisor.SupervisedRunner` — the ingestion
+  loop with retry/backoff, per-stream quarantine, dead-lettered
+  callbacks, and periodic snapshots.
+* :class:`~repro.runtime.policy.RetryPolicy` — transient/fatal
+  classification and exponential backoff with seeded jitter.
+* :class:`~repro.runtime.checkpointer.CheckpointManager` — atomic
+  write-rename snapshots under a monotonic tick watermark, with
+  tolerant newest-good recovery.
+
+Pair with :mod:`repro.streams.faults` to chaos-test the whole stack.
+"""
+
+from repro.runtime.checkpointer import CheckpointManager
+from repro.runtime.policy import FATAL, TRANSIENT, RetryPolicy
+from repro.runtime.supervisor import (
+    DeadLetter,
+    RunReport,
+    StreamHealth,
+    SupervisedRunner,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "DeadLetter",
+    "FATAL",
+    "RetryPolicy",
+    "RunReport",
+    "StreamHealth",
+    "SupervisedRunner",
+    "TRANSIENT",
+]

@@ -1,0 +1,162 @@
+"""Crash-consistent snapshot management for supervised monitors.
+
+:class:`CheckpointManager` turns :func:`repro.core.checkpoint.save_monitor`
+into something a process can die on top of:
+
+* **Atomic snapshots.**  Each snapshot is serialised to a temp file in
+  the same directory, fsynced, then ``os.replace``-d into place — a
+  reader (including a restarted run) never observes a half-written file.
+* **Monotonic watermarks.**  A snapshot is named by the total tick count
+  it covers (``checkpoint-000000000042.json``); the directory listing
+  *is* the recovery log, newest first.
+* **Tolerant recovery.**  :meth:`latest` walks snapshots newest-first
+  and skips anything unreadable (a crash mid-``os.replace`` on exotic
+  filesystems, manual truncation, cosmic rays), falling back to the
+  previous good one — so recovery succeeds whenever at least one intact
+  snapshot exists.
+
+The snapshot payload carries, besides the serialised monitor, the exact
+replay cursor (per-stream tick counts) and the number of events emitted
+up to the watermark — everything :class:`~repro.runtime.SupervisedRunner`
+needs to resume and re-emit a byte-identical event suffix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.checkpoint import load_monitor, save_monitor
+from repro.exceptions import CheckpointError, ValidationError
+
+__all__ = ["CheckpointManager"]
+
+_SNAPSHOT_VERSION = 1
+_PREFIX = "checkpoint-"
+_SUFFIX = ".json"
+
+
+class CheckpointManager:
+    """Write, rotate, and recover atomic monitor snapshots.
+
+    Parameters
+    ----------
+    directory:
+        Snapshot directory; created on first save.
+    keep:
+        How many most-recent snapshots to retain (older ones are pruned
+        after each successful save).  At least 2 is recommended so a
+        corrupt newest file still leaves a recovery point.
+    """
+
+    def __init__(self, directory: Union[str, Path], keep: int = 3) -> None:
+        self.directory = Path(directory)
+        keep = int(keep)
+        if keep < 1:
+            raise ValidationError(f"keep must be >= 1, got {keep}")
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        monitor,
+        watermark: int,
+        stream_ticks: Optional[Dict[str, int]] = None,
+        events_emitted: int = 0,
+    ) -> Path:
+        """Atomically persist a snapshot at ``watermark`` total ticks."""
+        watermark = int(watermark)
+        if watermark < 0:
+            raise ValidationError(f"watermark must be >= 0, got {watermark}")
+        payload = {
+            "snapshot_version": _SNAPSHOT_VERSION,
+            "watermark": watermark,
+            "stream_ticks": {
+                str(k): int(v) for k, v in (stream_ticks or {}).items()
+            },
+            "events_emitted": int(events_emitted),
+            "monitor": save_monitor(monitor),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.directory / f"{_PREFIX}{watermark:012d}{_SUFFIX}"
+        tmp = final.with_suffix(final.suffix + ".tmp")
+        data = json.dumps(payload, allow_nan=False)
+        with open(tmp, "w") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        snapshots = self.snapshots()
+        for stale in snapshots[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - already gone / locked
+                pass
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def snapshots(self) -> List[Path]:
+        """Snapshot files, oldest first (watermark order)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.directory.iterdir()
+            if p.name.startswith(_PREFIX) and p.name.endswith(_SUFFIX)
+        )
+
+    def latest(self) -> Optional[Dict[str, object]]:
+        """Newest *readable* snapshot payload, or None when none exist.
+
+        Unreadable or structurally invalid files are skipped — the point
+        of crash consistency is that a bad newest file falls back to the
+        previous good one rather than wedging recovery.
+        """
+        for path in reversed(self.snapshots()):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if (
+                isinstance(payload, dict)
+                and payload.get("snapshot_version") == _SNAPSHOT_VERSION
+                and "monitor" in payload
+                and "watermark" in payload
+            ):
+                return payload
+        return None
+
+    def resume(self) -> Tuple[object, Dict[str, object]]:
+        """Restore ``(monitor, snapshot_meta)`` from the newest snapshot.
+
+        ``snapshot_meta`` is the payload minus the monitor state:
+        ``watermark``, ``stream_ticks`` and ``events_emitted``.  Raises
+        :class:`~repro.exceptions.CheckpointError` when no readable
+        snapshot exists.
+        """
+        payload = self.latest()
+        if payload is None:
+            raise CheckpointError(
+                f"no readable checkpoint under {self.directory}"
+            )
+        monitor = load_monitor(payload["monitor"])
+        meta = {
+            "watermark": int(payload["watermark"]),  # type: ignore[arg-type]
+            "stream_ticks": {
+                str(k): int(v)
+                for k, v in payload.get("stream_ticks", {}).items()  # type: ignore[union-attr]
+            },
+            "events_emitted": int(payload.get("events_emitted", 0)),  # type: ignore[arg-type]
+        }
+        return monitor, meta

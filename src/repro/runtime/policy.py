@@ -1,0 +1,101 @@
+"""Error classification and retry/backoff policy for supervised runs.
+
+One small object answers the three questions a supervisor asks when a
+stream pull raises: *is this worth retrying?* (:meth:`RetryPolicy.classify`),
+*how long do I wait before the next attempt?* (:meth:`RetryPolicy.delay`,
+exponential backoff with deterministic seeded jitter), and *when do I
+give up on the stream entirely?* (:attr:`RetryPolicy.quarantine_after`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Type
+
+import numpy as np
+
+from repro.exceptions import TransientStreamError, ValidationError
+
+__all__ = ["RetryPolicy", "TRANSIENT", "FATAL"]
+
+#: Classification labels returned by :meth:`RetryPolicy.classify`.
+TRANSIENT = "transient"
+FATAL = "fatal"
+
+
+@dataclass
+class RetryPolicy:
+    """Transient/fatal classification plus exponential backoff with jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total pull attempts per tick (first try included) before the
+        failure counts against the stream's quarantine budget.
+    base_delay / backoff / max_delay:
+        Attempt ``k`` (1-based) sleeps
+        ``min(max_delay, base_delay * backoff**(k-1))`` scaled by jitter.
+    jitter:
+        Fractional jitter: the delay is multiplied by a seeded uniform
+        draw from ``[1 - jitter, 1 + jitter]``.  Deterministic for a
+        given ``seed``, so supervised runs replay byte-identically.
+    transient_errors / fatal_errors:
+        Exception types classified as retryable / immediately fatal.
+        ``fatal_errors`` wins when a type appears in both.
+    quarantine_after:
+        Consecutive exhausted-retry failures after which the supervisor
+        quarantines the stream instead of pulling from it again.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    transient_errors: Tuple[Type[BaseException], ...] = (
+        TransientStreamError,
+        IOError,
+        TimeoutError,
+        ConnectionError,
+    )
+    fatal_errors: Tuple[Type[BaseException], ...] = ()
+    quarantine_after: int = 3
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ValidationError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.quarantine_after < 1:
+            raise ValidationError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    def classify(self, error: BaseException) -> str:
+        """Label an exception ``TRANSIENT`` (retry) or ``FATAL`` (give up)."""
+        if self.fatal_errors and isinstance(error, self.fatal_errors):
+            return FATAL
+        if isinstance(error, self.transient_errors):
+            return TRANSIENT
+        return FATAL
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jitter applied."""
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        scale = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return raw * scale

@@ -1,6 +1,14 @@
-"""Stream substrate: sources, ring buffers, running stats, transforms."""
+"""Stream substrate: sources, fault injectors, buffers, stats, transforms."""
 
 from repro.streams.buffer import RingBuffer
+from repro.streams.faults import (
+    CorruptSource,
+    DropSource,
+    DuplicateSource,
+    FaultInjector,
+    FlakySource,
+    StallSource,
+)
 from repro.streams.source import (
     ArraySource,
     CsvSource,
@@ -24,8 +32,14 @@ __all__ = [
     "RollingMean",
     "RingBuffer",
     "ArraySource",
+    "CorruptSource",
     "CsvSource",
+    "DropSource",
+    "DuplicateSource",
+    "FaultInjector",
+    "FlakySource",
     "GeneratorSource",
+    "StallSource",
     "StreamSource",
     "interleave",
     "EwmStats",

@@ -1,0 +1,225 @@
+"""Composable, deterministic fault injectors for stream sources.
+
+Real deployments do not look like the paper's clean traces: sensors
+drop ticks, transports retry, loggers duplicate, ADCs glitch readings
+into garbage, and links stall.  Each wrapper here takes any
+:class:`~repro.streams.source.StreamSource` and returns another source
+that injects exactly one failure mode, so chaos tests (and the
+``resilience`` experiment) can compose the zoo they need::
+
+    faulty = DropSource(DuplicateSource(ArraySource(xs), seed=1), seed=2)
+
+Every injector draws from its own ``numpy`` generator seeded at
+``seed``, re-seeded at the start of every iteration — the same wrapper
+replayed over a replayable inner source injects the *identical* fault
+pattern, which is what makes the chaos suite assertable.
+
+:class:`FlakySource` is the odd one out: it injects *control-flow*
+faults (raising :class:`~repro.exceptions.TransientStreamError` from
+``__next__``) rather than data faults, and it guarantees the tick that
+triggered the failure is not lost — the next ``__next__`` call after an
+injected error delivers it.  That is the contract a retrying supervisor
+(:class:`~repro.runtime.SupervisedRunner`) needs for exactness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import TransientStreamError, ValidationError
+from repro.streams.source import StreamSource
+
+__all__ = [
+    "FaultInjector",
+    "FlakySource",
+    "DropSource",
+    "DuplicateSource",
+    "CorruptSource",
+    "StallSource",
+]
+
+
+class FaultInjector(StreamSource):
+    """Base class: a seeded, deterministic wrapper around another source."""
+
+    def __init__(
+        self,
+        source: StreamSource,
+        rate: float,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(source, StreamSource):
+            raise ValidationError(
+                f"fault injectors wrap StreamSource, got {type(source).__name__}"
+            )
+        if not 0.0 <= float(rate) <= 1.0:
+            raise ValidationError(f"rate must be in [0, 1], got {rate}")
+        super().__init__(name if name is not None else source.name)
+        self.source = source
+        self.rate = float(rate)
+        self.seed = int(seed)
+        #: Faults injected by the most recent (or current) iteration.
+        self.injected = 0
+
+    def _fresh_rng(self) -> np.random.Generator:
+        """Per-iteration generator: replays inject identical faults."""
+        self.injected = 0
+        return np.random.default_rng(self.seed)
+
+
+class _FlakyIterator:
+    """Iterator that raises transient errors *without* losing the tick."""
+
+    def __init__(self, flaky: "FlakySource") -> None:
+        self._flaky = flaky
+        self._inner = iter(flaky.source)
+        self._rng = flaky._fresh_rng()
+        self._pending: Optional[object] = None
+        self._has_pending = False
+        self._consecutive = 0
+
+    def __iter__(self) -> "_FlakyIterator":
+        return self
+
+    def __next__(self) -> object:
+        if not self._has_pending:
+            # May raise StopIteration: exhaustion is not a fault.
+            self._pending = next(self._inner)
+            self._has_pending = True
+        flaky = self._flaky
+        limit = flaky.max_consecutive
+        if (
+            (limit is None or self._consecutive < limit)
+            and self._rng.random() < flaky.rate
+        ):
+            self._consecutive += 1
+            flaky.injected += 1
+            raise flaky.error(
+                f"injected transient failure on stream {flaky.name!r} "
+                f"(attempt {self._consecutive})"
+            )
+        self._consecutive = 0
+        value, self._pending, self._has_pending = self._pending, None, False
+        return value
+
+
+class FlakySource(FaultInjector):
+    """Raise seeded transient errors from ``__next__``; never lose a tick.
+
+    Parameters
+    ----------
+    rate:
+        Per-attempt probability of raising instead of delivering.
+    max_consecutive:
+        Optional cap on back-to-back failures for one tick; ``None``
+        lets streaks run as long as the dice decide (a retry policy with
+        fewer attempts than a streak will then see the pull as fatal —
+        exactly the scenario quarantine exists for).
+    error:
+        Exception type to raise (default
+        :class:`~repro.exceptions.TransientStreamError`).
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        rate: float = 0.1,
+        seed: int = 0,
+        max_consecutive: Optional[int] = 2,
+        error: Callable[[str], BaseException] = TransientStreamError,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(source, rate, seed, name)
+        if max_consecutive is not None and int(max_consecutive) < 1:
+            raise ValidationError(
+                f"max_consecutive must be >= 1 or None, got {max_consecutive}"
+            )
+        self.max_consecutive = (
+            None if max_consecutive is None else int(max_consecutive)
+        )
+        self.error = error
+
+    def __iter__(self) -> Iterator[object]:
+        return _FlakyIterator(self)
+
+
+class DropSource(FaultInjector):
+    """Silently drop ticks with probability ``rate`` (lossy sensor link)."""
+
+    def __iter__(self) -> Iterator[object]:
+        rng = self._fresh_rng()
+        for value in self.source:
+            if rng.random() < self.rate:
+                self.injected += 1
+                continue
+            yield value
+
+
+class DuplicateSource(FaultInjector):
+    """Deliver ticks twice with probability ``rate`` (at-least-once replay)."""
+
+    def __iter__(self) -> Iterator[object]:
+        rng = self._fresh_rng()
+        for value in self.source:
+            yield value
+            if rng.random() < self.rate:
+                self.injected += 1
+                yield value
+
+
+class CorruptSource(FaultInjector):
+    """Replace readings with NaN with probability ``rate`` (glitched ADC).
+
+    NaN is the missing-value marker the matchers' ``missing`` policies
+    already understand, so corruption degrades into the paper's gappy-
+    sensor setting instead of poisoning the warping matrix.
+    """
+
+    def __iter__(self) -> Iterator[object]:
+        rng = self._fresh_rng()
+        for value in self.source:
+            if rng.random() < self.rate:
+                self.injected += 1
+                if isinstance(value, np.ndarray):
+                    yield np.full_like(
+                        np.asarray(value, dtype=np.float64), np.nan
+                    )
+                else:
+                    yield float("nan")
+            else:
+                yield value
+
+
+class StallSource(FaultInjector):
+    """Stall before delivering with probability ``rate`` (congested link).
+
+    Data is unchanged — only latency is injected.  ``sleep`` is
+    injectable so tests assert the stall schedule without waiting it out.
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        rate: float = 0.05,
+        seed: int = 0,
+        delay: float = 0.01,
+        sleep: Callable[[float], None] = time.sleep,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(source, rate, seed, name)
+        if float(delay) < 0:
+            raise ValidationError(f"delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+        self.sleep = sleep
+
+    def __iter__(self) -> Iterator[object]:
+        rng = self._fresh_rng()
+        for value in self.source:
+            if rng.random() < self.rate:
+                self.injected += 1
+                self.sleep(self.delay)
+            yield value

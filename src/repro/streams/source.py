@@ -15,7 +15,11 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.exceptions import StreamExhaustedError, ValidationError
+from repro.exceptions import (
+    MalformedRecordError,
+    StreamExhaustedError,
+    ValidationError,
+)
 
 __all__ = [
     "StreamSource",
@@ -82,7 +86,9 @@ class GeneratorSource(StreamSource):
 
     The generator is consumed once; iterating a second time raises
     :class:`~repro.exceptions.StreamExhaustedError` to catch the classic
-    silently-empty-second-pass bug.
+    silently-empty-second-pass bug.  :meth:`take` pulls exactly ``n``
+    ticks and leaves the remainder consumable, so peeking at a prefix
+    does not destroy the stream.
     """
 
     def __init__(self, generator: Iterable[object], name: str = "generator") -> None:
@@ -97,13 +103,39 @@ class GeneratorSource(StreamSource):
         iterator, self._iterator = self._iterator, None
         return iterator
 
+    def take(self, n: int) -> List[object]:
+        """Pull up to ``n`` ticks without consuming the rest.
+
+        Unlike the base implementation (which routes through
+        ``__iter__`` and would hand the whole one-shot iterator away),
+        this pulls item-by-item: after ``take(n)`` the remaining ticks
+        are still iterable.  If the generator ends inside the ``take``,
+        the source is exhausted exactly as if it had been iterated out.
+        """
+        if self._iterator is None:
+            raise StreamExhaustedError(
+                f"stream {self.name!r} was already consumed"
+            )
+        out: List[object] = []
+        for _ in range(max(0, int(n))):
+            try:
+                out.append(next(self._iterator))
+            except StopIteration:
+                self._iterator = None
+                break
+        return out
+
 
 class CsvSource(StreamSource):
     """Stream one column (or several, as vectors) out of a CSV file.
 
-    Empty cells and unparseable fields become NaN — the missing-value
-    marker SPRING's ``missing="skip"`` policy understands — mirroring the
-    Temperature dataset's gappy sensor readings.
+    Empty cells become NaN — the missing-value marker SPRING's
+    ``missing="skip"`` policy understands — mirroring the Temperature
+    dataset's gappy sensor readings.  *Malformed* cells (non-empty but
+    unparseable, or a missing column in a short row) also become NaN by
+    default, but are counted in :attr:`malformed_count` so data-quality
+    problems stay observable; with ``strict=True`` they raise
+    :class:`~repro.exceptions.MalformedRecordError` instead.
     """
 
     def __init__(
@@ -113,6 +145,7 @@ class CsvSource(StreamSource):
         skip_header: bool = True,
         delimiter: str = ",",
         name: Optional[str] = None,
+        strict: bool = False,
     ) -> None:
         self.path = Path(path)
         super().__init__(name if name is not None else self.path.stem)
@@ -126,43 +159,63 @@ class CsvSource(StreamSource):
                 raise ValidationError("columns must not be empty")
         self.skip_header = bool(skip_header)
         self.delimiter = delimiter
+        self.strict = bool(strict)
+        #: Malformed cells seen by the most recent (or current) iteration.
+        self.malformed_count = 0
 
     def __iter__(self) -> Iterator[object]:
+        self.malformed_count = 0  # per-pass counter; the file is replayable
         with open(self.path, newline="") as handle:
             reader = csv.reader(handle, delimiter=self.delimiter)
             if self.skip_header:
                 next(reader, None)
-            for row in reader:
-                values = [self._parse(row, c) for c in self._columns]
+            for line, row in enumerate(reader, 2 if self.skip_header else 1):
+                values = [self._parse(row, c, line) for c in self._columns]
                 if self._scalar:
                     yield values[0]
                 else:
                     yield np.asarray(values, dtype=np.float64)
 
-    @staticmethod
-    def _parse(row: List[str], column: int) -> float:
+    def _parse(self, row: List[str], column: int, line: int) -> float:
         try:
             cell = row[column].strip()
         except IndexError:
-            return float("nan")
+            if not row:
+                return float("nan")  # blank line: a missing record
+            return self._malformed(
+                f"{self.path}:{line}: row has no column {column}"
+            )
         if not cell:
-            return float("nan")
+            return float("nan")  # genuinely missing reading, not malformed
         try:
             return float(cell)
         except ValueError:
-            return float("nan")
+            return self._malformed(
+                f"{self.path}:{line}: unparseable cell {cell!r}"
+            )
+
+    def _malformed(self, detail: str) -> float:
+        self.malformed_count += 1
+        if self.strict:
+            raise MalformedRecordError(detail)
+        return float("nan")
 
 
 def interleave(sources: Sequence[StreamSource]) -> Iterator[tuple]:
     """Round-robin ticks from several sources as ``(name, value)`` pairs.
 
     Stops when the shortest source ends — the synchronous multi-stream
-    setting of Section 5.3.
+    setting of Section 5.3.  Rounds are all-or-nothing: a whole round is
+    pulled before any of its ticks is yielded, so when one source runs
+    out mid-round the earlier sources do not leak an extra tick.
     """
     iterators = [(source.name, iter(source)) for source in sources]
     while True:
+        round_ticks = []
         for name, iterator in iterators:
             try:
-                yield name, next(iterator)
+                round_ticks.append((name, next(iterator)))
             except StopIteration:
                 return
+        for pair in round_ticks:
+            yield pair

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -128,3 +130,67 @@ class TestValidation:
 
         with pytest.raises(ValidationError):
             save_state(NormalizedSpring([1.0, 2.0]))  # type: ignore[arg-type]
+
+
+class TestStrictJson:
+    """NaN/Infinity hardening: payloads must be spec-compliant JSON."""
+
+    def test_no_nonstandard_tokens(self):
+        spring = Spring([1.0, 2.0, 3.0], epsilon=1.0)
+        spring.step(5.0)  # warping column now holds +inf entries
+        payload = dump_json(spring)
+        assert "Infinity" not in payload and "NaN" not in payload
+
+    def test_rejects_raw_nonfinite(self):
+        # allow_nan=False must be active: a raw NaN smuggled into the
+        # state dict fails loudly instead of emitting a NaN token.
+        state = save_state(Spring([1.0, 2.0]))
+        state["epsilon"] = float("nan")
+        with pytest.raises(ValueError):
+            json.dumps(state, allow_nan=False)
+
+    def test_round_trips_nonfinite_exactly(self):
+        spring = Spring([1.0, 2.0, 3.0], epsilon=0.5)
+        spring.step(9.0)
+        restored = load_json(dump_json(spring))
+        np.testing.assert_array_equal(restored._state.d, spring._state.d)
+        assert restored._dmin == spring._dmin
+        assert restored._best_distance == spring._best_distance
+
+    def test_accepts_legacy_nonstandard_payloads(self):
+        # Files written before hardening used Python's NaN/Infinity
+        # tokens for some fields; they must still load.
+        state = save_state(Spring([1.0, 2.0]))
+        legacy = json.dumps(state)  # default: emits bare tokens if any
+        legacy = legacy.replace('"dmin": "inf"', '"dmin": Infinity')
+        restored = load_json(legacy)
+        assert np.isinf(restored._dmin)
+
+    def test_unknown_encoded_string_rejected(self):
+        state = save_state(Spring([1.0, 2.0]))
+        state["epsilon"] = "huge"
+        with pytest.raises(ValidationError):
+            load_state(state)
+
+    def test_negative_infinity_encoding(self):
+        from repro.core.checkpoint import _decode_float, _encode_float
+
+        assert _encode_float(float("-inf")) == "-inf"
+        assert _decode_float("-inf") == -np.inf
+        assert _encode_float(float("nan")) == "nan"
+        assert np.isnan(_decode_float("nan"))
+
+
+class TestMonitorJsonHelpers:
+    def test_monitor_json_round_trip(self, rng):
+        from repro.core import StreamMonitor
+        from repro.core.checkpoint import dump_monitor_json, load_monitor_json
+
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query("q", rng.normal(size=4), epsilon=2.0)
+        monitor.push("s", 0.5)
+        payload = dump_monitor_json(monitor)
+        assert "Infinity" not in payload and "NaN" not in payload
+        restored = load_monitor_json(payload)
+        assert restored.matcher("s", "q").tick == 1

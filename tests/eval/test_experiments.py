@@ -130,6 +130,20 @@ class TestRobustness:
         assert result.summary["rigid_mean_f1_when_stretched"] < 0.5
 
 
+class TestResilience:
+    def test_chaos_suite_green(self):
+        result = get_experiment("resilience")(scale=0.05, seed=0)
+        assert result.summary["all_exact"] is True
+        assert result.summary["dead_letters"] > 0
+        # Every injector row reports exact recovery and isolation.
+        injectors = {row[0] for row in result.rows}
+        assert injectors == {
+            "none", "flaky", "drop", "duplicate", "corrupt", "stall"
+        }
+        for row in result.rows:
+            assert row[4] == "yes" and row[5] == "yes"
+
+
 class TestAblations:
     def test_headline_claims(self):
         result = get_experiment("ablations")(scale=0.12, seed=0)

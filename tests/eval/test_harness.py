@@ -63,6 +63,7 @@ class TestRegistry:
             "ablations",
             "multistream",
             "robustness",
+            "resilience",
         ):
             assert expected in names
 

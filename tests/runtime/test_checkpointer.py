@@ -1,0 +1,92 @@
+"""Unit tests for atomic snapshot management."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMonitor
+from repro.exceptions import CheckpointError, ValidationError
+from repro.runtime import CheckpointManager
+
+
+def _monitor(rng) -> StreamMonitor:
+    monitor = StreamMonitor()
+    monitor.add_stream("s")
+    monitor.add_query("q", rng.normal(size=4), epsilon=2.0)
+    return monitor
+
+
+class TestSave:
+    def test_atomic_file_appears_no_tmp_left(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path / "ckpt")
+        path = manager.save(_monitor(rng), watermark=5, stream_ticks={"s": 5})
+        assert path.exists()
+        assert path.name == "checkpoint-000000000005.json"
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_payload_is_strict_json(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path)
+        monitor = _monitor(rng)
+        monitor.push("s", 1.0)  # warping columns now hold infinities
+        path = manager.save(monitor, watermark=1, stream_ticks={"s": 1})
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        json.loads(text)  # parseable by a strict reader
+
+    def test_rotation_keeps_newest(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path, keep=2)
+        monitor = _monitor(rng)
+        for w in (1, 2, 3, 4):
+            manager.save(monitor, watermark=w, stream_ticks={"s": w})
+        names = [p.name for p in manager.snapshots()]
+        assert names == [
+            "checkpoint-000000000003.json",
+            "checkpoint-000000000004.json",
+        ]
+
+    def test_rejects_bad_config(self, tmp_path, rng):
+        with pytest.raises(ValidationError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(ValidationError):
+            CheckpointManager(tmp_path).save(_monitor(rng), watermark=-1)
+
+
+class TestRecovery:
+    def test_latest_none_when_empty(self, tmp_path):
+        assert CheckpointManager(tmp_path / "nowhere").latest() is None
+
+    def test_resume_round_trips_monitor(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path)
+        monitor = _monitor(rng)
+        monitor.push("s", 1.5)
+        manager.save(
+            monitor, watermark=1, stream_ticks={"s": 1}, events_emitted=0
+        )
+        restored, meta = manager.resume()
+        assert meta == {
+            "watermark": 1,
+            "stream_ticks": {"s": 1},
+            "events_emitted": 0,
+        }
+        assert restored.matcher("s", "q").tick == 1
+
+    def test_corrupt_newest_falls_back(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path)
+        monitor = _monitor(rng)
+        manager.save(monitor, watermark=1, stream_ticks={"s": 1})
+        monitor.push("s", 2.0)
+        good = manager.save(monitor, watermark=2, stream_ticks={"s": 2})
+        # Simulate a torn write of a newer snapshot.
+        torn = tmp_path / "checkpoint-000000000003.json"
+        torn.write_text(good.read_text()[: 40])
+        payload = manager.latest()
+        assert payload is not None and payload["watermark"] == 2
+
+    def test_resume_raises_when_nothing_readable(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        (tmp_path / "checkpoint-000000000001.json").write_text("{ nope")
+        with pytest.raises(CheckpointError):
+            manager.resume()

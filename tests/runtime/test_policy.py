@@ -1,0 +1,73 @@
+"""Unit tests for RetryPolicy classification and backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TransientStreamError, ValidationError
+from repro.runtime import FATAL, TRANSIENT, RetryPolicy
+
+
+class TestClassify:
+    def test_transient_defaults(self):
+        policy = RetryPolicy()
+        assert policy.classify(TransientStreamError("x")) == TRANSIENT
+        assert policy.classify(IOError("x")) == TRANSIENT
+        assert policy.classify(TimeoutError("x")) == TRANSIENT
+        assert policy.classify(ConnectionError("x")) == TRANSIENT
+
+    def test_unknown_is_fatal(self):
+        policy = RetryPolicy()
+        assert policy.classify(RuntimeError("x")) == FATAL
+        assert policy.classify(ValueError("x")) == FATAL
+
+    def test_fatal_overrides_transient(self):
+        policy = RetryPolicy(fatal_errors=(FileNotFoundError,))
+        # FileNotFoundError is an OSError (=IOError) but fatal wins.
+        assert policy.classify(FileNotFoundError("x")) == FATAL
+        assert policy.classify(IOError("x")) == TRANSIENT
+
+
+class TestDelay:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, backoff=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_delay=1.0, backoff=1.0, max_delay=1.0, jitter=0.2, seed=3
+        )
+        delays = [policy.delay(1) for _ in range(200)]
+        assert all(0.8 <= d <= 1.2 for d in delays)
+        assert len(set(delays)) > 1  # actually jittered
+
+    def test_jitter_deterministic_per_seed(self):
+        a = [RetryPolicy(jitter=0.5, seed=7).delay(1) for _ in range(1)]
+        b = [RetryPolicy(jitter=0.5, seed=7).delay(1) for _ in range(1)]
+        assert a == b
+
+    def test_rejects_bad_attempt(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy().delay(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"backoff": 0.5},
+            {"jitter": 2.0},
+            {"quarantine_after": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)

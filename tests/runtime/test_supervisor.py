@@ -1,0 +1,289 @@
+"""Unit tests for the supervised ingestion loop."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMonitor
+from repro.exceptions import TransientStreamError, ValidationError
+from repro.runtime import CheckpointManager, RetryPolicy, SupervisedRunner
+from repro.streams import ArraySource, FlakySource
+from repro.streams.source import StreamSource
+
+
+def _key(event):
+    return (
+        event.stream,
+        event.query,
+        event.match.start,
+        event.match.end,
+        event.match.distance,
+        event.match.output_time,
+    )
+
+
+def _planted_stream(rng, pattern, pad=25):
+    return np.concatenate(
+        [rng.normal(size=pad) + 9, pattern, rng.normal(size=pad) + 9]
+    )
+
+
+class _AlwaysFails(StreamSource):
+    """A source whose every pull raises; error type is configurable."""
+
+    def __init__(self, error: BaseException, name: str = "bad") -> None:
+        super().__init__(name)
+        self.error = error
+        self.attempts = 0
+
+    def __iter__(self) -> Iterator[object]:
+        return self
+
+    def __next__(self) -> object:
+        self.attempts += 1
+        raise self.error
+
+
+def _fast_policy(**kwargs):
+    kwargs.setdefault("base_delay", 0.0)
+    return RetryPolicy(**kwargs)
+
+
+class TestCleanRun:
+    def test_matches_unsupervised_run(self, rng):
+        pattern = rng.normal(size=6)
+        stream = _planted_stream(rng, pattern)
+
+        reference = StreamMonitor()
+        reference.add_stream("s")
+        reference.add_query("q", pattern, epsilon=1e-9)
+        expected = [
+            _key(e) for e in reference.push_many("s", stream) + reference.flush()
+        ]
+
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        runner = SupervisedRunner(monitor, [ArraySource(stream, name="s")])
+        report = runner.run()
+        assert [_key(e) for e in report.events] == expected
+        assert report.ticks == len(stream)
+        assert report.health["s"].exhausted
+        assert not report.dead_letters
+
+    def test_multi_stream_round_robin(self, rng):
+        pattern = rng.normal(size=5)
+        xs = _planted_stream(rng, pattern, pad=10)
+        ys = _planted_stream(rng, pattern, pad=12)
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        runner = SupervisedRunner(
+            monitor,
+            [ArraySource(xs, name="x"), ArraySource(ys, name="y")],
+        )
+        report = runner.run()
+        assert {e.stream for e in report.events} == {"x", "y"}
+        assert report.ticks == len(xs) + len(ys)
+
+    def test_max_ticks_stops_early_without_flush(self, rng):
+        monitor = StreamMonitor()
+        monitor.add_query("q", rng.normal(size=4), epsilon=1e-9)
+        runner = SupervisedRunner(
+            monitor, [ArraySource(rng.normal(size=50), name="s")]
+        )
+        report = runner.run(max_ticks=10)
+        assert report.ticks == 10
+        assert runner.watermark == 10
+        assert not report.health["s"].exhausted
+
+
+class TestRetries:
+    def test_flaky_source_is_exact(self, rng):
+        pattern = rng.normal(size=6)
+        stream = _planted_stream(rng, pattern)
+        reference = StreamMonitor()
+        reference.add_stream("s")
+        reference.add_query("q", pattern, epsilon=1e-9)
+        expected = [
+            _key(e) for e in reference.push_many("s", stream) + reference.flush()
+        ]
+
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        sleeps: List[float] = []
+        runner = SupervisedRunner(
+            monitor,
+            [FlakySource(ArraySource(stream, name="s"), rate=0.3, seed=2)],
+            policy=RetryPolicy(base_delay=0.125, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        report = runner.run()
+        assert [_key(e) for e in report.events] == expected
+        assert report.health["s"].retries == len(sleeps) > 0
+        assert all(s >= 0.125 for s in sleeps)  # backoff floor
+
+    def test_backoff_schedule_is_exponential(self):
+        source = _AlwaysFails(TransientStreamError("x"))
+        monitor = StreamMonitor()
+        sleeps: List[float] = []
+        runner = SupervisedRunner(
+            monitor,
+            [source],
+            policy=RetryPolicy(
+                max_attempts=4, base_delay=0.1, backoff=2.0,
+                max_delay=10.0, jitter=0.0, quarantine_after=1,
+            ),
+            sleep=sleeps.append,
+        )
+        report = runner.run()
+        # 4 attempts -> 3 backoff sleeps, doubling each time.
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+        assert report.health["bad"].quarantined
+        assert source.attempts == 4
+
+
+class TestQuarantine:
+    def test_fatal_error_quarantines_immediately(self, rng):
+        source = _AlwaysFails(RuntimeError("disk on fire"))
+        monitor = StreamMonitor()
+        monitor.add_query("q", rng.normal(size=4), epsilon=1e-9)
+        runner = SupervisedRunner(monitor, [source], policy=_fast_policy())
+        report = runner.run()
+        health = report.health["bad"]
+        assert health.quarantined
+        assert source.attempts == 1  # no retries for fatal errors
+        assert "disk on fire" in health.quarantine_reason
+
+    def test_transient_exhaustion_quarantines_after_n(self):
+        source = _AlwaysFails(TransientStreamError("flap"))
+        monitor = StreamMonitor()
+        runner = SupervisedRunner(
+            monitor,
+            [source],
+            policy=_fast_policy(max_attempts=2, quarantine_after=3),
+        )
+        report = runner.run()
+        health = report.health["bad"]
+        assert health.quarantined
+        assert health.failures == 3  # three exhausted budgets
+        assert source.attempts == 6  # 3 rounds x 2 attempts
+
+    def test_healthy_streams_survive_a_dead_one(self, rng):
+        pattern = rng.normal(size=5)
+        stream = _planted_stream(rng, pattern, pad=10)
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        runner = SupervisedRunner(
+            monitor,
+            [
+                _AlwaysFails(RuntimeError("boom"), name="dead"),
+                ArraySource(stream, name="alive"),
+            ],
+            policy=_fast_policy(),
+        )
+        report = runner.run()
+        assert report.health["dead"].quarantined
+        assert report.health["alive"].exhausted
+        assert [e.stream for e in report.events] == ["alive"]
+
+    def test_quarantined_stream_not_pulled_on_next_run(self):
+        source = _AlwaysFails(RuntimeError("boom"))
+        runner = SupervisedRunner(
+            StreamMonitor(), [source], policy=_fast_policy()
+        )
+        runner.run()
+        attempts = source.attempts
+        runner.run()
+        assert source.attempts == attempts  # untouched
+
+
+class TestDeadLetters:
+    def test_failing_callback_never_stops_the_loop(self, rng):
+        pattern = rng.normal(size=5)
+        stream = np.concatenate(
+            [
+                rng.normal(size=10) + 9,
+                pattern,
+                rng.normal(size=10) + 9,
+                pattern,
+                rng.normal(size=10) + 9,
+            ]
+        )
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+        seen: List[object] = []
+
+        def bomb(event):
+            raise ValueError("subscriber bug")
+
+        runner = SupervisedRunner(monitor, [ArraySource(stream, name="s")])
+        runner.subscribe(bomb)
+        runner.subscribe(seen.append)  # later subscribers still fire
+        report = runner.run()
+        assert len(report.events) == 2
+        assert len(report.dead_letters) == 2
+        assert len(seen) == 2
+        for letter in report.dead_letters:
+            assert isinstance(letter.error, ValueError)
+            assert letter.event in report.events
+
+
+class TestResume:
+    def test_kill_and_resume_is_event_identical(self, rng, tmp_path):
+        pattern = rng.normal(size=6)
+        stream = _planted_stream(rng, pattern, pad=40)
+
+        def monitor_factory():
+            monitor = StreamMonitor()
+            monitor.add_query("q", pattern, epsilon=1e-9)
+            return monitor
+
+        reference = SupervisedRunner(
+            monitor_factory(), [ArraySource(stream, name="s")]
+        )
+        expected = [_key(e) for e in reference.run().events]
+
+        manager = CheckpointManager(tmp_path)
+        first = SupervisedRunner(
+            monitor_factory(),
+            [ArraySource(stream, name="s")],
+            checkpoint=manager,
+            checkpoint_every=7,
+        )
+        first.run(max_ticks=45, flush=False)  # killed mid-stream
+        snapshot = manager.latest()
+        acked = int(snapshot["events_emitted"])
+        prefix = [_key(e) for e in first.events[:acked]]
+        second = SupervisedRunner.resume(
+            [ArraySource(stream, name="s")], manager
+        )
+        assert second.resumed_from == snapshot["watermark"]
+        tail = [_key(e) for e in second.run().events]
+        assert prefix + tail == expected
+
+
+class TestValidation:
+    def test_rejects_non_monitor(self):
+        with pytest.raises(ValidationError):
+            SupervisedRunner(object(), [ArraySource([1.0], name="s")])
+
+    def test_rejects_empty_sources(self):
+        with pytest.raises(ValidationError):
+            SupervisedRunner(StreamMonitor(), [])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValidationError):
+            SupervisedRunner(
+                StreamMonitor(),
+                [ArraySource([1.0], name="s"), ArraySource([2.0], name="s")],
+            )
+
+    def test_rejects_cadence_without_manager(self):
+        with pytest.raises(ValidationError):
+            SupervisedRunner(
+                StreamMonitor(),
+                [ArraySource([1.0], name="s")],
+                checkpoint_every=5,
+            )

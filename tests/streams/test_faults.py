@@ -1,0 +1,157 @@
+"""Unit tests for the deterministic fault injectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TransientStreamError, ValidationError
+from repro.streams import (
+    ArraySource,
+    CorruptSource,
+    DropSource,
+    DuplicateSource,
+    FlakySource,
+    StallSource,
+)
+
+VALUES = [float(v) for v in range(50)]
+
+
+def _drain_flaky(source):
+    """Pull every tick, retrying through injected transient errors."""
+    out, errors = [], 0
+    iterator = iter(source)
+    while True:
+        try:
+            out.append(next(iterator))
+        except StopIteration:
+            return out, errors
+        except TransientStreamError:
+            errors += 1
+
+
+class TestFlakySource:
+    def test_no_tick_lost(self):
+        source = FlakySource(ArraySource(VALUES), rate=0.4, seed=3)
+        out, errors = _drain_flaky(source)
+        assert out == VALUES  # every tick survives, in order
+        assert errors > 0
+        assert source.injected == errors
+
+    def test_deterministic_replay(self):
+        a = FlakySource(ArraySource(VALUES), rate=0.3, seed=9)
+        first = _drain_flaky(a)
+        second = _drain_flaky(a)  # replayable inner -> identical schedule
+        assert first == second
+
+    def test_max_consecutive_bounds_streaks(self):
+        source = FlakySource(
+            ArraySource(VALUES), rate=0.99, seed=0, max_consecutive=2
+        )
+        iterator = iter(source)
+        for _ in VALUES:
+            streak = 0
+            while True:
+                try:
+                    next(iterator)
+                    break
+                except TransientStreamError:
+                    streak += 1
+            assert streak <= 2
+
+    def test_zero_rate_is_transparent(self):
+        source = FlakySource(ArraySource(VALUES), rate=0.0, seed=1)
+        assert list(source) == VALUES
+
+    def test_exhaustion_is_not_a_fault(self):
+        source = FlakySource(ArraySource([1.0]), rate=0.0, seed=0)
+        iterator = iter(source)
+        assert next(iterator) == 1.0
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_custom_error_type(self):
+        source = FlakySource(
+            ArraySource(VALUES), rate=1.0, seed=0,
+            max_consecutive=1, error=ConnectionError,
+        )
+        with pytest.raises(ConnectionError):
+            next(iter(source))
+
+
+class TestDropSource:
+    def test_drops_subset_in_order(self):
+        source = DropSource(ArraySource(VALUES), rate=0.3, seed=4)
+        out = list(source)
+        assert 0 < len(out) < len(VALUES)
+        assert source.injected == len(VALUES) - len(out)
+        # Survivors keep stream order.
+        assert out == [v for v in VALUES if v in set(out)]
+
+    def test_deterministic(self):
+        source = DropSource(ArraySource(VALUES), rate=0.5, seed=11)
+        assert list(source) == list(source)
+
+
+class TestDuplicateSource:
+    def test_duplicates_adjacent(self):
+        source = DuplicateSource(ArraySource(VALUES), rate=0.3, seed=5)
+        out = list(source)
+        assert len(out) == len(VALUES) + source.injected
+        assert source.injected > 0
+        deduped = [v for i, v in enumerate(out) if i == 0 or v != out[i - 1]]
+        assert deduped == VALUES
+
+
+class TestCorruptSource:
+    def test_corrupts_to_nan(self):
+        source = CorruptSource(ArraySource(VALUES), rate=0.3, seed=6)
+        out = list(source)
+        assert len(out) == len(VALUES)
+        nan_count = sum(1 for v in out if np.isnan(v))
+        assert nan_count == source.injected > 0
+        clean = [v for v in out if not np.isnan(v)]
+        assert clean == [v for v in VALUES if v in set(clean)]
+
+    def test_vector_rows_fully_nan(self):
+        rows = np.arange(20.0).reshape(10, 2)
+        source = CorruptSource(ArraySource(rows), rate=1.0, seed=0)
+        for row in source:
+            assert np.isnan(row).all()
+
+
+class TestStallSource:
+    def test_data_unchanged_and_sleeps_recorded(self):
+        sleeps = []
+        source = StallSource(
+            ArraySource(VALUES), rate=0.3, seed=7, delay=0.25,
+            sleep=sleeps.append,
+        )
+        assert list(source) == VALUES
+        assert len(sleeps) == source.injected > 0
+        assert all(s == 0.25 for s in sleeps)
+
+
+class TestValidation:
+    def test_rejects_non_source(self):
+        with pytest.raises(ValidationError):
+            DropSource([1.0, 2.0], rate=0.1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValidationError):
+            DropSource(ArraySource(VALUES), rate=1.5)
+
+    def test_rejects_bad_max_consecutive(self):
+        with pytest.raises(ValidationError):
+            FlakySource(ArraySource(VALUES), max_consecutive=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValidationError):
+            StallSource(ArraySource(VALUES), delay=-1.0)
+
+    def test_composable_and_named(self):
+        inner = ArraySource(VALUES, name="sensor")
+        wrapped = DropSource(DuplicateSource(inner, rate=0.2, seed=1), rate=0.2, seed=2)
+        assert wrapped.name == "sensor"
+        assert list(wrapped)  # composition iterates fine

@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import StreamExhaustedError, ValidationError
+from repro.exceptions import (
+    MalformedRecordError,
+    StreamExhaustedError,
+    ValidationError,
+)
 from repro.streams import ArraySource, CsvSource, GeneratorSource, interleave
 
 
@@ -52,6 +56,25 @@ class TestGeneratorSource:
         source = GeneratorSource(forever())
         assert source.take(4) == [0.0, 1.0, 2.0, 3.0]
 
+    def test_take_leaves_rest_consumable(self):
+        source = GeneratorSource(iter([1.0, 2.0, 3.0, 4.0]))
+        assert source.take(2) == [1.0, 2.0]
+        assert list(source) == [3.0, 4.0]  # take must not destroy the rest
+
+    def test_repeated_takes_continue(self):
+        source = GeneratorSource(iter(range(6)))
+        assert source.take(2) == [0, 1]
+        assert source.take(3) == [2, 3, 4]
+        assert source.take(99) == [5]
+
+    def test_take_past_end_exhausts(self):
+        source = GeneratorSource(iter([1.0]))
+        assert source.take(5) == [1.0]
+        with pytest.raises(StreamExhaustedError):
+            source.take(1)
+        with pytest.raises(StreamExhaustedError):
+            iter(source)
+
 
 class TestCsvSource:
     def test_reads_column(self, tmp_path):
@@ -90,6 +113,36 @@ class TestCsvSource:
         with pytest.raises(ValidationError):
             CsvSource(tmp_path / "x.csv", columns=[])
 
+    def test_malformed_count_observable(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        # one unparseable cell, one short row, one genuinely missing cell
+        path.write_text("a,b\n1,x\n2\n3,\n4,5\n")
+        source = CsvSource(path, columns=1)
+        values = list(source)
+        assert np.isnan(values[0]) and np.isnan(values[1]) and np.isnan(values[2])
+        assert source.malformed_count == 2  # empty cell is missing, not malformed
+
+    def test_malformed_count_resets_per_pass(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text("v\nx\n1.0\n")
+        source = CsvSource(path)
+        list(source)
+        list(source)
+        assert source.malformed_count == 1  # not doubled by the replay
+
+    def test_strict_raises_with_location(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text("v\n1.0\noops\n")
+        source = CsvSource(path, strict=True)
+        with pytest.raises(MalformedRecordError, match=r"dirty\.csv:3.*'oops'"):
+            list(source)
+
+    def test_strict_accepts_missing_cells(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("v\n1.0\n\n2.0\n")
+        values = list(CsvSource(path, strict=True))
+        assert np.isnan(values[1])  # empty = missing reading, allowed
+
 
 class TestInterleave:
     def test_round_robin(self):
@@ -103,3 +156,21 @@ class TestInterleave:
         b = ArraySource([10.0, 20.0], name="b")
         pairs = list(interleave([a, b]))
         assert pairs == [("a", 1.0), ("b", 10.0)]
+
+    def test_no_partial_round(self):
+        # b runs out in round 2: a must NOT leak its round-2 tick.
+        a = ArraySource([1.0, 2.0], name="a")
+        b = ArraySource([10.0], name="b")
+        pairs = list(interleave([a, b]))
+        assert pairs == [("a", 1.0), ("b", 10.0)]
+
+    def test_every_yielded_round_is_complete(self):
+        a = ArraySource([1.0, 2.0, 3.0], name="a")
+        b = ArraySource([10.0, 20.0], name="b")
+        c = ArraySource([100.0, 200.0], name="c")
+        pairs = list(interleave([a, b, c]))
+        assert len(pairs) % 3 == 0
+        assert pairs == [
+            ("a", 1.0), ("b", 10.0), ("c", 100.0),
+            ("a", 2.0), ("b", 20.0), ("c", 200.0),
+        ]

@@ -94,3 +94,78 @@ class TestMonitorCommand:
         assert status == 0
         out = capsys.readouterr().out
         assert "3 ticks processed" in out
+
+    def test_monitor_warns_on_malformed_cells(self, tmp_path, capsys):
+        stream_csv = tmp_path / "stream.csv"
+        stream_csv.write_text("v\n1.0\noops\n2.0\n")
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text("v\n1.0\n2.0\n")
+        status = main(
+            ["monitor", str(stream_csv), str(query_csv), "--epsilon", "0.1"]
+        )
+        assert status == 0
+        assert "1 malformed CSV cells" in capsys.readouterr().out
+
+    def test_monitor_strict_csv_fails_fast(self, tmp_path):
+        from repro.exceptions import MalformedRecordError
+
+        stream_csv = tmp_path / "stream.csv"
+        stream_csv.write_text("v\n1.0\noops\n")
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text("v\n1.0\n2.0\n")
+        with pytest.raises(MalformedRecordError):
+            main(["monitor", str(stream_csv), str(query_csv),
+                  "--epsilon", "0.1", "--strict-csv"])
+
+
+class TestSupervisedMonitorCommand:
+    def _csvs(self, tmp_path, rng):
+        pattern = rng.normal(size=6)
+        stream = np.concatenate(
+            [rng.normal(size=30) + 9, pattern, rng.normal(size=30) + 9]
+        )
+        stream_csv = tmp_path / "stream.csv"
+        stream_csv.write_text(
+            "value\n" + "\n".join(f"{v}" for v in stream) + "\n"
+        )
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text(
+            "value\n" + "\n".join(f"{v}" for v in pattern) + "\n"
+        )
+        return stream_csv, query_csv
+
+    def test_supervised_run_writes_snapshots(self, tmp_path, capsys, rng):
+        stream_csv, query_csv = self._csvs(tmp_path, rng)
+        ckpt = tmp_path / "ckpt"
+        status = main(
+            ["monitor", str(stream_csv), str(query_csv),
+             "--epsilon", "1e-9",
+             "--checkpoint-dir", str(ckpt), "--checkpoint-every", "10"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "match #1" in out
+        assert "ticks 31..36" in out
+        assert "snapshots" in out
+        assert list(ckpt.glob("checkpoint-*.json"))
+
+    def test_resume_continues_from_snapshot(self, tmp_path, capsys, rng):
+        stream_csv, query_csv = self._csvs(tmp_path, rng)
+        ckpt = tmp_path / "ckpt"
+        main(["monitor", str(stream_csv), str(query_csv), "--epsilon", "1e-9",
+              "--checkpoint-dir", str(ckpt)])
+        capsys.readouterr()
+        status = main(
+            ["monitor", str(stream_csv), str(query_csv), "--epsilon", "1e-9",
+             "--checkpoint-dir", str(ckpt), "--resume"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "resumed from snapshot at tick 66" in out
+        assert "0 ticks processed" in out  # nothing left to replay
+
+    def test_resume_requires_checkpoint_dir(self, tmp_path, rng):
+        stream_csv, query_csv = self._csvs(tmp_path, rng)
+        with pytest.raises(SystemExit):
+            main(["monitor", str(stream_csv), str(query_csv),
+                  "--epsilon", "1e-9", "--resume"])
