@@ -96,7 +96,7 @@ def main() -> None:
     # --- 4. top-5 closest episodes, streaming -----------------------
     top = TopKSpring(template, k=5)
     top.extend(stream)
-    top.finalize()
+    top.flush()
     print("\ntop-5 closest beats (distance, position):")
     for match in top.best():
         print(

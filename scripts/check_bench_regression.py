@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CI smoke gate: fail on a >20% fused-throughput regression.
+
+Absolute ticks/sec numbers are machine-dependent, so the gate checks
+the machine-independent quantity ``fused_speedup_vs_per_query`` — the
+ratio between the fused 64-query monitor and 64 independent ``Spring``
+objects stepped in a Python loop, both measured on the *same* machine
+in the *same* run.  A refactor that quietly knocks matchers out of the
+fused banks (e.g. a capability flag regression) collapses this ratio
+toward 1 regardless of hardware.
+
+The baseline is the committed ``BENCH_throughput.json``; the gate
+fails when the measured ratio drops below ``(1 - tolerance)`` times
+the recorded one (tolerance 0.2 by default).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py [--ticks N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = SCRIPTS_DIR.parent
+
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+from bench_throughput import run_suite  # noqa: E402
+
+
+def main(argv: object = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="recorded benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=4_000,
+        help="stream length for the smoke run (default 4000; smaller "
+        "than the recorded run — the gate compares ratios, not ticks/sec)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop in the fused speedup (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    recorded = baseline["fused_speedup_vs_per_query"]
+    if recorded is None:
+        print("baseline carries no fused speedup; nothing to gate against")
+        return 0
+
+    report = run_suite(args.ticks)
+    measured = report["fused_speedup_vs_per_query"]
+    floor = (1.0 - args.tolerance) * recorded
+
+    print(f"recorded fused speedup : {recorded:.2f}x ({args.baseline.name})")
+    print(f"measured fused speedup : {measured:.2f}x (ticks={args.ticks})")
+    print(f"gate floor             : {floor:.2f}x")
+    if measured < floor:
+        print(
+            f"FAIL: fused speedup regressed more than "
+            f"{args.tolerance:.0%} vs the recorded baseline"
+        )
+        return 1
+    print("OK: fused speedup within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

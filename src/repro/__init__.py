@@ -41,20 +41,36 @@ Package map
 """
 
 from repro.core import (
+    Capabilities,
     CascadeSpring,
     ConstrainedSpring,
     FusedSpring,
+    GroupRange,
+    LengthBand,
     Match,
+    Matcher,
     MatchEvent,
     NormalizedSpring,
     QueryBank,
+    ReportPolicy,
     Spring,
     StreamMonitor,
+    TopK,
     TopKSpring,
+    TransformedMatcher,
     VectorSpring,
+    ZNormalize,
+    build_matcher,
     dump_json,
     load_json,
+    load_monitor,
     load_state,
+    matcher_kinds,
+    register_matcher,
+    register_matcher_kind,
+    register_policy,
+    registered_matchers,
+    save_monitor,
     save_state,
     spring_best_match,
     spring_search,
@@ -74,20 +90,36 @@ from repro.runtime import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Capabilities",
     "CascadeSpring",
     "CheckpointManager",
     "ConstrainedSpring",
     "DeadLetter",
     "FusedSpring",
+    "GroupRange",
+    "LengthBand",
+    "Matcher",
     "QueryBank",
+    "ReportPolicy",
     "RetryPolicy",
     "RunReport",
     "StreamHealth",
     "SupervisedRunner",
+    "TopK",
     "TopKSpring",
+    "TransformedMatcher",
+    "ZNormalize",
+    "build_matcher",
     "dump_json",
     "load_json",
+    "load_monitor",
     "load_state",
+    "matcher_kinds",
+    "register_matcher",
+    "register_matcher_kind",
+    "register_policy",
+    "registered_matchers",
+    "save_monitor",
     "save_state",
     "Match",
     "MatchEvent",

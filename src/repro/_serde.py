@@ -1,0 +1,89 @@
+"""JSON-safe encoding primitives shared by every checkpointable layer.
+
+Checkpoints are serialised with ``allow_nan=False`` so the payloads
+round-trip through any spec-compliant JSON parser, not just Python's.
+Non-finite floats therefore need an explicit encoding: the strings
+``"inf"`` / ``"-inf"`` / ``"nan"``.  These helpers live in their own
+dependency-free module so the kernel, policy, transform, and stream
+layers can all serialise state without importing each other.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "encode_float",
+    "decode_float",
+    "encode_floats",
+    "decode_floats",
+    "encode_node",
+    "decode_node",
+]
+
+
+def encode_float(value: float) -> object:
+    """One float to a strictly JSON-safe value.
+
+    Non-finite values become the strings ``"inf"`` / ``"-inf"`` /
+    ``"nan"`` so the payload never depends on Python's non-standard
+    ``Infinity``/``NaN`` JSON tokens (rejected by most other parsers,
+    and by our own ``allow_nan=False`` serialisation).
+    """
+    if np.isnan(value):
+        return "nan"
+    if np.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return float(value)
+
+
+def decode_float(value: object) -> float:
+    """Inverse of :func:`encode_float`.
+
+    Also accepts legacy payloads: raw non-finite floats that
+    ``json.loads`` produced from the non-standard tokens older versions
+    of the JSON dumpers emitted.
+    """
+    if isinstance(value, str):
+        if value == "inf":
+            return np.inf
+        if value == "-inf":
+            return -np.inf
+        if value == "nan":
+            return float("nan")
+        raise ValidationError(f"unrecognised encoded float {value!r}")
+    return float(value)  # type: ignore[arg-type]
+
+
+def encode_floats(values) -> List[object]:
+    """Floats to a JSON-safe list (strings for non-finite values)."""
+    return [encode_float(v) for v in values]
+
+
+def decode_floats(values: List[object]) -> np.ndarray:
+    return np.array([decode_float(v) for v in values], dtype=np.float64)
+
+
+def encode_node(node) -> Optional[List[List[int]]]:
+    """Materialise a linked path node chain into a list of [tick, i]."""
+    if node is None:
+        return None
+    cells = []
+    while node is not None:
+        cells.append([int(node[0]), int(node[1])])
+        node = node[2]
+    cells.reverse()
+    return cells
+
+
+def decode_node(cells: Optional[List[List[int]]]):
+    if cells is None:
+        return None
+    node = None
+    for tick, i in cells:
+        node = (tick, i, node)
+    return node

@@ -32,7 +32,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.spring import Spring
+from repro.core.policy import LengthBand, TopK
+from repro.core.registry import build_matcher, matcher_kinds
 from repro.eval.harness import get_experiment, list_experiments
 from repro.streams.source import CsvSource
 
@@ -92,6 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--strict-csv", action="store_true",
                      help="raise on malformed (unparseable) CSV cells "
                           "instead of treating them as missing")
+    mon.add_argument("--matcher", default="spring", choices=matcher_kinds(),
+                     help="matcher kind from the registry (default: spring)")
+    mon.add_argument("--max-stretch", type=float, default=None,
+                     help="length-band admission: native option of the "
+                          "constrained matcher, attached as a LengthBand "
+                          "policy to any other kind")
+    mon.add_argument("--top-k", type=int, default=None,
+                     help="bounded leaderboard size: native option of the "
+                          "topk matcher, attached as a TopK policy to any "
+                          "other kind")
+    mon.add_argument("--reduction", type=int, default=None,
+                     help="cascade downsampling factor (cascade matcher only)")
     mon.add_argument("--checkpoint-dir", default=None,
                      help="run supervised with atomic snapshots in this "
                           "directory (enables --resume)")
@@ -145,6 +158,34 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _matcher_kwargs(args: argparse.Namespace) -> dict:
+    """Translate CLI matcher flags into ``build_matcher`` keyword args.
+
+    Options native to the selected kind become constructor arguments;
+    the rest attach as report policies, so e.g. ``--matcher normalized
+    --max-stretch 1.5`` composes normalisation with a length band.
+    """
+    kwargs: dict = {}
+    policies = []
+    if args.max_stretch is not None:
+        if args.matcher == "constrained":
+            kwargs["max_stretch"] = args.max_stretch
+        else:
+            policies.append(LengthBand(args.max_stretch))
+    if args.top_k is not None:
+        if args.matcher == "topk":
+            kwargs["k"] = args.top_k
+        else:
+            policies.append(TopK(args.top_k))
+    if args.reduction is not None:
+        if args.matcher != "cascade":
+            raise SystemExit("--reduction requires --matcher cascade")
+        kwargs["reduction"] = args.reduction
+    if policies:
+        kwargs["policies"] = policies
+    return kwargs
+
+
 def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
     from repro.core.monitor import StreamMonitor
     from repro.runtime import CheckpointManager, SupervisedRunner
@@ -161,7 +202,8 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
         print(f"resumed from snapshot at tick {runner.resumed_from}")
     else:
         monitor = StreamMonitor(keep_history=False)
-        monitor.add_query("query", query, epsilon=args.epsilon)
+        monitor.add_query("query", query, epsilon=args.epsilon,
+                          matcher=args.matcher, **_matcher_kwargs(args))
         runner = SupervisedRunner(
             monitor, [source], checkpoint=manager,
             checkpoint_every=args.checkpoint_every,
@@ -210,13 +252,14 @@ def _run_monitor(args: argparse.Namespace) -> int:
         return _run_monitor_supervised(args, query)
     if args.resume:
         raise SystemExit("--resume needs --checkpoint-dir")
-    spring = Spring(query, epsilon=args.epsilon)
+    matcher = build_matcher(args.matcher, query, epsilon=args.epsilon,
+                            **_matcher_kwargs(args))
     source = CsvSource(args.stream_csv, columns=args.column,
                        skip_header=not args.no_header,
                        strict=args.strict_csv)
     count = 0
     for value in source:
-        match = spring.step(value)
+        match = matcher.step(value)
         if match is not None:
             count += 1
             print(
@@ -224,14 +267,14 @@ def _run_monitor(args: argparse.Namespace) -> int:
                 f"distance {match.distance:.6g} (reported at tick "
                 f"{match.output_time})"
             )
-    final = spring.flush()
+    final = matcher.flush()
     if final is not None:
         count += 1
         print(
             f"match #{count} (at end of stream): ticks "
             f"{final.start}..{final.end} distance {final.distance:.6g}"
         )
-    print(f"{spring.tick} ticks processed, {count} matches")
+    print(f"{matcher.tick} ticks processed, {count} matches")
     if source.malformed_count:
         print(f"warning: {source.malformed_count} malformed CSV cells")
     return 0

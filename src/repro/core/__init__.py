@@ -1,23 +1,43 @@
-"""The paper's contribution: SPRING and its variants.
+"""The paper's contribution: SPRING and its variants, in four layers.
 
-* :class:`~repro.core.spring.Spring` — streaming disjoint/best-match
-  queries on scalar streams (Figure 4).
+**Kernel** — :class:`~repro.core.state.SpringState` and the column
+updates: the paper's recurrence (Equations 7/8), untouched math.
+
+**Matchers + report policies** — :class:`~repro.core.spring.Spring`
+drives the kernel and hosts Figure 4's disjoint-query bookkeeping; the
+variants are thin compositions of
+:class:`~repro.core.policy.ReportPolicy` objects:
+
 * :class:`~repro.core.vector.VectorSpring` — k-dimensional streams
-  (Section 5.3).
+  (Section 5.3), group-range reporting via
+  :class:`~repro.core.policy.GroupRange`.
 * :class:`~repro.core.constrained.ConstrainedSpring` — length-band
-  extension.
-* :class:`~repro.core.normalization.NormalizedSpring` — streaming z-norm
-  wrapper.
-* :class:`~repro.core.monitor.StreamMonitor` — many queries x many
-  streams.
-* :class:`~repro.core.fused.FusedSpring` / :class:`~repro.core.fused.QueryBank`
-  — the fused multi-query engine the monitor batches through.
-* :func:`~repro.core.batch.spring_search` and friends — one-call offline
-  use.
+  admission via :class:`~repro.core.policy.LengthBand`.
+* :class:`~repro.core.topk.TopKSpring` — bounded leaderboard via
+  :class:`~repro.core.policy.TopK`.
+
+**Transforms** — input/output adapters around any matcher:
+:class:`~repro.core.transform.TransformedMatcher` with
+:class:`~repro.core.transform.ZNormalize`
+(:class:`~repro.core.normalization.NormalizedSpring` is the shim), and
+the coarse-to-fine :class:`~repro.core.cascade.CascadeSpring`.
+
+**Execution** — :func:`~repro.core.engine.build_plan` selects scalar,
+blocked, or fused-bank execution from each matcher's declared
+:class:`~repro.core.protocol.Capabilities`;
+:class:`~repro.core.monitor.StreamMonitor` (many queries x many
+streams) consumes matchers purely through the
+:class:`~repro.core.protocol.Matcher` protocol, built by kind name via
+:func:`~repro.core.registry.build_matcher`.
+
+Plus :func:`~repro.core.batch.spring_search` and friends for one-call
+offline use, and the open checkpoint registry in
+:mod:`repro.core.checkpoint`.
 """
 
 from repro.core.batch import spring_best_match, spring_search, spring_search_vector
 from repro.core.cascade import CascadeSpring
+from repro.core.engine import ExecutionPlan, FusedBank, build_plan, fusion_key
 from repro.core.fused import FusedSpring, QueryBank
 from repro.core.checkpoint import (
     dump_json,
@@ -26,6 +46,8 @@ from repro.core.checkpoint import (
     load_monitor,
     load_monitor_json,
     load_state,
+    register_matcher,
+    registered_matchers,
     save_monitor,
     save_state,
 )
@@ -33,22 +55,61 @@ from repro.core.constrained import ConstrainedSpring
 from repro.core.matches import Match, merge_report, overlaps
 from repro.core.monitor import MatchEvent, StreamMonitor
 from repro.core.normalization import NormalizedSpring
+from repro.core.policy import (
+    GroupRange,
+    LengthBand,
+    ReportPolicy,
+    TopK,
+    register_policy,
+    registered_policies,
+)
+from repro.core.protocol import Capabilities, Matcher
+from repro.core.registry import build_matcher, matcher_kinds, register_matcher_kind
 from repro.core.spring import Spring
 from repro.core.state import SpringState, update_column, update_column_reference
 from repro.core.topk import TopKSpring
+from repro.core.transform import (
+    StreamTransform,
+    TransformedMatcher,
+    ZNormalize,
+    register_transform,
+    registered_transforms,
+)
 from repro.core.vector import VectorSpring
 
 __all__ = [
+    "Capabilities",
     "CascadeSpring",
+    "ExecutionPlan",
+    "FusedBank",
     "FusedSpring",
+    "GroupRange",
+    "LengthBand",
+    "Matcher",
     "QueryBank",
+    "ReportPolicy",
+    "StreamTransform",
+    "TopK",
     "TopKSpring",
+    "TransformedMatcher",
+    "ZNormalize",
+    "build_matcher",
+    "build_plan",
     "dump_json",
     "dump_monitor_json",
+    "fusion_key",
     "load_json",
     "load_monitor",
     "load_monitor_json",
     "load_state",
+    "matcher_kinds",
+    "register_matcher",
+    "register_matcher_kind",
+    "register_policy",
+    "register_transform",
+    "registered_matchers",
+    "registered_policies",
+    "registered_transforms",
     "save_monitor",
     "save_state",
     "Match",

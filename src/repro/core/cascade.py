@@ -11,16 +11,28 @@ detail), so it trades the paper's no-false-dismissal guarantee for
 per-tick cost; the ablation benchmark quantifies both sides.  Matches
 that do come out carry exact full-resolution distances and positions,
 because verification reruns real SPRING on the buffered window.
+
+In the layered architecture the cascade is a transform-flavoured
+matcher that satisfies the :class:`~repro.core.protocol.Matcher`
+protocol: report policies attach to its *verified* output (admission
+gates and transforms see full-resolution stream coordinates), and the
+whole two-stage state — coarse matcher, ring buffer, partial block —
+checkpoints and resumes exactly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro._serde import decode_float, decode_floats, encode_float, encode_floats
 from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.checkpoint import load_state, register_matcher, save_state
 from repro.core.matches import Match
+from repro.core.policy import ReportPolicy, decode_policies, encode_policies
+from repro.core.protocol import Capabilities
+from repro.core.registry import register_matcher_kind
 from repro.core.spring import Spring
 from repro.dtw.steps import LocalDistance
 from repro.exceptions import ValidationError
@@ -50,6 +62,10 @@ class CascadeSpring:
     buffer_factor:
         The verification buffer holds ``buffer_factor * m`` recent
         values; coarse hits older than that cannot be verified.
+    policies:
+        Report policies on the verified output: admission gates filter
+        by full-resolution ``(start, end)``, transforms rewrite or
+        suppress the emitted match.
     """
 
     def __init__(
@@ -60,6 +76,7 @@ class CascadeSpring:
         coarse_slack: float = 2.0,
         buffer_factor: float = 4.0,
         local_distance: Union[str, LocalDistance, None] = None,
+        policies: Sequence[ReportPolicy] = (),
     ) -> None:
         self._query = as_scalar_sequence(query, "query")
         self.epsilon = check_threshold(epsilon)
@@ -73,6 +90,7 @@ class CascadeSpring:
                 f"coarse_slack must be positive, got {coarse_slack}"
             )
         self.coarse_slack = float(coarse_slack)
+        self.buffer_factor = float(buffer_factor)
         self._local_distance = local_distance
 
         m = self._query.shape[0]
@@ -81,11 +99,16 @@ class CascadeSpring:
         self._coarse = Spring(
             coarse_query, epsilon=coarse_epsilon, local_distance=local_distance
         )
-        capacity = max(int(buffer_factor * m), m + 4 * self.reduction)
+        capacity = max(int(self.buffer_factor * m), m + 4 * self.reduction)
         self._buffer = RingBuffer(capacity)
         self._block: List[float] = []
         self._tick = 0
         self._last_verified_end = 0
+
+        self._policies = tuple(policies)
+        for policy in self._policies:
+            policy.bind(m)
+        self._admission = tuple(p for p in self._policies if p.gates_admission)
 
     @property
     def tick(self) -> int:
@@ -96,6 +119,21 @@ class CascadeSpring:
     def m(self) -> int:
         """Full-resolution query length."""
         return self._query.shape[0]
+
+    @property
+    def policies(self) -> tuple:
+        """The attached report-policy chain (possibly empty)."""
+        return self._policies
+
+    def capabilities(self) -> Capabilities:
+        """Never bank-fusable: the cascade's per-tick behaviour is not
+        the plain Figure-4 recurrence over the raw stream."""
+        return Capabilities(
+            kind="scalar",
+            fusable=False,
+            distance_name=self._coarse.distance_name,
+            missing="skip",
+        )
 
     def _reduce(self, values: np.ndarray) -> np.ndarray:
         if self.reduction == 1:
@@ -138,9 +176,19 @@ class CascadeSpring:
         coarse_final = self._coarse.flush()
         if coarse_final is None:
             return None
-        return self._verify(coarse_final)
+        return self._verify(coarse_final, flushing=True)
 
-    def _verify(self, coarse: Match) -> Optional[Match]:
+    def apply_report_policies(
+        self, match: Match, flushing: bool = False
+    ) -> Optional[Match]:
+        """Run a verified match through the policy transform chain."""
+        for policy in self._policies:
+            match = policy.transform(match, flushing=flushing)
+            if match is None:
+                return None
+        return match
+
+    def _verify(self, coarse: Match, flushing: bool = False) -> Optional[Match]:
         """Exact SPRING over the buffered window around a coarse hit."""
         r = self.reduction
         margin = 2 * r
@@ -170,9 +218,62 @@ class CascadeSpring:
             return None
         offset = start_tick - 1
         self._last_verified_end = best.end + offset
-        return Match(
+        verified = Match(
             start=best.start + offset,
             end=best.end + offset,
             distance=best.distance,
             output_time=self._tick,
         )
+        for policy in self._admission:
+            if not policy.admit(verified.start, verified.end):
+                return None
+        return self.apply_report_policies(verified, flushing=flushing)
+
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict (see :mod:`repro.core.checkpoint`)."""
+        distance_name = self._coarse.distance_name
+        if distance_name is None:
+            raise ValidationError(
+                "cannot checkpoint a matcher with an unnamed local-distance "
+                "callable; pass a registered distance name instead"
+            )
+        state: dict = {
+            "query": encode_floats(self._query),
+            "epsilon": encode_float(self.epsilon),
+            "reduction": self.reduction,
+            "coarse_slack": self.coarse_slack,
+            "buffer_factor": self.buffer_factor,
+            "local_distance": distance_name,
+            "tick": self._tick,
+            "block": list(self._block),
+            "last_verified_end": self._last_verified_end,
+            "buffer": self._buffer.state_dict(),
+            "coarse": save_state(self._coarse),
+        }
+        if self._policies:
+            state["policies"] = encode_policies(self._policies)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CascadeSpring":
+        matcher = cls(
+            decode_floats(state["query"]),
+            epsilon=decode_float(state["epsilon"]),
+            reduction=int(state["reduction"]),
+            coarse_slack=float(state["coarse_slack"]),
+            buffer_factor=float(state["buffer_factor"]),
+            local_distance=state["local_distance"],
+            policies=decode_policies(state.get("policies", [])),
+        )
+        matcher._coarse = load_state(state["coarse"])
+        matcher._buffer.load_state_dict(state["buffer"])
+        matcher._block = [float(v) for v in state["block"]]
+        matcher._tick = int(state["tick"])
+        matcher._last_verified_end = int(state["last_verified_end"])
+        return matcher
+
+
+register_matcher(CascadeSpring)
+register_matcher_kind("cascade", CascadeSpring)

@@ -2,15 +2,20 @@
 
 A production stream monitor runs for weeks; process restarts must not
 lose the O(m) matcher state (or force a re-scan of unbounded history —
-the thing SPRING exists to avoid).  These helpers serialise a
-:class:`~repro.core.spring.Spring` (or subclass) to a plain-Python dict
-— JSON-safe except for infinities, which are encoded explicitly — and
-restore it so the match stream continues exactly where it stopped.
+the thing SPRING exists to avoid).  These helpers serialise any
+registered matcher to a plain-Python dict — JSON-safe except for
+infinities, which are encoded explicitly — and restore it so the match
+stream continues exactly where it stopped.
+
+The registry is open: a matcher class becomes checkpointable by
+implementing ``state_dict()`` / ``from_state()`` and registering via
+:func:`register_matcher` (the shipped matchers all do).  Unknown
+payloads fail with an error that lists every registered type.
 
 The contract is exactness: feeding values ``v1..vk, checkpoint,
 restore, vk+1..vn`` produces the same matches (positions, distances,
 output times) as an uninterrupted run.  Property-tested in
-``tests/core/test_checkpoint.py``.
+``tests/core/test_checkpoint.py`` and the protocol-conformance suite.
 
 Path-recording matchers are serialisable too: live warping-path chains
 are materialised into lists and rebuilt on load (structural sharing is
@@ -20,16 +25,22 @@ re-established lazily as new nodes link to the restored chains).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Type
 
-import numpy as np
-
-from repro.core.constrained import ConstrainedSpring
-from repro.core.spring import Spring
-from repro.core.vector import VectorSpring
+from repro._serde import (
+    decode_float,
+    decode_floats,
+    decode_node,
+    encode_float,
+    encode_floats,
+    encode_node,
+)
+from repro.dtw.steps import canonical_distance_name, resolve_vector_distance
 from repro.exceptions import ValidationError
 
 __all__ = [
+    "register_matcher",
+    "registered_matchers",
     "save_state",
     "load_state",
     "dump_json",
@@ -42,115 +53,64 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 
-_CLASSES = {
-    "Spring": Spring,
-    "VectorSpring": VectorSpring,
-    "ConstrainedSpring": ConstrainedSpring,
-}
+# Compatibility aliases: these helpers predate repro._serde and are
+# imported under their old private names by tests and tooling.
+_encode_float = encode_float
+_decode_float = decode_float
+_encode_floats = encode_floats
+_decode_floats = decode_floats
+_encode_node = encode_node
+_decode_node = decode_node
+
+#: Open matcher registry: class name -> class.  Populated by
+#: :func:`register_matcher`; every class in :mod:`repro.core` registers
+#: itself at import time, and third-party matchers can join the same way.
+_REGISTRY: Dict[str, Type] = {}
 
 
-def _encode_float(value: float) -> object:
-    """One float to a strictly JSON-safe value.
+def register_matcher(cls: Type) -> Type:
+    """Make a matcher class checkpointable (usable as a decorator).
 
-    Non-finite values become the strings ``"inf"`` / ``"-inf"`` /
-    ``"nan"`` so the payload never depends on Python's non-standard
-    ``Infinity``/``NaN`` JSON tokens (rejected by most other parsers,
-    and by our own ``allow_nan=False`` serialisation).
+    The class must implement ``state_dict() -> dict`` (instance) and
+    ``from_state(state) -> matcher`` (classmethod); it is registered
+    under its ``__name__``, which is what ``save_state`` stamps into
+    payloads.
     """
-    if np.isnan(value):
-        return "nan"
-    if np.isinf(value):
-        return "inf" if value > 0 else "-inf"
-    return float(value)
-
-
-def _decode_float(value: object) -> float:
-    """Inverse of :func:`_encode_float`.
-
-    Also accepts legacy payloads: raw non-finite floats that
-    ``json.loads`` produced from the non-standard tokens older versions
-    of :func:`dump_json` emitted.
-    """
-    if isinstance(value, str):
-        if value == "inf":
-            return np.inf
-        if value == "-inf":
-            return -np.inf
-        if value == "nan":
-            return float("nan")
-        raise ValidationError(f"unrecognised encoded float {value!r}")
-    return float(value)  # type: ignore[arg-type]
-
-
-def _encode_floats(values: np.ndarray) -> List[object]:
-    """Floats to a JSON-safe list (strings for non-finite values)."""
-    return [_encode_float(v) for v in values]
-
-
-def _decode_floats(values: List[object]) -> np.ndarray:
-    return np.array([_decode_float(v) for v in values], dtype=np.float64)
-
-
-def _encode_node(node) -> Optional[List[List[int]]]:
-    """Materialise a linked path node chain into a list of [tick, i]."""
-    if node is None:
-        return None
-    cells = []
-    while node is not None:
-        cells.append([int(node[0]), int(node[1])])
-        node = node[2]
-    cells.reverse()
-    return cells
-
-
-def _decode_node(cells: Optional[List[List[int]]]):
-    if cells is None:
-        return None
-    node = None
-    for tick, i in cells:
-        node = (tick, i, node)
-    return node
-
-
-def save_state(spring: Spring) -> Dict[str, object]:
-    """Serialise a matcher to a plain dict (see module docstring)."""
-    if type(spring).__name__ not in _CLASSES:
+    for hook in ("state_dict", "from_state"):
+        if not callable(getattr(cls, hook, None)):
+            raise ValidationError(
+                f"cannot register {cls.__name__}: missing {hook}()"
+            )
+    existing = _REGISTRY.get(cls.__name__)
+    if existing is not None and existing is not cls:
         raise ValidationError(
-            f"cannot checkpoint {type(spring).__name__}; "
-            f"supported: {sorted(_CLASSES)}"
+            f"matcher name {cls.__name__!r} already registered"
         )
-    state: Dict[str, object] = {
-        "format_version": _FORMAT_VERSION,
-        "class": type(spring).__name__,
-        "query": spring._query.tolist(),
-        "epsilon": _encode_float(spring.epsilon),
-        "record_path": spring.record_path,
-        "missing": spring.missing,
-        "use_reference": spring.use_reference,
-        "tick": spring._tick,
-        "d": _encode_floats(spring._state.d),
-        "s": spring._state.s.tolist(),
-        "dmin": _encode_float(spring._dmin),
-        "ts": spring._ts,
-        "te": spring._te,
-        "best_distance": _encode_float(spring._best_distance),
-        "best_start": spring._best_start,
-        "best_end": spring._best_end,
-    }
-    if spring.record_path:
-        state["nodes"] = [_encode_node(n) for n in spring._nodes]
-        state["pending_path"] = _encode_node(spring._pending_path)
-        state["best_path"] = _encode_node(spring._best_path)
-    if isinstance(spring, ConstrainedSpring):
-        state["max_stretch"] = spring.max_stretch
-    if isinstance(spring, VectorSpring):
-        state["report_range"] = spring.report_range
-        state["group_start"] = spring._group_start
-        state["group_end"] = spring._group_end
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def registered_matchers() -> List[str]:
+    """Names of every checkpointable matcher class."""
+    return sorted(_REGISTRY)
+
+
+def save_state(matcher) -> Dict[str, object]:
+    """Serialise a matcher to a plain dict (see module docstring)."""
+    cls = type(matcher)
+    if _REGISTRY.get(cls.__name__) is not cls:
+        raise ValidationError(
+            f"cannot checkpoint {cls.__name__}; not registered — "
+            f"implement state_dict()/from_state() and call "
+            f"register_matcher() (registered: {registered_matchers()})"
+        )
+    state = matcher.state_dict()
+    state["format_version"] = _FORMAT_VERSION
+    state["class"] = cls.__name__
     return state
 
 
-def load_state(state: Dict[str, object]) -> Spring:
+def load_state(state: Dict[str, object]):
     """Rebuild a matcher from :func:`save_state` output."""
     if state.get("format_version") != _FORMAT_VERSION:
         raise ValidationError(
@@ -158,46 +118,16 @@ def load_state(state: Dict[str, object]) -> Spring:
         )
     class_name = state["class"]
     try:
-        cls = _CLASSES[class_name]  # type: ignore[index]
+        cls = _REGISTRY[class_name]  # type: ignore[index]
     except KeyError:
-        raise ValidationError(f"unknown matcher class {class_name!r}") from None
-
-    query = np.asarray(state["query"], dtype=np.float64)
-    if not issubclass(cls, VectorSpring):
-        query = query.reshape(-1)  # scalar matchers validate 1-D queries
-    epsilon = _decode_float(state["epsilon"])
-    kwargs = dict(
-        epsilon=epsilon,
-        record_path=bool(state["record_path"]),
-        missing=str(state["missing"]),
-        use_reference=bool(state["use_reference"]),
-    )
-    if cls is ConstrainedSpring:
-        kwargs["max_stretch"] = float(state["max_stretch"])  # type: ignore[arg-type]
-    if cls is VectorSpring:
-        kwargs["report_range"] = bool(state.get("report_range", False))
-    spring = cls(query, **kwargs)
-
-    spring._tick = int(state["tick"])  # type: ignore[arg-type]
-    spring._state.d = _decode_floats(state["d"])  # type: ignore[arg-type]
-    spring._state.s = np.asarray(state["s"], dtype=np.int64)
-    spring._dmin = _decode_float(state["dmin"])
-    spring._ts = int(state["ts"])  # type: ignore[arg-type]
-    spring._te = int(state["te"])  # type: ignore[arg-type]
-    spring._best_distance = _decode_float(state["best_distance"])
-    spring._best_start = int(state["best_start"])  # type: ignore[arg-type]
-    spring._best_end = int(state["best_end"])  # type: ignore[arg-type]
-    if spring.record_path:
-        spring._nodes = [_decode_node(n) for n in state["nodes"]]  # type: ignore[union-attr]
-        spring._pending_path = _decode_node(state["pending_path"])  # type: ignore[arg-type]
-        spring._best_path = _decode_node(state["best_path"])  # type: ignore[arg-type]
-    if isinstance(spring, VectorSpring):
-        spring._group_start = state.get("group_start")  # type: ignore[assignment]
-        spring._group_end = state.get("group_end")  # type: ignore[assignment]
-    return spring
+        raise ValidationError(
+            f"unknown matcher class {class_name!r}; "
+            f"registered: {registered_matchers()}"
+        ) from None
+    return cls.from_state(state)
 
 
-def dump_json(spring: Spring) -> str:
+def dump_json(matcher) -> str:
     """Checkpoint to a strictly-standard JSON string.
 
     Serialised with ``allow_nan=False``: every non-finite float is
@@ -205,10 +135,10 @@ def dump_json(spring: Spring) -> str:
     the payload round-trips through any spec-compliant JSON parser, not
     just Python's.
     """
-    return json.dumps(save_state(spring), allow_nan=False)
+    return json.dumps(save_state(matcher), allow_nan=False)
 
 
-def load_json(payload: str) -> Spring:
+def load_json(payload: str):
     """Restore from :func:`dump_json` output (legacy payloads accepted).
 
     Files written before NaN hardening may contain Python's
@@ -216,6 +146,19 @@ def load_json(payload: str) -> Spring:
     by default and the decoder maps them back.
     """
     return load_state(json.loads(payload))
+
+
+def _encode_distance_spec(spec: object) -> object:
+    """A ``local_distance`` constructor argument to its canonical name."""
+    if spec is None or isinstance(spec, str):
+        return spec
+    name = canonical_distance_name(resolve_vector_distance(spec))
+    if name is None:
+        raise ValidationError(
+            "cannot checkpoint a matcher built with an unnamed "
+            "local-distance callable; pass a registered distance name"
+        )
+    return name
 
 
 def save_monitor(monitor) -> Dict[str, object]:
@@ -237,13 +180,20 @@ def save_monitor(monitor) -> Dict[str, object]:
     monitor._sync_all()
     queries = {}
     for name, spec in monitor._queries.items():
+        kwargs = {}
+        for key, value in spec.kwargs.items():
+            if key == "local_distance":
+                value = _encode_distance_spec(value)
+                if value is None:
+                    continue
+            kwargs[key] = value
         queries[name] = {
             "query": spec.query.tolist(),
-            "epsilon": _encode_float(spec.epsilon),
-            "vector": spec.vector,
-            "kwargs": {
-                k: v for k, v in spec.kwargs.items() if k != "local_distance"
-            },
+            "epsilon": encode_float(spec.epsilon),
+            "matcher": spec.kind,
+            # Legacy readers only know the vector flag.
+            "vector": spec.kind == "vector",
+            "kwargs": kwargs,
         }
     matchers = {
         stream: {
@@ -268,12 +218,15 @@ def load_monitor(state: Dict[str, object]):
         )
     monitor = StreamMonitor()
     for name, spec in state["queries"].items():  # type: ignore[union-attr]
-        epsilon = _decode_float(spec["epsilon"])
+        epsilon = decode_float(spec["epsilon"])
+        kind = spec.get("matcher")
+        if kind is None:  # legacy payloads carry only the vector flag
+            kind = "vector" if spec.get("vector") else "spring"
         monitor.add_query(
             name,
             spec["query"],
             epsilon=epsilon,
-            vector=bool(spec["vector"]),
+            matcher=kind,
             **spec.get("kwargs", {}),
         )
     for stream, per_stream in state["matchers"].items():  # type: ignore[union-attr]

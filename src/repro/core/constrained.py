@@ -13,20 +13,28 @@ Two effects, exercised by the ablation benchmark:
   stream window are rejected;
 * no extra asymptotic cost — the state stays O(m).
 
-This class enforces the stretch bound *at qualification time* (a match is
+The band enforces the stretch bound *at qualification time* (a match is
 only accepted when its length is within the band).  That keeps the
 recurrence untouched — exactly the paper's — so all accuracy lemmas still
 apply to the subsequences that qualify.
+
+In the layered architecture this class is a thin shim: the whole
+behaviour is a :class:`~repro.core.policy.LengthBand` admission policy
+on a plain :class:`~repro.core.spring.Spring`, so the band now composes
+with any other matcher that accepts ``policies`` (normalized,
+top-k, cascade, ...).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Sequence, Union
 
 import numpy as np
 
 from repro._validation import check_positive
-from repro.core.matches import Match
+from repro.core.checkpoint import register_matcher
+from repro.core.policy import LengthBand, ReportPolicy
+from repro.core.registry import register_matcher_kind
 from repro.core.spring import Spring
 from repro.dtw.steps import LocalDistance
 
@@ -43,6 +51,10 @@ class ConstrainedSpring(Spring):
         ``m / max_stretch <= L <= m * max_stretch``.  ``max_stretch = 1``
         demands exact-length matches (Euclidean-style); larger values
         approach unconstrained SPRING.
+
+    Equivalent to ``Spring(query, epsilon,
+    policies=[LengthBand(max_stretch)])`` — property-tested in
+    ``tests/properties/test_layered_equivalence.py``.
     """
 
     def __init__(
@@ -54,12 +66,14 @@ class ConstrainedSpring(Spring):
         record_path: bool = False,
         missing: str = "skip",
         use_reference: bool = False,
+        policies: Sequence[ReportPolicy] = (),
     ) -> None:
         self.max_stretch = check_positive(max_stretch, "max_stretch")
         if self.max_stretch < 1.0:
             raise ValueError(
                 f"max_stretch must be >= 1, got {self.max_stretch}"
             )
+        band = LengthBand(self.max_stretch)
         super().__init__(
             query,
             epsilon=epsilon,
@@ -67,39 +81,27 @@ class ConstrainedSpring(Spring):
             record_path=record_path,
             missing=missing,
             use_reference=use_reference,
+            policies=(band, *policies),
         )
+        self._band = band
+        self._intrinsic_policies = (band,)
 
     def _length_admissible(self, start: int, end: int) -> bool:
-        length = end - start + 1
-        m = self.m
-        return m / self.max_stretch <= length <= m * self.max_stretch
+        """Whether ``start..end`` fits the band (kept for introspection)."""
+        return self._band.admit(start, end)
 
-    def _report_logic(self) -> Optional[Match]:
-        d = self._state.d
-        s = self._state.s
-        report: Optional[Match] = None
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict, adding the band's config."""
+        state = super().state_dict()
+        state["max_stretch"] = self.max_stretch
+        return state
 
-        if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
-            blocked = (d[1:] >= self._dmin) | (s[1:] > self._te)
-            if bool(np.all(blocked)):
-                report = self._emit()
-                self._reset_after_report()
+    @classmethod
+    def _init_kwargs_from_state(cls, state: dict) -> dict:
+        kwargs = super()._init_kwargs_from_state(state)
+        kwargs["max_stretch"] = float(state["max_stretch"])
+        return kwargs
 
-        d_m = float(d[-1])
-        s_m = int(s[-1])
-        if (
-            d_m <= self.epsilon
-            and d_m < self._dmin
-            and self._length_admissible(s_m, self._tick)
-        ):
-            self._dmin = d_m
-            self._ts = s_m
-            self._te = self._tick
-            self._pending_path = self._nodes[-1] if self.record_path else None
 
-        if d_m < self._best_distance and self._length_admissible(s_m, self._tick):
-            self._best_distance = d_m
-            self._best_start = s_m
-            self._best_end = self._tick
-            self._best_path = self._nodes[-1] if self.record_path else None
-        return report
+register_matcher(ConstrainedSpring)
+register_matcher_kind("constrained", ConstrainedSpring)

@@ -1,0 +1,106 @@
+"""Execution layer: choose how a set of matchers advances each tick.
+
+Layer 4 of the architecture.  Given the matchers attached to one
+stream, :func:`build_plan` partitions them into
+
+* **fused banks** — matchers whose declared
+  :class:`~repro.core.protocol.Capabilities` say their per-tick
+  behaviour is exactly the plain scalar Figure-4 recurrence; they
+  advance together through one
+  :class:`~repro.core.fused.FusedSpring` column update per tick, and
+  their transform-only policies are applied to the bank's emissions; and
+* **per-matcher execution** — everything else (vector streams, path
+  recording, admission gating, observers, transforms) keeps its own
+  scalar/blocked path.
+
+Selection is purely capability-driven: no ``type(spring) is Spring``
+checks, so new matcher classes opt into fused execution by declaring
+``fusable=True``.  Banks group by missing policy and by the *declared
+distance name* — callable identity is only the fallback for unnamed
+custom distances — so equivalent-but-distinct distance specs
+(``None``, ``"squared"``, the function object itself) land in one bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.fused import FusedSpring
+
+__all__ = ["FusedBank", "ExecutionPlan", "fusion_key", "build_plan"]
+
+
+@dataclass
+class FusedBank:
+    """One fused engine serving several bank-compatible matchers."""
+
+    engine: FusedSpring
+    names: List[str]
+    matchers: List[object]
+
+    def write_back(self) -> None:
+        """Copy bank state back into the per-query matchers."""
+        self.engine.write_back(self.matchers)
+
+
+@dataclass
+class ExecutionPlan:
+    """How one stream's matchers execute: banks plus the banked name set."""
+
+    banks: List[FusedBank] = field(default_factory=list)
+    banked: frozenset = frozenset()
+
+
+def fusion_key(matcher: object) -> Optional[Tuple]:
+    """Bank-compatibility key for a matcher, or None when not fusable.
+
+    Two matchers may share a bank iff their keys are equal: same missing
+    policy and same local distance, where "same distance" means equal
+    canonical names when declared, with callable identity as the
+    fallback for unnamed custom distances.
+    """
+    capabilities = getattr(matcher, "capabilities", None)
+    if not callable(capabilities):
+        return None
+    caps = capabilities()
+    if not caps.fusable:
+        return None
+    if caps.distance_name is not None:
+        distance_key: Tuple = ("name", caps.distance_name)
+    else:
+        distance_key = ("id", id(matcher._distance))
+    return (caps.missing, distance_key)
+
+
+def build_plan(
+    matchers: Mapping[str, object], min_bank_size: int = 2
+) -> ExecutionPlan:
+    """Partition a stream's matchers into fused banks + individual runs.
+
+    Matchers not covered by ``plan.banked`` run their own ``step`` /
+    ``extend``; banked ones advance through ``plan.banks`` and have
+    their transform-only policies applied to bank emissions via
+    ``matcher.apply_report_policies``.  A bank of one is just a slower
+    Spring, hence ``min_bank_size``.
+    """
+    groups: Dict[Tuple, List[str]] = {}
+    for name, matcher in matchers.items():
+        key = fusion_key(matcher)
+        if key is not None:
+            groups.setdefault(key, []).append(name)
+    banks: List[FusedBank] = []
+    banked: set = set()
+    for names in groups.values():
+        if len(names) < min_bank_size:
+            continue
+        group = [matchers[n] for n in names]
+        banks.append(
+            FusedBank(
+                engine=FusedSpring.from_springs(group),
+                names=list(names),
+                matchers=group,
+            )
+        )
+        banked.update(names)
+    return ExecutionPlan(banks=banks, banked=frozenset(banked))

@@ -395,27 +395,38 @@ class FusedSpring:
     ) -> "FusedSpring":
         """Build an engine that adopts the live state of ``springs``.
 
-        All matchers must be plain scalar :class:`~repro.core.spring.Spring`
-        instances (no path recording / reference mode) sharing one local
-        distance and missing policy; their current mid-stream state —
-        columns, tick counters, held optima, best matches — is copied in,
-        so fused execution continues exactly where they stopped.
+        Eligibility is capability-declared, not type-checked: every
+        matcher must be a :class:`~repro.core.spring.Spring` whose
+        ``capabilities()`` report ``fusable=True`` (scalar stream, the
+        vectorised kernel, base report logic, transform-only policies),
+        all sharing one missing policy and a compatible local distance
+        (equal canonical names, or the identical callable when
+        unnamed).  Their current mid-stream state — columns, tick
+        counters, held optima, best matches — is copied in, so fused
+        execution continues exactly where they stopped.  Policies are
+        *not* adopted: callers apply each matcher's transform chain to
+        the bank's emissions via ``apply_report_policies``.
         """
         from repro.core.spring import Spring
+
+        def same_distance(a: Spring, b: Spring) -> bool:
+            if a._distance is b._distance:
+                return True
+            return (
+                a.distance_name is not None
+                and a.distance_name == b.distance_name
+            )
 
         if not springs:
             raise ValidationError("from_springs needs at least one matcher")
         first = springs[0]
         for sp in springs:
-            if type(sp) is not Spring:
+            if not isinstance(sp, Spring) or not sp.capabilities().fusable:
                 raise ValidationError(
-                    f"cannot fuse {type(sp).__name__}; only plain Spring"
+                    f"cannot fuse {type(sp).__name__}: its capabilities "
+                    f"do not declare it bank-fusable"
                 )
-            if sp.use_reference:
-                raise ValidationError(
-                    "cannot fuse reference/path-recording matchers"
-                )
-            if sp.missing != first.missing or sp._distance is not first._distance:
+            if sp.missing != first.missing or not same_distance(sp, first):
                 raise ValidationError(
                     "fused matchers must share missing policy and local distance"
                 )

@@ -2,24 +2,32 @@
 
 The paper's problem statement is "efficiently monitoring multiple
 numerical streams".  :class:`StreamMonitor` manages a matrix of
-(stream x query) :class:`~repro.core.spring.Spring` matchers: register
-streams and queries, push values as they arrive, and receive
-:class:`MatchEvent` records.  Total per-tick work is O(sum of query
-lengths) per stream — each matcher stays O(m) per Lemma 4, and matchers
-are independent.
+(stream x query) matchers: register streams and queries, push values as
+they arrive, and receive :class:`MatchEvent` records.  Total per-tick
+work is O(sum of query lengths) per stream — each matcher stays O(m)
+per Lemma 4, and matchers are independent.
 
-Internally the monitor batches work along the *query* axis: plain scalar
-matchers on one stream are grouped into
-:class:`~repro.core.fused.FusedSpring` banks that advance every query
-with one vectorised column update per tick, so per-tick cost no longer
-pays Python dispatch per query.  Banks are an execution detail — event
-contents and ordering are identical to stepping each matcher
-individually (in query-registration order), and matchers with
-per-query execution modes (path recording, reference loop, vector
-streams) transparently keep the per-query path.  Accessing a matcher
-via :meth:`StreamMonitor.matcher` (or checkpointing) syncs bank state
-back into the individual matchers first, so direct inspection — and
-even direct stepping — always sees exact, current state.
+The monitor consumes matchers purely through the
+:class:`~repro.core.protocol.Matcher` protocol: queries are registered
+by *kind* name (``"spring"``, ``"constrained"``, ``"topk"``,
+``"normalized"``, ``"cascade"``, or any kind added via
+:func:`~repro.core.registry.register_matcher_kind`), and execution is
+planned by :func:`~repro.core.engine.build_plan` from each matcher's
+declared :class:`~repro.core.protocol.Capabilities` — no
+``type(spring) is Spring`` checks anywhere.
+
+Internally the plan batches work along the *query* axis: bank-fusable
+matchers on one stream advance through one vectorised
+:class:`~repro.core.fused.FusedSpring` column update per tick, with
+their transform-only policies applied to the bank's emissions.  Banks
+are an execution detail — event contents and ordering are identical to
+stepping each matcher individually (in query-registration order), and
+matchers with per-query execution modes (path recording, reference
+loop, vector streams, transforms) transparently keep the per-query
+path.  Accessing a matcher via :meth:`StreamMonitor.matcher` (or
+checkpointing) syncs bank state back into the individual matchers
+first, so direct inspection — and even direct stepping — always sees
+exact, current state.
 
 Callbacks make it usable as a push-based alerting component: subscribe a
 callable and it fires on every confirmed match.
@@ -44,10 +52,10 @@ from typing import (
 
 import numpy as np
 
-from repro.core.fused import FusedSpring
+from repro.core.engine import ExecutionPlan, build_plan
 from repro.core.matches import Match
-from repro.core.spring import Spring
-from repro.core.vector import VectorSpring
+from repro.core.policy import decode_policies, encode_policies
+from repro.core.registry import build_matcher
 from repro.dtw.steps import LocalDistance
 from repro.exceptions import ValidationError
 
@@ -68,25 +76,27 @@ class MatchEvent:
 
 @dataclass
 class _QuerySpec:
-    """Registered query: the template every per-stream matcher is built from."""
+    """Registered query: the template every per-stream matcher is built from.
+
+    ``kwargs`` is JSON-safe: report policies are stored as encoded specs
+    (see :func:`~repro.core.policy.encode_policies`) so each stream's
+    matcher gets *fresh* policy instances — stateful policies like a
+    top-k leaderboard must never be shared across streams.
+    """
 
     name: str
     query: np.ndarray
     epsilon: float
-    vector: bool
+    kind: str
     kwargs: dict = field(default_factory=dict)
 
-    def build(self) -> Spring:
-        cls = VectorSpring if self.vector else Spring
-        return cls(self.query, epsilon=self.epsilon, **self.kwargs)
-
-
-@dataclass
-class _Bank:
-    """One fused engine serving several same-policy queries of a stream."""
-
-    engine: FusedSpring
-    names: List[str]
+    def build(self) -> object:
+        kwargs = dict(self.kwargs)
+        if "policies" in kwargs:
+            kwargs["policies"] = decode_policies(kwargs["policies"])
+        return build_matcher(
+            self.kind, self.query, epsilon=self.epsilon, **kwargs
+        )
 
 
 class StreamMonitor:
@@ -126,7 +136,7 @@ class StreamMonitor:
         ] = None,
     ) -> None:
         self._queries: Dict[str, _QuerySpec] = {}
-        self._matchers: Dict[str, Dict[str, Spring]] = {}
+        self._matchers: Dict[str, Dict[str, object]] = {}
         self._callbacks: List[Callable[[MatchEvent], None]] = []
         self.on_callback_error = on_callback_error
         if history_limit is not None:
@@ -138,8 +148,8 @@ class StreamMonitor:
         self.history_limit = history_limit
         self._history: Deque[MatchEvent] = deque(maxlen=history_limit)
         self.keep_history = bool(keep_history)
-        # stream -> (banks, banked query names); None = rebuild on next push.
-        self._banks: Dict[str, Optional[Tuple[List[_Bank], frozenset]]] = {}
+        # stream -> ExecutionPlan; None = rebuild on next push.
+        self._plans: Dict[str, Optional[ExecutionPlan]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -160,6 +170,14 @@ class StreamMonitor:
         """Retained events (see ``keep_history`` / ``history_limit``)."""
         return list(self._history)
 
+    def query_spec(self, name: str) -> Tuple[str, np.ndarray, float, dict]:
+        """Registered template for one query: (kind, query, epsilon, kwargs)."""
+        try:
+            spec = self._queries[name]
+        except KeyError:
+            raise ValidationError(f"query {name!r} is not registered") from None
+        return (spec.kind, spec.query, spec.epsilon, dict(spec.kwargs))
+
     def add_stream(self, name: str) -> None:
         """Register a stream; existing queries attach to it immediately."""
         if name in self._matchers:
@@ -167,7 +185,7 @@ class StreamMonitor:
         self._matchers[name] = {
             query_name: spec.build() for query_name, spec in self._queries.items()
         }
-        self._banks[name] = None
+        self._plans[name] = None
 
     def add_query(
         self,
@@ -175,24 +193,41 @@ class StreamMonitor:
         query: object,
         epsilon: float,
         vector: bool = False,
+        matcher: Optional[str] = None,
         local_distance: Union[str, LocalDistance, None] = None,
-        **spring_kwargs: object,
+        **matcher_kwargs: object,
     ) -> None:
         """Register a query; it attaches to every current and future stream.
 
-        Extra keyword arguments are forwarded to the underlying
-        :class:`Spring` / :class:`VectorSpring` constructor.
+        ``matcher`` selects the matcher kind by registry name
+        (``"spring"``, ``"vector"``, ``"constrained"``, ``"topk"``,
+        ``"normalized"``, ``"cascade"``, ...); it defaults to
+        ``"vector"`` when ``vector=True`` and ``"spring"`` otherwise.
+        Extra keyword arguments are forwarded to the matcher
+        constructor; a ``policies`` argument may hold
+        :class:`~repro.core.policy.ReportPolicy` instances or encoded
+        specs — either way each stream gets its own fresh instances.
         """
         if name in self._queries:
             raise ValidationError(f"query {name!r} already registered")
+        if matcher is None:
+            matcher = "vector" if vector else "spring"
+        elif vector and matcher != "vector":
+            raise ValidationError(
+                f"conflicting matcher selection: vector=True but matcher={matcher!r}"
+            )
         query_array = np.asarray(query, dtype=np.float64)
-        kwargs = dict(spring_kwargs)
+        kwargs = dict(matcher_kwargs)
         kwargs["local_distance"] = local_distance
+        if "policies" in kwargs:
+            kwargs["policies"] = encode_policies(
+                decode_policies(kwargs["policies"])  # normalise mixed input
+            )
         spec = _QuerySpec(
             name=name,
             query=query_array,
             epsilon=float(epsilon),
-            vector=vector,
+            kind=matcher,
             kwargs=kwargs,
         )
         spec.build()  # validate eagerly so errors surface at registration
@@ -214,65 +249,41 @@ class StreamMonitor:
         """Invoke ``callback`` on every future match event."""
         self._callbacks.append(callback)
 
-    def matcher(self, stream: str, query: str) -> Spring:
+    def matcher(self, stream: str, query: str) -> object:
         """Direct access to one underlying matcher (for inspection)."""
         try:
             matchers = self._matchers[stream]
-            spring = matchers[query]
+            matcher = matchers[query]
         except KeyError:
             raise ValidationError(
                 f"no matcher for stream {stream!r} / query {query!r}"
             ) from None
         self._sync_stream(stream)
-        return spring
+        return matcher
 
     # ------------------------------------------------------------------
-    # Query banks (fused execution detail)
+    # Execution plans (fused banking, capability-driven)
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _bankable(spring: Spring) -> bool:
-        # Exact type: subclasses customise report logic; reference mode
-        # (which path recording implies) needs the per-tick loop.
-        return type(spring) is Spring and not spring.use_reference
-
-    def _ensure_banks(self, stream: str) -> Tuple[List[_Bank], frozenset]:
-        entry = self._banks.get(stream)
-        if entry is not None:
-            return entry
-        groups: Dict[tuple, List[str]] = {}
-        matchers = self._matchers[stream]
-        for name, spring in matchers.items():
-            if self._bankable(spring):
-                key = (spring.missing, id(spring._distance))
-                groups.setdefault(key, []).append(name)
-        banks: List[_Bank] = []
-        banked: set = set()
-        for names in groups.values():
-            if len(names) < 2:
-                continue  # a bank of one is just a slower Spring
-            springs = [matchers[n] for n in names]
-            banks.append(
-                _Bank(engine=FusedSpring.from_springs(springs), names=names)
-            )
-            banked.update(names)
-        entry = (banks, frozenset(banked))
-        self._banks[stream] = entry
-        return entry
+    def _ensure_plan(self, stream: str) -> ExecutionPlan:
+        plan = self._plans.get(stream)
+        if plan is None:
+            plan = build_plan(self._matchers[stream])
+            self._plans[stream] = plan
+        return plan
 
     def _sync_stream(self, stream: str) -> None:
-        """Write bank state back into per-query matchers and drop the banks.
+        """Write bank state back into per-query matchers and drop the plan.
 
-        After this, the individual :class:`Spring` objects are the
-        single source of truth again; the next push rebuilds banks from
+        After this, the individual matcher objects are the single
+        source of truth again; the next push rebuilds the plan from
         them (so even direct ``matcher(...).step(...)`` stays coherent).
         """
-        entry = self._banks.get(stream)
-        if entry:
-            matchers = self._matchers[stream]
-            for bank in entry[0]:
-                bank.engine.write_back([matchers[n] for n in bank.names])
-        self._banks[stream] = None
+        plan = self._plans.get(stream)
+        if plan is not None:
+            for bank in plan.banks:
+                bank.write_back()
+        self._plans[stream] = None
 
     def _sync_all(self) -> None:
         """Sync every stream's banks (used by checkpointing)."""
@@ -289,15 +300,19 @@ class StreamMonitor:
             matchers = self._matchers[stream]
         except KeyError:
             raise ValidationError(f"stream {stream!r} is not registered") from None
-        banks, banked = self._ensure_banks(stream)
+        plan = self._ensure_plan(stream)
         per_query: Dict[str, Match] = {}
-        for bank in banks:
+        for bank in plan.banks:
             for qi, match in bank.engine.step(value):
-                per_query[bank.names[qi]] = match
-        for query_name, spring in matchers.items():
-            if query_name in banked:
+                # Banked matchers emit raw Figure-4 matches; their
+                # transform-only policies run here.
+                final = bank.matchers[qi].apply_report_policies(match)
+                if final is not None:
+                    per_query[bank.names[qi]] = final
+        for query_name, matcher in matchers.items():
+            if query_name in plan.banked:
                 continue
-            match = spring.step(value)
+            match = matcher.step(value)
             if match is not None:
                 per_query[query_name] = match
         events = [
@@ -323,7 +338,7 @@ class StreamMonitor:
             raise ValidationError(f"stream {stream!r} is not registered") from None
         if not isinstance(values, (np.ndarray, list, tuple)):
             values = list(values)  # one materialisation feeds every matcher
-        banks, banked = self._ensure_banks(stream)
+        plan = self._ensure_plan(stream)
         order = {name: i for i, name in enumerate(matchers)}
         collected: List[Tuple[int, int, MatchEvent]] = []
 
@@ -336,18 +351,21 @@ class StreamMonitor:
                     (offset, order[name], MatchEvent(stream, name, match))
                 )
 
-        for bank in banks:
+        for bank in plan.banks:
             start_ticks = bank.engine.ticks
             for qi, match in bank.engine.extend(values):
+                final = bank.matchers[qi].apply_report_policies(match)
+                if final is None:
+                    continue
                 name = bank.names[qi]
-                offset = (match.output_time or 0) - int(start_ticks[qi])
+                offset = (final.output_time or 0) - int(start_ticks[qi])
                 collected.append(
-                    (offset, order[name], MatchEvent(stream, name, match))
+                    (offset, order[name], MatchEvent(stream, name, final))
                 )
-        for query_name, spring in matchers.items():
-            if query_name in banked:
+        for query_name, matcher in matchers.items():
+            if query_name in plan.banked:
                 continue
-            collect(query_name, spring.tick, spring.extend(values))
+            collect(query_name, matcher.tick, matcher.extend(values))
 
         collected.sort(key=lambda item: (item[0], item[1]))
         events = [event for _, _, event in collected]
@@ -366,8 +384,8 @@ class StreamMonitor:
         events = []
         for stream, matchers in self._matchers.items():
             self._sync_stream(stream)
-            for query_name, spring in matchers.items():
-                match = spring.flush()
+            for query_name, matcher in matchers.items():
+                match = matcher.flush()
                 if match is not None:
                     events.append(
                         MatchEvent(stream=stream, query=query_name, match=match)

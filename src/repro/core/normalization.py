@@ -10,25 +10,32 @@ once with its own statistics.
 
 This is an extension beyond the paper (which matches raw values); it is
 exercised by the ablation benchmarks to show when normalisation helps.
+
+In the layered architecture this class is a thin shim over
+:class:`~repro.core.transform.TransformedMatcher` with a
+:class:`~repro.core.transform.ZNormalize` input adapter, so the same
+normalisation composes with any matcher variant and policy chain (e.g.
+normalised + length-constrained matching).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Sequence, Union
 
 import numpy as np
 
-from repro._validation import as_scalar_sequence, check_positive
-from repro.core.matches import Match
+from repro._validation import as_scalar_sequence
+from repro.core.checkpoint import load_state, register_matcher, save_state
+from repro.core.policy import ReportPolicy
+from repro.core.registry import register_matcher_kind
 from repro.core.spring import Spring
+from repro.core.transform import TransformedMatcher, ZNormalize
 from repro.dtw.steps import LocalDistance
-from repro.exceptions import ValidationError
-from repro.streams.stats import EwmStats, RunningStats
 
 __all__ = ["NormalizedSpring"]
 
 
-class NormalizedSpring:
+class NormalizedSpring(TransformedMatcher):
     """SPRING over a z-normalised view of the stream.
 
     Parameters
@@ -46,6 +53,9 @@ class NormalizedSpring:
         Ticks to consume before matching starts (std estimates from a
         couple of samples are meaningless); state advances, but no
         normalised values are forwarded until the warm-up has passed.
+    policies:
+        Report policies attached to the inner matcher (they see
+        inner-tick coordinates during admission, raw-tick reports).
     """
 
     def __init__(
@@ -56,76 +66,77 @@ class NormalizedSpring:
         halflife: float = 500.0,
         warmup: int = 10,
         local_distance: Union[str, LocalDistance, None] = None,
+        policies: Sequence[ReportPolicy] = (),
     ) -> None:
         raw = as_scalar_sequence(query, "query")
-        std = float(raw.std())
-        if std == 0.0:
-            raise ValidationError("query is constant; cannot z-normalise")
-        self._normalized_query = (raw - raw.mean()) / std
-        if mode not in ("global", "ewm"):
-            raise ValidationError(f"mode must be 'global' or 'ewm', got {mode!r}")
-        self.mode = mode
-        self.warmup = max(int(warmup), 2)
-        if mode == "ewm":
-            check_positive(halflife, "halflife")
-            self._stats: object = EwmStats(halflife=halflife)
-        else:
-            self._stats = RunningStats()
-        self._spring = Spring(
-            self._normalized_query, epsilon=epsilon, local_distance=local_distance
+        transform = ZNormalize(mode=mode, halflife=halflife, warmup=warmup)
+        inner = Spring(
+            transform.fit_query(raw),
+            epsilon=epsilon,
+            local_distance=local_distance,
+            policies=policies,
         )
-        self._raw_tick = 0
+        super().__init__(inner, transform)
+        self._raw_query = raw
 
     @property
-    def tick(self) -> int:
-        """Raw stream ticks consumed (including warm-up)."""
-        return self._raw_tick
+    def mode(self) -> str:
+        """Statistics mode: ``"global"`` or ``"ewm"``."""
+        return self._transform.mode
+
+    @property
+    def halflife(self) -> float:
+        """EWM half-life in ticks (unused in global mode)."""
+        return self._transform.halflife
+
+    @property
+    def warmup(self) -> int:
+        """Ticks swallowed before matching starts."""
+        return self._transform.warmup
+
+    @property
+    def epsilon(self) -> float:
+        """Disjoint threshold, in normalised units."""
+        return self._inner.epsilon
 
     @property
     def spring(self) -> Spring:
         """The inner matcher (matches use *its* tick numbering, which is
         offset by the warm-up: inner tick = raw tick - warmup)."""
-        return self._spring
+        return self._inner
 
-    def step(self, value: float) -> Optional[Match]:
-        """Consume one raw value; return a match in raw-tick coordinates."""
-        self._raw_tick += 1
-        value = float(value)
-        if np.isnan(value):
-            if self._raw_tick > self.warmup:
-                return self._offset(self._spring.step(np.nan))
-            return None
-        self._stats.push(value)
-        if self._raw_tick <= self.warmup:
-            return None
-        std = self._stats.std
-        if std == 0.0:
-            std = 1.0  # constant history: center only
-        normalised = (value - self._stats.mean) / std
-        return self._offset(self._spring.step(normalised))
+    @property
+    def _stats(self) -> object:
+        # Back-compat alias for pre-transform-layer callers.
+        return self._transform.stats
 
-    def extend(self, values: Iterable[float]) -> List[Match]:
-        """Consume many raw values; return matches confirmed on the way."""
-        matches = []
-        for value in values:
-            match = self.step(value)
-            if match is not None:
-                matches.append(match)
-        return matches
+    # -- checkpointing -------------------------------------------------
 
-    def flush(self) -> Optional[Match]:
-        """Report a pending match at end-of-stream."""
-        return self._offset(self._spring.flush())
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict: raw query, stats, inner matcher."""
+        return {
+            "query": self._raw_query.tolist(),
+            "mode": self.mode,
+            "halflife": self.halflife,
+            "warmup": self.warmup,
+            "tick": self._tick,
+            "transform": self._transform.state_dict(),
+            "inner": save_state(self._inner),
+        }
 
-    def _offset(self, match: Optional[Match]) -> Optional[Match]:
-        if match is None:
-            return None
-        from dataclasses import replace
-
-        shift = self.warmup
-        return replace(
-            match,
-            start=match.start + shift,
-            end=match.end + shift,
-            output_time=None if match.output_time is None else match.output_time + shift,
+    @classmethod
+    def from_state(cls, state: dict) -> "NormalizedSpring":
+        matcher = cls(
+            np.asarray(state["query"], dtype=np.float64),
+            mode=str(state["mode"]),
+            halflife=float(state["halflife"]),
+            warmup=int(state["warmup"]),
         )
+        matcher._inner = load_state(state["inner"])
+        matcher._transform.load_state_dict(state["transform"])
+        matcher._tick = int(state["tick"])
+        return matcher
+
+
+register_matcher(NormalizedSpring)
+register_matcher_kind("normalized", NormalizedSpring)

@@ -1,0 +1,405 @@
+"""Report policies: composable post-recurrence behaviour (layer 2 of 4).
+
+The SPRING kernel (:mod:`repro.core.state`) computes the recurrence;
+Figure 4's disjoint-query bookkeeping lives in
+:class:`~repro.core.spring.Spring`.  Everything the variants used to
+bolt on via ``_report_logic`` overrides — length admissibility, top-k
+retention, group-range annotation — is a *policy on reports*, not a new
+recurrence.  This module makes those policies first-class objects that
+stack on any matcher:
+
+>>> from repro.core import Spring
+>>> from repro.core.policy import LengthBand, TopK
+>>> spring = Spring([1, 2, 1], epsilon=0.5,
+...                 policies=[LengthBand(1.5), TopK(3)])
+
+A policy interacts with the matcher through three hooks, called in a
+fixed order each tick (see ``Spring._report_logic``):
+
+* :meth:`ReportPolicy.admit` — gate whether a candidate subsequence
+  ``(start, end)`` may be captured as the held optimum / best match
+  (length bands live here).  Admission-gating policies change *which*
+  matches exist, so they disqualify the matcher from fused banks.
+* :meth:`ReportPolicy.transform` — rewrite or suppress an emitted
+  match (top-k leaderboards, group-range annotation).  Transform-only
+  policies are bank-safe: the fused engine emits the identical raw
+  match stream and the transform chain is applied afterwards.
+* :meth:`ReportPolicy.observe` — watch every tick's ending distance
+  (group-extent tracking).  Observers need per-tick callbacks the bank
+  engine does not make, so they also disqualify fusion.
+
+Policies carry their own checkpoint state (``config_dict`` /
+``state_dict``) and register by name, so matcher checkpoints capture
+them and monitors rebuild fresh instances per stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import replace
+from typing import ClassVar, Dict, Iterable, List, Optional, Sequence, Type
+
+from repro._serde import decode_float, encode_float
+from repro._validation import check_positive
+from repro.core.matches import Match
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "ReportPolicy",
+    "LengthBand",
+    "TopK",
+    "GroupRange",
+    "register_policy",
+    "registered_policies",
+    "encode_policies",
+    "decode_policies",
+    "encode_match",
+    "decode_match",
+]
+
+
+class ReportPolicy:
+    """Base class: an inert policy that admits and passes through everything.
+
+    Subclasses override the hooks they need and declare, via class
+    attributes, which hooks they use — the matcher consults these to
+    compute its :class:`~repro.core.protocol.Capabilities`:
+
+    * ``fusable`` — True only for transform-only policies whose result
+      does not depend on per-tick callbacks or admission gating.
+    * ``gates_admission`` — True when :meth:`admit` is meaningful.
+    * ``observes`` — True when :meth:`observe` must run every tick.
+    """
+
+    #: Registry name; subclasses must set this to be checkpointable.
+    name: ClassVar[str] = ""
+    fusable: ClassVar[bool] = False
+    gates_admission: ClassVar[bool] = False
+    observes: ClassVar[bool] = False
+
+    def bind(self, m: int) -> None:
+        """Called once when attached to a matcher with query length m."""
+
+    def admit(self, start: int, end: int) -> bool:
+        """May the subsequence ``start..end`` be captured? (gating hook)"""
+        return True
+
+    def observe(
+        self, start: int, end: int, distance: float, qualifying: bool
+    ) -> None:
+        """See one tick's ending cell ``(s_m..t, d_m)`` (observer hook)."""
+
+    def transform(self, match: Match, flushing: bool = False) -> Optional[Match]:
+        """Rewrite an emitted match; return None to suppress it."""
+        return match
+
+    # -- checkpointing -------------------------------------------------
+
+    def config_dict(self) -> dict:
+        """Constructor arguments (JSON-safe) to rebuild this policy."""
+        return {}
+
+    def state_dict(self) -> dict:
+        """Mutable runtime state (JSON-safe); empty for stateless policies."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ReportPolicy":
+        return cls(**config)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.config_dict()})"
+
+
+_POLICIES: Dict[str, Type[ReportPolicy]] = {}
+
+
+def register_policy(cls: Type[ReportPolicy]) -> Type[ReportPolicy]:
+    """Register a policy class for checkpoint round-trips (decorator).
+
+    Third-party policies register the same way the built-ins do; the
+    name is the class's ``name`` attribute.
+    """
+    if not cls.name:
+        raise ValidationError(f"{cls.__name__} needs a non-empty 'name'")
+    existing = _POLICIES.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValidationError(
+            f"policy name {cls.name!r} already registered to "
+            f"{existing.__name__}"
+        )
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+def registered_policies() -> List[str]:
+    """Names of all registered policy classes."""
+    return sorted(_POLICIES)
+
+
+def encode_policies(policies: Iterable[ReportPolicy]) -> List[dict]:
+    """Serialise a policy chain to JSON-safe specs (config + state)."""
+    specs = []
+    for policy in policies:
+        cls = type(policy)
+        if _POLICIES.get(cls.name) is not cls:
+            raise ValidationError(
+                f"cannot serialise unregistered policy {cls.__name__}; "
+                f"register it with @register_policy "
+                f"(registered: {registered_policies()})"
+            )
+        spec = {"policy": cls.name, "config": policy.config_dict()}
+        state = policy.state_dict()
+        if state:
+            spec["state"] = state
+        specs.append(spec)
+    return specs
+
+
+def decode_policies(specs: Sequence[object]) -> List[ReportPolicy]:
+    """Rebuild a policy chain from :func:`encode_policies` output.
+
+    Already-constructed :class:`ReportPolicy` instances pass through
+    unchanged, so callers can mix fresh objects and serialised specs.
+    """
+    policies: List[ReportPolicy] = []
+    for spec in specs:
+        if isinstance(spec, ReportPolicy):
+            policies.append(spec)
+            continue
+        if not isinstance(spec, dict):
+            raise ValidationError(
+                f"policy spec must be a ReportPolicy or dict, got "
+                f"{type(spec).__name__}"
+            )
+        name = spec.get("policy")
+        try:
+            cls = _POLICIES[name]  # type: ignore[index]
+        except KeyError:
+            raise ValidationError(
+                f"unknown policy {name!r}; registered: {registered_policies()}"
+            ) from None
+        policy = cls.from_config(spec.get("config", {}))
+        policy.load_state_dict(spec.get("state", {}))
+        policies.append(policy)
+    return policies
+
+
+# ----------------------------------------------------------------------
+# Match (de)serialisation — used by stateful policies and checkpoints
+# ----------------------------------------------------------------------
+
+
+def encode_match(match: Match) -> dict:
+    """One :class:`Match` to a JSON-safe dict."""
+    payload: dict = {
+        "start": match.start,
+        "end": match.end,
+        "distance": encode_float(match.distance),
+        "output_time": match.output_time,
+    }
+    if match.path is not None:
+        payload["path"] = [[t, i] for t, i in match.path]
+    if match.group_start is not None:
+        payload["group_start"] = match.group_start
+        payload["group_end"] = match.group_end
+    return payload
+
+
+def decode_match(payload: dict) -> Match:
+    """Inverse of :func:`encode_match`."""
+    path = payload.get("path")
+    return Match(
+        start=int(payload["start"]),
+        end=int(payload["end"]),
+        distance=decode_float(payload["distance"]),
+        output_time=(
+            None if payload.get("output_time") is None
+            else int(payload["output_time"])
+        ),
+        path=None if path is None else tuple((t, i) for t, i in path),
+        group_start=payload.get("group_start"),
+        group_end=payload.get("group_end"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in policies
+# ----------------------------------------------------------------------
+
+
+@register_policy
+class LengthBand(ReportPolicy):
+    """Admit only matches whose length is near the query's.
+
+    The streaming analogue of a Sakoe–Chiba band (see
+    :mod:`repro.core.constrained`): a match of length L qualifies only
+    when ``m / max_stretch <= L <= m * max_stretch``.  Admission
+    gating changes which optima get captured, so this policy is not
+    bank-fusable.
+    """
+
+    name = "length_band"
+    fusable = False
+    gates_admission = True
+
+    def __init__(self, max_stretch: float = 2.0) -> None:
+        self.max_stretch = check_positive(max_stretch, "max_stretch")
+        if self.max_stretch < 1.0:
+            raise ValidationError(
+                f"max_stretch must be >= 1, got {self.max_stretch}"
+            )
+        self._m = 0
+
+    def bind(self, m: int) -> None:
+        """Remember the query length the band is relative to."""
+        self._m = int(m)
+
+    def admit(self, start: int, end: int) -> bool:
+        """True when the match length fits the band."""
+        length = end - start + 1
+        m = self._m
+        return m / self.max_stretch <= length <= m * self.max_stretch
+
+    def config_dict(self) -> dict:
+        """Constructor arguments to rebuild this policy."""
+        return {"max_stretch": self.max_stretch}
+
+
+@register_policy
+class TopK(ReportPolicy):
+    """Keep the k best disjoint matches; suppress non-improving reports.
+
+    Candidates are the locally-optimal subsequences the disjoint
+    algorithm emits (one per overlap group), so entries never overlap;
+    the leaderboard keeps the k smallest distances, breaking ties
+    toward earlier matches.  Transform-only, hence bank-fusable: the
+    fused engine emits the identical raw match stream and offers land
+    in the same order.
+    """
+
+    name = "topk"
+    fusable = True
+
+    def __init__(self, k: int = 5) -> None:
+        self.k = int(check_positive(k, "k"))
+        # Max-heap by distance via negation; the counter breaks ties
+        # deterministically toward keeping the earlier match.
+        self._heap: List[tuple] = []
+        self._next = 0
+
+    def transform(self, match: Match, flushing: bool = False) -> Optional[Match]:
+        """Offer the emitted match to the leaderboard."""
+        return self.offer(match)
+
+    def offer(self, match: Match) -> Optional[Match]:
+        """Fold one candidate in; return it if admitted, else None."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-match.distance, self._tiebreak(), match))
+            return match
+        if match.distance < -self._heap[0][0]:
+            heapq.heapreplace(
+                self._heap, (-match.distance, self._tiebreak(), match)
+            )
+            return match
+        return None
+
+    def _tiebreak(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def best(self) -> List[Match]:
+        """Current leaderboard, best first."""
+        entries = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [entry[2] for entry in entries]
+
+    @property
+    def worst_distance(self) -> float:
+        """Distance of the current k-th entry (inf while underfull)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def config_dict(self) -> dict:
+        """Constructor arguments to rebuild this policy."""
+        return {"k": self.k}
+
+    def state_dict(self) -> dict:
+        """Leaderboard entries and the tiebreak counter, JSON-safe."""
+        return {
+            "next": self._next,
+            "entries": [
+                {"counter": counter, "match": encode_match(match)}
+                for _neg, counter, match in self._heap
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        if not state:
+            return
+        self._next = int(state.get("next", 0))
+        self._heap = []
+        for entry in state.get("entries", []):
+            match = decode_match(entry["match"])
+            self._heap.append((-match.distance, int(entry["counter"]), match))
+        heapq.heapify(self._heap)
+
+
+@register_policy
+class GroupRange(ReportPolicy):
+    """Annotate each match with the extent of its overlap group.
+
+    The Section 5.3 mocap modification: every tick whose ending
+    distance qualifies contributes its subsequence ``(s_m .. t)`` to the
+    current group's extent; an emitted match closes the group and
+    carries ``group_start``/``group_end``.  Needs the per-tick observe
+    hook, so it is not bank-fusable.
+    """
+
+    name = "group_range"
+    fusable = False
+    observes = True
+
+    def __init__(self) -> None:
+        self.group_start: Optional[int] = None
+        self.group_end: Optional[int] = None
+
+    def observe(
+        self, start: int, end: int, distance: float, qualifying: bool
+    ) -> None:
+        """Fold a qualifying ending subsequence into the open group."""
+        if not qualifying:
+            return
+        if self.group_start is None:
+            self.group_start = start
+            self.group_end = end
+        else:
+            self.group_start = min(self.group_start, start)
+            self.group_end = max(self.group_end or end, end)
+
+    def transform(self, match: Match, flushing: bool = False) -> Optional[Match]:
+        """Close the open group and annotate the match with its extent."""
+        group_start = match.start
+        group_end = match.end
+        if self.group_start is not None:
+            group_start = min(self.group_start, group_start)
+            group_end = max(self.group_end or group_end, group_end)
+        self.group_start = None
+        self.group_end = None
+        return replace(match, group_start=group_start, group_end=group_end)
+
+    def state_dict(self) -> dict:
+        """The open group's extent (empty when no group is open)."""
+        if self.group_start is None:
+            return {}
+        return {"group_start": self.group_start, "group_end": self.group_end}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self.group_start = state.get("group_start")
+        self.group_end = state.get("group_end")

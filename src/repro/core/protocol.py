@@ -1,0 +1,105 @@
+"""The matcher contract: what every streaming matcher promises.
+
+The reproduction grew several SPRING variants (subclasses, wrappers,
+and a fused bank engine).  The integration surface — the monitor, the
+checkpoint registry, the supervised runtime, the CLI — should not care
+which variant it holds, only that it behaves like a *matcher*.  This
+module pins that contract down:
+
+* :class:`Matcher` — the structural protocol: ``step`` / ``extend`` /
+  ``flush`` plus ``tick``/``m`` introspection and a ``capabilities()``
+  declaration.
+* :class:`Capabilities` — what a matcher *declares* about itself so
+  execution engines can be selected without ``type(...) is ...``
+  checks: stream kind, whether it may join a fused bank, its local
+  distance's canonical name, and its missing-value policy.
+
+Capabilities are a declaration, not a measurement: a matcher that sets
+``fusable=True`` asserts its per-tick behaviour is exactly the plain
+Figure-4 recurrence plus transform-only report policies, so a bank
+engine may run the recurrence on its behalf and apply the policies to
+whatever the bank emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+try:  # Protocol is 3.8+; runtime_checkable keeps isinstance() usable.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.core.matches import Match
+
+__all__ = ["Capabilities", "Matcher"]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a matcher declares about itself to the execution layer.
+
+    Attributes
+    ----------
+    kind:
+        ``"scalar"`` for 1-D streams, ``"vector"`` for k-D streams.
+    fusable:
+        True when the matcher's per-tick behaviour is exactly the plain
+        scalar Figure-4 recurrence (no admission gating, no per-tick
+        observers, no reference/path mode), so a fused bank may advance
+        it and apply its transform-only policies afterwards.
+    distance_name:
+        Canonical registry name of the local distance (``"squared"``,
+        ``"absolute"``, ...) or ``None`` for a custom callable.  Banks
+        group by this name; identity of the callable is the fallback.
+    missing:
+        NaN policy, ``"skip"`` or ``"error"``.
+    """
+
+    kind: str = "scalar"
+    fusable: bool = False
+    distance_name: Optional[str] = None
+    missing: str = "skip"
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """Structural contract every streaming matcher satisfies.
+
+    One matcher monitors one stream for one query.  ``step`` consumes a
+    value and may confirm a match; ``extend`` is the batched form;
+    ``flush`` drains whatever end-of-stream makes reportable.  The
+    conformance suite (``tests/core/test_protocol_conformance.py``)
+    checks every shipped matcher against this, including checkpoint
+    round-trips via the open registry in :mod:`repro.core.checkpoint`.
+    """
+
+    @property
+    def tick(self) -> int:
+        """Stream values consumed so far (1-based time of the last)."""
+        ...
+
+    @property
+    def m(self) -> int:
+        """Query length."""
+        ...
+
+    def step(self, value: object) -> Optional[Match]:
+        """Consume one stream value; return a confirmed match, if any."""
+        ...
+
+    def extend(self, values: Iterable[object]) -> List[Match]:
+        """Consume many values; return matches confirmed on the way."""
+        ...
+
+    def flush(self) -> Optional[Match]:
+        """Report whatever end-of-stream makes reportable (idempotent)."""
+        ...
+
+    def capabilities(self) -> Capabilities:
+        """Declare kind / fusability / distance for engine selection."""
+        ...

@@ -1,0 +1,53 @@
+"""Matcher-kind registry: build any matcher variant by name.
+
+The monitor, the CLI, and monitor checkpoints refer to matchers by a
+short kind name (``"spring"``, ``"constrained"``, ``"topk"``, ...)
+instead of importing concrete classes.  Each matcher module registers
+its class at import time; third-party matchers join with
+:func:`register_matcher_kind` and immediately work everywhere a kind
+name is accepted (``StreamMonitor.add_query(matcher=...)``, the
+``monitor --matcher`` CLI flag, monitor checkpoint payloads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "register_matcher_kind",
+    "matcher_kinds",
+    "build_matcher",
+]
+
+#: kind name -> factory(query, **kwargs) -> Matcher
+_KINDS: Dict[str, Callable] = {}
+
+
+def register_matcher_kind(name: str, factory: Callable) -> None:
+    """Register a matcher factory under a kind name.
+
+    ``factory`` is called as ``factory(query, epsilon=..., **kwargs)``;
+    a matcher class with that constructor signature works directly.
+    """
+    existing = _KINDS.get(name)
+    if existing is not None and existing is not factory:
+        raise ValidationError(f"matcher kind {name!r} already registered")
+    _KINDS[name] = factory
+
+
+def matcher_kinds() -> List[str]:
+    """Registered kind names."""
+    return sorted(_KINDS)
+
+
+def build_matcher(kind: str, query: object, **kwargs: object):
+    """Construct a matcher of the given kind."""
+    try:
+        factory = _KINDS[kind]
+    except KeyError:
+        raise ValidationError(
+            f"unknown matcher kind {kind!r}; registered: {matcher_kinds()}"
+        ) from None
+    return factory(query, **kwargs)

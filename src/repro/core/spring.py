@@ -14,6 +14,12 @@ Two query modes coexist on the same state:
 * **Best-match query** (Problem 1) — :attr:`Spring.best_match` always
   holds the best subsequence seen so far, regardless of ``epsilon``.
 
+:class:`Spring` is the middle of the layered architecture: it drives the
+kernel (:mod:`repro.core.state`) and hosts the report-policy hooks
+(:mod:`repro.core.policy`) that the variants compose from — length
+bands, top-k leaderboards, group-range annotation all attach through
+the ``policies`` argument rather than ``_report_logic`` overrides.
+
 Example
 -------
 >>> from repro import Spring
@@ -28,18 +34,34 @@ Example
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro._serde import (
+    decode_float,
+    decode_floats,
+    decode_node,
+    encode_float,
+    encode_floats,
+    encode_node,
+)
 from repro._validation import (
     as_scalar_sequence,
     as_vector_sequence,
     check_threshold,
 )
+from repro.core.checkpoint import register_matcher
 from repro.core.matches import Match
+from repro.core.policy import ReportPolicy, decode_policies, encode_policies
+from repro.core.protocol import Capabilities
+from repro.core.registry import register_matcher_kind
 from repro.core.state import SpringState, update_column, update_column_reference
-from repro.dtw.steps import LocalDistance, resolve_vector_distance
+from repro.dtw.steps import (
+    LocalDistance,
+    canonical_distance_name,
+    resolve_vector_distance,
+)
 from repro.exceptions import NotFittedError, ValidationError
 
 __all__ = ["Spring"]
@@ -76,6 +98,11 @@ class Spring:
     use_reference:
         Force the literal Equation (7)/(8) per-tick loop instead of the
         vectorised scan.  Mainly for tests and tiny queries.
+    policies:
+        Optional chain of :class:`~repro.core.policy.ReportPolicy`
+        objects.  Admission-gating policies filter which subsequences
+        may be captured; transform policies rewrite/suppress emitted
+        matches; observers watch every tick.  The chain runs in order.
     """
 
     #: How error messages refer to one stream value ("vector" in subclasses).
@@ -89,10 +116,14 @@ class Spring:
         record_path: bool = False,
         missing: str = "skip",
         use_reference: bool = False,
+        policies: Sequence[ReportPolicy] = (),
     ) -> None:
         self._query = self._validate_query(query)
         self.epsilon = check_threshold(epsilon)
         self._distance = resolve_vector_distance(local_distance)
+        #: Canonical registry name of the local distance (None = custom
+        #: callable).  The execution layer groups fused banks by this.
+        self.distance_name = canonical_distance_name(self._distance)
         self.record_path = bool(record_path)
         if missing not in _MISSING_POLICIES:
             raise ValidationError(
@@ -102,6 +133,24 @@ class Spring:
         self.use_reference = bool(use_reference) or self.record_path
 
         m = self._query.shape[0]
+
+        # Report-policy layer: split the chain by hook so the per-tick
+        # logic only pays for the hooks actually in use.
+        self._policies: Tuple[ReportPolicy, ...] = tuple(policies)
+        for policy in self._policies:
+            policy.bind(m)
+        self._admission: Tuple[ReportPolicy, ...] = tuple(
+            p for p in self._policies if p.gates_admission
+        )
+        self._observers: Tuple[ReportPolicy, ...] = tuple(
+            p for p in self._policies if p.observes
+        )
+        #: Policies installed by the subclass itself (e.g. the length
+        #: band inside ConstrainedSpring); excluded from the generic
+        #: "policies" checkpoint key because the subclass serialises
+        #: them under its own legacy keys.
+        self._intrinsic_policies: Tuple[ReportPolicy, ...] = ()
+
         self._state = SpringState.initial(m)
         self._tick = 0
 
@@ -177,6 +226,37 @@ class Spring:
             distance=float(self._best_distance),
             output_time=None,
             path=self._materialise(self._best_path),
+        )
+
+    @property
+    def policies(self) -> Tuple[ReportPolicy, ...]:
+        """The attached report-policy chain (possibly empty)."""
+        return self._policies
+
+    def capabilities(self) -> Capabilities:
+        """Declare kind / fusability / distance for the execution layer.
+
+        A matcher is bank-fusable when its per-tick behaviour is exactly
+        the plain scalar Figure-4 recurrence: scalar stream, vectorised
+        kernel, base-class report logic, and only transform-only
+        policies (which the bank engine applies to its emissions via
+        :meth:`apply_report_policies`).
+        """
+        fusable = (
+            self._query.shape[1] == 1
+            and not self.use_reference
+            and type(self)._report_logic is Spring._report_logic
+            and type(self).flush is Spring.flush
+            and type(self)._validate_value is Spring._validate_value
+            and not self._admission
+            and not self._observers
+            and all(p.fusable for p in self._policies)
+        )
+        return Capabilities(
+            kind="scalar" if self._query.shape[1] == 1 else "vector",
+            fusable=fusable,
+            distance_name=self.distance_name,
+            missing=self.missing,
         )
 
     # ------------------------------------------------------------------
@@ -306,12 +386,36 @@ class Spring:
         if np.isfinite(self._dmin) and self._dmin <= self.epsilon:
             match = self._emit()
             self._reset_after_report()
-            return match
+            return self.apply_report_policies(match, flushing=True)
         return None
 
     # ------------------------------------------------------------------
-    # Figure 4 internals
+    # Figure 4 internals (+ the report-policy hooks)
     # ------------------------------------------------------------------
+
+    def apply_report_policies(
+        self, match: Match, flushing: bool = False
+    ) -> Optional[Match]:
+        """Run an emitted match through the policy transform chain.
+
+        Called on every emission — by :meth:`_report_logic`,
+        :meth:`flush`, and by the fused-bank execution path, which
+        produces raw Figure-4 emissions and defers the transform-only
+        policies to this method.  Returns None when a policy suppresses
+        the match (e.g. a top-k leaderboard rejecting a non-improving
+        candidate).
+        """
+        for policy in self._policies:
+            match = policy.transform(match, flushing=flushing)
+            if match is None:
+                return None
+        return match
+
+    def _admissible(self, start: int, end: int) -> bool:
+        for policy in self._admission:
+            if not policy.admit(start, end):
+                return False
+        return True
 
     def _report_logic(self) -> Optional[Match]:
         d = self._state.d
@@ -327,17 +431,35 @@ class Spring:
                 self._reset_after_report()
 
         d_m = d[-1]
-        if d_m <= self.epsilon and d_m < self._dmin:
+        if (
+            d_m <= self.epsilon
+            and d_m < self._dmin
+            and (not self._admission or self._admissible(int(s[-1]), self._tick))
+        ):
             self._dmin = float(d_m)
             self._ts = int(s[-1])
             self._te = self._tick
             self._pending_path = self._nodes[-1] if self.record_path else None
 
-        if d_m < self._best_distance:
+        if d_m < self._best_distance and (
+            not self._admission or self._admissible(int(s[-1]), self._tick)
+        ):
             self._best_distance = float(d_m)
             self._best_start = int(s[-1])
             self._best_end = self._tick
             self._best_path = self._nodes[-1] if self.record_path else None
+
+        # An emitted report closes its overlap group *before* observers
+        # see this tick's ending cell, so a qualifying ending on the
+        # report tick seeds the next group (the Section 5.3 semantics).
+        if report is not None and self._policies:
+            report = self.apply_report_policies(report)
+        if self._observers:
+            qualifying = bool(d_m <= self.epsilon)
+            s_last = int(s[-1])
+            d_last = float(d_m)
+            for policy in self._observers:
+                policy.observe(s_last, self._tick, d_last, qualifying)
         return report
 
     def _emit(self) -> Match:
@@ -458,8 +580,97 @@ class Spring:
         cells.reverse()
         return tuple(cells)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (the open registry in repro.core.checkpoint)
+    # ------------------------------------------------------------------
+
+    def _extra_policies(self) -> List[ReportPolicy]:
+        """Policies supplied by the caller (excludes subclass intrinsics)."""
+        intrinsic = self._intrinsic_policies
+        return [
+            p for p in self._policies if not any(p is q for q in intrinsic)
+        ]
+
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict (see :mod:`repro.core.checkpoint`)."""
+        if self.distance_name is None:
+            raise ValidationError(
+                "cannot checkpoint a matcher with an unnamed local-distance "
+                "callable; pass a registered distance name instead"
+            )
+        state: dict = {
+            "query": self._query.tolist(),
+            "epsilon": encode_float(self.epsilon),
+            "local_distance": self.distance_name,
+            "record_path": self.record_path,
+            "missing": self.missing,
+            "use_reference": self.use_reference,
+            "tick": self._tick,
+            "d": encode_floats(self._state.d),
+            "s": self._state.s.tolist(),
+            "dmin": encode_float(self._dmin),
+            "ts": self._ts,
+            "te": self._te,
+            "best_distance": encode_float(self._best_distance),
+            "best_start": self._best_start,
+            "best_end": self._best_end,
+        }
+        if self.record_path:
+            state["nodes"] = [encode_node(n) for n in self._nodes]
+            state["pending_path"] = encode_node(self._pending_path)
+            state["best_path"] = encode_node(self._best_path)
+        extra = self._extra_policies()
+        if extra:
+            state["policies"] = encode_policies(extra)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Spring":
+        """Rebuild from :meth:`state_dict` output (exact continuation)."""
+        spring = cls(cls._query_from_state(state), **cls._init_kwargs_from_state(state))
+        spring._restore_state(state)
+        return spring
+
+    @classmethod
+    def _query_from_state(cls, state: dict) -> np.ndarray:
+        # Scalar matchers validate 1-D queries; the stored form is the
+        # internal (m, 1) layout.
+        return np.asarray(state["query"], dtype=np.float64).reshape(-1)
+
+    @classmethod
+    def _init_kwargs_from_state(cls, state: dict) -> dict:
+        return dict(
+            epsilon=decode_float(state["epsilon"]),
+            # Legacy payloads carry no distance name; they were only
+            # ever written for the default distance.
+            local_distance=state.get("local_distance"),
+            record_path=bool(state["record_path"]),
+            missing=str(state["missing"]),
+            use_reference=bool(state["use_reference"]),
+            policies=decode_policies(state.get("policies", [])),
+        )
+
+    def _restore_state(self, state: dict) -> None:
+        self._tick = int(state["tick"])
+        self._state.d = decode_floats(state["d"])
+        self._state.s = np.asarray(state["s"], dtype=np.int64)
+        self._dmin = decode_float(state["dmin"])
+        self._ts = int(state["ts"])
+        self._te = int(state["te"])
+        self._best_distance = decode_float(state["best_distance"])
+        self._best_start = int(state["best_start"])
+        self._best_end = int(state["best_end"])
+        if self.record_path:
+            self._nodes = [decode_node(n) for n in state["nodes"]]
+            self._pending_path = decode_node(state["pending_path"])
+            self._best_path = decode_node(state["best_path"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(m={self.m}, epsilon={self.epsilon}, "
             f"tick={self._tick}, pending={self.has_pending})"
         )
+
+
+register_matcher(Spring)
+register_matcher_kind("spring", Spring)

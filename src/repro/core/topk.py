@@ -10,25 +10,33 @@ Semantics: candidates are the locally-optimal subsequences the
 disjoint algorithm emits (one per overlap group), so entries never
 overlap each other; the leaderboard keeps the k smallest distances,
 breaking ties toward earlier matches.  Space stays O(m + k).
+
+In the layered architecture this class is a thin shim: the leaderboard
+is a :class:`~repro.core.policy.TopK` transform policy on a plain
+:class:`~repro.core.spring.Spring`.  Because the policy is
+transform-only, a :class:`TopKSpring` remains bank-fusable — many
+top-k queries on one stream advance through a single fused column
+update per tick.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Iterable, List, Optional, Union
+import warnings
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro._validation import check_positive
+from repro.core.checkpoint import register_matcher
 from repro.core.matches import Match
+from repro.core.policy import ReportPolicy, TopK
+from repro.core.registry import register_matcher_kind
 from repro.core.spring import Spring
 from repro.dtw.steps import LocalDistance
 
 __all__ = ["TopKSpring"]
 
 
-class TopKSpring:
+class TopKSpring(Spring):
     """Maintain the k best disjoint matches over an unbounded stream.
 
     Parameters
@@ -37,8 +45,15 @@ class TopKSpring:
         Query sequence Y (1-D).
     k:
         Leaderboard size (>= 1).
-    local_distance, missing:
-        Forwarded to the inner :class:`~repro.core.spring.Spring`.
+    epsilon:
+        Qualification threshold for candidates; ``inf`` (default)
+        considers every locally-optimal subsequence.
+    local_distance, record_path, missing, use_reference, policies:
+        As for :class:`~repro.core.spring.Spring`; extra policies run
+        *before* the leaderboard.
+
+    Equivalent to ``Spring(query, policies=[TopK(k)])`` — property-tested
+    in ``tests/properties/test_layered_equivalence.py``.
 
     Example
     -------
@@ -54,73 +69,69 @@ class TopKSpring:
         k: int = 5,
         local_distance: Union[str, LocalDistance, None] = None,
         missing: str = "skip",
+        epsilon: float = np.inf,
+        record_path: bool = False,
+        use_reference: bool = False,
+        policies: Sequence[ReportPolicy] = (),
     ) -> None:
-        self.k = int(check_positive(k, "k"))
-        self._spring = Spring(
+        topk = TopK(k)
+        super().__init__(
             query,
-            epsilon=np.inf,
+            epsilon=epsilon,
             local_distance=local_distance,
+            record_path=record_path,
             missing=missing,
+            use_reference=use_reference,
+            policies=(*policies, topk),
         )
-        # Max-heap by distance via negation; the counter breaks ties
-        # deterministically toward keeping the earlier match.
-        self._heap: List[tuple] = []
-        self._counter = itertools.count()
+        self._topk = topk
+        self._intrinsic_policies = (topk,)
 
     @property
-    def tick(self) -> int:
-        """Stream values consumed."""
-        return self._spring.tick
-
-    @property
-    def m(self) -> int:
-        """Query length."""
-        return self._spring.m
-
-    def step(self, value: float) -> Optional[Match]:
-        """Consume one value; return a match newly admitted to the top k."""
-        match = self._spring.step(value)
-        if match is None:
-            return None
-        return self._offer(match)
-
-    def extend(self, values: Iterable[float]) -> List[Match]:
-        """Consume many values; return matches admitted along the way."""
-        admitted = []
-        for value in values:
-            match = self.step(value)
-            if match is not None:
-                admitted.append(match)
-        return admitted
+    def k(self) -> int:
+        """Leaderboard size."""
+        return self._topk.k
 
     def finalize(self) -> Optional[Match]:
-        """Flush the pending group at end-of-stream (idempotent)."""
-        final = self._spring.flush()
-        if final is None:
-            return None
-        return self._offer(final)
+        """Deprecated alias for :meth:`flush` (kept for old callers)."""
+        warnings.warn(
+            "TopKSpring.finalize() is deprecated; use flush(), the "
+            "protocol-wide end-of-stream method",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.flush()
 
     def best(self) -> List[Match]:
         """Current leaderboard, best first."""
-        entries = sorted(self._heap, key=lambda e: (-e[0], e[1]))
-        return [entry[2] for entry in entries]
+        return self._topk.best()
 
     @property
     def worst_distance(self) -> float:
         """Distance of the current k-th entry (inf while underfull)."""
-        if len(self._heap) < self.k:
-            return float("inf")
-        return -self._heap[0][0]
+        return self._topk.worst_distance
 
-    def _offer(self, match: Match) -> Optional[Match]:
-        if len(self._heap) < self.k:
-            heapq.heappush(
-                self._heap, (-match.distance, next(self._counter), match)
-            )
-            return match
-        if match.distance < -self._heap[0][0]:
-            heapq.heapreplace(
-                self._heap, (-match.distance, next(self._counter), match)
-            )
-            return match
-        return None
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict, adding the leaderboard."""
+        state = super().state_dict()
+        state["k"] = self.k
+        topk_state = self._topk.state_dict()
+        if topk_state:
+            state["topk"] = topk_state
+        return state
+
+    @classmethod
+    def _init_kwargs_from_state(cls, state: dict) -> dict:
+        kwargs = super()._init_kwargs_from_state(state)
+        kwargs["k"] = int(state["k"])
+        return kwargs
+
+    def _restore_state(self, state: dict) -> None:
+        super()._restore_state(state)
+        self._topk.load_state_dict(state.get("topk", {}))
+
+
+register_matcher(TopKSpring)
+register_matcher_kind("topk", TopKSpring)

@@ -10,20 +10,26 @@ the whole group of overlapping qualifying subsequences alongside the
 optimal one ("We modified the algorithm of SPRING for the motion capture
 to report the starting and ending positions of the range of overlapping
 subsequences").
+
+In the layered architecture the range reporting is a
+:class:`~repro.core.policy.GroupRange` observer policy; this class is a
+thin shim that attaches it when ``report_range=True``.  A
+``VectorSpring`` over a 1-dimensional stream without range reporting is
+behaviourally a plain ``Spring`` and declares itself bank-fusable.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Optional, Union
+from typing import Sequence, Union
 
 import numpy as np
 
 from repro._validation import as_vector_sequence
-from repro.core.matches import Match
+from repro.core.checkpoint import register_matcher
+from repro.core.policy import GroupRange, ReportPolicy
+from repro.core.registry import register_matcher_kind
 from repro.core.spring import Spring
 from repro.dtw.steps import LocalDistance
-from repro.exceptions import ValidationError
 
 __all__ = ["VectorSpring"]
 
@@ -43,7 +49,8 @@ class VectorSpring(Spring):
     report_range:
         When True, each emitted match carries ``group_start``/
         ``group_end`` — the extent of all qualifying subsequences in the
-        match's overlap group.
+        match's overlap group (via a
+        :class:`~repro.core.policy.GroupRange` policy).
     """
 
     def __init__(
@@ -55,10 +62,10 @@ class VectorSpring(Spring):
         missing: str = "skip",
         use_reference: bool = False,
         report_range: bool = False,
+        policies: Sequence[ReportPolicy] = (),
     ) -> None:
         self.report_range = bool(report_range)
-        self._group_start: Optional[int] = None
-        self._group_end: Optional[int] = None
+        intrinsic = (GroupRange(),) if self.report_range else ()
         super().__init__(
             query,
             epsilon=epsilon,
@@ -66,7 +73,10 @@ class VectorSpring(Spring):
             record_path=record_path,
             missing=missing,
             use_reference=use_reference,
+            policies=(*intrinsic, *policies),
         )
+        self._range = intrinsic[0] if intrinsic else None
+        self._intrinsic_policies = intrinsic
 
     @property
     def k(self) -> int:
@@ -81,44 +91,35 @@ class VectorSpring(Spring):
     def _validate_query(self, query: object) -> np.ndarray:
         return as_vector_sequence(query, "query")
 
-    # ------------------------------------------------------------------
-    # Range-of-group reporting (Section 5.3's mocap modification)
-    # ------------------------------------------------------------------
+    # -- checkpointing -------------------------------------------------
 
-    def _report_logic(self) -> Optional[Match]:
-        match = super()._report_logic()
-        if not self.report_range:
-            return match
-        if match is not None:
-            match = self._close_group(match)
-        # Every tick whose ending distance qualifies contributes its
-        # subsequence (s_m .. t) to the current group's extent.  A match
-        # emitted this tick closed the previous group first, so a
-        # qualifying ending after a report seeds the next group.
-        d_m = float(self._state.d[-1])
-        if d_m <= self.epsilon:
-            s_m = int(self._state.s[-1])
-            if self._group_start is None:
-                self._group_start = s_m
-                self._group_end = self._tick
-            else:
-                self._group_start = min(self._group_start, s_m)
-                self._group_end = max(self._group_end or self._tick, self._tick)
-        return match
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict, adding group-range state."""
+        state = super().state_dict()
+        state["report_range"] = self.report_range
+        if self._range is not None and self._range.group_start is not None:
+            # Legacy flat keys, not the generic policy-spec encoding.
+            state["group_start"] = self._range.group_start
+            state["group_end"] = self._range.group_end
+        return state
 
-    def flush(self) -> Optional[Match]:
-        """Report the held optimum at end-of-stream, closing its group."""
-        match = super().flush()
-        if match is not None and self.report_range:
-            match = self._close_group(match)
-        return match
+    @classmethod
+    def _query_from_state(cls, state: dict) -> np.ndarray:
+        # Vector queries keep their stored (m, k) layout.
+        return np.asarray(state["query"], dtype=np.float64)
 
-    def _close_group(self, match: Match) -> Match:
-        group_start = match.start
-        group_end = match.end
-        if self._group_start is not None:
-            group_start = min(self._group_start, group_start)
-            group_end = max(self._group_end or group_end, group_end)
-        self._group_start = None
-        self._group_end = None
-        return replace(match, group_start=group_start, group_end=group_end)
+    @classmethod
+    def _init_kwargs_from_state(cls, state: dict) -> dict:
+        kwargs = super()._init_kwargs_from_state(state)
+        kwargs["report_range"] = bool(state.get("report_range", False))
+        return kwargs
+
+    def _restore_state(self, state: dict) -> None:
+        super()._restore_state(state)
+        if self._range is not None:
+            self._range.group_start = state.get("group_start")
+            self._range.group_end = state.get("group_end")
+
+
+register_matcher(VectorSpring)
+register_matcher_kind("vector", VectorSpring)

@@ -27,6 +27,7 @@ __all__ = [
     "manhattan",
     "resolve_local_distance",
     "resolve_vector_distance",
+    "canonical_distance_name",
     "sakoe_chiba_mask",
     "itakura_mask",
     "LOCAL_DISTANCES",
@@ -112,6 +113,24 @@ def resolve_vector_distance(
             f"unknown vector distance {spec!r}; "
             f"choose from {sorted(VECTOR_DISTANCES)} or pass a callable"
         ) from None
+
+
+def canonical_distance_name(fn: LocalDistance) -> Union[str, None]:
+    """Reverse-lookup a distance function's canonical registry name.
+
+    Returns the preferred name for registry functions (aliases like
+    ``"euclidean_sq"`` collapse to ``"squared"``) and ``None`` for
+    custom callables.  Matchers declare this via their capabilities so
+    the execution layer can group bank-compatible matchers by *name*,
+    falling back to callable identity only for unnamed customs.
+    """
+    for name in ("squared", "absolute"):
+        if VECTOR_DISTANCES[name] is fn:
+            return name
+    for name in sorted(VECTOR_DISTANCES):
+        if VECTOR_DISTANCES[name] is fn:
+            return name
+    return None
 
 
 def sakoe_chiba_mask(n: int, m: int, radius: int) -> np.ndarray:

@@ -14,6 +14,10 @@ paper's arguments in data.
 * ``warping_vs_rigid`` — SPRING vs the sliding Euclidean matcher on
   time-stretched patterns: the rigid matcher's recall collapses.
 * ``stretch_band`` — the ConstrainedSpring extension's precision effect.
+* ``layered_band`` — the same band expressed as a ``LengthBand`` report
+  policy on a plain ``Spring``: the layered architecture's claim that
+  wrapper classes are mere shims over kernel + policy composition is
+  checked in the harness, not just the unit tests.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import numpy as np
 from repro.baselines.euclidean import SlidingEuclideanMatcher
 from repro.core.batch import spring_search
 from repro.core.constrained import ConstrainedSpring
+from repro.core.policy import LengthBand
 from repro.core.spring import Spring
 from repro.datasets import masked_chirp
 from repro.eval.harness import ExperimentResult, register
@@ -137,6 +142,25 @@ def run(scale: float = 0.25, seed: int = 0) -> ExperimentResult:
         ]
     )
 
+    # --- the same band as a composed policy --------------------------
+    layered = Spring(query, epsilon=epsilon, policies=[LengthBand(2.5)])
+    layered_matches = layered.extend(stream)
+    final = layered.flush()
+    if final is not None:
+        layered_matches.append(final)
+    layered_score = score_matches(layered_matches, truth)
+    layered_identical = [
+        (m.start, m.end, m.distance) for m in layered_matches
+    ] == [(m.start, m.end, m.distance) for m in banded_matches]
+    rows.append(
+        [
+            "band as policy",
+            len(layered_matches),
+            f"{layered_score.recall:.2f}",
+            f"{layered_score.precision:.2f}",
+        ]
+    )
+
     return ExperimentResult(
         experiment="ablations",
         title="Ablations: reporting policy, local distance, warping, bands",
@@ -149,6 +173,7 @@ def run(scale: float = 0.25, seed: int = 0) -> ExperimentResult:
             "rigid_recall": rigid_score.recall,
             "spring_recall": deferred_score.recall,
             "banded_recall": banded_score.recall,
+            "layered_band_identical": layered_identical,
             "scale": scale,
         },
         notes=[

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro._serde import decode_floats, encode_floats
 from repro.exceptions import ValidationError
 
 __all__ = ["RingBuffer"]
@@ -80,3 +81,27 @@ class RingBuffer:
             )
         idx = (np.arange(start_tick - 1, end_tick)) % self.capacity
         return self._data[idx].copy()
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: capacity, total pushed, retained values."""
+        n = len(self)
+        values = self.latest(n) if n else np.empty(0, dtype=np.float64)
+        return {
+            "capacity": self.capacity,
+            "count": self._count,
+            "values": encode_floats(values),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (capacity must match)."""
+        if int(state["capacity"]) != self.capacity:
+            raise ValidationError(
+                f"buffer capacity mismatch: have {self.capacity}, "
+                f"checkpoint has {state['capacity']}"
+            )
+        values = decode_floats(state["values"])
+        # Replay the retained window so the modular layout is rebuilt
+        # exactly: rewind the counter, then push the values back.
+        self._count = int(state["count"]) - values.shape[0]
+        for value in values:
+            self.push(float(value))

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro._serde import decode_float, encode_float
 from repro._validation import check_positive
 from repro.exceptions import NotFittedError, ValidationError
 
@@ -77,6 +78,24 @@ class RunningStats:
             raise NotFittedError("no values seen yet")
         return self._max
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (non-finite min/max encoded as strings)."""
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": encode_float(self._min),
+            "max": encode_float(self._max),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self._count = int(state["count"])
+        self._mean = float(state["mean"])
+        self._m2 = float(state["m2"])
+        self._min = decode_float(state["min"])
+        self._max = decode_float(state["max"])
+
 
 class EwmStats:
     """Exponentially-weighted mean/variance with a half-life in ticks.
@@ -134,3 +153,19 @@ class EwmStats:
     def std(self) -> float:
         """Exponentially-weighted standard deviation."""
         return math.sqrt(self.variance)
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (``halflife`` is constructor config, not here)."""
+        return {
+            "weight": self._weight,
+            "mean": self._mean,
+            "var": self._var,
+            "count": self._count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        self._weight = float(state["weight"])
+        self._mean = float(state["mean"])
+        self._var = float(state["var"])
+        self._count = int(state["count"])

@@ -125,11 +125,22 @@ class TestValidation:
         with pytest.raises(ValidationError):
             load_state(state)
 
-    def test_unsupported_type_rejected(self):
-        from repro.core.normalization import NormalizedSpring
+    def test_unregistered_type_rejected(self):
+        class HomeGrownMatcher:
+            pass
 
-        with pytest.raises(ValidationError):
-            save_state(NormalizedSpring([1.0, 2.0]))  # type: ignore[arg-type]
+        with pytest.raises(ValidationError, match="not registered"):
+            save_state(HomeGrownMatcher())  # type: ignore[arg-type]
+
+    def test_unknown_payload_error_lists_registered_types(self):
+        from repro.core.checkpoint import registered_matchers
+
+        state = save_state(Spring([1.0]))
+        state["class"] = "EvilSpring"
+        with pytest.raises(ValidationError) as excinfo:
+            load_state(state)
+        for name in registered_matchers():
+            assert name in str(excinfo.value)
 
 
 class TestStrictJson:

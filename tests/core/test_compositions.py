@@ -1,0 +1,162 @@
+"""Compositions the pre-layered architecture could not express.
+
+Before the refactor, normalisation, length bands, top-k retention and
+cascaded verification were welded into separate wrapper classes; the
+monitor special-cased plain springs for fusion.  These tests exercise
+three previously-impossible combinations end-to-end through
+:class:`~repro.core.monitor.StreamMonitor`:
+
+* a *normalised* matcher with a *length band* (transform x admission),
+* *top-k* queries sharing a *fused bank* (policy x fused execution),
+* a *cascade* matcher checkpointed and resumed mid-stream
+  (blocked execution x monitor snapshots).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMonitor
+from repro.core.checkpoint import load_monitor, save_monitor
+from repro.core.normalization import NormalizedSpring
+from repro.core.policy import LengthBand
+from repro.core.topk import TopKSpring
+
+QUERY = np.array([0.0, 2.0, -1.0, 1.0])
+
+
+def _stream(rng, n=90):
+    values = rng.normal(scale=0.3, size=n)
+    values[20:24] = QUERY  # exact occurrence, length m
+    # A time-stretched occurrence (each sample doubled): length 2m,
+    # outside a 1.5x band but well inside SPRING's unconstrained reach.
+    values[50:58] = np.repeat(QUERY, 2)
+    return values
+
+
+def _keys(events):
+    return [
+        (e.query, e.match.start, e.match.end, e.match.distance)
+        for e in events
+    ]
+
+
+class TestNormalizedPlusLengthBand:
+    """Transform layer composed with an admission-gating policy."""
+
+    def test_band_gates_normalized_matches(self, rng):
+        stream = _stream(rng)
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query(
+            "nq", QUERY, epsilon=2.0, matcher="normalized",
+            warmup=4, policies=[LengthBand(1.5)],
+        )
+        events = list(monitor.push_many("s", stream)) + list(monitor.flush())
+        assert events  # the in-band occurrence is found
+        m = QUERY.shape[0]
+        for event in events:
+            length = event.match.end - event.match.start + 1
+            assert m / 1.5 <= length <= m * 1.5
+
+    def test_matches_direct_composition(self, rng):
+        stream = _stream(rng)
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query(
+            "nq", QUERY, epsilon=2.0, matcher="normalized",
+            warmup=4, policies=[LengthBand(1.5)],
+        )
+        events = list(monitor.push_many("s", stream)) + list(monitor.flush())
+
+        direct = NormalizedSpring(
+            QUERY, epsilon=2.0, warmup=4, policies=[LengthBand(1.5)]
+        )
+        expected = list(direct.extend(stream))
+        final = direct.flush()
+        if final is not None:
+            expected.append(final)
+        assert [(e.match.start, e.match.end, e.match.distance)
+                for e in events] == [
+            (m.start, m.end, m.distance) for m in expected
+        ]
+
+
+class TestTopKInFusedBank:
+    """Transform-only policies keep matchers bank-fusable."""
+
+    def test_topk_queries_share_a_bank(self, rng):
+        stream = _stream(rng)
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        for i in range(3):
+            monitor.add_query(
+                f"q{i}", QUERY, epsilon=6.0, matcher="topk", k=2
+            )
+        monitor.push_many("s", stream)
+        plan = monitor._plans["s"]
+        assert plan is not None and len(plan.banks) == 1
+        assert sorted(plan.banks[0].names) == ["q0", "q1", "q2"]
+
+    def test_banked_topk_equals_per_matcher(self, rng):
+        stream = _stream(rng)
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        for i in range(3):
+            monitor.add_query(
+                f"q{i}", QUERY, epsilon=6.0, matcher="topk", k=2
+            )
+        events = list(monitor.push_many("s", stream)) + list(monitor.flush())
+
+        reference = TopKSpring(QUERY, k=2, epsilon=6.0)
+        expected = list(reference.extend(stream))
+        final = reference.flush()
+        if final is not None:
+            expected.append(final)
+        expected_keys = [
+            (f"q{i}", m.start, m.end, m.distance)
+            for m in expected
+            for i in range(3)
+        ]
+        assert sorted(_keys(events)) == sorted(expected_keys)
+
+        # The leaderboards themselves agree with the unbanked run.
+        boards = [
+            [(m.start, m.end, m.distance)
+             for m in monitor.matcher("s", f"q{i}").best()]
+            for i in range(3)
+        ]
+        want = [(m.start, m.end, m.distance) for m in reference.best()]
+        assert boards == [want, want, want]
+
+
+class TestCascadeCheckpointResume:
+    """Blocked cascade execution survives a monitor snapshot round-trip."""
+
+    @pytest.mark.parametrize("cut", [17, 40, 63])
+    def test_resume_mid_stream(self, rng, cut):
+        stream = _stream(rng)
+
+        def fresh():
+            monitor = StreamMonitor()
+            monitor.add_stream("s")
+            monitor.add_query(
+                "c", QUERY, epsilon=2.0, matcher="cascade", reduction=2
+            )
+            return monitor
+
+        baseline = fresh()
+        expected = _keys(baseline.push_many("s", stream))
+        expected += _keys(baseline.flush())
+
+        first = fresh()
+        head = _keys(first.push_many("s", stream[:cut]))
+        blob = json.dumps(save_monitor(first))  # survives a process hop
+        restored = load_monitor(json.loads(blob))
+        tail = _keys(restored.push_many("s", stream[cut:]))
+        tail += _keys(restored.flush())
+        assert head + tail == expected
+        assert expected  # the workload does produce matches

@@ -1,0 +1,131 @@
+"""Protocol conformance: every registered matcher honours the Matcher API.
+
+The layered architecture's load-bearing claim is that the monitor, the
+execution engines, the runtime, and the CLI can treat every variant
+through the :class:`~repro.core.protocol.Matcher` protocol alone.  This
+suite parametrises over the full kind registry, so a newly registered
+matcher is covered automatically (and a kind that forgets to register
+its checkpoint class fails here, not in production).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Capabilities, Matcher, build_matcher, matcher_kinds
+from repro.core.checkpoint import load_state, registered_matchers, save_state
+
+# Per-kind constructor kwargs; every kind in the registry must appear.
+KIND_KWARGS = {
+    "spring": {"epsilon": 2.0},
+    "constrained": {"epsilon": 2.0, "max_stretch": 2.0},
+    "topk": {"k": 3, "epsilon": 6.0},
+    "vector": {"epsilon": 6.0},
+    "normalized": {"epsilon": 2.0, "warmup": 4},
+    "cascade": {"epsilon": 2.0, "reduction": 2},
+}
+
+KINDS = sorted(KIND_KWARGS)
+
+
+def _query(kind: str) -> np.ndarray:
+    if kind == "vector":
+        return np.array([[0.0, 1.0], [2.0, -1.0], [0.0, 0.5], [1.0, 0.0]])
+    return np.array([0.0, 2.0, -1.0, 1.0])
+
+
+def _stream(kind: str, rng: np.random.Generator, n: int = 80) -> list:
+    """Noise with the query embedded twice so matches actually occur."""
+    query = _query(kind)
+    if kind == "vector":
+        values = rng.normal(scale=0.3, size=(n, query.shape[1]))
+        values[20:24] = query
+        values[55:59] = query
+        return [row for row in values]
+    values = rng.normal(scale=0.3, size=n)
+    values[20:24] = query
+    values[55:59] = query
+    return [float(v) for v in values]
+
+
+def _build(kind: str):
+    return build_matcher(kind, _query(kind), **KIND_KWARGS[kind])
+
+
+def _keys(matches):
+    return [
+        (m.start, m.end, m.distance, m.output_time)
+        for m in matches
+        if m is not None
+    ]
+
+
+def test_every_registered_kind_is_covered():
+    assert set(matcher_kinds()) == set(KINDS)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestProtocolConformance:
+    def test_satisfies_matcher_protocol(self, kind):
+        matcher = _build(kind)
+        assert isinstance(matcher, Matcher)
+
+    def test_declares_capabilities(self, kind):
+        matcher = _build(kind)
+        caps = matcher.capabilities()
+        assert isinstance(caps, Capabilities)
+        assert caps.kind in ("scalar", "vector")
+        assert (caps.kind == "vector") == (kind == "vector")
+
+    def test_query_length_exposed(self, kind):
+        matcher = _build(kind)
+        assert matcher.m == len(_query(kind))
+        assert matcher.tick == 0
+
+    def test_step_counts_ticks(self, kind, rng):
+        matcher = _build(kind)
+        stream = _stream(kind, rng)
+        for value in stream:
+            matcher.step(value)
+        assert matcher.tick == len(stream)
+
+    def test_extend_equals_step_loop(self, kind, rng):
+        stream = _stream(kind, rng)
+        stepped = _build(kind)
+        step_matches = [m for v in stream if (m := stepped.step(v))]
+        step_matches += [stepped.flush()]
+        extended = _build(kind)
+        extend_matches = list(extended.extend(stream))
+        extend_matches += [extended.flush()]
+        assert _keys(step_matches) == _keys(extend_matches)
+        assert _keys(step_matches)  # the stream embeds the query: non-empty
+
+    def test_flush_is_safe_to_repeat(self, kind, rng):
+        matcher = _build(kind)
+        matcher.extend(_stream(kind, rng))
+        matcher.flush()
+        assert matcher.flush() is None
+
+    def test_checkpoint_class_is_registered(self, kind):
+        matcher = _build(kind)
+        assert type(matcher).__name__ in registered_matchers()
+
+    def test_checkpoint_roundtrip_mid_stream(self, kind, rng):
+        stream = _stream(kind, rng)
+        cut = 37  # mid-way, with a pending partial match in the kernel
+
+        reference = _build(kind)
+        expected = [m for v in stream if (m := reference.step(v))]
+        expected += [reference.flush()]
+
+        first = _build(kind)
+        head = [m for v in stream[:cut] if (m := first.step(v))]
+        blob = json.dumps(save_state(first))  # survives a process hop
+        restored = load_state(json.loads(blob))
+        assert restored.tick == first.tick
+        tail = [m for v in stream[cut:] if (m := restored.step(v))]
+        tail += [restored.flush()]
+        assert _keys(head) + _keys(tail) == _keys(expected)

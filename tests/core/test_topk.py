@@ -35,7 +35,7 @@ class TestLeaderboard:
         stream, positions = _stream_with_patterns(rng, pattern, noises)
         top = TopKSpring(pattern, k=2)
         top.extend(stream)
-        top.finalize()
+        top.flush()
         best = top.best()
         assert len(best) == 2
         # The two cleanest renditions (sigma 0.05 and 0.15) must win.
@@ -54,7 +54,7 @@ class TestLeaderboard:
         stream, _ = _stream_with_patterns(rng, pattern, [0.3, 0.1, 0.5])
         top = TopKSpring(pattern, k=3)
         top.extend(stream)
-        top.finalize()
+        top.flush()
         distances = [m.distance for m in top.best()]
         assert distances == sorted(distances)
 
@@ -63,7 +63,7 @@ class TestLeaderboard:
         top = TopKSpring(pattern, k=2)
         assert top.worst_distance == float("inf")
         top.extend(rng.normal(size=100))
-        top.finalize()
+        top.flush()
         if len(top.best()) == 2:
             assert top.worst_distance == top.best()[-1].distance
 
@@ -71,7 +71,7 @@ class TestLeaderboard:
         pattern = rng.normal(size=5)
         top = TopKSpring(pattern, k=1)
         admitted = top.extend(rng.normal(size=300))
-        final = top.finalize()
+        final = top.flush()
         if final:
             admitted.append(final)
         # Admissions happen only when the leaderboard improves, so the
@@ -84,15 +84,42 @@ class TestLeaderboard:
         pattern = rng.normal(size=6)
         top = TopKSpring(pattern, k=4)
         top.extend(rng.normal(size=400))
-        top.finalize()
+        top.flush()
         best = sorted(top.best(), key=lambda m: m.start)
         for a, b in zip(best, best[1:]):
             assert a.end < b.start
 
-    def test_finalize_idempotent(self, rng):
+    def test_flush_idempotent(self, rng):
         top = TopKSpring(rng.normal(size=4), k=2)
         top.extend(rng.normal(size=50))
-        top.finalize()
+        top.flush()
         count = len(top.best())
-        assert top.finalize() is None
+        assert top.flush() is None
         assert len(top.best()) == count
+
+
+class TestFinalizeDeprecation:
+    def test_finalize_warns_and_flushes(self, rng):
+        values = rng.normal(size=50)
+        pattern = rng.normal(size=4)
+        top = TopKSpring(pattern, k=2)
+        top.extend(values)
+        with pytest.warns(DeprecationWarning, match="flush"):
+            deprecated = top.finalize()
+        fresh = TopKSpring(pattern, k=2)
+        fresh.extend(values)
+        expected = fresh.flush()
+        assert (deprecated is None) == (expected is None)
+        if deprecated is not None:
+            assert (deprecated.start, deprecated.end, deprecated.distance) == (
+                expected.start, expected.end, expected.distance
+            )
+
+    def test_flush_emits_no_warning(self, rng):
+        import warnings
+
+        top = TopKSpring(rng.normal(size=4), k=2)
+        top.extend(rng.normal(size=50))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            top.flush()

@@ -62,7 +62,7 @@ def test_topk_is_k_smallest_of_all_reports(x, y, k):
 
     top = TopKSpring(y, k=k)
     top.extend(x)
-    top.finalize()
+    top.flush()
     board = top.best()
 
     expected = sorted(m.distance for m in all_matches)[:k]

@@ -33,6 +33,27 @@ def _monitor() -> StreamMonitor:
     return monitor
 
 
+def _variant_monitor() -> StreamMonitor:
+    """One query per scalar matcher kind, all on the same stream.
+
+    Extends the exactness contract beyond plain springs: the layered
+    variants (admission band, top-k leaderboard, z-normalising
+    transform, blocked cascade) must also recover match-for-match.
+    The two top-k queries share a fused bank, so banked execution with
+    transform policies is recovered too.
+    """
+    monitor = StreamMonitor()
+    monitor.add_query("band", QUERY_A, epsilon=2.5,
+                      matcher="constrained", max_stretch=2.0)
+    monitor.add_query("top", QUERY_A, epsilon=6.0, matcher="topk", k=2)
+    monitor.add_query("top2", QUERY_B, epsilon=6.0, matcher="topk", k=2)
+    monitor.add_query("norm", QUERY_B, epsilon=2.5,
+                      matcher="normalized", warmup=3)
+    monitor.add_query("casc", QUERY_A, epsilon=2.5,
+                      matcher="cascade", reduction=2)
+    return monitor
+
+
 def _key(event):
     return (
         event.stream,
@@ -102,6 +123,59 @@ def test_kill_at_any_tick_recovers_exactly(tmp_path_factory, values, data, caden
         prefix = [_key(e) for e in first.events[:acked]]
         second = SupervisedRunner.resume(
             [_source(values, flaky_seed)], manager,
+            policy=_policy(), sleep=_no_sleep,
+        )
+    tail = [_key(e) for e in second.run().events]
+    assert prefix + tail == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        min_size=12,
+        max_size=60,
+    ),
+    data=st.data(),
+    cadence=st.integers(min_value=1, max_value=9),
+)
+def test_kill_at_any_tick_recovers_all_matcher_kinds(
+    tmp_path_factory, values, data, cadence
+):
+    kill_at = data.draw(
+        st.integers(min_value=1, max_value=len(values)), label="kill_at"
+    )
+    tmp = tmp_path_factory.mktemp("ckpt_variants")
+
+    reference = SupervisedRunner(
+        _variant_monitor(), [_source(values, None)],
+        policy=_policy(), sleep=_no_sleep,
+    )
+    expected = [_key(e) for e in reference.run().events]
+
+    manager = CheckpointManager(tmp)
+    first = SupervisedRunner(
+        _variant_monitor(),
+        [_source(values, None)],
+        policy=_policy(),
+        checkpoint=manager,
+        checkpoint_every=cadence,
+        sleep=_no_sleep,
+    )
+    first.run(max_ticks=kill_at, flush=False)  # the "kill"
+
+    snapshot = manager.latest()
+    if snapshot is None:
+        prefix = []
+        second = SupervisedRunner(
+            _variant_monitor(), [_source(values, None)],
+            policy=_policy(), sleep=_no_sleep,
+        )
+    else:
+        acked = int(snapshot["events_emitted"])
+        prefix = [_key(e) for e in first.events[:acked]]
+        second = SupervisedRunner.resume(
+            [_source(values, None)], manager,
             policy=_policy(), sleep=_no_sleep,
         )
     tail = [_key(e) for e in second.run().events]

@@ -1,0 +1,119 @@
+"""Property tests: each legacy wrapper class == its layered composition.
+
+The wrapper classes (ConstrainedSpring, TopKSpring, VectorSpring's
+report-range mode, NormalizedSpring) are documented as thin shims over
+kernel + policy/transform composition.  Hypothesis checks the claim
+match-for-match: for arbitrary streams, queries, and parameters, the
+wrapper and the explicit composition emit identical match sequences,
+tick for tick, including the end-of-stream flush.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constrained import ConstrainedSpring
+from repro.core.normalization import NormalizedSpring
+from repro.core.policy import GroupRange, LengthBand, TopK
+from repro.core.spring import Spring
+from repro.core.topk import TopKSpring
+from repro.core.transform import TransformedMatcher, ZNormalize
+from repro.core.vector import VectorSpring
+
+finite = st.floats(min_value=-4.0, max_value=4.0, allow_nan=False)
+streams = st.lists(finite, min_size=8, max_size=60)
+queries = st.lists(finite, min_size=2, max_size=6)
+
+
+def _run(matcher, values):
+    """Per-tick match keys, with None for quiet ticks, plus the flush."""
+    out = []
+    for value in values:
+        out.append(_key(matcher.step(value)))
+    out.append(_key(matcher.flush()))
+    return out
+
+
+def _key(match):
+    if match is None:
+        return None
+    return (
+        match.start, match.end, match.distance, match.output_time,
+        match.group_start, match.group_end,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=streams,
+    query=queries,
+    epsilon=st.floats(min_value=0.1, max_value=20.0),
+    max_stretch=st.floats(min_value=1.0, max_value=4.0),
+)
+def test_constrained_equals_spring_plus_length_band(
+    values, query, epsilon, max_stretch
+):
+    wrapper = ConstrainedSpring(query, epsilon=epsilon, max_stretch=max_stretch)
+    layered = Spring(
+        query, epsilon=epsilon, policies=[LengthBand(max_stretch)]
+    )
+    assert _run(wrapper, values) == _run(layered, values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=streams,
+    query=queries,
+    k=st.integers(min_value=1, max_value=5),
+    epsilon=st.one_of(st.just(np.inf), st.floats(min_value=0.1, max_value=20.0)),
+)
+def test_topk_equals_spring_plus_topk_policy(values, query, k, epsilon):
+    wrapper = TopKSpring(query, k=k, epsilon=epsilon)
+    policy = TopK(k)
+    layered = Spring(query, epsilon=epsilon, policies=[policy])
+    assert _run(wrapper, values) == _run(layered, values)
+    assert [_key(m) for m in wrapper.best()] == [
+        _key(m) for m in policy.best()
+    ]
+    assert wrapper.worst_distance == policy.worst_distance
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.lists(finite, min_size=2, max_size=2), min_size=8, max_size=50
+    ),
+    query=st.lists(
+        st.lists(finite, min_size=2, max_size=2), min_size=2, max_size=5
+    ),
+    epsilon=st.floats(min_value=0.1, max_value=30.0),
+)
+def test_vector_report_range_equals_group_range_policy(values, query, epsilon):
+    wrapper = VectorSpring(query, epsilon=epsilon, report_range=True)
+    layered = VectorSpring(query, epsilon=epsilon, policies=[GroupRange()])
+    arrays = [np.asarray(v) for v in values]
+    assert _run(wrapper, arrays) == _run(layered, arrays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=streams,
+    query=queries.filter(lambda q: len(set(q)) > 1),  # non-constant
+    epsilon=st.floats(min_value=0.1, max_value=20.0),
+    warmup=st.integers(min_value=2, max_value=8),
+    mode=st.sampled_from(["global", "ewm"]),
+)
+def test_normalized_equals_transformed_spring(
+    values, query, epsilon, warmup, mode
+):
+    wrapper = NormalizedSpring(
+        query, epsilon=epsilon, mode=mode, warmup=warmup
+    )
+    transform = ZNormalize(mode=mode, warmup=warmup)
+    raw = np.asarray(query, dtype=np.float64)
+    layered = TransformedMatcher(
+        Spring(transform.fit_query(raw), epsilon=epsilon), transform
+    )
+    assert _run(wrapper, values) == _run(layered, values)

@@ -113,7 +113,7 @@ class TestMultiComponentDashboard:
             alerts.extend(monitor.push("main", float(value)))
             top.step(float(value))
         alerts.extend(monitor.flush())
-        top.finalize()
+        top.flush()
 
         # Every planted burst alerted (borderline extra local optima may
         # also clear the generator's generous suggested epsilon).
