@@ -7,7 +7,10 @@ Three scenarios, matching the performance architecture's design points
 * ``spring_1q`` — one ``Spring.step`` per tick (the scalar fast path).
 * ``monitor_64q`` — a 64-query single-stream ``StreamMonitor`` driven
   value-by-value (``push``) and batched (``push_many``); this is the
-  query-fusion axis.
+  query-fusion axis.  The push scenario is also repeated with the
+  metrics recorder enabled (``monitor_64q_push_metrics``) and the
+  slowdown recorded as ``metrics_overhead_pct`` — the observability
+  layer's regression gate.
 * ``monitor_64q_8s`` — 64 queries x 8 streams driven with ``push_many``
   per stream.
 
@@ -125,6 +128,27 @@ def bench_monitor_push_many(ticks: int, rng: np.random.Generator) -> Dict[str, f
     return _timed(run)
 
 
+def bench_monitor_push_metrics(
+    ticks: int, rng: np.random.Generator
+) -> Dict[str, float]:
+    """The 64-query push scenario with the metrics recorder enabled.
+
+    Compared against ``monitor_64q_push`` (same workload, no-op
+    recorder) to compute ``metrics_overhead_pct`` — the observability
+    layer's price on the hottest per-tick path.
+    """
+    monitor = _monitor(rng, streams=1)
+    monitor.enable_metrics()
+    stream = [float(v) for v in np.cumsum(rng.normal(size=ticks))]
+
+    def run() -> int:
+        for value in stream:
+            monitor.push("s0", value)
+        return ticks
+
+    return _timed(run)
+
+
 def bench_monitor_multistream(ticks: int, rng: np.random.Generator) -> Dict[str, float]:
     monitor = _monitor(rng, streams=STREAM_COUNT)
     streams = [np.cumsum(rng.normal(size=ticks)) for _ in range(STREAM_COUNT)]
@@ -137,14 +161,67 @@ def bench_monitor_multistream(ticks: int, rng: np.random.Generator) -> Dict[str,
     return _timed(run)
 
 
-def run_suite(ticks: int, seed: int = 20070415) -> Dict[str, object]:
-    """Run every scenario and return the report dict (pure; no I/O)."""
+def _overhead_pair(repeats: int, ticks: int, seed: int):
+    """The push / push-with-metrics pair, measured noise-robustly.
+
+    Single runs of the push scenarios jitter by +-10% on a noisy
+    machine — wider than the 5% overhead budget the pair is used to
+    gate — so the overhead is estimated as the **minimum per-round
+    ratio**: each round runs baseline then metered back-to-back (so
+    machine phases hit both sides alike), computes the round's
+    slowdown, and the smallest round wins.  Noise only ever *inflates*
+    a round's ratio symmetrically-at-best, so the minimum tracks the
+    true cost from above, while a genuine regression shows up in every
+    round and survives the min.  Each side's best (max ticks/sec) row
+    is kept for the per-scenario table.
+    """
+    best = {}
+    overhead_pct = None
+    for _ in range(repeats):
+        rows = {}
+        for name, bench in (
+            ("monitor_64q_push", bench_monitor_push),
+            ("monitor_64q_push_metrics", bench_monitor_push_metrics),
+        ):
+            row = bench(ticks, np.random.default_rng(seed))
+            rows[name] = row
+            if (
+                name not in best
+                or row["ticks_per_sec"] > best[name]["ticks_per_sec"]
+            ):
+                best[name] = row
+        metered = rows["monitor_64q_push_metrics"]["ticks_per_sec"]
+        if metered:
+            round_pct = 100.0 * (
+                rows["monitor_64q_push"]["ticks_per_sec"] / metered - 1.0
+            )
+            if overhead_pct is None or round_pct < overhead_pct:
+                overhead_pct = round_pct
+    return (
+        best["monitor_64q_push"],
+        best["monitor_64q_push_metrics"],
+        None if overhead_pct is None else round(overhead_pct, 2),
+    )
+
+
+def run_suite(
+    ticks: int, seed: int = 20070415, repeats: int = 3
+) -> Dict[str, object]:
+    """Run every scenario and return the report dict (pure; no I/O).
+
+    ``repeats`` applies to the push/push-with-metrics pair only — the
+    two sides of the ``metrics_overhead_pct`` ratio.
+    """
+    push_row, push_metrics_row, metrics_overhead_pct = _overhead_pair(
+        repeats, ticks, seed
+    )
     results = {
         "spring_1q": bench_spring_1q(ticks * 4, np.random.default_rng(seed)),
         "per_query_64q": bench_per_query_64q(
             max(ticks // 8, 64), np.random.default_rng(seed)
         ),
-        "monitor_64q_push": bench_monitor_push(ticks, np.random.default_rng(seed)),
+        "monitor_64q_push": push_row,
+        "monitor_64q_push_metrics": push_metrics_row,
         "monitor_64q_push_many": bench_monitor_push_many(
             ticks, np.random.default_rng(seed)
         ),
@@ -161,6 +238,7 @@ def run_suite(ticks: int, seed: int = 20070415) -> Dict[str, object]:
             "query_lengths": list(QUERY_LENGTHS),
             "streams": STREAM_COUNT,
             "base_ticks": ticks,
+            "push_repeats": repeats,
             "seed": seed,
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -169,6 +247,7 @@ def run_suite(ticks: int, seed: int = 20070415) -> Dict[str, object]:
         "fused_speedup_vs_per_query": round(fused / baseline, 2)
         if baseline
         else None,
+        "metrics_overhead_pct": metrics_overhead_pct,
     }
 
 
@@ -186,14 +265,21 @@ def main(argv: object = None) -> Path:
         default=REPO_ROOT / "BENCH_throughput.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N runs for the push/push-metrics pair (default 3)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_suite(args.ticks)
+    report = run_suite(args.ticks, repeats=args.repeats)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     for name, row in report["results"].items():
         print(f"{name:28s} {row['ticks_per_sec']:>12,.1f} ticks/sec")
     print(f"fused speedup vs per-query: {report['fused_speedup_vs_per_query']}x")
+    print(f"metrics overhead on push:   {report['metrics_overhead_pct']}%")
     print(f"wrote {args.output}")
     return args.output
 

@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""CI smoke gate: fail on a >20% fused-throughput regression.
+"""CI smoke gate: fused-throughput regressions and metrics overhead.
 
 Absolute ticks/sec numbers are machine-dependent, so the gate checks
-the machine-independent quantity ``fused_speedup_vs_per_query`` — the
-ratio between the fused 64-query monitor and 64 independent ``Spring``
-objects stepped in a Python loop, both measured on the *same* machine
-in the *same* run.  A refactor that quietly knocks matchers out of the
-fused banks (e.g. a capability flag regression) collapses this ratio
-toward 1 regardless of hardware.
+machine-independent *ratios*, both measured on the same machine in the
+same run:
 
-The baseline is the committed ``BENCH_throughput.json``; the gate
-fails when the measured ratio drops below ``(1 - tolerance)`` times
-the recorded one (tolerance 0.2 by default).
+* ``fused_speedup_vs_per_query`` — the fused 64-query monitor vs 64
+  independent ``Spring`` objects stepped in a Python loop.  A refactor
+  that quietly knocks matchers out of the fused banks (e.g. a
+  capability flag regression) collapses this ratio toward 1 regardless
+  of hardware.  Fails when it drops below ``(1 - tolerance)`` times the
+  value recorded in the committed ``BENCH_throughput.json``.
+* ``metrics_overhead_pct`` — the slowdown of the same 64-query push
+  workload with the metrics recorder enabled.  The observability layer
+  promises near-zero cost; the gate fails when the measured overhead
+  exceeds ``--max-metrics-overhead`` percent (default 5).
 
 Usage::
 
@@ -54,6 +57,21 @@ def main(argv: object = None) -> int:
         default=0.2,
         help="allowed fractional drop in the fused speedup (default 0.2)",
     )
+    parser.add_argument(
+        "--max-metrics-overhead",
+        type=float,
+        default=5.0,
+        help="maximum allowed metrics-enabled slowdown on the 64-query "
+        "push path, in percent (default 5.0)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="rounds for the push/push-metrics overhead pair (the "
+        "min per-round ratio is gated); single runs jitter wider "
+        "than the overhead ceiling (default 5)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -62,9 +80,10 @@ def main(argv: object = None) -> int:
         print("baseline carries no fused speedup; nothing to gate against")
         return 0
 
-    report = run_suite(args.ticks)
+    report = run_suite(args.ticks, repeats=args.repeats)
     measured = report["fused_speedup_vs_per_query"]
     floor = (1.0 - args.tolerance) * recorded
+    failed = False
 
     print(f"recorded fused speedup : {recorded:.2f}x ({args.baseline.name})")
     print(f"measured fused speedup : {measured:.2f}x (ticks={args.ticks})")
@@ -74,9 +93,28 @@ def main(argv: object = None) -> int:
             f"FAIL: fused speedup regressed more than "
             f"{args.tolerance:.0%} vs the recorded baseline"
         )
-        return 1
-    print("OK: fused speedup within tolerance")
-    return 0
+        failed = True
+    else:
+        print("OK: fused speedup within tolerance")
+
+    overhead = report["metrics_overhead_pct"]
+    if overhead is None:
+        print("no metrics-enabled measurement; skipping overhead gate")
+    else:
+        print(
+            f"metrics overhead       : {overhead:.2f}% "
+            f"(ceiling {args.max_metrics_overhead:.1f}%)"
+        )
+        if overhead > args.max_metrics_overhead:
+            print(
+                "FAIL: enabling metrics costs more than "
+                f"{args.max_metrics_overhead:.1f}% on the 64-query push path"
+            )
+            failed = True
+        else:
+            print("OK: metrics overhead within budget")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

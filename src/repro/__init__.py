@@ -33,6 +33,10 @@ Package map
     The resilient runtime: supervised ingestion with retry/backoff,
     per-stream quarantine, dead-lettered callbacks, and
     crash-consistent checkpoint/resume.
+``repro.obs``
+    Observability: dependency-free metrics (counters, gauges,
+    histograms), Prometheus text exposition, tracing spans, and the
+    capability-gated recorders the hot paths report through.
 ``repro.datasets``
     Generators for the paper's workloads: MaskedChirp, temperature,
     seismic bursts, sunspots, and synthetic motion capture.

@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--resume", action="store_true",
                      help="restore the newest snapshot from "
                           "--checkpoint-dir and continue the run")
+    mon.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write Prometheus text exposition to PATH "
+                          "(atomically rewritten every --metrics-every "
+                          "ticks and once at end of stream)")
+    mon.add_argument("--metrics-every", type=int, default=1000,
+                     help="metrics file rewrite cadence in ticks "
+                          "(default 1000)")
     return parser
 
 
@@ -186,6 +193,16 @@ def _matcher_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _metrics_writer(registry, path: str):
+    """A zero-arg callable atomically rewriting the Prometheus file."""
+    from repro.obs.prometheus import write as write_prometheus
+
+    def write() -> None:
+        write_prometheus(registry, path)
+
+    return write
+
+
 def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
     from repro.core.monitor import StreamMonitor
     from repro.runtime import CheckpointManager, SupervisedRunner
@@ -209,6 +226,18 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
             checkpoint_every=args.checkpoint_every,
         )
 
+    write_metrics = None
+    if args.metrics_out is not None:
+        registry = runner.enable_metrics()
+        write_metrics = _metrics_writer(registry, args.metrics_out)
+        every = max(1, args.metrics_every)
+
+        def on_tick(watermark: int) -> None:
+            if watermark % every == 0:
+                write_metrics()
+
+        runner.on_tick = on_tick
+
     count = 0
 
     def on_match(event) -> None:
@@ -227,6 +256,9 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
 
     runner.subscribe(on_match)
     report = runner.run()
+    if write_metrics is not None:
+        write_metrics()
+        print(f"wrote metrics to {args.metrics_out}")
     health = report.health[source.name]
     print(
         f"{report.ticks} ticks processed (watermark {report.watermark}), "
@@ -252,6 +284,8 @@ def _run_monitor(args: argparse.Namespace) -> int:
         return _run_monitor_supervised(args, query)
     if args.resume:
         raise SystemExit("--resume needs --checkpoint-dir")
+    if args.metrics_out is not None:
+        return _run_monitor_metrics(args, query)
     matcher = build_matcher(args.matcher, query, epsilon=args.epsilon,
                             **_matcher_kwargs(args))
     source = CsvSource(args.stream_csv, columns=args.column,
@@ -275,6 +309,54 @@ def _run_monitor(args: argparse.Namespace) -> int:
             f"{final.start}..{final.end} distance {final.distance:.6g}"
         )
     print(f"{matcher.tick} ticks processed, {count} matches")
+    if source.malformed_count:
+        print(f"warning: {source.malformed_count} malformed CSV cells")
+    return 0
+
+
+def _run_monitor_metrics(args: argparse.Namespace, query: np.ndarray) -> int:
+    """Unsupervised monitoring with live Prometheus exposition.
+
+    Routes the stream through a one-query :class:`StreamMonitor` (the
+    instrumented push path) instead of a bare matcher loop; the printed
+    match lines are identical to the bare path.
+    """
+    from repro.core.monitor import StreamMonitor
+
+    monitor = StreamMonitor(keep_history=False)
+    registry = monitor.enable_metrics()
+    write_metrics = _metrics_writer(registry, args.metrics_out)
+    every = max(1, args.metrics_every)
+    monitor.add_query("query", query, epsilon=args.epsilon,
+                      matcher=args.matcher, **_matcher_kwargs(args))
+    monitor.add_stream("stream")
+    source = CsvSource(args.stream_csv, columns=args.column,
+                       skip_header=not args.no_header,
+                       strict=args.strict_csv)
+    count = 0
+    ticks = 0
+    for value in source:
+        ticks += 1
+        for event in monitor.push("stream", value):
+            match = event.match
+            count += 1
+            print(
+                f"match #{count}: ticks {match.start}..{match.end} "
+                f"distance {match.distance:.6g} (reported at tick "
+                f"{match.output_time})"
+            )
+        if ticks % every == 0:
+            write_metrics()
+    for event in monitor.flush():
+        match = event.match
+        count += 1
+        print(
+            f"match #{count} (at end of stream): ticks "
+            f"{match.start}..{match.end} distance {match.distance:.6g}"
+        )
+    write_metrics()
+    print(f"{ticks} ticks processed, {count} matches")
+    print(f"wrote metrics to {args.metrics_out}")
     if source.malformed_count:
         print(f"warning: {source.malformed_count} malformed CSV cells")
     return 0

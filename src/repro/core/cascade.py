@@ -33,6 +33,7 @@ from repro.core.matches import Match
 from repro.core.policy import ReportPolicy, decode_policies, encode_policies
 from repro.core.protocol import Capabilities
 from repro.core.registry import register_matcher_kind
+from repro.obs import tracing
 from repro.core.spring import Spring
 from repro.dtw.steps import LocalDistance
 from repro.exceptions import ValidationError
@@ -190,6 +191,15 @@ class CascadeSpring:
 
     def _verify(self, coarse: Match, flushing: bool = False) -> Optional[Match]:
         """Exact SPRING over the buffered window around a coarse hit."""
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            return self._verify_window(coarse, flushing)
+        with tracer.span("cascade.verify"):
+            return self._verify_window(coarse, flushing)
+
+    def _verify_window(
+        self, coarse: Match, flushing: bool = False
+    ) -> Optional[Match]:
         r = self.reduction
         margin = 2 * r
         start_tick = max(1, (coarse.start - 1) * r + 1 - margin)

@@ -24,9 +24,11 @@ custom distances — so equivalent-but-distinct distance specs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.fused import FusedSpring
+from repro.core.matches import Match
+from repro.obs import tracing
 
 __all__ = ["FusedBank", "ExecutionPlan", "fusion_key", "build_plan"]
 
@@ -38,6 +40,22 @@ class FusedBank:
     engine: FusedSpring
     names: List[str]
     matchers: List[object]
+
+    def step(self, value: object) -> List[Tuple[int, Match]]:
+        """Advance every banked matcher one tick (traced as bank dispatch)."""
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            return self.engine.step(value)
+        with tracer.span("engine.bank_step"):
+            return self.engine.step(value)
+
+    def extend(self, values: Iterable[object]) -> List[Tuple[int, Match]]:
+        """Advance every banked matcher through a batch of values."""
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            return self.engine.extend(values)
+        with tracer.span("engine.bank_extend"):
+            return self.engine.extend(values)
 
     def write_back(self) -> None:
         """Copy bank state back into the per-query matchers."""

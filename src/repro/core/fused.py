@@ -48,6 +48,7 @@ from repro.core.matches import Match
 from repro.core.state import update_columns
 from repro.dtw.steps import LocalDistance, resolve_vector_distance
 from repro.exceptions import NotFittedError, ValidationError
+from repro.obs import tracing
 
 __all__ = ["QueryBank", "FusedSpring"]
 
@@ -241,8 +242,18 @@ class FusedSpring:
             return []
         cost = self.bank.distance(x, self.bank.padded)
         cost = np.asarray(cost, dtype=np.float64)
-        self._d, self._s = update_columns(self._d, self._s, cost, self._ticks)
-        return self._report_logic()
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            self._d, self._s = update_columns(
+                self._d, self._s, cost, self._ticks
+            )
+            return self._report_logic()
+        with tracer.span("kernel.update_columns"):
+            self._d, self._s = update_columns(
+                self._d, self._s, cost, self._ticks
+            )
+        with tracer.span("policy.report"):
+            return self._report_logic()
 
     def extend(
         self, values: Iterable[object], block_size: int = 1024
@@ -287,14 +298,23 @@ class FusedSpring:
                 dtype=np.float64,
             )
             chunk_nan = nan_rows[lo:hi]
+            tracer = tracing.ACTIVE
             for t in range(hi - lo):
                 self._ticks += 1
                 if chunk_nan[t]:
                     continue
-                self._d, self._s = update_columns(
-                    self._d, self._s, cost_block[t], self._ticks
-                )
-                matches.extend(self._report_logic())
+                if tracer is None:
+                    self._d, self._s = update_columns(
+                        self._d, self._s, cost_block[t], self._ticks
+                    )
+                    matches.extend(self._report_logic())
+                    continue
+                with tracer.span("kernel.update_columns"):
+                    self._d, self._s = update_columns(
+                        self._d, self._s, cost_block[t], self._ticks
+                    )
+                with tracer.span("policy.report"):
+                    matches.extend(self._report_logic())
         if stop < arr.shape[0]:
             # Reproduce the per-tick error (prefix state is fully applied).
             tick = int(self._ticks[0]) + 1 if self.q else 0

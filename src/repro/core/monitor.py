@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Callable,
     Deque,
@@ -58,6 +59,9 @@ from repro.core.policy import decode_policies, encode_policies
 from repro.core.registry import build_matcher
 from repro.dtw.steps import LocalDistance
 from repro.exceptions import ValidationError
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import NULL_RECORDER, MetricsRecorder
 
 __all__ = ["MatchEvent", "StreamMonitor"]
 
@@ -150,6 +154,11 @@ class StreamMonitor:
         self.keep_history = bool(keep_history)
         # stream -> ExecutionPlan; None = rebuild on next push.
         self._plans: Dict[str, Optional[ExecutionPlan]] = {}
+        # Observability gate: the shared no-op recorder until
+        # enable_metrics() swaps in a real one.  Hot paths check only
+        # `recorder.enabled`, so a monitor that never opted in pays a
+        # single attribute load per push.
+        self.recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Registration
@@ -262,6 +271,70 @@ class StreamMonitor:
         return matcher
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def enable_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Turn on metrics collection; returns the backing registry.
+
+        Hot paths start recording per-stream tick counters, push
+        latency histograms, and per-event match counters; per-matcher
+        tick/pending series are published lazily by a snapshot-time
+        collector (writing them on every tick would cost O(queries)
+        per push and blow the <5% enabled-overhead budget).  Idempotent
+        when already enabled with a compatible registry.
+        """
+        if self.recorder.enabled:
+            if registry is not None and registry is not self.recorder.registry:
+                raise ValidationError(
+                    "metrics already enabled with a different registry"
+                )
+            return self.recorder.registry
+        self.recorder = MetricsRecorder(registry)
+        self.recorder.registry.add_collector(self._collect_matcher_series)
+        return self.recorder.registry
+
+    def metrics(self) -> Optional[Dict[str, dict]]:
+        """JSON-safe snapshot of every metric, or None when disabled."""
+        if not self.recorder.enabled:
+            return None
+        return self.recorder.registry.snapshot()
+
+    def _collect_matcher_series(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time collector: per-matcher tick / pending series.
+
+        Reads each matcher's own counters (after syncing bank state
+        back) instead of maintaining parallel ones on the hot path.
+        """
+        ticks = registry.counter(
+            "spring_matcher_ticks_total",
+            "Ticks consumed by each (stream, query) matcher",
+            ("stream", "query"),
+        )
+        pending = registry.gauge(
+            "spring_matcher_pending",
+            "1 when the matcher holds an unreported optimum "
+            "(the Figure-4 holding condition), else 0",
+            ("stream", "query"),
+        )
+        for stream, matchers in self._matchers.items():
+            self._sync_stream(stream)
+            for query_name, matcher in matchers.items():
+                ticks.labels(stream=stream, query=query_name).set_to(
+                    float(matcher.tick)
+                )
+                holder = getattr(matcher, "has_pending", None)
+                if holder is None:
+                    holder = getattr(
+                        getattr(matcher, "inner", None), "has_pending", None
+                    )
+                pending.labels(stream=stream, query=query_name).set(
+                    1.0 if holder else 0.0
+                )
+
+    # ------------------------------------------------------------------
     # Execution plans (fused banking, capability-driven)
     # ------------------------------------------------------------------
 
@@ -296,14 +369,40 @@ class StreamMonitor:
 
     def push(self, stream: str, value: object) -> List[MatchEvent]:
         """Feed one value into one stream; return events it confirmed."""
+        recorder = self.recorder
+        tracer = tracing.ACTIVE
+        if not recorder.enabled and tracer is None:
+            return self._push(stream, value, NULL_RECORDER)
+        started = perf_counter()
+        if tracer is not None:
+            with tracer.span("monitor.push"):
+                events = self._push(stream, value, recorder)
+        else:
+            events = self._push(stream, value, recorder)
+        if recorder.enabled:
+            recorder.record_push(stream, 1, perf_counter() - started)
+            if events:
+                recorder.record_events(events)
+        return events
+
+    def _push(
+        self, stream: str, value: object, recorder
+    ) -> List[MatchEvent]:
         try:
             matchers = self._matchers[stream]
         except KeyError:
             raise ValidationError(f"stream {stream!r} is not registered") from None
         plan = self._ensure_plan(stream)
+        enabled = recorder.enabled
         per_query: Dict[str, Match] = {}
         for bank in plan.banks:
-            for qi, match in bank.engine.step(value):
+            bank_started = perf_counter() if enabled else 0.0
+            pairs = bank.step(value)
+            if enabled:
+                recorder.record_bank_step(
+                    stream, len(bank.names), perf_counter() - bank_started
+                )
+            for qi, match in pairs:
                 # Banked matchers emit raw Figure-4 matches; their
                 # transform-only policies run here.
                 final = bank.matchers[qi].apply_report_policies(match)
@@ -312,7 +411,14 @@ class StreamMonitor:
         for query_name, matcher in matchers.items():
             if query_name in plan.banked:
                 continue
-            match = matcher.step(value)
+            if enabled:
+                step_started = perf_counter()
+                match = matcher.step(value)
+                recorder.record_matcher_step(
+                    stream, query_name, perf_counter() - step_started
+                )
+            else:
+                match = matcher.step(value)
             if match is not None:
                 per_query[query_name] = match
         events = [
@@ -332,6 +438,34 @@ class StreamMonitor:
         per batch.  Event order matches value-by-value :meth:`push`:
         ascending tick, then query-registration order.
         """
+        recorder = self.recorder
+        tracer = tracing.ACTIVE
+        if not recorder.enabled and tracer is None:
+            return self._push_many(stream, values, NULL_RECORDER)
+        started = perf_counter()
+        if tracer is not None:
+            with tracer.span("monitor.push_many"):
+                events, ticks = self._push_many_counted(
+                    stream, values, recorder
+                )
+        else:
+            events, ticks = self._push_many_counted(stream, values, recorder)
+        if recorder.enabled:
+            recorder.record_push(stream, ticks, perf_counter() - started)
+            if events:
+                recorder.record_events(events)
+        return events
+
+    def _push_many_counted(
+        self, stream: str, values: Iterable[object], recorder
+    ) -> Tuple[List[MatchEvent], int]:
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)
+        return self._push_many(stream, values, recorder), len(values)
+
+    def _push_many(
+        self, stream: str, values: Iterable[object], recorder
+    ) -> List[MatchEvent]:
         try:
             matchers = self._matchers[stream]
         except KeyError:
@@ -339,6 +473,7 @@ class StreamMonitor:
         if not isinstance(values, (np.ndarray, list, tuple)):
             values = list(values)  # one materialisation feeds every matcher
         plan = self._ensure_plan(stream)
+        enabled = recorder.enabled
         order = {name: i for i, name in enumerate(matchers)}
         collected: List[Tuple[int, int, MatchEvent]] = []
 
@@ -353,7 +488,13 @@ class StreamMonitor:
 
         for bank in plan.banks:
             start_ticks = bank.engine.ticks
-            for qi, match in bank.engine.extend(values):
+            bank_started = perf_counter() if enabled else 0.0
+            pairs = bank.extend(values)
+            if enabled:
+                recorder.record_bank_step(
+                    stream, len(bank.names), perf_counter() - bank_started
+                )
+            for qi, match in pairs:
                 final = bank.matchers[qi].apply_report_policies(match)
                 if final is None:
                     continue
@@ -391,6 +532,8 @@ class StreamMonitor:
                         MatchEvent(stream=stream, query=query_name, match=match)
                     )
         self._dispatch(events)
+        if self.recorder.enabled and events:
+            self.recorder.record_events(events)
         return events
 
     def _dispatch(self, events: Sequence[MatchEvent]) -> None:

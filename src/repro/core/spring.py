@@ -63,6 +63,7 @@ from repro.dtw.steps import (
     resolve_vector_distance,
 )
 from repro.exceptions import NotFittedError, ValidationError
+from repro.obs import tracing
 
 __all__ = ["Spring"]
 
@@ -295,11 +296,20 @@ class Spring:
         cost = np.asarray(
             self._distance(x[None, :], self._query), dtype=np.float64
         )
-        if self.use_reference:
-            self._update_with_nodes(cost)
-        else:
-            update_column(self._state, cost, self._tick)
-        return self._report_logic()
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            if self.use_reference:
+                self._update_with_nodes(cost)
+            else:
+                update_column(self._state, cost, self._tick)
+            return self._report_logic()
+        with tracer.span("kernel.update_column"):
+            if self.use_reference:
+                self._update_with_nodes(cost)
+            else:
+                update_column(self._state, cost, self._tick)
+        with tracer.span("policy.report"):
+            return self._report_logic()
 
     def extend(self, values: Iterable[object], block_size: int = 1024) -> List[Match]:
         """Consume many values; return all matches confirmed on the way.

@@ -92,14 +92,23 @@ class TopKSpring(Spring):
         """Leaderboard size."""
         return self._topk.k
 
+    #: Deprecation warning already emitted this session?  One warning
+    #: per process is enough for a legacy alias — a migration loop that
+    #: calls finalize() per stream must not flood stderr (and the
+    #: default "default" warning filter would dedupe per *call site*
+    #: only, not across them).
+    _finalize_warned = False
+
     def finalize(self) -> Optional[Match]:
         """Deprecated alias for :meth:`flush` (kept for old callers)."""
-        warnings.warn(
-            "TopKSpring.finalize() is deprecated; use flush(), the "
-            "protocol-wide end-of-stream method",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        if not TopKSpring._finalize_warned:
+            TopKSpring._finalize_warned = True
+            warnings.warn(
+                "TopKSpring.finalize() is deprecated; use flush(), the "
+                "protocol-wide end-of-stream method",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.flush()
 
     def best(self) -> List[Match]:

@@ -30,6 +30,7 @@ from repro._validation import check_positive
 from repro.core.matches import Match
 from repro.core.protocol import Capabilities
 from repro.exceptions import ValidationError
+from repro.obs import tracing
 from repro.streams.stats import EwmStats, RunningStats
 
 __all__ = [
@@ -253,7 +254,12 @@ class TransformedMatcher:
     def step(self, value: object) -> Optional[Match]:
         """Consume one raw value; return a match in raw-tick coordinates."""
         self._tick += 1
-        forwarded = self._transform.forward(value)
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            forwarded = self._transform.forward(value)
+        else:
+            with tracer.span("transform.forward"):
+                forwarded = self._transform.forward(value)
         if forwarded is None:
             return None
         return self._map(self._inner.step(forwarded))

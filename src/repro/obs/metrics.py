@@ -1,0 +1,413 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The registry is deliberately tiny — a thread-safe, stdlib-only subset
+of the Prometheus client model, because the monitoring loop must not
+grow a third-party dependency.  Three instrument families:
+
+* :class:`Counter` — monotone totals (ticks consumed, matches emitted,
+  retries, dead letters).
+* :class:`Gauge` — last-write-wins values (pending holding-condition
+  flags, quarantine state).
+* :class:`Histogram` — fixed-boundary latency distributions; the
+  default boundaries (:data:`DEFAULT_LATENCY_BUCKETS`) span 5 µs to
+  1 s, matching the per-tick envelope of a Python SPRING column update.
+
+Instruments are created through :class:`MetricsRegistry` (get-or-create
+by name, so hot paths can keep direct child references), labelled
+children are created on first use, and :meth:`MetricsRegistry.snapshot`
+returns a JSON-safe dict.  *Collectors* — callbacks run at snapshot
+time — let cheap-to-read state (e.g. each matcher's tick counter) be
+published lazily instead of being written on every push.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Fixed histogram boundaries (seconds) for per-tick latencies: 5 µs
+#: resolution at the bottom (a fused 64-query column update is ~2 µs
+#: per query), 1 s at the top (checkpoint writes on slow disks).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 1.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _check_labels(
+    labelnames: Tuple[str, ...], labels: Dict[str, object]
+) -> _LabelKey:
+    if tuple(sorted(labels)) != tuple(sorted(labelnames)):
+        raise ValidationError(
+            f"expected labels {list(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Child:
+    """One labelled time series of a metric family."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+
+
+class _CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, lock: threading.Lock) -> None:
+        super().__init__(lock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counters are monotone; cannot inc by {amount}"
+            )
+        with self._lock:
+            self.value += amount
+
+    def set_to(self, value: float) -> None:
+        """Raise the counter to ``value`` (collector-style publishing).
+
+        Used by snapshot-time collectors that mirror an externally
+        maintained monotone count (e.g. a matcher's tick counter);
+        monotonicity is preserved by never lowering the stored value.
+        """
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, lock: threading.Lock) -> None:
+        super().__init__(lock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, lock: threading.Lock, buckets: Tuple[float, ...]
+    ) -> None:
+        super().__init__(lock)
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def merge_bucketed(
+        self, counts: Sequence[int], total: float, count: int
+    ) -> None:
+        """Fold pre-bucketed observations in, one lock acquisition.
+
+        ``counts`` must be bucketed with the same boundaries and the
+        same ``bisect_left`` rule as :meth:`observe` — this is the
+        flush path for hot-loop recorders that accumulate observations
+        locally instead of taking the registry lock per tick.
+        """
+        if len(counts) != len(self.counts):
+            raise ValidationError(
+                f"expected {len(self.counts)} bucket counts, "
+                f"got {len(counts)}"
+            )
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self.counts[index] += bucket_count
+            self.sum += total
+            self.count += count
+
+
+class _MetricFamily:
+    """Common machinery: named children keyed by label values."""
+
+    type_name = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._lock = lock
+        self._children: Dict[_LabelKey, _Child] = {}
+        if not labelnames:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self) -> _Child:
+        raise NotImplementedError
+
+    def labels(self, **labels: object) -> _Child:
+        """The child series for one label-value combination."""
+        key = _check_labels(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def _series(self) -> List[Tuple[Dict[str, str], _Child]]:
+        with self._lock:
+            items = list(self._children.items())
+        return [
+            (dict(zip(self.labelnames, key)), child) for key, child in items
+        ]
+
+    def _require_default(self) -> _Child:
+        if self._default is None:
+            raise ValidationError(
+                f"metric {self.name!r} is labelled "
+                f"({list(self.labelnames)}); use .labels(...)"
+            )
+        return self._default
+
+
+class Counter(_MetricFamily):
+    """A monotonically increasing total."""
+
+    type_name = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less series."""
+        self._require_default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Current value of the label-less series."""
+        return self._require_default().value
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of every series."""
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "series": [
+                {"labels": labels, "value": child.value}
+                for labels, child in self._series()
+            ],
+        }
+
+
+class Gauge(_MetricFamily):
+    """A value that can go up and down."""
+
+    type_name = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        """Set the label-less series."""
+        self._require_default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the label-less series."""
+        self._require_default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract from the label-less series."""
+        self._require_default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """Current value of the label-less series."""
+        return self._require_default().value
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of every series."""
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "series": [
+                {"labels": labels, "value": child.value}
+                for labels, child in self._series()
+            ],
+        }
+
+
+class Histogram(_MetricFamily):
+    """Fixed-boundary distribution of observations."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        boundaries = tuple(float(b) for b in buckets)
+        if not boundaries or list(boundaries) != sorted(set(boundaries)):
+            raise ValidationError(
+                f"histogram buckets must be strictly increasing, got {buckets}"
+            )
+        self.buckets = boundaries
+        super().__init__(name, help_text, labelnames, lock)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the label-less series."""
+        self._require_default().observe(value)
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of every series (per-bucket, non-cumulative)."""
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "series": [
+                {
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                    "bucket_counts": list(child.counts),
+                }
+                for labels, child in self._series()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get metric families; snapshot them as one JSON dict.
+
+    A single registry-wide lock guards family creation, child creation,
+    and every write — per-tick write rates in this codebase are far
+    below the contention point where sharding would matter, and one
+    lock makes the interleaving tests trivially exact.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _MetricFamily] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    def _get_or_create(
+        self,
+        cls,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        **kwargs: object,
+    ) -> _MetricFamily:
+        labels = tuple(str(n) for n in labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help_text, labels, self._lock, **kwargs)
+                self._families[name] = family
+                return family
+        if not isinstance(family, cls) or family.labelnames != labels:
+            raise ValidationError(
+                f"metric {name!r} already registered as "
+                f"{family.type_name}{list(family.labelnames)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a :class:`Counter` family."""
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a :class:`Gauge` family."""
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` family."""
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_MetricFamily]:
+        """The family registered under ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    def add_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Run ``collector(registry)`` before every snapshot/render.
+
+        Collectors publish state that is cheap to read but would be
+        expensive to write on every tick (per-matcher tick counters,
+        source data-quality counters).
+        """
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector once."""
+        for collector in list(self._collectors):
+            collector(self)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Collect, then return ``{metric_name: family_snapshot}``."""
+        self.collect()
+        with self._lock:
+            families = list(self._families.items())
+        return {name: family.snapshot() for name, family in families}

@@ -1,0 +1,173 @@
+"""Prometheus text exposition: render, parse (for tests), atomic write.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into the text exposition format (version 0.0.4): ``# HELP`` /
+``# TYPE`` headers, escaped label values, and cumulative ``_bucket``
+series with ``le`` labels for histograms.  :func:`parse` is the
+minimal inverse — enough to round-trip every sample the renderer can
+produce, which is what the format tests assert.  :func:`write` renders
+to a temp file and ``os.replace``-s it into place, so a scraper
+watching ``--metrics-out`` never reads a torn file (the same discipline
+as :class:`~repro.runtime.checkpointer.CheckpointManager`).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render", "parse", "write"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _sample(name: str, labels: Dict[str, str], value: float) -> str:
+    return f"{name}{_format_labels(labels)} {_format_value(value)}"
+
+
+def render(registry: MetricsRegistry) -> str:
+    """Render every metric in ``registry`` as Prometheus exposition text."""
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        if family["type"] == "histogram":
+            for series in family["series"]:
+                labels = dict(series["labels"])
+                cumulative = 0
+                for boundary, count in zip(
+                    family["buckets"], series["bucket_counts"]
+                ):
+                    cumulative += count
+                    bucket_labels = dict(labels, le=_format_value(boundary))
+                    lines.append(
+                        _sample(f"{name}_bucket", bucket_labels, cumulative)
+                    )
+                bucket_labels = dict(labels, le="+Inf")
+                lines.append(
+                    _sample(f"{name}_bucket", bucket_labels, series["count"])
+                )
+                lines.append(_sample(f"{name}_sum", labels, series["sum"]))
+                lines.append(
+                    _sample(f"{name}_count", labels, series["count"])
+                )
+        else:
+            for series in family["series"]:
+                lines.append(
+                    _sample(name, dict(series["labels"]), series["value"])
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    )
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+#: One parsed sample: (sample name, labels, value).
+Sample = Tuple[str, Dict[str, str], float]
+
+
+def parse(text: str) -> Dict[str, List[Sample]]:
+    """Parse exposition text into ``{metric_family: [samples]}``.
+
+    The family of ``foo_bucket`` / ``foo_sum`` / ``foo_count`` is the
+    one named by the preceding ``# TYPE`` line, mirroring how Prometheus
+    groups histogram samples.  Raises
+    :class:`~repro.exceptions.ValidationError` on a malformed line —
+    this parser exists to prove the renderer emits valid text, so it
+    must not paper over format bugs.
+    """
+    families: Dict[str, List[Sample]] = {}
+    current_family: Optional[str] = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                current_family = parts[2]
+                families.setdefault(current_family, [])
+            continue
+        matched = _SAMPLE_RE.match(line)
+        if matched is None:
+            raise ValidationError(f"malformed exposition line: {raw_line!r}")
+        name = matched.group("name")
+        labels: Dict[str, str] = {}
+        label_blob = matched.group("labels")
+        if label_blob:
+            for label_name, label_value in _LABEL_RE.findall(label_blob):
+                labels[label_name] = _unescape_label(label_value)
+        family = current_family
+        if family is None or not name.startswith(family):
+            family = name
+            families.setdefault(family, [])
+        families[family].append(
+            (name, labels, _parse_value(matched.group("value")))
+        )
+    return families
+
+
+def write(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Atomically write ``render(registry)`` to ``path``."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(render(registry))
+    os.replace(tmp, path)
+    return path

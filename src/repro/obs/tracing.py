@@ -1,0 +1,161 @@
+"""Lightweight tracing spans for hot-path stage attribution.
+
+The profiling question this answers: of one tick's budget, how much
+goes to the DTW kernel, the report policies, the stream transforms,
+and the bank dispatch glue?  ``cProfile`` answers it too, but at 2-5x
+slowdown and per-function (not per-architectural-stage) granularity.
+
+Design: a module-level :data:`ACTIVE` tracer that is ``None`` unless
+:func:`enable_tracing` was called.  Hot paths guard every span with
+``if tracing.ACTIVE is not None`` — one global load and an ``is``
+check when disabled, which is unmeasurable against a column update.
+Spans record wall-clock start/duration plus the index of the enclosing
+span, so :meth:`Tracer.totals` can compute *self* time per span name
+(total minus time spent in child spans) — the quantity the per-stage
+breakdown in ``scripts/profile_hotpath.py`` reports.
+
+The span buffer is bounded (:attr:`Tracer.limit`); once full, further
+spans are counted in :attr:`Tracer.dropped` instead of recorded, so a
+forgotten ``enable_tracing()`` cannot eat unbounded memory.
+
+This is intentionally single-stream tracing (one implicit stack, no
+thread locals): the monitoring loop is single-threaded, and keeping the
+span context a plain attribute keeps the enabled overhead to two list
+appends per span.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Tracer",
+    "ACTIVE",
+    "enable_tracing",
+    "disable_tracing",
+    "current_tracer",
+]
+
+# Record layout: [name, start, duration, parent_index]; lists (not
+# dataclasses) keep the per-span allocation cost to one object.
+_NAME, _START, _DURATION, _PARENT = range(4)
+
+
+class _SpanContext:
+    """Context manager recording one span into its tracer's buffer."""
+
+    __slots__ = ("_tracer", "_name", "_record", "_restore")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._record: Optional[list] = None
+
+    def __enter__(self) -> "_SpanContext":
+        tracer = self._tracer
+        self._restore = tracer._current
+        if len(tracer._spans) < tracer.limit:
+            self._record = [self._name, perf_counter(), 0.0, tracer._current]
+            tracer._spans.append(self._record)
+            tracer._current = len(tracer._spans) - 1
+        else:
+            tracer.dropped += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        record = self._record
+        if record is not None:
+            record[_DURATION] = perf_counter() - record[_START]
+        self._tracer._current = self._restore
+
+
+class Tracer:
+    """Bounded buffer of nested wall-clock spans.
+
+    Parameters
+    ----------
+    limit:
+        Maximum spans retained; excess spans increment :attr:`dropped`.
+    """
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.limit = int(limit)
+        self.dropped = 0
+        self._spans: List[list] = []
+        self._current = -1  # index of the open enclosing span
+
+    def span(self, name: str) -> _SpanContext:
+        """A context manager timing one named span."""
+        return _SpanContext(self, name)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop every recorded span (open spans keep recording)."""
+        self._spans = []
+        self.dropped = 0
+        self._current = -1
+
+    def events(self) -> List[dict]:
+        """Recorded spans as dicts: name, start, duration, parent index."""
+        return [
+            {
+                "name": record[_NAME],
+                "start": record[_START],
+                "duration": record[_DURATION],
+                "parent": record[_PARENT],
+            }
+            for record in self._spans
+        ]
+
+    def totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregate: count, total seconds, *self* seconds.
+
+        Self time is a span's duration minus the durations of its
+        direct children — the stage-attribution quantity: the kernel
+        span's total already excludes policy work because the policy
+        runs in a sibling span, and ``monitor.push``'s self time is
+        exactly the dispatch glue around the matcher spans.
+        """
+        spans = self._spans
+        child_time = [0.0] * len(spans)
+        for record in spans:
+            parent = record[_PARENT]
+            if parent >= 0:
+                child_time[parent] += record[_DURATION]
+        totals: Dict[str, Dict[str, float]] = {}
+        for index, record in enumerate(spans):
+            entry = totals.setdefault(
+                record[_NAME], {"count": 0, "total": 0.0, "self": 0.0}
+            )
+            entry["count"] += 1
+            entry["total"] += record[_DURATION]
+            entry["self"] += record[_DURATION] - child_time[index]
+        return totals
+
+
+#: The process-wide tracer, or ``None`` when tracing is disabled.  Hot
+#: paths read this exactly once per call and skip all span machinery
+#: when it is ``None``.
+ACTIVE: Optional[Tracer] = None
+
+
+def enable_tracing(limit: int = 1_000_000) -> Tracer:
+    """Install (and return) a fresh process-wide :class:`Tracer`."""
+    global ACTIVE
+    ACTIVE = Tracer(limit=limit)
+    return ACTIVE
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Uninstall the process-wide tracer; returns it for inspection."""
+    global ACTIVE
+    tracer, ACTIVE = ACTIVE, None
+    return tracer
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None``."""
+    return ACTIVE

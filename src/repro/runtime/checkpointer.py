@@ -26,10 +26,12 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.checkpoint import load_monitor, save_monitor
 from repro.exceptions import CheckpointError, ValidationError
+from repro.obs.recorder import NULL_RECORDER
 
 __all__ = ["CheckpointManager"]
 
@@ -57,6 +59,10 @@ class CheckpointManager:
         if keep < 1:
             raise ValidationError(f"keep must be >= 1, got {keep}")
         self.keep = keep
+        # Observability gate: when a recorder is attached (the
+        # supervised runner shares its monitor's), save/resume publish
+        # write/restore timings and serialized byte counts.
+        self.recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Writing
@@ -73,6 +79,7 @@ class CheckpointManager:
         watermark = int(watermark)
         if watermark < 0:
             raise ValidationError(f"watermark must be >= 0, got {watermark}")
+        started = perf_counter() if self.recorder.enabled else 0.0
         payload = {
             "snapshot_version": _SNAPSHOT_VERSION,
             "watermark": watermark,
@@ -92,6 +99,10 @@ class CheckpointManager:
             os.fsync(handle.fileno())
         os.replace(tmp, final)
         self._prune()
+        if self.recorder.enabled:
+            self.recorder.record_checkpoint_write(
+                perf_counter() - started, len(data)
+            )
         return final
 
     def _prune(self) -> None:
@@ -145,12 +156,15 @@ class CheckpointManager:
         :class:`~repro.exceptions.CheckpointError` when no readable
         snapshot exists.
         """
+        started = perf_counter() if self.recorder.enabled else 0.0
         payload = self.latest()
         if payload is None:
             raise CheckpointError(
                 f"no readable checkpoint under {self.directory}"
             )
         monitor = load_monitor(payload["monitor"])
+        if self.recorder.enabled:
+            self.recorder.record_checkpoint_restore(perf_counter() - started)
         meta = {
             "watermark": int(payload["watermark"]),  # type: ignore[arg-type]
             "stream_ticks": {

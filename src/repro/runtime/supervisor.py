@@ -37,6 +37,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.monitor import MatchEvent, StreamMonitor
 from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.checkpointer import CheckpointManager
 from repro.runtime.policy import FATAL, RetryPolicy
 from repro.streams.source import StreamSource
@@ -82,6 +83,9 @@ class RunReport:
     health: Dict[str, StreamHealth]
     resumed_from: Optional[int]
     checkpoints: int
+    #: Metrics snapshot at the end of the run (None unless the runner's
+    #: :meth:`SupervisedRunner.enable_metrics` was called).
+    metrics: Optional[Dict[str, dict]] = None
 
 
 class _Quarantined(Exception):
@@ -169,6 +173,15 @@ class SupervisedRunner:
         for name in names:
             if name not in monitor.streams:
                 monitor.add_stream(name)
+        #: Optional hook called after every successfully pushed tick
+        #: with the new watermark (the CLI uses it to write Prometheus
+        #: files on a tick cadence).
+        self.on_tick: Optional[Callable[[int], None]] = None
+        # The runner shares the monitor's recorder, so runtime metrics
+        # (retries, quarantines, dead letters, checkpoint timings) land
+        # in the same registry as the matching metrics.
+        if monitor.recorder.enabled and self.checkpoint is not None:
+            self.checkpoint.recorder = monitor.recorder
 
     # ------------------------------------------------------------------
     # Construction from a checkpoint
@@ -221,6 +234,40 @@ class SupervisedRunner:
     def health(self) -> Dict[str, StreamHealth]:
         """Per-stream supervision counters (live objects, not copies)."""
         return dict(self._health)
+
+    def enable_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Enable metrics on the monitor *and* the runtime seams.
+
+        One registry carries everything: the monitor's tick/match/
+        latency series, the runner's retry/quarantine/dead-letter
+        counters, and the checkpoint manager's write timings.  Also
+        registers a collector publishing each source's data-quality
+        counter (``malformed_count``) when the source exposes one.
+        """
+        registry = self.monitor.enable_metrics(registry)
+        if self.checkpoint is not None:
+            self.checkpoint.recorder = self.monitor.recorder
+        if self._source_collector not in registry._collectors:
+            registry.add_collector(self._source_collector)
+        return registry
+
+    def metrics(self) -> Optional[Dict[str, dict]]:
+        """JSON-safe snapshot of every metric, or None when disabled."""
+        return self.monitor.metrics()
+
+    def _source_collector(self, registry: MetricsRegistry) -> None:
+        malformed = registry.counter(
+            "spring_source_malformed_records_total",
+            "Malformed source records skipped (CSV cells that failed "
+            "to parse, counted per pass)",
+            ("stream",),
+        )
+        for source in self.sources:
+            count = getattr(source, "malformed_count", None)
+            if count is not None:
+                malformed.labels(stream=source.name).set_to(float(count))
 
     # ------------------------------------------------------------------
     # The loop
@@ -276,6 +323,8 @@ class SupervisedRunner:
                 self._stream_ticks[name] += 1
                 self.watermark += 1
                 ticks += 1
+                if self.on_tick is not None:
+                    self.on_tick(self.watermark)
                 if (
                     self.checkpoint_every is not None
                     and self.watermark % self.checkpoint_every == 0
@@ -299,6 +348,7 @@ class SupervisedRunner:
             health=self.health(),
             resumed_from=self.resumed_from,
             checkpoints=checkpoints,
+            metrics=self.metrics(),
         )
 
     # ------------------------------------------------------------------
@@ -366,6 +416,9 @@ class SupervisedRunner:
                         raise _Quarantined() from exc
                     raise _PullFailed() from exc
                 health.retries += 1
+                recorder = self.monitor.recorder
+                if recorder.enabled:
+                    recorder.record_retry(name)
                 self.sleep(self.policy.delay(attempt))
                 attempt += 1
                 continue
@@ -376,11 +429,17 @@ class SupervisedRunner:
         health = self._health[name]
         health.quarantined = True
         health.quarantine_reason = reason
+        recorder = self.monitor.recorder
+        if recorder.enabled:
+            recorder.record_quarantine(name)
 
     def _record_dead_letter(self, event: MatchEvent, error: Exception) -> None:
         self.dead_letters.append(
             DeadLetter(event=event, error=error, watermark=self.watermark)
         )
+        recorder = self.monitor.recorder
+        if recorder.enabled:
+            recorder.record_dead_letter(event.stream)
 
     def _snapshot(self) -> None:
         assert self.checkpoint is not None

@@ -99,6 +99,14 @@ class TestLeaderboard:
 
 
 class TestFinalizeDeprecation:
+    @pytest.fixture(autouse=True)
+    def _reset_warned_flag(self):
+        # The warning fires once per session; reset so each test sees
+        # a fresh session regardless of execution order.
+        TopKSpring._finalize_warned = False
+        yield
+        TopKSpring._finalize_warned = False
+
     def test_finalize_warns_and_flushes(self, rng):
         values = rng.normal(size=50)
         pattern = rng.normal(size=4)
@@ -114,6 +122,23 @@ class TestFinalizeDeprecation:
             assert (deprecated.start, deprecated.end, deprecated.distance) == (
                 expected.start, expected.end, expected.distance
             )
+
+    def test_finalize_warns_once_per_session(self, rng):
+        import warnings
+
+        top = TopKSpring(rng.normal(size=4), k=2)
+        top.extend(rng.normal(size=30))
+        with warnings.catch_warnings(record=True) as caught:
+            # "always" would re-emit on every call if the code relied
+            # on the default per-location filter for deduplication.
+            warnings.simplefilter("always")
+            top.finalize()
+            top.finalize()
+            TopKSpring(rng.normal(size=4), k=1).finalize()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
 
     def test_flush_emits_no_warning(self, rng):
         import warnings

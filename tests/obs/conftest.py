@@ -1,0 +1,15 @@
+"""Shared fixtures for the observability suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Tracing is process-global state; never let a test leak it."""
+    assert tracing.ACTIVE is None, "a previous test leaked an active tracer"
+    yield
+    tracing.ACTIVE = None

@@ -1,0 +1,141 @@
+"""CLI metrics export and the hot-path profiler script."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs.prometheus import parse
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def stream_csv(tmp_path, rng):
+    pattern = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+    values = np.concatenate(
+        [rng.normal(size=30) + 8, pattern, rng.normal(size=30) + 8]
+    )
+    query_path = tmp_path / "query.csv"
+    stream_path = tmp_path / "stream.csv"
+    np.savetxt(query_path, pattern, delimiter=",")
+    np.savetxt(stream_path, values, delimiter=",")
+    return query_path, stream_path, len(values)
+
+
+class TestMonitorMetricsFlag:
+    def test_unsupervised_writes_parseable_prometheus(
+        self, stream_csv, tmp_path, capsys
+    ):
+        query_path, stream_path, ticks = stream_csv
+        out = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "monitor", str(stream_path), str(query_path),
+                "--epsilon", "2.0", "--no-header",
+                "--metrics-out", str(out),
+                "--metrics-every", "10",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "match #" in captured
+        assert f"wrote metrics to {out}" in captured
+
+        families = parse(out.read_text())
+        tick_samples = families["spring_stream_ticks_total"]
+        assert tick_samples == [
+            ("spring_stream_ticks_total", {"stream": "stream"}, float(ticks))
+        ]
+        assert "spring_matches_total" in families
+        assert "spring_push_latency_seconds" in families
+        matcher_ticks = families["spring_matcher_ticks_total"]
+        assert matcher_ticks[0][1] == {"query": "query", "stream": "stream"}
+        assert matcher_ticks[0][2] == float(ticks)
+
+    def test_match_lines_identical_with_and_without_metrics(
+        self, stream_csv, tmp_path, capsys
+    ):
+        query_path, stream_path, _ticks = stream_csv
+        base = ["monitor", str(stream_path), str(query_path), "--epsilon", "2.0"]
+        assert main(base) == 0
+        plain = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("match #")
+        ]
+        out = tmp_path / "m.prom"
+        assert main(base + ["--metrics-out", str(out)]) == 0
+        metered = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("match #")
+        ]
+        assert plain == metered
+        assert plain  # the scripted stream must produce a match
+
+    def test_supervised_run_exports_runtime_series(
+        self, stream_csv, tmp_path, capsys
+    ):
+        query_path, stream_path, ticks = stream_csv
+        out = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "monitor", str(stream_path), str(query_path),
+                "--epsilon", "2.0", "--no-header",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--checkpoint-every", "20",
+                "--metrics-out", str(out),
+            ]
+        )
+        assert code == 0
+        families = parse(out.read_text())
+        assert "spring_stream_ticks_total" in families
+        writes = {
+            name: value
+            for name, _labels, value in families["spring_checkpoint_write_seconds"]
+            if name.endswith("_count")
+        }
+        assert writes["spring_checkpoint_write_seconds_count"] >= 1
+
+
+class TestProfileScript:
+    def _run(self, *extra):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src
+        )
+        return subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "profile_hotpath.py"),
+                "--ticks", "300", "--queries", "4", *extra,
+            ],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+
+    def test_table_output_breaks_down_stages(self):
+        result = self._run("--mixed")
+        assert result.returncode == 0, result.stderr
+        assert "kernel" in result.stdout
+        assert "policy" in result.stdout
+        assert "share" in result.stdout
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        report_path = tmp_path / "profile.json"
+        result = self._run("--json", str(report_path))
+        assert result.returncode == 0, result.stderr
+        report = json.loads(report_path.read_text())
+        assert report["config"]["ticks"] == 300
+        assert report["spans_dropped"] == 0
+        stages = {stage["stage"]: stage for stage in report["stages"]}
+        assert stages["kernel"]["calls"] > 0
+        total_share = sum(stage["share"] for stage in report["stages"])
+        assert total_share == pytest.approx(1.0, abs=1e-6)

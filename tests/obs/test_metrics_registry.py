@@ -1,0 +1,176 @@
+"""Metrics primitives: counters, gauges, histograms, registry semantics."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValidationError, match="monotone"):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("c_total", labelnames=("stream",))
+        counter.labels(stream="a").inc(3)
+        counter.labels(stream="b").inc(5)
+        assert counter.labels(stream="a").value == 3
+        assert counter.labels(stream="b").value == 5
+
+    def test_labelless_use_of_labelled_family_rejected(self):
+        counter = MetricsRegistry().counter("c_total", labelnames=("stream",))
+        with pytest.raises(ValidationError, match="labels"):
+            counter.inc()
+
+    def test_wrong_label_names_rejected(self):
+        counter = MetricsRegistry().counter("c_total", labelnames=("stream",))
+        with pytest.raises(ValidationError, match="expected labels"):
+            counter.labels(strm="a")
+
+    def test_set_to_never_lowers(self):
+        child = MetricsRegistry().counter(
+            "c_total", labelnames=("q",)
+        ).labels(q="x")
+        child.set_to(10.0)
+        child.set_to(4.0)  # stale collector read must not regress
+        assert child.value == 10.0
+        child.set_to(12.0)
+        assert child.value == 12.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(4.0)
+        gauge.inc(1.5)
+        gauge.dec(0.5)
+        assert gauge.value == 5.0
+
+    def test_gauge_may_go_negative(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.dec(2)
+        assert gauge.value == -2
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "h_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.1, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        series = histogram.snapshot()["series"][0]
+        # le=0.1 is inclusive: 0.05 and 0.1 land in the first bucket.
+        assert series["bucket_counts"] == [2, 1, 1, 1]
+        assert series["count"] == 5
+        assert series["sum"] == pytest.approx(55.65)
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            set(DEFAULT_LATENCY_BUCKETS)
+        )
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("stream",))
+        second = registry.counter("c_total", "ignored", ("stream",))
+        assert first is second
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.gauge("metric")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric", labelnames=("a",))
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.counter("metric", labelnames=("b",))
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("s",)).labels(s="x").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_seconds").observe(2e-4)
+        round_tripped = json.loads(json.dumps(registry.snapshot()))
+        assert round_tripped["c_total"]["type"] == "counter"
+        assert round_tripped["h_seconds"]["series"][0]["count"] == 1
+
+    def test_collector_runs_on_snapshot(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def collector(reg):
+            calls.append(reg)
+            reg.gauge("collected").set(7.0)
+
+        registry.add_collector(collector)
+        snapshot = registry.snapshot()
+        assert calls == [registry]
+        assert snapshot["collected"]["series"][0]["value"] == 7.0
+
+    def test_snapshot_monotonicity_of_counters(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks_total", labelnames=("s",))
+        previous = 0.0
+        for round_ticks in (3, 0, 10, 1):
+            for _ in range(round_ticks):
+                counter.labels(s="a").inc()
+            snapshot = registry.snapshot()
+            value = snapshot["ticks_total"]["series"][0]["value"]
+            assert value >= previous
+            previous = value
+
+    def test_concurrent_interleaving_is_exact(self):
+        """4 threads x 10k increments: the single-lock design loses none."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("t",))
+        histogram = registry.histogram("h_seconds", labelnames=("t",))
+        increments = 10_000
+        threads = 4
+
+        def worker(tid: int) -> None:
+            counter_child = counter.labels(t=str(tid % 2))
+            histogram_child = histogram.labels(t=str(tid % 2))
+            for _ in range(increments):
+                counter_child.inc()
+                histogram_child.observe(1e-4)
+
+        pool = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        total = sum(
+            series["value"]
+            for series in registry.snapshot()["c_total"]["series"]
+        )
+        assert total == threads * increments
+        observed = sum(
+            series["count"]
+            for series in registry.snapshot()["h_seconds"]["series"]
+        )
+        assert observed == threads * increments

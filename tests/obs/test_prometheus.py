@@ -1,0 +1,124 @@
+"""Prometheus text exposition: format shape, round-trip, atomic write."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import parse, render, write
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    ticks = registry.counter(
+        "spring_stream_ticks_total", "Stream values pushed", ("stream",)
+    )
+    ticks.labels(stream="s0").inc(42)
+    ticks.labels(stream="s1").inc(7)
+    registry.gauge("spring_matcher_pending", "holding", ("stream", "query"))\
+        .labels(stream="s0", query="q0").set(1.0)
+    latency = registry.histogram(
+        "spring_push_latency_seconds", "push latency", ("stream",),
+        buckets=(1e-4, 1e-3, 1e-2),
+    )
+    for value in (5e-5, 5e-4, 5e-4, 0.5):
+        latency.labels(stream="s0").observe(value)
+    return registry
+
+
+class TestRender:
+    def test_help_and_type_lines(self):
+        text = render(_populated_registry())
+        assert "# HELP spring_stream_ticks_total Stream values pushed" in text
+        assert "# TYPE spring_stream_ticks_total counter" in text
+        assert "# TYPE spring_push_latency_seconds histogram" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        text = render(_populated_registry())
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("spring_push_latency_seconds_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in lines[-1]
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith("spring_push_latency_seconds_count")
+        )
+        assert counts[-1] == float(count_line.rsplit(" ", 1)[1]) == 4
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "x", ("name",)).labels(
+            name='we"ird\\path\nnewline'
+        ).inc()
+        text = render(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        samples = parse(text)["c_total"]
+        assert samples[0][1]["name"] == 'we"ird\\path\nnewline'
+
+    def test_empty_registry_renders_empty(self):
+        assert render(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_every_sample_survives(self):
+        registry = _populated_registry()
+        families = parse(render(registry))
+        ticks = {
+            labels["stream"]: value
+            for _, labels, value in families["spring_stream_ticks_total"]
+        }
+        assert ticks == {"s0": 42.0, "s1": 7.0}
+        histogram = families["spring_push_latency_seconds"]
+        sums = [
+            value for name, _, value in histogram if name.endswith("_sum")
+        ]
+        assert sums == [pytest.approx(5e-5 + 5e-4 + 5e-4 + 0.5)]
+        infinity_buckets = [
+            value
+            for name, labels, value in histogram
+            if name.endswith("_bucket") and labels.get("le") == "+Inf"
+        ]
+        assert infinity_buckets == [4.0]
+
+    def test_inf_values_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.inf)
+        samples = parse(render(registry))["g"]
+        assert samples[0][2] == math.inf
+
+    def test_malformed_line_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="malformed"):
+            parse("this is { not a metric")
+
+
+class TestWrite:
+    def test_atomic_write_and_reread(self, tmp_path):
+        registry = _populated_registry()
+        path = tmp_path / "metrics.prom"
+        returned = write(registry, path)
+        assert returned == path
+        assert not path.with_suffix(".prom.tmp").exists()
+        families = parse(path.read_text())
+        assert "spring_stream_ticks_total" in families
+
+    def test_overwrite_updates_in_place(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        path = tmp_path / "m.prom"
+        write(registry, path)
+        counter.inc(5)
+        write(registry, path)
+        assert parse(path.read_text())["c_total"][0][2] == 5.0
+
+    def test_creates_parent_directory(self, tmp_path):
+        registry = _populated_registry()
+        path = tmp_path / "nested" / "dir" / "m.prom"
+        write(registry, path)
+        assert path.exists()

@@ -1,0 +1,87 @@
+"""Tracer semantics: nesting, self time, bounded buffer, global gate."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import tracing
+from repro.obs.tracing import Tracer, disable_tracing, enable_tracing
+
+
+class TestTracer:
+    def test_spans_record_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = tracer.events()
+        assert [event["name"] for event in events] == ["outer", "inner"]
+        assert events[0]["parent"] == -1
+        assert events[1]["parent"] == 0
+
+    def test_totals_self_time_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        totals = tracer.totals()
+        assert totals["outer"]["total"] >= totals["inner"]["total"]
+        assert totals["outer"]["self"] == (
+            totals["outer"]["total"] - totals["inner"]["total"]
+        )
+        assert totals["inner"]["self"] == totals["inner"]["total"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        events = tracer.events()
+        assert events[1]["parent"] == 0
+        assert events[2]["parent"] == 0
+
+    def test_limit_drops_and_counts(self):
+        tracer = Tracer(limit=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        # Dropped spans must not corrupt the nesting stack.
+        with tracer.span("late"):
+            pass
+        assert tracer.dropped == 4
+
+    def test_clear_resets(self):
+        tracer = Tracer(limit=1)
+        with tracer.span("s"):
+            pass
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+        with tracer.span("t"):
+            pass
+        assert tracer.events()[0]["parent"] == -1
+
+
+class TestGlobalGate:
+    def test_disabled_by_default(self):
+        assert tracing.ACTIVE is None
+        assert tracing.current_tracer() is None
+
+    def test_enable_disable_round_trip(self):
+        tracer = enable_tracing(limit=10)
+        assert tracing.ACTIVE is tracer
+        assert tracing.current_tracer() is tracer
+        with tracer.span("x"):
+            pass
+        returned = disable_tracing()
+        assert returned is tracer
+        assert tracing.ACTIVE is None
+        assert len(returned) == 1
+
+    def test_disable_when_inactive_returns_none(self):
+        assert disable_tracing() is None

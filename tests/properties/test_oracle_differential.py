@@ -1,0 +1,337 @@
+"""Differential oracle: every registered matcher kind vs brute force.
+
+For random streams and queries, :func:`repro.dtw.subsequence.
+brute_force_all` computes the DTW distance of *every* subsequence —
+``D[ts, te] = DTW(X[ts..te], Y)`` (0-based, closed).  Each registered
+matcher kind is then checked against the invariants this full
+information implies:
+
+* **achievability** — every reported distance is the cost of a valid
+  warping path over its window, so it is never below the window's true
+  DTW distance ``D[start-1, end-1]`` (bit-exact comparison on dyadic
+  inputs).  Strict equality is *not* an invariant after the first
+  report: Figure 4's reset clears cells overlapping the reported
+  region, so a later match's best surviving path may be costlier than
+  the unconstrained optimum of its window,
+* **first-report exactness** — before any reset the kernel's cell
+  minimum *is* the unconstrained optimum, so the first report's
+  distance equals its oracle entry exactly,
+* **qualification** — reported distances are within epsilon,
+* **disjointness** — no two reports share a stream tick (Lemma 2), and
+  reports are confirmed no earlier than they end (Eq 9),
+* **global minimum** — the best subsequence overall cannot be
+  superseded by anything smaller, so its distance is always reported
+  exactly,
+* **completeness** — for every end tick whose best subsequence
+  qualifies, some optimal start at that end overlaps a report
+  (SPRING's no-false-dismissal guarantee, checked after ``flush()``).
+
+Kinds with intentionally different contracts get the subset that their
+contract still promises: ``cascade``'s verification stage recomputes
+matches over a bounded buffer, so it is held to soundness only;
+``constrained`` gates admission on the length band but its kernel still
+tracks the *unconstrained* per-cell optimum, so global-minimum and
+completeness apply only when the optimum itself is in band;
+``normalized`` rewrites the input, so it is differentially tested
+against the transform-then-match composition instead of raw ``D``;
+``topk`` must report exactly like ``spring`` and additionally keep the
+k smallest reported distances on its leaderboard.
+
+Inputs are dyadic rationals (multiples of 2^-10), making every cost,
+sum, and comparison exactly representable in float64 — the oracle and
+the streaming kernel make bit-identical decisions, so ``==`` and
+``>=`` are the right comparisons for unnormalised kinds.
+
+The whole module is ``slow`` (the oracle is O(n^2 m) per example); it
+runs in a dedicated CI job via ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_matcher, matcher_kinds
+from repro.core.matches import overlaps
+from repro.core.spring import Spring
+from repro.core.transform import ZNormalize
+from repro.dtw.subsequence import brute_force_all
+
+pytestmark = pytest.mark.slow
+
+#: Every kind this module knows how to test.  The registry-coverage
+#: test below fails when a new kind is registered without an oracle
+#: battery, so the suite can never silently under-cover.
+TESTED_KINDS = {
+    "cascade",
+    "constrained",
+    "normalized",
+    "spring",
+    "topk",
+    "vector",
+}
+
+# Dyadic rationals (multiples of 2^-10) in [-8, 8]: squared
+# differences, their sums, and all comparisons are exact in float64.
+dyadic = st.integers(min_value=-8192, max_value=8192).map(
+    lambda k: k / 1024.0
+)
+
+
+def streams(min_size=2, max_size=18):
+    return st.lists(dyadic, min_size=min_size, max_size=max_size)
+
+
+def queries(max_size=4):
+    return st.lists(dyadic, min_size=1, max_size=max_size)
+
+
+epsilons = st.floats(min_value=0.25, max_value=16.0)
+
+
+def run_stream(matcher, values) -> list:
+    matches = []
+    for value in values:
+        match = matcher.step(value)
+        if match is not None:
+            matches.append(match)
+    final = matcher.flush()
+    if final is not None:
+        matches.append(final)
+    return matches
+
+
+def assert_sound(matches, D, epsilon, first_exact=True):
+    """Achievability + qualification + disjointness + Eq 9 ordering."""
+    for index, match in enumerate(matches):
+        oracle = D[match.start - 1, match.end - 1]
+        assert match.distance >= oracle, (
+            f"{match} reports a distance below its window's true DTW "
+            f"distance {oracle} — not the cost of any valid path"
+        )
+        if first_exact and index == 0:
+            assert match.distance == oracle
+        assert match.distance <= epsilon
+        if match.output_time is not None:
+            assert match.output_time >= match.end
+    for i, a in enumerate(matches):
+        for b in matches[i + 1:]:
+            assert not a.overlaps(b), f"overlapping reports: {a} vs {b}"
+
+
+def assert_global_min_reported(matches, D, epsilon):
+    """The overall best subsequence's distance is always reported.
+
+    Nothing can strictly supersede the global minimum while it is the
+    armed candidate, and no reset can touch its path before it arms
+    (an overlapping *earlier* report would have to beat it), so some
+    report realises exactly ``min(D)`` whenever it qualifies.
+    """
+    best = D.min()
+    if best > epsilon:
+        return
+    assert matches and min(m.distance for m in matches) == best
+
+
+def assert_complete(matches, D, epsilon, admissible=None):
+    """Every qualifying end tick is covered or out-reported.
+
+    For each end ``te`` whose best subsequence qualifies, either some
+    optimal start at that end overlaps a report (tie-safe: any optimum
+    counts), or the end was *superseded*: dismissing a qualifying
+    candidate is only legal in favour of an at-least-as-good report
+    that is not entirely in the candidate's past (Figure 4 replaces the
+    armed candidate only on strictly smaller distance, and chains of
+    such replacements march forward through the stream).  A qualifying
+    end with no overlapping report and no such witness is a false
+    dismissal.
+
+    With ``admissible`` (the constrained kind's length band) the check
+    applies only when *every* unconstrained optimum at that end is
+    admissible: the kernel tracks one per-cell optimum regardless of
+    the band, so an out-of-band optimum legitimately shadows in-band
+    runners-up.
+    """
+    n = D.shape[0]
+    for te in range(n):
+        column = D[: te + 1, te]
+        best = column.min()
+        if best > epsilon:
+            continue
+        argmins = [ts for ts in range(te + 1) if column[ts] == best]
+        if admissible is not None and not all(
+            admissible(ts, te) for ts in argmins
+        ):
+            continue
+        covered = any(
+            overlaps((ts + 1, te + 1), (match.start, match.end))
+            for ts in argmins
+            for match in matches
+        )
+        superseded = any(
+            match.distance <= best and match.end >= min(argmins) + 1
+            for match in matches
+        )
+        assert covered or superseded, (
+            f"qualifying end {te + 1} (distance {best}) neither covered "
+            f"by nor superseded by any report — a false dismissal"
+        )
+
+
+class TestRegistryCoverage:
+    def test_every_registered_kind_has_an_oracle_battery(self):
+        assert set(matcher_kinds()) == TESTED_KINDS, (
+            "matcher registry changed; add (or retire) an oracle battery "
+            "in test_oracle_differential.py"
+        )
+
+
+class TestSpringOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(x=streams(), y=queries(), epsilon=epsilons)
+    def test_full_battery(self, x, y, epsilon):
+        D = brute_force_all(x, y)
+        matches = run_stream(build_matcher("spring", y, epsilon=epsilon), x)
+        assert_sound(matches, D, epsilon)
+        assert_global_min_reported(matches, D, epsilon)
+        assert_complete(matches, D, epsilon)
+
+
+class TestVectorOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=st.lists(
+            st.tuples(dyadic, dyadic), min_size=2, max_size=14
+        ),
+        y=st.lists(
+            st.tuples(dyadic, dyadic), min_size=1, max_size=3
+        ),
+        epsilon=epsilons,
+    )
+    def test_full_battery_k2(self, x, y, epsilon):
+        xs = np.asarray(x, dtype=np.float64)
+        ys = np.asarray(y, dtype=np.float64)
+        D = brute_force_all(xs, ys)
+        matcher = build_matcher("vector", ys, epsilon=epsilon)
+        matches = run_stream(matcher, [row for row in xs])
+        assert_sound(matches, D, epsilon)
+        assert_global_min_reported(matches, D, epsilon)
+        assert_complete(matches, D, epsilon)
+
+
+class TestConstrainedOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=streams(),
+        y=queries(),
+        epsilon=epsilons,
+        max_stretch=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_band_battery(self, x, y, epsilon, max_stretch):
+        m = len(y)
+
+        def in_band(ts, te):  # 0-based closed interval
+            length = te - ts + 1
+            return m / max_stretch <= length <= m * max_stretch
+
+        D = brute_force_all(x, y)
+        matcher = build_matcher(
+            "constrained", y, epsilon=epsilon, max_stretch=max_stretch
+        )
+        matches = run_stream(matcher, x)
+        assert_sound(matches, D, epsilon, first_exact=False)
+        for match in matches:
+            assert in_band(match.start - 1, match.end - 1)
+        assert_complete(matches, D, epsilon, admissible=in_band)
+
+
+class TestTopKOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=streams(),
+        y=queries(),
+        epsilon=epsilons,
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_reports_match_spring_and_leaderboard_keeps_k_best(
+        self, x, y, epsilon, k
+    ):
+        D = brute_force_all(x, y)
+        topk = build_matcher("topk", y, k=k, epsilon=epsilon)
+        reported = run_stream(topk, x)
+        reference = run_stream(build_matcher("spring", y, epsilon=epsilon), x)
+        # The kernel is plain SPRING; the TopK policy only *suppresses*
+        # reports that would not improve the leaderboard, so the emitted
+        # stream is an order-preserving subsequence of SPRING's.
+        keys = [(m.start, m.end, m.distance) for m in reported]
+        reference_keys = [
+            (m.start, m.end, m.distance) for m in reference
+        ]
+        iterator = iter(reference_keys)
+        assert all(key in iterator for key in keys), (
+            f"topk reports {keys} are not a subsequence of "
+            f"spring reports {reference_keys}"
+        )
+        assert_sound(reported, D, epsilon, first_exact=False)
+        # Every SPRING report was offered to the leaderboard, so it must
+        # end up holding exactly the k smallest reference distances.
+        expected = sorted(m.distance for m in reference)[:k]
+        assert sorted(m.distance for m in topk.best()) == expected
+
+
+class TestCascadeOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(x=streams(), y=queries(), epsilon=epsilons)
+    def test_soundness_at_reduction_one(self, x, y, epsilon):
+        """Soundness only: the coarse pre-filter and bounded
+        verification buffer change which optima are captured, so
+        completeness is not part of the cascade's contract."""
+        D = brute_force_all(x, y)
+        matcher = build_matcher("cascade", y, epsilon=epsilon, reduction=1)
+        matches = run_stream(matcher, x)
+        assert_sound(matches, D, epsilon, first_exact=False)
+
+
+class TestNormalizedOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=streams(min_size=6, max_size=24),
+        y=queries(),
+        epsilon=epsilons,
+        warmup=st.integers(min_value=2, max_value=5),
+    )
+    def test_equals_transform_then_match_composition(
+        self, x, y, epsilon, warmup
+    ):
+        """The streaming kind == replica-normalise then plain SPRING.
+
+        The oracle here is compositional: push the raw stream through an
+        identically-configured ZNormalize replica, run plain SPRING on
+        the transformed values, then shift positions by the warm-up.
+        """
+        ys = np.asarray(y, dtype=np.float64)
+        if float(ys.std()) == 0.0:
+            return  # constant queries are rejected by the transform
+        matcher = build_matcher(
+            "normalized", y, epsilon=epsilon, warmup=warmup
+        )
+        actual = run_stream(matcher, x)
+
+        replica = ZNormalize(mode="global", warmup=warmup)
+        transformed = []
+        for value in x:
+            forwarded = replica.forward(value)
+            if forwarded is not None:
+                transformed.append(forwarded)
+        reference = run_stream(
+            Spring(replica.fit_query(ys), epsilon=epsilon), transformed
+        )
+        shift = replica.warmup
+        assert len(actual) == len(reference)
+        for got, want in zip(actual, reference):
+            assert got.start == want.start + shift
+            assert got.end == want.end + shift
+            assert got.distance == pytest.approx(
+                want.distance, rel=1e-9, abs=1e-12
+            )

@@ -14,6 +14,8 @@ SUBPACKAGES = [
     "repro.dtw",
     "repro.baselines",
     "repro.streams",
+    "repro.runtime",
+    "repro.obs",
     "repro.datasets",
     "repro.eval",
 ]
