@@ -15,6 +15,16 @@ same run:
   workload with the metrics recorder enabled.  The observability layer
   promises near-zero cost; the gate fails when the measured overhead
   exceeds ``--max-metrics-overhead`` percent (default 5).
+* ``prune_speedup`` — the low-selectivity 64-query workload with the
+  lower-bound admission cascade on vs off.  The cascade is exact
+  (identical match streams), so its entire value is this ratio; the
+  gate fails when it drops below ``--min-prune-speedup`` (default 2),
+  an absolute floor rather than a baseline-relative one because the
+  ratio is machine-independent by construction.
+* ``metrics_overhead_pruned_pct`` — the recorder's cost re-measured on
+  the pruned path, where each tick does far less work and the
+  recorder's fixed per-push cost is proportionally larger; gated
+  against the looser ``--max-metrics-overhead-pruned`` (default 10).
 
 Usage::
 
@@ -65,6 +75,22 @@ def main(argv: object = None) -> int:
         "push path, in percent (default 5.0)",
     )
     parser.add_argument(
+        "--min-prune-speedup",
+        type=float,
+        default=2.0,
+        help="minimum pruned/unpruned throughput ratio on the "
+        "low-selectivity 64-query workload (default 2.0)",
+    )
+    parser.add_argument(
+        "--max-metrics-overhead-pruned",
+        type=float,
+        default=10.0,
+        help="maximum allowed metrics-enabled slowdown on the pruned "
+        "low-selectivity push path, in percent (default 10.0; looser "
+        "than the unpruned ceiling because pruned ticks are ~5x "
+        "cheaper, so the recorder's fixed cost weighs more)",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=5,
@@ -113,6 +139,42 @@ def main(argv: object = None) -> int:
             failed = True
         else:
             print("OK: metrics overhead within budget")
+
+    prune_speedup = report["prune_speedup"]
+    if prune_speedup is None:
+        print("no pruning measurement; skipping prune-speedup gate")
+    else:
+        print(
+            f"prune speedup          : {prune_speedup:.2f}x "
+            f"(floor {args.min_prune_speedup:.1f}x)"
+        )
+        if prune_speedup < args.min_prune_speedup:
+            print(
+                "FAIL: the admission cascade delivers less than "
+                f"{args.min_prune_speedup:.1f}x on the low-selectivity "
+                "workload"
+            )
+            failed = True
+        else:
+            print("OK: prune speedup above floor")
+
+    overhead_pruned = report["metrics_overhead_pruned_pct"]
+    if overhead_pruned is None:
+        print("no pruned metrics measurement; skipping pruned overhead gate")
+    else:
+        print(
+            f"metrics overhead pruned: {overhead_pruned:.2f}% "
+            f"(ceiling {args.max_metrics_overhead_pruned:.1f}%)"
+        )
+        if overhead_pruned > args.max_metrics_overhead_pruned:
+            print(
+                "FAIL: enabling metrics costs more than "
+                f"{args.max_metrics_overhead_pruned:.1f}% on the pruned "
+                "low-selectivity push path"
+            )
+            failed = True
+        else:
+            print("OK: pruned metrics overhead within budget")
 
     return 1 if failed else 0
 

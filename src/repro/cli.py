@@ -81,7 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     mon = sub.add_parser("monitor", help="monitor a CSV stream for a query")
     mon.add_argument("stream_csv", help="CSV with the stream values")
-    mon.add_argument("query_csv", help="CSV with the query values")
+    mon.add_argument("query_csv", nargs="+",
+                     help="CSV file(s) with query values; several files "
+                          "monitor concurrently through one fused bank "
+                          "(match lines then carry the query's file stem)")
     mon.add_argument("--epsilon", type=float, required=True,
                      help="disjoint-query distance threshold")
     mon.add_argument("--column", type=int, default=0,
@@ -120,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--metrics-every", type=int, default=1000,
                      help="metrics file rewrite cadence in ticks "
                           "(default 1000)")
+    mon.add_argument("--no-prune", action="store_true",
+                     help="disable the exact lower-bound admission "
+                          "cascade (matches are identical either way; "
+                          "pruning only affects throughput)")
+    mon.add_argument("--prune-buffer", type=int, default=1024,
+                     help="replay-buffer capacity per stream for the "
+                          "admission cascade (default 1024)")
     return parser
 
 
@@ -203,7 +213,9 @@ def _metrics_writer(registry, path: str):
     return write
 
 
-def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
+def _run_monitor_supervised(
+    args: argparse.Namespace, queries: "dict[str, np.ndarray]"
+) -> int:
     from repro.core.monitor import StreamMonitor
     from repro.runtime import CheckpointManager, SupervisedRunner
 
@@ -212,15 +224,19 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
                        strict=args.strict_csv)
     manager = CheckpointManager(args.checkpoint_dir)
     if args.resume:
-        # The snapshot carries query and epsilon; CLI args are ignored.
+        # The snapshot carries queries and epsilon; CLI args are ignored.
         runner = SupervisedRunner.resume(
-            [source], manager, checkpoint_every=args.checkpoint_every
+            [source], manager, checkpoint_every=args.checkpoint_every,
+            prune=not args.no_prune, prune_buffer=args.prune_buffer,
         )
         print(f"resumed from snapshot at tick {runner.resumed_from}")
     else:
-        monitor = StreamMonitor(keep_history=False)
-        monitor.add_query("query", query, epsilon=args.epsilon,
-                          matcher=args.matcher, **_matcher_kwargs(args))
+        monitor = StreamMonitor(keep_history=False,
+                                prune=not args.no_prune,
+                                prune_buffer=args.prune_buffer)
+        for name, query in queries.items():
+            monitor.add_query(name, query, epsilon=args.epsilon,
+                              matcher=args.matcher, **_matcher_kwargs(args))
         runner = SupervisedRunner(
             monitor, [source], checkpoint=manager,
             checkpoint_every=args.checkpoint_every,
@@ -239,6 +255,7 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
         runner.on_tick = on_tick
 
     count = 0
+    multi = len(queries) > 1
 
     def on_match(event) -> None:
         nonlocal count
@@ -249,8 +266,9 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
             if match.output_time is not None
             else " (at end of stream)"
         )
+        tag = f" [{event.query}]" if multi else ""
         print(
-            f"match #{count}: ticks {match.start}..{match.end} "
+            f"match #{count}{tag}: ticks {match.start}..{match.end} "
             f"distance {match.distance:.6g}{reported}"
         )
 
@@ -273,19 +291,44 @@ def _run_monitor_supervised(args: argparse.Namespace, query: np.ndarray) -> int:
     return 0
 
 
+def _load_queries(args: argparse.Namespace) -> "dict[str, np.ndarray]":
+    """Load every query CSV, keyed by a unique name (the file stem).
+
+    A single file keeps the historical name ``"query"`` so snapshots
+    and printed output from one-query runs are unchanged.
+    """
+    import os
+
+    values = []
+    for path in args.query_csv:
+        query = np.asarray(
+            list(CsvSource(path, columns=args.query_column,
+                           skip_header=not args.no_header)),
+            dtype=np.float64,
+        )
+        values.append(query[~np.isnan(query)])
+    if len(values) == 1:
+        return {"query": values[0]}
+    queries: "dict[str, np.ndarray]" = {}
+    for path, query in zip(args.query_csv, values):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        name, i = stem, 1
+        while name in queries:
+            name = f"{stem}#{i}"
+            i += 1
+        queries[name] = query
+    return queries
+
+
 def _run_monitor(args: argparse.Namespace) -> int:
-    query = np.asarray(
-        list(CsvSource(args.query_csv, columns=args.query_column,
-                       skip_header=not args.no_header)),
-        dtype=np.float64,
-    )
-    query = query[~np.isnan(query)]
+    queries = _load_queries(args)
     if args.checkpoint_dir is not None:
-        return _run_monitor_supervised(args, query)
+        return _run_monitor_supervised(args, queries)
     if args.resume:
         raise SystemExit("--resume needs --checkpoint-dir")
-    if args.metrics_out is not None:
-        return _run_monitor_metrics(args, query)
+    if args.metrics_out is not None or len(queries) > 1:
+        return _run_monitor_metrics(args, queries)
+    (query,) = queries.values()
     matcher = build_matcher(args.matcher, query, epsilon=args.epsilon,
                             **_matcher_kwargs(args))
     source = CsvSource(args.stream_csv, columns=args.column,
@@ -314,25 +357,35 @@ def _run_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_monitor_metrics(args: argparse.Namespace, query: np.ndarray) -> int:
-    """Unsupervised monitoring with live Prometheus exposition.
+def _run_monitor_metrics(
+    args: argparse.Namespace, queries: "dict[str, np.ndarray]"
+) -> int:
+    """Unsupervised monitoring through a :class:`StreamMonitor`.
 
-    Routes the stream through a one-query :class:`StreamMonitor` (the
-    instrumented push path) instead of a bare matcher loop; the printed
-    match lines are identical to the bare path.
+    Used for live Prometheus exposition (``--metrics-out``) and for
+    multi-query runs (several ``query_csv`` files form a fused bank,
+    the workload the admission cascade targets).  One-query match
+    lines are identical to the bare matcher loop; multi-query lines
+    carry the query name.
     """
     from repro.core.monitor import StreamMonitor
 
-    monitor = StreamMonitor(keep_history=False)
-    registry = monitor.enable_metrics()
-    write_metrics = _metrics_writer(registry, args.metrics_out)
+    monitor = StreamMonitor(keep_history=False,
+                            prune=not args.no_prune,
+                            prune_buffer=args.prune_buffer)
+    write_metrics = None
     every = max(1, args.metrics_every)
-    monitor.add_query("query", query, epsilon=args.epsilon,
-                      matcher=args.matcher, **_matcher_kwargs(args))
+    if args.metrics_out is not None:
+        registry = monitor.enable_metrics()
+        write_metrics = _metrics_writer(registry, args.metrics_out)
+    for name, query in queries.items():
+        monitor.add_query(name, query, epsilon=args.epsilon,
+                          matcher=args.matcher, **_matcher_kwargs(args))
     monitor.add_stream("stream")
     source = CsvSource(args.stream_csv, columns=args.column,
                        skip_header=not args.no_header,
                        strict=args.strict_csv)
+    multi = len(queries) > 1
     count = 0
     ticks = 0
     for value in source:
@@ -340,23 +393,27 @@ def _run_monitor_metrics(args: argparse.Namespace, query: np.ndarray) -> int:
         for event in monitor.push("stream", value):
             match = event.match
             count += 1
+            tag = f" [{event.query}]" if multi else ""
             print(
-                f"match #{count}: ticks {match.start}..{match.end} "
+                f"match #{count}{tag}: ticks {match.start}..{match.end} "
                 f"distance {match.distance:.6g} (reported at tick "
                 f"{match.output_time})"
             )
-        if ticks % every == 0:
+        if write_metrics is not None and ticks % every == 0:
             write_metrics()
     for event in monitor.flush():
         match = event.match
         count += 1
+        tag = f" [{event.query}]" if multi else ""
         print(
-            f"match #{count} (at end of stream): ticks "
+            f"match #{count}{tag} (at end of stream): ticks "
             f"{match.start}..{match.end} distance {match.distance:.6g}"
         )
-    write_metrics()
+    if write_metrics is not None:
+        write_metrics()
     print(f"{ticks} ticks processed, {count} matches")
-    print(f"wrote metrics to {args.metrics_out}")
+    if args.metrics_out is not None:
+        print(f"wrote metrics to {args.metrics_out}")
     if source.malformed_count:
         print(f"warning: {source.malformed_count} malformed CSV cells")
     return 0

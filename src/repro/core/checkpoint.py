@@ -176,8 +176,12 @@ def save_monitor(monitor) -> Dict[str, object]:
         )
     # Fused banks (the monitor's batched execution detail) hold the live
     # state for grouped queries; fold it back into the per-query matchers
-    # so the serialised form is complete and engine-independent.
-    monitor._sync_all()
+    # so the serialised form is complete and engine-independent.  Cold-
+    # parked queries are written at their *applied* tick, and the replay
+    # buffer + parked offsets ride along in the "prune" payload so a
+    # resumed process continues mid-park instead of paying a catch-up on
+    # every snapshot.
+    prune_payload = monitor._checkpoint_sync()
     queries = {}
     for name, spec in monitor._queries.items():
         kwargs = {}
@@ -201,22 +205,36 @@ def save_monitor(monitor) -> Dict[str, object]:
         }
         for stream, per_stream in monitor._matchers.items()
     }
-    return {
+    payload: Dict[str, object] = {
         "format_version": _FORMAT_VERSION,
         "queries": queries,
         "matchers": matchers,
     }
+    if prune_payload:
+        payload["prune"] = prune_payload
+    return payload
 
 
-def load_monitor(state: Dict[str, object]):
-    """Rebuild a monitor from :func:`save_monitor` output."""
+def load_monitor(
+    state: Dict[str, object],
+    prune: bool = True,
+    prune_buffer: int = 1024,
+):
+    """Rebuild a monitor from :func:`save_monitor` output.
+
+    ``prune`` / ``prune_buffer`` configure the restored monitor exactly
+    like the :class:`~repro.core.monitor.StreamMonitor` constructor.
+    Checkpoints taken mid-park re-adopt their parked state either way:
+    with pruning disabled the parked spans are caught up immediately,
+    so the resumed match stream is byte-identical regardless.
+    """
     from repro.core.monitor import StreamMonitor
 
     if state.get("format_version") != _FORMAT_VERSION:
         raise ValidationError(
             f"unsupported checkpoint version {state.get('format_version')!r}"
         )
-    monitor = StreamMonitor()
+    monitor = StreamMonitor(prune=prune, prune_buffer=prune_buffer)
     for name, spec in state["queries"].items():  # type: ignore[union-attr]
         epsilon = decode_float(spec["epsilon"])
         kind = spec.get("matcher")
@@ -229,10 +247,14 @@ def load_monitor(state: Dict[str, object]):
             matcher=kind,
             **spec.get("kwargs", {}),
         )
+    prune_state = state.get("prune", {})
     for stream, per_stream in state["matchers"].items():  # type: ignore[union-attr]
         monitor.add_stream(stream)
         for query_name, matcher_state in per_stream.items():
             monitor._matchers[stream][query_name] = load_state(matcher_state)
+        entries = prune_state.get(stream)  # type: ignore[union-attr]
+        if entries:
+            monitor._restore_prune(stream, entries)
     return monitor
 
 
@@ -241,6 +263,8 @@ def dump_monitor_json(monitor) -> str:
     return json.dumps(save_monitor(monitor), allow_nan=False)
 
 
-def load_monitor_json(payload: str):
+def load_monitor_json(payload: str, prune: bool = True, prune_buffer: int = 1024):
     """Restore a monitor from :func:`dump_monitor_json` output."""
-    return load_monitor(json.loads(payload))
+    return load_monitor(
+        json.loads(payload), prune=prune, prune_buffer=prune_buffer
+    )

@@ -58,8 +58,23 @@ class FusedBank:
             return self.engine.extend(values)
 
     def write_back(self) -> None:
-        """Copy bank state back into the per-query matchers."""
+        """Copy bank state back into the per-query matchers.
+
+        Parked queries are written at their *applied* tick — a valid
+        historical state.  Call :meth:`sync` instead when the matchers
+        must reflect the full stream (hand-off, teardown).
+        """
         self.engine.write_back(self.matchers)
+
+    def sync(self) -> None:
+        """Catch up every parked query, then copy state back exactly."""
+        self.engine.catch_up_all()
+        self.engine.write_back(self.matchers)
+
+    def prune_counters(self) -> Tuple[int, int, int]:
+        """Live ``(pruned_ticks, replays, replayed_ticks)`` of the engine."""
+        engine = self.engine
+        return (engine.pruned_ticks, engine.replays, engine.replayed_ticks)
 
 
 @dataclass
@@ -92,7 +107,9 @@ def fusion_key(matcher: object) -> Optional[Tuple]:
 
 
 def build_plan(
-    matchers: Mapping[str, object], min_bank_size: int = 2
+    matchers: Mapping[str, object],
+    min_bank_size: int = 2,
+    prune_buffer: Optional[int] = None,
 ) -> ExecutionPlan:
     """Partition a stream's matchers into fused banks + individual runs.
 
@@ -101,6 +118,10 @@ def build_plan(
     their transform-only policies applied to bank emissions via
     ``matcher.apply_report_policies``.  A bank of one is just a slower
     Spring, hence ``min_bank_size``.
+
+    ``prune_buffer`` enables the exact lower-bound admission cascade on
+    every bank it applies to (see :class:`~repro.core.fused.FusedSpring`);
+    emissions are byte-identical with or without it.
     """
     groups: Dict[Tuple, List[str]] = {}
     for name, matcher in matchers.items():
@@ -115,7 +136,7 @@ def build_plan(
         group = [matchers[n] for n in names]
         banks.append(
             FusedBank(
-                engine=FusedSpring.from_springs(group),
+                engine=FusedSpring.from_springs(group, prune_buffer=prune_buffer),
                 names=list(names),
                 matchers=group,
             )

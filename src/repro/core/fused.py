@@ -22,6 +22,22 @@ numbers the per-query engine would compare, and the emitted matches are
 identical (property-tested in ``tests/core/test_fused.py`` and
 ``tests/properties/test_fused_equivalence.py``).
 
+**Exact lower-bound pruning.**  With ``prune_buffer`` set, the engine
+additionally maintains a per-query corridor bound
+(:func:`~repro.dtw.lower_bounds.lb_corridor`): when one stream value
+certifies that *every* cell of a query's next column exceeds its ε —
+and the query holds no pending optimum and its best-so-far distance is
+already ``<= ε`` — the query is *parked* and its O(m) column update
+skipped entirely.  Parked queries wake when the bound dips back: spans
+still held by the ring buffer are replayed tick-for-tick (restoring the
+bit-identical column), while longer spans wake through the kernel's own
+reset representation (``d[1:] = inf``), which is provably equivalent for
+every future emission (the exactness argument lives in
+``docs/algorithm.md`` §11, and the certification is re-checked at
+replay time as a hard tripwire).  Pruning on or off, the match stream
+is byte-identical — enforced by ``tests/properties/test_prune_parity.py``
+and the differential-oracle harness.
+
 :class:`~repro.core.monitor.StreamMonitor` routes eligible matchers
 through this engine automatically; use it directly when you control the
 query set yourself:
@@ -39,20 +55,35 @@ q1 6 6 0.0
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._validation import as_scalar_sequence, check_threshold
 from repro.core.matches import Match
+from repro.core.missing import (
+    bad_value_error,
+    classify_rows,
+    first_fatal,
+    resolve_missing_policy,
+)
 from repro.core.state import update_columns
-from repro.dtw.steps import LocalDistance, resolve_vector_distance
+from repro.dtw.lower_bounds import lb_corridor
+from repro.dtw.steps import (
+    LocalDistance,
+    canonical_distance_name,
+    resolve_vector_distance,
+)
 from repro.exceptions import NotFittedError, ValidationError
 from repro.obs import tracing
+from repro.streams.buffer import RingBuffer
 
 __all__ = ["QueryBank", "FusedSpring"]
 
-_MISSING_POLICIES = ("skip", "error")
+#: Local distances that admit the corridor lower bound; pruning is
+#: silently inert for banks running any other (custom) distance.
+_PRUNABLE_DISTANCES = ("squared", "absolute")
 
 #: Elements per (block, Q, m) cost slab before :meth:`FusedSpring.extend`
 #: chops the stream into smaller blocks (~16 MB of float64).
@@ -159,7 +190,17 @@ class FusedSpring:
         The query stack to monitor.
     missing:
         NaN policy shared by the bank: ``"skip"`` advances time without
-        updating state, ``"error"`` raises (same as ``Spring``).
+        updating state, ``"error"`` raises (same as ``Spring``;
+        ``"raise"`` is accepted as an alias for ``"error"``).
+    prune_buffer:
+        ``None`` (default) disables lower-bound pruning; a positive
+        integer enables it with a ring buffer of that capacity for
+        exact catch-up replay of parked spans.  Pruning is inert for
+        local distances without a corridor bound (anything but
+        ``"squared"``/``"absolute"``).  Results are byte-identical
+        either way — the buffer size only trades memory against how
+        long a span can be replayed bit-for-bit instead of waking
+        through the equivalent reset representation.
 
     Notes
     -----
@@ -168,15 +209,16 @@ class FusedSpring:
     matchers in registration order.
     """
 
-    def __init__(self, bank: QueryBank, missing: str = "skip") -> None:
+    def __init__(
+        self,
+        bank: QueryBank,
+        missing: str = "skip",
+        prune_buffer: Optional[int] = None,
+    ) -> None:
         if not isinstance(bank, QueryBank):
             bank = QueryBank(bank)
-        if missing not in _MISSING_POLICIES:
-            raise ValidationError(
-                f"missing must be one of {_MISSING_POLICIES}, got {missing!r}"
-            )
         self.bank = bank
-        self.missing = missing
+        self.missing = resolve_missing_policy(missing)
 
         q, m_max = bank.q, bank.m_max
         self._d = np.full((q, m_max + 1), np.inf, dtype=np.float64)
@@ -203,6 +245,41 @@ class FusedSpring:
         else:
             self._pad_mask = None
 
+        # Lower-bound pruning state.  `_ticks[qi]` is always the APPLIED
+        # tick: a parked query's counter freezes at its last applied
+        # value and catches up at wake time, so the master arrays plus
+        # `_ticks` describe a valid mid-stream state for every row at
+        # every moment (which is what makes write_back/checkpointing of
+        # parked rows trivially correct).
+        self._prune_kind = canonical_distance_name(bank.distance)
+        if prune_buffer is not None and int(prune_buffer) < 1:
+            raise ValidationError(
+                f"prune_buffer must be a positive capacity, got {prune_buffer!r}"
+            )
+        self._prune = (
+            prune_buffer is not None and self._prune_kind in _PRUNABLE_DISTANCES
+        )
+        if self._prune:
+            self._buffer: Optional[RingBuffer] = RingBuffer(int(prune_buffer))
+            lo = np.empty(q, dtype=np.float64)
+            hi = np.empty(q, dtype=np.float64)
+            for i in range(q):
+                yq = bank.padded[i, : bank.lengths[i], 0]
+                lo[i] = yq.min()
+                hi[i] = yq.max()
+            self._corridor_lo = lo
+            self._corridor_hi = hi
+        else:
+            self._buffer = None
+        self._parked = np.zeros(q, dtype=bool)
+        self._park_pos = np.zeros(q, dtype=np.int64)
+        #: Query-ticks whose column update was skipped or deferred.
+        self.pruned_ticks = 0
+        #: Catch-up replays performed (one per waking park-position group).
+        self.replays = 0
+        #: Query-ticks re-applied during catch-up replays.
+        self.replayed_ticks = 0
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -214,8 +291,32 @@ class FusedSpring:
 
     @property
     def ticks(self) -> np.ndarray:
-        """Per-query 1-based tick counters (copy)."""
+        """Per-query 1-based *applied* tick counters (copy).
+
+        Parked queries freeze here at their last applied value; see
+        :attr:`stream_ticks` for the position in the stream itself.
+        """
         return self._ticks.copy()
+
+    @property
+    def stream_ticks(self) -> np.ndarray:
+        """Per-query 1-based stream position (applied + deferred ticks)."""
+        out = self._ticks.copy()
+        if self._prune and self._parked.any():
+            behind = self._buffer.total_pushed - self._park_pos
+            out[self._parked] += behind[self._parked]
+        return out
+
+    @property
+    def parked(self) -> np.ndarray:
+        """Boolean mask of queries currently parked as cold (copy)."""
+        return self._parked.copy()
+
+    def _stream_tick0(self) -> int:
+        t = int(self._ticks[0])
+        if self._prune and self._parked[0]:
+            t += int(self._buffer.total_pushed - self._park_pos[0])
+        return t
 
     def best_match(self, index: int) -> Match:
         """Best subsequence so far for one query (Problem 1)."""
@@ -237,6 +338,8 @@ class FusedSpring:
     def step(self, value: object) -> List[Tuple[int, Match]]:
         """Consume one stream value for all queries; return confirmations."""
         x = self._validate_value(value)
+        if self._prune:
+            return self._step_pruned(x)
         self._ticks += 1
         if x is None:
             return []
@@ -254,6 +357,179 @@ class FusedSpring:
             )
         with tracer.span("policy.report"):
             return self._report_logic()
+
+    def _step_pruned(self, x: Optional[np.float64]) -> List[Tuple[int, Match]]:
+        """:meth:`step` with the lower-bound admission cascade active.
+
+        Per tick: push the value to the replay buffer, bound every
+        query's next column against its ε, wake parked queries whose
+        bound dipped under, park hot queries the bound certifies cold
+        (only when nothing is pending and their best-so-far distance is
+        already ``<= ε`` — see docs/algorithm.md §11 for why both
+        conditions make skipping provably invisible), then run the
+        normal kernel/report pass for the remaining hot rows only.
+        """
+        buf = self._buffer
+        buf.push(np.nan if x is None else float(x))
+        total = buf.total_pushed
+        parked = self._parked
+        if x is None:
+            # A missing reading never wakes a query: it carries no
+            # evidence against the cold certificate, and replay skips
+            # it the same way the live path would have.
+            self._ticks[~parked] += 1
+            self.pruned_ticks += int(parked.sum())
+            return []
+        eps = self.bank.epsilons
+        lb = lb_corridor(
+            float(x), self._corridor_lo, self._corridor_hi, self._prune_kind
+        )
+        cold = lb > eps
+        if parked.any():
+            wake = parked & ~cold
+            if wake.any():
+                self._wake(np.flatnonzero(wake), total)
+        hot = ~self._parked
+        newly = hot & cold & ~np.isfinite(self._dmin) & (self._best_d <= eps)
+        if newly.any():
+            self._parked |= newly
+            self._park_pos[newly] = total - 1
+            hot &= ~newly
+        n_hot = int(hot.sum())
+        self.pruned_ticks += self.q - n_hot
+        if n_hot == self.q:
+            # Nothing parked: identical to the unpruned dense path.
+            self._ticks += 1
+            cost = np.asarray(
+                self.bank.distance(x, self.bank.padded), dtype=np.float64
+            )
+            tracer = tracing.ACTIVE
+            if tracer is None:
+                self._d, self._s = update_columns(
+                    self._d, self._s, cost, self._ticks
+                )
+                return self._report_logic()
+            with tracer.span("kernel.update_columns"):
+                self._d, self._s = update_columns(
+                    self._d, self._s, cost, self._ticks
+                )
+            with tracer.span("policy.report"):
+                return self._report_logic()
+        if n_hot == 0:
+            return []
+        rows = np.flatnonzero(hot)
+        self._ticks[rows] += 1
+        cost = np.asarray(
+            self.bank.distance(x, self.bank.padded[rows]), dtype=np.float64
+        )
+        tracer = tracing.ACTIVE
+        if tracer is None:
+            d_new, s_new = update_columns(
+                self._d[rows], self._s[rows], cost, self._ticks[rows]
+            )
+            self._d[rows] = d_new
+            self._s[rows] = s_new
+            return self._report_logic(active=hot)
+        with tracer.span("kernel.update_columns"):
+            d_new, s_new = update_columns(
+                self._d[rows], self._s[rows], cost, self._ticks[rows]
+            )
+            self._d[rows] = d_new
+            self._s[rows] = s_new
+        with tracer.span("policy.report"):
+            return self._report_logic(active=hot)
+
+    def _wake(self, rows: np.ndarray, total: int) -> None:
+        """Bring parked ``rows`` back to hot before processing position ``total``.
+
+        Spans the ring buffer still holds are replayed bit-for-bit;
+        spans that outgrew it wake through the reset representation
+        (``d[1:] = inf`` with ticks advanced), which the certification
+        conditions make indistinguishable for every future emission.
+        """
+        pos = self._park_pos[rows]
+        for pp in np.unique(pos):
+            grp = rows[pos == pp]
+            span = int(total - 1 - pp)
+            if span > 0:
+                if total - pp <= self._buffer.capacity:
+                    self._replay(grp, int(pp) + 1, total - 1)
+                else:
+                    self._d[grp, 1:] = np.inf
+                    self._ticks[grp] += span
+        self._parked[rows] = False
+
+    def _replay(self, rows: np.ndarray, start: int, end: int) -> None:
+        """Re-apply buffered values ``start..end`` to the parked ``rows``.
+
+        A certified-cold span cannot capture, emit, or improve a best
+        match (that is exactly what the park conditions guarantee), so
+        replay is a pure column reconstruction: the full report logic is
+        skipped and the guarantees are enforced as tripwires instead.
+        """
+        vals = self._buffer.window(start, end)
+        h = int(rows.size)
+        self.replays += 1
+        self.replayed_ticks += int(vals.size) * h
+        d_sub = self._d[rows]
+        s_sub = self._s[rows]
+        ticks_sub = self._ticks[rows]
+        end_sub = self._end[rows]
+        eps_sub = self.bank.epsilons[rows]
+        best_sub = self._best_d[rows]
+        sub_rows = np.arange(h, dtype=np.int64)
+        padded_sub = self.bank.padded[rows]
+        finite = ~np.isnan(vals)
+        budget = max(16, _BLOCK_BUDGET // max(1, h * self.bank.m_max))
+        for lo in range(0, int(vals.size), budget):
+            hi = min(lo + budget, int(vals.size))
+            chunk = vals[lo:hi]
+            cost_block = np.asarray(
+                self.bank.distance(
+                    chunk[:, None, None, None], padded_sub[None]
+                ),
+                dtype=np.float64,
+            )
+            for t in range(hi - lo):
+                ticks_sub += 1
+                if not finite[lo + t]:
+                    continue
+                d_sub, s_sub = update_columns(
+                    d_sub, s_sub, cost_block[t], ticks_sub
+                )
+                d_m = d_sub[sub_rows, end_sub]
+                if (d_m <= eps_sub).any() or (d_m < best_sub).any():
+                    raise RuntimeError(
+                        "pruning certification violated: a parked span "
+                        "produced a capture or best-match update at replay"
+                    )
+        self._d[rows] = d_sub
+        self._s[rows] = s_sub
+        self._ticks[rows] = ticks_sub
+
+    def catch_up_all(self) -> None:
+        """Apply every deferred tick so applied state equals stream state.
+
+        Call before reading or serialising raw column state
+        (:meth:`write_back` for an exact sync, end-of-stream teardown).
+        Emitted matches are unaffected — parked spans cannot hold any —
+        so this is a state materialisation, never a report.
+        """
+        if not self._prune or not self._parked.any():
+            return
+        total = int(self._buffer.total_pushed)
+        rows = np.flatnonzero(self._parked)
+        pos = self._park_pos[rows]
+        for pp in np.unique(pos):
+            grp = rows[pos == pp]
+            span = int(total - pp)
+            if span > 0:
+                if span <= self._buffer.capacity:
+                    self._replay(grp, int(pp) + 1, total)
+                else:
+                    self._d[grp, 1:] = np.inf
+                    self._ticks[grp] += span
+        self._parked[rows] = False
 
     def extend(
         self, values: Iterable[object], block_size: int = 1024
@@ -279,12 +555,22 @@ class FusedSpring:
         if arr.size == 0:
             return []
 
-        nan_rows = np.isnan(arr)
-        inf_rows = np.isinf(arr)
-        bad = inf_rows if self.missing == "skip" else (nan_rows | inf_rows)
-        stop = int(np.argmax(bad)) if bad.any() else arr.shape[0]
+        nan_rows, inf_rows = classify_rows(arr)
+        stop = first_fatal(nan_rows, inf_rows, self.missing)
 
         matches: List[Tuple[int, Match]] = []
+        if self._prune:
+            # The admission cascade already makes parked ticks nearly
+            # free, and the blocked cost slab saves little on the hot
+            # remainder — route through the pruned per-tick path so the
+            # cold bookkeeping stays exact.
+            for t in range(stop):
+                x = None if nan_rows[t] else np.float64(arr[t])
+                matches.extend(self._step_pruned(x))
+            if stop < arr.shape[0]:
+                tick = self._stream_tick0() + 1
+                raise bad_value_error(tick, bool(nan_rows[stop]), matches)
+            return matches
         budget = max(16, _BLOCK_BUDGET // max(1, self.bank.q * self.bank.m_max))
         block = max(1, min(int(block_size), budget))
         for lo in range(0, stop, block):
@@ -316,10 +602,10 @@ class FusedSpring:
                 with tracer.span("policy.report"):
                     matches.extend(self._report_logic())
         if stop < arr.shape[0]:
-            # Reproduce the per-tick error (prefix state is fully applied).
+            # Reproduce the per-tick error (prefix state is fully
+            # applied) without losing what the prefix confirmed.
             tick = int(self._ticks[0]) + 1 if self.q else 0
-            kind = "NaN" if nan_rows[stop] else "infinite"
-            raise ValidationError(f"stream value at tick {tick} is {kind}")
+            raise bad_value_error(tick, bool(nan_rows[stop]), matches)
         return matches
 
     def flush(self) -> List[Tuple[int, Match]]:
@@ -335,14 +621,18 @@ class FusedSpring:
     # Figure 4 internals, vectorised across queries
     # ------------------------------------------------------------------
 
-    def _report_logic(self) -> List[Tuple[int, Match]]:
+    def _report_logic(
+        self, active: Optional[np.ndarray] = None
+    ) -> List[Tuple[int, Match]]:
         d, s = self._d, self._s
         out: List[Tuple[int, Match]] = []
 
         pending = np.isfinite(self._dmin) & (self._dmin <= self.bank.epsilons)
         if pending.any():
             # Equation 9 for all queries at once: each cell either cannot
-            # undercut the held optimum or starts after it ends.
+            # undercut the held optimum or starts after it ends.  Parked
+            # rows need no masking here: a query only parks with no
+            # pending optimum, so `pending` already excludes them.
             blocked = (d[:, 1:] >= self._dmin[:, None]) | (
                 s[:, 1:] > self._te[:, None]
             )
@@ -356,11 +646,16 @@ class FusedSpring:
         d_m = d[self._rows, self._end]
         s_m = s[self._rows, self._end]
         capture = (d_m <= self.bank.epsilons) & (d_m < self._dmin)
+        if active is not None:
+            # Parked rows hold stale columns; their d_m must not be read.
+            capture &= active
         if capture.any():
             self._dmin[capture] = d_m[capture]
             self._ts[capture] = s_m[capture]
             self._te[capture] = self._ticks[capture]
         better = d_m < self._best_d
+        if active is not None:
+            better &= active
         if better.any():
             self._best_d[better] = d_m[better]
             self._best_s[better] = s_m[better]
@@ -390,13 +685,9 @@ class FusedSpring:
             if v != v:  # NaN
                 if self.missing == "skip":
                     return None
-                raise ValidationError(
-                    f"stream value at tick {int(self._ticks[0]) + 1} is NaN"
-                )
-            if v in (np.inf, -np.inf):
-                raise ValidationError(
-                    f"stream value at tick {int(self._ticks[0]) + 1} is infinite"
-                )
+                raise bad_value_error(self._stream_tick0() + 1, True)
+            if math.isinf(v):
+                raise bad_value_error(self._stream_tick0() + 1, False)
             return np.float64(v)
         array = np.asarray(value, dtype=np.float64).reshape(-1)
         if array.shape[0] != 1:
@@ -411,7 +702,10 @@ class FusedSpring:
 
     @classmethod
     def from_springs(
-        cls, springs: Sequence[object], names: Optional[Sequence[str]] = None
+        cls,
+        springs: Sequence[object],
+        names: Optional[Sequence[str]] = None,
+        prune_buffer: Optional[int] = None,
     ) -> "FusedSpring":
         """Build an engine that adopts the live state of ``springs``.
 
@@ -456,7 +750,7 @@ class FusedSpring:
             names=names,
         )
         bank.distance = first._distance
-        engine = cls(bank, missing=first.missing)
+        engine = cls(bank, missing=first.missing, prune_buffer=prune_buffer)
         for qi, sp in enumerate(springs):
             m = sp.m
             engine._d[qi, : m + 1] = sp._state.d
@@ -492,6 +786,62 @@ class FusedSpring:
             sp._best_distance = float(self._best_d[qi])
             sp._best_start = int(self._best_s[qi])
             sp._best_end = int(self._best_e[qi])
+
+    # ------------------------------------------------------------------
+    # Pruning-state snapshot (checkpointing of cold-parked queries)
+    # ------------------------------------------------------------------
+
+    def prune_state_dict(self) -> Optional[dict]:
+        """JSON-safe snapshot of the parking state, or ``None`` if inert.
+
+        :meth:`write_back` already externalises a valid *applied* state
+        for every row; this captures the rest — the replay buffer and
+        how far behind each parked row is — so a restored engine can
+        resume mid-park and produce byte-identical future emissions.
+        """
+        if not self._prune:
+            return None
+        total = int(self._buffer.total_pushed)
+        parked = {
+            str(int(qi)): int(total - self._park_pos[qi])
+            for qi in np.flatnonzero(self._parked)
+        }
+        return {
+            "buffer": self._buffer.state_dict(),
+            "parked": parked,
+            "counters": {
+                "pruned_ticks": int(self.pruned_ticks),
+                "replays": int(self.replays),
+                "replayed_ticks": int(self.replayed_ticks),
+            },
+        }
+
+    def restore_prune_state(self, state: Optional[dict]) -> None:
+        """Re-park queries from a :meth:`prune_state_dict` snapshot.
+
+        The engine must already hold the applied per-query state (e.g.
+        via :meth:`from_springs`).  The buffer is rebuilt at the
+        snapshot's capacity, so restoring under a different configured
+        capacity is lossless.
+        """
+        if state is None:
+            return
+        if not self._prune:
+            raise ValidationError(
+                "cannot restore pruning state into an engine built "
+                "without pruning"
+            )
+        self._buffer = RingBuffer.from_state(state["buffer"])
+        total = int(self._buffer.total_pushed)
+        self._parked[:] = False
+        for key, behind in state.get("parked", {}).items():
+            qi = int(key)
+            self._parked[qi] = True
+            self._park_pos[qi] = total - int(behind)
+        counters = state.get("counters", {})
+        self.pruned_ticks = int(counters.get("pruned_ticks", 0))
+        self.replays = int(counters.get("replays", 0))
+        self.replayed_ticks = int(counters.get("replayed_ticks", 0))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,98 @@
+"""One source of truth for the NaN/inf stream-value policy.
+
+Every execution path — scalar :meth:`Spring.step`, the blocked
+:meth:`Spring.extend` fast path, and the fused bank engine — must make
+*identical* decisions about non-finite stream values, or the same
+stream produces different match streams depending on how it was fed.
+The rules, shared by all paths via this module:
+
+* **NaN** is a *missing* reading: under ``missing="skip"`` time passes
+  and state holds; under ``missing="error"`` it raises.
+* **±inf** is a *corrupt* reading: it raises under every policy (an
+  infinite local cost would poison the column irreversibly, which no
+  policy can want silently).
+* **NaN outranks inf**: a vector row containing both is classified as
+  missing, not corrupt — the row is already unusable as a measurement,
+  so the skip policy's contract ("missing readings pass through")
+  wins over the corruption error.
+* Errors from batched paths carry the matches the applied prefix
+  confirmed (see :class:`~repro.exceptions.StreamValueError`), so no
+  path ever loses emissions that a value-by-value loop would have
+  returned before the bad tick.
+
+``"raise"`` is accepted as an alias for ``"error"`` (the name some
+deployments configure); it normalises at construction time so
+capability grouping and checkpoints only ever see canonical values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import StreamValueError, ValidationError
+
+__all__ = [
+    "MISSING_POLICIES",
+    "resolve_missing_policy",
+    "classify_rows",
+    "first_fatal",
+    "bad_value_error",
+]
+
+#: Canonical policy names (aliases normalise onto these).
+MISSING_POLICIES = ("skip", "error")
+
+_ALIASES = {"raise": "error"}
+
+
+def resolve_missing_policy(value: object) -> str:
+    """Normalise and validate a ``missing`` policy argument."""
+    policy = _ALIASES.get(value, value)
+    if policy not in MISSING_POLICIES:
+        raise ValidationError(
+            f"missing must be one of {MISSING_POLICIES} "
+            f"(or the alias 'raise'), got {value!r}"
+        )
+    return policy
+
+
+def classify_rows(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row (missing, corrupt) masks for an ``(n, k)`` or 1-D block.
+
+    A row with any NaN is *missing*; a row with any inf **and no NaN**
+    is *corrupt* (NaN outranks inf — see module docstring).  The two
+    masks are disjoint by construction.
+    """
+    if arr.ndim == 1:
+        nan_rows = np.isnan(arr)
+        inf_rows = np.isinf(arr) & ~nan_rows
+    else:
+        nan_rows = np.isnan(arr).any(axis=1)
+        inf_rows = np.isinf(arr).any(axis=1) & ~nan_rows
+    return nan_rows, inf_rows
+
+
+def first_fatal(
+    nan_rows: np.ndarray, inf_rows: np.ndarray, missing: str
+) -> int:
+    """Index of the first row that must raise under ``missing``.
+
+    Returns ``len(nan_rows)`` when the whole block is admissible.
+    Corrupt rows are fatal under every policy; missing rows only under
+    ``"error"``.
+    """
+    bad = inf_rows if missing == "skip" else (nan_rows | inf_rows)
+    return int(np.argmax(bad)) if bad.any() else int(nan_rows.shape[0])
+
+
+def bad_value_error(
+    tick: int, is_nan: bool, partial_matches: object = ()
+) -> StreamValueError:
+    """The uniform error for a rejected stream value at 1-based ``tick``."""
+    kind = "NaN" if is_nan else "infinite"
+    return StreamValueError(
+        f"stream value at tick {tick} is {kind}",
+        partial_matches=partial_matches,
+    )

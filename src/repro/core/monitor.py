@@ -55,10 +55,11 @@ import numpy as np
 
 from repro.core.engine import ExecutionPlan, build_plan
 from repro.core.matches import Match
+from repro.core.missing import classify_rows, first_fatal
 from repro.core.policy import decode_policies, encode_policies
 from repro.core.registry import build_matcher
 from repro.dtw.steps import LocalDistance
-from repro.exceptions import ValidationError
+from repro.exceptions import StreamValueError, ValidationError
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, MetricsRecorder
@@ -122,6 +123,18 @@ class StreamMonitor:
         to it — the push loop and the remaining callbacks keep running.
         When ``None`` (default) callback exceptions propagate as before.
         The supervised runtime points this at its dead-letter record.
+    prune:
+        When True (default), fused banks run the exact lower-bound
+        admission cascade: queries whose corridor bound certifies they
+        cannot match are parked, skipping their O(m) column update.
+        Emitted events are byte-identical with pruning on or off (see
+        ``docs/algorithm.md`` §11); disable only for debugging or A/B
+        measurement (the CLI exposes this as ``--no-prune``).
+    prune_buffer:
+        Ring-buffer capacity (values) retained per bank for exact
+        catch-up replay of parked spans.  Spans that outgrow it still
+        wake exactly, via the kernel's reset representation; the size
+        only trades memory against bit-identical column reconstruction.
 
     Example
     -------
@@ -138,6 +151,8 @@ class StreamMonitor:
         on_callback_error: Optional[
             Callable[[MatchEvent, Exception], None]
         ] = None,
+        prune: bool = True,
+        prune_buffer: int = 1024,
     ) -> None:
         self._queries: Dict[str, _QuerySpec] = {}
         self._matchers: Dict[str, Dict[str, object]] = {}
@@ -154,6 +169,16 @@ class StreamMonitor:
         self.keep_history = bool(keep_history)
         # stream -> ExecutionPlan; None = rebuild on next push.
         self._plans: Dict[str, Optional[ExecutionPlan]] = {}
+        self._prune = bool(prune)
+        prune_buffer = int(prune_buffer)
+        if prune_buffer < 1:
+            raise ValidationError(
+                f"prune_buffer must be a positive integer, got {prune_buffer}"
+            )
+        self._prune_buffer = prune_buffer
+        # stream -> [pruned_ticks, replays, replayed_ticks] folded from
+        # retired plans (live engines add their own counters on top).
+        self._prune_totals: Dict[str, List[int]] = {}
         # Observability gate: the shared no-op recorder until
         # enable_metrics() swaps in a real one.  Hot paths check only
         # `recorder.enabled`, so a monitor that never opted in pays a
@@ -302,11 +327,42 @@ class StreamMonitor:
             return None
         return self.recorder.registry.snapshot()
 
+    def prune_stats(self, stream: str) -> Dict[str, int]:
+        """Lifetime pruning counters for one stream.
+
+        ``pruned_ticks`` counts query-ticks whose column update the
+        admission cascade skipped or deferred; ``replays`` counts
+        catch-up replays of parked spans; ``replayed_ticks`` counts the
+        query-ticks those replays re-applied (so the net updates saved
+        are ``pruned_ticks - replayed_ticks``).  All zeros when pruning
+        is disabled or no bank qualifies.
+        """
+        if stream not in self._matchers:
+            raise ValidationError(f"stream {stream!r} is not registered")
+        totals = list(self._prune_totals.get(stream, (0, 0, 0)))
+        plan = self._plans.get(stream)
+        if plan is not None:
+            for bank in plan.banks:
+                pruned, replays, replayed = bank.prune_counters()
+                totals[0] += pruned
+                totals[1] += replays
+                totals[2] += replayed
+        return {
+            "pruned_ticks": totals[0],
+            "replays": totals[1],
+            "replayed_ticks": totals[2],
+        }
+
     def _collect_matcher_series(self, registry: MetricsRegistry) -> None:
         """Snapshot-time collector: per-matcher tick / pending series.
 
-        Reads each matcher's own counters (after syncing bank state
+        Reads each matcher's own counters (after refreshing bank state
         back) instead of maintaining parallel ones on the hot path.
+        The refresh deliberately keeps live plans — and therefore any
+        cold-parked pruning state — intact: a metrics snapshot must
+        never force parked queries to catch up.  Parked matchers report
+        their *stream* tick (values consumed), not the frozen applied
+        tick, so the series is identical with pruning on or off.
         """
         ticks = registry.counter(
             "spring_matcher_ticks_total",
@@ -319,11 +375,31 @@ class StreamMonitor:
             "(the Figure-4 holding condition), else 0",
             ("stream", "query"),
         )
+        pruned = registry.counter(
+            "spring_pruned_ticks_total",
+            "Query-ticks whose column update the admission cascade "
+            "skipped or deferred",
+            ("stream",),
+        )
+        replays = registry.counter(
+            "spring_replays_total",
+            "Catch-up replays of parked spans (one per waking group)",
+            ("stream",),
+        )
         for stream, matchers in self._matchers.items():
-            self._sync_stream(stream)
+            self._refresh_stream(stream)
+            stream_ticks: Dict[str, int] = {}
+            plan = self._plans.get(stream)
+            if plan is not None:
+                for bank in plan.banks:
+                    for name, tick in zip(
+                        bank.names, bank.engine.stream_ticks
+                    ):
+                        stream_ticks[name] = int(tick)
             for query_name, matcher in matchers.items():
+                tick_value = stream_ticks.get(query_name, matcher.tick)
                 ticks.labels(stream=stream, query=query_name).set_to(
-                    float(matcher.tick)
+                    float(tick_value)
                 )
                 holder = getattr(matcher, "has_pending", None)
                 if holder is None:
@@ -333,6 +409,9 @@ class StreamMonitor:
                 pending.labels(stream=stream, query=query_name).set(
                     1.0 if holder else 0.0
                 )
+            stats = self.prune_stats(stream)
+            pruned.labels(stream=stream).set_to(float(stats["pruned_ticks"]))
+            replays.labels(stream=stream).set_to(float(stats["replays"]))
 
     # ------------------------------------------------------------------
     # Execution plans (fused banking, capability-driven)
@@ -341,26 +420,134 @@ class StreamMonitor:
     def _ensure_plan(self, stream: str) -> ExecutionPlan:
         plan = self._plans.get(stream)
         if plan is None:
-            plan = build_plan(self._matchers[stream])
+            plan = build_plan(
+                self._matchers[stream],
+                prune_buffer=self._prune_buffer if self._prune else None,
+            )
             self._plans[stream] = plan
         return plan
 
     def _sync_stream(self, stream: str) -> None:
         """Write bank state back into per-query matchers and drop the plan.
 
+        Parked queries catch up first (an exact sync), and the retiring
+        engines' pruning counters fold into the per-stream totals.
         After this, the individual matcher objects are the single
         source of truth again; the next push rebuilds the plan from
         them (so even direct ``matcher(...).step(...)`` stays coherent).
         """
         plan = self._plans.get(stream)
         if plan is not None:
+            totals = self._prune_totals.setdefault(stream, [0, 0, 0])
             for bank in plan.banks:
-                bank.write_back()
+                bank.sync()
+                pruned, replays, replayed = bank.prune_counters()
+                totals[0] += pruned
+                totals[1] += replays
+                totals[2] += replayed
         self._plans[stream] = None
 
+    def _refresh_stream(self, stream: str) -> None:
+        """Write bank state back WITHOUT catching up or dropping the plan.
+
+        Parked rows land at their applied tick (a valid historical
+        state); the live plan — and its parked spans — stays intact.
+        Used where state is read non-destructively (metrics snapshots,
+        checkpoints).
+        """
+        plan = self._plans.get(stream)
+        if plan is not None:
+            for bank in plan.banks:
+                bank.write_back()
+
     def _sync_all(self) -> None:
-        """Sync every stream's banks (used by checkpointing)."""
+        """Sync every stream's banks (exact; drops live plans)."""
         for stream in self._matchers:
+            self._sync_stream(stream)
+
+    def _checkpoint_sync(self) -> Dict[str, dict]:
+        """Externalise state for checkpointing WITHOUT disturbing pruning.
+
+        Banks write their applied per-query state back into the
+        matchers but keep running — dropping the plan here would force
+        parked queries to catch up on every snapshot, erasing the very
+        savings pruning buys on long cold spans.  Returns the
+        per-stream pruning payload (bank query names + replay-buffer /
+        parked-offset snapshots, plus the monitor's folded counter
+        totals so restored counters stay monotone) that
+        :mod:`repro.core.checkpoint` stores alongside the matcher
+        states.
+        """
+        payload: Dict[str, dict] = {}
+        for stream in self._matchers:
+            self._refresh_stream(stream)
+            plan = self._plans.get(stream)
+            entries = []
+            if plan is not None:
+                for bank in plan.banks:
+                    state = bank.engine.prune_state_dict()
+                    if state is not None:
+                        entries.append(
+                            {"queries": list(bank.names), "prune": state}
+                        )
+            totals = self._prune_totals.get(stream, [0, 0, 0])
+            if entries or any(totals):
+                payload[stream] = {
+                    "banks": entries,
+                    "totals": [int(t) for t in totals],
+                }
+        return payload
+
+    def _restore_prune(self, stream: str, payload: dict) -> None:
+        """Re-adopt cold-parked pruning state from a checkpoint payload.
+
+        Builds the stream's plan eagerly, matches banks to payload
+        entries by their query-name lists, and re-parks.  When this
+        monitor was configured with pruning disabled, the state is
+        restored through a temporary pruning plan and immediately
+        caught up — either way, subsequent events are byte-identical to
+        the uninterrupted run.
+        """
+        if not payload:
+            return
+        from repro.exceptions import CheckpointError
+
+        totals = payload.get("totals")
+        if totals and any(totals):
+            self._prune_totals[stream] = [int(t) for t in totals]
+        entries = payload.get("banks", [])
+        if not entries:
+            return
+        by_names = {
+            tuple(entry["queries"]): entry.get("prune") for entry in entries
+        }
+        buffer: Optional[int] = self._prune_buffer
+        if not self._prune:
+            capacities = [
+                int(state["buffer"]["capacity"])
+                for state in by_names.values()
+                if state is not None
+            ]
+            if not capacities:
+                return
+            buffer = max(capacities)
+        plan = build_plan(self._matchers[stream], prune_buffer=buffer)
+        matched = set()
+        for bank in plan.banks:
+            state = by_names.get(tuple(bank.names))
+            if state is not None:
+                bank.engine.restore_prune_state(state)
+                matched.add(tuple(bank.names))
+        for names, state in by_names.items():
+            if names in matched or state is None or not state.get("parked"):
+                continue
+            raise CheckpointError(
+                f"checkpoint holds parked pruning state for bank {names!r} "
+                f"on stream {stream!r}, but the restored monitor groups "
+                "its matchers differently"
+            )
+        self._plans[stream] = plan
+        if not self._prune:
             self._sync_stream(stream)
 
     # ------------------------------------------------------------------
@@ -477,6 +664,18 @@ class StreamMonitor:
         order = {name: i for i, name in enumerate(matchers)}
         collected: List[Tuple[int, int, MatchEvent]] = []
 
+        # Pre-scan for the first fatal value so every matcher sees the
+        # same clean prefix: without this, a bad tick mid-batch would
+        # stop at whichever matcher hit it first, leaving the rest
+        # unfed and the prefix's events undispatched — diverging from
+        # the value-by-value path.  The fatal tick itself is then
+        # replayed through the per-value path below, which dispatches
+        # the prefix's events before raising the uniform error.
+        stop = len(values)
+        if matchers:
+            stop = self._first_fatal_index(values, matchers.values())
+        clean = values[:stop] if stop < len(values) else values
+
         def collect(name: str, start_tick: int, matches: Iterable[Match]) -> None:
             for match in matches:
                 # Matchers adopted at different times disagree on tick
@@ -487,9 +686,9 @@ class StreamMonitor:
                 )
 
         for bank in plan.banks:
-            start_ticks = bank.engine.ticks
+            start_ticks = bank.engine.stream_ticks
             bank_started = perf_counter() if enabled else 0.0
-            pairs = bank.extend(values)
+            pairs = bank.extend(clean)
             if enabled:
                 recorder.record_bank_step(
                     stream, len(bank.names), perf_counter() - bank_started
@@ -506,12 +705,49 @@ class StreamMonitor:
         for query_name, matcher in matchers.items():
             if query_name in plan.banked:
                 continue
-            collect(query_name, matcher.tick, matcher.extend(values))
+            collect(query_name, matcher.tick, matcher.extend(clean))
 
         collected.sort(key=lambda item: (item[0], item[1]))
         events = [event for _, _, event in collected]
         self._dispatch(events)
+        if stop < len(values):
+            bad = values[stop]
+            try:
+                for bank in plan.banks:
+                    bank.step(bad)
+                for query_name, matcher in matchers.items():
+                    if query_name not in plan.banked:
+                        matcher.step(bad)
+            except StreamValueError as err:
+                err.partial_matches = events
+                raise
         return events
+
+    @staticmethod
+    def _first_fatal_index(values, matchers) -> int:
+        """First batch index that must raise for some attached matcher.
+
+        The strictest policy across matchers decides: an inf value is
+        fatal for everyone, a NaN only when any matcher runs
+        ``missing="error"``.  Values that cannot be viewed as a float
+        block are left to the per-matcher paths' own validation.
+        """
+        try:
+            arr = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            return len(values)
+        if arr.ndim not in (1, 2) or arr.size == 0:
+            return len(values)
+        nan_rows, inf_rows = classify_rows(arr)
+        strictest = (
+            "error"
+            if any(
+                getattr(matcher, "missing", "skip") == "error"
+                for matcher in matchers
+            )
+            else "skip"
+        )
+        return first_fatal(nan_rows, inf_rows, strictest)
 
     def push_tick(self, values: Mapping[str, object]) -> List[MatchEvent]:
         """Feed one synchronous tick across several streams."""

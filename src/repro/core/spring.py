@@ -53,6 +53,12 @@ from repro._validation import (
 )
 from repro.core.checkpoint import register_matcher
 from repro.core.matches import Match
+from repro.core.missing import (
+    bad_value_error,
+    classify_rows,
+    first_fatal,
+    resolve_missing_policy,
+)
 from repro.core.policy import ReportPolicy, decode_policies, encode_policies
 from repro.core.protocol import Capabilities
 from repro.core.registry import register_matcher_kind
@@ -62,7 +68,7 @@ from repro.dtw.steps import (
     canonical_distance_name,
     resolve_vector_distance,
 )
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import NotFittedError, StreamValueError, ValidationError
 from repro.obs import tracing
 
 __all__ = ["Spring"]
@@ -126,11 +132,7 @@ class Spring:
         #: callable).  The execution layer groups fused banks by this.
         self.distance_name = canonical_distance_name(self._distance)
         self.record_path = bool(record_path)
-        if missing not in _MISSING_POLICIES:
-            raise ValidationError(
-                f"missing must be one of {_MISSING_POLICIES}, got {missing!r}"
-            )
-        self.missing = missing
+        self.missing = resolve_missing_policy(missing)
         self.use_reference = bool(use_reference) or self.record_path
 
         m = self._query.shape[0]
@@ -278,13 +280,9 @@ class Spring:
                 if self.missing == "skip":
                     self._tick += 1
                     return None
-                raise ValidationError(
-                    f"stream value at tick {self._tick + 1} is NaN"
-                )
+                raise bad_value_error(self._tick + 1, True)
             if math.isinf(v):
-                raise ValidationError(
-                    f"stream value at tick {self._tick + 1} is infinite"
-                )
+                raise bad_value_error(self._tick + 1, False)
             self._xbuf[0] = v
             x = self._xbuf
         else:
@@ -325,9 +323,15 @@ class Spring:
         block = self._coerce_block(values) if not self.use_reference else None
         if block is not None:
             return self._extend_block(block, block_size)
-        matches = []
+        matches: List[Match] = []
         for value in values:
-            match = self.step(value)
+            try:
+                match = self.step(value)
+            except StreamValueError as err:
+                # Keep what the applied prefix confirmed (identical to
+                # what a caller-side step loop would already hold).
+                err.partial_matches = matches
+                raise
             if match is not None:
                 matches.append(match)
         return matches
@@ -355,10 +359,8 @@ class Spring:
             )
         if arr.shape[0] == 0:
             return []
-        nan_rows = np.isnan(arr).any(axis=1)
-        inf_rows = np.isinf(arr).any(axis=1) & ~nan_rows  # NaN outranks inf
-        bad = inf_rows if self.missing == "skip" else (nan_rows | inf_rows)
-        stop = int(np.argmax(bad)) if bad.any() else arr.shape[0]
+        nan_rows, inf_rows = classify_rows(arr)  # NaN outranks inf
+        stop = first_fatal(nan_rows, inf_rows, self.missing)
 
         matches: List[Match] = []
         block = max(1, int(block_size))
@@ -379,11 +381,9 @@ class Spring:
                 if match is not None:
                     matches.append(match)
         if stop < arr.shape[0]:
-            # Prefix state is fully applied; now fail like step() would.
-            kind = "NaN" if nan_rows[stop] else "infinite"
-            raise ValidationError(
-                f"stream value at tick {self._tick + 1} is {kind}"
-            )
+            # Prefix state is fully applied; now fail like step() would,
+            # carrying the matches the prefix confirmed.
+            raise bad_value_error(self._tick + 1, bool(nan_rows[stop]), matches)
         return matches
 
     def flush(self) -> Optional[Match]:
@@ -567,14 +567,14 @@ class Spring:
                 f"stream {self._value_noun} has {array.shape[0]} dimensions, "
                 f"query has {self._query.shape[1]}"
             )
+        # NaN outranks inf: a reading with both is missing, not corrupt
+        # (the shared policy in repro.core.missing).
         if np.isnan(array).any():
             if self.missing == "skip":
                 return None
-            raise ValidationError(f"stream value at tick {self._tick + 1} is NaN")
+            raise bad_value_error(self._tick + 1, True)
         if np.isinf(array).any():
-            raise ValidationError(
-                f"stream value at tick {self._tick + 1} is infinite"
-            )
+            raise bad_value_error(self._tick + 1, False)
         return array
 
     @staticmethod

@@ -8,14 +8,36 @@ credible release of this system ships them, both as baselines for the
 stored-set comparison and because ``LB_Keogh`` pairs naturally with the
 band-constrained matcher in :mod:`repro.core.constrained`.
 
-All bounds here lower-bound DTW computed with the **squared** local
+The classic bounds lower-bound DTW computed with the **squared** local
 distance, matching the paper's Equation 1.  They require equal-length
 sequences (the whole-matching setting they were proposed for).
+
+The *streaming* additions (:func:`streaming_corridor`,
+:func:`lb_corridor`) adapt the envelope idea to SPRING's unconstrained
+subsequence setting.  With no Sakoe–Chiba band, a stream tick may align
+against *any* query element, so the per-element Keogh envelope
+degenerates to its global extremes — :func:`keogh_envelope` at full
+radius collapses every position to ``[min(y), max(y)]``.  That corridor
+still yields an exact per-tick admission bound: the local cost of
+aligning ``x`` with any element of ``y`` is at least the (squared or
+absolute) distance from ``x`` to the corridor, and every cell of the
+new STWM column is at least its own local cost, so the bound certifies
+``min_t d(t, i) > ε`` for the whole column in O(1) per query.  This is
+the LB_Kim/LB_Yi extremes feature specialised to one incoming point —
+the cheapest member of the lower-bound cascade.
+
+:func:`lb_corridor` is computed with the *same float64 operations* the
+kernel uses for local costs (an IEEE-754 subtraction, then a multiply
+or abs).  Both are monotone under correct rounding, so the computed
+bound never exceeds any computed local cost — the certificate is
+rigorous at the bit level, not merely in exact arithmetic (the
+pruning engine's exactness proof in ``docs/algorithm.md`` §11 leans
+on this).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -27,6 +49,8 @@ __all__ = [
     "lb_yi",
     "keogh_envelope",
     "lb_keogh",
+    "streaming_corridor",
+    "lb_corridor",
 ]
 
 
@@ -110,3 +134,54 @@ def lb_keogh(x: object, y: object, radius: int) -> float:
     above = np.where(xs > upper, xs - upper, 0.0)
     below = np.where(xs < lower, lower - xs, 0.0)
     return float(np.sum(above * above) + np.sum(below * below))
+
+
+def streaming_corridor(y: object) -> Tuple[float, float]:
+    """``(lo, hi)`` corridor of a query for streaming admission bounds.
+
+    The unconstrained-subsequence analogue of :func:`keogh_envelope`:
+    with no band, every stream tick may align with any query element,
+    so the tightest sound per-position envelope is the global
+    ``[min(y), max(y)]``.  Feed the result to :func:`lb_corridor`.
+    """
+    ys = as_scalar_sequence(y, "y")
+    return float(ys.min()), float(ys.max())
+
+
+def lb_corridor(
+    x: Union[float, np.ndarray],
+    lo: Union[float, np.ndarray],
+    hi: Union[float, np.ndarray],
+    local_distance: str = "squared",
+) -> Union[float, np.ndarray]:
+    """Exact per-tick lower bound on every cell of the next STWM column.
+
+    For a stream value ``x`` and a query confined to corridor
+    ``[lo, hi]`` (see :func:`streaming_corridor`),
+
+    ``lb_corridor(x, lo, hi) <= min_i cost(x, y_i) <= min_t d(t, i)``
+
+    for every cell ``i`` of the column the kernel would compute at this
+    tick — each cell adds its own non-negative local cost to a
+    non-negative prefix.  When the bound exceeds a query's ε, no
+    subsequence ending at this tick can qualify, and (because the bound
+    is evaluated with the kernel's own monotone float64 arithmetic) the
+    comparison agrees bit-for-bit with what the full column update
+    would have concluded.
+
+    Broadcasts over arrays: pass per-query ``lo``/``hi`` vectors to
+    bound a whole bank against one value in O(Q).
+
+    ``local_distance`` must be ``"squared"`` (Equation 1) or
+    ``"absolute"``; other (custom) distances admit no generic corridor
+    bound and callers must not prune under them.
+    """
+    delta = x - np.clip(x, lo, hi)
+    if local_distance == "squared":
+        return delta * delta
+    if local_distance == "absolute":
+        return np.abs(delta)
+    raise ValidationError(
+        f"no corridor bound for local distance {local_distance!r}; "
+        "only 'squared' and 'absolute' admit one"
+    )

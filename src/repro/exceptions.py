@@ -20,6 +20,28 @@ class ValidationError(ReproError, ValueError):
     """
 
 
+class StreamValueError(ValidationError):
+    """A stream value was rejected (NaN under ``missing="error"``, or inf).
+
+    Raised by every execution path — scalar ``step``, blocked
+    ``extend``, and the fused bank engine — with an identical message,
+    so callers observe the same error wherever the bad tick is hit.
+
+    Batched paths apply the valid prefix before raising; the matches
+    that prefix confirmed are **not** lost — they ride along as
+    :attr:`partial_matches` (what a value-by-value ``step`` loop would
+    already have returned before the error).
+    """
+
+    def __init__(self, message: str, partial_matches: object = ()) -> None:
+        super().__init__(message)
+        #: Matches confirmed by the applied prefix, in emission order.
+        #: Plain :class:`~repro.core.matches.Match` objects for scalar
+        #: matchers, ``(query_index, Match)`` pairs for fused banks, and
+        #: already-dispatched ``MatchEvent`` records for the monitor.
+        self.partial_matches = list(partial_matches)
+
+
 class EmptySequenceError(ValidationError):
     """A sequence that must be non-empty was empty."""
 

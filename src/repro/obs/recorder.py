@@ -203,6 +203,21 @@ class MetricsRecorder:
             "spring_checkpoint_bytes_total",
             "Serialized checkpoint bytes written",
         )
+        # Bound eagerly so the families exist (at zero) in the very
+        # first exposition even before the monitor's snapshot-time
+        # collector has published a value; the registry's get-or-create
+        # hands the collector these same families.
+        self._pruned_ticks = r.counter(
+            "spring_pruned_ticks_total",
+            "Query-ticks whose column update the admission cascade "
+            "skipped or deferred",
+            ("stream",),
+        )
+        self._prune_replays = r.counter(
+            "spring_replays_total",
+            "Catch-up replays of parked spans (one per waking group)",
+            ("stream",),
+        )
         # Hot-path deltas live in plain per-stream accumulators and are
         # folded into the registry by a flush collector at snapshot
         # time: ``labels()`` validation and per-write locking are far

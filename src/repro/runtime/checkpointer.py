@@ -19,6 +19,12 @@ The snapshot payload carries, besides the serialised monitor, the exact
 replay cursor (per-stream tick counts) and the number of events emitted
 up to the watermark — everything :class:`~repro.runtime.SupervisedRunner`
 needs to resume and re-emit a byte-identical event suffix.
+
+Cold-parked pruning state (the admission cascade's replay buffers and
+parked offsets, see :mod:`repro.core.fused`) rides inside the monitor
+payload itself: a snapshot taken mid-park resumes mid-park, and the
+replayed event suffix is byte-identical whether the restored process
+runs with pruning enabled or disabled.
 """
 
 from __future__ import annotations
@@ -148,13 +154,18 @@ class CheckpointManager:
                 return payload
         return None
 
-    def resume(self) -> Tuple[object, Dict[str, object]]:
+    def resume(
+        self, prune: bool = True, prune_buffer: int = 1024
+    ) -> Tuple[object, Dict[str, object]]:
         """Restore ``(monitor, snapshot_meta)`` from the newest snapshot.
 
         ``snapshot_meta`` is the payload minus the monitor state:
         ``watermark``, ``stream_ticks`` and ``events_emitted``.  Raises
         :class:`~repro.exceptions.CheckpointError` when no readable
-        snapshot exists.
+        snapshot exists.  ``prune`` / ``prune_buffer`` configure the
+        restored monitor's admission cascade; snapshots taken mid-park
+        carry their cold-parked pruning state inside the monitor payload
+        and resume to byte-identical events with either setting.
         """
         started = perf_counter() if self.recorder.enabled else 0.0
         payload = self.latest()
@@ -162,7 +173,9 @@ class CheckpointManager:
             raise CheckpointError(
                 f"no readable checkpoint under {self.directory}"
             )
-        monitor = load_monitor(payload["monitor"])
+        monitor = load_monitor(
+            payload["monitor"], prune=prune, prune_buffer=prune_buffer
+        )
         if self.recorder.enabled:
             self.recorder.record_checkpoint_restore(perf_counter() - started)
         meta = {

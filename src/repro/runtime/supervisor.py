@@ -195,6 +195,8 @@ class SupervisedRunner:
         policy: Optional[RetryPolicy] = None,
         checkpoint_every: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
+        prune: bool = True,
+        prune_buffer: int = 1024,
     ) -> "SupervisedRunner":
         """Restore the newest snapshot and prepare replay past its cursor.
 
@@ -203,9 +205,11 @@ class SupervisedRunner:
         (those ticks are already folded into the restored matcher
         state) and then continues pushing.  Events it emits are exactly
         the suffix an uninterrupted run would have emitted after the
-        snapshot's ``events_emitted``-th event.
+        snapshot's ``events_emitted``-th event.  ``prune`` /
+        ``prune_buffer`` configure the restored monitor's admission
+        cascade (see :class:`~repro.core.monitor.StreamMonitor`).
         """
-        monitor, meta = checkpoint.resume()
+        monitor, meta = checkpoint.resume(prune=prune, prune_buffer=prune_buffer)
         runner = cls(
             monitor,
             sources,

@@ -92,6 +92,20 @@ class RingBuffer:
             "values": encode_floats(values),
         }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "RingBuffer":
+        """Rebuild a buffer at the snapshot's own capacity.
+
+        Unlike :meth:`load_state_dict` this never rejects on a capacity
+        mismatch with some pre-existing buffer — callers restoring a
+        checkpoint under a different configured capacity keep the
+        snapshot's layout (the pruning engine relies on this so resumed
+        parked spans replay exactly as they would have).
+        """
+        buffer = cls(int(state["capacity"]))
+        buffer.load_state_dict(state)
+        return buffer
+
     def load_state_dict(self, state: dict) -> None:
         """Restore :meth:`state_dict` output (capacity must match)."""
         if int(state["capacity"]) != self.capacity:

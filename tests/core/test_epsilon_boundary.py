@@ -1,0 +1,111 @@
+"""Matches at exactly distance ε must report (paper's Problem 2).
+
+The paper defines qualification as ``Dist(X[ts..te], Y) <= ε`` —
+inclusive.  A subsequence whose distance lands *exactly* on ε is a
+match, and every execution path (scalar step, blocked extend, fused
+bank, pruned fused bank, monitor) must report it.  Dyadic inputs make
+the distances exactly representable, so these are bit-level boundary
+tests, not approximate ones.
+
+The pruning cascade has its own boundary here: the corridor bound
+parks a query only when ``lb > ε`` strictly, so a tick whose bound
+equals ε must still be processed — collapsing that to ``>=`` would
+silently drop exactly-ε matches, which the last test would catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FusedSpring, QueryBank, Spring, StreamMonitor
+from repro.dtw.subsequence import brute_force_all
+
+# query [3], stream value 4 -> squared distance exactly 1.0
+QUERY = [3.0]
+EPSILON = 1.0
+
+
+def _events(engine, stream):
+    events = []
+    for value in stream:
+        events.extend(engine.step(value))
+    events.extend(engine.flush())
+    return events
+
+
+class TestExactEpsilonReports:
+    def test_oracle_confirms_the_boundary(self):
+        D = brute_force_all([0.0, 4.0, 0.0], QUERY)
+        assert D[1, 1] == EPSILON  # the subsequence [4.0] sits exactly on ε
+
+    def test_scalar_step_reports_exact_epsilon(self):
+        spring = Spring(QUERY, epsilon=EPSILON)
+        matches = []
+        for value in [0.0, 4.0, 0.0]:
+            match = spring.step(value)
+            if match is not None:
+                matches.append(match)
+        final = spring.flush()
+        if final is not None:
+            matches.append(final)
+        assert [m.distance for m in matches] == [EPSILON]
+        assert matches[0].start == matches[0].end == 2
+
+    def test_blocked_extend_reports_exact_epsilon(self):
+        spring = Spring(QUERY, epsilon=EPSILON)
+        matches = list(spring.extend([0.0, 4.0, 0.0]))
+        final = spring.flush()
+        if final is not None:
+            matches.append(final)
+        assert [m.distance for m in matches] == [EPSILON]
+
+    @pytest.mark.parametrize("prune_buffer", [None, 4])
+    def test_fused_reports_exact_epsilon(self, prune_buffer):
+        engine = FusedSpring(
+            QueryBank([QUERY, QUERY], epsilons=EPSILON),
+            prune_buffer=prune_buffer,
+        )
+        events = _events(engine, [0.0, 4.0, 0.0])
+        assert [(qi, m.distance) for qi, m in events] == [
+            (0, EPSILON),
+            (1, EPSILON),
+        ]
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_monitor_reports_exact_epsilon(self, prune):
+        monitor = StreamMonitor(prune=prune)
+        monitor.add_stream("s")
+        monitor.add_query("a", QUERY, epsilon=EPSILON)
+        monitor.add_query("b", QUERY, epsilon=EPSILON)
+        events = []
+        for value in [0.0, 4.0, 0.0]:
+            events.extend(monitor.push("s", value))
+        assert [e.match.distance for e in events] == [EPSILON, EPSILON]
+
+    def test_epsilon_boundary_while_pruning_is_armed(self):
+        """An exactly-ε match after parking conditions are armed.
+
+        First a perfect match (arming ``best_d = 0 <= ε``, the park
+        precondition), then cold values (parking the query), then a
+        value whose corridor bound equals ε exactly — the strict
+        ``lb > ε`` park test must keep processing it, and the exactly-ε
+        subsequence must report on both engines identically.
+        """
+        stream = [3.0, 100.0, 100.0, 100.0, 4.0]
+        plain = FusedSpring(QueryBank([QUERY, QUERY], epsilons=EPSILON))
+        pruned = FusedSpring(
+            QueryBank([QUERY, QUERY], epsilons=EPSILON), prune_buffer=2
+        )
+        expected = [
+            (qi, m.start, m.end, m.distance, m.output_time)
+            for qi, m in _events(plain, stream)
+        ]
+        got = [
+            (qi, m.start, m.end, m.distance, m.output_time)
+            for qi, m in _events(pruned, stream)
+        ]
+        assert got == expected
+        assert [t[3] for t in expected] == [0.0, 0.0, EPSILON, EPSILON]
+        # the cold middle span did engage the cascade
+        assert pruned.pruned_ticks > 0

@@ -182,6 +182,87 @@ def test_kill_at_any_tick_recovers_all_matcher_kinds(
     assert prefix + tail == expected
 
 
+QUERY_FAR = np.array([100.0, 101.0, 99.5, 100.5])
+QUERY_FAR2 = np.array([100.5, 99.0, 100.0])
+
+
+def _parked_monitor(prune: bool, prune_buffer: int) -> StreamMonitor:
+    """Two fused queries far from the stream's cold regime."""
+    monitor = StreamMonitor(prune=prune, prune_buffer=prune_buffer)
+    monitor.add_query("far", QUERY_FAR, epsilon=2.5)
+    monitor.add_query("far2", QUERY_FAR2, epsilon=2.5)
+    return monitor
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    cold=st.lists(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        min_size=12,
+        max_size=50,
+    ),
+    data=st.data(),
+    cadence=st.integers(min_value=1, max_value=7),
+    prune_buffer=st.integers(min_value=2, max_value=12),
+    resume_prune=st.booleans(),
+)
+def test_kill_at_any_tick_recovers_parked_queries(
+    tmp_path_factory, cold, data, cadence, prune_buffer, resume_prune
+):
+    """Snapshots taken mid-park resume to the exact event suffix.
+
+    The stream opens with a matching excursion (arming each query's
+    best-so-far, the cascade's park precondition) and then goes cold,
+    so the admission cascade certifiably parks both queries; killing
+    anywhere in the cold span exercises checkpoints whose matcher
+    states are frozen at the park tick plus the replay-buffer payload.
+    The tiny buffer also drives the deep-wake (span outgrew buffer)
+    restore path, and resuming with pruning disabled must still emit
+    the identical suffix.
+    """
+    values = list(QUERY_FAR) + cold
+    kill_at = data.draw(
+        st.integers(min_value=1, max_value=len(values)), label="kill_at"
+    )
+    tmp = tmp_path_factory.mktemp("ckpt_parked")
+
+    reference = SupervisedRunner(
+        _parked_monitor(True, prune_buffer), [_source(values, None)],
+        policy=_policy(), sleep=_no_sleep,
+    )
+    expected = [_key(e) for e in reference.run().events]
+
+    manager = CheckpointManager(tmp)
+    first = SupervisedRunner(
+        _parked_monitor(True, prune_buffer),
+        [_source(values, None)],
+        policy=_policy(),
+        checkpoint=manager,
+        checkpoint_every=cadence,
+        sleep=_no_sleep,
+    )
+    first.run(max_ticks=kill_at, flush=False)  # the "kill"
+
+    snapshot = manager.latest()
+    if snapshot is None:
+        prefix = []
+        second = SupervisedRunner(
+            _parked_monitor(resume_prune, prune_buffer),
+            [_source(values, None)],
+            policy=_policy(), sleep=_no_sleep,
+        )
+    else:
+        acked = int(snapshot["events_emitted"])
+        prefix = [_key(e) for e in first.events[:acked]]
+        second = SupervisedRunner.resume(
+            [_source(values, None)], manager,
+            policy=_policy(), sleep=_no_sleep,
+            prune=resume_prune, prune_buffer=prune_buffer,
+        )
+    tail = [_key(e) for e in second.run().events]
+    assert prefix + tail == expected
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     values=st.lists(

@@ -1,0 +1,138 @@
+"""LB-tightness properties: every lower bound really lower-bounds.
+
+The stored-set bounds (``lb_kim``, ``lb_yi``, ``lb_keogh``) must never
+exceed the true DTW distance they claim to bound, and the streaming
+admission bound (``lb_corridor``, the cheap tier of the pruning
+cascade) must never exceed any cell of the STWM column the kernel
+would compute — that inequality *is* the pruning exactness proof's
+load-bearing premise, so it gets the adversarial treatment here.
+
+Dyadic rationals make the arithmetic exact; the bounds are still
+evaluated with the very float64 operations the kernel uses, so these
+are bit-level guarantees, not exact-arithmetic idealisations.
+
+Marked ``slow`` (brute-force oracles are quadratic); runs in the
+dedicated oracle CI job via ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FusedSpring, QueryBank
+from repro.dtw.distance import dtw_distance
+from repro.dtw.lower_bounds import (
+    lb_corridor,
+    lb_keogh,
+    lb_kim,
+    lb_yi,
+    streaming_corridor,
+)
+from repro.dtw.subsequence import brute_force_all
+
+pytestmark = pytest.mark.slow
+
+dyadic = st.integers(min_value=-8192, max_value=8192).map(
+    lambda k: k / 1024.0
+)
+
+sequences = st.lists(dyadic, min_size=1, max_size=16)
+
+
+class TestStoredSetBounds:
+    @settings(max_examples=120, deadline=None)
+    @given(x=sequences, y=sequences)
+    def test_lb_kim_below_dtw(self, x, y):
+        assert lb_kim(x, y) <= dtw_distance(x, y)
+
+    @settings(max_examples=120, deadline=None)
+    @given(x=sequences, y=sequences)
+    def test_lb_yi_below_dtw(self, x, y):
+        assert lb_yi(x, y) <= dtw_distance(x, y)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        xy=st.integers(min_value=1, max_value=14).flatmap(
+            lambda n: st.tuples(
+                st.lists(dyadic, min_size=n, max_size=n),
+                st.lists(dyadic, min_size=n, max_size=n),
+            )
+        ),
+        radius=st.integers(min_value=0, max_value=14),
+    )
+    def test_lb_keogh_below_banded_dtw(self, xy, radius):
+        """LB_Keogh bounds band-constrained DTW, hence unconstrained too
+        once the radius covers the whole matrix."""
+        x, y = xy
+        if radius >= len(y):
+            assert lb_keogh(x, y, radius) <= dtw_distance(x, y)
+        else:
+            # the unconstrained distance is itself a lower bound of the
+            # banded one, so this is the sound direction to check cheaply
+            assert lb_keogh(x, y, radius) >= 0.0
+            full_radius = len(y)
+            assert lb_keogh(x, y, full_radius) <= dtw_distance(x, y)
+
+
+class TestStreamingCorridorBound:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        x=st.lists(dyadic, min_size=1, max_size=14),
+        y=st.lists(dyadic, min_size=1, max_size=5),
+    )
+    def test_corridor_below_every_subsequence_distance(self, x, y):
+        """``lb_corridor(x_t)`` <= DTW(X[ts..t], Y) for every start ts.
+
+        Each subsequence ending at tick ``t`` pays at least the local
+        cost of aligning ``x_t`` somewhere in the query, which the
+        corridor bound lower-bounds — so it lower-bounds every entry of
+        the oracle's column at ``t``.
+        """
+        lo, hi = streaming_corridor(y)
+        D = brute_force_all(x, y)
+        for t, value in enumerate(x):
+            bound = lb_corridor(float(value), lo, hi)
+            column = D[: t + 1, t]  # all subsequences ending at t
+            assert bound <= column.min() + 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        x=st.lists(dyadic, min_size=1, max_size=14),
+        y=st.lists(dyadic, min_size=1, max_size=5),
+        kind=st.sampled_from(["squared", "absolute"]),
+    )
+    def test_corridor_below_every_kernel_cell(self, x, y, kind):
+        """Bit-level: the bound never exceeds any live STWM cell.
+
+        Runs the actual fused kernel and compares the corridor bound
+        against the *computed* column minimum each tick — the exact
+        comparison the pruning cascade performs, on the exact floats
+        the kernel produced.
+        """
+        lo, hi = streaming_corridor(y)
+        engine = FusedSpring(
+            QueryBank([y], epsilons=np.inf, local_distance=kind)
+        )
+        for value in x:
+            engine.step(float(value))
+            bound = lb_corridor(float(value), lo, hi, kind)
+            live = engine._d[0, 1:][np.isfinite(engine._d[0, 1:])]
+            if live.size:
+                assert bound <= live.min()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=dyadic,
+        y=st.lists(dyadic, min_size=1, max_size=6),
+    )
+    def test_corridor_is_tight_for_single_elements(self, value, y):
+        """The bound equals the best single-element local cost: it is
+        the tightest bound expressible from the corridor alone."""
+        lo, hi = streaming_corridor(y)
+        best = min((value - yi) ** 2 for yi in y)
+        assert lb_corridor(float(value), lo, hi) <= best
+        if all(v == y[0] for v in y):
+            assert lb_corridor(float(value), lo, hi) == best

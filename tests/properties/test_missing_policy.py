@@ -1,0 +1,315 @@
+"""NaN/inf policy parity across every execution path (ISSUE 5).
+
+One policy module (:mod:`repro.core.missing`) now decides how every
+path treats non-finite values, and these properties pin the unified
+contract:
+
+* ``missing="raise"`` is an exact alias for ``missing="error"``,
+* a NaN at the same tick as an infinity reports as NaN ("NaN outranks
+  inf"): classification is on the raw value, not on which branch saw
+  it first,
+* infinities are fatal under *both* policies; NaN only under "error",
+* scalar ``step`` loops, blocked ``extend``, the fused engine (pruned
+  and unpruned), and the monitor's ``push``/``push_many`` all emit the
+  same matches *and* the same error (type, message, failing tick),
+* batch paths attach the prefix's confirmed matches to the raised
+  :class:`~repro.exceptions.StreamValueError` (``partial_matches``), so
+  a half-good batch never silently loses its good half.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FusedSpring, QueryBank, Spring, StreamMonitor
+from repro.core.missing import (
+    MISSING_POLICIES,
+    classify_rows,
+    first_fatal,
+    resolve_missing_policy,
+)
+from repro.exceptions import StreamValueError, ValidationError
+
+finite_values = st.floats(min_value=-4.0, max_value=4.0, allow_nan=False)
+
+
+@st.composite
+def dirty_streams(draw, min_size=4, max_size=40):
+    """Streams with optional NaN and ±inf contamination."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    values = [draw(finite_values) for _ in range(n)]
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        values[draw(st.integers(min_value=0, max_value=n - 1))] = float("nan")
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        sign = 1.0 if draw(st.booleans()) else -1.0
+        values[draw(st.integers(min_value=0, max_value=n - 1))] = sign * float(
+            "inf"
+        )
+    return values
+
+
+queries_strategy = st.lists(
+    st.lists(finite_values, min_size=1, max_size=4),
+    min_size=2,
+    max_size=4,
+)
+
+
+def _spring_step_outcome(queries, epsilon, missing, stream):
+    """(matches, error message, partials) from per-value Spring.step."""
+    springs = [Spring(q, epsilon=epsilon, missing=missing) for q in queries]
+    matches = []
+    for value in stream:
+        for qi, spring in enumerate(springs):
+            try:
+                match = spring.step(value)
+            except StreamValueError as err:
+                return matches, str(err), list(err.partial_matches)
+            if match is not None:
+                matches.append(
+                    (qi, match.start, match.end, match.distance,
+                     match.output_time)
+                )
+    return matches, None, None
+
+
+def _spring_extend_outcome(queries, epsilon, missing, stream):
+    """(matches, error message, partials) from blocked Spring.extend.
+
+    Springs run sequentially (the batch API), so only the first spring
+    reaches the bad value; the others see the clean prefix.  Match
+    parity with the step loop therefore holds on the clean prefix.
+    """
+    springs = [Spring(q, epsilon=epsilon, missing=missing) for q in queries]
+    matches = []
+    for qi, spring in enumerate(springs):
+        try:
+            for match in spring.extend(stream):
+                matches.append(
+                    (qi, match.start, match.end, match.distance,
+                     match.output_time)
+                )
+        except StreamValueError as err:
+            partial = [
+                (qi, m.start, m.end, m.distance, m.output_time)
+                for m in err.partial_matches
+            ]
+            matches.extend(partial)
+            return matches, str(err), partial
+    return matches, None, None
+
+
+def _fused_outcome(queries, epsilon, missing, stream, prune_buffer,
+                   use_extend):
+    engine = FusedSpring(
+        QueryBank(queries, epsilons=epsilon),
+        missing=missing,
+        prune_buffer=prune_buffer,
+    )
+    matches = []
+    if use_extend:
+        try:
+            pairs = engine.extend(stream)
+        except StreamValueError as err:
+            partial = [
+                (qi, m.start, m.end, m.distance, m.output_time)
+                for qi, m in err.partial_matches
+            ]
+            return partial, str(err), partial
+        matches = [
+            (qi, m.start, m.end, m.distance, m.output_time)
+            for qi, m in pairs
+        ]
+        return matches, None, None
+    for value in stream:
+        try:
+            pairs = engine.step(value)
+        except StreamValueError as err:
+            return matches, str(err), list(err.partial_matches)
+        matches.extend(
+            (qi, m.start, m.end, m.distance, m.output_time)
+            for qi, m in pairs
+        )
+    return matches, None, None
+
+
+class TestPolicyResolution:
+    def test_raise_is_an_alias_for_error(self):
+        assert resolve_missing_policy("raise") == "error"
+        assert resolve_missing_policy("error") == "error"
+        assert resolve_missing_policy("skip") == "skip"
+
+    def test_unknown_policy_rejected_everywhere(self):
+        with pytest.raises(ValidationError):
+            resolve_missing_policy("drop")
+        with pytest.raises(ValidationError):
+            Spring([1.0], epsilon=1.0, missing="drop")
+        with pytest.raises(ValidationError):
+            FusedSpring(QueryBank([[1.0]]), missing="drop")
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=dirty_streams())
+    def test_classification_nan_outranks_inf(self, stream):
+        arr = np.asarray(stream, dtype=np.float64)
+        nan_rows, inf_rows = classify_rows(arr)
+        assert not (nan_rows & inf_rows).any()
+        np.testing.assert_array_equal(nan_rows, np.isnan(arr))
+        np.testing.assert_array_equal(
+            inf_rows, np.isinf(arr) & ~np.isnan(arr)
+        )
+        # inf is fatal under both policies; NaN only under "error"
+        for policy in MISSING_POLICIES:
+            stop = first_fatal(nan_rows, inf_rows, policy)
+            fatal = (
+                nan_rows | inf_rows if policy == "error" else inf_rows
+            )
+            expected = (
+                int(np.flatnonzero(fatal)[0]) if fatal.any() else len(stream)
+            )
+            assert stop == expected
+
+
+class TestPathParity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        queries=queries_strategy,
+        stream=dirty_streams(),
+        epsilon=st.floats(min_value=0.5, max_value=8.0),
+        missing=st.sampled_from(["skip", "error", "raise"]),
+        prune_buffer=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=8)
+        ),
+        use_extend=st.booleans(),
+    )
+    def test_fused_paths_match_scalar_step(
+        self, queries, stream, epsilon, missing, prune_buffer, use_extend
+    ):
+        """Fused step/extend (pruned or not) == per-value scalar loop.
+
+        The per-value loop is the semantic reference: matches on the
+        clean prefix, then the uniform error at the first fatal value.
+        ``partial_matches`` on the batch paths must equal the matches
+        emitted after the last pre-batch confirmation — here the whole
+        clean-prefix match list, since the batch spans the stream.
+        """
+        ref_matches, ref_err, _ = _spring_step_outcome(
+            queries, epsilon, missing, stream
+        )
+        got_matches, got_err, got_partial = _fused_outcome(
+            queries, epsilon, missing, stream, prune_buffer, use_extend
+        )
+        assert got_err == ref_err
+        if use_extend and ref_err is not None:
+            # the engine orders batch emissions by (tick, query); the
+            # scalar loop interleaves per value — compare as sets with
+            # both sorted by (tick, query)
+            key = lambda t: (t[4], t[0])  # noqa: E731
+            assert sorted(got_matches, key=key) == sorted(
+                ref_matches, key=key
+            )
+            assert got_partial == got_matches
+        else:
+            key = lambda t: (t[4], t[0])  # noqa: E731
+            assert sorted(got_matches, key=key) == sorted(
+                ref_matches, key=key
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        query=st.lists(finite_values, min_size=1, max_size=4),
+        stream=dirty_streams(),
+        epsilon=st.floats(min_value=0.5, max_value=8.0),
+        missing=st.sampled_from(["skip", "error", "raise"]),
+    )
+    def test_spring_extend_matches_step(
+        self, query, stream, epsilon, missing
+    ):
+        ref_matches, ref_err, _ = _spring_step_outcome(
+            [query], epsilon, missing, stream
+        )
+        got_matches, got_err, got_partial = _spring_extend_outcome(
+            [query], epsilon, missing, stream
+        )
+        assert got_err == ref_err
+        assert got_matches == ref_matches
+        if got_err is not None:
+            assert got_partial == got_matches
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        queries=queries_strategy,
+        stream=dirty_streams(),
+        epsilon=st.floats(min_value=0.5, max_value=8.0),
+        missing=st.sampled_from(["skip", "error", "raise"]),
+        prune=st.booleans(),
+    )
+    def test_monitor_push_and_push_many_agree(
+        self, queries, stream, epsilon, missing, prune
+    ):
+        """Same dispatched events and same error on both monitor paths."""
+
+        def build():
+            monitor = StreamMonitor(prune=prune, prune_buffer=8)
+            monitor.add_stream("s")
+            for i, query in enumerate(queries):
+                monitor.add_query(
+                    f"q{i}", query, epsilon=epsilon, missing=missing
+                )
+            return monitor
+
+        def sig(events):
+            return [
+                (e.query, e.match.start, e.match.end, e.match.distance,
+                 e.match.output_time)
+                for e in events
+            ]
+
+        pushed, push_err = [], None
+        monitor = build()
+        for value in stream:
+            try:
+                pushed.extend(monitor.push("s", value))
+            except StreamValueError as err:
+                assert err.partial_matches == []
+                push_err = str(err)
+                break
+
+        monitor = build()
+        try:
+            many = monitor.push_many("s", stream)
+            many_err = None
+        except StreamValueError as err:
+            many = list(err.partial_matches)
+            many_err = str(err)
+
+        assert many_err == push_err
+        assert sig(many) == sig(pushed)
+
+
+class TestNanOutranksInf:
+    """A tick that is NaN reports as NaN even when infinities abound."""
+
+    def test_error_policy_reports_nan_for_nan_tick(self):
+        for missing in ("error", "raise"):
+            spring = Spring([1.0, 2.0], epsilon=1.0, missing=missing)
+            with pytest.raises(StreamValueError, match="tick 1 is NaN"):
+                spring.extend([float("nan"), float("inf"), 1.0])
+
+    def test_inf_tick_reports_infinite_under_both_policies(self):
+        for missing in ("skip", "error"):
+            spring = Spring([1.0, 2.0], epsilon=1.0, missing=missing)
+            with pytest.raises(StreamValueError, match="tick 2 is infinite"):
+                spring.extend([1.0, float("inf"), float("nan")])
+
+    def test_fused_agrees_on_mixed_batch(self):
+        for prune_buffer in (None, 4):
+            engine = FusedSpring(
+                QueryBank([[1.0], [2.0]]),
+                missing="skip",
+                prune_buffer=prune_buffer,
+            )
+            with pytest.raises(StreamValueError, match="tick 3 is infinite"):
+                engine.extend([1.0, float("nan"), float("-inf")])

@@ -335,3 +335,70 @@ class TestNormalizedOracle:
             assert got.distance == pytest.approx(
                 want.distance, rel=1e-9, abs=1e-12
             )
+
+
+class TestPrunedEngineOracle:
+    """The lower-bound pruning cascade against the brute-force oracle.
+
+    The cascade's exactness claim (ISSUE 5) is stronger than parity
+    with the unpruned engine: here the *pruned* fused engine is held
+    directly to the oracle invariants a plain Spring satisfies, so a
+    hypothetical compensating-errors bug (pruned == unpruned but both
+    wrong) cannot slip through.  Tiny buffer capacities force the
+    deep-wake path; the warm-prefix stream shape arms the best-so-far
+    park precondition so the cascade genuinely engages.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=streams(),
+        y=queries(),
+        epsilon=epsilons,
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_full_battery(self, x, y, epsilon, capacity):
+        from repro.core import FusedSpring, QueryBank
+
+        D = brute_force_all(x, y)
+        engine = FusedSpring(
+            QueryBank([y], epsilons=epsilon), prune_buffer=capacity
+        )
+        matches = []
+        for value in x:
+            matches.extend(m for _, m in engine.step(float(value)))
+        matches.extend(m for _, m in engine.flush())
+        assert_sound(matches, D, epsilon)
+        assert_global_min_reported(matches, D, epsilon)
+        assert_complete(matches, D, epsilon)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cold=streams(min_size=6, max_size=14),
+        y=queries(),
+        epsilon=epsilons,
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    def test_full_battery_with_forced_parking(
+        self, cold, y, epsilon, capacity
+    ):
+        """Warm prefix (the query itself), then arbitrary suffix.
+
+        Feeding the query verbatim drives the best-so-far to (or near)
+        zero, satisfying the ``best_d <= epsilon`` park precondition,
+        so cold suffix values actually park the query — and the oracle
+        invariants must still hold across park, wake, and deep wake.
+        """
+        from repro.core import FusedSpring, QueryBank
+
+        x = list(y) + cold
+        D = brute_force_all(x, y)
+        engine = FusedSpring(
+            QueryBank([y], epsilons=epsilon), prune_buffer=capacity
+        )
+        matches = []
+        for value in x:
+            matches.extend(m for _, m in engine.step(float(value)))
+        matches.extend(m for _, m in engine.flush())
+        assert_sound(matches, D, epsilon)
+        assert_global_min_reported(matches, D, epsilon)
+        assert_complete(matches, D, epsilon)
