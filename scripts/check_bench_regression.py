@@ -25,6 +25,13 @@ same run:
   the pruned path, where each tick does far less work and the
   recorder's fixed per-push cost is proportionally larger; gated
   against the looser ``--max-metrics-overhead-pruned`` (default 10).
+* ``kernel_speedup_vs_numpy`` — the 64-query push workload on the best
+  available compiled kernel backend (numba or cext) vs the numpy
+  reference, measured back-to-back per round with the minimum ratio
+  gated against ``--min-kernel-speedup`` (default 5), an absolute
+  floor because the ratio is machine-independent by construction.
+  Skipped with a note when no compiled backend is available (no C
+  compiler and no numba), so numpy-only CI legs stay green.
 
 Usage::
 
@@ -89,6 +96,14 @@ def main(argv: object = None) -> int:
         "low-selectivity push path, in percent (default 10.0; looser "
         "than the unpruned ceiling because pruned ticks are ~5x "
         "cheaper, so the recorder's fixed cost weighs more)",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=5.0,
+        help="minimum compiled-backend/numpy throughput ratio on the "
+        "64-query push workload (default 5.0); skipped when no "
+        "compiled kernel backend is available",
     )
     parser.add_argument(
         "--repeats",
@@ -175,6 +190,25 @@ def main(argv: object = None) -> int:
             failed = True
         else:
             print("OK: pruned metrics overhead within budget")
+
+    kernel_speedup = report["kernel_speedup_vs_numpy"]
+    if kernel_speedup is None:
+        print("no compiled kernel backend available; skipping kernel gate")
+    else:
+        print(
+            f"kernel speedup         : {kernel_speedup:.2f}x on "
+            f"{report['kernel_backend']} "
+            f"(floor {args.min_kernel_speedup:.1f}x)"
+        )
+        if kernel_speedup < args.min_kernel_speedup:
+            print(
+                "FAIL: the compiled kernel backend delivers less than "
+                f"{args.min_kernel_speedup:.1f}x over numpy on the "
+                "64-query push workload"
+            )
+            failed = True
+        else:
+            print("OK: kernel speedup above floor")
 
     return 1 if failed else 0
 

@@ -43,6 +43,7 @@ from repro.obs.tracing import disable_tracing, enable_tracing
 #: stage name -> span names whose *self* time it owns.
 STAGES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("kernel", ("kernel.update_column", "kernel.update_columns")),
+    ("compiled kernel", ("kernel.step_bank", "kernel.extend_bank")),
     ("policy", ("policy.report",)),
     ("transform", ("transform.forward",)),
     ("cascade verify", ("cascade.verify",)),
@@ -52,11 +53,12 @@ STAGES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 
 
 def build_monitor(
-    queries: int, mixed: bool, rng: np.random.Generator
+    queries: int, mixed: bool, rng: np.random.Generator,
+    backend: str = None,
 ) -> StreamMonitor:
     """A single-stream monitor with ``queries`` fusable spring queries
     (plus one query per non-trivial kind when ``mixed``)."""
-    monitor = StreamMonitor(keep_history=False)
+    monitor = StreamMonitor(keep_history=False, backend=backend)
     monitor.add_stream("s0")
     for i in range(queries):
         query = np.cumsum(rng.normal(size=8 + 4 * (i % 4)))
@@ -78,10 +80,11 @@ def profile(
     mixed: bool,
     batch: bool,
     seed: int = 20070415,
+    backend: str = None,
 ) -> Dict[str, object]:
     """Run the traced workload; return stage and raw span aggregates."""
     rng = np.random.default_rng(seed)
-    monitor = build_monitor(queries, mixed, rng)
+    monitor = build_monitor(queries, mixed, rng, backend=backend)
     stream = [float(v) for v in np.cumsum(rng.normal(size=ticks))]
     # Warm-up outside the trace: plan construction, numpy dispatch.
     monitor.push("s0", stream[0])
@@ -136,6 +139,7 @@ def profile(
             "mixed": mixed,
             "batch": batch,
             "seed": seed,
+            "backend": monitor.backend_name,
         },
         "spans_recorded": len(tracer),
         "spans_dropped": tracer.dropped,
@@ -152,7 +156,8 @@ def render(report: Dict[str, object]) -> str:
         f"hot-path profile: {config['ticks']} ticks x "
         f"{config['queries']} queries"
         + (" (+mixed kinds)" if config["mixed"] else "")
-        + (" via push_many" if config["batch"] else " via push"),
+        + (" via push_many" if config["batch"] else " via push")
+        + f" [backend={config.get('backend', 'numpy')}]",
         f"{report['spans_recorded']} spans recorded"
         + (f", {report['spans_dropped']} dropped" if report["spans_dropped"]
            else ""),
@@ -186,9 +191,13 @@ def main(argv: object = None) -> int:
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also dump the full report (stages + raw span "
                              "totals) as JSON")
+    parser.add_argument("--backend", default=None,
+                        choices=("auto", "numpy", "numba", "cext"),
+                        help="kernel backend (default: auto)")
     args = parser.parse_args(argv)
 
-    report = profile(args.ticks, args.queries, args.mixed, args.batch)
+    report = profile(args.ticks, args.queries, args.mixed, args.batch,
+                     backend=args.backend)
     print(render(report))
     if args.json:
         with open(args.json, "w") as handle:

@@ -21,7 +21,12 @@ Commands
     With ``--checkpoint-dir`` the run goes through the supervised
     runtime: transient read errors retry with backoff, and progress is
     snapshotted atomically so ``--resume`` continues a killed run with
-    byte-identical match output.
+    byte-identical match output.  ``--backend`` picks the kernel
+    backend (``auto`` by default; matches are bit-identical across
+    backends).
+``backends``
+    List the kernel backends this installation can use, with priority
+    and the availability reason, and which one ``auto`` selects.
 """
 
 from __future__ import annotations
@@ -130,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--prune-buffer", type=int, default=1024,
                      help="replay-buffer capacity per stream for the "
                           "admission cascade (default 1024)")
+    mon.add_argument("--backend", default=None,
+                     choices=("auto", "numpy", "numba", "cext"),
+                     help="kernel backend for the column recurrence "
+                          "(default: auto = best available; matches "
+                          "are bit-identical across backends)")
+
+    sub.add_parser(
+        "backends",
+        help="list kernel backends (availability, priority, auto choice)",
+    )
     return parser
 
 
@@ -228,12 +243,14 @@ def _run_monitor_supervised(
         runner = SupervisedRunner.resume(
             [source], manager, checkpoint_every=args.checkpoint_every,
             prune=not args.no_prune, prune_buffer=args.prune_buffer,
+            backend=args.backend,
         )
         print(f"resumed from snapshot at tick {runner.resumed_from}")
     else:
         monitor = StreamMonitor(keep_history=False,
                                 prune=not args.no_prune,
-                                prune_buffer=args.prune_buffer)
+                                prune_buffer=args.prune_buffer,
+                                backend=args.backend)
         for name, query in queries.items():
             monitor.add_query(name, query, epsilon=args.epsilon,
                               matcher=args.matcher, **_matcher_kwargs(args))
@@ -331,6 +348,15 @@ def _run_monitor(args: argparse.Namespace) -> int:
     (query,) = queries.values()
     matcher = build_matcher(args.matcher, query, epsilon=args.epsilon,
                             **_matcher_kwargs(args))
+    if args.backend is not None:
+        # Validate the choice even when this matcher kind has no
+        # backend hook (explicit-but-unavailable must fail loudly).
+        from repro.core.backends import resolve_backend
+
+        backend = resolve_backend(args.backend)
+        set_backend = getattr(matcher, "set_backend", None)
+        if callable(set_backend):
+            set_backend(backend)
     source = CsvSource(args.stream_csv, columns=args.column,
                        skip_header=not args.no_header,
                        strict=args.strict_csv)
@@ -372,7 +398,8 @@ def _run_monitor_metrics(
 
     monitor = StreamMonitor(keep_history=False,
                             prune=not args.no_prune,
-                            prune_buffer=args.prune_buffer)
+                            prune_buffer=args.prune_buffer,
+                            backend=args.backend)
     write_metrics = None
     every = max(1, args.metrics_every)
     if args.metrics_out is not None:
@@ -419,6 +446,22 @@ def _run_monitor_metrics(
     return 0
 
 
+def _run_backends() -> int:
+    """Print the kernel-backend registry and what ``auto`` selects."""
+    from repro.core.backends import backend_infos, resolve_backend
+
+    auto = resolve_backend("auto")
+    print(f"auto selects: {auto.name}")
+    for info in backend_infos():
+        status = "available" if info.available else "unavailable"
+        kind = "compiled" if info.compiled else "reference"
+        print(
+            f"  {info.name:<6} priority={info.priority:<3} {kind:<9} "
+            f"{status}: {info.detail}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     # Ensure all experiments are registered before dispatch.
@@ -429,6 +472,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in list_experiments():
             print(name)
         return 0
+    if args.command == "backends":
+        return _run_backends()
     if args.command == "monitor":
         return _run_monitor(args)
     if args.command == "generate":

@@ -1,0 +1,836 @@
+"""Compiled C backend: the four hot kernels as native code via ctypes.
+
+The numba backend is the primary compiled tier, but it needs a package
+the deployment may not ship.  This backend needs only what almost every
+host already has — a C compiler — and the standard library: the kernel
+source below is compiled to a shared object on first use (cached on
+disk, keyed by a hash of source and flags) and loaded with ``ctypes``.
+No third-party dependency, no build step at install time; when no
+compiler is present the registry simply reports the backend
+unavailable and selection falls back.
+
+**Bit-exactness.**  The C kernels replicate the NumPy min-plus scan of
+:func:`repro.core.state.update_columns` operation for operation:
+
+* the vertical/diagonal choice uses ``vertical <= diagonal`` (vertical
+  wins ties), false for NaN, exactly like ``np.where(v <= d, ...)``;
+* the running prefix minimum takes a new minimum only on strict ``<``
+  (earliest argmin on ties = horizontal continuation, Equation 5) and
+  adopts NaN exactly when ``np.minimum`` would (first NaN sticks);
+* cells where the horizontal run ends keep the exact ``e_i`` rather
+  than the round-tripped ``(e_i - C_i) + C_i``, same as the NumPy
+  ``np.where(source == indices, e, c_sum + running)``;
+* compilation runs with ``-ffp-contract=off`` so no multiply-add is
+  fused — an FMA rounds once where NumPy's separate ufuncs round
+  twice, which would break bit parity on the cumulative-sum trick;
+* local costs for the bank kernel inline the named distances over the
+  trailing length-1 axis (``(x-y)**2`` / ``|x-y|``), which is the
+  identity reduction NumPy performs for scalar streams.
+
+One deliberate carve-out: when an addition has **two** NaN operands the
+IEEE result is "a NaN" with an unspecified payload, and NumPy itself
+propagates *different* payloads for the same input depending on array
+shape (its SIMD main loops keep one operand's bits, its scalar tails
+the other's).  No reimplementation can match that per element, so the
+contract is: exact bits for every non-NaN cell, exact NaN *placement*,
+NaN payloads unspecified.  This is observationally invisible — every
+consumer of ``d`` compares (false for any NaN), confirmed matches are
+never NaN, and checkpoints serialise NaN as a payload-less token.  Note
+the fused bank path never even produces NaN in ``d``: stream values are
+validated finite, so costs and their cumulative sums are finite and
+the recurrence stays in ``{finite, +inf}``.
+
+**Speed.**  Straightforward scalar C compiles to compare-and-branch
+selects (GCC emits ``comisd``/``jnb`` even for ternaries at ``-O2``),
+which the data-dependent tie pattern of the recurrence mispredicts
+into ~13 ns/cell.  The bank sweep therefore walks the column dimension
+outermost over a *transposed* copy of the query bank and processes two
+queries per 128-bit SSE2 vector, expressing every select as a compare
+mask plus bitwise blend (``cmple/cmplt/cmpord`` + ``and/andnot/or``)
+that never leaves the SIMD domain — branch-free, ~2.5 ns/cell, and
+bit-identical because mask blends select operand bits verbatim.  A
+scalar branch-free fallback (`row_sweep_one`) handles odd tails and
+non-SSE2 targets.
+
+A self-test at load time re-derives a column update on an adversarial
+case (ties, infinities, NaN costs, NaN already in ``d``) and compares
+*bytes* (after canonicalising NaN payloads) against the NumPy
+reference; any mismatch marks the backend unavailable rather than
+risking silent drift on an exotic platform.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backends.base import BankKernel, KernelBackend
+from repro.core.state import SpringState, update_columns
+from repro.dtw.lower_bounds import lb_corridor as _np_lb_corridor
+from repro.exceptions import ValidationError
+
+__all__ = ["CExtBackend", "probe"]
+
+#: Distance-kind codes shared with the C source.
+_KIND_CODES = {"squared": 0, "absolute": 1}
+
+# Parameter-block slots (int64 each): constants and array base addresses
+# an engine-bound kernel needs.  One block per kernel, built once at
+# bind time, so a step call marshals four scalars instead of twenty
+# arrays.  Must mirror the PP_* defines in the C source.
+_PP_KIND = 0  # 0 squared, 1 absolute
+_PP_Q = 1
+_PP_MMAX = 2
+_PP_Y = 3  # double*  (Q, m_max) query bank
+_PP_MLEN = 4  # int64_t* (Q,) true query lengths
+_PP_EPS = 5  # double*  (Q,) thresholds
+_PP_D = 6  # double*  (Q, m_max+1) distance columns
+_PP_S = 7  # int64_t* (Q, m_max+1) start columns
+_PP_TICKS = 8  # int64_t* (Q,) applied ticks
+_PP_DMIN = 9  # double*  (Q,) held optimum distance
+_PP_TS = 10  # int64_t* (Q,) held optimum start
+_PP_TE = 11  # int64_t* (Q,) held optimum end
+_PP_BEST_D = 12  # double*  (Q,) best-so-far distance
+_PP_BEST_S = 13  # int64_t* (Q,) best-so-far start
+_PP_BEST_E = 14  # int64_t* (Q,) best-so-far end
+_PP_EMIT_CAP = 15
+_PP_EMIT_Q = 16  # int64_t* emission ring: query index
+_PP_EMIT_D = 17  # double*  emission ring: distance
+_PP_EMIT_TS = 18  # int64_t* emission ring: start
+_PP_EMIT_TE = 19  # int64_t* emission ring: end
+_PP_EMIT_T = 20  # int64_t* emission ring: output time
+_PP_SCR_F = 21  # double*  (3Q,) column-sweep chain state (csum/running/diag)
+_PP_SCR_I = 22  # int64_t* (3Q,) column-sweep chain state (src/start/diag_s)
+_PP_YT = 23  # double*  (m_max, Q) transposed query bank (vector sweep)
+_PP_SLOTS = 24
+
+_SOURCE = r"""
+/* SPRING hot kernels — bit-exact C replication of the NumPy min-plus
+ * scan (see repro/core/state.py) plus the fused Figure-4 report logic
+ * (see repro/core/fused.py).  Compile with -ffp-contract=off: fused
+ * multiply-adds round differently from NumPy's separate ufuncs.
+ *
+ * All pointers cross the ctypes boundary as int64_t addresses so the
+ * Python-side declarations stay uniform on LP64 platforms.
+ */
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+#ifdef __SSE2__
+#include <emmintrin.h>
+#endif
+
+#define PP_KIND 0
+#define PP_Q 1
+#define PP_MMAX 2
+#define PP_Y 3
+#define PP_MLEN 4
+#define PP_EPS 5
+#define PP_D 6
+#define PP_S 7
+#define PP_TICKS 8
+#define PP_DMIN 9
+#define PP_TS 10
+#define PP_TE 11
+#define PP_BEST_D 12
+#define PP_BEST_S 13
+#define PP_BEST_E 14
+#define PP_EMIT_CAP 15
+#define PP_EMIT_Q 16
+#define PP_EMIT_D 17
+#define PP_EMIT_TS 18
+#define PP_EMIT_TE 19
+#define PP_EMIT_T 20
+#define PP_SCR_F 21
+#define PP_SCR_I 22
+#define PP_YT 23
+
+#define DPTR(a) ((double *)(intptr_t)(a))
+#define IPTR(a) ((int64_t *)(intptr_t)(a))
+
+static double local_cost(int64_t kind, double x, double y) {
+    double t = x - y;
+    return kind == 0 ? t * t : fabs(t);
+}
+
+/* cond-mask ? a : b, branch-free and bit-exact: the selects in the
+ * recurrence are data-dependent and unpredictable, so branches cost a
+ * mispredict per cell; blending through the integer domain selects the
+ * exact bit pattern without ever re-deriving a value.  `m` is all-ones
+ * or all-zero (from -(int64_t)(cond)). */
+static inline double dsel(int64_t m, double a, double b) {
+    uint64_t ua, ub, ur;
+    memcpy(&ua, &a, 8);
+    memcpy(&ub, &b, 8);
+    ur = (ua & (uint64_t)m) | (ub & ~(uint64_t)m);
+    memcpy(&a, &ur, 8);
+    return a;
+}
+
+static inline int64_t isel(int64_t m, int64_t a, int64_t b) {
+    return (a & m) | (b & ~m);
+}
+
+/* Out-of-place column update for one query row: the exact NumPy
+ * update_column(s) semantics.  `dp`/`sp` are the previous column
+ * (m+1 cells incl. the star row), `dn`/`sn` the fresh outputs. */
+static void row_update(const double *dp, const int64_t *sp,
+                       const double *cost, int64_t m, int64_t tick,
+                       double *dn, int64_t *sn) {
+    dn[0] = 0.0;
+    sn[0] = tick + 1;
+    double csum = 0.0, running = 0.0;
+    int64_t src = 0, start_src = 0;
+    for (int64_t j = 0; j < m; j++) {
+        double c = cost[j];
+        double e;
+        int64_t vs;
+        if (j == 0) {
+            /* e[0] = cost[0], vd_start[0] = tick: the horizontal-first
+             * star-row entry always wins row 1. */
+            e = c;
+            vs = tick;
+            csum = c;
+            running = e - csum;
+            src = 0;
+            start_src = vs;
+            dn[1] = e; /* src == 0: keep the exact e */
+            sn[1] = vs;
+            continue;
+        }
+        double v = dp[j + 1], dg = dp[j];
+        /* `v <= dg` is false for NaN, routing NaN to the diagonal
+         * operand exactly like np.where(v <= d, v, d). */
+        int64_t take_v = -(int64_t)(v <= dg);
+        e = c + dsel(take_v, v, dg);
+        vs = isel(take_v, sp[j + 1], sp[j]);
+        csum += c;
+        double g = e - csum;
+        /* np.minimum.accumulate: strict < moves the argmin (earliest
+         * argmin on ties, Equation 5); a NaN g poisons a finite running
+         * minimum (first NaN sticks) without moving it. */
+        int64_t new_min = -(int64_t)(g < running);
+        int64_t poison = -(int64_t)((running == running) & (g != g));
+        running = dsel(new_min | poison, g, running);
+        src = isel(new_min, j, src);
+        start_src = isel(new_min, vs, start_src);
+        /* src == j exactly when this cell became the new minimum */
+        dn[j + 1] = dsel(new_min, e, csum + running);
+        sn[j + 1] = start_src;
+    }
+}
+
+/* In-place column update for one query row, the whole recurrence in
+ * registers.  Used for odd-row tails of the vector sweep and as the
+ * building block of the portable fallback. */
+static void row_sweep_one(const int64_t *pp, double x, int64_t qi) {
+    int64_t mmax = pp[PP_MMAX];
+    int64_t stride = mmax + 1;
+    double *d = DPTR(pp[PP_D]) + qi * stride;
+    int64_t *s = IPTR(pp[PP_S]) + qi * stride;
+    const double *y = DPTR(pp[PP_Y]) + qi * mmax;
+    int64_t kind = pp[PP_KIND];
+    int64_t tick = ++IPTR(pp[PP_TICKS])[qi];
+
+    double diag = d[1]; /* previous column's cell 1: j = 1's diagonal */
+    int64_t diag_s = s[1];
+    d[0] = 0.0;
+    s[0] = tick + 1;
+    /* j == 0: e = cost, start = tick (star-row entry wins row 1). */
+    double c0 = local_cost(kind, x, y[0]);
+    double csum = c0;
+    double running = c0 - c0; /* e - csum; 0.0, or NaN for infinite cost */
+    int64_t src = 0, start_src = tick;
+    d[1] = c0; /* src == j: keep the exact e */
+    s[1] = tick;
+    for (int64_t j = 1; j < mmax; j++) {
+        double c = local_cost(kind, x, y[j]);
+        double v = d[j + 1];
+        int64_t sv = s[j + 1];
+        int64_t take_v = -(int64_t)(v <= diag);
+        double e = c + dsel(take_v, v, diag);
+        int64_t vs = isel(take_v, sv, diag_s);
+        csum += c;
+        double g = e - csum;
+        int64_t new_min = -(int64_t)(g < running);
+        int64_t poison = -(int64_t)((running == running) & (g != g));
+        running = dsel(new_min | poison, g, running);
+        src = isel(new_min, j, src);
+        start_src = isel(new_min, vs, start_src);
+        diag = v;
+        diag_s = sv;
+        d[j + 1] = dsel(new_min, e, csum + running);
+        s[j + 1] = start_src;
+    }
+    (void)src;
+}
+
+/* In-place column update for the whole bank (or a row subset), swept
+ * column-by-column with the per-row scan state (cumulative cost,
+ * running minimum, argmin, saved diagonal) spilled to scratch arrays.
+ * Sweeping j in the outer loop makes the Q scan chains independent in
+ * the inner loop, so the serial (csum, running) dependency of one row
+ * no longer bounds throughput; on x86-64 the inner loop runs two rows
+ * per 128-bit vector with the compare masks and blends staying in the
+ * SIMD domain (branch-free: the selects are unpredictable, and the
+ * lane-wise cmple/cmplt/cmpord semantics are exactly NumPy's — false
+ * for NaN, strict < for new minima, bitwise-exact blends).  Also
+ * increments the tick counters. */
+static void bank_update_sweep(const int64_t *pp, double x, int64_t nrows,
+                              const int64_t *rows) {
+    int64_t q = pp[PP_Q], mmax = pp[PP_MMAX];
+    int64_t n = rows ? nrows : q;
+#ifndef __SSE2__
+    for (int64_t r = 0; r < n; r++) {
+        row_sweep_one(pp, x, rows ? rows[r] : r);
+    }
+#else
+    int64_t stride = mmax + 1;
+    double *dd = DPTR(pp[PP_D]);
+    int64_t *ss = IPTR(pp[PP_S]);
+    int64_t *ticks = IPTR(pp[PP_TICKS]);
+    const double *yt = DPTR(pp[PP_YT]); /* (m_max, q) transposed bank */
+    int64_t kind = pp[PP_KIND];
+    double *csum = DPTR(pp[PP_SCR_F]);
+    double *running = csum + q;
+    double *diag_d = csum + 2 * q;
+    int64_t *src = IPTR(pp[PP_SCR_I]);
+    int64_t *start_src = src + q;
+    int64_t *diag_s = src + 2 * q;
+    int64_t npair = n & ~(int64_t)1;
+
+    /* j == 0: e = cost, start = tick (star-row entry wins row 1). */
+    for (int64_t r = 0; r < npair; r++) {
+        int64_t qi = rows ? rows[r] : r;
+        int64_t tick = ++ticks[qi];
+        double *d = dd + qi * stride;
+        int64_t *s = ss + qi * stride;
+        diag_d[r] = d[1]; /* previous column's cell 1: j = 1's diagonal */
+        diag_s[r] = s[1];
+        d[0] = 0.0;
+        s[0] = tick + 1;
+        double c = local_cost(kind, x, yt[qi]);
+        csum[r] = c;
+        running[r] = c - c; /* e - csum; 0.0, or NaN for infinite cost */
+        src[r] = 0;
+        start_src[r] = tick;
+        d[1] = c; /* src == j: keep the exact e */
+        s[1] = tick;
+    }
+    const __m128d xv = _mm_set1_pd(x);
+    const __m128d sign = _mm_set1_pd(-0.0);
+    for (int64_t j = 1; j < mmax; j++) {
+        const double *yrow = yt + j * q;
+        const __m128d jv = _mm_castsi128_pd(_mm_set1_epi64x(j));
+        for (int64_t r = 0; r < npair; r += 2) {
+            int64_t qi0 = rows ? rows[r] : r;
+            int64_t qi1 = rows ? rows[r + 1] : r + 1;
+            double *d0 = dd + qi0 * stride + j + 1;
+            double *d1 = dd + qi1 * stride + j + 1;
+            int64_t *s0 = ss + qi0 * stride + j + 1;
+            int64_t *s1 = ss + qi1 * stride + j + 1;
+            __m128d t = _mm_sub_pd(
+                xv, _mm_loadh_pd(_mm_load_sd(yrow + qi0), yrow + qi1));
+            __m128d c = kind == 0 ? _mm_mul_pd(t, t) : _mm_andnot_pd(sign, t);
+            __m128d v = _mm_loadh_pd(_mm_load_sd(d0), d1);
+            __m128d sv = _mm_castsi128_pd(_mm_unpacklo_epi64(
+                _mm_loadl_epi64((const __m128i *)s0),
+                _mm_loadl_epi64((const __m128i *)s1)));
+            __m128d dg = _mm_loadu_pd(diag_d + r);
+            __m128d dgs = _mm_castsi128_pd(
+                _mm_loadu_si128((const __m128i *)(diag_s + r)));
+            /* vertical <= diagonal: vertical wins ties, false for NaN */
+            __m128d take = _mm_cmple_pd(v, dg);
+            __m128d e = _mm_add_pd(
+                c, _mm_or_pd(_mm_and_pd(take, v), _mm_andnot_pd(take, dg)));
+            __m128d vs =
+                _mm_or_pd(_mm_and_pd(take, sv), _mm_andnot_pd(take, dgs));
+            __m128d cs = _mm_add_pd(_mm_loadu_pd(csum + r), c);
+            _mm_storeu_pd(csum + r, cs);
+            __m128d g = _mm_sub_pd(e, cs);
+            __m128d run = _mm_loadu_pd(running + r);
+            /* np.minimum.accumulate: strict < moves the argmin; a NaN
+             * g poisons a finite running minimum without moving it. */
+            __m128d nm = _mm_cmplt_pd(g, run);
+            __m128d po =
+                _mm_and_pd(_mm_cmpord_pd(run, run), _mm_cmpunord_pd(g, g));
+            __m128d adopt = _mm_or_pd(nm, po);
+            __m128d newrun =
+                _mm_or_pd(_mm_and_pd(adopt, g), _mm_andnot_pd(adopt, run));
+            _mm_storeu_pd(running + r, newrun);
+            __m128d srcv = _mm_castsi128_pd(
+                _mm_loadu_si128((const __m128i *)(src + r)));
+            srcv = _mm_or_pd(_mm_and_pd(nm, jv), _mm_andnot_pd(nm, srcv));
+            _mm_storeu_si128((__m128i *)(src + r), _mm_castpd_si128(srcv));
+            __m128d ssv = _mm_castsi128_pd(
+                _mm_loadu_si128((const __m128i *)(start_src + r)));
+            ssv = _mm_or_pd(_mm_and_pd(nm, vs), _mm_andnot_pd(nm, ssv));
+            _mm_storeu_si128((__m128i *)(start_src + r), _mm_castpd_si128(ssv));
+            _mm_storeu_pd(diag_d + r, v);
+            _mm_storeu_si128((__m128i *)(diag_s + r), _mm_castpd_si128(sv));
+            /* src == j exactly when this cell became the new minimum */
+            __m128d dnew = _mm_or_pd(
+                _mm_and_pd(nm, e), _mm_andnot_pd(nm, _mm_add_pd(cs, newrun)));
+            _mm_storel_pd(d0, dnew);
+            _mm_storeh_pd(d1, dnew);
+            __m128i ssi = _mm_castpd_si128(ssv);
+            _mm_storel_epi64((__m128i *)s0, ssi);
+            _mm_storel_epi64((__m128i *)s1, _mm_unpackhi_epi64(ssi, ssi));
+        }
+    }
+    if (n & 1) {
+        row_sweep_one(pp, x, rows ? rows[n - 1] : n - 1);
+    }
+#endif
+}
+
+/* Figure-4 report logic for one query row, identical decision order to
+ * FusedSpring._report_logic: emit a blocked pending optimum (Equation
+ * 9), reset, then capture / track the best from the updated d_m.
+ * Returns the updated emission count. */
+static int64_t row_report(const int64_t *pp, int64_t qi, int64_t n_emit) {
+    int64_t mmax = pp[PP_MMAX];
+    int64_t stride = mmax + 1;
+    double *d = DPTR(pp[PP_D]) + qi * stride;
+    int64_t *s = IPTR(pp[PP_S]) + qi * stride;
+    int64_t mlen = IPTR(pp[PP_MLEN])[qi];
+    double eps = DPTR(pp[PP_EPS])[qi];
+    double *dmin = DPTR(pp[PP_DMIN]) + qi;
+    int64_t *ts = IPTR(pp[PP_TS]) + qi;
+    int64_t *te = IPTR(pp[PP_TE]) + qi;
+    double *bd = DPTR(pp[PP_BEST_D]) + qi;
+    int64_t *bs = IPTR(pp[PP_BEST_S]) + qi;
+    int64_t *be = IPTR(pp[PP_BEST_E]) + qi;
+    int64_t tick = IPTR(pp[PP_TICKS])[qi];
+
+    double dm0 = *dmin;
+    if (isfinite(dm0) && dm0 <= eps) {
+        /* Equation 9 over the valid cells 1..m_q; padded cells are
+         * always blocked by construction (the NumPy path masks them).
+         * Branch-free accumulation: the per-cell outcome is
+         * unpredictable, and the scan is short enough that finishing
+         * it beats mispredicting an early exit.  `dm0 <= d[c]` is
+         * d[c] >= dm0 with NumPy's false-for-NaN semantics. */
+        int64_t blocked_all = 1;
+        int64_t te_v0 = *te;
+        for (int64_t c = 1; c <= mlen; c++) {
+            blocked_all &= (int64_t)((dm0 <= d[c]) | (s[c] > te_v0));
+        }
+        if (blocked_all) {
+            if (n_emit < pp[PP_EMIT_CAP]) {
+                IPTR(pp[PP_EMIT_Q])[n_emit] = qi;
+                DPTR(pp[PP_EMIT_D])[n_emit] = dm0;
+                IPTR(pp[PP_EMIT_TS])[n_emit] = *ts;
+                IPTR(pp[PP_EMIT_TE])[n_emit] = *te;
+                IPTR(pp[PP_EMIT_T])[n_emit] = tick;
+                n_emit++;
+            }
+            /* Reset: forget the reported optimum and kill every path
+             * that started inside it (the NumPy reset spans all m_max
+             * cells, padded region included, keeping columns
+             * bit-identical across backends). */
+            int64_t te_v = *te;
+            *dmin = HUGE_VAL;
+            for (int64_t c = 1; c <= mmax; c++) {
+                if (s[c] <= te_v) d[c] = HUGE_VAL;
+            }
+        }
+    }
+    double d_m = d[mlen];
+    int64_t s_m = s[mlen];
+    if (d_m <= eps && d_m < *dmin) {
+        *dmin = d_m; *ts = s_m; *te = tick;
+    }
+    if (d_m < *bd) {
+        *bd = d_m; *bs = s_m; *be = tick;
+    }
+    return n_emit;
+}
+
+/* One stream tick for all queries (rows_addr == 0) or a hot subset
+ * (ascending row indices).  Increments the tick counters itself.
+ * Returns the number of buffered emissions. */
+int64_t spring_step_bank(int64_t pp_addr, double x, int64_t nrows,
+                         int64_t rows_addr) {
+    const int64_t *pp = IPTR(pp_addr);
+    const int64_t *rows = rows_addr ? IPTR(rows_addr) : 0;
+    int64_t n = rows ? nrows : pp[PP_Q];
+    bank_update_sweep(pp, x, nrows, rows);
+    int64_t n_emit = 0;
+    for (int64_t r = 0; r < n; r++) {
+        int64_t qi = rows ? rows[r] : r;
+        n_emit = row_report(pp, qi, n_emit);
+    }
+    return n_emit;
+}
+
+/* A block of stream ticks for all queries.  skip[t] != 0 advances time
+ * without a column update (the missing="skip" policy).  Stops early
+ * when the emission buffer could not hold another full tick; returns
+ * the number of ticks consumed and writes the emission count. */
+int64_t spring_extend_bank(int64_t pp_addr, int64_t xs_addr,
+                           int64_t skip_addr, int64_t n,
+                           int64_t n_emit_addr) {
+    const int64_t *pp = IPTR(pp_addr);
+    int64_t q = pp[PP_Q];
+    int64_t *ticks = IPTR(pp[PP_TICKS]);
+    const double *xs = DPTR(xs_addr);
+    const unsigned char *skip = (const unsigned char *)(intptr_t)skip_addr;
+    int64_t emit_cap = pp[PP_EMIT_CAP];
+    int64_t n_emit = 0;
+    int64_t t = 0;
+    for (; t < n; t++) {
+        if (n_emit + q > emit_cap) break;
+        if (skip[t]) {
+            for (int64_t qi = 0; qi < q; qi++) ticks[qi]++;
+            continue;
+        }
+        bank_update_sweep(pp, xs[t], 0, 0);
+        for (int64_t qi = 0; qi < q; qi++) {
+            n_emit = row_report(pp, qi, n_emit);
+        }
+    }
+    IPTR(n_emit_addr)[0] = n_emit;
+    return t;
+}
+
+/* Generic out-of-place column update: repro.core.state.update_columns
+ * for pre-computed (Q, m) costs and per-row ticks. */
+void spring_update_columns(int64_t q, int64_t m, int64_t d_in, int64_t s_in,
+                           int64_t cost, int64_t ticks, int64_t d_out,
+                           int64_t s_out) {
+    const double *dp = DPTR(d_in);
+    const int64_t *sp = IPTR(s_in);
+    const double *cc = DPTR(cost);
+    const int64_t *tk = IPTR(ticks);
+    double *dn = DPTR(d_out);
+    int64_t *sn = IPTR(s_out);
+    int64_t stride = m + 1;
+    for (int64_t r = 0; r < q; r++) {
+        row_update(dp + r * stride, sp + r * stride, cc + r * m, m, tk[r],
+                   dn + r * stride, sn + r * stride);
+    }
+}
+
+/* Scalar-engine column update: repro.core.state.update_column. */
+void spring_update_column(int64_t m, int64_t d_in, int64_t s_in,
+                          int64_t cost, int64_t tick, int64_t d_out,
+                          int64_t s_out) {
+    row_update(DPTR(d_in), IPTR(s_in), DPTR(cost), m, tick, DPTR(d_out),
+               IPTR(s_out));
+}
+
+/* Corridor admission bound: repro.dtw.lower_bounds.lb_corridor for a
+ * scalar x against per-query corridors.  max-then-min clamp == np.clip. */
+void spring_lb_corridor(double x, int64_t lo_addr, int64_t hi_addr,
+                        int64_t q, int64_t kind, int64_t out_addr) {
+    const double *lo = DPTR(lo_addr);
+    const double *hi = DPTR(hi_addr);
+    double *out = DPTR(out_addr);
+    for (int64_t i = 0; i < q; i++) {
+        double cl = x;
+        if (cl < lo[i]) cl = lo[i];
+        if (cl > hi[i]) cl = hi[i];
+        double delta = x - cl;
+        out[i] = kind == 0 ? delta * delta : fabs(delta);
+    }
+}
+"""
+
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+
+def _find_compiler() -> Optional[str]:
+    override = os.environ.get("REPRO_CC")
+    candidates = [override] if override else []
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        if cand:
+            path = shutil.which(cand)
+            if path:
+                return path
+    return None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_CEXT_CACHE")
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-cext-{uid}")
+
+
+def _build_library(compiler: str) -> Tuple[ctypes.CDLL, str]:
+    """Compile (or reuse) the kernel shared object and load it."""
+    digest = hashlib.sha256(
+        (_SOURCE + "\0" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    os.makedirs(cache, mode=0o700, exist_ok=True)
+    so_path = os.path.join(cache, f"spring-kernels-{digest}.so")
+    if not os.path.exists(so_path):
+        src_path = os.path.join(cache, f"spring-kernels-{digest}.c")
+        tmp_path = f"{so_path}.{os.getpid()}.tmp"
+        with open(src_path, "w") as handle:
+            handle.write(_SOURCE)
+        cmd = [compiler, *_CFLAGS, src_path, "-o", tmp_path, "-lm"]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout or "").strip()[-400:]
+            raise RuntimeError(f"kernel compilation failed: {tail}")
+        os.replace(tmp_path, so_path)  # atomic under concurrent builds
+        detail = f"compiled with {os.path.basename(compiler)}"
+    else:
+        detail = "reused cached build"
+    lib = ctypes.CDLL(so_path)
+    i64, f64 = ctypes.c_int64, ctypes.c_double
+    lib.spring_step_bank.restype = i64
+    lib.spring_step_bank.argtypes = [i64, f64, i64, i64]
+    lib.spring_extend_bank.restype = i64
+    lib.spring_extend_bank.argtypes = [i64, i64, i64, i64, i64]
+    lib.spring_update_columns.restype = None
+    lib.spring_update_columns.argtypes = [i64] * 8
+    lib.spring_update_column.restype = None
+    lib.spring_update_column.argtypes = [i64] * 7
+    lib.spring_lb_corridor.restype = None
+    lib.spring_lb_corridor.argtypes = [f64, i64, i64, i64, i64, i64]
+    return lib, f"{detail} ({so_path})"
+
+
+def _self_test(backend: "CExtBackend") -> None:
+    """Byte-compare one adversarial column update against NumPy.
+
+    Covers ties (vertical == diagonal, repeated running minima),
+    infinities from resets, NaN cost poisoning, mixed ticks, and
+    both-NaN additions.  The comparison is byte-exact after NaN
+    *payloads* are canonicalised: NumPy's own payload bits for a
+    both-NaN add depend on which SIMD loop the shape dispatches to, so
+    the contract is exact bits for every non-NaN cell and exact NaN
+    placement (payloads are observationally irrelevant — every consumer
+    compares, and comparisons are false for any NaN).  Raises on any
+    mismatch.
+    """
+    d = np.array(
+        [
+            [0.0, 1.0, 1.0, np.inf, 2.5, 0.125],
+            [0.0, np.inf, np.inf, np.inf, np.inf, np.inf],
+            [0.0, 0.5, 0.5, 0.5, 0.5, 0.5],
+            [0.0, 1.0, np.nan, np.inf, np.nan, 0.25],
+        ]
+    )
+    s = np.array(
+        [
+            [7, 3, 3, 1, 2, 6],
+            [4, 0, 0, 0, 0, 0],
+            [9, 8, 8, 8, 8, 8],
+            [5, 2, 2, 3, 3, 4],
+        ],
+        dtype=np.int64,
+    )
+    cost = np.array(
+        [
+            [0.25, 0.25, 0.25, 4.0, 0.0],
+            [1.0, np.nan, 2.0, 0.5, 0.5],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [np.inf, np.nan, np.nan, 1.0, np.nan],
+        ]
+    )
+    ticks = np.array([7, 4, 9, 2], dtype=np.int64)
+    with np.errstate(invalid="ignore"):  # NaN costs warn in the reference
+        want_d, want_s = update_columns(d, s, cost, ticks)
+    got_d, got_s = backend.update_columns(d, s, cost, ticks)
+    want_d, got_d = want_d.copy(), got_d.copy()
+    want_d[np.isnan(want_d)] = np.nan  # canonical payload
+    got_d[np.isnan(got_d)] = np.nan
+    if want_d.tobytes() != got_d.tobytes() or want_s.tobytes() != got_s.tobytes():
+        raise RuntimeError("compiled column update diverges from numpy")
+    lo = np.array([-1.0, 0.5, 2.0])
+    hi = np.array([1.0, 0.75, 2.0])
+    for kind in ("squared", "absolute"):
+        want = _np_lb_corridor(3.5, lo, hi, kind)
+        got = backend.lb_corridor(3.5, lo, hi, kind)
+        if np.asarray(want).tobytes() != got.tobytes():
+            raise RuntimeError("compiled corridor bound diverges from numpy")
+
+
+class _CExtBankKernel(BankKernel):
+    """Fused-step kernel bound to one ``FusedSpring`` via a param block."""
+
+    __slots__ = ("_lib", "_q", "_pp", "_pp_addr", "_scr_f", "_scr_i", "_yt")
+
+    def __init__(self, lib: ctypes.CDLL, engine) -> None:
+        bank = engine.bank
+        super().__init__(bank.q)
+        self._lib = lib
+        self._q = bank.q
+        self._scr_f = np.empty(3 * bank.q, dtype=np.float64)
+        self._scr_i = np.empty(3 * bank.q, dtype=np.int64)
+        # Transposed copy of the (zero-padded) query bank for the
+        # vectorised column sweep: adjacent rows sit in adjacent lanes.
+        self._yt = np.ascontiguousarray(bank.padded[:, :, 0].T)
+        pp = np.zeros(_PP_SLOTS, dtype=np.int64)
+        pp[_PP_KIND] = _KIND_CODES[engine._prune_kind]
+        pp[_PP_Q] = bank.q
+        pp[_PP_MMAX] = bank.m_max
+        # Addresses are cached for the kernel's lifetime: the engine
+        # never rebinds its master arrays while a kernel is attached.
+        for slot, arr in (
+            (_PP_Y, bank.padded),
+            (_PP_MLEN, bank.lengths),
+            (_PP_EPS, bank.epsilons),
+            (_PP_D, engine._d),
+            (_PP_S, engine._s),
+            (_PP_TICKS, engine._ticks),
+            (_PP_DMIN, engine._dmin),
+            (_PP_TS, engine._ts),
+            (_PP_TE, engine._te),
+            (_PP_BEST_D, engine._best_d),
+            (_PP_BEST_S, engine._best_s),
+            (_PP_BEST_E, engine._best_e),
+            (_PP_EMIT_Q, self._emit_q),
+            (_PP_EMIT_D, self._emit_d),
+            (_PP_EMIT_TS, self._emit_ts),
+            (_PP_EMIT_TE, self._emit_te),
+            (_PP_EMIT_T, self._emit_t),
+            (_PP_SCR_F, self._scr_f),
+            (_PP_SCR_I, self._scr_i),
+            (_PP_YT, self._yt),
+        ):
+            if not arr.flags["C_CONTIGUOUS"]:  # pragma: no cover - invariant
+                raise ValidationError("bank kernel requires contiguous arrays")
+            pp[slot] = arr.ctypes.data
+        pp[_PP_EMIT_CAP] = self.emit_capacity
+        self._pp = pp  # keeps the block alive; addresses stay valid
+        self._pp_addr = int(pp.ctypes.data)
+
+    def step(self, x: float):
+        n = self._lib.spring_step_bank(self._pp_addr, x, 0, 0)
+        return self.collect(n) if n else []
+
+    def step_rows(self, x: float, rows: np.ndarray):
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        n = self._lib.spring_step_bank(
+            self._pp_addr, x, rows.shape[0], rows.ctypes.data
+        )
+        return self.collect(n) if n else []
+
+    def extend(self, xs: np.ndarray, skip: np.ndarray):
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        skip = np.ascontiguousarray(skip, dtype=np.uint8)
+        out: List[Tuple[int, object]] = []
+        n = int(xs.shape[0])
+        n_emit = np.zeros(1, dtype=np.int64)
+        pos = 0
+        while pos < n:
+            consumed = self._lib.spring_extend_bank(
+                self._pp_addr,
+                xs[pos:].ctypes.data,
+                skip[pos:].ctypes.data,
+                n - pos,
+                n_emit.ctypes.data,
+            )
+            count = int(n_emit[0])
+            if count:
+                out.extend(self.collect(count))
+            if consumed <= 0:  # pragma: no cover - cap >= q guarantees progress
+                raise RuntimeError("extend kernel made no progress")
+            pos += consumed
+        return out
+
+
+class CExtBackend(KernelBackend):
+    """Native kernels compiled on demand from embedded C source."""
+
+    name = "cext"
+    compiled = True
+
+    def __init__(self, lib: ctypes.CDLL, warmup_seconds: float) -> None:
+        self._lib = lib
+        self.warmup_seconds = float(warmup_seconds)
+
+    def update_column(self, state: SpringState, cost: np.ndarray, tick: int) -> None:
+        cost = np.ascontiguousarray(cost, dtype=np.float64)
+        m = cost.shape[0]
+        d_new = np.empty(m + 1, dtype=np.float64)
+        s_new = np.empty(m + 1, dtype=np.int64)
+        # state.d may have been rebound since the last call (restores,
+        # write_back); reading the address per call keeps this safe.
+        self._lib.spring_update_column(
+            m,
+            state.d.ctypes.data,
+            state.s.ctypes.data,
+            cost.ctypes.data,
+            int(tick),
+            d_new.ctypes.data,
+            s_new.ctypes.data,
+        )
+        state.d = d_new
+        state.s = s_new
+
+    def update_columns(self, d, s, cost, ticks):
+        d = np.ascontiguousarray(d, dtype=np.float64)
+        s = np.ascontiguousarray(s, dtype=np.int64)
+        cost = np.ascontiguousarray(cost, dtype=np.float64)
+        ticks = np.ascontiguousarray(ticks, dtype=np.int64)
+        q, m = cost.shape
+        d_new = np.empty((q, m + 1), dtype=np.float64)
+        s_new = np.empty((q, m + 1), dtype=np.int64)
+        self._lib.spring_update_columns(
+            q,
+            m,
+            d.ctypes.data,
+            s.ctypes.data,
+            cost.ctypes.data,
+            ticks.ctypes.data,
+            d_new.ctypes.data,
+            s_new.ctypes.data,
+        )
+        return d_new, s_new
+
+    def lb_corridor(self, x, lo, hi, kind):
+        code = _KIND_CODES.get(kind)
+        if code is None:
+            # Same error text/type as the numpy implementation.
+            return _np_lb_corridor(x, lo, hi, kind)
+        lo = np.ascontiguousarray(lo, dtype=np.float64)
+        hi = np.ascontiguousarray(hi, dtype=np.float64)
+        out = np.empty(lo.shape[0], dtype=np.float64)
+        self._lib.spring_lb_corridor(
+            float(x),
+            lo.ctypes.data,
+            hi.ctypes.data,
+            lo.shape[0],
+            code,
+            out.ctypes.data,
+        )
+        return out
+
+    def bank_kernel(self, engine) -> Optional[BankKernel]:
+        if engine._prune_kind not in _KIND_CODES:
+            return None  # custom local distance: no compiled fused step
+        return _CExtBankKernel(self._lib, engine)
+
+
+def probe() -> Tuple[Optional[CExtBackend], str]:
+    """Build, load, and self-test the backend; never raises."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return None, "no C compiler found (tried $REPRO_CC, cc, gcc, clang)"
+    started = perf_counter()
+    try:
+        lib, detail = _build_library(compiler)
+        backend = CExtBackend(lib, warmup_seconds=perf_counter() - started)
+        _self_test(backend)
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+    return backend, detail

@@ -1,0 +1,442 @@
+"""Numba JIT backend: the hot kernels as ``@njit``-compiled Python.
+
+The kernel bodies below are direct transcriptions of the C kernels in
+:mod:`repro.core.backends.cext` (which are themselves operation-for-
+operation replications of the NumPy reference — see that module and
+``docs/algorithm.md`` §12 for the bit-exactness argument).  They are
+written as *plain module functions* and only wrapped with
+``numba.njit`` when the backend is activated:
+
+* without numba installed, the functions still run as ordinary Python,
+  so the kernel *logic* stays unit-testable everywhere
+  (``tests/backends/test_numba_logic.py``) — the CI leg that installs
+  numba then only has to prove the JIT wrapper, not the algorithm;
+* activation rebinds the module-level names, so the jitted top-level
+  kernels resolve their jitted helpers at compile time.
+
+JIT compilation is deferred to :meth:`NumbaBackend.warmup`, which the
+registry invokes once at resolution time — compile cost lands on
+engine construction, never on a stream tick — and which byte-compares
+a column update against the NumPy reference before the backend is
+handed out (``fastmath`` stays off; LLVM must not contract multiply-
+adds or reorder the cumulative sums).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backends.base import BankKernel, KernelBackend
+from repro.core.state import SpringState, update_columns
+from repro.dtw.lower_bounds import lb_corridor as _np_lb_corridor
+from repro.exceptions import ValidationError
+
+__all__ = ["NumbaBackend", "probe"]
+
+_KIND_CODES = {"squared": 0, "absolute": 1}
+
+
+# ----------------------------------------------------------------------
+# Kernel bodies (plain Python, numba-nopython compatible)
+# ----------------------------------------------------------------------
+
+
+def _row_update_inplace(d, s, y, qi, mmax, kind, x, tick):
+    """In-place min-plus scan for row ``qi``: local cost + recurrence."""
+    diag_d = d[qi, 0]
+    diag_s = s[qi, 0]
+    d[qi, 0] = 0.0
+    s[qi, 0] = tick + 1
+    csum = 0.0
+    running = 0.0
+    src = 0
+    start_src = tick
+    for j in range(mmax):
+        t = x - y[qi, j]
+        c = t * t if kind == 0 else abs(t)
+        v = d[qi, j + 1]
+        sv = s[qi, j + 1]
+        if j == 0:
+            e = c
+            vs = tick
+        elif v <= diag_d:
+            e = c + v
+            vs = sv
+        else:
+            e = c + diag_d
+            vs = diag_s
+        csum += c
+        g = e - csum
+        if j == 0:
+            running = g
+            src = 0
+            start_src = vs
+        elif g < running:
+            running = g
+            src = j
+            start_src = vs
+        elif running == running and g != g:
+            running = g
+        diag_d = v
+        diag_s = sv
+        d[qi, j + 1] = e if src == j else csum + running
+        s[qi, j + 1] = start_src
+
+
+def _row_update_out(d_in, s_in, cost, r, m, tick, d_out, s_out):
+    """Out-of-place min-plus scan for row ``r`` with precomputed costs."""
+    d_out[r, 0] = 0.0
+    s_out[r, 0] = tick + 1
+    csum = 0.0
+    running = 0.0
+    src = 0
+    start_src = tick
+    for j in range(m):
+        c = cost[r, j]
+        if j == 0:
+            e = c
+            vs = tick
+        else:
+            v = d_in[r, j + 1]
+            dg = d_in[r, j]
+            if v <= dg:
+                e = c + v
+                vs = s_in[r, j + 1]
+            else:
+                e = c + dg
+                vs = s_in[r, j]
+        csum += c
+        g = e - csum
+        if j == 0:
+            running = g
+            src = 0
+            start_src = vs
+        elif g < running:
+            running = g
+            src = j
+            start_src = vs
+        elif running == running and g != g:
+            running = g
+        d_out[r, j + 1] = e if src == j else csum + running
+        s_out[r, j + 1] = start_src
+
+
+def _row_report(
+    d, s, mlen, mmax, eps, ticks, dmin, ts, te, bd, bs, be,
+    qi, n_emit, eq, ed, ets, ete, et, emit_cap,
+):
+    """Figure-4 report logic for row ``qi`` (emit → reset → capture →
+    best), mirroring ``FusedSpring._report_logic`` decision for
+    decision."""
+    m_q = mlen[qi]
+    eps_q = eps[qi]
+    tick = ticks[qi]
+    dm0 = dmin[qi]
+    if np.isfinite(dm0) and dm0 <= eps_q:
+        te_v = te[qi]
+        blocked_all = True
+        for c in range(1, m_q + 1):
+            if not (d[qi, c] >= dm0 or s[qi, c] > te_v):
+                blocked_all = False
+                break
+        if blocked_all:
+            if n_emit < emit_cap:
+                eq[n_emit] = qi
+                ed[n_emit] = dm0
+                ets[n_emit] = ts[qi]
+                ete[n_emit] = te_v
+                et[n_emit] = tick
+                n_emit += 1
+            dmin[qi] = np.inf
+            for c in range(1, mmax + 1):
+                if s[qi, c] <= te_v:
+                    d[qi, c] = np.inf
+    d_m = d[qi, m_q]
+    s_m = s[qi, m_q]
+    if d_m <= eps_q and d_m < dmin[qi]:
+        dmin[qi] = d_m
+        ts[qi] = s_m
+        te[qi] = tick
+    if d_m < bd[qi]:
+        bd[qi] = d_m
+        bs[qi] = s_m
+        be[qi] = tick
+    return n_emit
+
+
+def _step_bank(
+    kind, y, mlen, eps, d, s, ticks, dmin, ts, te, bd, bs, be,
+    x, rows, eq, ed, ets, ete, et, emit_cap,
+):
+    """One stream tick for the ``rows`` subset (full range when dense)."""
+    mmax = y.shape[1]
+    n_emit = 0
+    for r in range(rows.shape[0]):
+        qi = rows[r]
+        ticks[qi] += 1
+        _row_update_inplace(d, s, y, qi, mmax, kind, x, ticks[qi])
+        n_emit = _row_report(
+            d, s, mlen, mmax, eps, ticks, dmin, ts, te, bd, bs, be,
+            qi, n_emit, eq, ed, ets, ete, et, emit_cap,
+        )
+    return n_emit
+
+
+def _extend_bank(
+    kind, y, mlen, eps, d, s, ticks, dmin, ts, te, bd, bs, be,
+    xs, skip, eq, ed, ets, ete, et, emit_cap,
+):
+    """A block of ticks for all queries; returns (consumed, n_emit)."""
+    q = d.shape[0]
+    mmax = y.shape[1]
+    n = xs.shape[0]
+    n_emit = 0
+    t = 0
+    while t < n:
+        if n_emit + q > emit_cap:
+            break
+        if skip[t] != 0:
+            for qi in range(q):
+                ticks[qi] += 1
+            t += 1
+            continue
+        x = xs[t]
+        for qi in range(q):
+            ticks[qi] += 1
+            _row_update_inplace(d, s, y, qi, mmax, kind, x, ticks[qi])
+            n_emit = _row_report(
+                d, s, mlen, mmax, eps, ticks, dmin, ts, te, bd, bs, be,
+                qi, n_emit, eq, ed, ets, ete, et, emit_cap,
+            )
+        t += 1
+    return t, n_emit
+
+
+def _update_columns_into(d_in, s_in, cost, ticks, d_out, s_out):
+    """``state.update_columns`` semantics into preallocated outputs."""
+    q = cost.shape[0]
+    m = cost.shape[1]
+    for r in range(q):
+        _row_update_out(d_in, s_in, cost, r, m, ticks[r], d_out, s_out)
+
+
+def _lb_corridor_into(x, lo, hi, kind, out):
+    """``lb_corridor`` for a scalar against per-query corridors."""
+    for i in range(lo.shape[0]):
+        cl = x
+        if cl < lo[i]:
+            cl = lo[i]
+        if cl > hi[i]:
+            cl = hi[i]
+        delta = x - cl
+        out[i] = delta * delta if kind == 0 else abs(delta)
+
+
+#: The original (undecorated) kernel bodies, for logic tests that must
+#: run without numba.  Activation rebinds the module-level names only.
+PLAIN = {
+    "row_update_inplace": _row_update_inplace,
+    "row_update_out": _row_update_out,
+    "row_report": _row_report,
+    "step_bank": _step_bank,
+    "extend_bank": _extend_bank,
+    "update_columns_into": _update_columns_into,
+    "lb_corridor_into": _lb_corridor_into,
+}
+
+_ACTIVATED = False
+
+
+def _activate(numba_module) -> None:
+    """Wrap the kernel bodies with ``@njit`` (idempotent).
+
+    Helpers are rebound before the top-level kernels so that when a
+    top-level kernel compiles (lazily, at first call) its global
+    references already resolve to jitted dispatchers.
+    """
+    global _ACTIVATED, _row_update_inplace, _row_update_out, _row_report
+    global _step_bank, _extend_bank, _update_columns_into, _lb_corridor_into
+    if _ACTIVATED:
+        return
+    jit = numba_module.njit(cache=False, nogil=True)
+    _row_update_inplace = jit(_row_update_inplace)
+    _row_update_out = jit(_row_update_out)
+    _row_report = jit(_row_report)
+    _step_bank = jit(_step_bank)
+    _extend_bank = jit(_extend_bank)
+    _update_columns_into = jit(_update_columns_into)
+    _lb_corridor_into = jit(_lb_corridor_into)
+    _ACTIVATED = True
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+
+
+class _NumbaBankKernel(BankKernel):
+    """Fused-step kernel bound to one ``FusedSpring``'s master arrays."""
+
+    __slots__ = ("_kind", "_y", "_mlen", "_eps", "_args", "_q", "_all_rows")
+
+    def __init__(self, engine) -> None:
+        bank = engine.bank
+        super().__init__(bank.q)
+        self._q = bank.q
+        self._kind = _KIND_CODES[engine._prune_kind]
+        y = bank.padded[:, :, 0]
+        if not y.flags["C_CONTIGUOUS"]:  # pragma: no cover - invariant
+            raise ValidationError("bank kernel requires contiguous arrays")
+        # Positional tail shared by every kernel call; the engine never
+        # rebinds these arrays while a kernel is attached.
+        self._args = (
+            self._kind, y, bank.lengths, bank.epsilons,
+            engine._d, engine._s, engine._ticks,
+            engine._dmin, engine._ts, engine._te,
+            engine._best_d, engine._best_s, engine._best_e,
+        )
+        self._all_rows = engine._rows
+
+    def _emit_args(self):
+        return (
+            self._emit_q, self._emit_d, self._emit_ts, self._emit_te,
+            self._emit_t, self.emit_capacity,
+        )
+
+    def step(self, x: float):
+        n = _step_bank(*self._args, x, self._all_rows, *self._emit_args())
+        return self.collect(n) if n else []
+
+    def step_rows(self, x: float, rows: np.ndarray):
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        n = _step_bank(*self._args, x, rows, *self._emit_args())
+        return self.collect(n) if n else []
+
+    def extend(self, xs: np.ndarray, skip: np.ndarray):
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        skip = np.ascontiguousarray(skip, dtype=np.uint8)
+        out: List[Tuple[int, object]] = []
+        n = int(xs.shape[0])
+        pos = 0
+        while pos < n:
+            consumed, count = _extend_bank(
+                *self._args, xs[pos:], skip[pos:], *self._emit_args()
+            )
+            if count:
+                out.extend(self.collect(int(count)))
+            consumed = int(consumed)
+            if consumed <= 0:  # pragma: no cover - cap >= q guarantees progress
+                raise RuntimeError("extend kernel made no progress")
+            pos += consumed
+        return out
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled kernels; compilation deferred to :meth:`warmup`."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._warmed = False
+
+    def warmup(self) -> float:
+        """Trigger JIT on tiny inputs and byte-check against NumPy."""
+        if self._warmed:
+            return self.warmup_seconds
+        started = perf_counter()
+        d = np.array([[0.0, 1.0, np.inf, 0.25], [0.0, 2.0, 2.0, np.nan]])
+        s = np.array([[3, 1, 1, 2], [5, 4, 4, 4]], dtype=np.int64)
+        cost = np.array([[0.5, 0.5, 0.0], [1.0, 0.0, 2.0]])
+        ticks = np.array([3, 5], dtype=np.int64)
+        want_d, want_s = update_columns(d, s, cost, ticks)
+        got_d, got_s = self.update_columns(d, s, cost, ticks)
+        if (
+            want_d.tobytes() != got_d.tobytes()
+            or want_s.tobytes() != got_s.tobytes()
+        ):
+            raise RuntimeError("numba column update diverges from numpy")
+        state = SpringState.initial(3)
+        self.update_column(state, cost[0], 1)
+        self.lb_corridor(2.0, np.array([0.0, 3.0]), np.array([1.0, 4.0]), "squared")
+        # Compile the fused-step kernels too (rows + extend variants).
+        eq = np.empty(4, dtype=np.int64)
+        ed = np.empty(4, dtype=np.float64)
+        emit = (eq, ed, eq.copy(), eq.copy(), eq.copy(), 4)
+        args = (
+            0, np.zeros((1, 2)), np.array([2], dtype=np.int64),
+            np.array([1.0]), np.array([[0.0, np.inf, np.inf]]),
+            np.zeros((1, 3), dtype=np.int64), np.zeros(1, dtype=np.int64),
+            np.array([np.inf]), np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64), np.array([np.inf]),
+            np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64),
+        )
+        _step_bank(*args, 0.5, np.array([0], dtype=np.int64), *emit)
+        _extend_bank(
+            *args, np.array([0.5, np.nan]), np.array([0, 1], dtype=np.uint8),
+            *emit,
+        )
+        self.warmup_seconds = perf_counter() - started
+        self._warmed = True
+        return self.warmup_seconds
+
+    def update_column(self, state: SpringState, cost: np.ndarray, tick: int) -> None:
+        cost = np.ascontiguousarray(cost, dtype=np.float64)
+        m = cost.shape[0]
+        d_new = np.empty((1, m + 1), dtype=np.float64)
+        s_new = np.empty((1, m + 1), dtype=np.int64)
+        _update_columns_into(
+            np.ascontiguousarray(state.d).reshape(1, -1),
+            np.ascontiguousarray(state.s).reshape(1, -1),
+            cost.reshape(1, -1),
+            np.array([int(tick)], dtype=np.int64),
+            d_new,
+            s_new,
+        )
+        state.d = d_new[0]
+        state.s = s_new[0]
+
+    def update_columns(self, d, s, cost, ticks):
+        d = np.ascontiguousarray(d, dtype=np.float64)
+        s = np.ascontiguousarray(s, dtype=np.int64)
+        cost = np.ascontiguousarray(cost, dtype=np.float64)
+        ticks = np.ascontiguousarray(ticks, dtype=np.int64)
+        q, m = cost.shape
+        d_new = np.empty((q, m + 1), dtype=np.float64)
+        s_new = np.empty((q, m + 1), dtype=np.int64)
+        _update_columns_into(d, s, cost, ticks, d_new, s_new)
+        return d_new, s_new
+
+    def lb_corridor(self, x, lo, hi, kind):
+        code = _KIND_CODES.get(kind)
+        if code is None:
+            return _np_lb_corridor(x, lo, hi, kind)
+        lo = np.ascontiguousarray(lo, dtype=np.float64)
+        hi = np.ascontiguousarray(hi, dtype=np.float64)
+        out = np.empty(lo.shape[0], dtype=np.float64)
+        _lb_corridor_into(float(x), lo, hi, code, out)
+        return out
+
+    def bank_kernel(self, engine) -> Optional[BankKernel]:
+        if engine._prune_kind not in _KIND_CODES:
+            return None
+        return _NumbaBankKernel(engine)
+
+
+def probe() -> Tuple[Optional[NumbaBackend], str]:
+    """Activate the JIT wrappers if numba is importable; never raises."""
+    try:
+        import numba
+    except Exception as exc:
+        return None, f"numba is not installed ({type(exc).__name__})"
+    try:
+        _activate(numba)
+    except Exception as exc:  # pragma: no cover - depends on numba install
+        return None, f"numba activation failed: {type(exc).__name__}: {exc}"
+    return (
+        NumbaBackend(),
+        f"numba {numba.__version__} (kernels JIT-compile at warm-up)",
+    )

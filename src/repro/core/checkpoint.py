@@ -35,6 +35,7 @@ from repro._serde import (
     encode_floats,
     encode_node,
 )
+from repro.core.backends import use_backend
 from repro.dtw.steps import canonical_distance_name, resolve_vector_distance
 from repro.exceptions import ValidationError
 
@@ -219,6 +220,7 @@ def load_monitor(
     state: Dict[str, object],
     prune: bool = True,
     prune_buffer: int = 1024,
+    backend=None,
 ):
     """Rebuild a monitor from :func:`save_monitor` output.
 
@@ -227,6 +229,11 @@ def load_monitor(
     Checkpoints taken mid-park re-adopt their parked state either way:
     with pruning disabled the parked spans are caught up immediately,
     so the resumed match stream is byte-identical regardless.
+
+    ``backend`` selects the kernel backend of the restored monitor (a
+    runtime property — checkpoints never record one, and a snapshot
+    written under any backend restores under any other to
+    byte-identical future events).
     """
     from repro.core.monitor import StreamMonitor
 
@@ -234,7 +241,9 @@ def load_monitor(
         raise ValidationError(
             f"unsupported checkpoint version {state.get('format_version')!r}"
         )
-    monitor = StreamMonitor(prune=prune, prune_buffer=prune_buffer)
+    monitor = StreamMonitor(
+        prune=prune, prune_buffer=prune_buffer, backend=backend
+    )
     for name, spec in state["queries"].items():  # type: ignore[union-attr]
         epsilon = decode_float(spec["epsilon"])
         kind = spec.get("matcher")
@@ -251,7 +260,16 @@ def load_monitor(
     for stream, per_stream in state["matchers"].items():  # type: ignore[union-attr]
         monitor.add_stream(stream)
         for query_name, matcher_state in per_stream.items():
-            monitor._matchers[stream][query_name] = load_state(matcher_state)
+            # Loaded matchers bypass the monitor's builder: construct
+            # under its backend (so nothing probes "auto" on the way
+            # up) and re-point afterwards — the backend is never part
+            # of the serialised state.
+            with use_backend(monitor._backend):
+                matcher = load_state(matcher_state)
+            set_backend = getattr(matcher, "set_backend", None)
+            if callable(set_backend):
+                set_backend(monitor._backend)
+            monitor._matchers[stream][query_name] = matcher
         entries = prune_state.get(stream)  # type: ignore[union-attr]
         if entries:
             monitor._restore_prune(stream, entries)
@@ -263,8 +281,13 @@ def dump_monitor_json(monitor) -> str:
     return json.dumps(save_monitor(monitor), allow_nan=False)
 
 
-def load_monitor_json(payload: str, prune: bool = True, prune_buffer: int = 1024):
+def load_monitor_json(
+    payload: str,
+    prune: bool = True,
+    prune_buffer: int = 1024,
+    backend=None,
+):
     """Restore a monitor from :func:`dump_monitor_json` output."""
     return load_monitor(
-        json.loads(payload), prune=prune, prune_buffer=prune_buffer
+        json.loads(payload), prune=prune, prune_buffer=prune_buffer, backend=backend
     )

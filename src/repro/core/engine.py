@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.core.backends import BackendSpec
 from repro.core.fused import FusedSpring
 from repro.core.matches import Match
 from repro.obs import tracing
@@ -83,6 +84,9 @@ class ExecutionPlan:
 
     banks: List[FusedBank] = field(default_factory=list)
     banked: frozenset = frozenset()
+    #: Matcher names left to per-matcher execution, in registration
+    #: order (precomputed so per-tick dispatch need not re-derive it).
+    unbanked: Tuple[str, ...] = ()
 
 
 def fusion_key(matcher: object) -> Optional[Tuple]:
@@ -110,6 +114,7 @@ def build_plan(
     matchers: Mapping[str, object],
     min_bank_size: int = 2,
     prune_buffer: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> ExecutionPlan:
     """Partition a stream's matchers into fused banks + individual runs.
 
@@ -121,7 +126,9 @@ def build_plan(
 
     ``prune_buffer`` enables the exact lower-bound admission cascade on
     every bank it applies to (see :class:`~repro.core.fused.FusedSpring`);
-    emissions are byte-identical with or without it.
+    emissions are byte-identical with or without it.  ``backend``
+    selects the kernel backend for every bank built here (results are
+    bit-identical across backends).
     """
     groups: Dict[Tuple, List[str]] = {}
     for name, matcher in matchers.items():
@@ -136,10 +143,16 @@ def build_plan(
         group = [matchers[n] for n in names]
         banks.append(
             FusedBank(
-                engine=FusedSpring.from_springs(group, prune_buffer=prune_buffer),
+                engine=FusedSpring.from_springs(
+                    group, prune_buffer=prune_buffer, backend=backend
+                ),
                 names=list(names),
                 matchers=group,
             )
         )
         banked.update(names)
-    return ExecutionPlan(banks=banks, banked=frozenset(banked))
+    return ExecutionPlan(
+        banks=banks,
+        banked=frozenset(banked),
+        unbanked=tuple(n for n in matchers if n not in banked),
+    )

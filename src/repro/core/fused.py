@@ -61,6 +61,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.matches import Match
 from repro.core.missing import (
     bad_value_error,
@@ -68,8 +69,6 @@ from repro.core.missing import (
     first_fatal,
     resolve_missing_policy,
 )
-from repro.core.state import update_columns
-from repro.dtw.lower_bounds import lb_corridor
 from repro.dtw.steps import (
     LocalDistance,
     canonical_distance_name,
@@ -201,6 +200,12 @@ class FusedSpring:
         either way — the buffer size only trades memory against how
         long a span can be replayed bit-for-bit instead of waking
         through the equivalent reset representation.
+    backend:
+        Kernel backend spec (``"auto"``/``"numpy"``/``"numba"``/
+        ``"cext"``, a resolved backend, or ``None`` for the process
+        default — see :mod:`repro.core.backends`).  A runtime property
+        only: results are bit-identical across backends and the choice
+        is never serialised.
 
     Notes
     -----
@@ -214,11 +219,13 @@ class FusedSpring:
         bank: QueryBank,
         missing: str = "skip",
         prune_buffer: Optional[int] = None,
+        backend: BackendSpec = None,
     ) -> None:
         if not isinstance(bank, QueryBank):
             bank = QueryBank(bank)
         self.bank = bank
         self.missing = resolve_missing_policy(missing)
+        self._backend = resolve_backend(backend)
 
         q, m_max = bank.q, bank.m_max
         self._d = np.full((q, m_max + 1), np.inf, dtype=np.float64)
@@ -280,6 +287,13 @@ class FusedSpring:
         #: Query-ticks re-applied during catch-up replays.
         self.replayed_ticks = 0
 
+        # Compiled fused-step kernel, or None for the vectorised numpy
+        # path.  Minted last: it caches the addresses of the master
+        # arrays above, which are only ever mutated in place from here
+        # on (the numpy fallback that rebinds `_d`/`_s` never runs while
+        # a kernel is attached).
+        self._kernel = self._backend.bank_kernel(self)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -288,6 +302,21 @@ class FusedSpring:
     def q(self) -> int:
         """Number of fused queries."""
         return self.bank.q
+
+    @property
+    def backend(self):
+        """The resolved kernel backend (runtime property, never serialised)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the backend in use."""
+        return self._backend.name
+
+    @property
+    def compiled_step(self) -> bool:
+        """Whether the fused per-tick path runs as one native call."""
+        return self._kernel is not None
 
     @property
     def ticks(self) -> np.ndarray:
@@ -340,19 +369,28 @@ class FusedSpring:
         x = self._validate_value(value)
         if self._prune:
             return self._step_pruned(x)
-        self._ticks += 1
         if x is None:
+            self._ticks += 1
             return []
+        if self._kernel is not None:
+            # One native call covers cost, recurrence, and report; the
+            # kernel advances the tick counters itself.
+            tracer = tracing.ACTIVE
+            if tracer is None:
+                return self._kernel.step(float(x))
+            with tracer.span("kernel.step_bank"):
+                return self._kernel.step(float(x))
+        self._ticks += 1
         cost = self.bank.distance(x, self.bank.padded)
         cost = np.asarray(cost, dtype=np.float64)
         tracer = tracing.ACTIVE
         if tracer is None:
-            self._d, self._s = update_columns(
+            self._d, self._s = self._backend.update_columns(
                 self._d, self._s, cost, self._ticks
             )
             return self._report_logic()
         with tracer.span("kernel.update_columns"):
-            self._d, self._s = update_columns(
+            self._d, self._s = self._backend.update_columns(
                 self._d, self._s, cost, self._ticks
             )
         with tracer.span("policy.report"):
@@ -381,7 +419,7 @@ class FusedSpring:
             self.pruned_ticks += int(parked.sum())
             return []
         eps = self.bank.epsilons
-        lb = lb_corridor(
+        lb = self._backend.lb_corridor(
             float(x), self._corridor_lo, self._corridor_hi, self._prune_kind
         )
         cold = lb > eps
@@ -399,18 +437,24 @@ class FusedSpring:
         self.pruned_ticks += self.q - n_hot
         if n_hot == self.q:
             # Nothing parked: identical to the unpruned dense path.
+            if self._kernel is not None:
+                tracer = tracing.ACTIVE
+                if tracer is None:
+                    return self._kernel.step(float(x))
+                with tracer.span("kernel.step_bank"):
+                    return self._kernel.step(float(x))
             self._ticks += 1
             cost = np.asarray(
                 self.bank.distance(x, self.bank.padded), dtype=np.float64
             )
             tracer = tracing.ACTIVE
             if tracer is None:
-                self._d, self._s = update_columns(
+                self._d, self._s = self._backend.update_columns(
                     self._d, self._s, cost, self._ticks
                 )
                 return self._report_logic()
             with tracer.span("kernel.update_columns"):
-                self._d, self._s = update_columns(
+                self._d, self._s = self._backend.update_columns(
                     self._d, self._s, cost, self._ticks
                 )
             with tracer.span("policy.report"):
@@ -418,20 +462,29 @@ class FusedSpring:
         if n_hot == 0:
             return []
         rows = np.flatnonzero(hot)
+        if self._kernel is not None:
+            # The kernel advances `_ticks[rows]` itself and reports only
+            # the stepped rows — sound because a query only parks with
+            # no pending optimum, so parked rows can never emit.
+            tracer = tracing.ACTIVE
+            if tracer is None:
+                return self._kernel.step_rows(float(x), rows)
+            with tracer.span("kernel.step_bank"):
+                return self._kernel.step_rows(float(x), rows)
         self._ticks[rows] += 1
         cost = np.asarray(
             self.bank.distance(x, self.bank.padded[rows]), dtype=np.float64
         )
         tracer = tracing.ACTIVE
         if tracer is None:
-            d_new, s_new = update_columns(
+            d_new, s_new = self._backend.update_columns(
                 self._d[rows], self._s[rows], cost, self._ticks[rows]
             )
             self._d[rows] = d_new
             self._s[rows] = s_new
             return self._report_logic(active=hot)
         with tracer.span("kernel.update_columns"):
-            d_new, s_new = update_columns(
+            d_new, s_new = self._backend.update_columns(
                 self._d[rows], self._s[rows], cost, self._ticks[rows]
             )
             self._d[rows] = d_new
@@ -494,7 +547,7 @@ class FusedSpring:
                 ticks_sub += 1
                 if not finite[lo + t]:
                     continue
-                d_sub, s_sub = update_columns(
+                d_sub, s_sub = self._backend.update_columns(
                     d_sub, s_sub, cost_block[t], ticks_sub
                 )
                 d_m = d_sub[sub_rows, end_sub]
@@ -571,6 +624,20 @@ class FusedSpring:
                 tick = self._stream_tick0() + 1
                 raise bad_value_error(tick, bool(nan_rows[stop]), matches)
             return matches
+        if self._kernel is not None:
+            # The whole block runs native: skips advance time in-kernel,
+            # emissions come back batched in (tick, query) order.
+            skip = nan_rows[:stop].astype(np.uint8)
+            tracer = tracing.ACTIVE
+            if tracer is None:
+                matches.extend(self._kernel.extend(arr[:stop], skip))
+            else:
+                with tracer.span("kernel.extend_bank"):
+                    matches.extend(self._kernel.extend(arr[:stop], skip))
+            if stop < arr.shape[0]:
+                tick = int(self._ticks[0]) + 1 if self.q else 0
+                raise bad_value_error(tick, bool(nan_rows[stop]), matches)
+            return matches
         budget = max(16, _BLOCK_BUDGET // max(1, self.bank.q * self.bank.m_max))
         block = max(1, min(int(block_size), budget))
         for lo in range(0, stop, block):
@@ -590,13 +657,13 @@ class FusedSpring:
                 if chunk_nan[t]:
                     continue
                 if tracer is None:
-                    self._d, self._s = update_columns(
+                    self._d, self._s = self._backend.update_columns(
                         self._d, self._s, cost_block[t], self._ticks
                     )
                     matches.extend(self._report_logic())
                     continue
                 with tracer.span("kernel.update_columns"):
-                    self._d, self._s = update_columns(
+                    self._d, self._s = self._backend.update_columns(
                         self._d, self._s, cost_block[t], self._ticks
                     )
                 with tracer.span("policy.report"):
@@ -706,6 +773,7 @@ class FusedSpring:
         springs: Sequence[object],
         names: Optional[Sequence[str]] = None,
         prune_buffer: Optional[int] = None,
+        backend: BackendSpec = None,
     ) -> "FusedSpring":
         """Build an engine that adopts the live state of ``springs``.
 
@@ -750,7 +818,12 @@ class FusedSpring:
             names=names,
         )
         bank.distance = first._distance
-        engine = cls(bank, missing=first.missing, prune_buffer=prune_buffer)
+        engine = cls(
+            bank,
+            missing=first.missing,
+            prune_buffer=prune_buffer,
+            backend=backend,
+        )
         for qi, sp in enumerate(springs):
             m = sp.m
             engine._d[qi, : m + 1] = sp._state.d

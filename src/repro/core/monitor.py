@@ -53,6 +53,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.backends import BackendSpec, resolve_backend, use_backend
 from repro.core.engine import ExecutionPlan, build_plan
 from repro.core.matches import Match
 from repro.core.missing import classify_rows, first_fatal
@@ -135,6 +136,14 @@ class StreamMonitor:
         catch-up replay of parked spans.  Spans that outgrow it still
         wake exactly, via the kernel's reset representation; the size
         only trades memory against bit-identical column reconstruction.
+    backend:
+        Kernel backend spec (``"auto"``/``"numpy"``/``"numba"``/
+        ``"cext"`` or a resolved backend; ``None`` = process default,
+        see :mod:`repro.core.backends`).  Resolved eagerly so an
+        unavailable explicit choice fails at construction, and so any
+        JIT warm-up happens here rather than on the first push.  A
+        runtime property only — events are bit-identical across
+        backends and checkpoints never record the choice.
 
     Example
     -------
@@ -153,7 +162,13 @@ class StreamMonitor:
         ] = None,
         prune: bool = True,
         prune_buffer: int = 1024,
+        backend: BackendSpec = None,
     ) -> None:
+        # Resolve now: explicit-but-unavailable specs raise here, and
+        # compilation/warm-up cost lands at construction, never on a
+        # stream tick.  The resolved object (not the spec) is reused by
+        # every plan and matcher this monitor builds.
+        self._backend = resolve_backend(backend)
         self._queries: Dict[str, _QuerySpec] = {}
         self._matchers: Dict[str, Dict[str, object]] = {}
         self._callbacks: List[Callable[[MatchEvent], None]] = []
@@ -190,6 +205,11 @@ class StreamMonitor:
     # ------------------------------------------------------------------
 
     @property
+    def backend_name(self) -> str:
+        """Registry name of the kernel backend in use."""
+        return self._backend.name
+
+    @property
     def streams(self) -> List[str]:
         """Registered stream names."""
         return list(self._matchers)
@@ -212,12 +232,31 @@ class StreamMonitor:
             raise ValidationError(f"query {name!r} is not registered") from None
         return (spec.kind, spec.query, spec.epsilon, dict(spec.kwargs))
 
+    def _build_matcher(self, spec: _QuerySpec) -> object:
+        """Build one matcher from its template, on this monitor's backend.
+
+        The backend is applied post-construction (when the matcher
+        supports one) rather than stored in the JSON-safe template:
+        it is a runtime property of *this* monitor, never part of the
+        query spec or any checkpoint.  Construction also runs under
+        ``use_backend`` so a matcher's own default resolution lands on
+        this monitor's backend instead of probing ``auto`` — a
+        numpy-pinned monitor must never trigger a JIT/C compile.
+        """
+        with use_backend(self._backend):
+            matcher = spec.build()
+        set_backend = getattr(matcher, "set_backend", None)
+        if callable(set_backend):
+            set_backend(self._backend)
+        return matcher
+
     def add_stream(self, name: str) -> None:
         """Register a stream; existing queries attach to it immediately."""
         if name in self._matchers:
             raise ValidationError(f"stream {name!r} already registered")
         self._matchers[name] = {
-            query_name: spec.build() for query_name, spec in self._queries.items()
+            query_name: self._build_matcher(spec)
+            for query_name, spec in self._queries.items()
         }
         self._plans[name] = None
 
@@ -264,11 +303,12 @@ class StreamMonitor:
             kind=matcher,
             kwargs=kwargs,
         )
-        spec.build()  # validate eagerly so errors surface at registration
+        with use_backend(self._backend):
+            spec.build()  # validate eagerly so errors surface at registration
         self._queries[name] = spec
         for stream, matchers in self._matchers.items():
             self._sync_stream(stream)
-            matchers[name] = spec.build()
+            matchers[name] = self._build_matcher(spec)
 
     def remove_query(self, name: str) -> None:
         """Detach a query from every stream."""
@@ -319,6 +359,16 @@ class StreamMonitor:
             return self.recorder.registry
         self.recorder = MetricsRecorder(registry)
         self.recorder.registry.add_collector(self._collect_matcher_series)
+        # Static info gauge: which kernel backend this monitor runs on
+        # (set once here — the backend never changes mid-monitor).
+        self.recorder.registry.gauge(
+            "spring_backend_info",
+            "Kernel backend in use; value is 1, identity in the labels",
+            ("backend", "compiled"),
+        ).labels(
+            backend=self._backend.name,
+            compiled="1" if self._backend.compiled else "0",
+        ).set(1.0)
         return self.recorder.registry
 
     def metrics(self) -> Optional[Dict[str, dict]]:
@@ -423,6 +473,7 @@ class StreamMonitor:
             plan = build_plan(
                 self._matchers[stream],
                 prune_buffer=self._prune_buffer if self._prune else None,
+                backend=self._backend,
             )
             self._plans[stream] = plan
         return plan
@@ -531,7 +582,9 @@ class StreamMonitor:
             if not capacities:
                 return
             buffer = max(capacities)
-        plan = build_plan(self._matchers[stream], prune_buffer=buffer)
+        plan = build_plan(
+            self._matchers[stream], prune_buffer=buffer, backend=self._backend
+        )
         matched = set()
         for bank in plan.banks:
             state = by_names.get(tuple(bank.names))
@@ -595,9 +648,8 @@ class StreamMonitor:
                 final = bank.matchers[qi].apply_report_policies(match)
                 if final is not None:
                     per_query[bank.names[qi]] = final
-        for query_name, matcher in matchers.items():
-            if query_name in plan.banked:
-                continue
+        for query_name in plan.unbanked:
+            matcher = matchers[query_name]
             if enabled:
                 step_started = perf_counter()
                 match = matcher.step(value)
@@ -608,6 +660,8 @@ class StreamMonitor:
                 match = matcher.step(value)
             if match is not None:
                 per_query[query_name] = match
+        if not per_query:
+            return []
         events = [
             MatchEvent(stream=stream, query=name, match=per_query[name])
             for name in matchers
@@ -702,9 +756,8 @@ class StreamMonitor:
                 collected.append(
                     (offset, order[name], MatchEvent(stream, name, final))
                 )
-        for query_name, matcher in matchers.items():
-            if query_name in plan.banked:
-                continue
+        for query_name in plan.unbanked:
+            matcher = matchers[query_name]
             collect(query_name, matcher.tick, matcher.extend(clean))
 
         collected.sort(key=lambda item: (item[0], item[1]))

@@ -51,6 +51,7 @@ from repro._validation import (
     as_vector_sequence,
     check_threshold,
 )
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.checkpoint import register_matcher
 from repro.core.matches import Match
 from repro.core.missing import (
@@ -62,7 +63,7 @@ from repro.core.missing import (
 from repro.core.policy import ReportPolicy, decode_policies, encode_policies
 from repro.core.protocol import Capabilities
 from repro.core.registry import register_matcher_kind
-from repro.core.state import SpringState, update_column, update_column_reference
+from repro.core.state import SpringState, update_column_reference
 from repro.dtw.steps import (
     LocalDistance,
     canonical_distance_name,
@@ -110,6 +111,12 @@ class Spring:
         objects.  Admission-gating policies filter which subsequences
         may be captured; transform policies rewrite/suppress emitted
         matches; observers watch every tick.  The chain runs in order.
+    backend:
+        Kernel backend spec for the column recurrence (see
+        :mod:`repro.core.backends`).  A runtime property only — results
+        are bit-identical across backends, checkpoints never record the
+        choice, and reference/path-recording runs always use the
+        literal per-tick loop regardless.
     """
 
     #: How error messages refer to one stream value ("vector" in subclasses).
@@ -124,9 +131,11 @@ class Spring:
         missing: str = "skip",
         use_reference: bool = False,
         policies: Sequence[ReportPolicy] = (),
+        backend: BackendSpec = None,
     ) -> None:
         self._query = self._validate_query(query)
         self.epsilon = check_threshold(epsilon)
+        self._backend = resolve_backend(backend)
         self._distance = resolve_vector_distance(local_distance)
         #: Canonical registry name of the local distance (None = custom
         #: callable).  The execution layer groups fused banks by this.
@@ -236,6 +245,24 @@ class Spring:
         """The attached report-policy chain (possibly empty)."""
         return self._policies
 
+    @property
+    def backend(self):
+        """The resolved kernel backend (runtime property, never serialised)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the backend in use."""
+        return self._backend.name
+
+    def set_backend(self, backend: BackendSpec) -> None:
+        """Swap the kernel backend mid-stream.
+
+        Safe at any tick: backends share state layout and produce
+        bit-identical columns, so switching never perturbs results.
+        """
+        self._backend = resolve_backend(backend)
+
     def capabilities(self) -> Capabilities:
         """Declare kind / fusability / distance for the execution layer.
 
@@ -299,13 +326,13 @@ class Spring:
             if self.use_reference:
                 self._update_with_nodes(cost)
             else:
-                update_column(self._state, cost, self._tick)
+                self._backend.update_column(self._state, cost, self._tick)
             return self._report_logic()
         with tracer.span("kernel.update_column"):
             if self.use_reference:
                 self._update_with_nodes(cost)
             else:
-                update_column(self._state, cost, self._tick)
+                self._backend.update_column(self._state, cost, self._tick)
         with tracer.span("policy.report"):
             return self._report_logic()
 
@@ -376,7 +403,7 @@ class Spring:
                 self._tick += 1
                 if chunk_nan[t]:
                     continue
-                update_column(self._state, cost_block[t], self._tick)
+                self._backend.update_column(self._state, cost_block[t], self._tick)
                 match = self._report_logic()
                 if match is not None:
                     matches.append(match)

@@ -155,7 +155,7 @@ class CheckpointManager:
         return None
 
     def resume(
-        self, prune: bool = True, prune_buffer: int = 1024
+        self, prune: bool = True, prune_buffer: int = 1024, backend=None
     ) -> Tuple[object, Dict[str, object]]:
         """Restore ``(monitor, snapshot_meta)`` from the newest snapshot.
 
@@ -166,6 +166,9 @@ class CheckpointManager:
         restored monitor's admission cascade; snapshots taken mid-park
         carry their cold-parked pruning state inside the monitor payload
         and resume to byte-identical events with either setting.
+        ``backend`` selects the restored monitor's kernel backend —
+        snapshots never record one, and restoring under a different
+        backend than the writer's yields byte-identical future events.
         """
         started = perf_counter() if self.recorder.enabled else 0.0
         payload = self.latest()
@@ -174,7 +177,10 @@ class CheckpointManager:
                 f"no readable checkpoint under {self.directory}"
             )
         monitor = load_monitor(
-            payload["monitor"], prune=prune, prune_buffer=prune_buffer
+            payload["monitor"],
+            prune=prune,
+            prune_buffer=prune_buffer,
+            backend=backend,
         )
         if self.recorder.enabled:
             self.recorder.record_checkpoint_restore(perf_counter() - started)

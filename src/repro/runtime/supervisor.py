@@ -197,6 +197,7 @@ class SupervisedRunner:
         sleep: Callable[[float], None] = time.sleep,
         prune: bool = True,
         prune_buffer: int = 1024,
+        backend=None,
     ) -> "SupervisedRunner":
         """Restore the newest snapshot and prepare replay past its cursor.
 
@@ -207,9 +208,13 @@ class SupervisedRunner:
         the suffix an uninterrupted run would have emitted after the
         snapshot's ``events_emitted``-th event.  ``prune`` /
         ``prune_buffer`` configure the restored monitor's admission
-        cascade (see :class:`~repro.core.monitor.StreamMonitor`).
+        cascade (see :class:`~repro.core.monitor.StreamMonitor`);
+        ``backend`` its kernel backend (a runtime property, never part
+        of the snapshot).
         """
-        monitor, meta = checkpoint.resume(prune=prune, prune_buffer=prune_buffer)
+        monitor, meta = checkpoint.resume(
+            prune=prune, prune_buffer=prune_buffer, backend=backend
+        )
         runner = cls(
             monitor,
             sources,

@@ -1,0 +1,1 @@
+"""Kernel backend suite: registry semantics and direct kernel parity."""

@@ -1,0 +1,179 @@
+"""Direct kernel parity: every available backend vs the NumPy reference.
+
+Each backend's four kernel entry points are checked bit-for-bit against
+the reference implementations on randomized inputs, including ``inf``
+resets and NaN placement (payload bits are canonicalised before byte
+comparison — the one degree of freedom the exactness contract leaves
+open; see ``repro.core.backends.base``).
+
+The suite parametrises over :func:`available_backends`, so it runs the
+numpy backend everywhere, the cext backend wherever a C compiler
+exists, and the numba backend only where the optional package is
+installed — nothing here is environment-specific.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FusedSpring, Spring, StreamMonitor
+from repro.core.backends import available_backends, resolve_backend
+from repro.core.checkpoint import dump_monitor_json, save_monitor
+from repro.core.state import SpringState, update_column, update_columns
+from repro.dtw.lower_bounds import lb_corridor
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return resolve_backend(request.param)
+
+
+def canon(values: np.ndarray) -> np.ndarray:
+    """Copy with every NaN rewritten to the canonical quiet NaN."""
+    out = np.array(values, dtype=np.float64, copy=True)
+    out[np.isnan(out)] = np.nan
+    return out
+
+
+def _random_column_state(rng, q, m):
+    """A plausible mid-stream (d, s, cost, ticks) tuple with infs."""
+    d = rng.uniform(0.0, 8.0, size=(q, m + 1))
+    d[:, 0] = 0.0
+    # Sprinkle the inf reset representation Figure 4 writes after emits.
+    d[rng.random(size=d.shape) < 0.2] = np.inf
+    s = rng.integers(1, 50, size=(q, m + 1)).astype(np.int64)
+    cost = rng.uniform(0.0, 4.0, size=(q, m))
+    ticks = rng.integers(1, 50, size=q).astype(np.int64)
+    return d, s, cost, ticks
+
+
+# ----------------------------------------------------------------------
+# update_columns / update_column
+# ----------------------------------------------------------------------
+
+
+def test_update_columns_bitexact(backend, rng):
+    for _ in range(25):
+        q = int(rng.integers(1, 9))
+        m = int(rng.integers(1, 17))
+        d, s, cost, ticks = _random_column_state(rng, q, m)
+        want_d, want_s = update_columns(d, s, cost, ticks)
+        got_d, got_s = backend.update_columns(d, s, cost, ticks)
+        assert got_d.tobytes() == want_d.tobytes()
+        assert got_s.tobytes() == want_s.tobytes()
+
+
+def test_update_columns_nan_placement(backend, rng):
+    """NaN inputs: identical placement, payloads canonicalised."""
+    q, m = 4, 6
+    d, s, cost, ticks = _random_column_state(rng, q, m)
+    d[rng.random(size=d.shape) < 0.25] = np.nan
+    with np.errstate(invalid="ignore"):
+        want_d, want_s = update_columns(d, s, cost, ticks)
+        got_d, got_s = backend.update_columns(d, s, cost, ticks)
+    assert canon(got_d).tobytes() == canon(want_d).tobytes()
+    assert got_s.tobytes() == want_s.tobytes()
+
+
+def test_update_columns_leaves_inputs_untouched(backend, rng):
+    d, s, cost, ticks = _random_column_state(rng, 3, 5)
+    before = (d.copy(), s.copy())
+    backend.update_columns(d, s, cost, ticks)
+    assert np.array_equal(d, before[0])
+    assert np.array_equal(s, before[1])
+
+
+def test_update_column_bitexact_over_a_stream(backend, rng):
+    m = 7
+    got = SpringState.initial(m)
+    want = SpringState.initial(m)
+    for tick in range(1, 40):
+        cost = rng.uniform(0.0, 4.0, size=m)
+        update_column(want, cost, tick)
+        backend.update_column(got, cost, tick)
+        assert got.d.tobytes() == want.d.tobytes()
+        assert got.s.tobytes() == want.s.tobytes()
+
+
+# ----------------------------------------------------------------------
+# lb_corridor
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["squared", "absolute"])
+def test_lb_corridor_bitexact(backend, rng, kind):
+    lo = rng.uniform(-5.0, 2.0, size=16)
+    hi = lo + rng.uniform(0.0, 6.0, size=16)
+    for x in (-10.0, 0.0, 1.5, 7.0, float(lo[0]), float(hi[3])):
+        want = lb_corridor(x, lo, hi, kind)
+        got = backend.lb_corridor(x, lo, hi, kind)
+        assert np.asarray(got).tobytes() == np.asarray(want).tobytes()
+
+
+# ----------------------------------------------------------------------
+# bank_kernel minting
+# ----------------------------------------------------------------------
+
+
+def _engine(rng, backend_name="numpy"):
+    springs = [
+        Spring(np.cumsum(rng.normal(size=4 + i)), epsilon=2.0)
+        for i in range(3)
+    ]
+    return FusedSpring.from_springs(springs, backend=backend_name)
+
+
+def test_bank_kernel_minting(backend, rng):
+    engine = _engine(rng)
+    kernel = backend.bank_kernel(engine)
+    if backend.compiled:
+        assert kernel is not None
+        assert kernel.emit_capacity >= 4 * engine.q
+    else:
+        # The numpy backend IS the vectorised fallback path.
+        assert kernel is None
+
+
+def test_bank_kernel_declines_unknown_distance(backend, rng):
+    engine = _engine(rng)
+    engine._prune_kind = "custom"  # no compiled specialisation
+    assert backend.bank_kernel(engine) is None
+
+
+def test_engine_reports_compiled_step(backend, rng):
+    engine = _engine(rng, backend_name=backend)
+    assert engine.backend_name == backend.name
+    assert engine.compiled_step == backend.compiled
+
+
+# ----------------------------------------------------------------------
+# warm-up and serialisation hygiene
+# ----------------------------------------------------------------------
+
+
+def test_warmup_is_idempotent(backend):
+    first = backend.warmup()
+    assert first >= 0.0
+    assert backend.warmup() == backend.warmup_seconds
+
+
+def test_backend_never_serialised(backend, rng):
+    spring = Spring(np.cumsum(rng.normal(size=5)), epsilon=2.0)
+    spring.set_backend(backend)
+    for value in np.cumsum(rng.normal(size=12)):
+        spring.step(float(value))
+    assert "backend" not in json.dumps(spring.state_dict())
+
+    monitor = StreamMonitor(backend=backend)
+    monitor.add_stream("s0")
+    monitor.add_query("q0", np.cumsum(rng.normal(size=5)), epsilon=2.0)
+    monitor.add_query("q1", np.cumsum(rng.normal(size=7)), epsilon=2.0)
+    for value in np.cumsum(rng.normal(size=12)):
+        monitor.push("s0", float(value))
+    assert "backend" not in json.dumps(save_monitor(monitor))
+    assert "backend" not in dump_monitor_json(monitor)

@@ -1,0 +1,239 @@
+"""Numba kernel *logic* tests — no numba required.
+
+The numba backend's kernel bodies are plain module functions that only
+get wrapped with ``@njit`` when the package is present
+(:data:`repro.core.backends.numba_backend.PLAIN` keeps the undecorated
+originals).  These tests drive those plain-Python bodies against the
+vectorised NumPy reference and against a live ``FusedSpring``, so the
+algorithm is proven everywhere and the numba CI leg only has to prove
+the JIT wrapper compiles to the same answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FusedSpring, Spring
+from repro.core.backends.numba_backend import _KIND_CODES, PLAIN
+from repro.core.state import update_columns
+from repro.dtw.lower_bounds import lb_corridor
+
+
+def _bank_args(engine):
+    """The positional tail every fused-bank kernel call shares."""
+    bank = engine.bank
+    return (
+        _KIND_CODES[engine._prune_kind],
+        np.ascontiguousarray(bank.padded[:, :, 0]),
+        bank.lengths,
+        bank.epsilons,
+        engine._d,
+        engine._s,
+        engine._ticks,
+        engine._dmin,
+        engine._ts,
+        engine._te,
+        engine._best_d,
+        engine._best_s,
+        engine._best_e,
+    )
+
+
+def _emit_buffers(cap=256):
+    return (
+        np.empty(cap, dtype=np.int64),
+        np.empty(cap, dtype=np.float64),
+        np.empty(cap, dtype=np.int64),
+        np.empty(cap, dtype=np.int64),
+        np.empty(cap, dtype=np.int64),
+        cap,
+    )
+
+
+def _emitted(emit, n):
+    eq, ed, ets, ete, et = emit[:5]
+    return [
+        (int(eq[i]), int(ets[i]), int(ete[i]), float(ed[i]), int(et[i]))
+        for i in range(n)
+    ]
+
+
+def _reference_engine(rng, q=4):
+    springs = [
+        Spring(np.cumsum(rng.normal(size=3 + 2 * (i % 3))), epsilon=2.5)
+        for i in range(q)
+    ]
+    return FusedSpring.from_springs(springs, backend="numpy")
+
+
+def _shadow_of(engine):
+    """A second engine with cloned master arrays, driven by PLAIN kernels."""
+    shadow = {
+        "args": None,
+        "d": engine._d.copy(),
+        "s": engine._s.copy(),
+        "ticks": engine._ticks.copy(),
+        "dmin": engine._dmin.copy(),
+        "ts": engine._ts.copy(),
+        "te": engine._te.copy(),
+        "bd": engine._best_d.copy(),
+        "bs": engine._best_s.copy(),
+        "be": engine._best_e.copy(),
+    }
+    bank = engine.bank
+    shadow["args"] = (
+        _KIND_CODES[engine._prune_kind],
+        np.ascontiguousarray(bank.padded[:, :, 0]),
+        bank.lengths,
+        bank.epsilons,
+        shadow["d"],
+        shadow["s"],
+        shadow["ticks"],
+        shadow["dmin"],
+        shadow["ts"],
+        shadow["te"],
+        shadow["bd"],
+        shadow["bs"],
+        shadow["be"],
+    )
+    return shadow
+
+
+def _assert_states_match(engine, shadow):
+    assert shadow["d"].tobytes() == engine._d.tobytes()
+    assert shadow["s"].tobytes() == engine._s.tobytes()
+    assert np.array_equal(shadow["ticks"], engine._ticks)
+    assert shadow["dmin"].tobytes() == engine._dmin.tobytes()
+    assert np.array_equal(shadow["ts"], engine._ts)
+    assert np.array_equal(shadow["te"], engine._te)
+    assert shadow["bd"].tobytes() == engine._best_d.tobytes()
+    assert np.array_equal(shadow["bs"], engine._best_s)
+    assert np.array_equal(shadow["be"], engine._best_e)
+
+
+def _match_tuples(pairs):
+    return [
+        (qi, m.start, m.end, m.distance, m.output_time) for qi, m in pairs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Column kernels
+# ----------------------------------------------------------------------
+
+
+def test_update_columns_into_matches_reference(rng):
+    for _ in range(20):
+        q = int(rng.integers(1, 7))
+        m = int(rng.integers(1, 12))
+        d = rng.uniform(0.0, 6.0, size=(q, m + 1))
+        d[:, 0] = 0.0
+        d[rng.random(size=d.shape) < 0.2] = np.inf
+        s = rng.integers(1, 40, size=(q, m + 1)).astype(np.int64)
+        cost = rng.uniform(0.0, 3.0, size=(q, m))
+        ticks = rng.integers(1, 40, size=q).astype(np.int64)
+        want_d, want_s = update_columns(d, s, cost, ticks)
+        got_d = np.empty_like(want_d)
+        got_s = np.empty_like(want_s)
+        PLAIN["update_columns_into"](d, s, cost, ticks, got_d, got_s)
+        assert got_d.tobytes() == want_d.tobytes()
+        assert got_s.tobytes() == want_s.tobytes()
+
+
+@pytest.mark.parametrize("kind", ["squared", "absolute"])
+def test_lb_corridor_into_matches_reference(rng, kind):
+    lo = rng.uniform(-4.0, 1.0, size=12)
+    hi = lo + rng.uniform(0.0, 5.0, size=12)
+    out = np.empty(12, dtype=np.float64)
+    for x in (-7.0, 0.0, 2.5, float(hi[5])):
+        PLAIN["lb_corridor_into"](x, lo, hi, _KIND_CODES[kind], out)
+        want = lb_corridor(x, lo, hi, kind)
+        assert out.tobytes() == np.asarray(want).tobytes()
+
+
+# ----------------------------------------------------------------------
+# Fused-bank kernels against a live engine
+# ----------------------------------------------------------------------
+
+
+def test_step_bank_tracks_live_engine(rng):
+    engine = _reference_engine(rng)
+    shadow = _shadow_of(engine)
+    rows = np.arange(engine.q, dtype=np.int64)
+    emit = _emit_buffers()
+    stream = np.cumsum(rng.normal(size=80))
+    for value in stream:
+        want = _match_tuples(engine.step(float(value)))
+        n = PLAIN["step_bank"](*shadow["args"], float(value), rows, *emit)
+        assert _emitted(emit, n) == want
+        _assert_states_match(engine, shadow)
+
+
+def test_step_bank_partial_rows(rng):
+    """Stepping a row subset advances exactly those rows."""
+    engine = _reference_engine(rng)
+    shadow = _shadow_of(engine)
+    emit = _emit_buffers()
+    hot = np.array([0, 2], dtype=np.int64)
+    n = PLAIN["step_bank"](*shadow["args"], 1.25, hot, *emit)
+    assert n == 0
+    assert np.array_equal(shadow["ticks"], [1, 0, 1, 0])
+    # The untouched rows' columns still match the engine's initial state.
+    assert shadow["d"][1].tobytes() == engine._d[1].tobytes()
+    assert shadow["d"][3].tobytes() == engine._d[3].tobytes()
+
+
+def test_extend_bank_matches_per_tick_with_skips(rng):
+    engine = _reference_engine(rng)
+    shadow = _shadow_of(engine)
+    stream = np.cumsum(rng.normal(size=60))
+    skip = (rng.random(size=60) < 0.15).astype(np.uint8)
+
+    want = []
+    for value, skipped in zip(stream, skip):
+        # missing="skip": a gap advances time without a column update.
+        want.extend(
+            _match_tuples(engine.step(float("nan") if skipped else float(value)))
+        )
+
+    emit = _emit_buffers()
+    got = []
+    pos = 0
+    while pos < stream.size:
+        consumed, n = PLAIN["extend_bank"](
+            *shadow["args"], stream[pos:], skip[pos:], *emit
+        )
+        got.extend(_emitted(emit, n))
+        assert consumed > 0
+        pos += consumed
+    assert got == want
+    _assert_states_match(engine, shadow)
+
+
+def test_extend_bank_respects_emit_capacity(rng):
+    """A tiny emit buffer forces mid-block handoffs, never lost matches."""
+    query = np.zeros(2)
+    engine = FusedSpring.from_springs(
+        [Spring(query, epsilon=10.0)], backend="numpy"
+    )
+    shadow = _shadow_of(engine)
+    stream = np.zeros(40)  # every tick confirms eventually
+    skip = np.zeros(40, dtype=np.uint8)
+    want = []
+    for value in stream:
+        want.extend(_match_tuples(engine.step(float(value))))
+
+    emit = _emit_buffers(cap=2)
+    got = []
+    pos = 0
+    while pos < stream.size:
+        consumed, n = PLAIN["extend_bank"](
+            *shadow["args"], stream[pos:], skip[pos:], *emit
+        )
+        got.extend(_emitted(emit, n))
+        assert n <= 2
+        assert consumed > 0
+        pos += consumed
+    assert got == want
+    _assert_states_match(engine, shadow)

@@ -136,6 +136,10 @@ class TestProfileScript:
         assert report["config"]["ticks"] == 300
         assert report["spans_dropped"] == 0
         stages = {stage["stage"]: stage for stage in report["stages"]}
-        assert stages["kernel"]["calls"] > 0
+        # Auto backend selection decides which kernel stage carries the
+        # ticks: "kernel" (numpy column updates) or "compiled kernel"
+        # (fused bank kernel spans) — exactly one must have run.
+        kernel_stage = stages.get("kernel") or stages.get("compiled kernel")
+        assert kernel_stage is not None and kernel_stage["calls"] > 0
         total_share = sum(stage["share"] for stage in report["stages"])
         assert total_share == pytest.approx(1.0, abs=1e-6)
