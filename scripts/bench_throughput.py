@@ -45,6 +45,18 @@ kernel backend's contribution is measured by its own pair:
   JIT cost (and JIT cost is never hidden).  When no compiled backend
   is available the pair is skipped and the ratio recorded as null.
 
+* ``monitor_1000q_64s_shard_{1,4}w`` — the sharded serving runtime on
+  a 64-stream x 1000-query workload, run with one worker and with four
+  workers back-to-back per round.  The per-round minimum of the 4w/1w
+  throughput ratio is recorded as ``shard_scaling_speedup`` (and
+  divided by the worker count as ``shard_scaling_efficiency``), with
+  ``cpu_count`` recorded alongside so the CI gate can skip the floor
+  on machines that physically cannot scale (fewer than 4 cores).
+  Worker restarts during a timed round are recorded in the row — a
+  nonzero count means the timing includes a recovery, not steady
+  state.  Both sides pin ``backend="numpy"`` like every other pair:
+  the ratio isolates sharding, nothing else.
+
 Results are written to ``BENCH_throughput.json`` at the repo root (or
 ``--output``).  Runtimes are wall-clock and machine-dependent; the JSON
 is a record of relative speedups, not a regression gate.
@@ -58,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -371,6 +384,93 @@ def _kernel_pair(repeats: int, ticks: int, seed: int):
     )
 
 
+SHARD_STREAMS = 64
+SHARD_QUERY_COUNT = 1000
+SHARD_WORKERS = 4
+SHARD_CHUNK = 16
+
+
+def bench_sharded(ticks: int, seed: int, workers: int) -> Dict[str, float]:
+    """The sharded runtime on 64 streams x 1000 queries, ``workers`` wide.
+
+    Worker start-up (process spawn + interpreter import) is paid before
+    the clock starts; the timed region is pushes plus ``finish`` — the
+    steady-state serving path including the drain barrier and the
+    deterministic merge.  Streams are fed round-robin in small chunks
+    so every worker always has runnable input.
+    """
+    from repro.runtime import ShardedMonitor
+
+    rng = np.random.default_rng(seed)
+    queries = _queries(rng, SHARD_QUERY_COUNT)
+    streams = [
+        np.cumsum(rng.normal(size=ticks)) for _ in range(SHARD_STREAMS)
+    ]
+    monitor = ShardedMonitor(shards=workers, backend="numpy")
+    for s in range(SHARD_STREAMS):
+        monitor.add_stream(f"s{s}")
+    for i, query in enumerate(queries):
+        monitor.add_query(f"q{i}", query, epsilon=2.0)
+    reports = []
+    with monitor:
+        monitor.start()
+
+        def run() -> int:
+            for off in range(0, ticks, SHARD_CHUNK):
+                for s, values in enumerate(streams):
+                    monitor.push_many(
+                        f"s{s}", values[off:off + SHARD_CHUNK]
+                    )
+            reports.append(monitor.finish(flush=True))
+            return ticks * SHARD_STREAMS
+
+        row = _timed(run)
+    row["workers"] = workers
+    row["restarts"] = reports[0].restarts
+    return row
+
+
+def _shard_pair(repeats: int, ticks: int, seed: int):
+    """The 1-worker / 4-worker sharded pair, measured noise-robustly.
+
+    Same discipline as the other ratio pairs: each round runs both
+    sides back-to-back and the per-round 4w/1w ratios reduce with
+    ``min`` — the conservative direction (the minimum understates the
+    scaling benefit, so a gate floor it still clears is trustworthy).
+    The pair is much heavier than the in-process scenarios (it spawns
+    five interpreters per round), so it runs at most two rounds and on
+    a reduced tick count.
+    """
+    shard_ticks = max(ticks // 500, 8)
+    rounds = max(1, min(repeats, 2))
+    sides = {
+        workers: f"monitor_1000q_64s_shard_{workers}w"
+        for workers in (1, SHARD_WORKERS)
+    }
+    best = {}
+    speedup = None
+    for _ in range(rounds):
+        rows = {}
+        for workers, name in sides.items():
+            row = bench_sharded(shard_ticks, seed, workers)
+            rows[name] = row
+            if (
+                name not in best
+                or row["ticks_per_sec"] > best[name]["ticks_per_sec"]
+            ):
+                best[name] = row
+        base = rows[sides[1]]["ticks_per_sec"]
+        if base:
+            ratio = rows[sides[SHARD_WORKERS]]["ticks_per_sec"] / base
+            if speedup is None or ratio < speedup:
+                speedup = ratio
+    return (
+        best,
+        None if speedup is None else round(speedup, 2),
+        None if speedup is None else round(speedup / SHARD_WORKERS, 3),
+    )
+
+
 def _overhead_pair(repeats: int, ticks: int, seed: int):
     """The push / push-with-metrics pair, measured noise-robustly.
 
@@ -431,6 +531,9 @@ def run_suite(
     kernel_rows, kernel_speedup, kernel_backend, kernel_warmup = _kernel_pair(
         repeats, ticks, seed
     )
+    shard_rows, shard_speedup, shard_efficiency = _shard_pair(
+        repeats, ticks, seed
+    )
     results = {
         "spring_1q": bench_spring_1q(ticks * 4, np.random.default_rng(seed)),
         "per_query_64q": bench_per_query_64q(
@@ -447,6 +550,7 @@ def run_suite(
     }
     results.update(prune_rows)
     results.update(kernel_rows)
+    results.update(shard_rows)
     fused = results["monitor_64q_push"]["ticks_per_sec"]
     baseline = results["per_query_64q"]["ticks_per_sec"]
     return {
@@ -459,6 +563,10 @@ def run_suite(
             "warm_ticks": WARM_TICKS,
             "base_ticks": ticks,
             "push_repeats": repeats,
+            "shard_streams": SHARD_STREAMS,
+            "shard_queries": SHARD_QUERY_COUNT,
+            "shard_workers": SHARD_WORKERS,
+            "cpu_count": os.cpu_count(),
             "seed": seed,
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -473,6 +581,8 @@ def run_suite(
         "kernel_backend": kernel_backend,
         "kernel_speedup_vs_numpy": kernel_speedup,
         "kernel_warmup": kernel_warmup,
+        "shard_scaling_speedup": shard_speedup,
+        "shard_scaling_efficiency": shard_efficiency,
     }
 
 
@@ -518,6 +628,12 @@ def main(argv: object = None) -> Path:
             f"{warmup['resolve_seconds']:.3f}s resolve + "
             f"{warmup['first_256_ticks_seconds']:.3f}s first ticks)"
         )
+    print(
+        f"shard scaling (4w vs 1w):   "
+        f"{report['shard_scaling_speedup']}x "
+        f"(efficiency {report['shard_scaling_efficiency']}, "
+        f"{report['config']['cpu_count']} cpus)"
+    )
     print(f"wrote {args.output}")
     return args.output
 

@@ -32,6 +32,13 @@ same run:
   floor because the ratio is machine-independent by construction.
   Skipped with a note when no compiled backend is available (no C
   compiler and no numba), so numpy-only CI legs stay green.
+* ``shard_scaling_speedup`` — the sharded serving runtime at 4 workers
+  vs 1 worker on the 64-stream x 1000-query workload, gated against
+  ``--min-shard-scaling`` (default 2).  Skipped with a note when the
+  machine has fewer than 4 CPUs (the report records ``cpu_count``):
+  multiprocessing cannot beat a single worker without cores to run on,
+  and a floor that fails on small runners gates the runner, not the
+  code.
 
 Usage::
 
@@ -104,6 +111,14 @@ def main(argv: object = None) -> int:
         help="minimum compiled-backend/numpy throughput ratio on the "
         "64-query push workload (default 5.0); skipped when no "
         "compiled kernel backend is available",
+    )
+    parser.add_argument(
+        "--min-shard-scaling",
+        type=float,
+        default=2.0,
+        help="minimum 4-worker/1-worker throughput ratio for the "
+        "sharded runtime (default 2.0); skipped on machines with "
+        "fewer than 4 CPUs",
     )
     parser.add_argument(
         "--repeats",
@@ -209,6 +224,32 @@ def main(argv: object = None) -> int:
             failed = True
         else:
             print("OK: kernel speedup above floor")
+
+    shard_speedup = report["shard_scaling_speedup"]
+    shard_workers = report["config"]["shard_workers"]
+    cpu_count = report["config"]["cpu_count"] or 1
+    if shard_speedup is None:
+        print("no shard scaling measurement; skipping shard gate")
+    elif cpu_count < shard_workers:
+        print(
+            f"shard scaling          : {shard_speedup:.2f}x "
+            f"(not gated: {cpu_count} cpus < {shard_workers} workers)"
+        )
+    else:
+        print(
+            f"shard scaling          : {shard_speedup:.2f}x at "
+            f"{shard_workers} workers "
+            f"(floor {args.min_shard_scaling:.1f}x)"
+        )
+        if shard_speedup < args.min_shard_scaling:
+            print(
+                "FAIL: the sharded runtime delivers less than "
+                f"{args.min_shard_scaling:.1f}x at {shard_workers} "
+                "workers on the 64-stream workload"
+            )
+            failed = True
+        else:
+            print("OK: shard scaling above floor")
 
     return 1 if failed else 0
 

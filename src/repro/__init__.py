@@ -87,8 +87,10 @@ from repro.runtime import (
     DeadLetter,
     RetryPolicy,
     RunReport,
+    ShardedMonitor,
     StreamHealth,
     SupervisedRunner,
+    WorkerFaultInjector,
 )
 
 __version__ = "1.0.0"
@@ -107,8 +109,10 @@ __all__ = [
     "ReportPolicy",
     "RetryPolicy",
     "RunReport",
+    "ShardedMonitor",
     "StreamHealth",
     "SupervisedRunner",
+    "WorkerFaultInjector",
     "TopK",
     "TopKSpring",
     "TransformedMatcher",

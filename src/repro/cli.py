@@ -23,7 +23,12 @@ Commands
     snapshotted atomically so ``--resume`` continues a killed run with
     byte-identical match output.  ``--backend`` picks the kernel
     backend (``auto`` by default; matches are bit-identical across
-    backends).
+    backends).  With ``--shards N`` the run goes through the sharded
+    multi-process runtime (supervised workers, automatic crash
+    recovery).  Either way SIGTERM/SIGINT stop the run cooperatively:
+    the tick in flight completes, a final snapshot and metrics file
+    are written (when configured), workers drain, and the process
+    exits 0.
 ``backends``
     List the kernel backends this installation can use, with priority
     and the availability reason, and which one ``auto`` selects.
@@ -140,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="kernel backend for the column recurrence "
                           "(default: auto = best available; matches "
                           "are bit-identical across backends)")
+    mon.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="run through the sharded multi-process runtime "
+                          "with N supervised worker processes (crash "
+                          "recovery and restart are automatic; matches "
+                          "are byte-identical to a single-process run)")
 
     sub.add_parser(
         "backends",
@@ -218,6 +228,36 @@ def _matcher_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _trap_stop_signals(on_stop):
+    """Point SIGTERM/SIGINT at ``on_stop``; returns a restore callable.
+
+    ``on_stop`` must be handler-safe (set a flag, nothing more).  On
+    platforms or threads where handlers cannot be installed the trap
+    degrades to a no-op — the default signal disposition applies.
+    """
+    import signal
+
+    previous = {}
+
+    def handler(signum, frame):  # pragma: no cover - exercised via kill
+        on_stop()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+    def restore() -> None:
+        for sig, prev in previous.items():
+            try:
+                signal.signal(sig, prev)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    return restore
+
+
 def _metrics_writer(registry, path: str):
     """A zero-arg callable atomically rewriting the Prometheus file."""
     from repro.obs.prometheus import write as write_prometheus
@@ -290,7 +330,11 @@ def _run_monitor_supervised(
         )
 
     runner.subscribe(on_match)
-    report = runner.run()
+    restore_signals = _trap_stop_signals(runner.request_stop)
+    try:
+        report = runner.run()
+    finally:
+        restore_signals()
     if write_metrics is not None:
         write_metrics()
         print(f"wrote metrics to {args.metrics_out}")
@@ -300,11 +344,121 @@ def _run_monitor_supervised(
         f"{count} matches, {health.retries} retries, "
         f"{report.checkpoints} snapshots"
     )
+    if report.stopped:
+        print(
+            f"stop requested: final snapshot at tick {report.watermark}; "
+            f"continue with --resume"
+        )
     if source.malformed_count:
         print(f"warning: {source.malformed_count} malformed CSV cells")
     if health.quarantined:
         print(f"stream quarantined: {health.quarantine_reason}")
         return 1
+    return 0
+
+
+def _run_monitor_sharded(
+    args: argparse.Namespace, queries: "dict[str, np.ndarray]"
+) -> int:
+    """Monitor through :class:`~repro.runtime.shard.ShardedMonitor`.
+
+    The supervisor publishes the CSV stream to ``--shards`` worker
+    processes; crashed workers restart and resume from their shard
+    checkpoints mid-run.  SIGTERM/SIGINT stop pushing after the tick in
+    flight, drain the workers (final per-shard snapshots included), and
+    exit 0.  Matches print in arrival order (shards interleave); the
+    totals line reflects the deterministic merged report.
+    """
+    from repro.runtime import ShardedMonitor
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.resume:
+        raise SystemExit(
+            "--resume is not supported with --shards: sharded runs "
+            "recover crashed workers within the run; cross-run resume "
+            "is the single-process supervised path"
+        )
+    source = CsvSource(args.stream_csv, columns=args.column,
+                       skip_header=not args.no_header,
+                       strict=args.strict_csv)
+    monitor = ShardedMonitor(
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        prune=not args.no_prune,
+        prune_buffer=args.prune_buffer,
+        backend=args.backend,
+    )
+    monitor.add_stream("stream")
+    for name, query in queries.items():
+        monitor.add_query(name, query, epsilon=args.epsilon,
+                          matcher=args.matcher, **_matcher_kwargs(args))
+    write_metrics = None
+    every = max(1, args.metrics_every)
+    if args.metrics_out is not None:
+        registry = monitor.enable_metrics()
+        write_metrics = _metrics_writer(registry, args.metrics_out)
+
+    count = 0
+    multi = len(queries) > 1
+
+    def on_match(event) -> None:
+        nonlocal count
+        count += 1
+        match = event.match
+        reported = (
+            f" (reported at tick {match.output_time})"
+            if match.output_time is not None
+            else " (at end of stream)"
+        )
+        tag = f" [{event.query}]" if multi else ""
+        print(
+            f"match #{count}{tag}: ticks {match.start}..{match.end} "
+            f"distance {match.distance:.6g}{reported}"
+        )
+
+    monitor.subscribe(on_match)
+    stop = {"requested": False}
+    restore_signals = _trap_stop_signals(
+        lambda: stop.__setitem__("requested", True)
+    )
+    skipped = 0
+    ticks = 0
+    try:
+        with monitor:
+            monitor.start()
+            for value in source:
+                if stop["requested"]:
+                    break
+                if not np.isfinite(value):
+                    # The sharded data plane is finite-only; missing
+                    # CSV cells are skipped (and counted) here.
+                    skipped += 1
+                    continue
+                monitor.push("stream", value)
+                ticks += 1
+                if write_metrics is not None and ticks % every == 0:
+                    write_metrics()
+            report = monitor.finish(flush=not stop["requested"])
+    finally:
+        restore_signals()
+    if write_metrics is not None:
+        write_metrics()
+        print(f"wrote metrics to {args.metrics_out}")
+    print(
+        f"{report.ticks} ticks processed across {args.shards} shards, "
+        f"{count} matches, {report.restarts} worker restarts, "
+        f"{report.rebalances} rebalances"
+    )
+    if skipped:
+        print(f"warning: {skipped} non-finite stream values skipped")
+    if source.malformed_count:
+        print(f"warning: {source.malformed_count} malformed CSV cells")
+    if stop["requested"]:
+        print("stop requested: workers drained, shard snapshots written")
+    if report.quarantined:
+        print(f"warning: quarantined workers: {sorted(report.quarantined)}")
     return 0
 
 
@@ -339,6 +493,8 @@ def _load_queries(args: argparse.Namespace) -> "dict[str, np.ndarray]":
 
 def _run_monitor(args: argparse.Namespace) -> int:
     queries = _load_queries(args)
+    if args.shards is not None:
+        return _run_monitor_sharded(args, queries)
     if args.checkpoint_dir is not None:
         return _run_monitor_supervised(args, queries)
     if args.resume:

@@ -81,3 +81,13 @@ class CheckpointError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An evaluation experiment could not be run as configured."""
+
+
+class ShardingError(ReproError, RuntimeError):
+    """The sharded runtime could not uphold its delivery contract.
+
+    Raised by :class:`~repro.runtime.shard.ShardedMonitor` when work can
+    no longer be placed on any healthy worker (every shard quarantined)
+    or a drain deadline expires — always instead of dropping data
+    silently.
+    """

@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshot,
 )
 from repro.obs.prometheus import parse as parse_prometheus
 from repro.obs.prometheus import render as render_prometheus
@@ -56,6 +57,7 @@ __all__ = [
     "current_tracer",
     "disable_tracing",
     "enable_tracing",
+    "merge_snapshot",
     "parse_prometheus",
     "render_prometheus",
     "write_prometheus",

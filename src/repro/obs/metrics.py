@@ -34,6 +34,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshot",
 ]
 
 #: Fixed histogram boundaries (seconds) for per-tick latencies: 5 µs
@@ -156,6 +157,27 @@ class _HistogramChild(_Child):
                 self.counts[index] += bucket_count
             self.sum += total
             self.count += count
+
+    def set_bucketed(
+        self, counts: Sequence[int], total: float, count: int
+    ) -> None:
+        """Replace this child's state with pre-bucketed totals.
+
+        Unlike :meth:`merge_bucketed` (which *adds*), this is the
+        idempotent mirror path: a worker process periodically ships its
+        cumulative snapshot and the aggregator overwrites the mirrored
+        series, so re-merging the same snapshot twice never double
+        counts.
+        """
+        if len(counts) != len(self.counts):
+            raise ValidationError(
+                f"expected {len(self.counts)} bucket counts, "
+                f"got {len(counts)}"
+            )
+        with self._lock:
+            self.counts = [int(c) for c in counts]
+            self.sum = float(total)
+            self.count = int(count)
 
 
 class _MetricFamily:
@@ -411,3 +433,62 @@ class MetricsRegistry:
         with self._lock:
             families = list(self._families.items())
         return {name: family.snapshot() for name, family in families}
+
+
+def merge_snapshot(
+    registry: MetricsRegistry,
+    snapshot: Dict[str, dict],
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Mirror another registry's :meth:`~MetricsRegistry.snapshot`.
+
+    The sharded runtime's aggregation path: each worker process ships
+    its cumulative snapshot over the event queue and the supervisor
+    folds it into one registry, adding ``extra_labels`` (typically
+    ``{"shard": "<worker id>"}``) so per-shard series stay
+    distinguishable.  Semantics are *replace*, per mirrored series:
+    counters move monotonically to the shipped value (so a restarted
+    worker's reset counters never wind the mirror backwards), gauges
+    take it verbatim, histograms adopt the shipped bucket state.
+    Re-merging the same snapshot is therefore idempotent.
+    """
+    extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+    for name, family in snapshot.items():
+        kind = family.get("type")
+        series = family.get("series", [])
+        if not series:
+            continue
+        base_names = tuple(series[0].get("labels", {}).keys())
+        labelnames = tuple(extra.keys()) + tuple(
+            n for n in base_names if n not in extra
+        )
+        help_text = str(family.get("help", ""))
+        if kind == "counter":
+            target = registry.counter(name, help_text, labelnames)
+            for entry in series:
+                target.labels(
+                    **{**extra, **entry.get("labels", {})}
+                ).set_to(float(entry["value"]))
+        elif kind == "gauge":
+            target = registry.gauge(name, help_text, labelnames)
+            for entry in series:
+                target.labels(
+                    **{**extra, **entry.get("labels", {})}
+                ).set(float(entry["value"]))
+        elif kind == "histogram":
+            target = registry.histogram(
+                name,
+                help_text,
+                labelnames,
+                buckets=tuple(family.get("buckets", ())),
+            )
+            for entry in series:
+                target.labels(
+                    **{**extra, **entry.get("labels", {})}
+                ).set_bucketed(
+                    entry.get("bucket_counts", []),
+                    float(entry.get("sum", 0.0)),
+                    int(entry.get("count", 0)),
+                )
+        # Unknown family types are skipped: forward compatibility
+        # beats a hard failure in the aggregation path.

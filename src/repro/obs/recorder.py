@@ -111,6 +111,9 @@ class NullRecorder:
     def record_dead_letter(self, stream: str) -> None:
         """No-op."""
 
+    def record_dead_letter_dropped(self, stream: str) -> None:
+        """No-op."""
+
     def record_checkpoint_write(self, seconds: float, nbytes: int) -> None:
         """No-op."""
 
@@ -187,6 +190,12 @@ class MetricsRecorder:
         self._dead_letters = r.counter(
             "spring_dead_letters_total",
             "Callback failures recorded as dead letters",
+            ("stream",),
+        )
+        self._dead_letters_dropped = r.counter(
+            "spring_dead_letters_dropped_total",
+            "Dead letters evicted from the bounded record (drop-oldest "
+            "at max_dead_letters)",
             ("stream",),
         )
         self._checkpoint_write = r.histogram(
@@ -315,6 +324,10 @@ class MetricsRecorder:
     def record_dead_letter(self, stream: str) -> None:
         """One dead-lettered callback failure."""
         self._dead_letters.labels(stream=stream).inc()
+
+    def record_dead_letter_dropped(self, stream: str) -> None:
+        """One dead letter evicted by the bounded record's cap."""
+        self._dead_letters_dropped.labels(stream=stream).inc()
 
     # -- checkpointing -------------------------------------------------
 

@@ -5,15 +5,27 @@
   callbacks, and periodic snapshots.
 * :class:`~repro.runtime.policy.RetryPolicy` — transient/fatal
   classification and exponential backoff with seeded jitter.
-* :class:`~repro.runtime.checkpointer.CheckpointManager` — atomic
-  write-rename snapshots under a monotonic tick watermark, with
-  tolerant newest-good recovery.
+* :class:`~repro.runtime.checkpointer.CheckpointManager` — atomic,
+  durable write-rename snapshots under a monotonic tick watermark,
+  with tolerant newest-good recovery.
+* :class:`~repro.runtime.shard.ShardedMonitor` — the multi-process
+  serving runtime: supervised worker shards over shared-memory rings,
+  heartbeat/restart/quarantine, exact crash recovery, and a live query
+  lifecycle.
 
-Pair with :mod:`repro.streams.faults` to chaos-test the whole stack.
+Pair with :mod:`repro.streams.faults` (in-process) and
+:class:`~repro.runtime.shard.WorkerFaultInjector` (process-level) to
+chaos-test the whole stack.
 """
 
 from repro.runtime.checkpointer import CheckpointManager
 from repro.runtime.policy import FATAL, TRANSIENT, RetryPolicy
+from repro.runtime.shard import (
+    ShardedMonitor,
+    ShardHealth,
+    ShardRunReport,
+    WorkerFaultInjector,
+)
 from repro.runtime.supervisor import (
     DeadLetter,
     RunReport,
@@ -27,7 +39,11 @@ __all__ = [
     "FATAL",
     "RetryPolicy",
     "RunReport",
+    "ShardHealth",
+    "ShardRunReport",
+    "ShardedMonitor",
     "StreamHealth",
     "SupervisedRunner",
     "TRANSIENT",
+    "WorkerFaultInjector",
 ]

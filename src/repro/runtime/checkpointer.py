@@ -3,9 +3,11 @@
 :class:`CheckpointManager` turns :func:`repro.core.checkpoint.save_monitor`
 into something a process can die on top of:
 
-* **Atomic snapshots.**  Each snapshot is serialised to a temp file in
-  the same directory, fsynced, then ``os.replace``-d into place — a
-  reader (including a restarted run) never observes a half-written file.
+* **Atomic, durable snapshots.**  Each snapshot is serialised to a temp
+  file in the same directory, fsynced, ``os.replace``-d into place, and
+  the directory entry is fsynced too — a reader (including a restarted
+  run) never observes a half-written file, and a power cut right after
+  the rename cannot roll the newest snapshot back out of the listing.
 * **Monotonic watermarks.**  A snapshot is named by the total tick count
   it covers (``checkpoint-000000000042.json``); the directory listing
   *is* the recovery log, newest first.
@@ -59,7 +61,13 @@ class CheckpointManager:
         corrupt newest file still leaves a recovery point.
     """
 
-    def __init__(self, directory: Union[str, Path], keep: int = 3) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        keep: int = 3,
+        *,
+        os_module=os,
+    ) -> None:
         self.directory = Path(directory)
         keep = int(keep)
         if keep < 1:
@@ -69,6 +77,10 @@ class CheckpointManager:
         # supervised runner shares its monitor's), save/resume publish
         # write/restore timings and serialized byte counts.
         self.recorder = NULL_RECORDER
+        # Injectable os facade so durability-ordering tests can observe
+        # (or fail) the fsync/replace sequence without monkeypatching
+        # the real module globally.
+        self._os = os_module
 
     # ------------------------------------------------------------------
     # Writing
@@ -80,8 +92,15 @@ class CheckpointManager:
         watermark: int,
         stream_ticks: Optional[Dict[str, int]] = None,
         events_emitted: int = 0,
+        extra: Optional[Dict[str, object]] = None,
     ) -> Path:
-        """Atomically persist a snapshot at ``watermark`` total ticks."""
+        """Atomically persist a snapshot at ``watermark`` total ticks.
+
+        ``extra`` is an optional JSON-safe dict stored verbatim in the
+        payload and handed back via :meth:`resume` — the sharded runtime
+        uses it to record which live-lifecycle commands a worker had
+        already applied at the watermark.
+        """
         watermark = int(watermark)
         if watermark < 0:
             raise ValidationError(f"watermark must be >= 0, got {watermark}")
@@ -95,6 +114,8 @@ class CheckpointManager:
             "events_emitted": int(events_emitted),
             "monitor": save_monitor(monitor),
         }
+        if extra is not None:
+            payload["extra"] = dict(extra)
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self.directory / f"{_PREFIX}{watermark:012d}{_SUFFIX}"
         tmp = final.with_suffix(final.suffix + ".tmp")
@@ -102,14 +123,33 @@ class CheckpointManager:
         with open(tmp, "w") as handle:
             handle.write(data)
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, final)
+            self._os.fsync(handle.fileno())
+        self._os.replace(tmp, final)
+        self._fsync_directory()
         self._prune()
         if self.recorder.enabled:
             self.recorder.record_checkpoint_write(
                 perf_counter() - started, len(data)
             )
         return final
+
+    def _fsync_directory(self) -> None:
+        """Make the renamed snapshot's directory entry durable.
+
+        ``os.replace`` guarantees atomicity but not durability: on a
+        crash right after the rename, the *file* data is safe (it was
+        fsynced) yet the directory entry can still be lost, silently
+        rolling recovery back to the previous snapshot.  Fsyncing the
+        directory fd closes that window on POSIX filesystems.
+        """
+        flags = getattr(self._os, "O_DIRECTORY", None)
+        if flags is None:  # pragma: no cover - non-POSIX platforms
+            return
+        fd = self._os.open(str(self.directory), flags | self._os.O_RDONLY)
+        try:
+            self._os.fsync(fd)
+        finally:
+            self._os.close(fd)
 
     def _prune(self) -> None:
         snapshots = self.snapshots()
@@ -191,5 +231,6 @@ class CheckpointManager:
                 for k, v in payload.get("stream_ticks", {}).items()  # type: ignore[union-attr]
             },
             "events_emitted": int(payload.get("events_emitted", 0)),  # type: ignore[arg-type]
+            "extra": dict(payload.get("extra", {})),  # type: ignore[arg-type]
         }
         return monitor, meta

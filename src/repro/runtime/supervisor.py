@@ -17,7 +17,14 @@ survives an impolite world:
 * **Callbacks are isolated.**  A subscriber that raises lands in the
   dead-letter record together with the event that triggered it
   (via the monitor's ``on_callback_error`` hook); match detection and
-  the other subscribers are unaffected.
+  the other subscribers are unaffected.  The record is bounded
+  (``max_dead_letters``, drop-oldest) so a permanently broken
+  subscriber on an unbounded stream cannot grow memory without limit;
+  the drop count is surfaced on the runner and in metrics.
+* **Stops are cooperative.**  :meth:`request_stop` (signal-handler
+  safe: it only sets a flag) makes the loop finish the current tick,
+  take a final snapshot when checkpointing is configured, and return
+  its report — the CLI's SIGTERM path rides on this.
 * **Progress is crash-consistent.**  With a
   :class:`~repro.runtime.checkpointer.CheckpointManager` attached, every
   ``checkpoint_every`` ticks the full monitor state is snapshotted
@@ -32,8 +39,9 @@ survives an impolite world:
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.monitor import MatchEvent, StreamMonitor
 from repro.exceptions import ValidationError
@@ -86,6 +94,12 @@ class RunReport:
     #: Metrics snapshot at the end of the run (None unless the runner's
     #: :meth:`SupervisedRunner.enable_metrics` was called).
     metrics: Optional[Dict[str, dict]] = None
+    #: True when the run ended early because :meth:`request_stop` was
+    #: called (sources were not drained; no flush happened).
+    stopped: bool = False
+    #: Dead letters evicted from the bounded record *during this run*
+    #: because ``max_dead_letters`` was reached (drop-oldest).
+    dead_letters_dropped: int = 0
 
 
 class _Quarantined(Exception):
@@ -120,6 +134,13 @@ class SupervisedRunner:
         when a run drains its sources.
     sleep:
         Injectable clock for backoff (tests pass a recorder).
+    max_dead_letters:
+        Bound on the retained dead-letter record (default 10000).  When
+        a new failure arrives at the cap, the *oldest* letter is
+        dropped and :attr:`dead_letters_dropped` (plus the
+        ``spring_dead_letters_dropped_total`` metric) is incremented —
+        a broken subscriber on an endless stream degrades to a counter,
+        not to unbounded memory.  ``None`` keeps the record unbounded.
     """
 
     def __init__(
@@ -130,6 +151,7 @@ class SupervisedRunner:
         checkpoint: Optional[CheckpointManager] = None,
         checkpoint_every: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
+        max_dead_letters: Optional[int] = 10000,
     ) -> None:
         if not isinstance(monitor, StreamMonitor):
             raise ValidationError(
@@ -150,6 +172,13 @@ class SupervisedRunner:
                 raise ValidationError(
                     "checkpoint_every needs a CheckpointManager"
                 )
+        if max_dead_letters is not None:
+            max_dead_letters = int(max_dead_letters)
+            if max_dead_letters < 1:
+                raise ValidationError(
+                    f"max_dead_letters must be >= 1 or None, "
+                    f"got {max_dead_letters}"
+                )
         self.monitor = monitor
         self.sources = list(sources)
         self.policy = policy if policy is not None else RetryPolicy()
@@ -157,8 +186,15 @@ class SupervisedRunner:
         self.checkpoint_every = checkpoint_every
         self.sleep = sleep
         self.events: List[MatchEvent] = []
-        self.dead_letters: List[DeadLetter] = []
+        self.max_dead_letters = max_dead_letters
+        #: Bounded drop-oldest record of callback failures.  Use
+        #: :attr:`dead_letters_total` for the all-time count and
+        #: :attr:`dead_letters_dropped` for how many were evicted.
+        self.dead_letters: Deque[DeadLetter] = deque(maxlen=max_dead_letters)
+        self.dead_letters_total = 0
+        self.dead_letters_dropped = 0
         self.watermark = 0
+        self._stop_requested = False
         self.resumed_from: Optional[int] = None
         # Events acknowledged before this process's lifetime (restored
         # from the snapshot); snapshots persist base + len(self.events)
@@ -244,6 +280,19 @@ class SupervisedRunner:
         """Per-stream supervision counters (live objects, not copies)."""
         return dict(self._health)
 
+    def request_stop(self) -> None:
+        """Ask the running loop to stop after the tick in flight.
+
+        Safe to call from a signal handler or another thread: it only
+        sets a flag.  The loop then takes a final snapshot (when a
+        checkpoint manager is attached) and returns its
+        :class:`RunReport` with ``stopped=True``; sources are *not*
+        flushed (the run did not drain), so a later ``--resume``
+        continues from the stop point with byte-identical events.  A
+        subsequent :meth:`run` call clears the flag and continues.
+        """
+        self._stop_requested = True
+
     def enable_metrics(
         self, registry: Optional[MetricsRegistry] = None
     ) -> MetricsRegistry:
@@ -293,6 +342,7 @@ class SupervisedRunner:
         flushes the matchers so end-of-stream pending matches are
         reported, mirroring an unsupervised ``push_many`` + ``flush``.
         """
+        self._stop_requested = False
         iterators: Dict[str, Iterator[object]] = {}
         active: List[str] = []
         for source in self.sources:
@@ -307,11 +357,18 @@ class SupervisedRunner:
             self._replay_cursor = {}
 
         events_before = len(self.events)
-        letters_before = len(self.dead_letters)
+        letters_total_before = self.dead_letters_total
+        dropped_before = self.dead_letters_dropped
         ticks = 0
         checkpoints = 0
-        while active and (max_ticks is None or ticks < max_ticks):
+        while (
+            active
+            and not self._stop_requested
+            and (max_ticks is None or ticks < max_ticks)
+        ):
             for name in list(active):
+                if self._stop_requested:
+                    break
                 if max_ticks is not None and ticks >= max_ticks:
                     break
                 health = self._health[name]
@@ -341,23 +398,33 @@ class SupervisedRunner:
                     self._snapshot()
                     checkpoints += 1
 
-        drained = all(h.exhausted or h.quarantined for h in self._health.values())
-        if drained and self.checkpoint is not None:
+        stopped = self._stop_requested
+        drained = (not stopped) and all(
+            h.exhausted or h.quarantined for h in self._health.values()
+        )
+        if (drained or stopped) and self.checkpoint is not None:
             # Final snapshot *before* flush: flush mutates matcher state.
+            # The early-stop path snapshots too, so a SIGTERM'd run
+            # resumes from its last processed tick, not the last cadence
+            # boundary.
             self._snapshot()
             checkpoints += 1
         if drained and flush:
             self.events.extend(self.monitor.flush())
 
+        new_letters = self.dead_letters_total - letters_total_before
+        retained = list(self.dead_letters)
         return RunReport(
             ticks=ticks,
             watermark=self.watermark,
             events=self.events[events_before:],
-            dead_letters=self.dead_letters[letters_before:],
+            dead_letters=retained[len(retained) - min(new_letters, len(retained)):],
             health=self.health(),
             resumed_from=self.resumed_from,
             checkpoints=checkpoints,
             metrics=self.metrics(),
+            stopped=stopped,
+            dead_letters_dropped=self.dead_letters_dropped - dropped_before,
         )
 
     # ------------------------------------------------------------------
@@ -443,12 +510,23 @@ class SupervisedRunner:
             recorder.record_quarantine(name)
 
     def _record_dead_letter(self, event: MatchEvent, error: Exception) -> None:
+        at_cap = (
+            self.max_dead_letters is not None
+            and len(self.dead_letters) >= self.max_dead_letters
+        )
+        # deque(maxlen=...) evicts the oldest on its own; we only need
+        # to account for the eviction.
         self.dead_letters.append(
             DeadLetter(event=event, error=error, watermark=self.watermark)
         )
+        self.dead_letters_total += 1
+        if at_cap:
+            self.dead_letters_dropped += 1
         recorder = self.monitor.recorder
         if recorder.enabled:
             recorder.record_dead_letter(event.stream)
+            if at_cap:
+                recorder.record_dead_letter_dropped(event.stream)
 
     def _snapshot(self) -> None:
         assert self.checkpoint is not None

@@ -1,6 +1,6 @@
 """Stream substrate: sources, fault injectors, buffers, stats, transforms."""
 
-from repro.streams.buffer import RingBuffer
+from repro.streams.buffer import RingBuffer, SharedRingBuffer
 from repro.streams.faults import (
     CorruptSource,
     DropSource,
@@ -31,6 +31,7 @@ __all__ = [
     "RollingExtrema",
     "RollingMean",
     "RingBuffer",
+    "SharedRingBuffer",
     "ArraySource",
     "CorruptSource",
     "CsvSource",

@@ -1,22 +1,32 @@
-"""Fixed-capacity ring buffer over numpy storage.
+"""Fixed-capacity ring buffers: in-process and shared-memory.
 
 SPRING itself needs no history, but surrounding tooling does: examples
 display the matched subsequence, the monitor CLI prints context windows,
 and the SPRING(path) memory accounting wants the recent raw values.  A
 ring buffer gives that with a hard memory cap — keeping the whole system
 inside the constant-space story.
+
+Two flavours:
+
+* :class:`RingBuffer` — plain numpy storage inside one process.
+* :class:`SharedRingBuffer` — the same fixed-capacity idea over
+  :mod:`multiprocessing.shared_memory`, with one writer and a fixed set
+  of reader cursors.  This is the data plane of the sharded runtime
+  (:mod:`repro.runtime.shard`): the supervisor publishes stream values
+  once, and each worker process consumes them at its own pace without
+  copies through pipes or queues.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro._serde import decode_floats, encode_floats
 from repro.exceptions import ValidationError
 
-__all__ = ["RingBuffer"]
+__all__ = ["RingBuffer", "SharedRingBuffer"]
 
 
 class RingBuffer:
@@ -119,3 +129,234 @@ class RingBuffer:
         self._count = int(state["count"]) - values.shape[0]
         for value in values:
             self.push(float(value))
+
+
+class SharedRingBuffer:
+    """Single-writer, multi-reader ring buffer over shared memory.
+
+    One process (the *writer*, normally a shard supervisor) publishes a
+    scalar stream; up to ``max_readers`` other processes consume it,
+    each through its own cursor slot.  Values are addressed by absolute
+    1-based stream tick, exactly like :class:`RingBuffer`, so readers
+    can hand positions straight to matchers.
+
+    Layout (all 8-byte aligned, fixed at creation)::
+
+        int64[0]                write_seq  — total values ever published
+        int64[1]                capacity
+        int64[2]                max_readers
+        int64[3 .. 3+R-1]       per-reader consumed counts
+        float64[... capacity]   value slots (tick t lives at (t-1) % capacity)
+
+    Publication order is *slots first, counter second*: a reader that
+    observes ``write_seq == n`` is guaranteed the slots for ticks
+    ``<= n`` are fully written (the writer never reuses a slot until
+    every cursor it respects has moved past it).  There are no locks;
+    the protocol is safe for exactly one writer because only the writer
+    mutates ``write_seq`` and only reader ``r`` mutates cursor ``r``.
+
+    The writer decides which cursors exert backpressure by passing the
+    live reader ids to :meth:`push_many` / :meth:`free_space` — a dead
+    worker's stalled cursor must not wedge the stream while the
+    supervisor restarts it (the recovery replay covers the gap).
+
+    Spawn-safety: the buffer travels between processes as its
+    :attr:`descriptor` (a plain picklable dict); the receiving process
+    calls :meth:`attach`.  Attached handles deliberately unregister
+    from the ``multiprocessing`` resource tracker so that a worker
+    killed with SIGKILL never triggers the tracker's premature-unlink
+    warning — the creating process owns the segment's lifetime via
+    :meth:`unlink`.
+    """
+
+    _HEADER_SLOTS = 3
+
+    def __init__(
+        self,
+        capacity: int,
+        max_readers: int = 1,
+        *,
+        _shm=None,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        capacity = int(capacity)
+        max_readers = int(max_readers)
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        if max_readers < 1:
+            raise ValidationError(
+                f"max_readers must be >= 1, got {max_readers}"
+            )
+        header_slots = self._HEADER_SLOTS + max_readers
+        size = 8 * (header_slots + capacity)
+        if _shm is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+            self._owner = True
+        else:
+            self._shm = _shm
+            self._owner = False
+        self.capacity = capacity
+        self.max_readers = max_readers
+        self._header = np.ndarray(
+            (header_slots,), dtype=np.int64, buffer=self._shm.buf
+        )
+        self._data = np.ndarray(
+            (capacity,),
+            dtype=np.float64,
+            buffer=self._shm.buf,
+            offset=8 * header_slots,
+        )
+        if self._owner:
+            self._header[:] = 0
+            self._header[1] = capacity
+            self._header[2] = max_readers
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Shared-memory segment name (stable process-wide handle)."""
+        return self._shm.name
+
+    @property
+    def descriptor(self) -> Dict[str, object]:
+        """Picklable handle another process can :meth:`attach` to."""
+        return {
+            "name": self._shm.name,
+            "capacity": self.capacity,
+            "max_readers": self.max_readers,
+        }
+
+    @classmethod
+    def attach(cls, descriptor: Dict[str, object]) -> "SharedRingBuffer":
+        """Open an existing buffer from its :attr:`descriptor`."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        # CPython <= 3.12 registers the segment with the resource
+        # tracker even on attach.  Workers share the creator's tracker
+        # process, so that second registration is a duplicate — and
+        # un-registering it later would strip the *creator's* entry,
+        # breaking the creator's own unlink.  Suppress registration for
+        # the attach call instead: the creating process alone owns the
+        # segment's lifetime.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=str(descriptor["name"]))
+        finally:
+            resource_tracker.register = original_register
+        return cls(
+            int(descriptor["capacity"]),
+            int(descriptor["max_readers"]),
+            _shm=shm,
+        )
+
+    def close(self) -> None:
+        """Detach this handle (the segment survives until unlinked)."""
+        # Views into shm.buf must be dropped before close() or mmap
+        # refuses to release the mapping.
+        self._header = None
+        self._data = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; call after :meth:`close`)."""
+        self._shm.unlink()
+
+    # -- writer side ---------------------------------------------------
+
+    @property
+    def write_seq(self) -> int:
+        """Total values ever published (== absolute tick of the newest)."""
+        return int(self._header[0])
+
+    def reader_seq(self, reader: int) -> int:
+        """Total values consumed by reader ``reader``."""
+        self._check_reader(reader)
+        return int(self._header[self._HEADER_SLOTS + reader])
+
+    def set_reader_seq(self, reader: int, seq: int) -> None:
+        """Reposition a reader cursor (writer-side recovery only).
+
+        Safe only while no process is concurrently reading through that
+        slot — the sharded supervisor uses it between a worker's death
+        and its replacement's spawn.
+        """
+        self._check_reader(reader)
+        seq = int(seq)
+        if seq < 0 or seq > self.write_seq:
+            raise ValidationError(
+                f"reader seq {seq} outside [0, {self.write_seq}]"
+            )
+        self._header[self._HEADER_SLOTS + reader] = seq
+
+    def free_space(self, readers: Iterable[int] = ()) -> int:
+        """Slots the writer may fill without overrunning ``readers``.
+
+        With no readers listed, only the capacity bounds the writer
+        (old values are overwritten ring-style).
+        """
+        write = int(self._header[0])
+        floor = write
+        for reader in readers:
+            self._check_reader(reader)
+            floor = min(
+                floor, int(self._header[self._HEADER_SLOTS + reader])
+            )
+        return self.capacity - (write - floor)
+
+    def push_many(
+        self, values: np.ndarray, readers: Iterable[int] = ()
+    ) -> int:
+        """Publish as many of ``values`` as fit; returns the count.
+
+        Slots are filled first, then ``write_seq`` is advanced — a
+        concurrent reader never observes a published-but-unwritten
+        tick.
+        """
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        room = self.free_space(readers)
+        count = min(int(room), values.shape[0])
+        if count <= 0:
+            return 0
+        write = int(self._header[0])
+        idx = (write + np.arange(count)) % self.capacity
+        self._data[idx] = values[:count]
+        self._header[0] = write + count
+        return count
+
+    def push(self, value: float, readers: Iterable[int] = ()) -> bool:
+        """Publish one value; False when backpressure blocks it."""
+        return self.push_many(np.asarray([value]), readers) == 1
+
+    # -- reader side ---------------------------------------------------
+
+    def read_new(
+        self, reader: int, limit: Optional[int] = None
+    ) -> Tuple[int, np.ndarray]:
+        """Consume everything published past this reader's cursor.
+
+        Returns ``(first_tick, values)`` where ``first_tick`` is the
+        absolute 1-based tick of ``values[0]`` (undefined when empty).
+        Advances the cursor past what was returned.
+        """
+        self._check_reader(reader)
+        slot = self._HEADER_SLOTS + reader
+        cursor = int(self._header[slot])
+        write = int(self._header[0])
+        count = write - cursor
+        if limit is not None:
+            count = min(count, int(limit))
+        if count <= 0:
+            return cursor + 1, np.empty(0, dtype=np.float64)
+        idx = (cursor + np.arange(count)) % self.capacity
+        values = self._data[idx].copy()
+        self._header[slot] = cursor + count
+        return cursor + 1, values
+
+    def _check_reader(self, reader: int) -> None:
+        if not 0 <= int(reader) < self.max_readers:
+            raise ValidationError(
+                f"reader {reader} outside [0, {self.max_readers})"
+            )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -70,6 +71,7 @@ class TestRecovery:
             "watermark": 1,
             "stream_ticks": {"s": 1},
             "events_emitted": 0,
+            "extra": {},
         }
         assert restored.matcher("s", "q").tick == 1
 
@@ -90,3 +92,92 @@ class TestRecovery:
         (tmp_path / "checkpoint-000000000001.json").write_text("{ nope")
         with pytest.raises(CheckpointError):
             manager.resume()
+
+    def test_extra_round_trips(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path)
+        manager.save(
+            _monitor(rng),
+            watermark=3,
+            stream_ticks={"s": 3},
+            extra={"last_command": 7, "note": "x"},
+        )
+        _, meta = manager.resume()
+        assert meta["extra"] == {"last_command": 7, "note": "x"}
+
+
+class _RecordingOs:
+    """Facade over :mod:`os` that logs the durability-relevant calls.
+
+    Delegates to the real functions so the snapshot actually lands on
+    disk; the log lets the test assert the fsync/replace/dir-fsync
+    *ordering* that makes the write crash-durable.
+    """
+
+    O_DIRECTORY = getattr(os, "O_DIRECTORY", 0)
+    O_RDONLY = os.O_RDONLY
+
+    def __init__(self) -> None:
+        self.calls = []
+        self._dir_fds = set()
+
+    def fsync(self, fd: int) -> None:
+        kind = "fsync_dir" if fd in self._dir_fds else "fsync_file"
+        self.calls.append(kind)
+        os.fsync(fd)
+
+    def replace(self, src, dst) -> None:
+        self.calls.append("replace")
+        os.replace(src, dst)
+
+    def open(self, path, flags) -> int:
+        fd = os.open(path, flags)
+        self._dir_fds.add(fd)
+        self.calls.append("open_dir")
+        return fd
+
+    def close(self, fd: int) -> None:
+        self.calls.append("close_dir")
+        self._dir_fds.discard(fd)
+        os.close(fd)
+
+
+class TestDurability:
+    def test_file_fsync_then_replace_then_directory_fsync(
+        self, tmp_path, rng
+    ):
+        shim = _RecordingOs()
+        manager = CheckpointManager(tmp_path, os_module=shim)
+        path = manager.save(_monitor(rng), watermark=1, stream_ticks={"s": 1})
+        assert path.exists()
+        assert shim.calls == [
+            "fsync_file",  # snapshot bytes reach the disk first,
+            "replace",     # then the atomic rename,
+            "open_dir",    # then the directory entry is made durable
+            "fsync_dir",
+            "close_dir",
+        ]
+
+    def test_directory_fsync_skipped_without_o_directory(
+        self, tmp_path, rng
+    ):
+        class _NoDirOs:
+            """Windows-shaped os: no O_DIRECTORY, no directory open."""
+
+            O_RDONLY = os.O_RDONLY
+            fsync = staticmethod(os.fsync)
+            replace = staticmethod(os.replace)
+
+            def open(self, path, flags):  # pragma: no cover - must not run
+                raise AssertionError("directory open attempted")
+
+        manager = CheckpointManager(tmp_path, os_module=_NoDirOs())
+        path = manager.save(_monitor(rng), watermark=1, stream_ticks={"s": 1})
+        assert path.exists()
+
+    def test_snapshot_survives_via_real_os(self, tmp_path, rng):
+        # Default os module: the full durable sequence must not error
+        # and the snapshot must be recoverable.
+        manager = CheckpointManager(tmp_path)
+        manager.save(_monitor(rng), watermark=2, stream_ticks={"s": 2})
+        restored, meta = manager.resume()
+        assert meta["watermark"] == 2

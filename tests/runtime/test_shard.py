@@ -1,0 +1,443 @@
+"""End-to-end tests for the sharded multi-process serving runtime.
+
+Every test here compares the sharded run's *merged* event list against a
+single-process :class:`StreamMonitor` oracle fed the identical push-call
+interleaving — the delivery contract is byte-identity (same events, same
+order, same floats), not mere set equality.  Worker counts stay at 2 and
+streams short because CI runs these on small machines; the protocol
+being exercised (rings, checkpoints, restarts, rebalance, lifecycle
+barriers) does not depend on scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import StreamMonitor
+from repro.exceptions import ShardingError, ValidationError
+from repro.runtime import ShardedMonitor, WorkerFaultInjector
+
+
+def _workload(seed: int, nstreams: int = 2, nqueries: int = 4, n: int = 200):
+    rng = np.random.default_rng(seed)
+    queries = {
+        f"q{i}": (rng.standard_normal(5 + i % 3).cumsum(), 2.0)
+        for i in range(nqueries)
+    }
+    streams = {
+        f"s{j}": rng.standard_normal(n).cumsum() for j in range(nstreams)
+    }
+    return queries, streams
+
+
+def _oracle(queries, streams, chunk: int = 8) -> list:
+    monitor = StreamMonitor(keep_history=False, backend="numpy")
+    for name, (query, eps) in queries.items():
+        monitor.add_query(name, query, eps)
+    for name in streams:
+        monitor.add_stream(name)
+    events = []
+    n = len(next(iter(streams.values())))
+    for off in range(0, n, chunk):
+        for name, values in streams.items():
+            events.extend(monitor.push_many(name, values[off:off + chunk]))
+    events.extend(monitor.flush())
+    return events
+
+
+def _run_sharded(
+    queries,
+    streams,
+    chunk: int = 8,
+    **kwargs,
+):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("backend", "numpy")
+    kwargs.setdefault("heartbeat_interval", 0.05)
+    sharded = ShardedMonitor(**kwargs)
+    for name, (query, eps) in queries.items():
+        sharded.add_query(name, query, eps)
+    for name in streams:
+        sharded.add_stream(name)
+    n = len(next(iter(streams.values())))
+    with sharded:
+        sharded.start()
+        for off in range(0, n, chunk):
+            for name, values in streams.items():
+                sharded.push_many(name, values[off:off + chunk])
+        return sharded.finish(flush=True)
+
+
+def _by_query(events) -> Dict[Tuple[str, str], list]:
+    grouped: Dict[Tuple[str, str], list] = {}
+    for event in events:
+        grouped.setdefault((event.stream, event.query), []).append(
+            event.match
+        )
+    return grouped
+
+
+class TestMergedByteIdentity:
+    def test_matches_single_process_run(self):
+        queries, streams = _workload(0, nstreams=3, nqueries=6, n=120)
+        expected = _oracle(queries, streams, chunk=10)
+        report = _run_sharded(queries, streams, chunk=10)
+        assert report.events == expected
+        assert report.restarts == 0
+        assert report.quarantined == []
+
+    def test_single_shard_degenerate(self):
+        queries, streams = _workload(1, nstreams=2, nqueries=2, n=80)
+        expected = _oracle(queries, streams)
+        report = _run_sharded(queries, streams, shards=1)
+        assert report.events == expected
+
+    def test_events_property_matches_report(self):
+        queries, streams = _workload(2, n=80)
+        sharded = ShardedMonitor(
+            shards=2, backend="numpy", heartbeat_interval=0.05
+        )
+        for name, (query, eps) in queries.items():
+            sharded.add_query(name, query, eps)
+        for name in streams:
+            sharded.add_stream(name)
+        with sharded:
+            sharded.start()
+            for name, values in streams.items():
+                sharded.push_many(name, values)
+            report = sharded.finish(flush=True)
+        assert sharded.events == report.events
+
+
+class TestChaosDrill:
+    def test_kill_each_worker_once_is_byte_identical(self, tmp_path):
+        # The acceptance drill: every worker dies exactly once at a
+        # seeded tick; restarted workers resume from their shard
+        # checkpoints and the merged output is byte-identical to the
+        # fault-free single-process run.
+        queries, streams = _workload(7, nstreams=2, nqueries=4, n=200)
+        expected = _oracle(queries, streams)
+        fault = WorkerFaultInjector(kill={0: ("s0", 60), 1: ("s1", 110)})
+        report = _run_sharded(
+            queries,
+            streams,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=25,
+            fault_injector=fault,
+        )
+        assert report.restarts == 2
+        assert report.quarantined == []
+        assert report.events == expected
+        assert {h.restarts for h in report.healths.values()} == {1}
+
+    def test_kill_without_checkpoints_replays_from_genesis(self):
+        # No checkpoint directory: recovery rebuilds matcher state by
+        # replaying the supervisor's value log. Same contract.
+        queries, streams = _workload(8, nstreams=2, nqueries=3, n=120)
+        expected = _oracle(queries, streams)
+        fault = WorkerFaultInjector(kill={1: ("s1", 40)})
+        report = _run_sharded(queries, streams, fault_injector=fault)
+        assert report.restarts == 1
+        assert report.events == expected
+
+    def test_quarantine_and_rebalance(self, tmp_path):
+        # Worker 0 crashes in every generation; with max_restarts=1 the
+        # second death quarantines it and its units move to worker 1.
+        # No events are lost or duplicated across the rebalance.
+        queries, streams = _workload(7, nstreams=2, nqueries=4, n=200)
+        expected = _oracle(queries, streams)
+        fault = WorkerFaultInjector(kill={0: ("s0", 60)}, generations=5)
+        report = _run_sharded(
+            queries,
+            streams,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=25,
+            fault_injector=fault,
+            max_restarts=1,
+        )
+        assert report.quarantined == [0]
+        assert report.rebalances > 0
+        assert report.events == expected
+        assert report.healths[0].quarantined
+        assert report.healths[0].last_error
+
+    def test_all_workers_quarantined_raises(self):
+        queries, streams = _workload(9, nstreams=1, nqueries=1, n=120)
+        fault = WorkerFaultInjector(
+            kill={0: ("s0", 30), 1: ("s0", 30)}, generations=10
+        )
+        sharded = ShardedMonitor(
+            shards=2,
+            backend="numpy",
+            heartbeat_interval=0.05,
+            fault_injector=fault,
+            max_restarts=0,
+        )
+        for name, (query, eps) in queries.items():
+            sharded.add_query(name, query, eps)
+        sharded.add_stream("s0")
+        with pytest.raises(ShardingError):
+            with sharded:
+                sharded.start()
+                for off in range(0, 120, 8):
+                    sharded.push_many("s0", streams["s0"][off:off + 8])
+                sharded.finish(flush=True)
+
+    def test_stall_detection_restarts_hung_worker(self):
+        # A hung worker (stops heartbeating mid-stream) is SIGKILLed by
+        # the supervisor and its replacement resumes exactly.
+        rng = np.random.default_rng(5)
+        query = rng.standard_normal(5).cumsum()
+        values = rng.standard_normal(120).cumsum()
+        oracle = StreamMonitor(keep_history=False, backend="numpy")
+        oracle.add_query("q", query, 2.0)
+        oracle.add_stream("s")
+        expected = list(oracle.push_many("s", values)) + list(oracle.flush())
+
+        sharded = ShardedMonitor(
+            shards=2,
+            backend="numpy",
+            heartbeat_interval=0.05,
+            stall_timeout=1.0,
+            fault_injector=WorkerFaultInjector(hang={0: ("s", 40)}),
+        )
+        sharded.add_query("q", query, 2.0)
+        sharded.add_stream("s")
+        with sharded:
+            sharded.start()
+            sharded.push_many("s", values)
+            report = sharded.finish(flush=True)
+        assert report.events == expected
+        assert report.restarts == 1
+        assert "stalled" in (report.healths[0].last_error or "")
+
+
+class TestLiveLifecycle:
+    def test_add_and_remove_without_restart(self):
+        # Queries join and leave a *running* monitor; workers are never
+        # restarted and no tick is dropped.  The oracle applies the
+        # same lifecycle at the same per-stream watermarks, so full
+        # merged order must be identical.
+        rng = np.random.default_rng(3)
+        q0 = rng.standard_normal(5).cumsum()
+        q1 = rng.standard_normal(6).cumsum()
+        q2 = rng.standard_normal(4).cumsum()
+        vals = {
+            "s0": rng.standard_normal(150).cumsum(),
+            "s1": rng.standard_normal(150).cumsum(),
+        }
+
+        oracle = StreamMonitor(keep_history=False, backend="numpy")
+        oracle.add_query("q0", q0, 2.0)
+        oracle.add_query("q1", q1, 2.0)
+        oracle.add_stream("s0")
+        oracle.add_stream("s1")
+        expected = []
+        for off in range(0, 50, 5):
+            for s in vals:
+                expected.extend(oracle.push_many(s, vals[s][off:off + 5]))
+        oracle.add_query("q2", q2, 2.5)  # live add at watermark 50
+        for off in range(50, 100, 5):
+            for s in vals:
+                expected.extend(oracle.push_many(s, vals[s][off:off + 5]))
+        oracle.remove_query("q1")  # live remove at watermark 100
+        for off in range(100, 150, 5):
+            for s in vals:
+                expected.extend(oracle.push_many(s, vals[s][off:off + 5]))
+        expected.extend(oracle.flush())
+
+        sharded = ShardedMonitor(
+            shards=2, backend="numpy", heartbeat_interval=0.05
+        )
+        sharded.add_query("q0", q0, 2.0)
+        sharded.add_query("q1", q1, 2.0)
+        sharded.add_stream("s0")
+        sharded.add_stream("s1")
+        with sharded:
+            sharded.start()
+            for off in range(0, 50, 5):
+                for s in vals:
+                    sharded.push_many(s, vals[s][off:off + 5])
+            sharded.add_query("q2", q2, 2.5)
+            for off in range(50, 100, 5):
+                for s in vals:
+                    sharded.push_many(s, vals[s][off:off + 5])
+            sharded.remove_query("q1")
+            for off in range(100, 150, 5):
+                for s in vals:
+                    sharded.push_many(s, vals[s][off:off + 5])
+            report = sharded.finish(flush=True)
+        assert report.events == expected
+        assert report.restarts == 0  # lifecycle never restarts workers
+        # No dropped ticks: every stream processed its full length.
+        assert report.ticks == 300
+
+    def test_swap_query_consistency_contract(self):
+        # swap keeps the old query's merge position, which a
+        # remove+add oracle cannot express — so the contract is checked
+        # per (stream, query) sequence: old-template events confirmed
+        # at ticks <= W are all delivered, the new template starts
+        # fresh at W+1, and nothing interleaves.
+        rng = np.random.default_rng(3)
+        q0 = rng.standard_normal(5).cumsum()
+        q2 = rng.standard_normal(4).cumsum()
+        vals = {
+            "s0": rng.standard_normal(150).cumsum(),
+            "s1": rng.standard_normal(150).cumsum(),
+        }
+
+        oracle = StreamMonitor(keep_history=False, backend="numpy")
+        oracle.add_query("q0", q0, 2.0)
+        oracle.add_stream("s0")
+        oracle.add_stream("s1")
+        expected = []
+        for off in range(0, 100, 5):
+            for s in vals:
+                expected.extend(oracle.push_many(s, vals[s][off:off + 5]))
+        oracle.remove_query("q0")
+        oracle.add_query("q0", q2 * 0.5, 3.0)  # oracle's stand-in swap
+        for off in range(100, 150, 5):
+            for s in vals:
+                expected.extend(oracle.push_many(s, vals[s][off:off + 5]))
+        expected.extend(oracle.flush())
+
+        sharded = ShardedMonitor(
+            shards=2, backend="numpy", heartbeat_interval=0.05
+        )
+        sharded.add_query("q0", q0, 2.0)
+        sharded.add_stream("s0")
+        sharded.add_stream("s1")
+        with sharded:
+            sharded.start()
+            for off in range(0, 100, 5):
+                for s in vals:
+                    sharded.push_many(s, vals[s][off:off + 5])
+            sharded.swap_query("q0", q2 * 0.5, 3.0)
+            for off in range(100, 150, 5):
+                for s in vals:
+                    sharded.push_many(s, vals[s][off:off + 5])
+            report = sharded.finish(flush=True)
+        assert _by_query(report.events) == _by_query(expected)
+        # Old-template events all confirmed at or before the swap
+        # watermark; new-template matches never end before it.
+        for event in report.events:
+            match = event.match
+            if match.output_time is not None and match.output_time <= 100:
+                assert match.end <= 100
+            else:
+                assert match.end > 100 or match.output_time is None
+
+    def test_swap_validates_before_touching_live_state(self):
+        queries, streams = _workload(11, nstreams=1, nqueries=1, n=40)
+        sharded = ShardedMonitor(
+            shards=1, backend="numpy", heartbeat_interval=0.05
+        )
+        for name, (query, eps) in queries.items():
+            sharded.add_query(name, query, eps)
+        sharded.add_stream("s0")
+        with sharded:
+            sharded.start()
+            sharded.push_many("s0", streams["s0"])
+            with pytest.raises(ValidationError):
+                sharded.swap_query("q0", np.asarray([]), 1.0)  # empty query
+            with pytest.raises(ValidationError):
+                sharded.swap_query("nope", np.asarray([1.0, 2.0]), 1.0)
+            # The failed swaps changed nothing: the run still drains.
+            report = sharded.finish(flush=True)
+        assert sharded.queries == ["q0"]
+        assert report.ticks == 40
+
+
+class TestSubscribersAndMetrics:
+    def test_callbacks_fire_and_errors_are_isolated(self):
+        queries, streams = _workload(0, nstreams=2, nqueries=4, n=120)
+        expected = _oracle(queries, streams)
+        sharded = ShardedMonitor(
+            shards=2, backend="numpy", heartbeat_interval=0.05
+        )
+        seen: List[object] = []
+
+        def bomb(event):
+            raise ValueError("subscriber bug")
+
+        sharded.subscribe(bomb)
+        sharded.subscribe(seen.append)
+        for name, (query, eps) in queries.items():
+            sharded.add_query(name, query, eps)
+        for name in streams:
+            sharded.add_stream(name)
+        with sharded:
+            sharded.start()
+            for off in range(0, 120, 8):
+                for name, values in streams.items():
+                    sharded.push_many(name, values[off:off + 8])
+            report = sharded.finish(flush=True)
+        assert len(report.events) == len(expected)
+        # Arrival order may interleave shards; the set matches.
+        assert {id(e) for e in seen} == {id(e) for e in report.events}
+        assert len(sharded.callback_errors) == len(expected)
+        assert all(
+            isinstance(err, ValueError)
+            for _, err in sharded.callback_errors
+        )
+
+    def test_worker_metrics_aggregate_under_shard_label(self):
+        queries, streams = _workload(5, nstreams=1, nqueries=2, n=120)
+        sharded = ShardedMonitor(
+            shards=2, backend="numpy", heartbeat_interval=0.05
+        )
+        registry = sharded.enable_metrics()
+        for name, (query, eps) in queries.items():
+            sharded.add_query(name, query, eps)
+        sharded.add_stream("s0")
+        with sharded:
+            sharded.start()
+            sharded.push_many("s0", streams["s0"])
+            sharded.finish(flush=True)
+        snapshot = registry.snapshot()
+        assert "shard_restarts_total" in snapshot
+        assert "shard_rebalances_total" in snapshot
+        assert "shard_workers_alive" in snapshot
+        ticks = snapshot["spring_stream_ticks_total"]["series"]
+        # Worker series carry the shard label the supervisor adds.
+        assert ticks and all("shard" in s["labels"] for s in ticks)
+        assert sum(s["value"] for s in ticks) == 240  # 2 units x 120
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValidationError):
+            ShardedMonitor(shards=0)
+        with pytest.raises(ValidationError):
+            ShardedMonitor(ring_capacity=8, batch_limit=64)
+
+    def test_lifecycle_ordering_rules(self):
+        sharded = ShardedMonitor(
+            shards=1, backend="numpy", heartbeat_interval=0.05
+        )
+        with pytest.raises(ValidationError):
+            sharded.start()  # no streams yet
+        sharded.add_stream("s")
+        with pytest.raises(ValidationError):
+            sharded.add_stream("s")  # duplicate
+        with pytest.raises(ValidationError):
+            sharded.push("s", 1.0)  # not started
+        sharded.add_query("q", np.asarray([1.0, 2.0, 1.0]), 0.5)
+        with sharded:
+            sharded.start()
+            with pytest.raises(ValidationError):
+                sharded.start()  # double start
+            with pytest.raises(ValidationError):
+                sharded.add_stream("late")  # streams are start-frozen
+            with pytest.raises(ValidationError):
+                sharded.push("nope", 1.0)  # unknown stream
+            with pytest.raises(ValidationError):
+                sharded.push("s", float("nan"))  # finite-only data plane
+            sharded.push("s", 1.0)
+            report = sharded.finish(flush=True)
+        assert report.ticks == 1
+        with pytest.raises(ValidationError):
+            sharded.push("s", 2.0)  # finished

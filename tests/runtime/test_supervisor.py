@@ -229,6 +229,138 @@ class TestDeadLetters:
             assert isinstance(letter.error, ValueError)
             assert letter.event in report.events
 
+    def test_bounded_record_drops_oldest(self, rng):
+        # Five matches, cap of 2: the record keeps the two newest
+        # letters and counts the three evictions.
+        pattern = rng.normal(size=4)
+        chunks = [rng.normal(size=6) + 9]
+        for _ in range(5):
+            chunks.append(pattern)
+            chunks.append(rng.normal(size=6) + 9)
+        stream = np.concatenate(chunks)
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+
+        def bomb(event):
+            raise ValueError("subscriber bug")
+
+        runner = SupervisedRunner(
+            monitor,
+            [ArraySource(stream, name="s")],
+            max_dead_letters=2,
+        )
+        runner.subscribe(bomb)
+        report = runner.run()
+        assert len(report.events) == 5
+        assert len(runner.dead_letters) == 2
+        assert runner.dead_letters_total == 5
+        assert runner.dead_letters_dropped == 3
+        assert report.dead_letters_dropped == 3
+        # The retained letters are the *newest* two.
+        kept = [letter.event for letter in runner.dead_letters]
+        assert kept == report.events[-2:]
+        # The report never claims more new letters than are retained.
+        assert [letter.event for letter in report.dead_letters] == kept
+
+    def test_dropped_letters_reach_metrics(self, rng):
+        pattern = rng.normal(size=4)
+        chunks = []
+        for _ in range(3):
+            chunks.append(rng.normal(size=6) + 9)
+            chunks.append(pattern)
+        chunks.append(rng.normal(size=6) + 9)
+        stream = np.concatenate(chunks)
+        monitor = StreamMonitor()
+        monitor.add_query("q", pattern, epsilon=1e-9)
+
+        def bomb(event):
+            raise ValueError("boom")
+
+        runner = SupervisedRunner(
+            monitor,
+            [ArraySource(stream, name="s")],
+            max_dead_letters=1,
+        )
+        runner.enable_metrics()
+        runner.subscribe(bomb)
+        report = runner.run()
+        snapshot = report.metrics
+        dropped = snapshot["spring_dead_letters_dropped_total"]["series"]
+        (series,) = [
+            s for s in dropped if s["labels"] == {"stream": "s"}
+        ]
+        assert series["value"] == runner.dead_letters_dropped > 0
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValidationError):
+            SupervisedRunner(
+                StreamMonitor(),
+                [ArraySource([1.0], name="s")],
+                max_dead_letters=0,
+            )
+
+
+class TestRequestStop:
+    def test_stop_mid_run_snapshots_and_resumes_identically(
+        self, rng, tmp_path
+    ):
+        pattern = rng.normal(size=6)
+        stream = _planted_stream(rng, pattern, pad=40)
+
+        def monitor_factory():
+            monitor = StreamMonitor()
+            monitor.add_query("q", pattern, epsilon=1e-9)
+            return monitor
+
+        reference = SupervisedRunner(
+            monitor_factory(), [ArraySource(stream, name="s")]
+        )
+        expected = [_key(e) for e in reference.run().events]
+
+        manager = CheckpointManager(tmp_path)
+        first = SupervisedRunner(
+            monitor_factory(),
+            [ArraySource(stream, name="s")],
+            checkpoint=manager,
+            checkpoint_every=1000,  # cadence never fires; stop must
+        )
+        stop_at = 43
+
+        def trigger(watermark: int) -> None:
+            if watermark >= stop_at:
+                first.request_stop()
+
+        first.on_tick = trigger
+        report = first.run()
+        assert report.stopped
+        assert report.ticks == stop_at
+        # The early-stop snapshot is at the stop tick, not a cadence
+        # boundary (and not missing).
+        snapshot = manager.latest()
+        assert snapshot is not None
+        assert int(snapshot["watermark"]) == stop_at
+        assert report.checkpoints == 1
+
+        acked = int(snapshot["events_emitted"])
+        prefix = [_key(e) for e in first.events[:acked]]
+        second = SupervisedRunner.resume(
+            [ArraySource(stream, name="s")], manager
+        )
+        tail = [_key(e) for e in second.run().events]
+        assert prefix + tail == expected
+
+    def test_next_run_clears_the_flag(self, rng):
+        stream = rng.normal(size=20)
+        monitor = StreamMonitor()
+        monitor.add_query("q", rng.normal(size=4), epsilon=1e-9)
+        runner = SupervisedRunner(monitor, [ArraySource(stream, name="s")])
+        runner.request_stop()
+        report = runner.run()
+        # The flag is cleared at run() entry, so a stop requested while
+        # idle does not wedge the next run.
+        assert not report.stopped
+        assert report.ticks == 20
+
 
 class TestResume:
     def test_kill_and_resume_is_event_identical(self, rng, tmp_path):

@@ -79,3 +79,132 @@ class TestRingBuffer:
             buf.push(float(value))
         assert buf.oldest_tick == 7
         assert buf.total_pushed == 10
+
+
+# ----------------------------------------------------------------------
+# SharedRingBuffer
+# ----------------------------------------------------------------------
+
+from repro.streams import SharedRingBuffer  # noqa: E402
+
+
+def _reader_child(descriptor, reader, expect, out):
+    """Spawn target: consume ``expect`` values, send them back."""
+    ring = SharedRingBuffer.attach(descriptor)
+    try:
+        got = []
+        while len(got) < expect:
+            _, values = ring.read_new(reader)
+            got.extend(values.tolist())
+        out.put((reader, got))
+    finally:
+        ring.close()
+
+
+class TestSharedRingBuffer:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValidationError):
+            SharedRingBuffer(0)
+        with pytest.raises(ValidationError):
+            SharedRingBuffer(4, max_readers=0)
+
+    def test_push_read_round_trip(self):
+        ring = SharedRingBuffer(8, max_readers=2)
+        try:
+            assert ring.push_many(np.arange(5.0)) == 5
+            first, values = ring.read_new(0)
+            assert first == 1
+            np.testing.assert_array_equal(values, np.arange(5.0))
+            # Reader 1 has its own cursor.
+            first, values = ring.read_new(1)
+            assert first == 1 and values.shape[0] == 5
+            # Nothing new for reader 0 now.
+            _, empty = ring.read_new(0)
+            assert empty.shape[0] == 0
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_backpressure_respects_listed_readers_only(self):
+        ring = SharedRingBuffer(4, max_readers=2)
+        try:
+            assert ring.push_many(np.arange(4.0), readers=[0, 1]) == 4
+            # Both cursors at 0: the ring is full for them.
+            assert ring.push_many(np.arange(2.0), readers=[0, 1]) == 0
+            ring.read_new(0)
+            # Reader 1 still pins the window...
+            assert ring.push_many(np.arange(2.0), readers=[0, 1]) == 0
+            # ...unless the writer declares it dead.
+            assert ring.push_many(np.arange(2.0), readers=[0]) == 2
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_unlisted_readers_get_overwritten(self):
+        ring = SharedRingBuffer(3, max_readers=1)
+        try:
+            ring.push_many(np.arange(10.0))  # no readers listed: wraps
+            assert ring.write_seq == 3  # only capacity fits per call
+            ring.push_many(np.arange(3.0, 10.0))
+            assert ring.write_seq == 6
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_read_limit_and_cursor_reposition(self):
+        ring = SharedRingBuffer(8, max_readers=1)
+        try:
+            ring.push_many(np.arange(6.0))
+            first, values = ring.read_new(0, limit=2)
+            assert first == 1 and values.tolist() == [0.0, 1.0]
+            ring.set_reader_seq(0, 5)
+            first, values = ring.read_new(0)
+            assert first == 6 and values.tolist() == [5.0]
+            with pytest.raises(ValidationError):
+                ring.set_reader_seq(0, 99)  # beyond write_seq
+            with pytest.raises(ValidationError):
+                ring.read_new(5)  # reader id out of range
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_descriptor_attach_same_process(self):
+        ring = SharedRingBuffer(8, max_readers=1)
+        view = None
+        try:
+            ring.push_many(np.asarray([7.0, 8.0]))
+            view = SharedRingBuffer.attach(ring.descriptor)
+            first, values = view.read_new(0)
+            assert first == 1 and values.tolist() == [7.0, 8.0]
+            # The cursor lives in shared memory: the owner sees it move.
+            assert ring.reader_seq(0) == 2
+        finally:
+            if view is not None:
+                view.close()
+            ring.close()
+            ring.unlink()
+
+    def test_cross_process_reader(self):
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        ring = SharedRingBuffer(64, max_readers=1)
+        try:
+            out = ctx.Queue()
+            child = ctx.Process(
+                target=_reader_child, args=(ring.descriptor, 0, 10, out)
+            )
+            child.start()
+            try:
+                for chunk in (np.arange(4.0), np.arange(4.0, 10.0)):
+                    pushed = 0
+                    while pushed < chunk.shape[0]:
+                        pushed += ring.push_many(chunk[pushed:], readers=[0])
+                _, got = out.get(timeout=60)
+                assert got == [float(v) for v in range(10)]
+            finally:
+                child.join(timeout=60)
+                assert child.exitcode == 0
+        finally:
+            ring.close()
+            ring.unlink()
