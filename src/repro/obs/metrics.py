@@ -444,13 +444,20 @@ def merge_snapshot(
 
     The sharded runtime's aggregation path: each worker process ships
     its cumulative snapshot over the event queue and the supervisor
-    folds it into one registry, adding ``extra_labels`` (typically
-    ``{"shard": "<worker id>"}``) so per-shard series stay
-    distinguishable.  Semantics are *replace*, per mirrored series:
-    counters move monotonically to the shipped value (so a restarted
-    worker's reset counters never wind the mirror backwards), gauges
+    folds it into one registry, adding ``extra_labels`` so mirrored
+    series stay distinguishable.  Semantics are *replace*, per mirrored
+    series: counters move monotonically to the shipped value, gauges
     take it verbatim, histograms adopt the shipped bucket state.
     Re-merging the same snapshot is therefore idempotent.
+
+    Because the semantics are per-series replace, a source process that
+    can restart (resetting its counters to zero) must be mirrored into
+    a *fresh* series per incarnation or its post-restart increments
+    alias into the old ones — counters silently absorbed until they
+    re-exceed the pre-restart value, histograms wound backwards.  The
+    sharded supervisor therefore keys worker series as
+    ``{"shard": "<worker id>", "gen": "<restart generation>"}``; sum
+    over ``gen`` for a per-shard total.
     """
     extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
     for name, family in snapshot.items():

@@ -25,7 +25,7 @@ Architecture
       │  per-stream SharedRingBuffer  │  per-(stream, bank) StreamMonitor
       │  ───────── values ──────────▶ │  (own CheckpointManager dir each)
       │  per-worker command Queue ──▶ │  lifecycle commands / stop / adopt
-      │  ◀──── one event Queue ────── │  events / acks / heartbeats
+      │  ◀── per-worker event Queue ── │  events / acks / heartbeats
 
 * **Partitioning.**  Queries are assigned round-robin to ``shards``
   *banks*; the unit of work (and of recovery) is one ``(stream, bank)``
@@ -50,7 +50,10 @@ Architecture
   SIGKILLed and treated as crashed), :class:`RetryPolicy`-driven restart
   backoff, quarantine after ``max_restarts`` restarts with work
   rebalanced to surviving shards, and :class:`ShardingError` — never
-  silent data loss — when no healthy shard remains.
+  silent data loss — when no healthy shard remains.  Control queues
+  are per-worker-incarnation in both directions, so a queue whose
+  internals a SIGKILL poisoned mid-send dies with the incarnation
+  instead of wedging the survivors (see :func:`_pump_events`).
 * **Live query lifecycle.**  ``add_query`` / ``remove_query`` /
   ``swap_query`` work on a *running* monitor.  Consistency contract:
   the command is stamped with the per-stream watermark ``W`` (ticks
@@ -74,6 +77,7 @@ from __future__ import annotations
 import os
 import queue as queue_module
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -587,6 +591,36 @@ def _worker_main(payload, command_queue, event_queue) -> None:
         raise SystemExit(1)
 
 
+def _pump_events(event_queue, inbox) -> None:
+    """Forward one worker incarnation's event queue into the inbox.
+
+    Runs as a supervisor-side daemon thread.  Each incarnation gets its
+    own event queue precisely so that a worker SIGKILLed mid-send can
+    only wedge (or tear) *its own* pipe: a ``multiprocessing.Queue``
+    write lock held by a killed feeder thread is poisoned forever, and
+    on a queue shared between workers that silently blocks every other
+    worker's feeder — heartbeats and acks stop, recovery stalls, and
+    the run dies on the drain timeout.  Here the blast radius is the
+    dead incarnation's queue, which the supervisor discards on respawn.
+
+    The thread exits when the queue reaches end-of-file: the supervisor
+    closes its own write end on discard, so EOF fires once the worker
+    process (the only other writer) is gone and every buffered message
+    has been forwarded — which is what makes the teardown drain
+    deterministic.  A partial message torn by SIGKILL surfaces as the
+    same EOF/OSError and ends the thread; crash replay covers whatever
+    the dead incarnation failed to deliver.
+    """
+    while True:
+        try:
+            message = event_queue.get()
+        except (EOFError, OSError):
+            return  # all write ends closed (or torn final message)
+        except Exception:  # noqa: BLE001 - undecodable torn payload
+            return
+        inbox.put(message)
+
+
 # ----------------------------------------------------------------------
 # Supervisor side
 # ----------------------------------------------------------------------
@@ -626,6 +660,61 @@ class _ValueLog:
             self.base = floor_tick
 
 
+class _OrderLog:
+    """Per-stream global merge keys for ticks still able to emit events.
+
+    Maps an absolute 1-based stream tick to the global push-order index
+    assigned at ``push_many`` time.  Stored as a compact int64 array
+    (not a Python list — 8 bytes per retained tick) and trimmed below
+    the oldest checkpoint ack exactly like :class:`_ValueLog`: an
+    event's ``output_time`` is the tick at which it was *emitted*,
+    which FIFO message order guarantees is past the emitting unit's
+    acknowledged checkpoint, so merge order never needs entries at or
+    below the per-stream ack floor.  Without checkpointing the floor
+    stays 0 and the log grows with the stream (same caveat as the
+    replay log).
+    """
+
+    def __init__(self) -> None:
+        self.base = 0  # ticks trimmed off the front
+        self._orders = np.empty(64, dtype=np.int64)
+        self._size = 0
+
+    def extend(self, first_order: int, count: int) -> None:
+        """Record ``count`` ticks holding consecutive order indices."""
+        need = self._size + count
+        if need > self._orders.shape[0]:
+            grow = self._orders.shape[0]
+            while grow < need:
+                grow *= 2
+            grown = np.empty(grow, dtype=np.int64)
+            grown[: self._size] = self._orders[: self._size]
+            self._orders = grown
+        self._orders[self._size : need] = np.arange(
+            first_order, first_order + count, dtype=np.int64
+        )
+        self._size = need
+
+    def order_at(self, tick: int) -> int:
+        """Global order index of absolute stream tick ``tick``."""
+        index = tick - self.base - 1
+        if index < 0 or index >= self._size:
+            raise ShardingError(
+                f"order log has no entry for tick {tick} "
+                f"(retained: {self.base + 1}..{self.base + self._size})"
+            )
+        return int(self._orders[index])
+
+    def trim(self, floor_tick: int) -> None:
+        """Drop entries at ticks ``<= floor_tick`` (already acked)."""
+        drop = min(floor_tick - self.base, self._size)
+        if drop > 0:
+            keep = self._size - drop
+            self._orders[:keep] = self._orders[drop : self._size]
+            self._size = keep
+            self.base += drop
+
+
 @dataclass
 class _Unit:
     """Supervisor-side record of one (stream, bank) work unit."""
@@ -649,6 +738,8 @@ class _WorkerHandle:
     wid: int
     process: object = None
     queue: object = None
+    event_queue: object = None
+    pump: object = None
     gen: int = 0
     hello: bool = False
     last_hb: float = 0.0
@@ -676,8 +767,13 @@ class ShardedMonitor:
     checkpoint_dir:
         Root directory for per-unit snapshot directories.  ``None``
         disables checkpointing — crash recovery then replays each unit
-        from tick 1 out of the supervisor's in-memory log (correct but
-        unbounded memory; pass a directory for production use).
+        from tick 1 out of the supervisor's in-memory logs, which then
+        retain every tick's value *and* merge-order entry (correct but
+        unbounded memory; pass a directory for production use).  With
+        checkpointing on, both logs are trimmed below the oldest
+        acknowledged checkpoint, so supervisor memory stays bounded by
+        the checkpoint cadence — provided long-running deployments also
+        pass ``keep_events=False``.
     checkpoint_every / checkpoint_keep:
         Per-unit snapshot cadence (in stream ticks) and retention.
     policy:
@@ -697,7 +793,9 @@ class ShardedMonitor:
         Optional :class:`WorkerFaultInjector` for chaos drills.
     keep_events:
         Retain every accepted event for the merged report (default).
-        With ``False`` only subscribed callbacks see events.
+        With ``False`` only subscribed callbacks see events — required
+        for a long-running serving deployment, where retaining the
+        full event history would grow without bound.
     start_method:
         ``multiprocessing`` start method; ``spawn`` is the portable,
         fork-safety-proof default.
@@ -779,7 +877,7 @@ class ShardedMonitor:
         self._tearing_down = False
         self._rings: Dict[str, SharedRingBuffer] = {}
         self._logs: Dict[str, _ValueLog] = {}
-        self._orders: Dict[str, List[int]] = {}
+        self._orders: Dict[str, _OrderLog] = {}
         self._pushed: Dict[str, int] = {}
         self._global_pushes = 0
         self._units: Dict[Tuple[str, int], _Unit] = {}
@@ -796,7 +894,7 @@ class ShardedMonitor:
         self.rebalances_total = 0
         self._registry: Optional[MetricsRegistry] = None
         self._ctx = None
-        self._event_queue = None
+        self._inbox = None
 
     # -- context management -------------------------------------------
 
@@ -978,7 +1076,7 @@ class ShardedMonitor:
         import multiprocessing as mp
 
         self._ctx = mp.get_context(self.start_method)
-        self._event_queue = self._ctx.Queue()
+        self._inbox = queue_module.Queue()
         self._initial_specs = {
             name: self._spec_dict(name) for name in self._spec.queries
         }
@@ -991,7 +1089,7 @@ class ShardedMonitor:
                 self.ring_capacity, max_readers=self.shards
             )
             self._logs[stream] = _ValueLog()
-            self._orders[stream] = []
+            self._orders[stream] = _OrderLog()
             self._pushed[stream] = 0
         for index, stream in enumerate(self._streams):
             for bank in range(self.shards):
@@ -1066,9 +1164,16 @@ class ShardedMonitor:
             for stream in {unit.stream for unit in units}:
                 # The previous incarnation is dead, so repositioning its
                 # cursor is race-free; the replay payload covers the gap
-                # between each unit's checkpoint and this point.
-                self._rings[stream].set_reader_seq(
-                    handle.wid, self._pushed[stream]
+                # between each unit's checkpoint and this point.  Clamp
+                # to write_seq: when the death was detected mid-push,
+                # _pushed already counts ticks the ring has not
+                # published yet (push_many was blocked on backpressure),
+                # and the worker reads the (_pushed - write_seq] tail
+                # from the ring as the interrupted push publishes it.
+                ring = self._rings[stream]
+                ring.set_reader_seq(
+                    handle.wid,
+                    min(self._pushed[stream], ring.write_seq),
                 )
         payload = {
             "wid": handle.wid,
@@ -1082,16 +1187,30 @@ class ShardedMonitor:
             "units": [self._unit_payload(unit, resume) for unit in units],
             "fault": self.fault_injector,
         }
+        # Fresh queues per incarnation: the previous incarnation may
+        # have died holding its event queue's feeder lock, or left a
+        # torn message in the pipe — either would wedge a reused queue
+        # forever.  Discarding closes the supervisor's write end, so
+        # the old pump thread drains to EOF and exits on its own.
+        self._discard_event_queue(handle)
         handle.queue = self._ctx.Queue()
+        handle.event_queue = self._ctx.Queue()
         handle.hello = False
         handle.last_hb = time.monotonic()
         handle.process = self._ctx.Process(
             target=_worker_main,
-            args=(payload, handle.queue, self._event_queue),
+            args=(payload, handle.queue, handle.event_queue),
             daemon=True,
             name=f"shard-worker-{handle.wid}",
         )
         handle.process.start()
+        handle.pump = threading.Thread(
+            target=_pump_events,
+            args=(handle.event_queue, self._inbox),
+            daemon=True,
+            name=f"shard-pump-{handle.wid}-g{handle.gen}",
+        )
+        handle.pump.start()
         self._awaiting_adopt.difference_update(
             unit.key for unit in units
         )
@@ -1121,11 +1240,9 @@ class ShardedMonitor:
                 "sharded streams accept finite values only"
             )
         log = self._logs[stream]
-        order = self._orders[stream]
         log.extend(values)
-        for _ in range(values.shape[0]):
-            order.append(self._global_pushes)
-            self._global_pushes += 1
+        self._orders[stream].extend(self._global_pushes, values.shape[0])
+        self._global_pushes += values.shape[0]
         self._pushed[stream] += values.shape[0]
         ring = self._rings[stream]
         offset = 0
@@ -1149,18 +1266,41 @@ class ShardedMonitor:
     # -- supervision loop ---------------------------------------------
 
     def _service(self, timeout: float) -> None:
-        """Drain worker messages, then run liveness/stall checks."""
+        """Drain worker messages, then run liveness/stall checks.
+
+        Messages arrive through the thread-safe inbox the per-worker
+        pump threads feed, so one blocking get covers every worker
+        without touching any cross-process lock a dead worker could
+        have poisoned.
+        """
         try:
-            message = self._event_queue.get(timeout=timeout)
+            message = self._inbox.get(timeout=timeout)
         except queue_module.Empty:
             message = None
         while message is not None:
             self._on_message(message)
             try:
-                message = self._event_queue.get_nowait()
+                message = self._inbox.get_nowait()
             except queue_module.Empty:
                 message = None
         self._check_workers()
+
+    def _discard_event_queue(self, handle: _WorkerHandle) -> None:
+        """Abandon one incarnation's event queue (recovery/teardown).
+
+        Closing the supervisor's write end means the pipe hits EOF once
+        the worker process is gone, so the pump thread forwards every
+        buffered message and exits — no thread or fd outlives the
+        incarnation it served.
+        """
+        event_queue = handle.event_queue
+        if event_queue is None:
+            return
+        handle.event_queue = None
+        try:
+            event_queue._writer.close()
+        except (AttributeError, OSError):  # pragma: no cover - mp internals
+            pass
 
     def _on_message(self, message) -> None:
         try:
@@ -1212,8 +1352,17 @@ class ShardedMonitor:
                 unit.done = True
         elif kind == "metrics":
             if self._registry is not None:
+                # Keyed by generation as well as shard: a restarted
+                # worker's counters restart at zero, and mirroring them
+                # into the old series would either be silently absorbed
+                # (counters are monotone) or wind histograms backwards.
+                # A fresh per-generation series keeps both instrument
+                # kinds accumulating — sum over ``gen`` for the
+                # per-shard total.
                 merge_snapshot(
-                    self._registry, message[3], {"shard": str(wid)}
+                    self._registry,
+                    message[3],
+                    {"shard": str(wid), "gen": str(gen)},
                 )
         elif kind == "error":
             handle.last_error = str(message[3])
@@ -1234,9 +1383,9 @@ class ShardedMonitor:
                 offset = self._tick_offsets.get(
                     (unit.stream, event.query), 0
                 )
-                order = self._orders[unit.stream][
-                    offset + event.match.output_time - 1
-                ]
+                order = self._orders[unit.stream].order_at(
+                    offset + event.match.output_time
+                )
             if self.keep_events:
                 self._events.append(
                     (
@@ -1265,6 +1414,7 @@ class ShardedMonitor:
             default=0,
         )
         self._logs[stream].trim(floor)
+        self._orders[stream].trim(floor)
 
     def _check_workers(self) -> None:
         if self._tearing_down:
@@ -1285,8 +1435,11 @@ class ShardedMonitor:
                 and now - handle.last_hb > self.stall_timeout
             ):
                 try:
-                    os.kill(handle.process.pid, signal.SIGKILL)
-                except (OSError, TypeError):  # pragma: no cover - raced
+                    # multiprocessing's portable hard-kill (SIGKILL on
+                    # POSIX, TerminateProcess on Windows — os.kill with
+                    # signal.SIGKILL would AttributeError there).
+                    handle.process.kill()
+                except (OSError, ValueError):  # pragma: no cover - raced
                     pass
                 handle.process.join(timeout=5)
                 self._on_death(
@@ -1320,6 +1473,7 @@ class ShardedMonitor:
         if process is not None and process.is_alive():
             process.terminate()
             process.join(timeout=5)
+        self._discard_event_queue(handle)
         orphans = [
             unit
             for unit in self._units.values()
@@ -1375,9 +1529,12 @@ class ShardedMonitor:
             for stream in {u.stream for u in units} - carried:
                 # The target never reads this stream yet, so its cursor
                 # slot is idle — reposition it to "now"; the adopt
-                # payload replays everything older.
-                self._rings[stream].set_reader_seq(
-                    wid, self._pushed[stream]
+                # payload replays everything older.  Clamped to
+                # write_seq for the mid-push quarantine case, exactly
+                # as in _spawn.
+                ring = self._rings[stream]
+                ring.set_reader_seq(
+                    wid, min(self._pushed[stream], ring.write_seq)
                 )
             for unit in units:
                 unit.worker = wid
@@ -1465,6 +1622,8 @@ class ShardedMonitor:
                 if process.is_alive():  # pragma: no cover - stubborn
                     process.kill()
                     process.join(timeout=2)
+        for handle in self._workers.values():
+            self._discard_event_queue(handle)
         self._release_rings()
         self._finished = True
 
@@ -1488,8 +1647,17 @@ class ShardedMonitor:
         # Workers flush a final metrics snapshot on their way out and
         # multiprocessing's exit hook drains the queue feeder before
         # the process dies — after join the snapshots are sitting in
-        # the pipe, so this drain is deterministic, not a sleep race.
-        self._service(0.1)
+        # the pipe.  Discarding each queue closes its last write end,
+        # so every pump thread forwards what is buffered, hits EOF and
+        # exits; joining the pumps makes the final drain deterministic,
+        # not a sleep race.
+        for handle in self._workers.values():
+            self._discard_event_queue(handle)
+        for handle in self._workers.values():
+            if handle.pump is not None:
+                handle.pump.join(timeout=5)
+                handle.pump = None
+        self._service(0.0)
         self._release_rings()
         if self._registry is not None:
             self._registry.gauge(

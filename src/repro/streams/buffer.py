@@ -19,7 +19,7 @@ Two flavours:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -148,12 +148,22 @@ class SharedRingBuffer:
         int64[3 .. 3+R-1]       per-reader consumed counts
         float64[... capacity]   value slots (tick t lives at (t-1) % capacity)
 
-    Publication order is *slots first, counter second*: a reader that
-    observes ``write_seq == n`` is guaranteed the slots for ticks
-    ``<= n`` are fully written (the writer never reuses a slot until
-    every cursor it respects has moved past it).  There are no locks;
-    the protocol is safe for exactly one writer because only the writer
-    mutates ``write_seq`` and only reader ``r`` mutates cursor ``r``.
+    Publication is guarded by one shared ``multiprocessing.Lock``: the
+    writer fills slots and advances ``write_seq`` inside a single
+    critical section, and a reader snapshots the counter and copies its
+    slots inside another.  The lock is not (primarily) about mutual
+    exclusion — ownership already bounds who mutates what: only the
+    writer moves ``write_seq`` and only reader ``r`` moves cursor ``r``.
+    It is about *memory ordering*: plain numpy stores into shared
+    memory carry no barrier, so on weakly-ordered CPUs (ARM64 — Apple
+    Silicon, Graviton) a lock-free reader could observe an advanced
+    ``write_seq`` before the slot data became visible and consume
+    garbage.  The lock's acquire/release pairs impose the
+    happens-before edges x86-TSO used to give for free, making a
+    reader that observes ``write_seq == n`` guaranteed to see the
+    slots for ticks ``<= n`` fully written.  The cost is per *batch*
+    (one acquisition per ``push_many`` / ``read_new`` call), never per
+    tick.
 
     The writer decides which cursors exert backpressure by passing the
     live reader ids to :meth:`push_many` / :meth:`free_space` — a dead
@@ -161,8 +171,11 @@ class SharedRingBuffer:
     supervisor restarts it (the recovery replay covers the gap).
 
     Spawn-safety: the buffer travels between processes as its
-    :attr:`descriptor` (a plain picklable dict); the receiving process
-    calls :meth:`attach`.  Attached handles deliberately unregister
+    :attr:`descriptor`; the receiving process calls :meth:`attach`.
+    The descriptor carries the shared lock, which ``multiprocessing``
+    only pickles while a process is being spawned — pass descriptors
+    through ``Process`` arguments, not through queues after start.
+    Attached handles deliberately unregister
     from the ``multiprocessing`` resource tracker so that a worker
     killed with SIGKILL never triggers the tracker's premature-unlink
     warning — the creating process owns the segment's lifetime via
@@ -177,7 +190,9 @@ class SharedRingBuffer:
         max_readers: int = 1,
         *,
         _shm=None,
+        _lock=None,
     ) -> None:
+        import multiprocessing
         from multiprocessing import shared_memory
 
         capacity = int(capacity)
@@ -196,6 +211,18 @@ class SharedRingBuffer:
         else:
             self._shm = _shm
             self._owner = False
+        # The publication fence (see class docstring).  Created once by
+        # the owner and shared via the descriptor so every process
+        # brackets header access with the same lock.  Always from the
+        # spawn context: a spawn-context SemLock travels into spawn
+        # children by name and into fork children by inheritance,
+        # whereas a fork-context one is rejected when pickled for a
+        # spawn target.
+        self._lock = (
+            _lock
+            if _lock is not None
+            else multiprocessing.get_context("spawn").Lock()
+        )
         self.capacity = capacity
         self.max_readers = max_readers
         self._header = np.ndarray(
@@ -221,11 +248,16 @@ class SharedRingBuffer:
 
     @property
     def descriptor(self) -> Dict[str, object]:
-        """Picklable handle another process can :meth:`attach` to."""
+        """Handle another process can :meth:`attach` to.
+
+        Carries the shared publication lock, so it pickles only while
+        a process is being spawned (pass it via ``Process`` args).
+        """
         return {
             "name": self._shm.name,
             "capacity": self.capacity,
             "max_readers": self.max_readers,
+            "lock": self._lock,
         }
 
     @classmethod
@@ -250,6 +282,7 @@ class SharedRingBuffer:
             int(descriptor["capacity"]),
             int(descriptor["max_readers"]),
             _shm=shm,
+            _lock=descriptor["lock"],
         )
 
     def close(self) -> None:
@@ -269,12 +302,14 @@ class SharedRingBuffer:
     @property
     def write_seq(self) -> int:
         """Total values ever published (== absolute tick of the newest)."""
-        return int(self._header[0])
+        with self._lock:
+            return int(self._header[0])
 
     def reader_seq(self, reader: int) -> int:
         """Total values consumed by reader ``reader``."""
         self._check_reader(reader)
-        return int(self._header[self._HEADER_SLOTS + reader])
+        with self._lock:
+            return int(self._header[self._HEADER_SLOTS + reader])
 
     def set_reader_seq(self, reader: int, seq: int) -> None:
         """Reposition a reader cursor (writer-side recovery only).
@@ -285,11 +320,22 @@ class SharedRingBuffer:
         """
         self._check_reader(reader)
         seq = int(seq)
-        if seq < 0 or seq > self.write_seq:
-            raise ValidationError(
-                f"reader seq {seq} outside [0, {self.write_seq}]"
+        with self._lock:
+            write = int(self._header[0])
+            if seq < 0 or seq > write:
+                raise ValidationError(
+                    f"reader seq {seq} outside [0, {write}]"
+                )
+            self._header[self._HEADER_SLOTS + reader] = seq
+
+    def _free_space_locked(self, readers: Sequence[int]) -> int:
+        write = int(self._header[0])
+        floor = write
+        for reader in readers:
+            floor = min(
+                floor, int(self._header[self._HEADER_SLOTS + reader])
             )
-        self._header[self._HEADER_SLOTS + reader] = seq
+        return self.capacity - (write - floor)
 
     def free_space(self, readers: Iterable[int] = ()) -> int:
         """Slots the writer may fill without overrunning ``readers``.
@@ -297,33 +343,34 @@ class SharedRingBuffer:
         With no readers listed, only the capacity bounds the writer
         (old values are overwritten ring-style).
         """
-        write = int(self._header[0])
-        floor = write
+        readers = [int(r) for r in readers]
         for reader in readers:
             self._check_reader(reader)
-            floor = min(
-                floor, int(self._header[self._HEADER_SLOTS + reader])
-            )
-        return self.capacity - (write - floor)
+        with self._lock:
+            return self._free_space_locked(readers)
 
     def push_many(
         self, values: np.ndarray, readers: Iterable[int] = ()
     ) -> int:
         """Publish as many of ``values`` as fit; returns the count.
 
-        Slots are filled first, then ``write_seq`` is advanced — a
-        concurrent reader never observes a published-but-unwritten
-        tick.
+        Slots are filled and ``write_seq`` advanced inside one locked
+        section — a concurrent reader never observes a
+        published-but-unwritten tick, on any memory model.
         """
         values = np.asarray(values, dtype=np.float64).reshape(-1)
-        room = self.free_space(readers)
-        count = min(int(room), values.shape[0])
-        if count <= 0:
-            return 0
-        write = int(self._header[0])
-        idx = (write + np.arange(count)) % self.capacity
-        self._data[idx] = values[:count]
-        self._header[0] = write + count
+        readers = [int(r) for r in readers]
+        for reader in readers:
+            self._check_reader(reader)
+        with self._lock:
+            room = self._free_space_locked(readers)
+            count = min(int(room), values.shape[0])
+            if count <= 0:
+                return 0
+            write = int(self._header[0])
+            idx = (write + np.arange(count)) % self.capacity
+            self._data[idx] = values[:count]
+            self._header[0] = write + count
         return count
 
     def push(self, value: float, readers: Iterable[int] = ()) -> bool:
@@ -343,16 +390,17 @@ class SharedRingBuffer:
         """
         self._check_reader(reader)
         slot = self._HEADER_SLOTS + reader
-        cursor = int(self._header[slot])
-        write = int(self._header[0])
-        count = write - cursor
-        if limit is not None:
-            count = min(count, int(limit))
-        if count <= 0:
-            return cursor + 1, np.empty(0, dtype=np.float64)
-        idx = (cursor + np.arange(count)) % self.capacity
-        values = self._data[idx].copy()
-        self._header[slot] = cursor + count
+        with self._lock:
+            cursor = int(self._header[slot])
+            write = int(self._header[0])
+            count = write - cursor
+            if limit is not None:
+                count = min(count, int(limit))
+            if count <= 0:
+                return cursor + 1, np.empty(0, dtype=np.float64)
+            idx = (cursor + np.arange(count)) % self.capacity
+            values = self._data[idx].copy()
+            self._header[slot] = cursor + count
         return cursor + 1, values
 
     def _check_reader(self, reader: int) -> None:

@@ -8,7 +8,11 @@ import threading
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    merge_snapshot,
+)
 
 
 class TestCounter:
@@ -174,3 +178,57 @@ class TestRegistry:
             for series in registry.snapshot()["h_seconds"]["series"]
         )
         assert observed == threads * increments
+
+
+class TestMergeSnapshot:
+    def _worker_snapshot(self, ticks: int, latency_count: int) -> dict:
+        worker = MetricsRegistry()
+        worker.counter("ticks_total", labelnames=("s",)).labels(
+            s="a"
+        ).inc(ticks)
+        histogram = worker.histogram("h_seconds", buckets=(0.1, 1.0))
+        for _ in range(latency_count):
+            histogram.observe(0.05)
+        return worker.snapshot()
+
+    def test_mirror_is_idempotent(self):
+        registry = MetricsRegistry()
+        snapshot = self._worker_snapshot(ticks=5, latency_count=3)
+        merge_snapshot(registry, snapshot, {"shard": "0"})
+        merge_snapshot(registry, snapshot, {"shard": "0"})  # re-merge
+        merged = registry.snapshot()
+        assert merged["ticks_total"]["series"] == [
+            {"labels": {"shard": "0", "s": "a"}, "value": 5.0}
+        ]
+        assert merged["h_seconds"]["series"][0]["count"] == 3
+
+    def test_generation_keying_accumulates_across_restarts(self):
+        # Per-series semantics are replace, so a restarted source
+        # (counters reset to zero) must land in a fresh series: the
+        # sharded supervisor keys by generation.  Sums over ``gen``
+        # then keep accumulating for counters AND histograms alike,
+        # instead of counters aliasing into the pre-restart value and
+        # histograms winding backwards.
+        registry = MetricsRegistry()
+        merge_snapshot(
+            registry,
+            self._worker_snapshot(ticks=100, latency_count=4),
+            {"shard": "0", "gen": "0"},
+        )
+        # The worker crashed and restarted; its counters start over.
+        merge_snapshot(
+            registry,
+            self._worker_snapshot(ticks=30, latency_count=1),
+            {"shard": "0", "gen": "1"},
+        )
+        merged = registry.snapshot()
+        ticks = {
+            s["labels"]["gen"]: s["value"]
+            for s in merged["ticks_total"]["series"]
+        }
+        assert ticks == {"0": 100.0, "1": 30.0}
+        assert sum(ticks.values()) == 130.0
+        latencies = sum(
+            s["count"] for s in merged["h_seconds"]["series"]
+        )
+        assert latencies == 5

@@ -11,6 +11,8 @@ barriers) does not depend on scale.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -140,6 +142,60 @@ class TestChaosDrill:
         expected = _oracle(queries, streams)
         fault = WorkerFaultInjector(kill={1: ("s1", 40)})
         report = _run_sharded(queries, streams, fault_injector=fault)
+        assert report.restarts == 1
+        assert report.events == expected
+
+    def test_kill_during_backpressured_push_recovers(self, tmp_path):
+        # Regression: a worker dying while push_many is blocked on a
+        # full ring leaves the push watermark ahead of the ring's
+        # write_seq; repositioning the replacement's cursor used to
+        # raise ValidationError out of the user's push call instead of
+        # recovering.  The whole stream is pushed in one call against a
+        # tiny ring so the supervisor is guaranteed to be mid-push when
+        # it detects the death.
+        queries, streams = _workload(13, nstreams=1, nqueries=4, n=400)
+        expected = _oracle(queries, streams, chunk=400)
+        fault = WorkerFaultInjector(kill={0: ("s0", 100)})
+        report = _run_sharded(
+            queries,
+            streams,
+            chunk=400,
+            ring_capacity=64,
+            batch_limit=32,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=25,
+            fault_injector=fault,
+        )
+        assert report.restarts == 1
+        assert report.quarantined == []
+        assert report.events == expected
+        # The killed incarnation's event-queue pump thread must not
+        # outlive teardown: a leak here means the per-incarnation
+        # queue isolation (SIGKILL-poisoned feeder locks) regressed.
+        # The dead gen's pump exits asynchronously at queue EOF, so
+        # allow it a moment rather than asserting an instant.
+        deadline = time.monotonic() + 5.0
+        while [
+            t
+            for t in threading.enumerate()
+            if t.name.startswith("shard-pump-")
+        ]:
+            assert time.monotonic() < deadline, threading.enumerate()
+            time.sleep(0.01)
+
+    def test_kill_during_backpressured_push_without_checkpoints(self):
+        # Same crash window, genesis-replay recovery path.
+        queries, streams = _workload(14, nstreams=1, nqueries=3, n=300)
+        expected = _oracle(queries, streams, chunk=300)
+        fault = WorkerFaultInjector(kill={1: ("s0", 80)})
+        report = _run_sharded(
+            queries,
+            streams,
+            chunk=300,
+            ring_capacity=64,
+            batch_limit=32,
+            fault_injector=fault,
+        )
         assert report.restarts == 1
         assert report.events == expected
 
@@ -402,8 +458,12 @@ class TestSubscribersAndMetrics:
         assert "shard_rebalances_total" in snapshot
         assert "shard_workers_alive" in snapshot
         ticks = snapshot["spring_stream_ticks_total"]["series"]
-        # Worker series carry the shard label the supervisor adds.
-        assert ticks and all("shard" in s["labels"] for s in ticks)
+        # Worker series carry the shard + restart-generation labels the
+        # supervisor adds (generation keying keeps post-restart
+        # counters from aliasing into pre-restart series).
+        assert ticks and all(
+            "shard" in s["labels"] and "gen" in s["labels"] for s in ticks
+        )
         assert sum(s["value"] for s in ticks) == 240  # 2 units x 120
 
 
