@@ -25,6 +25,13 @@ same run:
   the pruned path, where each tick does far less work and the
   recorder's fixed per-push cost is proportionally larger; gated
   against the looser ``--max-metrics-overhead-pruned`` (default 10).
+* ``index_admission_speedup`` — the 10,000-query fully-parked workload
+  under grouped (envelope-index) admission vs the flat cascade, gated
+  against ``--min-index-admission-speedup`` (default 3), an absolute
+  floor because the ratio is machine-independent by construction.  A
+  regression here means the group index stopped certifying whole
+  groups (e.g. a rebuild bug re-indexing every tick) and admission is
+  back to O(Q) per cold tick.
 * ``kernel_speedup_vs_numpy`` — the 64-query push workload on the best
   available compiled kernel backend (numba or cext) vs the numpy
   reference, measured back-to-back per round with the minimum ratio
@@ -103,6 +110,13 @@ def main(argv: object = None) -> int:
         "low-selectivity push path, in percent (default 10.0; looser "
         "than the unpruned ceiling because pruned ticks are ~5x "
         "cheaper, so the recorder's fixed cost weighs more)",
+    )
+    parser.add_argument(
+        "--min-index-admission-speedup",
+        type=float,
+        default=3.0,
+        help="minimum grouped/flat admission throughput ratio on the "
+        "10k-query fully-parked workload (default 3.0)",
     )
     parser.add_argument(
         "--min-kernel-speedup",
@@ -205,6 +219,24 @@ def main(argv: object = None) -> int:
             failed = True
         else:
             print("OK: pruned metrics overhead within budget")
+
+    index_speedup = report["index_admission_speedup"]
+    if index_speedup is None:
+        print("no admission measurement; skipping admission gate")
+    else:
+        print(
+            f"index admission speedup: {index_speedup:.2f}x "
+            f"(floor {args.min_index_admission_speedup:.1f}x)"
+        )
+        if index_speedup < args.min_index_admission_speedup:
+            print(
+                "FAIL: grouped admission delivers less than "
+                f"{args.min_index_admission_speedup:.1f}x over the flat "
+                "cascade on the 10k-query workload"
+            )
+            failed = True
+        else:
+            print("OK: index admission speedup above floor")
 
     kernel_speedup = report["kernel_speedup_vs_numpy"]
     if kernel_speedup is None:

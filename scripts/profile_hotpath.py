@@ -11,6 +11,8 @@ budget actually go?" at the layer boundaries rather than per function:
 * ``policy``            — Figure-4 report logic + report policies
 * ``transform``         — stream transforms (z-normalisation)
 * ``cascade verify``    — full-resolution verification windows
+* ``admission``         — the lower-bound admission tier
+  (``admission.admit``: corridor tests, group certification, parking)
 * ``bank dispatch``     — fused-bank glue around the kernel
   (``engine.bank_step`` / ``engine.bank_extend`` self time)
 * ``monitor dispatch``  — per-push plan/collect/dispatch glue
@@ -47,6 +49,7 @@ STAGES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("policy", ("policy.report",)),
     ("transform", ("transform.forward",)),
     ("cascade verify", ("cascade.verify",)),
+    ("admission", ("admission.admit",)),
     ("bank dispatch", ("engine.bank_step", "engine.bank_extend")),
     ("monitor dispatch", ("monitor.push", "monitor.push_many")),
 )
@@ -54,11 +57,12 @@ STAGES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 
 def build_monitor(
     queries: int, mixed: bool, rng: np.random.Generator,
-    backend: str = None,
+    backend: str = None, admission: str = None,
 ) -> StreamMonitor:
     """A single-stream monitor with ``queries`` fusable spring queries
     (plus one query per non-trivial kind when ``mixed``)."""
-    monitor = StreamMonitor(keep_history=False, backend=backend)
+    monitor = StreamMonitor(keep_history=False, backend=backend,
+                            admission=admission)
     monitor.add_stream("s0")
     for i in range(queries):
         query = np.cumsum(rng.normal(size=8 + 4 * (i % 4)))
@@ -81,10 +85,12 @@ def profile(
     batch: bool,
     seed: int = 20070415,
     backend: str = None,
+    admission: str = None,
 ) -> Dict[str, object]:
     """Run the traced workload; return stage and raw span aggregates."""
     rng = np.random.default_rng(seed)
-    monitor = build_monitor(queries, mixed, rng, backend=backend)
+    monitor = build_monitor(queries, mixed, rng, backend=backend,
+                            admission=admission)
     stream = [float(v) for v in np.cumsum(rng.normal(size=ticks))]
     # Warm-up outside the trace: plan construction, numpy dispatch.
     monitor.push("s0", stream[0])
@@ -140,6 +146,7 @@ def profile(
             "batch": batch,
             "seed": seed,
             "backend": monitor.backend_name,
+            "admission": monitor.admission_name,
         },
         "spans_recorded": len(tracer),
         "spans_dropped": tracer.dropped,
@@ -157,7 +164,8 @@ def render(report: Dict[str, object]) -> str:
         f"{config['queries']} queries"
         + (" (+mixed kinds)" if config["mixed"] else "")
         + (" via push_many" if config["batch"] else " via push")
-        + f" [backend={config.get('backend', 'numpy')}]",
+        + f" [backend={config.get('backend', 'numpy')}, "
+        + f"admission={config.get('admission', 'auto')}]",
         f"{report['spans_recorded']} spans recorded"
         + (f", {report['spans_dropped']} dropped" if report["spans_dropped"]
            else ""),
@@ -194,10 +202,13 @@ def main(argv: object = None) -> int:
     parser.add_argument("--backend", default=None,
                         choices=("auto", "numpy", "numba", "cext"),
                         help="kernel backend (default: auto)")
+    parser.add_argument("--admission", default=None,
+                        choices=("auto", "flat", "grouped"),
+                        help="admission strategy (default: auto)")
     args = parser.parse_args(argv)
 
     report = profile(args.ticks, args.queries, args.mixed, args.batch,
-                     backend=args.backend)
+                     backend=args.backend, admission=args.admission)
     print(render(report))
     if args.json:
         with open(args.json, "w") as handle:

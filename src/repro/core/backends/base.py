@@ -174,6 +174,26 @@ class KernelBackend:
         :func:`repro.dtw.lower_bounds.lb_corridor` for array inputs."""
         raise NotImplementedError
 
+    def group_corridor(
+        self,
+        x: float,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        eps: np.ndarray,
+        kind: str,
+    ) -> np.ndarray:
+        """Fused group certification for tiered admission.
+
+        Returns the boolean array ``lb_corridor(x, lo, hi, kind) > eps``
+        — one entry per merged-envelope group (see
+        :mod:`repro.dtw.envelope_index`): ``True`` certifies every
+        member of that group cold for this tick.  Bit-exactness is
+        inherited from :meth:`lb_corridor` plus an exact float64
+        comparison, which is also what this default delegation
+        computes; compiled backends override it with a fused kernel.
+        """
+        return self.lb_corridor(x, lo, hi, kind) > eps
+
     def bank_kernel(self, engine) -> Optional[BankKernel]:
         """Mint a fused-step kernel bound to ``engine``, or ``None``.
 

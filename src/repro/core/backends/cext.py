@@ -543,6 +543,27 @@ void spring_lb_corridor(double x, int64_t lo_addr, int64_t hi_addr,
         out[i] = kind == 0 ? delta * delta : fabs(delta);
     }
 }
+
+/* Tiered-admission group certification: the corridor bound against the
+ * merged group envelopes fused with the epsilon comparison.  out[i] is
+ * 1 iff lb_corridor(x, lo[i], hi[i]) > eps[i], i.e. group i is
+ * certified cold for this tick (see dtw/envelope_index.py). */
+void spring_group_corridor(double x, int64_t lo_addr, int64_t hi_addr,
+                           int64_t eps_addr, int64_t g, int64_t kind,
+                           int64_t out_addr) {
+    const double *lo = DPTR(lo_addr);
+    const double *hi = DPTR(hi_addr);
+    const double *eps = DPTR(eps_addr);
+    unsigned char *out = (unsigned char *)(intptr_t)(out_addr);
+    for (int64_t i = 0; i < g; i++) {
+        double cl = x;
+        if (cl < lo[i]) cl = lo[i];
+        if (cl > hi[i]) cl = hi[i];
+        double delta = x - cl;
+        double lb = kind == 0 ? delta * delta : fabs(delta);
+        out[i] = lb > eps[i] ? 1 : 0;
+    }
+}
 """
 
 _CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
@@ -604,6 +625,8 @@ def _build_library(compiler: str) -> Tuple[ctypes.CDLL, str]:
     lib.spring_update_column.argtypes = [i64] * 7
     lib.spring_lb_corridor.restype = None
     lib.spring_lb_corridor.argtypes = [f64, i64, i64, i64, i64, i64]
+    lib.spring_group_corridor.restype = None
+    lib.spring_group_corridor.argtypes = [f64, i64, i64, i64, i64, i64, i64]
     return lib, f"{detail} ({so_path})"
 
 
@@ -656,11 +679,16 @@ def _self_test(backend: "CExtBackend") -> None:
         raise RuntimeError("compiled column update diverges from numpy")
     lo = np.array([-1.0, 0.5, 2.0])
     hi = np.array([1.0, 0.75, 2.0])
+    eps = np.array([6.0, 7.5625, 2.25])  # straddles the > boundary
     for kind in ("squared", "absolute"):
         want = _np_lb_corridor(3.5, lo, hi, kind)
         got = backend.lb_corridor(3.5, lo, hi, kind)
         if np.asarray(want).tobytes() != got.tobytes():
             raise RuntimeError("compiled corridor bound diverges from numpy")
+        want_g = np.asarray(want) > eps
+        got_g = backend.group_corridor(3.5, lo, hi, eps, kind)
+        if want_g.tobytes() != got_g.tobytes():
+            raise RuntimeError("compiled group corridor diverges from numpy")
 
 
 class _CExtBankKernel(BankKernel):
@@ -814,6 +842,25 @@ class CExtBackend(KernelBackend):
             out.ctypes.data,
         )
         return out
+
+    def group_corridor(self, x, lo, hi, eps, kind):
+        code = _KIND_CODES.get(kind)
+        if code is None:
+            return _np_lb_corridor(x, lo, hi, kind) > np.asarray(eps)
+        lo = np.ascontiguousarray(lo, dtype=np.float64)
+        hi = np.ascontiguousarray(hi, dtype=np.float64)
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        out = np.empty(lo.shape[0], dtype=np.uint8)
+        self._lib.spring_group_corridor(
+            float(x),
+            lo.ctypes.data,
+            hi.ctypes.data,
+            eps.ctypes.data,
+            lo.shape[0],
+            code,
+            out.ctypes.data,
+        )
+        return out.view(np.bool_)
 
     def bank_kernel(self, engine) -> Optional[BankKernel]:
         if engine._prune_kind not in _KIND_CODES:

@@ -235,6 +235,19 @@ def _lb_corridor_into(x, lo, hi, kind, out):
         out[i] = delta * delta if kind == 0 else abs(delta)
 
 
+def _group_corridor_into(x, lo, hi, eps, kind, out):
+    """Fused group certification: ``lb_corridor(...) > eps`` per group."""
+    for i in range(lo.shape[0]):
+        cl = x
+        if cl < lo[i]:
+            cl = lo[i]
+        if cl > hi[i]:
+            cl = hi[i]
+        delta = x - cl
+        lb = delta * delta if kind == 0 else abs(delta)
+        out[i] = np.uint8(1) if lb > eps[i] else np.uint8(0)
+
+
 #: The original (undecorated) kernel bodies, for logic tests that must
 #: run without numba.  Activation rebinds the module-level names only.
 PLAIN = {
@@ -245,6 +258,7 @@ PLAIN = {
     "extend_bank": _extend_bank,
     "update_columns_into": _update_columns_into,
     "lb_corridor_into": _lb_corridor_into,
+    "group_corridor_into": _group_corridor_into,
 }
 
 _ACTIVATED = False
@@ -259,6 +273,7 @@ def _activate(numba_module) -> None:
     """
     global _ACTIVATED, _row_update_inplace, _row_update_out, _row_report
     global _step_bank, _extend_bank, _update_columns_into, _lb_corridor_into
+    global _group_corridor_into
     if _ACTIVATED:
         return
     jit = numba_module.njit(cache=False, nogil=True)
@@ -269,6 +284,7 @@ def _activate(numba_module) -> None:
     _extend_bank = jit(_extend_bank)
     _update_columns_into = jit(_update_columns_into)
     _lb_corridor_into = jit(_lb_corridor_into)
+    _group_corridor_into = jit(_group_corridor_into)
     _ACTIVATED = True
 
 
@@ -362,6 +378,16 @@ class NumbaBackend(KernelBackend):
         state = SpringState.initial(3)
         self.update_column(state, cost[0], 1)
         self.lb_corridor(2.0, np.array([0.0, 3.0]), np.array([1.0, 4.0]), "squared")
+        lo = np.array([0.0, 3.0])
+        hi = np.array([1.0, 4.0])
+        eps = np.array([0.5, 2.0])
+        for kind in ("squared", "absolute"):
+            want_g = _np_lb_corridor(2.0, lo, hi, kind) > eps
+            got_g = self.group_corridor(2.0, lo, hi, eps, kind)
+            if want_g.tobytes() != got_g.tobytes():
+                raise RuntimeError(
+                    "numba group corridor diverges from numpy"
+                )
         # Compile the fused-step kernels too (rows + extend variants).
         eq = np.empty(4, dtype=np.int64)
         ed = np.empty(4, dtype=np.float64)
@@ -419,6 +445,17 @@ class NumbaBackend(KernelBackend):
         out = np.empty(lo.shape[0], dtype=np.float64)
         _lb_corridor_into(float(x), lo, hi, code, out)
         return out
+
+    def group_corridor(self, x, lo, hi, eps, kind):
+        code = _KIND_CODES.get(kind)
+        if code is None:
+            return _np_lb_corridor(x, lo, hi, kind) > eps
+        lo = np.ascontiguousarray(lo, dtype=np.float64)
+        hi = np.ascontiguousarray(hi, dtype=np.float64)
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        out = np.empty(lo.shape[0], dtype=np.uint8)
+        _group_corridor_into(float(x), lo, hi, eps, code, out)
+        return out.view(np.bool_)
 
     def bank_kernel(self, engine) -> Optional[BankKernel]:
         if engine._prune_kind not in _KIND_CODES:

@@ -42,3 +42,13 @@ class NumpyBackend(KernelBackend):
         self, x: float, lo: np.ndarray, hi: np.ndarray, kind: str
     ) -> np.ndarray:
         return lb_corridor(x, lo, hi, kind)
+
+    def group_corridor(
+        self,
+        x: float,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        eps: np.ndarray,
+        kind: str,
+    ) -> np.ndarray:
+        return lb_corridor(x, lo, hi, kind) > eps

@@ -221,6 +221,8 @@ def load_monitor(
     prune: bool = True,
     prune_buffer: int = 1024,
     backend=None,
+    admission=None,
+    admission_group_size=None,
 ):
     """Rebuild a monitor from :func:`save_monitor` output.
 
@@ -230,10 +232,11 @@ def load_monitor(
     with pruning disabled the parked spans are caught up immediately,
     so the resumed match stream is byte-identical regardless.
 
-    ``backend`` selects the kernel backend of the restored monitor (a
-    runtime property — checkpoints never record one, and a snapshot
-    written under any backend restores under any other to
-    byte-identical future events).
+    ``backend`` selects the kernel backend of the restored monitor, and
+    ``admission`` / ``admission_group_size`` its admission strategy —
+    both are runtime properties: checkpoints never record them, and a
+    snapshot written under any combination restores under any other to
+    byte-identical future events.
     """
     from repro.core.monitor import StreamMonitor
 
@@ -242,7 +245,11 @@ def load_monitor(
             f"unsupported checkpoint version {state.get('format_version')!r}"
         )
     monitor = StreamMonitor(
-        prune=prune, prune_buffer=prune_buffer, backend=backend
+        prune=prune,
+        prune_buffer=prune_buffer,
+        backend=backend,
+        admission=admission,
+        admission_group_size=admission_group_size,
     )
     for name, spec in state["queries"].items():  # type: ignore[union-attr]
         epsilon = decode_float(spec["epsilon"])
@@ -286,8 +293,15 @@ def load_monitor_json(
     prune: bool = True,
     prune_buffer: int = 1024,
     backend=None,
+    admission=None,
+    admission_group_size=None,
 ):
     """Restore a monitor from :func:`dump_monitor_json` output."""
     return load_monitor(
-        json.loads(payload), prune=prune, prune_buffer=prune_buffer, backend=backend
+        json.loads(payload),
+        prune=prune,
+        prune_buffer=prune_buffer,
+        backend=backend,
+        admission=admission,
+        admission_group_size=admission_group_size,
     )

@@ -72,10 +72,17 @@ class FusedBank:
         self.engine.catch_up_all()
         self.engine.write_back(self.matchers)
 
-    def prune_counters(self) -> Tuple[int, int, int]:
-        """Live ``(pruned_ticks, replays, replayed_ticks)`` of the engine."""
+    def prune_counters(self) -> Tuple[int, int, int, int, int]:
+        """Live ``(pruned_ticks, replays, replayed_ticks,
+        groups_certified, group_descents)`` of the engine."""
         engine = self.engine
-        return (engine.pruned_ticks, engine.replays, engine.replayed_ticks)
+        return (
+            engine.pruned_ticks,
+            engine.replays,
+            engine.replayed_ticks,
+            engine.groups_certified,
+            engine.group_descents,
+        )
 
 
 @dataclass
@@ -115,6 +122,8 @@ def build_plan(
     min_bank_size: int = 2,
     prune_buffer: Optional[int] = None,
     backend: BackendSpec = None,
+    admission: Optional[str] = None,
+    admission_group_size: Optional[int] = None,
 ) -> ExecutionPlan:
     """Partition a stream's matchers into fused banks + individual runs.
 
@@ -128,7 +137,12 @@ def build_plan(
     every bank it applies to (see :class:`~repro.core.fused.FusedSpring`);
     emissions are byte-identical with or without it.  ``backend``
     selects the kernel backend for every bank built here (results are
-    bit-identical across backends).
+    bit-identical across backends), and ``admission`` /
+    ``admission_group_size`` select the admission strategy the same
+    capability-driven way — ``"auto"`` (the default) picks grouped
+    admission for large banks and the flat cascade otherwise, with
+    byte-identical decisions either way (see
+    :mod:`repro.core.admission`).
     """
     groups: Dict[Tuple, List[str]] = {}
     for name, matcher in matchers.items():
@@ -144,7 +158,11 @@ def build_plan(
         banks.append(
             FusedBank(
                 engine=FusedSpring.from_springs(
-                    group, prune_buffer=prune_buffer, backend=backend
+                    group,
+                    prune_buffer=prune_buffer,
+                    backend=backend,
+                    admission=admission,
+                    admission_group_size=admission_group_size,
                 ),
                 names=list(names),
                 matchers=group,

@@ -61,6 +61,11 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro._validation import as_scalar_sequence, check_threshold
+from repro.core.admission import (
+    AdmissionCascade,
+    create_admission,
+    resolve_admission,
+)
 from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.matches import Match
 from repro.core.missing import (
@@ -76,7 +81,6 @@ from repro.dtw.steps import (
 )
 from repro.exceptions import NotFittedError, ValidationError
 from repro.obs import tracing
-from repro.streams.buffer import RingBuffer
 
 __all__ = ["QueryBank", "FusedSpring"]
 
@@ -106,6 +110,13 @@ class QueryBank:
     local_distance:
         Shared local distance (name or callable), resolved exactly as
         :class:`~repro.core.spring.Spring` resolves it.
+    corridors:
+        Optional pre-computed per-query ``(lo, hi)`` corridor pairs
+        (the degenerate full-radius Keogh envelope, as cached by
+        :class:`~repro.core.spring.Spring`).  When omitted they are
+        computed here, once per bank — either way the admission cascade
+        reads them off the bank instead of re-reducing every query on
+        each engine (re)build.
     """
 
     def __init__(
@@ -114,6 +125,7 @@ class QueryBank:
         epsilons: Union[float, Sequence[float]] = np.inf,
         names: Optional[Sequence[str]] = None,
         local_distance: Union[str, LocalDistance, None] = None,
+        corridors: Optional[Sequence[Tuple[float, float]]] = None,
     ) -> None:
         arrays = [as_scalar_sequence(q, f"queries[{i}]") for i, q in enumerate(queries)]
         if not arrays:
@@ -143,9 +155,24 @@ class QueryBank:
         # (Q, m_max, 1): the trailing axis matches Spring's (m, 1) query
         # layout so the shared vector local distances see identical shapes.
         padded = np.zeros((q_count, m_max, 1), dtype=np.float64)
+        lo = np.empty(q_count, dtype=np.float64)
+        hi = np.empty(q_count, dtype=np.float64)
+        if corridors is not None and len(corridors) != q_count:
+            raise ValidationError(
+                f"got {q_count} queries but {len(corridors)} corridors"
+            )
         for i, a in enumerate(arrays):
             padded[i, : a.shape[0], 0] = a
+            if corridors is None:
+                lo[i] = a.min()
+                hi[i] = a.max()
+            else:
+                lo[i], hi[i] = corridors[i]
         self.padded = padded
+        #: Per-query streaming corridor ``[min(Y), max(Y)]`` — the
+        #: degenerate Keogh envelope the admission cascade bounds with.
+        self.corridor_lo = lo
+        self.corridor_hi = hi
 
     @property
     def q(self) -> int:
@@ -206,6 +233,16 @@ class FusedSpring:
         default — see :mod:`repro.core.backends`).  A runtime property
         only: results are bit-identical across backends and the choice
         is never serialised.
+    admission:
+        Admission strategy for the pruning cascade —
+        ``"flat"``/``"grouped"``/``"auto"`` (or ``None`` for auto; see
+        :mod:`repro.core.admission`).  Like the backend, a runtime
+        property: decisions and emissions are byte-identical across
+        strategies and the choice is never serialised.  Ignored when
+        pruning is off or inert.
+    admission_group_size:
+        Queries per merged-envelope group for grouped admission
+        (default :data:`repro.core.admission.DEFAULT_GROUP_SIZE`).
 
     Notes
     -----
@@ -220,6 +257,8 @@ class FusedSpring:
         missing: str = "skip",
         prune_buffer: Optional[int] = None,
         backend: BackendSpec = None,
+        admission: Optional[str] = None,
+        admission_group_size: Optional[int] = None,
     ) -> None:
         if not isinstance(bank, QueryBank):
             bank = QueryBank(bank)
@@ -257,35 +296,25 @@ class FusedSpring:
         # value and catches up at wake time, so the master arrays plus
         # `_ticks` describe a valid mid-stream state for every row at
         # every moment (which is what makes write_back/checkpointing of
-        # parked rows trivially correct).
+        # parked rows trivially correct).  The machinery itself — the
+        # replay buffer, the parked set, and the per-tick decision —
+        # lives in the admission cascade (repro.core.admission); this
+        # engine only dispatches the hot rows it is handed.
         self._prune_kind = canonical_distance_name(bank.distance)
         if prune_buffer is not None and int(prune_buffer) < 1:
             raise ValidationError(
                 f"prune_buffer must be a positive capacity, got {prune_buffer!r}"
             )
+        resolve_admission(admission)  # fail fast on unknown strategies
         self._prune = (
             prune_buffer is not None and self._prune_kind in _PRUNABLE_DISTANCES
         )
         if self._prune:
-            self._buffer: Optional[RingBuffer] = RingBuffer(int(prune_buffer))
-            lo = np.empty(q, dtype=np.float64)
-            hi = np.empty(q, dtype=np.float64)
-            for i in range(q):
-                yq = bank.padded[i, : bank.lengths[i], 0]
-                lo[i] = yq.min()
-                hi[i] = yq.max()
-            self._corridor_lo = lo
-            self._corridor_hi = hi
+            self._admission: Optional[AdmissionCascade] = create_admission(
+                admission, self, int(prune_buffer), admission_group_size
+            )
         else:
-            self._buffer = None
-        self._parked = np.zeros(q, dtype=bool)
-        self._park_pos = np.zeros(q, dtype=np.int64)
-        #: Query-ticks whose column update was skipped or deferred.
-        self.pruned_ticks = 0
-        #: Catch-up replays performed (one per waking park-position group).
-        self.replays = 0
-        #: Query-ticks re-applied during catch-up replays.
-        self.replayed_ticks = 0
+            self._admission = None
 
         # Compiled fused-step kernel, or None for the vectorised numpy
         # path.  Minted last: it caches the addresses of the master
@@ -319,6 +348,47 @@ class FusedSpring:
         return self._kernel is not None
 
     @property
+    def admission(self) -> Optional[AdmissionCascade]:
+        """The admission cascade, or ``None`` when pruning is off/inert."""
+        return self._admission
+
+    @property
+    def admission_kind(self) -> Optional[str]:
+        """Resolved admission strategy name (``None`` when inert)."""
+        return self._admission.kind if self._admission is not None else None
+
+    @property
+    def pruned_ticks(self) -> int:
+        """Query-ticks whose column update was skipped or deferred."""
+        return self._admission.pruned_ticks if self._admission is not None else 0
+
+    @property
+    def replays(self) -> int:
+        """Catch-up replays performed (one per waking park-position group)."""
+        return self._admission.replays if self._admission is not None else 0
+
+    @property
+    def replayed_ticks(self) -> int:
+        """Query-ticks re-applied during catch-up replays."""
+        return (
+            self._admission.replayed_ticks if self._admission is not None else 0
+        )
+
+    @property
+    def groups_certified(self) -> int:
+        """Envelope groups certified cold by one merged-corridor test."""
+        return (
+            self._admission.groups_certified if self._admission is not None else 0
+        )
+
+    @property
+    def group_descents(self) -> int:
+        """Envelope groups that fell back to exact per-member bounds."""
+        return (
+            self._admission.group_descents if self._admission is not None else 0
+        )
+
+    @property
     def ticks(self) -> np.ndarray:
         """Per-query 1-based *applied* tick counters (copy).
 
@@ -331,20 +401,24 @@ class FusedSpring:
     def stream_ticks(self) -> np.ndarray:
         """Per-query 1-based stream position (applied + deferred ticks)."""
         out = self._ticks.copy()
-        if self._prune and self._parked.any():
-            behind = self._buffer.total_pushed - self._park_pos
-            out[self._parked] += behind[self._parked]
+        adm = self._admission
+        if adm is not None and adm.n_parked:
+            behind = adm.buffer.total_pushed - adm.park_pos
+            out[adm.parked] += behind[adm.parked]
         return out
 
     @property
     def parked(self) -> np.ndarray:
         """Boolean mask of queries currently parked as cold (copy)."""
-        return self._parked.copy()
+        if self._admission is None:
+            return np.zeros(self.q, dtype=bool)
+        return self._admission.parked.copy()
 
     def _stream_tick0(self) -> int:
         t = int(self._ticks[0])
-        if self._prune and self._parked[0]:
-            t += int(self._buffer.total_pushed - self._park_pos[0])
+        adm = self._admission
+        if adm is not None and adm.parked[0]:
+            t += int(adm.buffer.total_pushed - adm.park_pos[0])
         return t
 
     def best_match(self, index: int) -> Match:
@@ -399,42 +473,23 @@ class FusedSpring:
     def _step_pruned(self, x: Optional[np.float64]) -> List[Tuple[int, Match]]:
         """:meth:`step` with the lower-bound admission cascade active.
 
-        Per tick: push the value to the replay buffer, bound every
-        query's next column against its ε, wake parked queries whose
-        bound dipped under, park hot queries the bound certifies cold
-        (only when nothing is pending and their best-so-far distance is
-        already ``<= ε`` — see docs/algorithm.md §11 for why both
-        conditions make skipping provably invisible), then run the
-        normal kernel/report pass for the remaining hot rows only.
+        The admission strategy decides the tick (push the value to the
+        replay buffer, wake parked queries whose bound dipped under,
+        park hot queries the bound certifies cold — only when nothing
+        is pending and their best-so-far distance is already ``<= ε``;
+        see docs/algorithm.md §11 and §14); this engine then runs the
+        normal kernel/report pass for the surviving hot rows only.
         """
-        buf = self._buffer
-        buf.push(np.nan if x is None else float(x))
-        total = buf.total_pushed
-        parked = self._parked
+        adm = self._admission
         if x is None:
             # A missing reading never wakes a query: it carries no
             # evidence against the cold certificate, and replay skips
             # it the same way the live path would have.
-            self._ticks[~parked] += 1
-            self.pruned_ticks += int(parked.sum())
+            adm.tick_missing()
             return []
-        eps = self.bank.epsilons
-        lb = self._backend.lb_corridor(
-            float(x), self._corridor_lo, self._corridor_hi, self._prune_kind
-        )
-        cold = lb > eps
-        if parked.any():
-            wake = parked & ~cold
-            if wake.any():
-                self._wake(np.flatnonzero(wake), total)
-        hot = ~self._parked
-        newly = hot & cold & ~np.isfinite(self._dmin) & (self._best_d <= eps)
-        if newly.any():
-            self._parked |= newly
-            self._park_pos[newly] = total - 1
-            hot &= ~newly
-        n_hot = int(hot.sum())
-        self.pruned_ticks += self.q - n_hot
+        hot, n_hot = adm.admit(float(x))
+        if hot is None:
+            return []
         if n_hot == self.q:
             # Nothing parked: identical to the unpruned dense path.
             if self._kernel is not None:
@@ -459,8 +514,6 @@ class FusedSpring:
                 )
             with tracer.span("policy.report"):
                 return self._report_logic()
-        if n_hot == 0:
-            return []
         rows = np.flatnonzero(hot)
         if self._kernel is not None:
             # The kernel advances `_ticks[rows]` itself and reports only
@@ -492,74 +545,6 @@ class FusedSpring:
         with tracer.span("policy.report"):
             return self._report_logic(active=hot)
 
-    def _wake(self, rows: np.ndarray, total: int) -> None:
-        """Bring parked ``rows`` back to hot before processing position ``total``.
-
-        Spans the ring buffer still holds are replayed bit-for-bit;
-        spans that outgrew it wake through the reset representation
-        (``d[1:] = inf`` with ticks advanced), which the certification
-        conditions make indistinguishable for every future emission.
-        """
-        pos = self._park_pos[rows]
-        for pp in np.unique(pos):
-            grp = rows[pos == pp]
-            span = int(total - 1 - pp)
-            if span > 0:
-                if total - pp <= self._buffer.capacity:
-                    self._replay(grp, int(pp) + 1, total - 1)
-                else:
-                    self._d[grp, 1:] = np.inf
-                    self._ticks[grp] += span
-        self._parked[rows] = False
-
-    def _replay(self, rows: np.ndarray, start: int, end: int) -> None:
-        """Re-apply buffered values ``start..end`` to the parked ``rows``.
-
-        A certified-cold span cannot capture, emit, or improve a best
-        match (that is exactly what the park conditions guarantee), so
-        replay is a pure column reconstruction: the full report logic is
-        skipped and the guarantees are enforced as tripwires instead.
-        """
-        vals = self._buffer.window(start, end)
-        h = int(rows.size)
-        self.replays += 1
-        self.replayed_ticks += int(vals.size) * h
-        d_sub = self._d[rows]
-        s_sub = self._s[rows]
-        ticks_sub = self._ticks[rows]
-        end_sub = self._end[rows]
-        eps_sub = self.bank.epsilons[rows]
-        best_sub = self._best_d[rows]
-        sub_rows = np.arange(h, dtype=np.int64)
-        padded_sub = self.bank.padded[rows]
-        finite = ~np.isnan(vals)
-        budget = max(16, _BLOCK_BUDGET // max(1, h * self.bank.m_max))
-        for lo in range(0, int(vals.size), budget):
-            hi = min(lo + budget, int(vals.size))
-            chunk = vals[lo:hi]
-            cost_block = np.asarray(
-                self.bank.distance(
-                    chunk[:, None, None, None], padded_sub[None]
-                ),
-                dtype=np.float64,
-            )
-            for t in range(hi - lo):
-                ticks_sub += 1
-                if not finite[lo + t]:
-                    continue
-                d_sub, s_sub = self._backend.update_columns(
-                    d_sub, s_sub, cost_block[t], ticks_sub
-                )
-                d_m = d_sub[sub_rows, end_sub]
-                if (d_m <= eps_sub).any() or (d_m < best_sub).any():
-                    raise RuntimeError(
-                        "pruning certification violated: a parked span "
-                        "produced a capture or best-match update at replay"
-                    )
-        self._d[rows] = d_sub
-        self._s[rows] = s_sub
-        self._ticks[rows] = ticks_sub
-
     def catch_up_all(self) -> None:
         """Apply every deferred tick so applied state equals stream state.
 
@@ -568,21 +553,8 @@ class FusedSpring:
         Emitted matches are unaffected — parked spans cannot hold any —
         so this is a state materialisation, never a report.
         """
-        if not self._prune or not self._parked.any():
-            return
-        total = int(self._buffer.total_pushed)
-        rows = np.flatnonzero(self._parked)
-        pos = self._park_pos[rows]
-        for pp in np.unique(pos):
-            grp = rows[pos == pp]
-            span = int(total - pp)
-            if span > 0:
-                if span <= self._buffer.capacity:
-                    self._replay(grp, int(pp) + 1, total)
-                else:
-                    self._d[grp, 1:] = np.inf
-                    self._ticks[grp] += span
-        self._parked[rows] = False
+        if self._admission is not None:
+            self._admission.catch_up_all()
 
     def extend(
         self, values: Iterable[object], block_size: int = 1024
@@ -774,6 +746,8 @@ class FusedSpring:
         names: Optional[Sequence[str]] = None,
         prune_buffer: Optional[int] = None,
         backend: BackendSpec = None,
+        admission: Optional[str] = None,
+        admission_group_size: Optional[int] = None,
     ) -> "FusedSpring":
         """Build an engine that adopts the live state of ``springs``.
 
@@ -816,6 +790,10 @@ class FusedSpring:
             [sp._query[:, 0] for sp in springs],
             epsilons=[sp.epsilon for sp in springs],
             names=names,
+            # Springs cache their corridor at build time; adopting it
+            # here keeps plan rebuilds (monitor sync, checkpoint
+            # restore) from re-reducing every query array.
+            corridors=[sp.corridor for sp in springs],
         )
         bank.distance = first._distance
         engine = cls(
@@ -823,6 +801,8 @@ class FusedSpring:
             missing=first.missing,
             prune_buffer=prune_buffer,
             backend=backend,
+            admission=admission,
+            admission_group_size=admission_group_size,
         )
         for qi, sp in enumerate(springs):
             m = sp.m
@@ -871,23 +851,13 @@ class FusedSpring:
         for every row; this captures the rest — the replay buffer and
         how far behind each parked row is — so a restored engine can
         resume mid-park and produce byte-identical future emissions.
+        The payload is admission-strategy-independent: flat and grouped
+        cascades make identical decisions, and the grouped index is a
+        pure function of the parked set, rebuilt rather than stored.
         """
         if not self._prune:
             return None
-        total = int(self._buffer.total_pushed)
-        parked = {
-            str(int(qi)): int(total - self._park_pos[qi])
-            for qi in np.flatnonzero(self._parked)
-        }
-        return {
-            "buffer": self._buffer.state_dict(),
-            "parked": parked,
-            "counters": {
-                "pruned_ticks": int(self.pruned_ticks),
-                "replays": int(self.replays),
-                "replayed_ticks": int(self.replayed_ticks),
-            },
-        }
+        return self._admission.state_dict()
 
     def restore_prune_state(self, state: Optional[dict]) -> None:
         """Re-park queries from a :meth:`prune_state_dict` snapshot.
@@ -904,17 +874,7 @@ class FusedSpring:
                 "cannot restore pruning state into an engine built "
                 "without pruning"
             )
-        self._buffer = RingBuffer.from_state(state["buffer"])
-        total = int(self._buffer.total_pushed)
-        self._parked[:] = False
-        for key, behind in state.get("parked", {}).items():
-            qi = int(key)
-            self._parked[qi] = True
-            self._park_pos[qi] = total - int(behind)
-        counters = state.get("counters", {})
-        self.pruned_ticks = int(counters.get("pruned_ticks", 0))
-        self.replays = int(counters.get("replays", 0))
-        self.replayed_ticks = int(counters.get("replayed_ticks", 0))
+        self._admission.restore_state(state)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

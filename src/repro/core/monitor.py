@@ -53,6 +53,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.admission import resolve_admission
 from repro.core.backends import BackendSpec, resolve_backend, use_backend
 from repro.core.engine import ExecutionPlan, build_plan
 from repro.core.matches import Match
@@ -144,6 +145,16 @@ class StreamMonitor:
         JIT warm-up happens here rather than on the first push.  A
         runtime property only — events are bit-identical across
         backends and checkpoints never record the choice.
+    admission:
+        Admission strategy for the pruning cascade —
+        ``"flat"``/``"grouped"``/``"auto"`` (``None`` = auto; see
+        :mod:`repro.core.admission`).  Grouped admission certifies
+        whole merged-envelope groups of parked queries with one test
+        per group, making admission sublinear in bank size; decisions
+        and events are byte-identical across strategies, so like the
+        backend this is a runtime property checkpoints never record.
+    admission_group_size:
+        Queries per merged-envelope group for grouped admission.
 
     Example
     -------
@@ -163,6 +174,8 @@ class StreamMonitor:
         prune: bool = True,
         prune_buffer: int = 1024,
         backend: BackendSpec = None,
+        admission: Optional[str] = None,
+        admission_group_size: Optional[int] = None,
     ) -> None:
         # Resolve now: explicit-but-unavailable specs raise here, and
         # compilation/warm-up cost lands at construction, never on a
@@ -191,8 +204,20 @@ class StreamMonitor:
                 f"prune_buffer must be a positive integer, got {prune_buffer}"
             )
         self._prune_buffer = prune_buffer
-        # stream -> [pruned_ticks, replays, replayed_ticks] folded from
-        # retired plans (live engines add their own counters on top).
+        # Validate eagerly (same contract as the backend spec) and keep
+        # the canonical names for every plan this monitor builds.
+        self._admission = resolve_admission(admission)
+        if admission_group_size is not None:
+            admission_group_size = int(admission_group_size)
+            if admission_group_size < 1:
+                raise ValidationError(
+                    f"admission_group_size must be a positive integer, "
+                    f"got {admission_group_size}"
+                )
+        self._admission_group_size = admission_group_size
+        # stream -> [pruned_ticks, replays, replayed_ticks,
+        # groups_certified, group_descents] folded from retired plans
+        # (live engines add their own counters on top).
         self._prune_totals: Dict[str, List[int]] = {}
         # Observability gate: the shared no-op recorder until
         # enable_metrics() swaps in a real one.  Hot paths check only
@@ -208,6 +233,12 @@ class StreamMonitor:
     def backend_name(self) -> str:
         """Registry name of the kernel backend in use."""
         return self._backend.name
+
+    @property
+    def admission_name(self) -> str:
+        """Canonical admission-strategy name this monitor builds plans
+        with (``"auto"`` resolves per bank at plan-build time)."""
+        return self._admission
 
     @property
     def streams(self) -> List[str]:
@@ -384,24 +415,35 @@ class StreamMonitor:
         admission cascade skipped or deferred; ``replays`` counts
         catch-up replays of parked spans; ``replayed_ticks`` counts the
         query-ticks those replays re-applied (so the net updates saved
-        are ``pruned_ticks - replayed_ticks``).  All zeros when pruning
-        is disabled or no bank qualifies.
+        are ``pruned_ticks - replayed_ticks``).  ``groups_certified``
+        and ``group_descents`` count the tiered admission tier-1
+        outcomes — merged-envelope groups certified cold in one test vs
+        groups that fell back to exact per-member bounds (both zero
+        under flat admission).  All zeros when pruning is disabled or
+        no bank qualifies.
         """
         if stream not in self._matchers:
             raise ValidationError(f"stream {stream!r} is not registered")
-        totals = list(self._prune_totals.get(stream, (0, 0, 0)))
+        totals = self._stream_totals(stream)
         plan = self._plans.get(stream)
         if plan is not None:
             for bank in plan.banks:
-                pruned, replays, replayed = bank.prune_counters()
-                totals[0] += pruned
-                totals[1] += replays
-                totals[2] += replayed
+                for i, value in enumerate(bank.prune_counters()):
+                    totals[i] += value
         return {
             "pruned_ticks": totals[0],
             "replays": totals[1],
             "replayed_ticks": totals[2],
+            "groups_certified": totals[3],
+            "group_descents": totals[4],
         }
+
+    def _stream_totals(self, stream: str) -> List[int]:
+        """Folded counter totals for ``stream``, padded to five entries
+        (checkpoints from before the group counters carry three)."""
+        totals = list(self._prune_totals.get(stream, ()))
+        totals += [0] * (5 - len(totals))
+        return totals
 
     def _collect_matcher_series(self, registry: MetricsRegistry) -> None:
         """Snapshot-time collector: per-matcher tick / pending series.
@@ -436,6 +478,16 @@ class StreamMonitor:
             "Catch-up replays of parked spans (one per waking group)",
             ("stream",),
         )
+        certified = registry.counter(
+            "spring_groups_certified_total",
+            "Envelope groups certified cold by one merged-corridor test",
+            ("stream",),
+        )
+        descents = registry.counter(
+            "spring_group_descents_total",
+            "Envelope groups that descended to exact per-member bounds",
+            ("stream",),
+        )
         for stream, matchers in self._matchers.items():
             self._refresh_stream(stream)
             stream_ticks: Dict[str, int] = {}
@@ -462,6 +514,12 @@ class StreamMonitor:
             stats = self.prune_stats(stream)
             pruned.labels(stream=stream).set_to(float(stats["pruned_ticks"]))
             replays.labels(stream=stream).set_to(float(stats["replays"]))
+            certified.labels(stream=stream).set_to(
+                float(stats["groups_certified"])
+            )
+            descents.labels(stream=stream).set_to(
+                float(stats["group_descents"])
+            )
 
     # ------------------------------------------------------------------
     # Execution plans (fused banking, capability-driven)
@@ -474,6 +532,8 @@ class StreamMonitor:
                 self._matchers[stream],
                 prune_buffer=self._prune_buffer if self._prune else None,
                 backend=self._backend,
+                admission=self._admission,
+                admission_group_size=self._admission_group_size,
             )
             self._plans[stream] = plan
         return plan
@@ -489,13 +549,12 @@ class StreamMonitor:
         """
         plan = self._plans.get(stream)
         if plan is not None:
-            totals = self._prune_totals.setdefault(stream, [0, 0, 0])
+            totals = self._prune_totals.setdefault(stream, [0, 0, 0, 0, 0])
+            totals += [0] * (5 - len(totals))
             for bank in plan.banks:
                 bank.sync()
-                pruned, replays, replayed = bank.prune_counters()
-                totals[0] += pruned
-                totals[1] += replays
-                totals[2] += replayed
+                for i, value in enumerate(bank.prune_counters()):
+                    totals[i] += value
         self._plans[stream] = None
 
     def _refresh_stream(self, stream: str) -> None:
@@ -541,7 +600,7 @@ class StreamMonitor:
                         entries.append(
                             {"queries": list(bank.names), "prune": state}
                         )
-            totals = self._prune_totals.get(stream, [0, 0, 0])
+            totals = self._stream_totals(stream)
             if entries or any(totals):
                 payload[stream] = {
                     "banks": entries,
@@ -583,7 +642,11 @@ class StreamMonitor:
                 return
             buffer = max(capacities)
         plan = build_plan(
-            self._matchers[stream], prune_buffer=buffer, backend=self._backend
+            self._matchers[stream],
+            prune_buffer=buffer,
+            backend=self._backend,
+            admission=self._admission,
+            admission_group_size=self._admission_group_size,
         )
         matched = set()
         for bank in plan.banks:

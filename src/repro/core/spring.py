@@ -146,6 +146,20 @@ class Spring:
 
         m = self._query.shape[0]
 
+        # Streaming-corridor cache (scalar queries): the degenerate
+        # full-radius Keogh envelope collapses to [min(Y), max(Y)], and
+        # the admission cascade re-banks queries on every plan rebuild —
+        # computing it once here keeps rebuilds from re-reducing every
+        # query array (it shows up at 10k queries).
+        if self._query.shape[1] == 1:
+            col = self._query[:, 0]
+            self._corridor: Optional[Tuple[float, float]] = (
+                float(col.min()),
+                float(col.max()),
+            )
+        else:
+            self._corridor = None
+
         # Report-policy layer: split the chain by hook so the per-tick
         # logic only pays for the hooks actually in use.
         self._policies: Tuple[ReportPolicy, ...] = tuple(policies)
@@ -209,6 +223,17 @@ class Spring:
     def tick(self) -> int:
         """Number of stream values consumed (1-based time of last value)."""
         return self._tick
+
+    @property
+    def corridor(self) -> Optional[Tuple[float, float]]:
+        """Cached ``(min(Y), max(Y))`` streaming corridor of the query.
+
+        The degenerate (full-radius) Keogh envelope used by the
+        admission cascade's corridor bound; ``None`` for vector queries,
+        which are never bank-fused.  Computed once at build time so
+        re-banking paths need not re-reduce the query.
+        """
+        return self._corridor
 
     @property
     def current_distances(self) -> np.ndarray:

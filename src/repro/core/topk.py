@@ -21,8 +21,7 @@ update per tick.
 
 from __future__ import annotations
 
-import warnings
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -91,25 +90,6 @@ class TopKSpring(Spring):
     def k(self) -> int:
         """Leaderboard size."""
         return self._topk.k
-
-    #: Deprecation warning already emitted this session?  One warning
-    #: per process is enough for a legacy alias — a migration loop that
-    #: calls finalize() per stream must not flood stderr (and the
-    #: default "default" warning filter would dedupe per *call site*
-    #: only, not across them).
-    _finalize_warned = False
-
-    def finalize(self) -> Optional[Match]:
-        """Deprecated alias for :meth:`flush` (kept for old callers)."""
-        if not TopKSpring._finalize_warned:
-            TopKSpring._finalize_warned = True
-            warnings.warn(
-                "TopKSpring.finalize() is deprecated; use flush(), the "
-                "protocol-wide end-of-stream method",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return self.flush()
 
     def best(self) -> List[Match]:
         """Current leaderboard, best first."""

@@ -1,0 +1,143 @@
+"""Group-envelope index: merged corridor MBRs for tiered admission.
+
+The streaming corridor bound (:func:`repro.dtw.lower_bounds.lb_corridor`)
+certifies one query cold with one clamp-subtract against the query's
+``[min(Y), max(Y)]`` corridor — the degenerate (full-radius) Keogh
+envelope of the query.  A bank of Q parked queries still pays Q of those
+checks per tick, so admission is O(Q) even when every query is cold.
+
+This module supplies the indexing tier that makes admission sublinear:
+queries are sorted by corridor and packed into fixed-size groups, and
+each group is summarised by the *merged* envelope MBR
+
+    ``lo_g = min_i lo_i``,  ``hi_g = max_i hi_i``,  ``eps_g = max_i eps_i``.
+
+Because every member corridor is contained in the group corridor, the
+group bound computed from ``[lo_g, hi_g]`` is a lower bound on every
+member's own bound — not just mathematically but *bit-for-bit* under
+IEEE-754 (clamping against a wider interval yields a clamp point no
+farther from ``x``; subtraction is correctly rounded and monotone;
+squaring/absolute preserve the ordering).  One corridor test against
+the group MBR with ``eps_g`` therefore certifies the whole group cold
+with no false dismissals:
+
+    ``lb_g > eps_g``  ⇒  ``lb_i ≥ lb_g > eps_g ≥ eps_i``  for every member.
+
+Groups the test cannot certify *descend*: the exact per-member bound is
+evaluated for their members only, so the final per-query admission
+decision is byte-identical to the flat cascade in every case (this is
+what ``tests/properties/test_admission_parity.py`` sweeps).
+
+Construction is deterministic — same member set, same index — so the
+index is a pure function of the parked set and never needs serialising:
+a checkpoint restore rebuilds it bit-identically (see
+``docs/algorithm.md`` §14).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["GroupEnvelopeIndex", "build_group_index"]
+
+
+class GroupEnvelopeIndex:
+    """Fixed-size groups of query corridors with merged envelope MBRs.
+
+    Parameters
+    ----------
+    rows:
+        Row indices (into the per-query arrays) of the queries to index.
+    lo, hi:
+        Per-query corridor bounds, indexed by absolute row.
+    eps:
+        Per-query admission thresholds, indexed by absolute row.
+    group_size:
+        Queries per group (the last group may be smaller).
+
+    Attributes
+    ----------
+    rows:
+        Member rows in index order — sorted by ``(lo, hi, row)`` so
+        adjacent queries share similar corridors and the merged MBRs
+        stay tight.  The ``row`` tiebreak makes construction a pure
+        function of the member set.
+    gid:
+        Group id per index position (``rows[p]`` belongs to group
+        ``gid[p]``).
+    lo, hi, eps:
+        Per-group merged corridor and threshold (``n_groups`` each).
+    """
+
+    __slots__ = ("rows", "gid", "lo", "hi", "eps", "n_groups", "group_size")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        eps: np.ndarray,
+        group_size: int,
+    ) -> None:
+        group_size = int(group_size)
+        if group_size < 1:
+            raise ValidationError(
+                f"group_size must be a positive integer, got {group_size!r}"
+            )
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1 or rows.size == 0:
+            raise ValidationError(
+                "GroupEnvelopeIndex needs a non-empty 1-D row set"
+            )
+        # lexsort: last key is primary.  (lo, hi, row) — corridor
+        # locality first, row index as the deterministic tiebreak.
+        order = np.lexsort((rows, hi[rows], lo[rows]))
+        self.rows = rows[order]
+        self.group_size = group_size
+
+        n = int(self.rows.size)
+        positions = np.arange(n, dtype=np.int64)
+        self.gid = positions // group_size
+        self.n_groups = int(self.gid[-1]) + 1
+        starts = positions[::group_size]
+        member_lo = lo[self.rows]
+        member_hi = hi[self.rows]
+        member_eps = eps[self.rows]
+        self.lo = np.minimum.reduceat(member_lo, starts)
+        self.hi = np.maximum.reduceat(member_hi, starts)
+        self.eps = np.maximum.reduceat(member_eps, starts)
+
+    def descend_rows(self, certified: np.ndarray) -> np.ndarray:
+        """Member rows of every group ``certified`` could not clear.
+
+        These are the rows whose exact per-query bound must be
+        evaluated; certified groups contribute nothing (their members
+        are already proven cold).
+        """
+        return self.rows[~certified[self.gid]]
+
+    def __len__(self) -> int:
+        return self.n_groups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(members={self.rows.size}, "
+            f"groups={self.n_groups}, group_size={self.group_size})"
+        )
+
+
+def build_group_index(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    eps: np.ndarray,
+    group_size: int,
+    rows: Optional[np.ndarray] = None,
+) -> GroupEnvelopeIndex:
+    """Index ``rows`` (default: every query) by merged group envelopes."""
+    if rows is None:
+        rows = np.arange(np.asarray(lo).shape[0], dtype=np.int64)
+    return GroupEnvelopeIndex(rows, lo, hi, eps, group_size)

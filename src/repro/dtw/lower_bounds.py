@@ -176,7 +176,11 @@ def lb_corridor(
     ``"absolute"``; other (custom) distances admit no generic corridor
     bound and callers must not prune under them.
     """
-    delta = x - np.clip(x, lo, hi)
+    # minimum(maximum(x, lo), hi) is np.clip's own definition, called as
+    # two direct ufuncs: clip() routes a scalar ``x`` through the slow
+    # array-wrapping dispatch, and this sits on the per-tick admission
+    # hot path.  Values are identical bit-for-bit.
+    delta = x - np.minimum(np.maximum(x, lo), hi)
     if local_distance == "squared":
         return delta * delta
     if local_distance == "absolute":

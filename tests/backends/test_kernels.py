@@ -116,6 +116,43 @@ def test_lb_corridor_bitexact(backend, rng, kind):
 
 
 # ----------------------------------------------------------------------
+# group_corridor
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["squared", "absolute"])
+def test_group_corridor_bitexact(backend, rng, kind):
+    """The group certification verdict matches the reference exactly.
+
+    The verdict is a strict ``>`` on the very float the reference bound
+    computes, so ``eps`` values are planted directly *on* several group
+    bounds to pin the boundary: a backend that certifies with ``>=``, or
+    whose bound differs by one ulp, flips a verdict byte here.
+    """
+    lo = rng.uniform(-5.0, 2.0, size=16)
+    hi = lo + rng.uniform(0.0, 6.0, size=16)
+    for x in (-10.0, 0.0, 1.5, 7.0, float(lo[0]), float(hi[3])):
+        bounds = lb_corridor(x, lo, hi, kind)
+        eps = rng.uniform(0.0, 8.0, size=16)
+        eps[::3] = bounds[::3]  # exact boundary: must NOT certify
+        want = bounds > eps
+        got = backend.group_corridor(x, lo, hi, eps, kind)
+        assert np.asarray(got).dtype == np.bool_
+        assert np.asarray(got).tobytes() == np.asarray(want).tobytes()
+
+
+def test_group_corridor_unknown_kind_rejected(backend):
+    """Unprunable distances reject identically on every backend."""
+    from repro.exceptions import ValidationError
+
+    lo = np.array([0.0, 3.0])
+    hi = np.array([1.0, 4.0])
+    eps = np.array([0.5, 2.0])
+    with pytest.raises(ValidationError):
+        backend.group_corridor(2.0, lo, hi, eps, "custom")
+
+
+# ----------------------------------------------------------------------
 # bank_kernel minting
 # ----------------------------------------------------------------------
 

@@ -154,6 +154,8 @@ class TestCountersAndStats:
             "pruned_ticks": 0,
             "replays": 0,
             "replayed_ticks": 0,
+            "groups_certified": 0,
+            "group_descents": 0,
         }
 
     def test_metrics_expose_prune_counters(self):

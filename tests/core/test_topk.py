@@ -98,47 +98,12 @@ class TestLeaderboard:
         assert len(top.best()) == count
 
 
-class TestFinalizeDeprecation:
-    @pytest.fixture(autouse=True)
-    def _reset_warned_flag(self):
-        # The warning fires once per session; reset so each test sees
-        # a fresh session regardless of execution order.
-        TopKSpring._finalize_warned = False
-        yield
-        TopKSpring._finalize_warned = False
-
-    def test_finalize_warns_and_flushes(self, rng):
-        values = rng.normal(size=50)
-        pattern = rng.normal(size=4)
-        top = TopKSpring(pattern, k=2)
-        top.extend(values)
-        with pytest.warns(DeprecationWarning, match="flush"):
-            deprecated = top.finalize()
-        fresh = TopKSpring(pattern, k=2)
-        fresh.extend(values)
-        expected = fresh.flush()
-        assert (deprecated is None) == (expected is None)
-        if deprecated is not None:
-            assert (deprecated.start, deprecated.end, deprecated.distance) == (
-                expected.start, expected.end, expected.distance
-            )
-
-    def test_finalize_warns_once_per_session(self, rng):
-        import warnings
-
+class TestFinalizeRemoved:
+    def test_finalize_is_gone(self, rng):
+        # The deprecated alias was removed; flush() is the only
+        # end-of-stream method.
         top = TopKSpring(rng.normal(size=4), k=2)
-        top.extend(rng.normal(size=30))
-        with warnings.catch_warnings(record=True) as caught:
-            # "always" would re-emit on every call if the code relied
-            # on the default per-location filter for deduplication.
-            warnings.simplefilter("always")
-            top.finalize()
-            top.finalize()
-            TopKSpring(rng.normal(size=4), k=1).finalize()
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
+        assert not hasattr(top, "finalize")
 
     def test_flush_emits_no_warning(self, rng):
         import warnings

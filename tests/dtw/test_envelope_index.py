@@ -1,0 +1,103 @@
+"""Unit tests for the group-envelope index (construction mechanics).
+
+The bound/certification *properties* live in
+``tests/properties/test_lower_bound_tightness.py``; this module pins
+the deterministic construction contract the admission layer and the
+checkpoint exactness argument rely on: ordering, group shapes, the
+descent expansion, and the validation surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.envelope_index import GroupEnvelopeIndex, build_group_index
+from repro.exceptions import ValidationError
+
+LO = np.array([5.0, 1.0, 3.0, 1.0, 4.0])
+HI = np.array([6.0, 2.0, 3.5, 2.5, 9.0])
+EPS = np.array([0.5, 1.0, 0.25, 2.0, 0.75])
+
+
+class TestConstruction:
+    def test_rows_sorted_by_corridor_then_row(self):
+        index = build_group_index(LO, HI, EPS, group_size=2)
+        # lo ascending, hi breaks the 1.0 tie, row would break a full tie
+        assert index.rows.tolist() == [1, 3, 2, 4, 0]
+
+    def test_group_shapes_and_ragged_tail(self):
+        index = build_group_index(LO, HI, EPS, group_size=2)
+        assert index.n_groups == 3
+        assert len(index) == 3
+        assert index.gid.tolist() == [0, 0, 1, 1, 2]
+
+    def test_merged_mbrs(self):
+        index = build_group_index(LO, HI, EPS, group_size=2)
+        # group 0 = rows {1, 3}, group 1 = {2, 4}, group 2 = {0}
+        assert index.lo.tolist() == [1.0, 3.0, 5.0]
+        assert index.hi.tolist() == [2.5, 9.0, 6.0]
+        assert index.eps.tolist() == [2.0, 0.75, 0.5]
+
+    def test_group_size_covering_everything(self):
+        index = build_group_index(LO, HI, EPS, group_size=100)
+        assert index.n_groups == 1
+        assert index.lo[0] == LO.min()
+        assert index.hi[0] == HI.max()
+        assert index.eps[0] == EPS.max()
+
+    def test_group_size_one_is_a_permutation(self):
+        index = build_group_index(LO, HI, EPS, group_size=1)
+        assert index.n_groups == 5
+        np.testing.assert_array_equal(index.lo, LO[index.rows])
+        np.testing.assert_array_equal(index.hi, HI[index.rows])
+        np.testing.assert_array_equal(index.eps, EPS[index.rows])
+
+    def test_subset_rows(self):
+        rows = np.array([0, 2, 4])
+        index = GroupEnvelopeIndex(rows, LO, HI, EPS, group_size=2)
+        assert sorted(index.rows.tolist()) == [0, 2, 4]
+        assert index.n_groups == 2
+
+    def test_construction_is_deterministic(self):
+        """Same member set (any order) -> byte-identical index.
+
+        Checkpoint restores rebuild the index instead of serialising
+        it; this equality is what makes that exact.
+        """
+        a = GroupEnvelopeIndex(np.array([4, 0, 2]), LO, HI, EPS, 2)
+        b = GroupEnvelopeIndex(np.array([2, 4, 0]), LO, HI, EPS, 2)
+        assert a.rows.tobytes() == b.rows.tobytes()
+        assert a.lo.tobytes() == b.lo.tobytes()
+        assert a.hi.tobytes() == b.hi.tobytes()
+        assert a.eps.tobytes() == b.eps.tobytes()
+
+
+class TestDescend:
+    def test_descend_expands_uncertified_groups_only(self):
+        index = build_group_index(LO, HI, EPS, group_size=2)
+        certified = np.array([True, False, True])
+        # group 1 holds rows {2, 4} in index order
+        assert index.descend_rows(certified).tolist() == [2, 4]
+
+    def test_descend_all_certified_is_empty(self):
+        index = build_group_index(LO, HI, EPS, group_size=2)
+        out = index.descend_rows(np.ones(3, dtype=bool))
+        assert out.size == 0
+
+    def test_descend_none_certified_returns_all(self):
+        index = build_group_index(LO, HI, EPS, group_size=2)
+        out = index.descend_rows(np.zeros(3, dtype=bool))
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_group_size(self):
+        with pytest.raises(ValidationError):
+            build_group_index(LO, HI, EPS, group_size=0)
+        with pytest.raises(ValidationError):
+            build_group_index(LO, HI, EPS, group_size=-3)
+
+    def test_rejects_empty_row_set(self):
+        with pytest.raises(ValidationError):
+            GroupEnvelopeIndex(np.array([], dtype=np.int64), LO, HI, EPS, 2)

@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 
 from repro.core import FusedSpring, QueryBank
 from repro.dtw.distance import dtw_distance
+from repro.dtw.envelope_index import build_group_index
 from repro.dtw.lower_bounds import (
     lb_corridor,
     lb_keogh,
@@ -136,3 +137,92 @@ class TestStreamingCorridorBound:
         assert lb_corridor(float(value), lo, hi) <= best
         if all(v == y[0] for v in y):
             assert lb_corridor(float(value), lo, hi) == best
+
+
+@st.composite
+def corridor_banks(draw):
+    """Per-query ``(lo, hi, eps)`` vectors for a bank of 1..20 queries."""
+    q = draw(st.integers(min_value=1, max_value=20))
+    lo = np.array([draw(dyadic) for _ in range(q)])
+    width = np.array(
+        [draw(st.integers(min_value=0, max_value=4096)) / 1024.0
+         for _ in range(q)]
+    )
+    eps = np.array(
+        [draw(st.integers(min_value=0, max_value=8192)) / 1024.0
+         for _ in range(q)]
+    )
+    return lo, lo + width, eps
+
+
+class TestGroupedCorridorBound:
+    """The merged-envelope group bound (tiered admission tier 1).
+
+    The group corridor is the per-group min of member ``lo`` and max of
+    member ``hi``; the group ε is the member max.  The exactness of
+    grouped admission rests on two bit-level inequalities checked here
+    with the kernel's own float64 arithmetic — see ``docs/algorithm.md``
+    §14.
+    """
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        bank=corridor_banks(),
+        x=dyadic,
+        group_size=st.integers(min_value=1, max_value=7),
+        kind=st.sampled_from(["squared", "absolute"]),
+    )
+    def test_group_bound_below_tightest_member_bound(
+        self, bank, x, group_size, kind
+    ):
+        """Computed group bound <= computed bound of *every* member.
+
+        Not just mathematically: the clamp-subtract-square pipeline must
+        preserve the ordering on the actual floats, since certification
+        compares the group bound against member epsilons verbatim.
+        """
+        lo, hi, eps = bank
+        index = build_group_index(lo, hi, eps, group_size)
+        group_lb = lb_corridor(float(x), index.lo, index.hi, kind)
+        member_lb = lb_corridor(float(x), lo, hi, kind)
+        for g in range(index.n_groups):
+            members = index.rows[index.gid == g]
+            assert group_lb[g] <= member_lb[members].min()
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        bank=corridor_banks(),
+        x=dyadic,
+        group_size=st.integers(min_value=1, max_value=7),
+        kind=st.sampled_from(["squared", "absolute"]),
+    )
+    def test_certification_is_sound(self, bank, x, group_size, kind):
+        """Group certified cold => every member's exact test agrees.
+
+        This is the descent rule's safety property: a certified group is
+        never descended into, so each member's own ``lb > eps`` verdict
+        must already be implied — on computed floats, not ideal reals.
+        """
+        lo, hi, eps = bank
+        index = build_group_index(lo, hi, eps, group_size)
+        certified = (
+            lb_corridor(float(x), index.lo, index.hi, kind) > index.eps
+        )
+        member_cold = lb_corridor(float(x), lo, hi, kind) > eps
+        for g in np.flatnonzero(certified):
+            members = index.rows[index.gid == g]
+            assert member_cold[members].all()
+
+    @settings(max_examples=80, deadline=None)
+    @given(bank=corridor_banks(), group_size=st.integers(min_value=1, max_value=7))
+    def test_group_envelope_covers_members(self, bank, group_size):
+        lo, hi, eps = bank
+        index = build_group_index(lo, hi, eps, group_size)
+        assert index.lo.shape == (index.n_groups,)
+        for g in range(index.n_groups):
+            members = index.rows[index.gid == g]
+            assert index.lo[g] == lo[members].min()
+            assert index.hi[g] == hi[members].max()
+            assert index.eps[g] == eps[members].max()
+        # every row appears exactly once across the groups
+        assert sorted(index.rows.tolist()) == list(range(len(lo)))
