@@ -1,0 +1,456 @@
+#!/usr/bin/env python
+"""Load-test harness for the network service: latency and saturation.
+
+Drives a real ``repro serve`` process (spawned as a subprocess, the
+same entrypoint a deployment runs) with hundreds of concurrent
+producer connections plus one subscriber, all multiplexed on a single
+asyncio loop in this process:
+
+* every producer owns one logical stream and pushes batches
+  closed-loop within its credit window, embedding a spike motif at a
+  fixed cadence so matches actually fire under load;
+* the subscriber receives every match event; end-to-end match latency
+  is measured per event as *event received* minus *the send time of
+  the push frame that contained the match's final tick* — the full
+  path through socket, engine thread, SPRING kernel, fan-out, and
+  socket back;
+* saturation throughput is total acked ticks over the busy wall-clock
+  window (handshakes excluded).
+
+Results (p50/p99/max latency, throughput, event counts, a /metrics
+cross-check) merge into ``BENCH_throughput.json`` under the
+``service`` key via ``--output``; the CI smoke gate reads the same
+dict from :func:`run_load`.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_load.py --clients 100
+    PYTHONPATH=src python scripts/bench_load.py --clients 200 \\
+        --ticks 400 --batch 40 --output BENCH_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+SCRIPTS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = SCRIPTS_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import protocol  # noqa: E402
+
+SPIKE = [0.0, 5.0, 0.0]
+EPSILON = 2.0
+#: Spike motif embedded in the noise; one match fires at its last tick.
+MOTIF = [0.1, 5.0, 0.1]
+SEED = 20070415
+
+
+def _client_values(
+    rng: np.random.Generator, ticks: int, period: int
+) -> Tuple[np.ndarray, List[int]]:
+    """A noise stream with a motif every ``period`` ticks.
+
+    Returns the values and the 1-based ticks where matches will fire
+    (the last tick of each embedded motif).
+    """
+    values = rng.normal(1.0, 0.05, size=ticks)
+    match_ticks: List[int] = []
+    # Leave noise after every motif: SPRING defers reporting a match
+    # until later ticks prove it cannot improve, so a motif flush
+    # against the end of the stream would never be confirmed.
+    tail = len(MOTIF) + 5
+    for start in range(period - tail, ticks - tail + 1, period):
+        values[start : start + len(MOTIF)] = MOTIF
+        match_ticks.append(start + len(MOTIF))  # 1-based last motif tick
+    return values, match_ticks
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    line = await reader.readline()
+    if not line:
+        return None
+    return protocol.decode_frame(line)
+
+
+async def _expect(reader: asyncio.StreamReader, frame_type: str) -> dict:
+    frame = await _read_frame(reader)
+    if frame is None or frame.get("type") != frame_type:
+        raise RuntimeError(f"expected {frame_type}, got {frame!r}")
+    return frame
+
+
+async def _producer(
+    host: str,
+    port: int,
+    stream: str,
+    values: np.ndarray,
+    batch: int,
+    start_gate: asyncio.Event,
+    send_times: Dict[Tuple[str, int], float],
+    stats: dict,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            protocol.encode_frame(
+                {"type": "hello", "role": "producer", "stream": stream}
+            )
+        )
+        await writer.drain()
+        hello = await _expect(reader, "hello_ack")
+        depth = max(1, min(8, int(hello["credit"]) // batch))
+        await start_gate.wait()
+
+        chunks = [
+            values[lo : lo + batch] for lo in range(0, len(values), batch)
+        ]
+        inflight = 0
+        seq = 0
+        sent = 0
+        acked_ticks = 0
+        while acked_ticks < len(values):
+            while sent < len(chunks) and inflight < depth:
+                seq += 1
+                chunk = chunks[sent]
+                send_times[(stream, sent)] = time.perf_counter()
+                writer.write(
+                    protocol.encode_frame(
+                        {
+                            "type": "push",
+                            "seq": seq,
+                            "values": [float(v) for v in chunk],
+                        }
+                    )
+                )
+                sent += 1
+                inflight += 1
+            await writer.drain()
+            frame = await _read_frame(reader)
+            if frame is None:
+                raise RuntimeError(f"{stream}: server closed mid-run")
+            if frame.get("type") == "error":
+                raise RuntimeError(f"{stream}: server error {frame}")
+            if frame.get("type") != "ack":
+                continue
+            if "error" in frame:
+                raise RuntimeError(f"{stream}: push rejected {frame}")
+            inflight -= 1
+            acked_ticks += int(frame["applied"])
+        stats["acked_ticks"] += acked_ticks
+        stats["last_ack"] = max(stats["last_ack"], time.perf_counter())
+        writer.write(protocol.encode_frame({"type": "bye"}))
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _subscriber(
+    host: str,
+    port: int,
+    expected: int,
+    batch: int,
+    ready: asyncio.Event,
+    send_times: Dict[Tuple[str, int], float],
+    latencies: List[float],
+) -> int:
+    reader, writer = await asyncio.open_connection(host, port, limit=1 << 20)
+    try:
+        writer.write(
+            protocol.encode_frame({"type": "hello", "role": "subscriber"})
+        )
+        await writer.drain()
+        await _expect(reader, "hello_ack")
+        ready.set()
+        received = 0
+        while received < expected:
+            frame = await _read_frame(reader)
+            if frame is None:
+                break
+            if frame.get("type") != "event":
+                continue
+            now = time.perf_counter()
+            received += 1
+            stream = str(frame["stream"])
+            end = int(frame["match"]["end"])
+            sent = send_times.get((stream, (end - 1) // batch))
+            if sent is not None:
+                latencies.append(now - sent)
+        return received
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _register_query(host: str, port: int) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        protocol.encode_frame({"type": "hello", "role": "control"})
+    )
+    await writer.drain()
+    await _expect(reader, "hello_ack")
+    writer.write(
+        protocol.encode_frame(
+            {
+                "type": "register_query",
+                "name": "spike",
+                "query": SPIKE,
+                "epsilon": EPSILON,
+            }
+        )
+    )
+    await writer.drain()
+    await _expect(reader, "ok")
+    writer.close()
+    await writer.wait_closed()
+
+
+async def _run(
+    host: str,
+    port: int,
+    clients: int,
+    ticks: int,
+    batch: int,
+    period: int,
+    timeout: float,
+) -> dict:
+    rng = np.random.default_rng(SEED)
+    workloads = []
+    expected = 0
+    for i in range(clients):
+        values, match_ticks = _client_values(rng, ticks, period)
+        workloads.append((f"load-{i:04d}", values))
+        expected += len(match_ticks)
+
+    await _register_query(host, port)
+
+    send_times: Dict[Tuple[str, int], float] = {}
+    latencies: List[float] = []
+    stats = {"acked_ticks": 0, "last_ack": 0.0}
+    ready = asyncio.Event()
+    start_gate = asyncio.Event()
+
+    sub_task = asyncio.create_task(
+        _subscriber(
+            host, port, expected, batch, ready, send_times, latencies
+        )
+    )
+    await ready.wait()
+    producers = [
+        asyncio.create_task(
+            _producer(
+                host, port, stream, values, batch, start_gate,
+                send_times, stats,
+            )
+        )
+        for stream, values in workloads
+    ]
+    started = time.perf_counter()
+    start_gate.set()
+    await asyncio.wait_for(asyncio.gather(*producers), timeout=timeout)
+    busy = stats["last_ack"] - started
+    try:
+        received = await asyncio.wait_for(sub_task, timeout=60.0)
+    except asyncio.TimeoutError:
+        sub_task.cancel()
+        received = len(latencies)
+
+    lat = np.asarray(sorted(latencies), dtype=np.float64)
+    return {
+        "clients": clients,
+        "ticks_per_client": ticks,
+        "batch": batch,
+        "total_ticks": stats["acked_ticks"],
+        "busy_seconds": round(busy, 6),
+        "throughput_ticks_per_sec": round(stats["acked_ticks"] / busy, 1),
+        "events_expected": expected,
+        "events_received": received,
+        "latency_ms": {
+            "p50": round(float(np.percentile(lat, 50)) * 1e3, 3),
+            "p99": round(float(np.percentile(lat, 99)) * 1e3, 3),
+            "max": round(float(lat.max()) * 1e3, 3),
+        }
+        if lat.size
+        else None,
+    }
+
+
+def _spawn_server(host: str) -> Tuple[subprocess.Popen, int]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        host,
+        "--port",
+        "0",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("listening on "):
+            return proc, int(line.rsplit(":", 1)[1])
+    proc.kill()
+    raise RuntimeError("server did not report a listening port")
+
+
+def _scrape_pushed_ticks(host: str, port: int) -> Optional[float]:
+    try:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ) as resp:
+            text = resp.read().decode()
+    except OSError:
+        return None
+    total = 0.0
+    seen = False
+    for line in text.splitlines():
+        if line.startswith("service_pushed_ticks_total"):
+            total += float(line.rsplit(" ", 1)[1])
+            seen = True
+    return total if seen else None
+
+
+def run_load(
+    clients: int = 100,
+    ticks: int = 400,
+    batch: int = 40,
+    period: int = 100,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    timeout: float = 600.0,
+) -> dict:
+    """Run the load benchmark; spawns a server unless ``port`` is given."""
+    proc = None
+    if port is None:
+        proc, port = _spawn_server(host)
+    try:
+        result = asyncio.run(
+            _run(host, port, clients, ticks, batch, period, timeout)
+        )
+        result["metrics_pushed_ticks"] = _scrape_pushed_ticks(host, port)
+    finally:
+        if proc is not None:
+            try:
+                os.kill(proc.pid, signal.SIGTERM)
+                proc.wait(timeout=30)
+            except (ProcessLookupError, subprocess.TimeoutExpired):
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()
+    return result
+
+
+def main(argv: object = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=100,
+        help="concurrent producer connections (default 100)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=400,
+        help="ticks pushed per client (default 400)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=40,
+        help="ticks per push frame (default 40)",
+    )
+    parser.add_argument(
+        "--period", type=int, default=100,
+        help="embed one spike motif per this many ticks (default 100)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="attach to a running server instead of spawning one",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="hard deadline for the push phase in seconds",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="merge results under the 'service' key of this JSON file "
+        "(e.g. BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_load(
+        clients=args.clients,
+        ticks=args.ticks,
+        batch=args.batch,
+        period=args.period,
+        port=args.port,
+        timeout=args.timeout,
+    )
+    result["python"] = platform.python_version()
+
+    lat = result["latency_ms"] or {}
+    print(
+        f"{result['clients']} clients x {result['ticks_per_client']} ticks "
+        f"(batch {result['batch']})"
+    )
+    print(
+        f"throughput : {result['throughput_ticks_per_sec']} ticks/sec "
+        f"over {result['busy_seconds']}s"
+    )
+    print(
+        f"latency    : p50 {lat.get('p50')}ms  p99 {lat.get('p99')}ms  "
+        f"max {lat.get('max')}ms"
+    )
+    print(
+        f"events     : {result['events_received']}/"
+        f"{result['events_expected']} "
+        f"(metrics ticks: {result['metrics_pushed_ticks']})"
+    )
+
+    if result["events_received"] != result["events_expected"]:
+        print("FAIL: not every expected match event was delivered")
+        return 1
+
+    if args.output is not None:
+        merged = (
+            json.loads(args.output.read_text())
+            if args.output.exists()
+            else {}
+        )
+        merged["service"] = result
+        args.output.write_text(json.dumps(merged, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,9 +47,23 @@ same run:
   and a floor that fails on small runners gates the runner, not the
   code.
 
+With ``--service-smoke`` the gate instead runs the network-service
+load smoke (``bench_load.run_load``): a real ``repro serve`` process
+under ``--service-clients`` concurrent producers.  It fails when any
+expected match event is not delivered, when end-to-end p99 match
+latency exceeds ``--max-service-p99-ms``, or when saturation
+throughput drops below ``--min-service-throughput`` ticks/sec.  The
+latency/throughput floors are deliberately coarse sanity bounds (they
+catch a wedged event loop or an accidental per-tick sleep, not
+percent-level drift) because absolute numbers are machine-dependent.
+The kernel-ratio gates above do not run in this mode, so the CI
+service job stays fast; the default invocation is unchanged.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py [--ticks N]
+    PYTHONPATH=src python scripts/check_bench_regression.py \\
+        --service-smoke --service-clients 20
 """
 
 from __future__ import annotations
@@ -142,7 +156,44 @@ def main(argv: object = None) -> int:
         "min per-round ratio is gated); single runs jitter wider "
         "than the overhead ceiling (default 5)",
     )
+    parser.add_argument(
+        "--service-smoke",
+        action="store_true",
+        help="run the network-service load smoke instead of the kernel "
+        "ratio gates (see module docstring)",
+    )
+    parser.add_argument(
+        "--service-clients",
+        type=int,
+        default=20,
+        help="concurrent producer connections for --service-smoke "
+        "(default 20; the recorded benchmark uses 100+)",
+    )
+    parser.add_argument(
+        "--service-ticks",
+        type=int,
+        default=200,
+        help="ticks per client for --service-smoke (default 200)",
+    )
+    parser.add_argument(
+        "--max-service-p99-ms",
+        type=float,
+        default=5000.0,
+        help="ceiling on p99 end-to-end match latency for "
+        "--service-smoke, in milliseconds (default 5000; a coarse "
+        "sanity bound, not a perf target)",
+    )
+    parser.add_argument(
+        "--min-service-throughput",
+        type=float,
+        default=1000.0,
+        help="floor on acked ticks/sec for --service-smoke "
+        "(default 1000; a coarse sanity bound)",
+    )
     args = parser.parse_args(argv)
+
+    if args.service_smoke:
+        return _service_smoke(args)
 
     baseline = json.loads(args.baseline.read_text())
     recorded = baseline["fused_speedup_vs_per_query"]
@@ -282,6 +333,60 @@ def main(argv: object = None) -> int:
             failed = True
         else:
             print("OK: shard scaling above floor")
+
+    return 1 if failed else 0
+
+
+def _service_smoke(args: argparse.Namespace) -> int:
+    from bench_load import run_load
+
+    result = run_load(
+        clients=args.service_clients, ticks=args.service_ticks
+    )
+    failed = False
+
+    received = result["events_received"]
+    expected = result["events_expected"]
+    print(f"events delivered       : {received}/{expected}")
+    if received != expected:
+        print("FAIL: not every expected match event was delivered")
+        failed = True
+    else:
+        print("OK: every expected match event delivered")
+
+    lat = result["latency_ms"]
+    if lat is None:
+        print("FAIL: no match latencies were measured")
+        failed = True
+    else:
+        print(
+            f"match latency p99      : {lat['p99']:.1f}ms "
+            f"(ceiling {args.max_service_p99_ms:.0f}ms, "
+            f"p50 {lat['p50']:.1f}ms)"
+        )
+        if lat["p99"] > args.max_service_p99_ms:
+            print(
+                "FAIL: p99 end-to-end match latency exceeds "
+                f"{args.max_service_p99_ms:.0f}ms under "
+                f"{args.service_clients} clients"
+            )
+            failed = True
+        else:
+            print("OK: p99 match latency within the sanity bound")
+
+    throughput = result["throughput_ticks_per_sec"]
+    print(
+        f"service throughput     : {throughput:.0f} ticks/sec "
+        f"(floor {args.min_service_throughput:.0f})"
+    )
+    if throughput < args.min_service_throughput:
+        print(
+            "FAIL: service throughput below "
+            f"{args.min_service_throughput:.0f} ticks/sec"
+        )
+        failed = True
+    else:
+        print("OK: service throughput above the sanity floor")
 
     return 1 if failed else 0
 

@@ -30,6 +30,17 @@ Commands
     the tick in flight completes, a final snapshot and metrics file
     are written (when configured), workers drain, and the process
     exits 0.
+``serve``
+    Run the asyncio network service: producers push batched ticks over
+    a newline-delimited JSON protocol (one logical stream per
+    connection, credit-window backpressure), subscribers receive match
+    events with stream/query filtering, control connections drive the
+    live query lifecycle, and ``GET /metrics`` answers Prometheus text
+    exposition on the same port.  ``--shards N`` fronts the sharded
+    multi-process runtime; ``--checkpoint-dir``/``--resume`` make the
+    in-process engine crash-recoverable with exactly-once event
+    delivery past the acked watermark.  SIGTERM/SIGINT stop the server
+    gracefully (final checkpoint included).
 ``backends``
     List the kernel backends this installation can use, with priority
     and the availability reason, and which one ``auto`` selects.
@@ -161,6 +172,62 @@ def build_parser() -> argparse.ArgumentParser:
                           "with N supervised worker processes (crash "
                           "recovery and restart are automatic; matches "
                           "are byte-identical to a single-process run)")
+
+    srv = sub.add_parser(
+        "serve", help="run the network service (line protocol + /metrics)"
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=7007,
+                     help="TCP port; 0 picks an ephemeral port "
+                          "(default 7007)")
+    srv.add_argument("--streams", default=None, metavar="A,B,...",
+                     help="comma-separated streams to pre-register "
+                          "(required with --shards; optional otherwise — "
+                          "producers auto-register on hello)")
+    srv.add_argument("--query-csv", action="append", default=None,
+                     metavar="CSV",
+                     help="register a query at boot from a CSV file "
+                          "(named by its stem; repeatable; needs "
+                          "--epsilon)")
+    srv.add_argument("--epsilon", type=float, default=None,
+                     help="distance threshold for --query-csv queries")
+    srv.add_argument("--query-column", type=int, default=0,
+                     help="query value column (0-based)")
+    srv.add_argument("--no-header", action="store_true",
+                     help="query CSV files have no header row")
+    srv.add_argument("--shards", type=int, default=0, metavar="N",
+                     help="front the sharded runtime with N worker "
+                          "processes (0 = in-process engine, default)")
+    srv.add_argument("--backend", default=None,
+                     choices=("auto", "numpy", "numba", "cext"),
+                     help="kernel backend (default auto)")
+    srv.add_argument("--admission", default=None,
+                     choices=("auto", "flat", "grouped"),
+                     help="admission strategy (default auto)")
+    srv.add_argument("--admission-group-size", type=int, default=None,
+                     metavar="G",
+                     help="queries per merged-envelope group")
+    srv.add_argument("--no-prune", action="store_true",
+                     help="disable the admission cascade")
+    srv.add_argument("--prune-buffer", type=int, default=1024,
+                     help="admission replay-buffer capacity")
+    srv.add_argument("--checkpoint-dir", default=None,
+                     help="checkpoint the engine into this directory "
+                          "(in-process engine only)")
+    srv.add_argument("--checkpoint-every", type=int, default=1000,
+                     help="checkpoint cadence in applied ticks "
+                          "(default 1000)")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore the newest checkpoint and continue")
+    srv.add_argument("--credit-window", type=int, default=None,
+                     help="per-stream in-flight tick budget "
+                          "(default 4096)")
+    srv.add_argument("--max-batch", type=int, default=None,
+                     help="max values per push frame (default 4096)")
+    srv.add_argument("--subscriber-queue", type=int, default=None,
+                     help="per-subscriber event queue depth before "
+                          "eviction (default 1024)")
 
     sub.add_parser(
         "backends",
@@ -508,6 +575,69 @@ def _load_queries(args: argparse.Namespace) -> "dict[str, np.ndarray]":
     return queries
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the network service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.service import protocol
+    from repro.service.engine import EngineConfig
+    from repro.service.server import MonitorServer
+
+    streams = []
+    if args.streams:
+        streams = [s for s in (p.strip() for p in args.streams.split(",")) if s]
+    queries = []
+    if args.query_csv:
+        if args.epsilon is None:
+            raise SystemExit("--query-csv needs --epsilon")
+        for name, query in _load_queries(args).items():
+            queries.append((name, query, float(args.epsilon), {}))
+    config = EngineConfig(
+        streams=streams,
+        shards=int(args.shards),
+        backend=args.backend,
+        admission=args.admission,
+        admission_group_size=args.admission_group_size,
+        prune=not args.no_prune,
+        prune_buffer=args.prune_buffer,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        queries=queries,
+    )
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume needs --checkpoint-dir")
+    server = MonitorServer(
+        config,
+        host=args.host,
+        port=args.port,
+        credit_window=args.credit_window or protocol.DEFAULT_CREDIT_WINDOW,
+        max_batch=args.max_batch or protocol.DEFAULT_MAX_BATCH,
+        subscriber_queue=(
+            args.subscriber_queue or protocol.DEFAULT_SUBSCRIBER_QUEUE
+        ),
+    )
+
+    async def run() -> None:
+        await server.start()
+        # Parseable by wrappers (the load harness spawns us with
+        # --port 0 and reads the bound port from this line).
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        stop = asyncio.Event()
+        restore = _trap_stop_signals(
+            lambda: server._loop.call_soon_threadsafe(stop.set)
+        )
+        try:
+            await stop.wait()
+        finally:
+            restore()
+            await server.stop(checkpoint=True)
+        print("stopped", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
 def _run_monitor(args: argparse.Namespace) -> int:
     queries = _load_queries(args)
     if args.shards is not None:
@@ -651,6 +781,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_backends()
     if args.command == "monitor":
         return _run_monitor(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "generate":
         return _run_generate(args)
     if args.command == "all":

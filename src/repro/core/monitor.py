@@ -839,6 +839,30 @@ class StreamMonitor:
                 raise
         return events
 
+    def first_fatal_index(self, stream: str, values) -> int:
+        """Index of the first value :meth:`push_many` would raise on.
+
+        Returns ``len(values)`` when the whole batch is clean.  The
+        strictest missing-value policy across the stream's attached
+        matchers decides, exactly as the batched push paths do — so a
+        caller that applies ``values[:index]`` gets the full clean
+        prefix without triggering :class:`StreamValueError`.  The
+        network service layer uses this to ack the applied prefix and
+        answer the fatal tick with a structured error instead of an
+        exception.
+        """
+        try:
+            matchers = self._matchers[stream]
+        except KeyError:
+            raise ValidationError(
+                f"stream {stream!r} is not registered"
+            ) from None
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)
+        if not matchers:
+            return len(values)
+        return self._first_fatal_index(values, matchers.values())
+
     @staticmethod
     def _first_fatal_index(values, matchers) -> int:
         """First batch index that must raise for some attached matcher.

@@ -91,3 +91,14 @@ class ShardingError(ReproError, RuntimeError):
     or a drain deadline expires — always instead of dropping data
     silently.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The network service layer failed outside the wire protocol.
+
+    Wire-level problems (malformed frames, credit violations, bad
+    values) are answered with structured error *frames* and never raise;
+    this exception covers process-level failures — the engine thread
+    dying, a client library hitting a closed transport, a server that
+    cannot bind.
+    """

@@ -35,8 +35,10 @@ from repro.obs.metrics import (
 )
 from repro.obs.prometheus import parse as parse_prometheus
 from repro.obs.prometheus import render as render_prometheus
+from repro.obs.prometheus import render_http as render_prometheus_http
 from repro.obs.prometheus import write as write_prometheus
 from repro.obs.recorder import NULL_RECORDER, MetricsRecorder, NullRecorder
+from repro.obs.service import ServiceMetrics
 from repro.obs.tracing import (
     Tracer,
     current_tracer,
@@ -53,6 +55,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "ServiceMetrics",
     "Tracer",
     "current_tracer",
     "disable_tracing",
@@ -60,5 +63,6 @@ __all__ = [
     "merge_snapshot",
     "parse_prometheus",
     "render_prometheus",
+    "render_prometheus_http",
     "write_prometheus",
 ]

@@ -22,7 +22,17 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["render", "parse", "write"]
+__all__ = [
+    "CONTENT_TYPE",
+    "render",
+    "parse",
+    "write",
+    "http_response",
+    "render_http",
+]
+
+#: Content type of the text exposition format this module renders.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _escape_help(text: str) -> str:
@@ -160,6 +170,41 @@ def parse(text: str) -> Dict[str, List[Sample]]:
             (name, labels, _parse_value(matched.group("value")))
         )
     return families
+
+
+_HTTP_STATUS = {
+    200: "OK",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    400: "Bad Request",
+    500: "Internal Server Error",
+}
+
+
+def http_response(
+    status: int, body: bytes, content_type: str = CONTENT_TYPE
+) -> bytes:
+    """One complete ``HTTP/1.0`` response, connection-close semantics.
+
+    The service layer answers scrapes on the same port as the line
+    protocol, one request per connection — the minimal exchange every
+    Prometheus-compatible scraper (and ``curl``) speaks without a real
+    HTTP stack behind it.
+    """
+    reason = _HTTP_STATUS.get(int(status), "Unknown")
+    head = (
+        f"HTTP/1.0 {int(status)} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def render_http(registry: MetricsRegistry) -> bytes:
+    """Render ``registry`` as a full HTTP 200 exposition response."""
+    return http_response(200, render(registry).encode("utf-8"))
 
 
 def write(registry: MetricsRegistry, path: Union[str, Path]) -> Path:

@@ -1274,6 +1274,21 @@ class ShardedMonitor:
             offset += sent
             self._service(0.0 if sent else 0.002)
 
+    def poll(self, timeout: float = 0.0) -> None:
+        """Pump worker messages without pushing any ticks.
+
+        Events only surface during supervision servicing, which normally
+        runs inside :meth:`push_many` and :meth:`finish`.  A long-lived
+        embedder (the network service layer) that has no new ticks for a
+        stream still needs recently confirmed matches to drain to its
+        subscribers promptly; calling ``poll`` between pushes services
+        the worker inboxes and fires subscriber callbacks exactly as a
+        push would.  ``timeout`` bounds the initial blocking wait for
+        the first message (0 = non-blocking).
+        """
+        self._require_running()
+        self._service(timeout)
+
     def _live_readers(self, stream: str) -> List[int]:
         readers = set()
         for unit in self._units.values():

@@ -1,0 +1,63 @@
+"""Network serving layer: the monitor behind a socket.
+
+A stdlib-only asyncio front end for the monitoring runtime, speaking a
+newline-delimited JSON line protocol plus HTTP ``GET /metrics``:
+
+:mod:`repro.service.protocol`
+    The wire format — canonical frame encoding, the frame taxonomy,
+    structured error codes, and the single event encoder both the
+    server and the parity tests share.
+:mod:`repro.service.engine`
+    :class:`ServiceEngine` — the one thread that owns the monitor
+    (in-process :class:`~repro.core.monitor.StreamMonitor` or the
+    sharded runtime), serialises pushes and the live query lifecycle,
+    stamps per-stream event sequence numbers, and checkpoints.
+:mod:`repro.service.server`
+    :class:`MonitorServer` — asyncio sockets, credit-window
+    backpressure, subscriber fan-out with slow-consumer eviction, and
+    Prometheus exposition over HTTP.
+:mod:`repro.service.client`
+    Blocking socket clients (producer / subscriber / control) for
+    tests, the load harness, and embedding.
+
+Start one from the command line with ``repro serve`` (see ``--help``)
+or in-process via :func:`~repro.service.server.start_in_thread`.
+Delivery semantics, the credit protocol, and crash-recovery behaviour
+are specified in ``docs/algorithm.md`` §15.
+"""
+
+from repro.service.client import (
+    ControlClient,
+    ProducerClient,
+    ServiceConnection,
+    SubscriberClient,
+)
+from repro.service.engine import EngineConfig, PushResult, ServiceEngine
+from repro.service.protocol import (
+    DEFAULT_CREDIT_WINDOW,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_LINE,
+    DEFAULT_SUBSCRIBER_QUEUE,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.service.server import MonitorServer, ServerHandle, start_in_thread
+
+__all__ = [
+    "ControlClient",
+    "DEFAULT_CREDIT_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_LINE",
+    "DEFAULT_SUBSCRIBER_QUEUE",
+    "EngineConfig",
+    "MonitorServer",
+    "PROTOCOL_VERSION",
+    "ProducerClient",
+    "ProtocolError",
+    "PushResult",
+    "ServerHandle",
+    "ServiceConnection",
+    "ServiceEngine",
+    "SubscriberClient",
+    "start_in_thread",
+]

@@ -1,0 +1,300 @@
+"""Minimal synchronous clients for the line protocol.
+
+Three thin wrappers over a blocking socket — one per connection role —
+used by the conformance tests, the load harness, and the README
+snippet.  They are deliberately simple (no threads, no reconnect
+magic): a producer that wants crash-safe replay keeps its own un-acked
+buffer and replays it after reconnecting with the ``first`` field, as
+:class:`ProducerClient.replay_from` shows.
+
+>>> with ProducerClient("127.0.0.1", 7007, stream="sensor-1") as producer:
+...     ack = producer.push([0.1, 0.2, 5.1])
+...     print(ack["watermark"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._serde import encode_float
+from repro.exceptions import ServiceError
+from repro.service import protocol
+
+__all__ = [
+    "ServiceConnection",
+    "ProducerClient",
+    "SubscriberClient",
+    "ControlClient",
+]
+
+
+class ServiceConnection:
+    """One line-protocol connection: frame send/receive over a socket."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self.sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, frame: dict) -> None:
+        self.file.write(protocol.encode_frame(frame))
+        self.file.flush()
+
+    def send_raw(self, data: bytes) -> None:
+        """Write arbitrary bytes (the fuzz tests speak broken frames)."""
+        self.file.write(data)
+        self.file.flush()
+
+    def recv(self) -> Optional[dict]:
+        """One reply frame, or None on server EOF."""
+        line = self.file.readline()
+        if not line:
+            return None
+        return json.loads(line)
+
+    def recv_type(self, expected: str) -> dict:
+        """Next frame, which must have ``type == expected``.
+
+        An ``error`` frame raises :class:`ServiceError` carrying the
+        code; EOF raises too.
+        """
+        frame = self.recv()
+        if frame is None:
+            raise ServiceError(f"server closed while waiting for {expected!r}")
+        if frame.get("type") == "error" and expected != "error":
+            raise ServiceError(
+                f"server error {frame.get('code')}: {frame.get('detail')}"
+            )
+        if frame.get("type") != expected:
+            raise ServiceError(
+                f"expected {expected!r} frame, got {frame.get('type')!r}"
+            )
+        return frame
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self.sock.settimeout(timeout)
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ProducerClient(ServiceConnection):
+    """Push ticks for one stream; tracks acked watermark and credit."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        stream: str,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        self.stream = str(stream)
+        self.send({"type": "hello", "role": "producer", "stream": self.stream})
+        ack = self.recv_type("hello_ack")
+        self.watermark = int(ack["watermark"])
+        self.credit = int(ack["credit"])
+        self.max_batch = int(ack["max_batch"])
+        self._next_seq = 0
+
+    def send_push(
+        self,
+        values: Sequence[float],
+        first: Optional[int] = None,
+    ) -> int:
+        """Send one push frame without waiting for its ack.
+
+        Returns the frame sequence number.  Callers pipelining like
+        this must stay within the credit window and consume acks via
+        :meth:`recv_ack`.
+        """
+        self._next_seq += 1
+        frame = {
+            "type": "push",
+            "seq": self._next_seq,
+            "values": [encode_float(float(v)) for v in values],
+        }
+        if first is not None:
+            frame["first"] = int(first)
+        self.send(frame)
+        return self._next_seq
+
+    def recv_ack(self) -> dict:
+        ack = self.recv_type("ack")
+        self.watermark = int(ack["watermark"])
+        return ack
+
+    def push(
+        self, values: Sequence[float], first: Optional[int] = None
+    ) -> dict:
+        """Push one batch and wait for its ack."""
+        self.send_push(values, first=first)
+        return self.recv_ack()
+
+    def replay_from(self, buffered: Sequence[Tuple[int, float]]) -> dict:
+        """Replay buffered ``(tick, value)`` pairs after a reconnect.
+
+        The server trims everything at or below its watermark, so
+        replaying the whole un-acked buffer is idempotent.
+        """
+        if not buffered:
+            return {
+                "type": "ack",
+                "applied": 0,
+                "trimmed": 0,
+                "watermark": self.watermark,
+            }
+        ticks = [t for t, _ in buffered]
+        return self.push([v for _, v in buffered], first=ticks[0])
+
+    def bye(self) -> Optional[dict]:
+        self.send({"type": "bye"})
+        try:
+            return self.recv_type("goodbye")
+        except ServiceError:
+            return None
+
+
+class SubscriberClient(ServiceConnection):
+    """Receive match events, optionally filtered by stream/query."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        streams: Optional[Iterable[str]] = None,
+        queries: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        hello: dict = {"type": "hello", "role": "subscriber"}
+        if streams is not None:
+            hello["streams"] = sorted(streams)
+        if queries is not None:
+            hello["queries"] = sorted(queries)
+        self.send(hello)
+        ack = self.recv_type("hello_ack")
+        #: Per-stream event sequence numbers at subscription time.
+        self.seqs: Dict[str, int] = {
+            str(k): int(v) for k, v in ack.get("seqs", {}).items()
+        }
+        #: Highest sequence number seen per stream (for crash dedup).
+        self.seen: Dict[str, int] = dict(self.seqs)
+
+    def recv_event(self) -> Optional[dict]:
+        """Next event frame, or None on EOF.  Does NOT deduplicate."""
+        frame = self.recv()
+        if frame is None:
+            return None
+        if frame.get("type") == "error":
+            raise ServiceError(
+                f"server error {frame.get('code')}: {frame.get('detail')}"
+            )
+        return frame
+
+    def recv_new_events(self, count: int) -> List[dict]:
+        """Collect ``count`` *fresh* events, dropping replayed ones.
+
+        Fresh means the frame's ``seq`` is above the highest sequence
+        number this client has seen for the stream — the client half of
+        the exactly-once composition.
+        """
+        fresh: List[dict] = []
+        while len(fresh) < count:
+            frame = self.recv_event()
+            if frame is None:
+                raise ServiceError(
+                    f"server closed after {len(fresh)}/{count} events"
+                )
+            if frame.get("type") != "event":
+                continue
+            stream, seq = str(frame["stream"]), int(frame["seq"])
+            if seq <= self.seen.get(stream, 0):
+                continue
+            self.seen[stream] = seq
+            fresh.append(frame)
+        return fresh
+
+
+class ControlClient(ServiceConnection):
+    """Drive the live query lifecycle and read server stats."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        self.send({"type": "hello", "role": "control"})
+        self.recv_type("hello_ack")
+
+    def register_query(
+        self,
+        name: str,
+        query: Sequence[float],
+        epsilon: float,
+        matcher: Optional[str] = None,
+        **kwargs: object,
+    ) -> dict:
+        frame: dict = {
+            "type": "register_query",
+            "name": str(name),
+            "query": [encode_float(float(v)) for v in query],
+            "epsilon": float(epsilon),
+        }
+        if matcher is not None:
+            frame["matcher"] = str(matcher)
+        if kwargs:
+            frame["kwargs"] = dict(kwargs)
+        self.send(frame)
+        return self.recv_type("ok")
+
+    def remove_query(self, name: str) -> dict:
+        self.send({"type": "remove_query", "name": str(name)})
+        return self.recv_type("ok")
+
+    def swap_query(
+        self,
+        name: str,
+        query: Sequence[float],
+        epsilon: float,
+        matcher: Optional[str] = None,
+        **kwargs: object,
+    ) -> dict:
+        frame: dict = {
+            "type": "swap_query",
+            "name": str(name),
+            "query": [encode_float(float(v)) for v in query],
+            "epsilon": float(epsilon),
+        }
+        if matcher is not None:
+            frame["matcher"] = str(matcher)
+        if kwargs:
+            frame["kwargs"] = dict(kwargs)
+        self.send(frame)
+        return self.recv_type("ok")
+
+    def stats(self) -> dict:
+        self.send({"type": "stats"})
+        return self.recv_type("stats")
+
+    def bye(self) -> Optional[dict]:
+        self.send({"type": "bye"})
+        try:
+            return self.recv_type("goodbye")
+        except ServiceError:
+            return None

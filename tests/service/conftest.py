@@ -1,0 +1,46 @@
+"""Shared fixtures for the network-service conformance suite.
+
+Every test runs against a real server: a :class:`MonitorServer` on its
+own event-loop thread bound to an ephemeral localhost port, fronting
+the in-process engine.  Tests that need custom engine or server knobs
+use the ``service_server`` factory; the plain ``server`` fixture is
+the common case (one pre-registered stream + one spike query).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.service.engine import EngineConfig
+from repro.service.server import ServerHandle, start_in_thread
+
+SPIKE = [0.0, 5.0, 0.0]
+EPSILON = 2.0
+
+
+@pytest.fixture
+def service_server() -> Iterator:
+    """Factory: start a server with custom knobs; all stopped at teardown."""
+    handles = []
+
+    def factory(config: EngineConfig = None, **kwargs) -> ServerHandle:
+        if config is None:
+            config = EngineConfig(
+                streams=("s1",),
+                queries=[("spike", SPIKE, EPSILON, {})],
+            )
+        handle = start_in_thread(config, **kwargs)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.stop(checkpoint=False)
+
+
+@pytest.fixture
+def server(service_server) -> ServerHandle:
+    """One running server: stream ``s1``, query ``spike`` (eps 2.0)."""
+    return service_server()

@@ -1,0 +1,390 @@
+"""Server conformance: lifecycle, fan-out, backpressure, exposition.
+
+What the line protocol promises beyond not-crashing (see
+``docs/algorithm.md`` §15):
+
+* producers get one in-order ``ack`` per push, carrying the stream
+  watermark and remaining credit;
+* a producer overrunning its credit window is disconnected with
+  ``credit_exceeded``, and the ``service_inflight_peak_ticks`` gauge —
+  asserted through the metrics registry, not the server's privates —
+  never exceeds the window;
+* subscribers receive events in emission order, filtered per
+  subscription, and a subscriber that stops reading is evicted without
+  delaying its peers;
+* the query lifecycle (register/remove/swap) works live, between
+  pushes, on a control connection;
+* ``GET /metrics`` serves parseable Prometheus text exposition over
+  the same port.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.obs.prometheus import parse as parse_prometheus
+from repro.service.client import (
+    ControlClient,
+    ProducerClient,
+    ServiceConnection,
+    SubscriberClient,
+)
+from repro.service.engine import EngineConfig
+
+SPIKE = [0.0, 5.0, 0.0]
+#: One spike embedded in calm samples: exactly one match per repetition.
+PULSE = [1.0, 1.0, 0.1, 5.0, 0.1, 1.0, 1.0, 1.0]
+
+
+def _http_get(port: int, path: str) -> tuple:
+    raw = socket.create_connection(("127.0.0.1", port), timeout=30)
+    raw.sendall(f"GET {path} HTTP/1.0\r\nHost: x\r\n\r\n".encode())
+    data = b""
+    while True:
+        chunk = raw.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    raw.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, head, body
+
+
+# ----------------------------------------------------------------------
+# Producer lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_acks_are_in_order_and_watermark_monotone(server):
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    seqs = [producer.send_push([1.0] * (i + 1)) for i in range(5)]
+    total = 0
+    for expected_seq, n in zip(seqs, range(1, 6)):
+        ack = producer.recv_ack()
+        total += n
+        assert ack["seq"] == expected_seq
+        assert ack["watermark"] == total
+    producer.close()
+
+
+def test_reconnect_resumes_at_watermark(server):
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    producer.push([1.0, 2.0, 3.0])
+    producer.close()
+    again = ProducerClient("127.0.0.1", server.port, stream="s1")
+    assert again.watermark == 3
+    again.close()
+
+
+def test_replay_prefix_is_trimmed_idempotently(server):
+    """Re-pushing acked ticks with ``first`` applies nothing twice."""
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    producer.push([1.0, 2.0, 3.0, 4.0])
+    # Replay ticks 2..6: 2,3,4 are already applied, 5,6 are new.
+    ack = producer.push([2.0, 3.0, 4.0, 9.0, 9.0], first=2)
+    assert ack["trimmed"] == 3
+    assert ack["applied"] == 2
+    assert ack["watermark"] == 6
+    # Full duplicate: nothing applied.
+    ack = producer.push([9.0, 9.0], first=5)
+    assert ack["trimmed"] == 2 and ack["applied"] == 0
+    assert ack["watermark"] == 6
+    producer.close()
+
+
+def test_gap_in_replay_is_rejected(server):
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    producer.push([1.0, 2.0])
+    producer.send_push([9.0], first=9)  # ticks 3..8 missing
+    frame = producer.recv()
+    assert frame["type"] == "error" and frame["code"] == "gap"
+    assert frame["watermark"] == 2
+    # Recoverable: the correct continuation works on the same socket.
+    ack = producer.push([3.0], first=3)
+    assert ack["applied"] == 1 and ack["watermark"] == 3
+    producer.close()
+
+
+def test_streams_auto_register_in_process(server):
+    producer = ProducerClient("127.0.0.1", server.port, stream="fresh")
+    assert producer.watermark == 0
+    ack = producer.push(PULSE)
+    assert ack["applied"] == len(PULSE)
+    producer.close()
+
+
+# ----------------------------------------------------------------------
+# Credit-window backpressure
+# ----------------------------------------------------------------------
+
+
+def test_credit_overrun_disconnects_with_error(service_server):
+    """A push the window can never cover is a fatal protocol violation.
+
+    (Credit bounds *unacked* ticks, so a pipelined overrun only trips
+    when acks actually lag; a single frame larger than the whole
+    window is deterministically over budget.)
+    """
+    handle = service_server(credit_window=10)
+    producer = ProducerClient("127.0.0.1", handle.port, stream="s1")
+    assert producer.credit == 10
+    producer.send_push([1.0] * 11)
+    producer.settimeout(30.0)
+    frames = []
+    while True:
+        frame = producer.recv()
+        if frame is None:
+            break
+        frames.append(frame)
+    codes = [f.get("code") for f in frames if f.get("type") == "error"]
+    assert "credit_exceeded" in codes
+    # Nothing from the over-budget frame was applied.
+    assert not any(f.get("type") == "ack" for f in frames)
+    producer.close()
+    again = ProducerClient("127.0.0.1", handle.port, stream="s1")
+    assert again.watermark == 0
+    again.close()
+
+
+def test_inflight_peak_never_exceeds_credit_window(service_server):
+    """Backpressure bound, asserted through the metrics registry."""
+    window = 16
+    handle = service_server(credit_window=window)
+    producer = ProducerClient("127.0.0.1", handle.port, stream="s1")
+    # Closed-loop within credit: pipeline 4-tick batches, reading acks
+    # only when the window would otherwise overflow.
+    inflight, pending = 0, 0
+    for _ in range(40):
+        while inflight + 4 > window:
+            producer.recv_ack()
+            inflight -= 4
+            pending -= 1
+        producer.send_push([1.0, 2.0, 1.0, 0.5])
+        inflight += 4
+        pending += 1
+    for _ in range(pending):
+        producer.recv_ack()
+    producer.close()
+    snapshot = handle.metrics.registry.snapshot()
+    series = snapshot["service_inflight_peak_ticks"]["series"]
+    peaks = {s["labels"]["stream"]: s["value"] for s in series}
+    assert 0 < peaks["s1"] <= window
+
+
+# ----------------------------------------------------------------------
+# Subscribers: fan-out, filtering, eviction
+# ----------------------------------------------------------------------
+
+
+def test_events_fan_out_to_all_matching_subscribers(server):
+    all_events = SubscriberClient("127.0.0.1", server.port)
+    only_s1 = SubscriberClient("127.0.0.1", server.port, streams=["s1"])
+    only_s2 = SubscriberClient("127.0.0.1", server.port, streams=["s2"])
+    wrong_query = SubscriberClient(
+        "127.0.0.1", server.port, queries=["no-such-query"]
+    )
+    p1 = ProducerClient("127.0.0.1", server.port, stream="s1")
+    p2 = ProducerClient("127.0.0.1", server.port, stream="s2")
+    p1.push(PULSE)
+    p2.push(PULSE)
+    got_all = all_events.recv_new_events(2)
+    assert {e["stream"] for e in got_all} == {"s1", "s2"}
+    assert [e["stream"] for e in only_s1.recv_new_events(1)] == ["s1"]
+    assert [e["stream"] for e in only_s2.recv_new_events(1)] == ["s2"]
+    # The filtered-out subscriber saw nothing.
+    wrong_query.settimeout(0.5)
+    with pytest.raises(socket.timeout):
+        wrong_query.recv_event()
+    for c in (all_events, only_s1, only_s2, wrong_query, p1, p2):
+        c.close()
+
+
+def test_event_order_matches_emission_order(server):
+    sub = SubscriberClient("127.0.0.1", server.port)
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    for _ in range(5):
+        producer.push(PULSE)
+    events = sub.recv_new_events(5)
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) == list(range(1, 6))
+    outputs = [e["match"]["output_time"] for e in events]
+    assert outputs == sorted(outputs)
+    producer.close()
+    sub.close()
+
+
+def test_slow_subscriber_evicted_without_delaying_others(service_server):
+    """A stalled subscriber is evicted; a draining one sees everything.
+
+    The per-subscriber queue absorbs the fan-out burst of one push
+    batch (fan-out callbacks land on the loop back-to-back, so the
+    writer task cannot drain mid-burst) — hence the queue depth here is
+    comfortably above the per-push event count, and the *slow* reader
+    is one that never reads at all.
+    """
+    handle = service_server(subscriber_queue=64)
+    # The slow subscriber is a raw socket with a tiny receive window
+    # that subscribes and then never reads a byte.
+    slow = socket.socket()
+    slow.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    slow.connect(("127.0.0.1", handle.port))
+    slow.sendall(b'{"type": "hello", "role": "subscriber"}\n')
+    fast = SubscriberClient("127.0.0.1", handle.port)
+    producer = ProducerClient("127.0.0.1", handle.port, stream="s1")
+    emitted = 0
+    fast.settimeout(120.0)
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        producer.push(PULSE * 16)  # 16 matches per push
+        emitted += 16
+        fast.recv_new_events(16)
+        snapshot = handle.metrics.registry.snapshot()
+        evictions = snapshot["service_subscriber_evictions_total"]["series"]
+        if evictions and evictions[0]["value"] >= 1:
+            break
+    else:
+        pytest.fail("slow subscriber was never evicted")
+    # Only the slow subscriber was evicted, and the fast one keeps
+    # receiving fresh events promptly.
+    producer.push(PULSE)
+    emitted += 1
+    events = fast.recv_new_events(1)
+    assert events[0]["seq"] == emitted
+    snapshot = handle.metrics.registry.snapshot()
+    evictions = snapshot["service_subscriber_evictions_total"]["series"]
+    assert evictions[0]["value"] == 1.0
+    # And the evicted socket is actually closed by the server.
+    slow.settimeout(60.0)
+    saw_eof = False
+    try:
+        while True:
+            if not slow.recv(1 << 20):
+                saw_eof = True
+                break
+    except OSError:
+        saw_eof = True
+    assert saw_eof
+    slow.close()
+    for c in (fast, producer):
+        c.close()
+
+
+# ----------------------------------------------------------------------
+# Control: live query lifecycle over the wire
+# ----------------------------------------------------------------------
+
+
+def test_register_remove_swap_live(server):
+    control = ControlClient("127.0.0.1", server.port)
+    sub = SubscriberClient("127.0.0.1", server.port)
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+
+    reply = control.register_query("dip", [5.0, 0.0, 5.0], 2.0)
+    assert sorted(reply["queries"]) == ["dip", "spike"]
+    # 5.0, 0.2, 5.0 is a dip; 1.0, 5.0, 0.2 also reads as a spike —
+    # both queries fire on this pulse, proving the live registration
+    # took effect mid-stream.
+    producer.push([1.0, 5.0, 0.2, 5.0, 1.0, 1.0, 1.0])
+    events = sub.recv_new_events(2)
+    assert {e["query"] for e in events} == {"dip", "spike"}
+
+    # Swap the spike template for a higher pulse; the old template
+    # stops matching and the new one starts fresh after the watermark.
+    reply = control.swap_query("spike", [0.0, 9.0, 0.0], 2.0)
+    assert sorted(reply["queries"]) == ["dip", "spike"]
+    producer.push([1.0, 1.0, 0.3, 9.0, 0.3, 1.0, 1.0, 1.0])
+    events = sub.recv_new_events(1)
+    assert events[0]["query"] == "spike"
+
+    reply = control.remove_query("dip")
+    assert reply["queries"] == ["spike"]
+    stats = control.stats()
+    assert stats["queries"] == ["spike"]
+
+    with pytest.raises(ServiceError, match="bad_query"):
+        control.remove_query("dip")  # already gone
+    with pytest.raises(ServiceError, match="bad_query"):
+        control.register_query("spike", [1.0], 1.0)  # duplicate name
+    with pytest.raises(ServiceError, match="bad_query"):
+        control.register_query("eps", [1.0, 2.0], -1.0)  # bad epsilon
+
+    for c in (control, sub, producer):
+        c.close()
+
+
+def test_stats_report_watermarks_and_sequences(server):
+    control = ControlClient("127.0.0.1", server.port)
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    producer.push(PULSE)
+    stats = control.stats()
+    assert stats["mode"] == "in-process"
+    assert stats["streams"]["s1"]["watermark"] == len(PULSE)
+    assert stats["streams"]["s1"]["seq"] == 1
+    assert stats["events_total"] == 1
+    control.close()
+    producer.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP exposition
+# ----------------------------------------------------------------------
+
+
+def test_metrics_endpoint_serves_parseable_exposition(server):
+    producer = ProducerClient("127.0.0.1", server.port, stream="s1")
+    sub = SubscriberClient("127.0.0.1", server.port)
+    producer.push(PULSE)
+    sub.recv_new_events(1)
+    status, head, body = _http_get(server.port, "/metrics")
+    assert status == 200
+    assert b"text/plain; version=0.0.4" in head
+    families = parse_prometheus(body.decode("utf-8"))
+    # Service families and the fronted monitor's families co-exist in
+    # one exposition.
+    assert "service_pushed_ticks_total" in families
+    assert "service_connections_total" in families
+    assert any(name.startswith("spring_") for name in families)
+    pushed = {
+        tuple(sorted(labels.items())): value
+        for _, labels, value in families["service_pushed_ticks_total"]
+    }
+    assert pushed[(("stream", "s1"),)] == float(len(PULSE))
+    delivered = families["service_events_delivered_total"]
+    assert delivered[0][2] >= 1.0
+    producer.close()
+    sub.close()
+
+
+def test_http_404_405_and_healthz(server):
+    status, _, body = _http_get(server.port, "/healthz")
+    assert status == 200 and body == b"ok\n"
+    status, _, _ = _http_get(server.port, "/nope")
+    assert status == 404
+    raw = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+    raw.sendall(b"POST /metrics HTTP/1.0\r\n\r\n")
+    data = raw.recv(65536)
+    assert b"405" in data.split(b"\r\n", 1)[0]
+    raw.close()
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+
+
+def test_stop_is_idempotent_and_rejects_new_work(service_server):
+    handle = service_server()
+    producer = ProducerClient("127.0.0.1", handle.port, stream="s1")
+    producer.push([1.0])
+    port = handle.port
+    handle.stop(checkpoint=False)
+    handle.stop(checkpoint=False)  # second stop is a no-op
+    with pytest.raises(OSError):
+        ServiceConnection("127.0.0.1", port, timeout=2.0)
+    producer.close()
