@@ -32,6 +32,13 @@ same run:
   regression here means the group index stopped certifying whole
   groups (e.g. a rebuild bug re-indexing every tick) and admission is
   back to O(Q) per cold tick.
+* ``dynnorm_prune_speedup`` — the per-window-normalised matcher's
+  low-selectivity workload with the corner lower bound on vs off,
+  gated against ``--min-dynnorm-prune-speedup`` (default 2).  The
+  bound is exact (identical match streams), so like ``prune_speedup``
+  its entire value is this ratio; a regression means windows stopped
+  being skipped (e.g. a bound no longer tight enough to beat epsilon)
+  and every tick is back to one full DP per candidate length.
 * ``kernel_speedup_vs_numpy`` — the 64-query push workload on the best
   available compiled kernel backend (numba or cext) vs the numpy
   reference, measured back-to-back per round with the minimum ratio
@@ -131,6 +138,14 @@ def main(argv: object = None) -> int:
         default=3.0,
         help="minimum grouped/flat admission throughput ratio on the "
         "10k-query fully-parked workload (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-dynnorm-prune-speedup",
+        type=float,
+        default=2.0,
+        help="minimum pruned/unpruned throughput ratio for the "
+        "per-window-normalised matcher's low-selectivity workload "
+        "(default 2.0)",
     )
     parser.add_argument(
         "--min-kernel-speedup",
@@ -288,6 +303,24 @@ def main(argv: object = None) -> int:
             failed = True
         else:
             print("OK: index admission speedup above floor")
+
+    dynnorm_speedup = report["dynnorm_prune_speedup"]
+    if dynnorm_speedup is None:
+        print("no dynnorm measurement; skipping dynnorm prune gate")
+    else:
+        print(
+            f"dynnorm prune speedup  : {dynnorm_speedup:.2f}x "
+            f"(floor {args.min_dynnorm_prune_speedup:.1f}x)"
+        )
+        if dynnorm_speedup < args.min_dynnorm_prune_speedup:
+            print(
+                "FAIL: the dynnorm corner bound delivers less than "
+                f"{args.min_dynnorm_prune_speedup:.1f}x on the "
+                "low-selectivity workload"
+            )
+            failed = True
+        else:
+            print("OK: dynnorm prune speedup above floor")
 
     kernel_speedup = report["kernel_speedup_vs_numpy"]
     if kernel_speedup is None:

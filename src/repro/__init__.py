@@ -48,6 +48,7 @@ from repro.core import (
     Capabilities,
     CascadeSpring,
     ConstrainedSpring,
+    DynNormSpring,
     FusedSpring,
     GroupRange,
     LengthBand,
@@ -101,6 +102,7 @@ __all__ = [
     "CheckpointManager",
     "ConstrainedSpring",
     "DeadLetter",
+    "DynNormSpring",
     "FusedSpring",
     "GroupRange",
     "LengthBand",

@@ -130,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "other kind")
     mon.add_argument("--reduction", type=int, default=None,
                      help="cascade downsampling factor (cascade matcher only)")
+    mon.add_argument("--min-length", type=int, default=None,
+                     help="shortest candidate window in non-missing ticks "
+                          "(dynnorm matcher only; default: half the query)")
+    mon.add_argument("--max-length", type=int, default=None,
+                     help="longest candidate window in non-missing ticks "
+                          "(dynnorm matcher only; default: twice the query)")
+    mon.add_argument("--min-std", type=float, default=None,
+                     help="skip windows whose std is <= this as "
+                          "non-normalisable (dynnorm matcher only)")
     mon.add_argument("--checkpoint-dir", default=None,
                      help="run supervised with atomic snapshots in this "
                           "directory (enables --resume)")
@@ -301,6 +310,13 @@ def _matcher_kwargs(args: argparse.Namespace) -> dict:
         if args.matcher != "cascade":
             raise SystemExit("--reduction requires --matcher cascade")
         kwargs["reduction"] = args.reduction
+    for option in ("min_length", "max_length", "min_std"):
+        value = getattr(args, option, None)
+        if value is not None:
+            if args.matcher != "dynnorm":
+                flag = "--" + option.replace("_", "-")
+                raise SystemExit(f"{flag} requires --matcher dynnorm")
+            kwargs[option] = value
     if policies:
         kwargs["policies"] = policies
     return kwargs

@@ -52,6 +52,7 @@ from repro.core.checkpoint import (
     save_state,
 )
 from repro.core.constrained import ConstrainedSpring
+from repro.core.dynnorm import DynNormSpring
 from repro.core.matches import Match, merge_report, overlaps
 from repro.core.monitor import MatchEvent, StreamMonitor
 from repro.core.normalization import NormalizedSpring
@@ -119,6 +120,7 @@ __all__ = [
     "StreamMonitor",
     "VectorSpring",
     "ConstrainedSpring",
+    "DynNormSpring",
     "NormalizedSpring",
     "merge_report",
     "overlaps",

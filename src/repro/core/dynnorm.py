@@ -1,0 +1,458 @@
+"""Exact dynamically-normalised subsequence matching.
+
+:class:`DynNormSpring` monitors a scalar stream for windows that match
+the query *after z-normalising each window with its own mean and
+standard deviation* — the streaming analogue of the offline practice of
+normalising every candidate subsequence ("Real Time Pattern Matching
+with Dynamic Normalization", arXiv:1912.11977).  This is what
+:class:`~repro.core.normalization.NormalizedSpring` only approximates:
+that matcher rescales the stream with *history* statistics (global or
+exponentially weighted), which lag the window's own moments whenever
+the level or scale drifts.  Here every candidate window is compared
+under exactly its own moments.
+
+Per-window normalisation breaks the SPRING recurrence — a single STWM
+column cannot be shared by subsequences that each want a different
+affine rescaling of the same data — so this matcher uses the
+bounded-window formulation: candidate windows are the last ``len``
+non-missing values for every ``len`` in ``[min_length, max_length]``
+(a length band is intrinsic to the problem: per-window moments are only
+meaningful for a bounded window).  Per tick it does O(L) bookkeeping
+plus one full normalised DP per *unpruned* candidate length:
+
+* **Rolling moments.**  ``sums[i]`` / ``sumsqs[i]`` hold the sum and
+  sum of squares of the last ``i + 1`` non-missing values, maintained
+  by the shift-and-add recurrence ``sums_new[i] = sums_old[i-1] + x``.
+  This performs exactly the float64 additions of a fresh oldest-to-
+  newest sequential sum over each window, so the moments are *bit-
+  identical* to the oracle's fresh :func:`~repro.dtw.dynnorm.
+  window_moments` for all float inputs — no drift, no resync (nothing
+  is ever subtracted).
+* **Corner lower bound.**  Before running a window's DP, the fp-safe
+  bound ``max(c(z_1, q_1), c(z_len, q_m))`` (see :func:`~repro.dtw.
+  dynnorm.dynnorm_lower_bound`) is computed from the rolling moments
+  alone.  A window is skipped only when the bound exceeds both
+  ``epsilon`` and the running best distance — provably unable to
+  qualify *or* improve the best match, so pruning never changes any
+  output (``prune=False`` forces full evaluation; results are
+  identical by construction and property-tested to be).
+* **Greedy disjoint reporting.**  The Figure-4 analogue over atomic
+  windows: windows are processed end-tick ascending, length descending
+  (start ascending); a qualifying window arms as the pending report,
+  an overlapping qualifying window replaces it only on strictly
+  smaller distance, and the first qualifying window *disjoint* from
+  the pending one confirms it (nothing overlapping it can improve any
+  more — every later window ends later and may only start later).
+  Windows overlapping an already-reported match are never reported
+  again.  At most one report per tick; ``flush()`` emits the pending
+  window at end-of-stream.
+
+Exactness contract (versus :func:`repro.dtw.dynnorm.brute_force_dynnorm`):
+every candidate distance this matcher computes is bit-identical to the
+oracle's distance for the same window, because moments, normalisation,
+and the DP are operation-for-operation the same float64 arithmetic.
+The emitted report stream equals replaying the same greedy grouping
+over the oracle's window enumeration — the property the differential
+suite asserts with ``==``, for arbitrary float inputs.
+
+``NaN`` values follow the unified missing policy (`repro.core.missing`):
+under ``"skip"`` time passes and the ring holds, so windows may span
+gaps; ``"error"`` raises.  ``inf`` always raises.  Matches report
+1-based raw stream ticks (gaps included in the coordinates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro._serde import decode_float, decode_floats, encode_float, encode_floats
+from repro._validation import (
+    as_scalar_sequence,
+    check_nonnegative,
+    check_threshold,
+)
+from repro.core.checkpoint import register_matcher
+from repro.core.matches import Match
+from repro.core.missing import bad_value_error, resolve_missing_policy
+from repro.core.protocol import Capabilities
+from repro.core.registry import register_matcher_kind
+from repro.dtw.dynnorm import normalize_query, normalized_window_dtw
+from repro.dtw.steps import (
+    LOCAL_DISTANCES,
+    LocalDistance,
+    resolve_local_distance,
+)
+from repro.exceptions import (
+    NotFittedError,
+    StreamValueError,
+    ValidationError,
+)
+
+__all__ = ["DynNormSpring"]
+
+
+class DynNormSpring:
+    """Streaming per-window-normalised subsequence matcher.
+
+    Parameters
+    ----------
+    query:
+        The query sequence (1-D, length >= 2 once normalised); it is
+        z-normalised once with its own moments.  Constant queries are
+        rejected.
+    epsilon:
+        Disjoint-report threshold *in normalised units*.  ``inf``
+        (default) reports every locally-optimal candidate group.
+    min_length, max_length:
+        The candidate window band, in non-missing ticks.  Defaults:
+        ``max(2, ceil(m / 2))`` and ``2 * m``.  Both ends inclusive;
+        ``min_length >= 2`` is required (a window of one value has no
+        scale).
+    min_std:
+        Windows with standard deviation ``<= min_std`` are skipped as
+        non-normalisable (default ``0.0``: only constant windows).
+    local_distance:
+        ``"squared"`` (default) or ``"absolute"``, or a callable; the
+        local cost applied to *normalised* values.
+    missing:
+        NaN policy, shared semantics with every other matcher:
+        ``"skip"`` advances time without touching the window ring;
+        ``"error"`` raises.  inf raises under every policy.
+    prune:
+        Apply the fp-safe corner lower bound before each window's DP.
+        Purely a speed knob — emitted matches and the best match are
+        identical either way.
+    """
+
+    def __init__(
+        self,
+        query: object,
+        epsilon: float = np.inf,
+        min_length: Optional[int] = None,
+        max_length: Optional[int] = None,
+        min_std: float = 0.0,
+        local_distance: Union[str, LocalDistance, None] = None,
+        missing: str = "skip",
+        prune: bool = True,
+    ) -> None:
+        self._query = as_scalar_sequence(query, "query")
+        self._qnorm = normalize_query(self._query)
+        self.epsilon = check_threshold(epsilon)
+        m = self._query.shape[0]
+        if min_length is None:
+            min_length = max(2, (m + 1) // 2)
+        if max_length is None:
+            max_length = max(2 * m, int(min_length))
+        min_length = int(min_length)
+        max_length = int(max_length)
+        if min_length < 2:
+            raise ValidationError(
+                f"min_length must be at least 2, got {min_length!r}"
+            )
+        if max_length < min_length:
+            raise ValidationError(
+                f"max_length ({max_length!r}) must be >= min_length "
+                f"({min_length!r})"
+            )
+        self.min_length = min_length
+        self.max_length = max_length
+        self.min_std = check_nonnegative(min_std, "min_std")
+        self._distance = resolve_local_distance(local_distance)
+        #: Canonical registry name of the local distance (None = custom
+        #: callable, which cannot be checkpointed).
+        self.distance_name: Optional[str] = None
+        for name in ("squared", "absolute"):
+            if LOCAL_DISTANCES[name] is self._distance:
+                self.distance_name = name
+                break
+        self.missing = resolve_missing_policy(missing)
+        self.prune = bool(prune)
+
+        length = self.max_length
+        # Ring of the last max_length non-missing values and their raw
+        # ticks, kept oldest-first (index L-1 is the newest).
+        self._window = np.zeros(length, dtype=np.float64)
+        self._wticks = np.zeros(length, dtype=np.int64)
+        # Rolling per-length moments: sums[i] / sumsqs[i] cover the last
+        # i + 1 values.  Entries beyond the number of values seen are
+        # inert (they never feed a valid entry) but are serialised so
+        # resume is byte-identical.
+        self._sums = np.zeros(length, dtype=np.float64)
+        self._sumsqs = np.zeros(length, dtype=np.float64)
+        self._count = 0
+        self._tick = 0
+
+        # Greedy disjoint-report bookkeeping.
+        self._dmin = np.inf
+        self._ts = 0
+        self._te = 0
+        self._last_end = 0
+
+        # Best-match bookkeeping (Problem 1 over the window band).
+        self._best_distance = np.inf
+        self._best_start = 0
+        self._best_end = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def query(self) -> np.ndarray:
+        """The raw query (1-D)."""
+        return self._query
+
+    @property
+    def query_normalized(self) -> np.ndarray:
+        """The query z-normalised with its own moments."""
+        return self._qnorm
+
+    @property
+    def m(self) -> int:
+        """Query length."""
+        return self._query.shape[0]
+
+    @property
+    def tick(self) -> int:
+        """Number of stream values consumed (1-based time of last value)."""
+        return self._tick
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether a qualifying window is still waiting for confirmation."""
+        return bool(np.isfinite(self._dmin))
+
+    @property
+    def best_match(self) -> Match:
+        """Best admissible window so far, independent of epsilon."""
+        if not np.isfinite(self._best_distance):
+            raise NotFittedError(
+                "no normalisable window yet: feed stream values first"
+            )
+        return Match(
+            start=self._best_start,
+            end=self._best_end,
+            distance=float(self._best_distance),
+            output_time=None,
+        )
+
+    def capabilities(self) -> Capabilities:
+        """Scalar, never bank-fusable (each window has its own scaling)."""
+        return Capabilities(
+            kind="scalar",
+            fusable=False,
+            distance_name=self.distance_name,
+            missing=self.missing,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    def step(self, value: object) -> Optional[Match]:
+        """Consume one stream value; return a confirmed match, if any."""
+        if isinstance(value, (int, float)):
+            v = float(value)
+        else:
+            arr = np.asarray(value, dtype=np.float64).reshape(-1)
+            if arr.shape[0] != 1:
+                raise ValidationError(
+                    f"stream value has {arr.shape[0]} dimensions, "
+                    f"dynnorm matches scalar streams"
+                )
+            v = float(arr[0])
+        if v != v:  # NaN: missing reading
+            if self.missing == "skip":
+                self._tick += 1
+                return None
+            raise bad_value_error(self._tick + 1, True)
+        if math.isinf(v):
+            raise bad_value_error(self._tick + 1, False)
+        self._tick += 1
+        self._push(v)
+        return self._scan()
+
+    def extend(self, values: Iterable[object]) -> List[Match]:
+        """Consume many values; return all matches confirmed on the way."""
+        matches: List[Match] = []
+        for value in values:
+            try:
+                match = self.step(value)
+            except StreamValueError as err:
+                err.partial_matches = matches
+                raise
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    def flush(self) -> Optional[Match]:
+        """Report the pending window at end-of-stream, if any."""
+        if not np.isfinite(self._dmin):
+            return None
+        match = Match(
+            start=self._ts,
+            end=self._te,
+            distance=float(self._dmin),
+            output_time=self._tick,
+        )
+        self._last_end = self._te
+        self._dmin = np.inf
+        return match
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _push(self, v: float) -> None:
+        # Shift-and-add rolling moments: identical float64 additions to
+        # a fresh oldest-to-newest sum over each window (see module doc).
+        self._sums[1:] = self._sums[:-1] + v
+        self._sums[0] = v
+        sq = v * v
+        self._sumsqs[1:] = self._sumsqs[:-1] + sq
+        self._sumsqs[0] = sq
+        self._window[:-1] = self._window[1:]
+        self._window[-1] = v
+        self._wticks[:-1] = self._wticks[1:]
+        self._wticks[-1] = self._tick
+        self._count += 1
+
+    def _scan(self) -> Optional[Match]:
+        """Evaluate every admissible window ending now; run the greedy
+        disjoint grouping over them in length-descending order."""
+        capacity = self.max_length
+        valid = self._count if self._count < capacity else capacity
+        report: Optional[Match] = None
+        end = self._tick
+        dist = self._distance
+        q_first = self._qnorm[0]
+        q_last = self._qnorm[-1]
+        for length in range(min(self.max_length, valid), self.min_length - 1, -1):
+            i = length - 1
+            total = float(self._sums[i])
+            total_sq = float(self._sumsqs[i])
+            mu = total / length
+            var = total_sq / length - mu * mu
+            if var < 0.0:
+                var = 0.0
+            sigma = float(np.sqrt(var))
+            if sigma <= self.min_std:
+                continue
+            start = int(self._wticks[capacity - length])
+            if self.prune:
+                z_first = (float(self._window[capacity - length]) - mu) / sigma
+                z_last = (float(self._window[-1]) - mu) / sigma
+                c_first = float(np.asarray(dist(np.float64(z_first), q_first)))
+                c_last = float(np.asarray(dist(np.float64(z_last), q_last)))
+                bound = c_first if c_first >= c_last else c_last
+                if bound > self.epsilon and bound >= self._best_distance:
+                    # Provably cannot qualify nor improve the best match
+                    # (the computed DP value is >= the bound even in fp).
+                    continue
+            z = (self._window[capacity - length:] - mu) / sigma
+            d = normalized_window_dtw(z, self._qnorm, dist)
+            if d < self._best_distance:
+                self._best_distance = d
+                self._best_start = start
+                self._best_end = end
+            if d > self.epsilon or start <= self._last_end:
+                continue
+            if not np.isfinite(self._dmin):
+                self._arm(d, start, end)
+            elif start <= self._te:
+                if d < self._dmin:
+                    self._arm(d, start, end)
+            else:
+                # First qualifying window disjoint from the pending one:
+                # nothing can displace the pending report any more.
+                report = Match(
+                    start=self._ts,
+                    end=self._te,
+                    distance=float(self._dmin),
+                    output_time=end,
+                )
+                self._last_end = self._te
+                self._arm(d, start, end)
+        return report
+
+    def _arm(self, d: float, start: int, end: int) -> None:
+        self._dmin = d
+        self._ts = start
+        self._te = end
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialise to a JSON-safe dict (see :mod:`repro.core.checkpoint`)."""
+        if self.distance_name is None:
+            raise ValidationError(
+                "cannot checkpoint a matcher with an unnamed local-distance "
+                "callable; pass a registered distance name instead"
+            )
+        return {
+            "query": self._query.tolist(),
+            "epsilon": encode_float(self.epsilon),
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "min_std": encode_float(self.min_std),
+            "local_distance": self.distance_name,
+            "missing": self.missing,
+            "prune": self.prune,
+            "tick": self._tick,
+            "count": self._count,
+            "window": encode_floats(self._window),
+            "wticks": self._wticks.tolist(),
+            "sums": encode_floats(self._sums),
+            "sumsqs": encode_floats(self._sumsqs),
+            "dmin": encode_float(self._dmin),
+            "ts": self._ts,
+            "te": self._te,
+            "last_end": self._last_end,
+            "best_distance": encode_float(self._best_distance),
+            "best_start": self._best_start,
+            "best_end": self._best_end,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DynNormSpring":
+        """Rebuild from :meth:`state_dict` output (exact continuation)."""
+        matcher = cls(
+            np.asarray(state["query"], dtype=np.float64),
+            epsilon=decode_float(state["epsilon"]),
+            min_length=int(state["min_length"]),
+            max_length=int(state["max_length"]),
+            min_std=decode_float(state["min_std"]),
+            local_distance=str(state["local_distance"]),
+            missing=str(state["missing"]),
+            prune=bool(state["prune"]),
+        )
+        matcher._tick = int(state["tick"])
+        matcher._count = int(state["count"])
+        matcher._window = decode_floats(state["window"])
+        matcher._wticks = np.asarray(state["wticks"], dtype=np.int64)
+        matcher._sums = decode_floats(state["sums"])
+        matcher._sumsqs = decode_floats(state["sumsqs"])
+        matcher._dmin = decode_float(state["dmin"])
+        matcher._ts = int(state["ts"])
+        matcher._te = int(state["te"])
+        matcher._last_end = int(state["last_end"])
+        matcher._best_distance = decode_float(state["best_distance"])
+        matcher._best_start = int(state["best_start"])
+        matcher._best_end = int(state["best_end"])
+        return matcher
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(m={self.m}, epsilon={self.epsilon}, "
+            f"band=[{self.min_length}, {self.max_length}], "
+            f"tick={self._tick}, pending={self.has_pending})"
+        )
+
+
+register_matcher(DynNormSpring)
+register_matcher_kind("dynnorm", DynNormSpring)

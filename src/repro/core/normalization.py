@@ -11,6 +11,15 @@ once with its own statistics.
 This is an extension beyond the paper (which matches raw values); it is
 exercised by the ablation benchmarks to show when normalisation helps.
 
+**Approximation notice:** history statistics (global or EWM) are an
+*approximation* of normalising each candidate window with its own
+mean/std — they lag the window's moments whenever the stream's level or
+scale drifts, and the divergence is unbounded in general (the
+approximation-gap property tests quantify it).  For exact per-window
+normalisation use :class:`~repro.core.dynnorm.DynNormSpring` (matcher
+kind ``"dynnorm"``), which is differentially tested against a
+brute-force per-window-normalised oracle.
+
 In the layered architecture this class is a thin shim over
 :class:`~repro.core.transform.TransformedMatcher` with a
 :class:`~repro.core.transform.ZNormalize` input adapter, so the same
@@ -37,6 +46,11 @@ __all__ = ["NormalizedSpring"]
 
 class NormalizedSpring(TransformedMatcher):
     """SPRING over a z-normalised view of the stream.
+
+    The stream is rescaled with *history* statistics — an approximation
+    of per-window normalisation (see the module docstring); use
+    :class:`~repro.core.dynnorm.DynNormSpring` when each window must be
+    compared under exactly its own moments.
 
     Parameters
     ----------

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro._validation import check_positive
 from repro.core.matches import Match
+from repro.core.missing import bad_value_error, resolve_missing_policy
 from repro.core.protocol import Capabilities
 from repro.exceptions import ValidationError
 from repro.obs import tracing
@@ -125,25 +126,43 @@ class ZNormalize(StreamTransform):
         ``"global"`` — running mean/std over the whole stream history;
         ``"ewm"`` — exponentially weighted, adapting to drift.
     halflife:
-        For ``"ewm"``: ticks for a sample's weight to halve.
+        For ``"ewm"``: ticks for a sample's weight to halve.  Validated
+        in every mode so a config built in global mode stays usable if
+        switched to ewm.
     warmup:
-        Ticks to consume before matching starts (minimum 2).
+        Ticks to consume before matching starts; must be at least 2
+        (std estimates from fewer samples are meaningless).
+    missing:
+        NaN policy, shared semantics with the matchers
+        (:mod:`repro.core.missing`): ``"skip"`` lets NaN pass through
+        after warm-up without touching the statistics; ``"error"``
+        raises.  inf raises under every policy — an infinite value
+        would poison the running mean/std irreversibly.
     """
 
     name = "znormalize"
 
     def __init__(
-        self, mode: str = "global", halflife: float = 500.0, warmup: int = 10
+        self,
+        mode: str = "global",
+        halflife: float = 500.0,
+        warmup: int = 10,
+        missing: str = "skip",
     ) -> None:
         if mode not in ("global", "ewm"):
             raise ValidationError(
                 f"mode must be 'global' or 'ewm', got {mode!r}"
             )
         self.mode = mode
-        self.halflife = float(halflife)
-        self.warmup = max(int(warmup), 2)
+        self.halflife = check_positive(halflife, "halflife")
+        warmup = int(warmup)
+        if warmup < 2:
+            raise ValidationError(
+                f"warmup must be at least 2, got {warmup!r}"
+            )
+        self.warmup = warmup
+        self.missing = resolve_missing_policy(missing)
         if mode == "ewm":
-            check_positive(halflife, "halflife")
             self.stats: object = EwmStats(halflife=self.halflife)
         else:
             self.stats = RunningStats()
@@ -157,14 +176,24 @@ class ZNormalize(StreamTransform):
         return (query - query.mean()) / std
 
     def forward(self, value: float) -> Optional[float]:
-        """Normalise one value with the history statistics so far."""
-        self._seen += 1
+        """Normalise one value with the history statistics so far.
+
+        Non-finite values follow the unified missing policy (NaN
+        outranks inf): NaN is a missing reading — under ``"skip"`` it
+        never contributes to the statistics and passes through after
+        warm-up so the inner matcher applies its own policy; inf is a
+        corrupt reading and raises under every policy *before* touching
+        the statistics or the tick counter.
+        """
         value = float(value)
         if np.isnan(value):
-            # Missing values never contribute to the statistics; after
-            # warm-up they pass through so the inner matcher applies its
-            # own missing-value policy.
+            if self.missing == "error":
+                raise bad_value_error(self._seen + 1, True)
+            self._seen += 1
             return value if self._seen > self.warmup else None
+        if np.isinf(value):
+            raise bad_value_error(self._seen + 1, False)
+        self._seen += 1
         self.stats.push(value)
         if self._seen <= self.warmup:
             return None
@@ -192,6 +221,7 @@ class ZNormalize(StreamTransform):
             "mode": self.mode,
             "halflife": self.halflife,
             "warmup": self.warmup,
+            "missing": self.missing,
         }
 
     def state_dict(self) -> dict:
@@ -252,14 +282,20 @@ class TransformedMatcher:
         )
 
     def step(self, value: object) -> Optional[Match]:
-        """Consume one raw value; return a match in raw-tick coordinates."""
-        self._tick += 1
+        """Consume one raw value; return a match in raw-tick coordinates.
+
+        The tick advances only after the transform accepts the value,
+        so a rejected value (e.g. inf, or NaN under ``"error"``) leaves
+        the clock where a retry would expect it — mirroring how the
+        matchers themselves treat rejected stream values.
+        """
         tracer = tracing.ACTIVE
         if tracer is None:
             forwarded = self._transform.forward(value)
         else:
             with tracer.span("transform.forward"):
                 forwarded = self._transform.forward(value)
+        self._tick += 1
         if forwarded is None:
             return None
         return self._map(self._inner.step(forwarded))

@@ -11,6 +11,13 @@ star-padding (:mod:`~repro.dtw.subsequence`).
 
 from repro.dtw.barycenter import dba_average, resample
 from repro.dtw.distance import dtw_distance, dtw_distance_matrix, dtw_windowed
+from repro.dtw.dynnorm import (
+    brute_force_dynnorm,
+    dynnorm_lower_bound,
+    normalize_query,
+    normalized_window_dtw,
+    window_moments,
+)
 from repro.dtw.search import SearchStats, SequenceIndex
 from repro.dtw.step_patterns import (
     STEP_PATTERNS,
@@ -70,6 +77,11 @@ __all__ = [
     "accumulate_full",
     "accumulate_subsequence",
     "pairwise_cost_matrix",
+    "brute_force_dynnorm",
+    "dynnorm_lower_bound",
+    "normalize_query",
+    "normalized_window_dtw",
+    "window_moments",
     "backtrack_path",
     "is_valid_path",
     "path_cost",

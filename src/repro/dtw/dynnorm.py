@@ -1,0 +1,206 @@
+"""Per-window z-normalised DTW: shared math and the brute-force oracle.
+
+The dynamically-normalised matcher (:mod:`repro.core.dynnorm`) compares
+each candidate window of the stream against the query under *that
+window's own* mean and standard deviation — the streaming analogue of
+the classic offline practice of z-normalising every subsequence before
+computing its distance ("Real Time Pattern Matching with Dynamic
+Normalization", arXiv:1912.11977).  This module holds the math both the
+streaming matcher and its brute-force oracle share, plus the oracle
+itself, so the differential tests compare two *independent* window
+enumerations running identical arithmetic:
+
+* :func:`window_moments` — mean/std of a window from left-to-right
+  sequential sums.  The sequential order is load-bearing: the streaming
+  matcher maintains per-length rolling sums by the shift-and-add
+  recurrence ``S_len = S_{len-1} + x`` (oldest-to-newest), which
+  performs *exactly* the same float64 additions as a fresh sequential
+  sum over the window.  Matcher and oracle therefore agree bit-for-bit
+  on every mean, variance, and normalised value — for all float inputs,
+  not just exactly-representable ones.
+* :func:`normalized_window_dtw` — full (whole-matching, Equation 1)
+  DTW between a normalised window and the normalised query, vectorised
+  per row with the prefix-sum/prefix-min identity.  Both sides call
+  this one function, so candidate distances are bit-identical by
+  construction; the function itself is unit-tested against the
+  reference :func:`repro.dtw.matrix.accumulate_full` loop.
+* :func:`dynnorm_lower_bound` — ``max(c(z_1, q_1), c(z_len, q_m))``.
+  Every warping path aligns first-with-first and last-with-last, and a
+  float64 sum of non-negative terms is monotonically >= each term, so
+  the bound never exceeds the *computed* DTW value even under rounding
+  (the summed LB_Kim form does not enjoy this and would be unsafe for
+  exact pruning).
+* :func:`brute_force_dynnorm` — the O(n * L * len * m) oracle: every
+  admissible window, fresh moments, full DP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro._validation import as_scalar_sequence
+from repro.dtw.steps import LocalDistance, resolve_local_distance
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "window_moments",
+    "normalize_query",
+    "normalized_window_dtw",
+    "dynnorm_lower_bound",
+    "brute_force_dynnorm",
+]
+
+
+def window_moments(values: object) -> Tuple[float, float]:
+    """Mean and standard deviation of a window, sequential-sum order.
+
+    Sums run oldest-to-newest (``np.cumsum``), matching the streaming
+    matcher's shift-and-add rolling sums operation-for-operation, so the
+    returned moments are bit-identical to the incrementally maintained
+    ones.  The variance uses the moment identity ``Q/n - mu^2`` clamped
+    at zero (it can round slightly negative for near-constant windows).
+    """
+    v = np.asarray(values, dtype=np.float64).reshape(-1)
+    n = v.shape[0]
+    if n == 0:
+        raise ValidationError("window must not be empty")
+    s = float(np.cumsum(v)[-1])
+    q = float(np.cumsum(v * v)[-1])
+    mu = s / n
+    var = q / n - mu * mu
+    if var < 0.0:
+        var = 0.0
+    return mu, float(np.sqrt(var))
+
+
+def normalize_query(query: object, name: str = "query") -> np.ndarray:
+    """Z-normalise the query with its own moments (sequential-sum order).
+
+    Raises :class:`~repro.exceptions.ValidationError` for constant
+    queries — a zero-variance template cannot be normalised, and every
+    window would trivially match it.
+    """
+    q = as_scalar_sequence(query, name)
+    mu, sigma = window_moments(q)
+    if sigma == 0.0:
+        raise ValidationError(f"{name} is constant; cannot z-normalise")
+    return (q - mu) / sigma
+
+
+def normalized_window_dtw(
+    z: object,
+    query_norm: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> float:
+    """Full DTW distance between a normalised window and normalised query.
+
+    Whole matching (Equation 1): the path is pinned to the corners
+    ``(1, 1)`` and ``(len, m)``.  Rows are processed with the
+    prefix-sum/prefix-min identity
+
+    ``d(t, j) = P(j) + min_{k <= j} (e(k) - P(k-1))``
+
+    where ``P`` is the running prefix sum of row ``t``'s local costs and
+    ``e(k) = min(d(t-1, k), d(t-1, k-1))`` is the cheapest way to *enter*
+    column ``k`` from the previous row — one vectorised pass per row
+    instead of a per-cell Python loop.  The identity is exact in real
+    arithmetic; in float64 it may differ from the per-cell recurrence by
+    ordinary summation rounding (and not at all when every partial path
+    sum is exactly representable).  The streaming matcher and the
+    brute-force oracle both call this function, so their distances are
+    bit-identical regardless.
+    """
+    dist = resolve_local_distance(local_distance)
+    zv = np.asarray(z, dtype=np.float64).reshape(-1)
+    qv = np.asarray(query_norm, dtype=np.float64).reshape(-1)
+    if zv.shape[0] == 0 or qv.shape[0] == 0:
+        raise ValidationError("window and query must not be empty")
+    cost = np.asarray(dist(zv[:, None], qv[None, :]), dtype=np.float64)
+    prev = np.cumsum(cost[0])
+    for t in range(1, cost.shape[0]):
+        prefix = np.cumsum(cost[t])
+        enter = np.empty_like(prev)
+        enter[0] = prev[0]
+        np.minimum(prev[1:], prev[:-1], out=enter[1:])
+        shifted = np.empty_like(prefix)
+        shifted[0] = 0.0
+        shifted[1:] = prefix[:-1]
+        prev = prefix + np.minimum.accumulate(enter - shifted)
+    return float(prev[-1])
+
+
+def dynnorm_lower_bound(
+    z_first: float,
+    z_last: float,
+    query_norm: object,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> float:
+    """Corner lower bound on :func:`normalized_window_dtw`.
+
+    Any warping path aligns the window's first value with ``q_1`` and
+    its last with ``q_m``, so both local costs appear in every path sum.
+    Because local costs are non-negative and float64 addition of
+    non-negative terms is monotone (``fl(a + b) >= max(a, b)``), the
+    *computed* DP value is >= each of them even under rounding — this
+    max form is safe for exact pruning where the additive LB_Kim sum
+    would not be.
+    """
+    dist = resolve_local_distance(local_distance)
+    qv = np.asarray(query_norm, dtype=np.float64).reshape(-1)
+    first = float(np.asarray(dist(np.float64(z_first), qv[0])))
+    last = float(np.asarray(dist(np.float64(z_last), qv[-1])))
+    return first if first >= last else last
+
+
+def brute_force_dynnorm(
+    x: object,
+    query: object,
+    min_length: int,
+    max_length: int,
+    min_std: float = 0.0,
+    local_distance: Union[str, LocalDistance, None] = None,
+) -> List[Tuple[int, int, float]]:
+    """Every admissible window's per-window-normalised DTW distance.
+
+    The oracle the streaming matcher is differentially tested against:
+    enumerate every window of ``min_length <= len <= max_length``
+    consecutive *non-missing* values (NaN entries are skipped readings —
+    time passes, so windows may span gaps, exactly as the matcher's
+    ring does), compute its moments fresh with :func:`window_moments`,
+    drop windows with ``std <= min_std`` (not normalisable), and run
+    the full normalised DP.
+
+    Returns ``(start, end, distance)`` triples with 1-based raw-stream
+    ticks, ordered by end tick ascending and, within an end tick, by
+    window length descending (start ascending) — the matcher's
+    processing order, so greedy report grouping can be replayed over
+    the list directly.
+    """
+    arr = np.asarray(x, dtype=np.float64).reshape(-1)
+    if np.isinf(arr).any():
+        raise ValidationError("stream contains infinite values")
+    if not 2 <= int(min_length) <= int(max_length):
+        raise ValidationError(
+            f"need 2 <= min_length <= max_length, got "
+            f"{min_length!r}..{max_length!r}"
+        )
+    keep = ~np.isnan(arr)
+    ticks = np.flatnonzero(keep) + 1  # 1-based raw ticks
+    vals = arr[keep]
+    qn = normalize_query(query)
+    results: List[Tuple[int, int, float]] = []
+    for j in range(vals.shape[0]):
+        for length in range(int(max_length), int(min_length) - 1, -1):
+            i = j - length + 1
+            if i < 0:
+                continue
+            window = vals[i:j + 1]
+            mu, sigma = window_moments(window)
+            if sigma <= min_std:
+                continue
+            z = (window - mu) / sigma
+            d = normalized_window_dtw(z, qn, local_distance)
+            results.append((int(ticks[i]), int(ticks[j]), d))
+    return results

@@ -1,0 +1,276 @@
+"""Unit tests for the dynamically-normalised matcher.
+
+The exhaustive oracle equality lives in the slow differential suite
+(``tests/properties/test_oracle_differential.py``); this file covers
+construction validation, the matching behaviour the matcher exists for
+(amplitude/offset invariance), the unified missing-value policy, prune
+parity, and kill-at-any-tick byte-identical checkpoint resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DynNormSpring, build_matcher
+from repro.core.checkpoint import load_state, save_state
+from repro.exceptions import (
+    NotFittedError,
+    StreamValueError,
+    ValidationError,
+)
+
+QUERY = [0.0, 2.0, -1.0, 1.0]
+
+
+def _noise_with_copies(seed=0, n=90):
+    """Noise with the query embedded raw, scaled, and shifted."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(scale=0.3, size=n)
+    q = np.asarray(QUERY)
+    x[20:24] = q
+    x[50:54] = 4.0 * q - 12.0    # pure affine copy: per-window distance ~0
+    x[75:79] = 0.25 * q + 300.0  # tiny amplitude on a huge offset
+    return [float(v) for v in x]
+
+
+def _run(matcher, values):
+    matches = matcher.extend(values)
+    final = matcher.flush()
+    if final is not None:
+        matches.append(final)
+    return matches
+
+
+class TestConstruction:
+    def test_constant_query_rejected(self):
+        with pytest.raises(ValidationError, match="constant"):
+            DynNormSpring([5.0, 5.0, 5.0])
+
+    def test_band_defaults_derive_from_query_length(self):
+        matcher = DynNormSpring(QUERY)
+        assert matcher.min_length == 2  # max(2, ceil(4 / 2))
+        assert matcher.max_length == 8
+
+    def test_min_length_below_two_rejected(self):
+        with pytest.raises(ValidationError, match="min_length"):
+            DynNormSpring(QUERY, min_length=1)
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValidationError, match="max_length"):
+            DynNormSpring(QUERY, min_length=5, max_length=4)
+
+    def test_negative_min_std_rejected(self):
+        with pytest.raises(ValidationError, match="min_std"):
+            DynNormSpring(QUERY, min_std=-0.1)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            DynNormSpring(QUERY, epsilon=-1.0)
+
+    def test_bad_missing_policy_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            DynNormSpring(QUERY, missing="ignore")
+
+    def test_registered_as_kind(self):
+        matcher = build_matcher("dynnorm", QUERY, epsilon=1.0)
+        assert isinstance(matcher, DynNormSpring)
+
+    def test_capabilities(self):
+        caps = DynNormSpring(QUERY).capabilities()
+        assert caps.kind == "scalar"
+        assert caps.fusable is False
+        assert caps.distance_name == "squared"
+        assert caps.missing == "skip"
+
+
+class TestMatching:
+    def test_finds_affine_copies_of_the_query(self):
+        matcher = DynNormSpring(QUERY, epsilon=0.25, min_length=4)
+        matches = _run(matcher, _noise_with_copies())
+        spans = [(m.start, m.end) for m in matches]
+        for embedded in ((21, 24), (51, 54), (76, 79)):
+            assert any(
+                s <= embedded[0] and e >= embedded[1] or
+                (s, e) == embedded
+                for s, e in spans
+            ), f"embedded copy {embedded} not covered by {spans}"
+        hits = [m for m in matches if (m.start, m.end) in
+                ((21, 24), (51, 54), (76, 79))]
+        assert len(hits) == 3
+        for m in hits:
+            assert m.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_raw_spring_cannot_see_the_shifted_copy(self):
+        # The reason this matcher exists: a +300 offset pushes the raw
+        # DTW distance far beyond any sane epsilon.
+        from repro.core import Spring
+
+        values = _noise_with_copies()
+        raw = Spring(QUERY, epsilon=0.25)
+        raw_matches = _run(raw, values)
+        assert not any(m.start >= 70 for m in raw_matches)
+
+    def test_best_match_tracks_global_minimum(self):
+        matcher = DynNormSpring(QUERY, epsilon=0.0, min_length=4)
+        matcher.extend(_noise_with_copies())
+        best = matcher.best_match
+        assert best.distance == pytest.approx(0.0, abs=1e-12)
+        assert best.output_time is None
+
+    def test_best_match_before_data_raises(self):
+        with pytest.raises(NotFittedError):
+            DynNormSpring(QUERY).best_match
+
+    def test_reports_are_disjoint_and_qualify(self):
+        matcher = DynNormSpring(QUERY, epsilon=0.75)
+        matches = _run(matcher, _noise_with_copies(seed=3))
+        for m in matches:
+            assert m.distance <= 0.75
+            if m.output_time is not None:
+                assert m.output_time >= m.end
+        for i, a in enumerate(matches):
+            for b in matches[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_flush_is_idempotent(self):
+        matcher = DynNormSpring(QUERY, epsilon=0.5, min_length=4)
+        matcher.extend([float(v) for v in QUERY])
+        assert matcher.flush() is not None
+        assert matcher.flush() is None
+
+    def test_min_std_skips_flat_windows(self):
+        # A constant run has no scale; with min_std=0 only exactly-flat
+        # windows are skipped, a positive min_std also drops near-flat.
+        matcher = DynNormSpring(QUERY, epsilon=np.inf, min_length=2,
+                                max_length=3)
+        matcher.extend([5.0, 5.0, 5.0, 5.0])
+        with pytest.raises(NotFittedError):
+            matcher.best_match
+
+    def test_prune_parity(self):
+        values = _noise_with_copies(seed=11)
+        pruned = DynNormSpring(QUERY, epsilon=0.5, min_length=3,
+                               max_length=10)
+        plain = DynNormSpring(QUERY, epsilon=0.5, min_length=3,
+                              max_length=10, prune=False)
+        got = [(m.start, m.end, m.distance, m.output_time)
+               for m in _run(pruned, values)]
+        want = [(m.start, m.end, m.distance, m.output_time)
+                for m in _run(plain, values)]
+        assert got == want
+
+
+class TestMissingPolicy:
+    def test_nan_skip_advances_time_and_windows_span_gaps(self):
+        q = np.asarray(QUERY)
+        values = [1.0, float("nan"), *(2.0 * q + 7.0), float("nan")]
+        matcher = DynNormSpring(QUERY, epsilon=0.25, min_length=4,
+                                max_length=4)
+        matches = _run(matcher, values)
+        assert matcher.tick == len(values)
+        assert [(m.start, m.end) for m in matches] == [(3, 6)]
+
+    def test_window_spanning_a_gap_keeps_raw_ticks(self):
+        q = np.asarray(QUERY)
+        head = [float(q[0]), float(q[1]), float("nan")]
+        tail = [float(q[2]), float(q[3])]
+        matcher = DynNormSpring(QUERY, epsilon=0.25, min_length=4,
+                                max_length=4)
+        matches = _run(matcher, head + tail)
+        assert [(m.start, m.end) for m in matches] == [(1, 5)]
+
+    def test_nan_error_policy_raises_without_advancing(self):
+        matcher = DynNormSpring(QUERY, missing="error")
+        matcher.step(1.0)
+        with pytest.raises(StreamValueError, match="tick 2 is NaN"):
+            matcher.step(float("nan"))
+        assert matcher.tick == 1
+
+    def test_inf_always_raises_without_advancing(self):
+        for policy in ("skip", "error"):
+            matcher = DynNormSpring(QUERY, missing=policy)
+            matcher.step(1.0)
+            with pytest.raises(StreamValueError, match="tick 2 is infinite"):
+                matcher.step(float("inf"))
+            assert matcher.tick == 1
+
+    def test_extend_carries_partial_matches(self):
+        q = np.asarray(QUERY)
+        values = [*(q * 1.0), *(q * 2.0), float("inf"), 0.0]
+        matcher = DynNormSpring(QUERY, epsilon=0.25, min_length=4,
+                                max_length=4)
+        try:
+            matcher.extend(values)
+        except StreamValueError as err:
+            assert [(m.start, m.end) for m in err.partial_matches] == [(1, 4)]
+        else:  # pragma: no cover - the stream contains inf
+            pytest.fail("inf did not raise")
+
+    def test_raise_alias_normalises(self):
+        assert DynNormSpring(QUERY, missing="raise").missing == "error"
+
+
+class TestCheckpoint:
+    def test_kill_at_any_tick_resume_is_byte_identical(self):
+        values = _noise_with_copies(seed=5)[:60]
+        values[7] = float("nan")
+        values[33] = float("nan")
+
+        reference = DynNormSpring(QUERY, epsilon=0.5, min_length=3,
+                                  max_length=9)
+        expected = [(m.start, m.end, m.distance, m.output_time)
+                    for m in _run(reference, values)]
+
+        for cut in range(len(values) + 1):
+            first = DynNormSpring(QUERY, epsilon=0.5, min_length=3,
+                                  max_length=9)
+            head = first.extend(values[:cut])
+            blob = json.dumps(save_state(first))
+            restored = load_state(json.loads(blob))
+            # Byte-identical state after the hop, not merely equivalent.
+            assert json.dumps(save_state(restored)) == blob
+            tail = restored.extend(values[cut:])
+            final = restored.flush()
+            if final is not None:
+                tail.append(final)
+            got = [(m.start, m.end, m.distance, m.output_time)
+                   for m in head + tail]
+            assert got == expected, f"divergence after resume at tick {cut}"
+
+    def test_state_dict_round_trips_configuration(self):
+        matcher = DynNormSpring(QUERY, epsilon=1.5, min_length=3,
+                                max_length=6, min_std=0.01,
+                                local_distance="absolute",
+                                missing="error", prune=False)
+        restored = DynNormSpring.from_state(matcher.state_dict())
+        assert restored.epsilon == 1.5
+        assert restored.min_length == 3
+        assert restored.max_length == 6
+        assert restored.min_std == 0.01
+        assert restored.distance_name == "absolute"
+        assert restored.missing == "error"
+        assert restored.prune is False
+
+    def test_custom_callable_distance_cannot_checkpoint(self):
+        matcher = DynNormSpring(QUERY, local_distance=lambda a, b: abs(a - b))
+        with pytest.raises(ValidationError, match="unnamed local-distance"):
+            matcher.state_dict()
+
+
+class TestMonitorIntegration:
+    def test_runs_under_stream_monitor(self):
+        from repro.core import StreamMonitor
+
+        monitor = StreamMonitor()
+        monitor.add_stream("s")
+        monitor.add_query("q", QUERY, epsilon=0.25, matcher="dynnorm",
+                          min_length=4, max_length=4)
+        events = []
+        for value in _noise_with_copies():
+            events.extend(monitor.push("s", value))
+        events.extend(monitor.flush())
+        spans = [(e.match.start, e.match.end) for e in events]
+        assert (51, 54) in spans  # the affine copy, found through the monitor

@@ -10,11 +10,16 @@ space).  The tests below exercise exactly that contract.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import NormalizedSpring, Spring
-from repro.exceptions import ValidationError
+from repro.core import NormalizedSpring, Spring, ZNormalize
+from repro.core.checkpoint import load_state, save_state
+from repro.exceptions import StreamValueError, ValidationError
 
 
 def _scale_matched_stream(rng, query, level, pad=150, pattern_noise=0.15):
@@ -38,6 +43,42 @@ class TestConstruction:
     def test_rejects_bad_halflife(self):
         with pytest.raises(ValidationError):
             NormalizedSpring([1.0, 2.0], mode="ewm", halflife=0.0)
+
+    def test_rejects_bad_halflife_in_global_mode_too(self):
+        # Regression: global mode used to accept (and round-trip) a
+        # non-positive halflife, blowing up only if later switched to ewm.
+        with pytest.raises(ValidationError, match="halflife"):
+            ZNormalize(mode="global", halflife=-5.0)
+        with pytest.raises(ValidationError, match="halflife"):
+            NormalizedSpring([1.0, 2.0], mode="global", halflife=0.0)
+
+    def test_rejects_warmup_below_two(self):
+        # Regression: warmup < 2 used to be silently coerced up to 2.
+        for bad in (1, 0, -3):
+            with pytest.raises(ValidationError, match="warmup"):
+                ZNormalize(warmup=bad)
+        with pytest.raises(ValidationError, match="warmup"):
+            NormalizedSpring([1.0, 2.0], warmup=1)
+
+    def test_rejects_bad_missing_policy(self):
+        with pytest.raises(ValidationError, match="missing"):
+            ZNormalize(missing="ignore")
+
+    def test_config_dict_round_trip(self):
+        transform = ZNormalize(
+            mode="ewm", halflife=25.0, warmup=4, missing="error"
+        )
+        clone = ZNormalize.from_config(transform.config_dict())
+        assert clone.config_dict() == transform.config_dict()
+        assert clone.config_dict()["missing"] == "error"
+        # The round-tripped config re-validates: poisoning the payload
+        # cannot smuggle an invalid transform past the constructor.
+        bad = dict(transform.config_dict(), halflife=-1.0)
+        with pytest.raises(ValidationError):
+            ZNormalize.from_config(bad)
+        bad = dict(transform.config_dict(), warmup=1)
+        with pytest.raises(ValidationError):
+            ZNormalize.from_config(bad)
 
 
 class TestMatching:
@@ -135,3 +176,182 @@ class TestMatching:
         values[10] = float("nan")
         matcher.extend(values)
         assert matcher.tick == 20
+
+
+class TestNonFinitePolicy:
+    """Regression suite: inf must never touch the running statistics.
+
+    ``ZNormalize.forward`` used to screen only ``isnan``, so a single
+    ±inf reading was pushed into ``RunningStats``/``EwmStats`` and
+    permanently poisoned mean/std — every later output became NaN.  Now
+    non-finite values follow the unified ``repro.core.missing`` policy:
+    NaN is missing (skip or error), inf is corrupt and always raises,
+    before any state is modified.
+    """
+
+    @pytest.mark.parametrize("mode", ["global", "ewm"])
+    @pytest.mark.parametrize("sign", [1.0, -1.0])
+    def test_inf_raises_and_leaves_statistics_untouched(self, mode, sign):
+        transform = ZNormalize(mode=mode, halflife=10.0, warmup=2)
+        for value in (1.0, 2.0, 3.0):
+            transform.forward(value)
+        before = transform.state_dict()
+        with pytest.raises(StreamValueError, match="tick 4 is infinite"):
+            transform.forward(sign * float("inf"))
+        assert transform.state_dict() == before
+
+    def test_inf_mid_stream_does_not_poison_later_outputs(self, rng):
+        """The original symptom: all outputs after an inf became NaN."""
+        poisoned = ZNormalize(warmup=2)
+        replica = ZNormalize(warmup=2)
+        values = [float(v) for v in rng.normal(size=12)]
+        for value in values[:6]:
+            assert poisoned.forward(value) == replica.forward(value)
+        with pytest.raises(StreamValueError):
+            poisoned.forward(float("inf"))
+        # The rejected reading is as if it never arrived: both replicas
+        # continue in lockstep and every output stays finite.
+        for value in values[6:]:
+            got = poisoned.forward(value)
+            assert got == replica.forward(value)
+            assert np.isfinite(got)
+
+    def test_inf_mid_stream_through_normalized_spring(self, rng):
+        matcher = NormalizedSpring([0.0, 1.0, 0.0], warmup=3)
+        for value in rng.normal(size=8):
+            matcher.step(float(value))
+        with pytest.raises(StreamValueError):
+            matcher.step(float("inf"))
+        # The rejected value advanced neither clock...
+        assert matcher.tick == 8
+        assert matcher.spring.tick == 5
+        # ...and the stream continues with clean statistics.
+        for value in rng.normal(size=8):
+            matcher.step(float(value))
+        assert matcher.tick == 16
+        assert np.isfinite(matcher.transform.stats.mean)
+
+    def test_nan_error_policy_raises_before_counting(self):
+        transform = ZNormalize(warmup=2, missing="error")
+        transform.forward(1.0)
+        with pytest.raises(StreamValueError, match="tick 2 is NaN"):
+            transform.forward(float("nan"))
+        assert transform.state_dict()["seen"] == 1
+
+    def test_nan_skip_still_never_contributes_to_statistics(self):
+        transform = ZNormalize(warmup=2)
+        for value in (1.0, 3.0):
+            transform.forward(value)
+        before = transform.stats.state_dict()
+        assert np.isnan(transform.forward(float("nan")))
+        assert transform.stats.state_dict() == before
+
+
+class TestCoordinateContract:
+    """Pin ``map_match``'s fixed warm-up shift against NaN placement.
+
+    The contract: exactly the first ``warmup`` raw ticks are swallowed,
+    *regardless* of where NaNs fall (a NaN during warm-up counts toward
+    ``_seen`` and is swallowed like any warm-up tick; a NaN after
+    warm-up passes through to the inner matcher).  Hence inner tick =
+    raw tick − warmup always, and the fixed shift in ``map_match`` is
+    exact — including across a checkpoint resume mid-warm-up.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.integers(-8192, 8192).map(lambda k: k / 1024.0),
+                st.just(float("nan")),
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        warmup=st.integers(min_value=2, max_value=8),
+    )
+    def test_inner_clock_is_raw_clock_minus_warmup(self, values, warmup):
+        matcher = NormalizedSpring(
+            [0.0, 1.0, 0.0], epsilon=np.inf, warmup=warmup
+        )
+        for raw_tick, value in enumerate(values, start=1):
+            matcher.step(value)
+            assert matcher.tick == raw_tick
+            assert matcher.spring.tick == max(0, raw_tick - warmup)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        prefix=st.lists(st.booleans(), min_size=0, max_size=6),
+        suffix_nans=st.sets(st.integers(0, 19), max_size=5),
+        warmup=st.integers(min_value=2, max_value=6),
+    )
+    def test_positions_shift_by_warmup_for_any_nan_placement(
+        self, prefix, suffix_nans, warmup
+    ):
+        """Differential: streaming matcher == transform-then-match
+        composition, with NaNs both before and after the warm-up edge."""
+        query = np.array([0.0, 2.0, -1.0, 1.0])
+        rng = np.random.default_rng(42)
+        # prefix booleans choose NaN / value for the warm-up region;
+        # suffix_nans knock out post-warm-up ticks.
+        head = [
+            float("nan") if is_nan else float(rng.normal())
+            for is_nan in prefix
+        ]
+        body = list(rng.normal(scale=0.3, size=20))
+        body[5:9] = [float(v) for v in query]
+        for index in suffix_nans:
+            body[index] = float("nan")
+        stream = head + body
+
+        matcher = NormalizedSpring(query, epsilon=2.0, warmup=warmup)
+        actual = matcher.extend(stream)
+        final = matcher.flush()
+        if final is not None:
+            actual.append(final)
+
+        replica = ZNormalize(mode="global", warmup=warmup)
+        forwarded = [
+            out
+            for value in stream
+            if (out := replica.forward(value)) is not None
+        ]
+        inner = Spring(replica.fit_query(query), epsilon=2.0)
+        expected = inner.extend(forwarded)
+        final = inner.flush()
+        if final is not None:
+            expected.append(final)
+
+        assert [(m.start, m.end) for m in actual] == [
+            (m.start + warmup, m.end + warmup) for m in expected
+        ]
+
+    def test_mid_warmup_checkpoint_resume_is_byte_identical(self, rng):
+        query = np.array([0.0, 2.0, -1.0, 1.0])
+        values = [float(v) for v in rng.normal(size=30)]
+        values[2] = float("nan")  # a swallowed-and-counted warm-up NaN
+        values[11:15] = [float(v) for v in query]
+
+        reference = NormalizedSpring(query, epsilon=2.0, warmup=6)
+        expected = reference.extend(values)
+        final = reference.flush()
+        if final is not None:
+            expected.append(final)
+        expected_keys = [
+            (m.start, m.end, m.distance, m.output_time) for m in expected
+        ]
+
+        for cut in (1, 3, 5):  # all strictly inside the warm-up
+            first = NormalizedSpring(query, epsilon=2.0, warmup=6)
+            first.extend(values[:cut])
+            blob = json.dumps(save_state(first))
+            restored = load_state(json.loads(blob))
+            assert json.dumps(save_state(restored)) == blob
+            tail = restored.extend(values[cut:])
+            final = restored.flush()
+            if final is not None:
+                tail.append(final)
+            got = [
+                (m.start, m.end, m.distance, m.output_time) for m in tail
+            ]
+            assert got == expected_keys, f"divergence resuming at {cut}"

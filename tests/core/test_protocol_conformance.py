@@ -26,6 +26,7 @@ KIND_KWARGS = {
     "vector": {"epsilon": 6.0},
     "normalized": {"epsilon": 2.0, "warmup": 4},
     "cascade": {"epsilon": 2.0, "reduction": 2},
+    "dynnorm": {"epsilon": 0.5, "min_length": 4, "max_length": 8},
 }
 
 KINDS = sorted(KIND_KWARGS)

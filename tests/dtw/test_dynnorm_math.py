@@ -1,0 +1,179 @@
+"""Unit tests for the per-window-normalised DTW math.
+
+The shared DP (:func:`normalized_window_dtw`) is validated against the
+reference :func:`accumulate_full` loop here, so the differential suite
+can rely on "matcher == oracle bit-exactly" meaning both run *this*
+(independently checked) arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw import (
+    brute_force_dynnorm,
+    dtw_distance,
+    dynnorm_lower_bound,
+    normalize_query,
+    normalized_window_dtw,
+    window_moments,
+)
+from repro.dtw.matrix import accumulate_full, pairwise_cost_matrix
+from repro.exceptions import ValidationError
+
+
+class TestWindowMoments:
+    def test_matches_numpy_moments(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            v = rng.normal(scale=3.0, size=int(rng.integers(1, 40)))
+            mu, sigma = window_moments(v)
+            assert mu == pytest.approx(float(np.mean(v)), rel=1e-12, abs=1e-12)
+            assert sigma == pytest.approx(float(np.std(v)), rel=1e-9, abs=1e-12)
+
+    def test_sequential_sum_order_is_left_to_right(self):
+        # The moments must come from oldest-to-newest sequential sums —
+        # the exact float64 additions the streaming matcher's rolling
+        # shift-and-add performs — or the bit-exactness contract breaks.
+        rng = np.random.default_rng(11)
+        v = rng.normal(scale=1e6, size=25) + rng.normal(size=25)
+        s = 0.0
+        q = 0.0
+        for value in v:
+            s = s + float(value)
+            q = q + float(value) * float(value)
+        mu, sigma = window_moments(v)
+        n = v.shape[0]
+        expected_mu = s / n
+        var = q / n - expected_mu * expected_mu
+        if var < 0.0:
+            var = 0.0
+        assert mu == expected_mu
+        assert sigma == float(np.sqrt(var))
+
+    def test_constant_window_has_zero_std(self):
+        mu, sigma = window_moments([2.5, 2.5, 2.5])
+        assert mu == 2.5
+        assert sigma == 0.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError):
+            window_moments([])
+
+
+class TestNormalizeQuery:
+    def test_zero_mean_unit_scale(self):
+        qn = normalize_query([0.0, 2.0, -1.0, 1.0])
+        mu, sigma = window_moments(qn)
+        assert mu == pytest.approx(0.0, abs=1e-12)
+        assert sigma == pytest.approx(1.0, rel=1e-12)
+
+    def test_constant_query_rejected(self):
+        with pytest.raises(ValidationError, match="constant"):
+            normalize_query([3.0, 3.0, 3.0])
+
+
+class TestNormalizedWindowDtw:
+    def test_matches_reference_accumulation(self):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            z = rng.normal(size=int(rng.integers(1, 10)))
+            qn = rng.normal(size=int(rng.integers(1, 7)))
+            got = normalized_window_dtw(z, qn)
+            acc = accumulate_full(pairwise_cost_matrix(z, qn, "squared"))
+            assert got == pytest.approx(acc[-1, -1], rel=1e-9, abs=1e-12)
+
+    def test_matches_dtw_distance(self):
+        rng = np.random.default_rng(5)
+        z = rng.normal(size=9)
+        qn = rng.normal(size=5)
+        assert normalized_window_dtw(z, qn) == pytest.approx(
+            dtw_distance(z, qn), rel=1e-9
+        )
+
+    def test_absolute_distance_supported(self):
+        z = np.array([0.0, 1.0, 0.0])
+        qn = np.array([0.0, 1.0, 0.0])
+        assert normalized_window_dtw(z, qn, "absolute") == 0.0
+        assert normalized_window_dtw(z, qn + 1.0, "absolute") == pytest.approx(
+            accumulate_full(
+                pairwise_cost_matrix(z, qn + 1.0, "absolute")
+            )[-1, -1]
+        )
+
+    def test_exact_on_integer_costs(self):
+        # Integer-valued inputs make every path sum exactly representable,
+        # so the prefix-sum/prefix-min vectorisation must agree with the
+        # reference per-cell loop to the last bit.
+        rng = np.random.default_rng(9)
+        for _ in range(100):
+            z = rng.integers(-8, 9, size=int(rng.integers(2, 9))).astype(float)
+            qn = rng.integers(-8, 9, size=int(rng.integers(2, 6))).astype(float)
+            acc = accumulate_full(pairwise_cost_matrix(z, qn, "squared"))
+            assert normalized_window_dtw(z, qn) == acc[-1, -1]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            normalized_window_dtw([], [1.0])
+
+
+class TestLowerBound:
+    def test_never_exceeds_computed_dtw(self):
+        # The fp-safety claim: the max-of-corners bound is <= the DP's
+        # *computed* value, not merely the exact one.
+        rng = np.random.default_rng(13)
+        for _ in range(300):
+            z = rng.normal(size=int(rng.integers(1, 10)))
+            qn = rng.normal(size=int(rng.integers(1, 7)))
+            bound = dynnorm_lower_bound(float(z[0]), float(z[-1]), qn)
+            assert bound <= normalized_window_dtw(z, qn)
+
+    def test_equals_corner_cost_max(self):
+        qn = np.array([1.0, 0.0, -1.0])
+        assert dynnorm_lower_bound(3.0, -1.0, qn) == 4.0  # (3-1)^2 vs 0
+
+
+class TestBruteForceOracle:
+    def test_enumeration_order_and_coordinates(self):
+        x = [1.0, 2.0, 5.0, 3.0, 4.0]
+        out = brute_force_dynnorm(x, [0.0, 1.0, 0.5], 2, 3)
+        spans = [(s, e) for s, e, _ in out]
+        assert spans == [
+            (1, 2),            # end 2: only length 2 exists
+            (1, 3), (2, 3),    # end 3: length desc = start asc
+            (2, 4), (3, 4),
+            (3, 5), (4, 5),
+        ]
+
+    def test_nan_gaps_are_skipped_but_keep_raw_ticks(self):
+        x = [1.0, np.nan, 2.0, np.nan, np.nan, 5.0]
+        out = brute_force_dynnorm(x, [0.0, 1.0], 2, 2)
+        # Windows pair consecutive *non-missing* values; coordinates
+        # stay raw (gap-spanning), exactly like the matcher's ring.
+        assert [(s, e) for s, e, _ in out] == [(1, 3), (3, 6)]
+
+    def test_min_std_drops_constant_windows(self):
+        x = [2.0, 2.0, 2.0, 4.0]
+        out = brute_force_dynnorm(x, [0.0, 1.0], 2, 2)
+        assert [(s, e) for s, e, _ in out] == [(3, 4)]
+
+    def test_window_distance_is_per_window_normalised(self):
+        # A scaled + shifted copy of the query is a distance-0 window.
+        q = [0.0, 2.0, -1.0, 1.0]
+        x = list(7.0 + 3.0 * np.asarray(q))
+        out = brute_force_dynnorm(x, q, 4, 4)
+        assert len(out) == 1
+        start, end, distance = out[0]
+        assert (start, end) == (1, 4)
+        assert distance == pytest.approx(0.0, abs=1e-16)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            brute_force_dynnorm([1.0, np.inf], [0.0, 1.0], 2, 2)
+
+    def test_bad_band_rejected(self):
+        with pytest.raises(ValidationError):
+            brute_force_dynnorm([1.0, 2.0], [0.0, 1.0], 1, 2)
+        with pytest.raises(ValidationError):
+            brute_force_dynnorm([1.0, 2.0], [0.0, 1.0], 3, 2)

@@ -51,6 +51,8 @@ def _variant_monitor() -> StreamMonitor:
                       matcher="normalized", warmup=3)
     monitor.add_query("casc", QUERY_A, epsilon=2.5,
                       matcher="cascade", reduction=2)
+    monitor.add_query("dyn", QUERY_A, epsilon=1.0,
+                      matcher="dynnorm", min_length=3, max_length=8)
     return monitor
 
 

@@ -35,7 +35,12 @@ completeness apply only when the optimum itself is in band;
 ``normalized`` rewrites the input, so it is differentially tested
 against the transform-then-match composition instead of raw ``D``;
 ``topk`` must report exactly like ``spring`` and additionally keep the
-k smallest reported distances on its leaderboard.
+k smallest reported distances on its leaderboard; ``dynnorm`` has its
+own per-window-normalised oracle (:func:`repro.dtw.dynnorm.
+brute_force_dynnorm`) and is held to *bit-exact* equality against an
+independent replay of its greedy grouping — for arbitrary floats, not
+just dyadics, because its rolling moments and shared DP perform
+operation-for-operation the oracle's float64 arithmetic.
 
 Inputs are dyadic rationals (multiples of 2^-10), making every cost,
 sum, and comparison exactly representable in float64 — the oracle and
@@ -56,7 +61,9 @@ from repro.core import build_matcher, matcher_kinds
 from repro.core.matches import overlaps
 from repro.core.spring import Spring
 from repro.core.transform import ZNormalize
+from repro.dtw.dynnorm import brute_force_dynnorm, normalized_window_dtw
 from repro.dtw.subsequence import brute_force_all
+from repro.exceptions import NotFittedError
 
 pytestmark = pytest.mark.slow
 
@@ -66,6 +73,7 @@ pytestmark = pytest.mark.slow
 TESTED_KINDS = {
     "cascade",
     "constrained",
+    "dynnorm",
     "normalized",
     "spring",
     "topk",
@@ -335,6 +343,154 @@ class TestNormalizedOracle:
             assert got.distance == pytest.approx(
                 want.distance, rel=1e-9, abs=1e-12
             )
+
+
+def greedy_dynnorm_replay(windows, epsilon, n_ticks):
+    """Independent replay of DynNormSpring's greedy disjoint grouping.
+
+    ``windows`` is the oracle's enumeration (end ascending, length
+    descending); the replay mirrors the matcher's scan order exactly:
+    skip non-qualifying or already-covered windows, arm the first
+    qualifier, replace an overlapping qualifier only on strictly
+    smaller distance, and confirm the pending window when the first
+    disjoint qualifier arrives (its end is the confirming tick).
+    Returns ``(reports, best)`` where reports are ``(start, end,
+    distance, output_time)`` tuples and ``best`` is the first strict
+    minimum over all windows (or None).
+    """
+    reports = []
+    pending = None  # (distance, start, end)
+    last_end = 0
+    best = None
+    for start, end, distance in windows:
+        if best is None or distance < best[0]:
+            best = (distance, start, end)
+        if distance > epsilon or start <= last_end:
+            continue
+        if pending is None:
+            pending = (distance, start, end)
+        elif start <= pending[2]:
+            if distance < pending[0]:
+                pending = (distance, start, end)
+        else:
+            reports.append((pending[1], pending[2], pending[0], end))
+            last_end = pending[2]
+            pending = (distance, start, end)
+    if pending is not None:
+        reports.append((pending[1], pending[2], pending[0], n_ticks))
+    return reports, best
+
+
+class TestDynNormOracle:
+    """Bit-exact differential: the streaming matcher's report stream
+    equals the greedy replay over the brute-force per-window oracle.
+
+    Unlike the other batteries, equality here is ``==`` on distances
+    *by contract* (shift-and-add moments + shared DP are operation-for-
+    operation the oracle's arithmetic), so the streams may contain
+    NaN gaps and the comparison stays exact.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=st.lists(
+            st.one_of(dyadic, st.just(float("nan"))),
+            min_size=4,
+            max_size=24,
+        ),
+        y=st.lists(dyadic, min_size=2, max_size=5),
+        epsilon=epsilons,
+        min_length=st.integers(min_value=2, max_value=4),
+        extra=st.integers(min_value=0, max_value=4),
+    )
+    def test_reports_equal_greedy_replay_of_oracle(
+        self, x, y, epsilon, min_length, extra
+    ):
+        ys = np.asarray(y, dtype=np.float64)
+        if float(ys.std()) == 0.0:
+            return  # constant queries are rejected
+        max_length = min_length + extra
+        windows = brute_force_dynnorm(x, ys, min_length, max_length)
+        expected, best = greedy_dynnorm_replay(windows, epsilon, len(x))
+
+        for prune in (True, False):
+            matcher = build_matcher(
+                "dynnorm", ys, epsilon=epsilon,
+                min_length=min_length, max_length=max_length, prune=prune,
+            )
+            actual = run_stream(matcher, x)
+            got = [
+                (m.start, m.end, m.distance, m.output_time) for m in actual
+            ]
+            assert got == expected, (
+                f"prune={prune}: matcher reports diverge from the greedy "
+                f"replay of the brute-force oracle"
+            )
+            if best is None:
+                with pytest.raises(NotFittedError):
+                    matcher.best_match
+            else:
+                got_best = matcher.best_match
+                assert (
+                    got_best.distance, got_best.start, got_best.end
+                ) == best
+
+
+class TestDynNormApproximationGap:
+    """Satellite 4: history-statistics normalisation is an approximation.
+
+    A level-shifted copy of the query late in a stream whose history
+    sits at a different level is a distance-0 window under per-window
+    normalisation, but the history statistics (global or EWM) lag the
+    shift, so NormalizedSpring's view of the same window is far from
+    the query.  The gap is structural, not a rounding artefact —
+    exactly why the ``dynnorm`` kind exists and why the docs label
+    ``normalized`` approximate.
+    """
+
+    @pytest.mark.parametrize(
+        "mode,halflife", [("global", 500.0), ("ewm", 200.0)]
+    )
+    def test_shifted_copy_invisible_to_history_normalisation(
+        self, mode, halflife
+    ):
+        query = np.array([0.0, 2.0, -1.0, 1.0])
+        rng = np.random.default_rng(17)
+        values = list(rng.normal(scale=0.3, size=40))
+        values += [float(v) for v in 0.5 * query + 50.0]
+
+        # Per-window oracle: the embedded copy is (41, 44), distance ~0.
+        windows = brute_force_dynnorm(values, query, 4, 4)
+        embedded = [w for w in windows if (w[0], w[1]) == (41, 44)]
+        assert embedded and embedded[0][2] == pytest.approx(0.0, abs=1e-12)
+
+        # The streaming dynnorm matcher reports it.
+        dyn = build_matcher(
+            "dynnorm", query, epsilon=0.25, min_length=4, max_length=4
+        )
+        dyn_spans = [(m.start, m.end) for m in run_stream(dyn, values)]
+        assert (41, 44) in dyn_spans
+
+        # NormalizedSpring's view of the same window: quantify the gap
+        # through an identically-configured transform replica, then
+        # confirm the matcher itself misses the copy.
+        replica = ZNormalize(mode=mode, halflife=halflife, warmup=5)
+        qn = replica.fit_query(query)
+        transformed = []
+        for value in values:
+            forwarded = replica.forward(value)
+            if forwarded is not None:
+                transformed.append(forwarded)
+        seen_window = np.asarray(transformed[-4:], dtype=np.float64)
+        gap = normalized_window_dtw(seen_window, qn)
+        assert gap > 10.0  # orders of magnitude above the 0.25 epsilon
+
+        matcher = build_matcher(
+            "normalized", query, epsilon=0.25,
+            mode=mode, halflife=halflife, warmup=5,
+        )
+        spans = [(m.start, m.end) for m in run_stream(matcher, values)]
+        assert not any(s <= 41 and e >= 44 for s, e in spans)
 
 
 class TestPrunedEngineOracle:

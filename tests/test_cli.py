@@ -117,6 +117,45 @@ class TestMonitorCommand:
             main(["monitor", str(stream_csv), str(query_csv),
                   "--epsilon", "0.1", "--strict-csv"])
 
+    def test_monitor_dynnorm_finds_shifted_copy(self, tmp_path, capsys, rng):
+        # An offset+scaled copy of the query is invisible to raw DTW at
+        # this epsilon but a distance-0 window per-window normalised.
+        pattern = np.array([0.0, 2.0, -1.0, 1.0, 0.5, -0.5])
+        stream = np.concatenate(
+            [rng.normal(scale=0.3, size=30), 3.0 * pattern + 50.0,
+             rng.normal(scale=0.3, size=10)]
+        )
+        stream_csv = tmp_path / "stream.csv"
+        stream_csv.write_text(
+            "value\n" + "\n".join(f"{v}" for v in stream) + "\n"
+        )
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text(
+            "value\n" + "\n".join(f"{v}" for v in pattern) + "\n"
+        )
+        status = main(
+            ["monitor", str(stream_csv), str(query_csv),
+             "--epsilon", "0.25", "--matcher", "dynnorm",
+             "--min-length", "6", "--max-length", "6"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "ticks 31..36" in out
+
+    def test_band_knobs_require_dynnorm_matcher(self, tmp_path, rng):
+        stream_csv = tmp_path / "stream.csv"
+        stream_csv.write_text("v\n1.0\n2.0\n3.0\n")
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text("v\n1.0\n2.0\n")
+        for flag, value in (
+            ("--min-length", "4"),
+            ("--max-length", "8"),
+            ("--min-std", "0.1"),
+        ):
+            with pytest.raises(SystemExit, match="requires --matcher dynnorm"):
+                main(["monitor", str(stream_csv), str(query_csv),
+                      "--epsilon", "0.1", flag, value])
+
 
 class TestSupervisedMonitorCommand:
     def _csvs(self, tmp_path, rng):
